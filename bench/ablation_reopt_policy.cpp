@@ -1,0 +1,67 @@
+// Ablation: re-optimization policy choices the paper discusses.
+//   * trigger pick: materialize the LOWEST offending join (the paper's
+//     choice) vs the join with the LARGEST Q-error,
+//   * the Sec. V-D mitigation: gate re-optimization on the plan's
+//     estimated cost ("re-optimize only long-running queries"), which
+//     removes the short-query regressions at almost no cost.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+#include "common/sim_time.h"
+
+using namespace reopt;  // NOLINT: benchmark driver
+
+int main() {
+  auto env = bench::MakeBenchEnv();
+  auto pg = env->runner->RunAll(*env->workload,
+                                reoptimizer::ModelSpec::Estimator(), {});
+  if (!pg.ok()) return 1;
+
+  struct Config {
+    const char* label;
+    reoptimizer::ReoptOptions reopt;
+  };
+  reoptimizer::ReoptOptions lowest = bench::ReoptOn(32.0);
+  reoptimizer::ReoptOptions maxq = bench::ReoptOn(32.0);
+  maxq.pick = reoptimizer::ReoptOptions::Pick::kMaxQError;
+  reoptimizer::ReoptOptions gated = bench::ReoptOn(32.0);
+  // "Long-running" = estimated cost above ~2 simulated seconds.
+  gated.min_plan_cost_units = 2.0 * common::kCostUnitsPerSecond;
+
+  Config configs[] = {
+      {"lowest join (paper)", lowest},
+      {"max Q-error join", maxq},
+      {"lowest + long-only", gated},
+  };
+
+  bench::PrintCaption(
+      "Ablation: re-optimization trigger policy (threshold 32)");
+  std::printf("%-22s %10s %10s %8s %16s\n", "policy", "plan (s)",
+              "exec (s)", "# temps", "worst regression");
+  for (const Config& config : configs) {
+    auto run = env->runner->RunAll(*env->workload,
+                                   reoptimizer::ModelSpec::Estimator(),
+                                   config.reopt);
+    if (!run.ok()) return 1;
+    int temps = 0;
+    double worst = 0.0;
+    std::string worst_name;
+    for (size_t i = 0; i < run->records.size(); ++i) {
+      temps += run->records[i].materializations;
+      double regression = run->records[i].exec_seconds /
+                          std::max(1e-9, pg->records[i].exec_seconds);
+      if (regression > worst) {
+        worst = regression;
+        worst_name = run->records[i].name;
+      }
+    }
+    std::printf("%-22s %10.2f %10.2f %8d %10.2fx (%s)\n", config.label,
+                run->TotalPlanSeconds(), run->TotalExecSeconds(), temps,
+                worst, worst_name.c_str());
+    std::fflush(stdout);
+  }
+  std::printf("(baseline: default estimation exec %.2f s)\n",
+              pg->TotalExecSeconds());
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared benchmark environment: one synthetic IMDB database + the
+// 113-query workload + a session-caching runner. Scale is configurable via
+// REOPT_BENCH_SCALE (default 0.4) so the full suite stays laptop-friendly;
+// shapes, not absolute numbers, are the reproduction target (DESIGN.md).
+#ifndef REOPT_BENCH_BENCH_UTIL_H_
+#define REOPT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "imdb/imdb.h"
+#include "reopt/query_runner.h"
+#include "workload/job_like.h"
+#include "workload/runner.h"
+
+namespace reopt::bench {
+
+struct BenchEnv {
+  std::unique_ptr<imdb::ImdbDatabase> db;
+  std::unique_ptr<workload::JobLikeWorkload> workload;
+  std::unique_ptr<workload::WorkloadRunner> runner;
+};
+
+inline double BenchScale() {
+  const char* env = std::getenv("REOPT_BENCH_SCALE");
+  if (env != nullptr) {
+    double scale = std::atof(env);
+    if (scale > 0.0) return scale;
+  }
+  return 0.4;
+}
+
+inline std::unique_ptr<BenchEnv> MakeBenchEnv() {
+  auto env = std::make_unique<BenchEnv>();
+  imdb::ImdbOptions options;
+  options.scale = BenchScale();
+  std::fprintf(stderr, "[bench] generating IMDB database at scale %.2f...\n",
+               options.scale);
+  env->db = imdb::BuildImdbDatabase(options);
+  env->workload = workload::BuildJobLikeWorkload(env->db->catalog);
+  env->runner = std::make_unique<workload::WorkloadRunner>(env->db.get());
+  return env;
+}
+
+inline reoptimizer::ReoptOptions ReoptOn(double threshold = 32.0) {
+  reoptimizer::ReoptOptions r;
+  r.enabled = true;
+  r.qerror_threshold = threshold;
+  return r;
+}
+
+/// Prints a horizontal rule + centered caption, paper-style.
+inline void PrintCaption(const std::string& caption) {
+  std::printf("\n==== %s ====\n", caption.c_str());
+}
+
+}  // namespace reopt::bench
+
+#endif  // REOPT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,66 @@
+// Figure 1: total planning and execution time for the 20 longest-running
+// queries (by default-estimator execution time), under PostgreSQL-style
+// estimation, perfect-(3), perfect-(4), re-optimization, and perfect.
+// Paper shape: perfect-(3) no help; perfect-(4) and re-opt ~25% better
+// end-to-end; perfect best.
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+using namespace reopt;  // NOLINT: benchmark driver
+
+int main() {
+  auto env = bench::MakeBenchEnv();
+  auto pg = env->runner->RunAll(*env->workload,
+                                reoptimizer::ModelSpec::Estimator(), {});
+  if (!pg.ok()) return 1;
+
+  // Top 20 by default execution time.
+  std::vector<const workload::QueryRecord*> order;
+  for (const auto& r : pg->records) order.push_back(&r);
+  std::sort(order.begin(), order.end(),
+            [](const workload::QueryRecord* a,
+               const workload::QueryRecord* b) {
+              return a->exec_seconds > b->exec_seconds;
+            });
+  std::vector<const plan::QuerySpec*> top20;
+  std::printf("top 20 longest queries (default estimation):");
+  for (int i = 0; i < 20 && i < static_cast<int>(order.size()); ++i) {
+    top20.push_back(env->workload->Find(order[static_cast<size_t>(i)]->name));
+    std::printf(" %s", order[static_cast<size_t>(i)]->name.c_str());
+  }
+  std::printf("\n");
+
+  struct Config {
+    const char* label;
+    reoptimizer::ModelSpec model;
+    reoptimizer::ReoptOptions reopt;
+  };
+  Config configs[] = {
+      {"PostgreSQL", reoptimizer::ModelSpec::Estimator(), {}},
+      {"Perfect-(3)", reoptimizer::ModelSpec::PerfectN(3), {}},
+      {"Perfect-(4)", reoptimizer::ModelSpec::PerfectN(4), {}},
+      {"Re-optimized", reoptimizer::ModelSpec::Estimator(),
+       bench::ReoptOn(32.0)},
+      {"Perfect", reoptimizer::ModelSpec::PerfectN(17), {}},
+  };
+
+  bench::PrintCaption(
+      "Figure 1: plan+execute totals for the top 20 longest queries");
+  std::printf("%-14s %10s %10s %10s\n", "config", "plan (s)", "exec (s)",
+              "total (s)");
+  for (const Config& config : configs) {
+    double plan = 0.0;
+    double exec = 0.0;
+    for (const plan::QuerySpec* q : top20) {
+      auto run = env->runner->RunOne(q, config.model, config.reopt);
+      if (!run.ok()) return 1;
+      plan += run->plan_seconds();
+      exec += run->exec_seconds();
+    }
+    std::printf("%-14s %10.2f %10.2f %10.2f\n", config.label, plan, exec,
+                plan + exec);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 7: total plan+execute time of all 113 queries as the
+// re-optimization Q-error threshold sweeps from 2 to 16384, compared with
+// default PostgreSQL-style estimation and perfect-(17). Paper shape: best
+// around 32; even threshold 2 only mildly over-plans and still beats no
+// re-optimization; very high thresholds converge to the default.
+#include "bench/bench_util.h"
+
+using namespace reopt;  // NOLINT: benchmark driver
+
+int main() {
+  auto env = bench::MakeBenchEnv();
+  bench::PrintCaption(
+      "Figure 7: plan+execute totals vs re-optimization threshold");
+  std::printf("%-12s %10s %10s %10s %8s\n", "threshold", "plan (s)",
+              "exec (s)", "total (s)", "# temps");
+  const double thresholds[] = {2,   4,    8,    16,   32,    64,   128,
+                               256, 512,  1024, 2048, 4096,  8192, 16384};
+  for (double threshold : thresholds) {
+    auto result =
+        env->runner->RunAll(*env->workload,
+                            reoptimizer::ModelSpec::Estimator(),
+                            bench::ReoptOn(threshold));
+    if (!result.ok()) return 1;
+    int temps = 0;
+    for (const auto& r : result->records) temps += r.materializations;
+    std::printf("%-12.0f %10.2f %10.2f %10.2f %8d\n", threshold,
+                result->TotalPlanSeconds(), result->TotalExecSeconds(),
+                result->TotalPlanSeconds() + result->TotalExecSeconds(),
+                temps);
+    std::fflush(stdout);
+  }
+  auto pg = env->runner->RunAll(*env->workload,
+                                reoptimizer::ModelSpec::Estimator(), {});
+  auto perfect = env->runner->RunAll(
+      *env->workload, reoptimizer::ModelSpec::PerfectN(17), {});
+  if (!pg.ok() || !perfect.ok()) return 1;
+  std::printf("%-12s %10.2f %10.2f %10.2f %8d\n", "PG",
+              pg->TotalPlanSeconds(), pg->TotalExecSeconds(),
+              pg->TotalPlanSeconds() + pg->TotalExecSeconds(), 0);
+  std::printf("%-12s %10.2f %10.2f %10.2f %8d\n", "Perfect",
+              perfect->TotalPlanSeconds(), perfect->TotalExecSeconds(),
+              perfect->TotalPlanSeconds() + perfect->TotalExecSeconds(), 0);
+  return 0;
+}

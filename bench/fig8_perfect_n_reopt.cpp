@@ -1,0 +1,32 @@
+// Figure 8: total execution time of the workload with perfect-(n)
+// estimates, with and without re-optimization (threshold 32), n = 0..17.
+// Paper shape: re-optimization helps until about perfect-(5); beyond that
+// it is a small (~6%) overhead — the risk of re-optimizing good plans is
+// bounded.
+#include "bench/bench_util.h"
+
+using namespace reopt;  // NOLINT: benchmark driver
+
+int main() {
+  auto env = bench::MakeBenchEnv();
+  bench::PrintCaption(
+      "Figure 8: execution time of perfect-(n) with and without "
+      "re-optimization");
+  std::printf("%-12s %14s %14s %10s\n", "perfect-(n)", "exec (s)",
+              "exec+reopt (s)", "# temps");
+  for (int n = 0; n <= 17; ++n) {
+    auto plain = env->runner->RunAll(
+        *env->workload, reoptimizer::ModelSpec::PerfectN(n), {});
+    auto reopt = env->runner->RunAll(*env->workload,
+                                     reoptimizer::ModelSpec::PerfectN(n),
+                                     bench::ReoptOn(32.0));
+    if (!plain.ok() || !reopt.ok()) return 1;
+    int temps = 0;
+    for (const auto& r : reopt->records) temps += r.materializations;
+    std::printf("%-12d %14.2f %14.2f %10d\n", n,
+                plain->TotalExecSeconds(), reopt->TotalExecSeconds(),
+                temps);
+    std::fflush(stdout);
+  }
+  return 0;
+}

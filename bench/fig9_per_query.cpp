@@ -1,0 +1,58 @@
+// Figure 9: per-query execution time under default estimation,
+// re-optimization and perfect estimates, ordered by default execution
+// time. Paper shape: re-optimization tracks perfect on the long tail; a
+// few short queries regress (one catastrophically in relative terms but
+// negligibly in absolute terms, Sec. V-D).
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+using namespace reopt;  // NOLINT: benchmark driver
+
+int main() {
+  auto env = bench::MakeBenchEnv();
+  auto pg = env->runner->RunAll(*env->workload,
+                                reoptimizer::ModelSpec::Estimator(), {});
+  auto re = env->runner->RunAll(*env->workload,
+                                reoptimizer::ModelSpec::Estimator(),
+                                bench::ReoptOn(32.0));
+  auto perfect = env->runner->RunAll(
+      *env->workload, reoptimizer::ModelSpec::PerfectN(17), {});
+  if (!pg.ok() || !re.ok() || !perfect.ok()) return 1;
+
+  std::vector<size_t> order(pg->records.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return pg->records[a].exec_seconds < pg->records[b].exec_seconds;
+  });
+
+  bench::PrintCaption(
+      "Figure 9: per-query execution time (s), ordered by default time");
+  std::printf("%-10s %12s %12s %12s %8s\n", "query", "PostgreSQL",
+              "Re-opt", "Perfect", "# temps");
+  double worst_regression = 0.0;
+  std::string worst_query;
+  for (size_t i : order) {
+    const auto& p = pg->records[i];
+    const auto& r = re->records[i];
+    const auto& f = perfect->records[i];
+    std::printf("%-10s %12.4f %12.4f %12.4f %8d\n", p.name.c_str(),
+                p.exec_seconds, r.exec_seconds, f.exec_seconds,
+                r.materializations);
+    double regression = r.exec_seconds / std::max(1e-9, p.exec_seconds);
+    if (regression > worst_regression) {
+      worst_regression = regression;
+      worst_query = p.name;
+    }
+  }
+  std::printf(
+      "\ntotals: PG %.2f s | re-opt %.2f s (%.0f%% better) | perfect %.2f "
+      "s\n",
+      pg->TotalExecSeconds(), re->TotalExecSeconds(),
+      100.0 * (1.0 - re->TotalExecSeconds() /
+                         std::max(1e-9, pg->TotalExecSeconds())),
+      perfect->TotalExecSeconds());
+  std::printf("worst per-query regression: %s at %.1fx (Sec. V-D risk)\n",
+              worst_query.c_str(), worst_regression);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark) for the engine's building blocks:
+// predicate evaluation, hash join kernel, factorized true-cardinality
+// counting, selectivity estimation, histogram construction and full query
+// planning. These quantify the substrate the paper-level experiments run
+// on (e.g. the cost of one oracle call vs one estimator call — why LEO /
+// re-optimization feedback is cheap at plan time).
+#include <benchmark/benchmark.h>
+
+#include "exec/kernel.h"
+#include "imdb/imdb.h"
+#include "optimizer/cardinality_model.h"
+#include "optimizer/planner.h"
+#include "optimizer/true_cardinality.h"
+#include "stats/analyze.h"
+#include "workload/job_like.h"
+
+namespace {
+
+using namespace reopt;  // NOLINT: benchmark driver
+
+imdb::ImdbDatabase* Db() {
+  static imdb::ImdbDatabase* db = [] {
+    imdb::ImdbOptions options;
+    options.scale = 0.1;
+    return imdb::BuildImdbDatabase(options).release();
+  }();
+  return db;
+}
+
+struct Bound6d {
+  std::unique_ptr<plan::QuerySpec> query;
+  std::unique_ptr<optimizer::QueryContext> ctx;
+};
+
+Bound6d* Query6d() {
+  static Bound6d* bound = [] {
+    auto* b = new Bound6d();
+    b->query = workload::MakeQuery6d(Db()->catalog);
+    b->ctx = std::move(
+        optimizer::QueryContext::Bind(b->query.get(), &Db()->catalog,
+                                      &Db()->stats)
+            .value());
+    return b;
+  }();
+  return bound;
+}
+
+void BM_FilterScanTitleYearRange(benchmark::State& state) {
+  const storage::Table* title = Db()->catalog.FindTable("title");
+  plan::ScanPredicate pred;
+  pred.column = plan::ColumnRef{0,
+                                title->schema().FindColumn("production_year"), ""};
+  pred.kind = plan::ScanPredicate::Kind::kBetween;
+  pred.value = common::Value::Int(1990);
+  pred.value2 = common::Value::Int(2010);
+  for (auto _ : state) {
+    auto rows = exec::FilterScan(*title, {&pred});
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * title->num_rows());
+}
+BENCHMARK(BM_FilterScanTitleYearRange);
+
+void BM_HashJoinTitleMovieKeyword(benchmark::State& state) {
+  Bound6d* b = Query6d();
+  const exec::BoundRelations& rels = b->ctx->bound();
+  // t = rel 4, mk = rel 2 in 6d.
+  exec::Intermediate t = exec::ExactJoin(*b->query, plan::RelSet::Single(4),
+                                         rels);
+  exec::Intermediate mk = exec::ExactJoin(*b->query, plan::RelSet::Single(2),
+                                          rels);
+  auto edges = b->query->JoinsBetween(plan::RelSet::Single(4),
+                                      plan::RelSet::Single(2));
+  for (auto _ : state) {
+    auto out = exec::HashJoinIntermediates(t, mk, edges, rels);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * (t.size() + mk.size()));
+}
+BENCHMARK(BM_HashJoinTitleMovieKeyword);
+
+void BM_OracleFactorizedFullJoinCount(benchmark::State& state) {
+  Bound6d* b = Query6d();
+  for (auto _ : state) {
+    // Fresh oracle each iteration: measures the uncached counting path.
+    optimizer::TrueCardinalityOracle oracle(b->ctx.get());
+    benchmark::DoNotOptimize(oracle.True(b->query->AllRelations()));
+  }
+}
+BENCHMARK(BM_OracleFactorizedFullJoinCount);
+
+void BM_EstimatorFullJoinCardinality(benchmark::State& state) {
+  Bound6d* b = Query6d();
+  for (auto _ : state) {
+    optimizer::EstimatorModel model(b->ctx.get());
+    benchmark::DoNotOptimize(model.Cardinality(b->query->AllRelations()));
+  }
+}
+BENCHMARK(BM_EstimatorFullJoinCardinality);
+
+void BM_AnalyzeCastInfo(benchmark::State& state) {
+  const storage::Table* ci = Db()->catalog.FindTable("cast_info");
+  for (auto _ : state) {
+    auto stats = stats::Analyze(*ci);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * ci->num_rows());
+}
+BENCHMARK(BM_AnalyzeCastInfo);
+
+void BM_PlanQuery6d(benchmark::State& state) {
+  Bound6d* b = Query6d();
+  optimizer::CostParams params;
+  for (auto _ : state) {
+    optimizer::EstimatorModel model(b->ctx.get());
+    optimizer::Planner planner(b->ctx.get(), &model, params);
+    auto planned = planner.Plan();
+    benchmark::DoNotOptimize(planned);
+  }
+}
+BENCHMARK(BM_PlanQuery6d);
+
+void BM_ConnectedPairsEnumeration(benchmark::State& state) {
+  auto query = workload::MakeQuery25c(Db()->catalog);
+  for (auto _ : state) {
+    plan::JoinGraph graph(*query);  // fresh graph: uncached enumeration
+    benchmark::DoNotOptimize(graph.ConnectedPairs().size());
+  }
+}
+BENCHMARK(BM_ConnectedPairsEnumeration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

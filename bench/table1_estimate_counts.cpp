@@ -1,0 +1,41 @@
+// Table I: number of cardinality estimates the optimizer makes on joins of
+// N tables, summed over all 113 queries. The paper's point: the vast
+// majority of the (tens of thousands of) estimates are on multi-way joins,
+// which is where the compounding errors live.
+#include "bench/bench_util.h"
+
+#include "optimizer/cardinality_model.h"
+#include "optimizer/planner.h"
+
+using namespace reopt;  // NOLINT: benchmark driver
+
+int main() {
+  auto env = bench::MakeBenchEnv();
+  std::map<int, int64_t> totals;
+  int64_t grand_total = 0;
+  optimizer::CostParams params;
+  for (const auto& query : env->workload->queries) {
+    auto session = env->runner->GetSession(query.get());
+    if (!session.ok()) {
+      std::fprintf(stderr, "bind error on %s\n", query->name.c_str());
+      return 1;
+    }
+    optimizer::EstimatorModel model(session.value()->ctx());
+    optimizer::Planner planner(session.value()->ctx(), &model, params);
+    auto planned = planner.Plan();
+    if (!planned.ok()) return 1;
+    for (const auto& [size, count] : model.estimates_by_size()) {
+      totals[size] += count;
+      grand_total += count;
+    }
+  }
+  bench::PrintCaption(
+      "Table I: number of cardinality estimates on joins of N tables");
+  std::printf("%-18s %12s\n", "# tables in join", "# estimates");
+  for (const auto& [size, count] : totals) {
+    std::printf("%-18d %12lld\n", size, static_cast<long long>(count));
+  }
+  std::printf("%-18s %12lld\n", "total",
+              static_cast<long long>(grand_total));
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table II: distribution of per-query execution time with default
+// (PostgreSQL-style) estimation relative to perfect-(17). The paper's
+// shape: most queries are near-optimal, but a long tail of ~14 queries is
+// more than 5x slower.
+#include "bench/bench_util.h"
+
+using namespace reopt;  // NOLINT: benchmark driver
+
+int main() {
+  auto env = bench::MakeBenchEnv();
+  auto pg = env->runner->RunAll(*env->workload,
+                                reoptimizer::ModelSpec::Estimator(), {});
+  auto perfect = env->runner->RunAll(
+      *env->workload, reoptimizer::ModelSpec::PerfectN(17), {});
+  if (!pg.ok() || !perfect.ok()) return 1;
+
+  struct Bucket {
+    const char* label;
+    double lo;
+    double hi;
+    int count = 0;
+  };
+  Bucket buckets[] = {{"0.1 - 0.8", 0.0, 0.8, 0},
+                      {"0.8 - 1.2", 0.8, 1.2, 0},
+                      {"1.2 - 2.0", 1.2, 2.0, 0},
+                      {"2.0 - 5.0", 2.0, 5.0, 0},
+                      {"> 5.0", 5.0, 1e300, 0}};
+  for (size_t i = 0; i < pg->records.size(); ++i) {
+    double ratio = pg->records[i].exec_seconds /
+                   std::max(1e-9, perfect->records[i].exec_seconds);
+    for (Bucket& b : buckets) {
+      if (ratio >= b.lo && ratio < b.hi) {
+        ++b.count;
+        break;
+      }
+    }
+  }
+  bench::PrintCaption(
+      "Table II: execution time of JOB queries with default estimation "
+      "relative to perfect-(17)");
+  std::printf("%-14s %10s\n", "rel. runtime", "# queries");
+  for (const Bucket& b : buckets) {
+    std::printf("%-14s %10d\n", b.label, b.count);
+  }
+  std::printf("\ntotals: PG exec %.2f s, perfect exec %.2f s (%.2fx)\n",
+              pg->TotalExecSeconds(), perfect->TotalExecSeconds(),
+              pg->TotalExecSeconds() /
+                  std::max(1e-9, perfect->TotalExecSeconds()));
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Table III: number of queries in the workload with a given number of
+// tables — validates that the generated suite matches the paper exactly.
+#include "bench/bench_util.h"
+
+using namespace reopt;  // NOLINT: benchmark driver
+
+int main() {
+  auto env = bench::MakeBenchEnv();
+  std::map<int, int> counts;
+  for (const auto& q : env->workload->queries) {
+    ++counts[q->num_relations()];
+  }
+  bench::PrintCaption("Table III: number of queries with N tables");
+  std::printf("%-10s %10s %10s\n", "# tables", "# queries", "paper");
+  const auto& paper = workload::JobLikeWorkload::TableCountDistribution();
+  bool match = true;
+  for (const auto& [size, count] : counts) {
+    auto it = paper.find(size);
+    int expected = it == paper.end() ? 0 : it->second;
+    std::printf("%-10d %10d %10d\n", size, count, expected);
+    if (count != expected) match = false;
+  }
+  std::printf("distribution %s the paper's Table III\n",
+              match ? "MATCHES" : "DIFFERS FROM");
+  return match ? 0 : 1;
+}

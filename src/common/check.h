@@ -1,0 +1,35 @@
+// Invariant-checking macros. Library code does not throw exceptions
+// (fallible paths return Status/Result); these macros guard programmer
+// errors and abort with a diagnostic when violated.
+#ifndef REOPT_COMMON_CHECK_H_
+#define REOPT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define REOPT_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__,  \
+                   __LINE__);                                               \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define REOPT_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed: %s (%s) at %s:%d\n", #cond, msg,  \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define REOPT_UNREACHABLE(msg)                                              \
+  do {                                                                      \
+    std::fprintf(stderr, "UNREACHABLE: %s at %s:%d\n", msg, __FILE__,       \
+                 __LINE__);                                                 \
+    std::abort();                                                           \
+  } while (0)
+
+#endif  // REOPT_COMMON_CHECK_H_

@@ -1,0 +1,76 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace reopt::common {
+namespace {
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  REOPT_CHECK(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range.
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v = Next();
+  while (v >= limit) v = Next();
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+ZipfSampler::ZipfSampler(int64_t n, double theta) : n_(n), theta_(theta) {
+  REOPT_CHECK(n >= 1);
+  REOPT_CHECK(theta >= 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double sum = 0.0;
+  for (int64_t k = 1; k <= n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k), theta);
+    cdf_[static_cast<size_t>(k - 1)] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+int64_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_;
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace reopt::common

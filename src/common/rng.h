@@ -1,0 +1,67 @@
+// Deterministic random number generation for data/workload synthesis.
+// Everything in the repository derives randomness from Rng seeded with a
+// fixed value so that all benchmarks and tests are reproducible.
+#ifndef REOPT_COMMON_RNG_H_
+#define REOPT_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace reopt::common {
+
+/// xoshiro256** PRNG. Deterministic across platforms, unlike
+/// std::default_random_engine / std::uniform_int_distribution.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (std::size_t i = items->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples ranks 1..n with P(k) proportional to 1/k^theta — the classic
+/// Zipfian distribution used to generate skewed foreign keys (the "40 stocks
+/// account for 50% of volume" pattern from the paper's Section I).
+class ZipfSampler {
+ public:
+  /// n: number of distinct ranks; theta: skew (0 = uniform, ~1 = heavy skew).
+  ZipfSampler(int64_t n, double theta);
+
+  /// Returns a rank in [1, n].
+  int64_t Sample(Rng* rng) const;
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  int64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cumulative probabilities over ranks.
+};
+
+}  // namespace reopt::common
+
+#endif  // REOPT_COMMON_RNG_H_

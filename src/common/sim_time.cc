@@ -1,0 +1,17 @@
+#include "common/sim_time.h"
+
+#include "common/string_util.h"
+
+namespace reopt::common {
+
+std::string FormatSimSeconds(double seconds) {
+  if (seconds < 0.001) {
+    return StrPrintf("%.1f us", seconds * 1e6);
+  }
+  if (seconds < 1.0) {
+    return StrPrintf("%.1f ms", seconds * 1e3);
+  }
+  return StrPrintf("%.2f s", seconds);
+}
+
+}  // namespace reopt::common

@@ -1,0 +1,122 @@
+// Error handling for fallible operations. The library does not use
+// exceptions; functions that can fail return Status or Result<T>.
+#ifndef REOPT_COMMON_STATUS_H_
+#define REOPT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace reopt::common {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Inspect with ok() before
+/// dereferencing.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    REOPT_CHECK_MSG(!std::get<Status>(payload_).ok(),
+                    "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  T& value() {
+    REOPT_CHECK_MSG(ok(), "value() on error Result");
+    return std::get<T>(payload_);
+  }
+  const T& value() const {
+    REOPT_CHECK_MSG(ok(), "value() on error Result");
+    return std::get<T>(payload_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace reopt::common
+
+/// Propagates a non-OK Status from an expression evaluating to Status.
+#define REOPT_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::reopt::common::Status s_ = (expr);             \
+    if (!s_.ok()) return s_;                         \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// binds the value to `lhs`.
+#define REOPT_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto result_##__LINE__ = (expr);                   \
+  if (!result_##__LINE__.ok()) {                     \
+    return result_##__LINE__.status();               \
+  }                                                  \
+  lhs = std::move(result_##__LINE__.value())
+
+#endif  // REOPT_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Small string helpers used across the engine, including the SQL LIKE
+// matcher shared by predicate evaluation and selectivity estimation.
+#ifndef REOPT_COMMON_STRING_UTIL_H_
+#define REOPT_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reopt::common {
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Splits on a single character; empty tokens preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// SQL LIKE matching with '%' (any run) and '_' (any single char)
+/// wildcards. Case-sensitive, no escape support (JOB does not use escapes).
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// True if `s` starts with / ends with / contains the given piece.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool Contains(std::string_view s, std::string_view piece);
+
+/// Formats like printf into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace reopt::common
+
+#endif  // REOPT_COMMON_STRING_UTIL_H_

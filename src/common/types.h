@@ -1,0 +1,44 @@
+// Core scalar type system shared by storage, statistics, planning and
+// execution.
+#ifndef REOPT_COMMON_TYPES_H_
+#define REOPT_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace reopt::common {
+
+/// Scalar column types supported by the engine. JOB-style workloads only
+/// need integers (ids/years), strings (names/keywords) and doubles.
+enum class DataType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+/// Human-readable name ("INT64", "DOUBLE", "STRING").
+inline const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+/// Stable integral id for a table within a Catalog.
+using TableId = int32_t;
+/// Index of a column within a table schema.
+using ColumnIdx = int32_t;
+/// Index of a row within a table.
+using RowIdx = int64_t;
+
+inline constexpr TableId kInvalidTableId = -1;
+inline constexpr ColumnIdx kInvalidColumnIdx = -1;
+
+}  // namespace reopt::common
+
+#endif  // REOPT_COMMON_TYPES_H_

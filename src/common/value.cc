@@ -1,0 +1,80 @@
+#include "common/value.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace reopt::common {
+namespace {
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+}  // namespace
+
+DataType Value::type() const {
+  REOPT_CHECK_MSG(!is_null(), "type() on NULL value");
+  if (is_int()) return DataType::kInt64;
+  if (is_double()) return DataType::kDouble;
+  return DataType::kString;
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (is_string() || other.is_string()) {
+    REOPT_CHECK_MSG(is_string() && other.is_string(),
+                    "cannot compare string with numeric");
+    return AsString().compare(other.AsString());
+  }
+  // Numeric comparison: exact on int-int, coerced otherwise.
+  if (is_int() && other.is_int()) {
+    int64_t a = AsInt();
+    int64_t b = other.AsInt();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  double a = AsDouble();
+  double b = other.AsDouble();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, AsInt());
+    return buf;
+  }
+  if (is_double()) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%g", std::get<double>(payload_));
+    return buf;
+  }
+  return "'" + AsString() + "'";
+}
+
+uint64_t Value::Hash() const {
+  if (is_null()) return kFnvOffset;
+  if (is_int()) {
+    int64_t v = AsInt();
+    return Fnv1a(&v, sizeof(v), kFnvOffset ^ 1);
+  }
+  if (is_double()) {
+    double v = std::get<double>(payload_);
+    return Fnv1a(&v, sizeof(v), kFnvOffset ^ 2);
+  }
+  const std::string& s = AsString();
+  return Fnv1a(s.data(), s.size(), kFnvOffset ^ 3);
+}
+
+}  // namespace reopt::common

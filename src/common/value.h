@@ -1,0 +1,79 @@
+// A dynamically-typed scalar value, used at API boundaries (predicates,
+// statistics, query results). Hot execution paths operate on typed column
+// vectors instead.
+#ifndef REOPT_COMMON_VALUE_H_
+#define REOPT_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace reopt::common {
+
+/// A null, int64, double or string scalar. Ordered and hashable; comparisons
+/// across numeric types coerce to double, null compares less than everything.
+class Value {
+ public:
+  Value() : payload_(Null{}) {}
+  static Value Null_() { return Value(); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Real(double v) { return Value(Payload(v)); }
+  static Value Str(std::string v) { return Value(Payload(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<Null>(payload_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(payload_); }
+  bool is_double() const { return std::holds_alternative<double>(payload_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(payload_);
+  }
+
+  int64_t AsInt() const {
+    REOPT_CHECK_MSG(is_int(), "Value is not int64");
+    return std::get<int64_t>(payload_);
+  }
+  double AsDouble() const {
+    if (is_int()) return static_cast<double>(std::get<int64_t>(payload_));
+    REOPT_CHECK_MSG(is_double(), "Value is not numeric");
+    return std::get<double>(payload_);
+  }
+  const std::string& AsString() const {
+    REOPT_CHECK_MSG(is_string(), "Value is not string");
+    return std::get<std::string>(payload_);
+  }
+
+  /// The DataType of a non-null value; CHECK-fails on null.
+  DataType type() const;
+
+  /// Three-way comparison: negative/zero/positive like strcmp. Null sorts
+  /// first; numeric types compare by value; strings lexicographically.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// SQL-literal style rendering: NULL, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  /// Stable hash (FNV-1a over the canonical representation).
+  uint64_t Hash() const;
+
+ private:
+  struct Null {
+    bool operator==(const Null&) const { return true; }
+  };
+  using Payload = std::variant<Null, int64_t, double, std::string>;
+  explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+  Payload payload_;
+};
+
+}  // namespace reopt::common
+
+#endif  // REOPT_COMMON_VALUE_H_

@@ -1,0 +1,309 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "optimizer/cost_formulas.h"
+#include "stats/analyze.h"
+
+namespace reopt::exec {
+
+using optimizer::AggregateCost;
+using optimizer::HashJoinCost;
+using optimizer::IndexNestedLoopJoinCost;
+using optimizer::IndexScanCost;
+using optimizer::NestedLoopJoinCost;
+using optimizer::SeqScanCost;
+using optimizer::TempWriteCost;
+
+common::Result<QueryResult> Executor::Execute(const plan::QuerySpec& query,
+                                              plan::PlanNode* plan_root) {
+  for (const plan::RelationRef& ref : query.relations) {
+    if (catalog_->FindTable(ref.table_name) == nullptr) {
+      return common::Status::NotFound("no such table: " + ref.table_name);
+    }
+  }
+  BoundRelations rels = BindRelations(query, *catalog_);
+
+  QueryResult result;
+  if (plan_root->op == plan::PlanOp::kAggregate) {
+    REOPT_CHECK(plan_root->left != nullptr);
+    Intermediate input = ExecuteNode(query, rels, plan_root->left.get());
+    result.raw_rows = input.size();
+
+    // MIN() per output, skipping NULLs.
+    result.aggregates.reserve(query.outputs.size());
+    for (const plan::OutputExpr& out : query.outputs) {
+      const storage::Table& table = rels.table(out.column.rel);
+      const storage::Column& col = table.column(out.column.col);
+      common::Value best;
+      for (int64_t t = 0; t < input.size(); ++t) {
+        common::RowIdx row = input.RowOf(out.column.rel, t);
+        if (col.IsNull(row)) continue;
+        common::Value v = col.GetValue(row);
+        if (best.is_null() || v < best) best = v;
+      }
+      result.aggregates.push_back(std::move(best));
+    }
+    plan_root->actual_rows = result.aggregates.empty() ? 0.0 : 1.0;
+    plan_root->charged_cost =
+        AggregateCost(params_, static_cast<double>(input.size()),
+                      static_cast<int>(query.outputs.size()));
+  } else if (plan_root->op == plan::PlanOp::kTempWrite) {
+    REOPT_CHECK(plan_root->left != nullptr);
+    Intermediate input = ExecuteNode(query, rels, plan_root->left.get());
+    result.raw_rows = input.size();
+    ExecuteTempWrite(query, rels, plan_root, input);
+  } else {
+    // Bare join/scan root (used by tests): no aggregation.
+    Intermediate input = ExecuteNode(query, rels, plan_root);
+    result.raw_rows = input.size();
+  }
+  result.cost_units = plan_root->SubtreeChargedCost();
+  return result;
+}
+
+Intermediate Executor::ExecuteNode(const plan::QuerySpec& query,
+                                   const BoundRelations& rels,
+                                   plan::PlanNode* node) {
+  switch (node->op) {
+    case plan::PlanOp::kSeqScan:
+    case plan::PlanOp::kIndexScan:
+      return ExecuteScan(query, rels, node);
+    case plan::PlanOp::kHashJoin:
+      return ExecuteHashJoin(query, rels, node);
+    case plan::PlanOp::kNestedLoopJoin:
+      return ExecuteNestedLoop(query, rels, node);
+    case plan::PlanOp::kIndexNestedLoopJoin:
+      return ExecuteIndexNestedLoop(query, rels, node);
+    case plan::PlanOp::kAggregate:
+    case plan::PlanOp::kTempWrite:
+      break;
+  }
+  REOPT_UNREACHABLE("non-root aggregate/temp-write node");
+}
+
+Intermediate Executor::ExecuteScan(const plan::QuerySpec& query,
+                                   const BoundRelations& rels,
+                                   plan::PlanNode* node) {
+  (void)query;
+  const storage::Table& table = rels.table(node->scan_rel);
+  std::vector<common::RowIdx> rows;
+
+  if (node->op == plan::PlanOp::kIndexScan) {
+    REOPT_CHECK(node->index_pred != nullptr);
+    const plan::ScanPredicate& pred = *node->index_pred;
+    const storage::HashIndex* index = table.FindIndex(pred.column.col);
+    REOPT_CHECK_MSG(index != nullptr, "IndexScan without index");
+    // Collect candidates from the index (Eq value, or each IN value).
+    std::vector<common::RowIdx> candidates;
+    auto add_key = [&](const common::Value& v) {
+      if (v.is_null()) return;
+      const auto& matches = index->Lookup(v.AsInt());
+      candidates.insert(candidates.end(), matches.begin(), matches.end());
+    };
+    if (pred.kind == plan::ScanPredicate::Kind::kIn) {
+      for (const common::Value& v : pred.in_list) add_key(v);
+    } else {
+      add_key(pred.value);
+    }
+    std::sort(candidates.begin(), candidates.end());
+    // Residual filters: everything except the index predicate.
+    std::vector<const plan::ScanPredicate*> residual;
+    for (const plan::ScanPredicate* f : node->filters) {
+      if (f != node->index_pred) residual.push_back(f);
+    }
+    for (common::RowIdx row : candidates) {
+      bool pass = true;
+      for (const plan::ScanPredicate* f : residual) {
+        if (!EvalPredicate(*f, table, row)) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) rows.push_back(row);
+    }
+    node->charged_cost =
+        IndexScanCost(params_, static_cast<double>(candidates.size()),
+                      static_cast<int>(residual.size()),
+                      static_cast<double>(rows.size()));
+  } else {
+    rows = FilterScan(table, node->filters);
+    node->charged_cost =
+        SeqScanCost(params_, static_cast<double>(table.num_rows()),
+                    static_cast<int>(node->filters.size()),
+                    static_cast<double>(rows.size()));
+  }
+  node->actual_rows = static_cast<double>(rows.size());
+  return Intermediate::FromRows(node->scan_rel, std::move(rows));
+}
+
+Intermediate Executor::ExecuteHashJoin(const plan::QuerySpec& query,
+                                       const BoundRelations& rels,
+                                       plan::PlanNode* node) {
+  Intermediate build = ExecuteNode(query, rels, node->left.get());
+  Intermediate probe = ExecuteNode(query, rels, node->right.get());
+  Intermediate out = HashJoinIntermediates(build, probe, node->edges, rels);
+  node->actual_rows = static_cast<double>(out.size());
+  node->charged_cost =
+      HashJoinCost(params_, static_cast<double>(build.size()),
+                   static_cast<double>(probe.size()),
+                   static_cast<double>(out.size()));
+  return out;
+}
+
+Intermediate Executor::ExecuteNestedLoop(const plan::QuerySpec& query,
+                                         const BoundRelations& rels,
+                                         plan::PlanNode* node) {
+  Intermediate outer = ExecuteNode(query, rels, node->left.get());
+  Intermediate inner = ExecuteNode(query, rels, node->right.get());
+  // Physical-operator simulation: the result of an equi-join NLJ is
+  // identical to the hash join's, so we compute it by hashing but charge
+  // the quadratic nested-loop cost the plan committed to.
+  Intermediate out = HashJoinIntermediates(outer, inner, node->edges, rels);
+  node->actual_rows = static_cast<double>(out.size());
+  node->charged_cost =
+      NestedLoopJoinCost(params_, static_cast<double>(outer.size()),
+                         static_cast<double>(inner.size()),
+                         static_cast<double>(out.size()));
+  return out;
+}
+
+Intermediate Executor::ExecuteIndexNestedLoop(const plan::QuerySpec& query,
+                                              const BoundRelations& rels,
+                                              plan::PlanNode* node) {
+  Intermediate outer = ExecuteNode(query, rels, node->left.get());
+  REOPT_CHECK(node->right != nullptr && node->right->is_scan());
+  REOPT_CHECK(node->index_edge != nullptr);
+  plan::PlanNode* inner_scan = node->right.get();
+  int inner_rel = inner_scan->scan_rel;
+  const storage::Table& inner_table = rels.table(inner_rel);
+
+  // The edge's inner-side column is probed through the inner hash index.
+  const plan::JoinEdge& edge = *node->index_edge;
+  bool inner_is_left = edge.left.rel == inner_rel;
+  common::ColumnIdx inner_col = inner_is_left ? edge.left.col : edge.right.col;
+  plan::ColumnRef outer_ref = inner_is_left ? edge.right : edge.left;
+  const storage::HashIndex* index = inner_table.FindIndex(inner_col);
+  REOPT_CHECK_MSG(index != nullptr, "IndexNLJ without inner index");
+
+  // Residual join edges (beyond the indexed one).
+  std::vector<const plan::JoinEdge*> residual_edges;
+  for (const plan::JoinEdge* e : node->edges) {
+    if (e != node->index_edge) residual_edges.push_back(e);
+  }
+
+  const storage::Table& outer_table = rels.table(outer_ref.rel);
+  const storage::Column& outer_col = outer_table.column(outer_ref.col);
+
+  Intermediate out;
+  out.rels = outer.rels;
+  out.rels.push_back(inner_rel);
+  out.columns.resize(out.rels.size());
+
+  int64_t match_rows = 0;  // index matches before residual filtering
+  for (int64_t t = 0; t < outer.size(); ++t) {
+    common::RowIdx outer_row = outer.RowOf(outer_ref.rel, t);
+    if (outer_col.IsNull(outer_row)) continue;
+    const auto& matches = index->Lookup(outer_col.GetInt(outer_row));
+    for (common::RowIdx inner_row : matches) {
+      ++match_rows;
+      // Inner filters.
+      bool pass = true;
+      for (const plan::ScanPredicate* f : inner_scan->filters) {
+        if (!EvalPredicate(*f, inner_table, inner_row)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      // Residual join edges.
+      for (const plan::JoinEdge* e : residual_edges) {
+        bool e_inner_is_left = e->left.rel == inner_rel;
+        plan::ColumnRef in_ref = e_inner_is_left ? e->left : e->right;
+        plan::ColumnRef out_ref2 = e_inner_is_left ? e->right : e->left;
+        const storage::Column& ic = inner_table.column(in_ref.col);
+        const storage::Column& oc =
+            rels.table(out_ref2.rel).column(out_ref2.col);
+        common::RowIdx orow = outer.RowOf(out_ref2.rel, t);
+        if (ic.IsNull(inner_row) || oc.IsNull(orow) ||
+            ic.GetInt(inner_row) != oc.GetInt(orow)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      for (size_t c = 0; c < outer.columns.size(); ++c) {
+        out.columns[c].push_back(outer.columns[c][static_cast<size_t>(t)]);
+      }
+      out.columns.back().push_back(inner_row);
+    }
+  }
+
+  inner_scan->actual_rows = static_cast<double>(match_rows);
+  inner_scan->charged_cost = 0.0;  // charged on the join node
+  node->actual_rows = static_cast<double>(out.size());
+  node->charged_cost = IndexNestedLoopJoinCost(
+      params_, static_cast<double>(outer.size()),
+      static_cast<double>(match_rows),
+      static_cast<int>(residual_edges.size() + inner_scan->filters.size()),
+      static_cast<double>(out.size()));
+  return out;
+}
+
+void Executor::ExecuteTempWrite(const plan::QuerySpec& query,
+                                const BoundRelations& rels,
+                                plan::PlanNode* node,
+                                const Intermediate& input) {
+  // Materialize the requested columns into a new temp table.
+  storage::Schema schema;
+  for (const plan::ColumnRef& ref : node->temp_columns) {
+    const plan::RelationRef& rel =
+        query.relations[static_cast<size_t>(ref.rel)];
+    const storage::Table& table = rels.table(ref.rel);
+    const storage::ColumnDef& def = table.schema().column(ref.col);
+    schema.AddColumn(storage::ColumnDef{rel.alias + "_" + def.name, def.type});
+  }
+  auto created = catalog_->CreateTable(node->temp_table_name,
+                                       std::move(schema), /*temporary=*/true);
+  REOPT_CHECK_MSG(created.ok(), "temp table name collision");
+  storage::Table* temp = created.value();
+  temp->Reserve(input.size());
+  for (int64_t t = 0; t < input.size(); ++t) {
+    for (size_t c = 0; c < node->temp_columns.size(); ++c) {
+      const plan::ColumnRef& ref = node->temp_columns[c];
+      const storage::Column& src = rels.table(ref.rel).column(ref.col);
+      common::RowIdx row = input.RowOf(ref.rel, t);
+      if (src.IsNull(row)) {
+        temp->mutable_column(static_cast<common::ColumnIdx>(c)).AppendNull();
+      } else {
+        switch (src.type()) {
+          case common::DataType::kInt64:
+            temp->mutable_column(static_cast<common::ColumnIdx>(c))
+                .AppendInt(src.GetInt(row));
+            break;
+          case common::DataType::kDouble:
+            temp->mutable_column(static_cast<common::ColumnIdx>(c))
+                .AppendDouble(src.GetDouble(row));
+            break;
+          case common::DataType::kString:
+            temp->mutable_column(static_cast<common::ColumnIdx>(c))
+                .AppendString(src.GetString(row));
+            break;
+        }
+      }
+    }
+  }
+  // The per-column appends above bypass Table::AppendRow's row counter.
+  temp->SyncRowCountFromColumns();
+
+  if (stats_catalog_ != nullptr) {
+    stats_catalog_->AnalyzeTable(*temp);
+  }
+  node->actual_rows = static_cast<double>(input.size());
+  node->charged_cost =
+      TempWriteCost(params_, static_cast<double>(input.size()),
+                    static_cast<int>(node->temp_columns.size()));
+}
+
+}  // namespace reopt::exec

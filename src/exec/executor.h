@@ -1,0 +1,75 @@
+// The query executor. Every operator genuinely executes (exact results,
+// exact intermediate cardinalities); time is *charged* through the shared
+// cost formulas evaluated at the actual row counts, making execution time
+// deterministic and plan-quality-faithful (see DESIGN.md: simulated time).
+#ifndef REOPT_EXEC_EXECUTOR_H_
+#define REOPT_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/intermediate.h"
+#include "exec/kernel.h"
+#include "optimizer/cost_params.h"
+#include "plan/physical_plan.h"
+#include "plan/query_spec.h"
+#include "stats/stats_catalog.h"
+#include "storage/catalog.h"
+
+namespace reopt::exec {
+
+/// Result of executing one plan.
+struct QueryResult {
+  /// One value per QuerySpec output (MIN aggregates); empty when the root
+  /// is a TempWrite.
+  std::vector<common::Value> aggregates;
+  /// Join-result tuples entering the aggregate (or written to the temp
+  /// table).
+  int64_t raw_rows = 0;
+  /// Total charged execution cost of the plan, in cost units.
+  double cost_units = 0.0;
+};
+
+/// Executes physical plans against a catalog. One instance can run many
+/// plans; temp tables created by kTempWrite nodes are registered in the
+/// catalog and analyzed into the stats catalog (so a re-planned query sees
+/// exact statistics for them, as in the paper's simulation).
+class Executor {
+ public:
+  Executor(storage::Catalog* catalog, stats::StatsCatalog* stats_catalog,
+           const optimizer::CostParams& params)
+      : catalog_(catalog), stats_catalog_(stats_catalog), params_(params) {}
+
+  /// Executes `plan` for `query`. Fills actual_rows / charged_cost on every
+  /// node of the plan.
+  common::Result<QueryResult> Execute(const plan::QuerySpec& query,
+                                      plan::PlanNode* plan_root);
+
+ private:
+  Intermediate ExecuteNode(const plan::QuerySpec& query,
+                           const BoundRelations& rels, plan::PlanNode* node);
+  Intermediate ExecuteScan(const plan::QuerySpec& query,
+                           const BoundRelations& rels, plan::PlanNode* node);
+  Intermediate ExecuteHashJoin(const plan::QuerySpec& query,
+                               const BoundRelations& rels,
+                               plan::PlanNode* node);
+  Intermediate ExecuteNestedLoop(const plan::QuerySpec& query,
+                                 const BoundRelations& rels,
+                                 plan::PlanNode* node);
+  Intermediate ExecuteIndexNestedLoop(const plan::QuerySpec& query,
+                                      const BoundRelations& rels,
+                                      plan::PlanNode* node);
+  void ExecuteTempWrite(const plan::QuerySpec& query,
+                        const BoundRelations& rels, plan::PlanNode* node,
+                        const Intermediate& input);
+
+  storage::Catalog* catalog_;
+  stats::StatsCatalog* stats_catalog_;
+  optimizer::CostParams params_;
+};
+
+}  // namespace reopt::exec
+
+#endif  // REOPT_EXEC_EXECUTOR_H_

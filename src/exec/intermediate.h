@@ -1,0 +1,60 @@
+// Intermediate results flowing between physical operators: a columnar set
+// of row-id tuples. Each covered relation contributes one column of base-
+// table row indexes; payload values are fetched from base tables on demand.
+#ifndef REOPT_EXEC_INTERMEDIATE_H_
+#define REOPT_EXEC_INTERMEDIATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "plan/rel_set.h"
+
+namespace reopt::exec {
+
+/// A bag of tuples over a set of relations. `rels[i]` is the relation
+/// position whose row ids live in `columns[i]`. All columns have equal
+/// length (the tuple count).
+struct Intermediate {
+  std::vector<int> rels;
+  std::vector<std::vector<common::RowIdx>> columns;
+
+  int64_t size() const {
+    return columns.empty() ? 0
+                           : static_cast<int64_t>(columns.front().size());
+  }
+
+  /// Index of `rel` within `rels`; -1 if absent.
+  int FindRel(int rel) const {
+    for (size_t i = 0; i < rels.size(); ++i) {
+      if (rels[i] == rel) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Row id of `rel` in tuple `t`.
+  common::RowIdx RowOf(int rel, int64_t t) const {
+    int idx = FindRel(rel);
+    REOPT_CHECK_MSG(idx >= 0, "relation not in intermediate");
+    return columns[static_cast<size_t>(idx)][static_cast<size_t>(t)];
+  }
+
+  plan::RelSet RelationSet() const {
+    plan::RelSet out;
+    for (int r : rels) out = out.With(r);
+    return out;
+  }
+
+  /// A single-relation intermediate from a vector of row ids.
+  static Intermediate FromRows(int rel, std::vector<common::RowIdx> rows) {
+    Intermediate out;
+    out.rels.push_back(rel);
+    out.columns.push_back(std::move(rows));
+    return out;
+  }
+};
+
+}  // namespace reopt::exec
+
+#endif  // REOPT_EXEC_INTERMEDIATE_H_

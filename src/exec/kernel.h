@@ -1,0 +1,63 @@
+// The relational evaluation kernel: predicate evaluation over base tables
+// and equi-join evaluation over intermediates. Shared by the executor
+// (which charges operator-specific costs on top) and by the
+// true-cardinality oracle (which only wants exact counts).
+#ifndef REOPT_EXEC_KERNEL_H_
+#define REOPT_EXEC_KERNEL_H_
+
+#include <vector>
+
+#include "exec/intermediate.h"
+#include "plan/query_spec.h"
+#include "storage/catalog.h"
+
+namespace reopt::exec {
+
+/// Binds the relations of one query to storage tables. Built once per
+/// (query, catalog) and handed to kernel calls.
+struct BoundRelations {
+  std::vector<const storage::Table*> tables;
+
+  const storage::Table& table(int rel) const {
+    return *tables[static_cast<size_t>(rel)];
+  }
+};
+
+/// Resolves every relation of `query` against `catalog`. CHECK-fails if a
+/// table is missing (binder validation happens earlier).
+BoundRelations BindRelations(const plan::QuerySpec& query,
+                             const storage::Catalog& catalog);
+
+/// Evaluates one predicate on one row of the relation's base table.
+bool EvalPredicate(const plan::ScanPredicate& pred,
+                   const storage::Table& table, common::RowIdx row);
+
+/// Row ids of `rel` passing all of `filters` (full scan).
+std::vector<common::RowIdx> FilterScan(
+    const storage::Table& table,
+    const std::vector<const plan::ScanPredicate*>& filters);
+
+/// Equi-joins two intermediates on `edges` (every edge must connect the two
+/// sides). Implemented as a hash join: build on the smaller input. Join
+/// columns must be INT64 (id/FK columns, as in JOB).
+Intermediate HashJoinIntermediates(
+    const Intermediate& left, const Intermediate& right,
+    const std::vector<const plan::JoinEdge*>& edges,
+    const BoundRelations& rels);
+
+/// Exact row count of joining the relations in `set` with all single-table
+/// filters and all internal join edges of `query` applied. Joins in a
+/// connectivity-preserving order (smallest filtered relation first). For a
+/// disconnected `set`, multiplies component counts (Cartesian product
+/// semantics) without materializing the product.
+double ExactJoinCount(const plan::QuerySpec& query, plan::RelSet set,
+                      const BoundRelations& rels);
+
+/// As ExactJoinCount but returns the materialized intermediate for a
+/// connected `set` (used by temp-table materialization in tests).
+Intermediate ExactJoin(const plan::QuerySpec& query, plan::RelSet set,
+                       const BoundRelations& rels);
+
+}  // namespace reopt::exec
+
+#endif  // REOPT_EXEC_KERNEL_H_

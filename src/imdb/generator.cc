@@ -1,0 +1,629 @@
+#include "imdb/imdb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace reopt::imdb {
+namespace {
+
+using common::Rng;
+using common::StrPrintf;
+using common::Value;
+using common::ZipfSampler;
+using storage::Catalog;
+using storage::ColumnDef;
+using storage::Schema;
+using storage::Table;
+
+constexpr common::DataType kInt = common::DataType::kInt64;
+constexpr common::DataType kStr = common::DataType::kString;
+
+int64_t Scaled(double scale, int64_t base) {
+  int64_t n = static_cast<int64_t>(std::llround(scale * static_cast<double>(base)));
+  return std::max<int64_t>(1, n);
+}
+
+Table* MakeTable(Catalog* catalog, const std::string& name,
+                 std::vector<ColumnDef> cols) {
+  auto result = catalog->CreateTable(name, Schema(std::move(cols)));
+  REOPT_CHECK_MSG(result.ok(), "duplicate table in generator");
+  return result.value();
+}
+
+// Indexes every INT64 column whose name is "id" or ends in "_id" (the
+// paper's foreign-key indexes).
+void IndexIdColumns(Table* table) {
+  for (common::ColumnIdx c = 0; c < table->num_columns(); ++c) {
+    const ColumnDef& def = table->schema().column(c);
+    if (def.type != kInt) continue;
+    if (def.name == "id" || common::EndsWith(def.name, "_id")) {
+      REOPT_CHECK(table->CreateIndex(c).ok());
+    }
+  }
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "Maria",  "John",   "Anna",   "Peter",   "Laura",    "James",
+      "Linda",  "Mark",   "Karen",  "Steven",  "Donna",    "Brian",
+      "Sofia",  "Paul",   "Nina",   "George",  "Emma",     "Frank",
+      "Alice",  "Henry",  "Clara",  "Oscar",   "Julia",    "Victor",
+      "Diana",  "Walter", "Irene",  "Gordon",  "Helen",    "Arthur",
+      "Bianca", "Cedric", "Dora",   "Edmund",  "Fiona",    "Gustav",
+      "Hilda",  "Ivan",   "Judith", "Klaus"};
+  return *kNames;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string>* kNames = new std::vector<std::string>{
+      "Smith",  "Jones",  "Miller", "Davis",  "Garcia", "Wilson",
+      "Moore",  "Taylor", "White",  "Harris", "Martin", "Clark",
+      "Lewis",  "Young",  "Walker", "Hall",   "Allen",  "King",
+      "Wright", "Scott",  "Green",  "Baker",  "Adams",  "Nelson"};
+  return *kNames;
+}
+
+const std::vector<std::string>& Genres() {
+  static const std::vector<std::string>* kGenres =
+      new std::vector<std::string>{"Action",  "Adventure", "Drama",
+                                   "Comedy",  "Thriller",  "Romance",
+                                   "Horror",  "Sci-Fi",    "Documentary",
+                                   "Fantasy", "Crime",     "Animation"};
+  return *kGenres;
+}
+
+}  // namespace
+
+const std::vector<std::string>& HotKeywords() {
+  static const std::vector<std::string>* kHot = new std::vector<std::string>{
+      "superhero",        "sequel",
+      "second-part",      "marvel-comics",
+      "based-on-comic",   "tv-special",
+      "fight",            "violence",
+      "character-name-in-title", "blood",
+      "murder",           "revenge",
+      "based-on-novel",   "female-nudity",
+      "independent-film", "love",
+      "friendship",       "death",
+      "police",           "new-york-city",
+      "explosion",        "gore",
+      "martial-arts",     "dystopia"};
+  return *kHot;
+}
+
+const std::vector<std::string>& StarNameTokens() {
+  static const std::vector<std::string>* kTokens =
+      new std::vector<std::string>{"Tim", "Robert", "Downey",
+                                   "Chris", "Scarlett", "Sam"};
+  return *kTokens;
+}
+
+std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
+  auto db = std::make_unique<ImdbDatabase>();
+  db->options = options;
+  Catalog* cat = &db->catalog;
+  Rng rng(options.seed);
+  const double scale = options.scale;
+
+  // ---- Tiny dimensions --------------------------------------------------
+  auto fill_dim = [&](const std::string& table, const std::string& col,
+                      const std::vector<std::string>& values) {
+    Table* t = MakeTable(cat, table, {{"id", kInt}, {col, kStr}});
+    for (size_t i = 0; i < values.size(); ++i) {
+      t->AppendRow({Value::Int(static_cast<int64_t>(i) + 1),
+                    Value::Str(values[i])});
+    }
+    IndexIdColumns(t);
+    return t;
+  };
+
+  fill_dim("kind_type", "kind",
+           {"movie", "tv series", "tv movie", "video movie",
+            "tv mini series", "video game", "episode"});
+  fill_dim("company_type", "kind",
+           {"production companies", "distributors",
+            "special effects companies", "miscellaneous companies"});
+  fill_dim("comp_cast_type", "kind",
+           {"cast", "crew", "complete", "complete+verified"});
+  fill_dim("role_type", "role",
+           {"actor", "actress", "producer", "writer", "director",
+            "cinematographer", "composer", "costume designer", "editor",
+            "miscellaneous crew", "production designer", "guest"});
+  {
+    std::vector<std::string> links = {"sequel",       "prequel",
+                                      "remake of",    "remade as",
+                                      "references",   "referenced in",
+                                      "spoofs",       "spoofed in",
+                                      "features",     "featured in",
+                                      "spin off from", "spin off",
+                                      "version of",   "similar to",
+                                      "edited into",  "edited from",
+                                      "alternate language version of",
+                                      "unknown link"};
+    fill_dim("link_type", "link", links);
+  }
+  {
+    std::vector<std::string> infos = {
+        "budget",       "votes",     "rating",        "genres",
+        "countries",    "languages", "release dates", "runtimes",
+        "color info",   "taglines",  "sound mix",     "certificates",
+        "gross",        "opening weekend", "production dates",
+        "filming dates", "top 250 rank", "bottom 10 rank"};
+    while (infos.size() < 113) {
+      infos.push_back(StrPrintf("info_%03d", static_cast<int>(infos.size())));
+    }
+    fill_dim("info_type", "info", infos);
+  }
+
+  // ---- keyword ------------------------------------------------------------
+  const int64_t num_keywords = Scaled(scale, 15000);
+  const int num_hot = std::min<int>(options.num_hot_keywords,
+                                    static_cast<int>(HotKeywords().size()));
+  {
+    Table* t = MakeTable(cat, "keyword", {{"id", kInt}, {"keyword", kStr}});
+    t->Reserve(num_keywords);
+    for (int64_t i = 1; i <= num_keywords; ++i) {
+      std::string kw = i <= num_hot
+                           ? HotKeywords()[static_cast<size_t>(i - 1)]
+                           : StrPrintf("kw_%06d", static_cast<int>(i));
+      t->AppendRow({Value::Int(i), Value::Str(kw)});
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- company_name ---------------------------------------------------
+  const int64_t num_companies = Scaled(scale, 8000);
+  {
+    Table* t = MakeTable(
+        cat, "company_name",
+        {{"id", kInt}, {"name", kStr}, {"country_code", kStr}});
+    t->Reserve(num_companies);
+    const std::vector<std::pair<const char*, double>> codes = {
+        {"[us]", 0.35}, {"[gb]", 0.12}, {"[de]", 0.08}, {"[fr]", 0.07},
+        {"[jp]", 0.05}, {"[it]", 0.04}, {"[ca]", 0.04}, {"[in]", 0.04}};
+    for (int64_t i = 1; i <= num_companies; ++i) {
+      double u = rng.UniformDouble();
+      std::string code;
+      for (const auto& [c, p] : codes) {
+        if (u < p) {
+          code = c;
+          break;
+        }
+        u -= p;
+      }
+      if (code.empty()) {
+        code = StrPrintf("[x%02d]", static_cast<int>(rng.UniformInt(0, 29)));
+      }
+      t->AppendRow({Value::Int(i),
+                    Value::Str(StrPrintf("Company %05d Pictures",
+                                         static_cast<int>(i))),
+                    Value::Str(code)});
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- char_name --------------------------------------------------------
+  const int64_t num_chars = Scaled(scale, 30000);
+  {
+    Table* t = MakeTable(cat, "char_name", {{"id", kInt}, {"name", kStr}});
+    t->Reserve(num_chars);
+    for (int64_t i = 1; i <= num_chars; ++i) {
+      t->AppendRow({Value::Int(i),
+                    Value::Str(StrPrintf("Character %05d",
+                                         static_cast<int>(i)))});
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- name (persons) -----------------------------------------------------
+  const int64_t num_persons = Scaled(scale, 50000);
+  // Stars scale with the database so the star fraction (and thus the
+  // LIKE-token / cast-skew interplay) is consistent across scales.
+  const int64_t num_stars = std::min<int64_t>(
+      std::max<int64_t>(30, Scaled(scale, options.num_stars)), num_persons);
+  // First-name popularity is Zipfian, so LIKE '%Tim%' style predicates have
+  // a truth far from the estimator's fixed default.
+  ZipfSampler first_name_zipf(
+      static_cast<int64_t>(FirstNames().size()), 0.9);
+  {
+    Table* t = MakeTable(
+        cat, "name", {{"id", kInt}, {"name", kStr}, {"gender", kStr}});
+    t->Reserve(num_persons);
+    for (int64_t i = 1; i <= num_persons; ++i) {
+      bool star = i <= num_stars;
+      std::string first;
+      if (star) {
+        first = StarNameTokens()[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(StarNameTokens().size()) -
+                                  1))];
+      } else {
+        first = FirstNames()[static_cast<size_t>(
+            first_name_zipf.Sample(&rng) - 1)];
+      }
+      const std::string& last = LastNames()[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(LastNames().size()) - 1))];
+      std::string name =
+          StrPrintf("%s, %s %05d", last.c_str(), first.c_str(),
+                    static_cast<int>(i));
+      Value gender;
+      double g = rng.UniformDouble();
+      double male_p = star ? 0.75 : 0.5;
+      if (g < 0.02) {
+        gender = Value::Null_();
+      } else if (g < 0.02 + male_p) {
+        gender = Value::Str("m");
+      } else {
+        gender = Value::Str("f");
+      }
+      t->AppendRow({Value::Int(i), Value::Str(name), gender});
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- title -------------------------------------------------------------
+  const int64_t num_titles = Scaled(scale, 40000);
+  db->title_class.assign(static_cast<size_t>(num_titles) + 1, 0);
+  {
+    Table* t = MakeTable(cat, "title",
+                         {{"id", kInt},
+                          {"title", kStr},
+                          {"kind_id", kInt},
+                          {"production_year", kInt}});
+    t->Reserve(num_titles);
+    ZipfSampler kind_zipf(7, 1.2);
+    for (int64_t i = 1; i <= num_titles; ++i) {
+      double u = rng.UniformDouble();
+      int klass = u < 0.05 ? 2 : (u < 0.15 ? 1 : 0);
+      db->title_class[static_cast<size_t>(i)] = klass;
+      int64_t year;
+      std::string title;
+      if (klass == 2) {
+        // Blockbusters cluster after 2000 — the join-crossing correlation
+        // behind the paper's query 6d (keyword x production_year).
+        year = 2000 + rng.UniformInt(0, 19);
+        title = StrPrintf("Saga %04d Part %d",
+                          static_cast<int>(i % 997),
+                          static_cast<int>(rng.UniformInt(1, 4)));
+      } else if (klass == 1) {
+        year = 1985 + rng.UniformInt(0, 34);
+        title = StrPrintf("The Picture %05d", static_cast<int>(i));
+      } else {
+        // Older long tail.
+        int64_t a = rng.UniformInt(0, 89);
+        int64_t b = rng.UniformInt(0, 89);
+        year = 1930 + std::max(a, b);
+        title = StrPrintf("Movie %06d", static_cast<int>(i));
+      }
+      t->AppendRow({Value::Int(i), Value::Str(title),
+                    Value::Int(kind_zipf.Sample(&rng)), Value::Int(year)});
+    }
+    IndexIdColumns(t);
+  }
+
+  auto class_of = [&](int64_t title_id) {
+    return db->title_class[static_cast<size_t>(title_id)];
+  };
+
+  // ---- cast_info -----------------------------------------------------------
+  {
+    Table* t = MakeTable(cat, "cast_info",
+                         {{"id", kInt},
+                          {"person_id", kInt},
+                          {"movie_id", kInt},
+                          {"person_role_id", kInt},
+                          {"role_id", kInt},
+                          {"note", kStr}});
+    ZipfSampler star_zipf(num_stars, 1.0);
+    ZipfSampler role_zipf(12, 1.1);
+    int64_t next_id = 1;
+    for (int64_t m = 1; m <= num_titles; ++m) {
+      int klass = class_of(m);
+      int64_t count = 1 + rng.UniformInt(0, 7);
+      if (klass == 1) count *= 2;
+      if (klass == 2) count *= 6;
+      count = std::min<int64_t>(count, 80);
+      double star_p = klass == 2 ? 0.5 : (klass == 1 ? 0.3 : 0.12);
+      double producer_p = klass == 2 ? 0.15 : (klass == 1 ? 0.05 : 0.02);
+      for (int64_t c = 0; c < count; ++c) {
+        int64_t person = rng.Bernoulli(star_p)
+                             ? star_zipf.Sample(&rng)
+                             : rng.UniformInt(1, num_persons);
+        Value role_char = rng.Bernoulli(0.4)
+                              ? Value::Int(rng.UniformInt(1, num_chars))
+                              : Value::Null_();
+        std::string note;
+        double u = rng.UniformDouble();
+        if (u < producer_p) {
+          note = "(producer)";
+        } else if (u < producer_p * 1.5) {
+          note = "(executive producer)";
+        } else if (u < producer_p * 1.5 + 0.05) {
+          note = "(uncredited)";
+        } else if (u < producer_p * 1.5 + 0.08) {
+          note = "(voice)";
+        }
+        t->AppendRow({Value::Int(next_id++), Value::Int(person),
+                      Value::Int(m), role_char,
+                      Value::Int(role_zipf.Sample(&rng)), Value::Str(note)});
+      }
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- movie_keyword -------------------------------------------------------
+  {
+    Table* t = MakeTable(
+        cat, "movie_keyword",
+        {{"id", kInt}, {"movie_id", kInt}, {"keyword_id", kInt}});
+    ZipfSampler hot_zipf(num_hot, 0.9);
+    int64_t next_id = 1;
+    for (int64_t m = 1; m <= num_titles; ++m) {
+      int klass = class_of(m);
+      int64_t count = 1 + rng.UniformInt(0, 4);
+      if (klass == 1) count += 5;
+      if (klass == 2) count += 15;
+      double hot_p = klass == 2 ? 0.38 : (klass == 1 ? 0.13 : 0.02);
+      for (int64_t c = 0; c < count; ++c) {
+        int64_t kw = rng.Bernoulli(hot_p)
+                         ? hot_zipf.Sample(&rng)
+                         : rng.UniformInt(num_hot + 1, num_keywords);
+        t->AppendRow({Value::Int(next_id++), Value::Int(m), Value::Int(kw)});
+      }
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- movie_companies ------------------------------------------------------
+  {
+    Table* t = MakeTable(cat, "movie_companies",
+                         {{"id", kInt},
+                          {"movie_id", kInt},
+                          {"company_id", kInt},
+                          {"company_type_id", kInt},
+                          {"note", kStr}});
+    ZipfSampler company_zipf(num_companies, 0.9);
+    int64_t next_id = 1;
+    for (int64_t m = 1; m <= num_titles; ++m) {
+      int64_t count = 1 + rng.UniformInt(0, 3);
+      for (int64_t c = 0; c < count; ++c) {
+        int64_t ctype = rng.Bernoulli(0.55) ? 1 : (rng.Bernoulli(0.6) ? 2 : rng.UniformInt(3, 4));
+        std::string note =
+            rng.Bernoulli(0.25)
+                ? StrPrintf("(co-production) (%d)",
+                            static_cast<int>(rng.UniformInt(1980, 2019)))
+                : "";
+        t->AppendRow({Value::Int(next_id++), Value::Int(m),
+                      Value::Int(company_zipf.Sample(&rng)),
+                      Value::Int(ctype), Value::Str(note)});
+      }
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- movie_info ------------------------------------------------------------
+  // info_type ids: genres=4, countries=5, languages=6 (see dimension fill).
+  {
+    Table* t = MakeTable(cat, "movie_info",
+                         {{"id", kInt},
+                          {"movie_id", kInt},
+                          {"info_type_id", kInt},
+                          {"info", kStr}});
+    int64_t next_id = 1;
+    for (int64_t m = 1; m <= num_titles; ++m) {
+      int klass = class_of(m);
+      // genres: correlated with class.
+      std::string genre;
+      if (klass == 2) {
+        genre = rng.Bernoulli(0.7) ? "Action" : "Adventure";
+      } else {
+        genre = Genres()[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(Genres().size()) - 1))];
+      }
+      t->AppendRow({Value::Int(next_id++), Value::Int(m), Value::Int(4),
+                    Value::Str(genre)});
+      std::string country = rng.Bernoulli(klass == 2 ? 0.8 : 0.4)
+                                ? "USA"
+                                : StrPrintf("Country%02d",
+                                            static_cast<int>(rng.UniformInt(1, 40)));
+      t->AppendRow({Value::Int(next_id++), Value::Int(m), Value::Int(5),
+                    Value::Str(country)});
+      t->AppendRow({Value::Int(next_id++), Value::Int(m), Value::Int(6),
+                    Value::Str(rng.Bernoulli(0.6) ? "English"
+                                                  : StrPrintf("Lang%02d",
+                                                              static_cast<int>(rng.UniformInt(1, 30))))});
+      int64_t extra = rng.UniformInt(0, 3);
+      for (int64_t e = 0; e < extra; ++e) {
+        t->AppendRow({Value::Int(next_id++), Value::Int(m),
+                      Value::Int(rng.UniformInt(7, 113)),
+                      Value::Str(StrPrintf("v%04d", static_cast<int>(rng.UniformInt(0, 9999))))});
+      }
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- movie_info_idx ---------------------------------------------------------
+  // info_type ids: budget=1, votes=2, rating=3. Presence and magnitude are
+  // class-correlated — the independence-assumption trap behind paper query
+  // 18a (it2.info = 'votes' x mi_idx join).
+  {
+    Table* t = MakeTable(cat, "movie_info_idx",
+                         {{"id", kInt},
+                          {"movie_id", kInt},
+                          {"info_type_id", kInt},
+                          {"info", kStr}});
+    int64_t next_id = 1;
+    for (int64_t m = 1; m <= num_titles; ++m) {
+      int klass = class_of(m);
+      if (rng.Bernoulli(0.9)) {  // rating
+        double lo = klass == 2 ? 6.5 : 1.0;
+        double hi = klass == 2 ? 9.5 : 9.0;
+        double rating = lo + rng.UniformDouble() * (hi - lo);
+        t->AppendRow({Value::Int(next_id++), Value::Int(m), Value::Int(3),
+                      Value::Str(StrPrintf("%.1f", rating))});
+      }
+      double votes_p = klass == 2 ? 1.0 : (klass == 1 ? 0.9 : 0.55);
+      if (rng.Bernoulli(votes_p)) {
+        int64_t votes = klass == 2 ? rng.UniformInt(100000, 2000000)
+                                   : rng.UniformInt(5, 20000);
+        t->AppendRow({Value::Int(next_id++), Value::Int(m), Value::Int(2),
+                      Value::Str(StrPrintf("%08d", static_cast<int>(votes)))});
+      }
+      double budget_p = klass == 2 ? 0.9 : (klass == 1 ? 0.4 : 0.08);
+      if (rng.Bernoulli(budget_p)) {
+        int64_t budget = klass == 2 ? rng.UniformInt(50, 400) * 1000000LL
+                                    : rng.UniformInt(1, 80) * 100000LL;
+        t->AppendRow({Value::Int(next_id++), Value::Int(m), Value::Int(1),
+                      Value::Str(StrPrintf("%010lld",
+                                           static_cast<long long>(budget)))});
+      }
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- person_info -------------------------------------------------------------
+  {
+    Table* t = MakeTable(cat, "person_info",
+                         {{"id", kInt},
+                          {"person_id", kInt},
+                          {"info_type_id", kInt},
+                          {"info", kStr}});
+    int64_t next_id = 1;
+    for (int64_t p = 1; p <= num_persons; ++p) {
+      int64_t count = rng.UniformInt(0, 2) + (p <= num_stars ? 2 : 0);
+      for (int64_t c = 0; c < count; ++c) {
+        t->AppendRow({Value::Int(next_id++), Value::Int(p),
+                      Value::Int(rng.UniformInt(7, 113)),
+                      Value::Str(StrPrintf("bio %05d",
+                                           static_cast<int>(rng.UniformInt(0, 99999))))});
+      }
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- aka_name ---------------------------------------------------------------
+  {
+    Table* t = MakeTable(cat, "aka_name",
+                         {{"id", kInt}, {"person_id", kInt}, {"name", kStr}});
+    int64_t next_id = 1;
+    for (int64_t p = 1; p <= num_persons; ++p) {
+      double prob = p <= num_stars ? 0.6 : 0.15;
+      if (rng.Bernoulli(prob)) {
+        t->AppendRow({Value::Int(next_id++), Value::Int(p),
+                      Value::Str(StrPrintf("a.k.a. Person %05d",
+                                           static_cast<int>(p)))});
+      }
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- aka_title ---------------------------------------------------------------
+  {
+    Table* t = MakeTable(cat, "aka_title",
+                         {{"id", kInt}, {"movie_id", kInt}, {"title", kStr}});
+    int64_t next_id = 1;
+    for (int64_t m = 1; m <= num_titles; ++m) {
+      int klass = class_of(m);
+      double prob = klass == 2 ? 0.5 : (klass == 1 ? 0.25 : 0.1);
+      if (rng.Bernoulli(prob)) {
+        t->AppendRow({Value::Int(next_id++), Value::Int(m),
+                      Value::Str(StrPrintf("Alt Title %06d",
+                                           static_cast<int>(m)))});
+      }
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- movie_link --------------------------------------------------------------
+  {
+    Table* t = MakeTable(cat, "movie_link",
+                         {{"id", kInt},
+                          {"movie_id", kInt},
+                          {"linked_movie_id", kInt},
+                          {"link_type_id", kInt}});
+    int64_t next_id = 1;
+    for (int64_t m = 1; m <= num_titles; ++m) {
+      int klass = class_of(m);
+      double prob = klass == 2 ? 0.7 : 0.08;
+      if (rng.Bernoulli(prob)) {
+        // Sequels link forward; link types skew to sequel/prequel.
+        int64_t other = rng.UniformInt(1, num_titles);
+        int64_t lt = rng.Bernoulli(0.5) ? 1 : rng.UniformInt(2, 18);
+        t->AppendRow({Value::Int(next_id++), Value::Int(m),
+                      Value::Int(other), Value::Int(lt)});
+      }
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- complete_cast ---------------------------------------------------------
+  {
+    Table* t = MakeTable(cat, "complete_cast",
+                         {{"id", kInt},
+                          {"movie_id", kInt},
+                          {"subject_id", kInt},
+                          {"status_id", kInt}});
+    int64_t next_id = 1;
+    for (int64_t m = 1; m <= num_titles; ++m) {
+      if (rng.Bernoulli(0.3)) {
+        t->AppendRow({Value::Int(next_id++), Value::Int(m),
+                      Value::Int(rng.UniformInt(1, 2)),
+                      Value::Int(rng.UniformInt(3, 4))});
+      }
+    }
+    IndexIdColumns(t);
+  }
+
+  // ---- ANALYZE everything ----------------------------------------------------
+  stats::AnalyzeOptions aopts;
+  aopts.statistics_target = options.statistics_target;
+  db->stats.AnalyzeAll(db->catalog, aopts);
+  return db;
+}
+
+std::unique_ptr<NasdaqDatabase> BuildNasdaqDatabase(
+    const NasdaqOptions& options) {
+  auto db = std::make_unique<NasdaqDatabase>();
+  Rng rng(options.seed);
+
+  Table* company = MakeTable(&db->catalog, "company",
+                             {{"id", kInt}, {"symbol", kStr},
+                              {"company", kStr}});
+  company->Reserve(options.num_companies);
+  for (int64_t i = 1; i <= options.num_companies; ++i) {
+    // Symbols: base-26 rendering, so the hot ones read like tickers.
+    std::string symbol;
+    int64_t v = i - 1;
+    for (int k = 0; k < 4; ++k) {
+      symbol.push_back(static_cast<char>('A' + v % 26));
+      v /= 26;
+    }
+    std::reverse(symbol.begin(), symbol.end());
+    company->AppendRow({Value::Int(i), Value::Str(symbol),
+                        Value::Str(StrPrintf("Company %lld Inc.",
+                                             static_cast<long long>(i)))});
+  }
+  IndexIdColumns(company);
+
+  Table* trades = MakeTable(
+      &db->catalog, "trades",
+      {{"id", kInt}, {"company_id", kInt}, {"shares", kInt}});
+  trades->Reserve(options.num_trades);
+  ZipfSampler zipf(options.num_companies, options.zipf_theta);
+  for (int64_t i = 1; i <= options.num_trades; ++i) {
+    trades->AppendRow({Value::Int(i), Value::Int(zipf.Sample(&rng)),
+                       Value::Int(rng.UniformInt(1, 10000))});
+  }
+  IndexIdColumns(trades);
+
+  stats::AnalyzeOptions aopts;
+  aopts.statistics_target = options.statistics_target;
+  db->stats.AnalyzeAll(db->catalog, aopts);
+  return db;
+}
+
+}  // namespace reopt::imdb

@@ -1,0 +1,87 @@
+// Synthetic IMDB-shaped database generator. Stands in for the real IMDB
+// dump the paper uses (see DESIGN.md substitution table): a 21-table schema
+// matching the Join Order Benchmark's, populated with the two phenomena the
+// paper blames for catastrophic estimates —
+//   * skew: Zipfian popularity of movies, people, companies and keywords
+//     (the "40 stocks carry 50% of the volume" pattern), and
+//   * join-crossing correlation: a per-title latent "franchise class"
+//     drives production year, keyword choice, cast size, producer notes
+//     and budget/votes rows simultaneously, so predicates several join
+//     edges apart are strongly correlated (Sec. IV-B).
+// Every id and foreign-key column gets a hash index, mirroring the paper's
+// "we add foreign key indexes making access path selection more
+// challenging".
+#ifndef REOPT_IMDB_IMDB_H_
+#define REOPT_IMDB_IMDB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/stats_catalog.h"
+#include "storage/catalog.h"
+
+namespace reopt::imdb {
+
+struct ImdbOptions {
+  /// Linear row-count scale. 1.0 ≈ 1M total rows (benchmarks); tests use
+  /// 0.05–0.2.
+  double scale = 1.0;
+  uint64_t seed = 42;
+  /// ANALYZE statistics target (histogram buckets / MCV entries). The
+  /// paper maxes this out; 100 is the PostgreSQL default.
+  int statistics_target = 100;
+  /// Number of "star" persons / "hot" keywords driving skew.
+  int num_stars = 400;
+  int num_hot_keywords = 24;
+};
+
+/// A generated database: storage plus statistics (ANALYZE already run).
+struct ImdbDatabase {
+  storage::Catalog catalog;
+  stats::StatsCatalog stats;
+  ImdbOptions options;
+
+  /// Franchise class per title (0 = ordinary, 1 = popular, 2 =
+  /// blockbuster). Exposed for tests that validate the generated
+  /// correlations.
+  std::vector<int> title_class;
+};
+
+/// Builds and analyzes the full database. Deterministic in `options.seed`.
+std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options);
+
+/// The hot keyword strings (queries filter on subsets of these; they are
+/// frequent in movie_keyword, defeating the uniformity assumption exactly
+/// like paper query 6d).
+const std::vector<std::string>& HotKeywords();
+
+/// Name tokens embedded in person names ("%Tim%"-style LIKE targets).
+const std::vector<std::string>& StarNameTokens();
+
+// ---- Nasdaq example (paper Tables IV/V) ---------------------------------
+
+struct NasdaqOptions {
+  int64_t num_companies = 4000;
+  int64_t num_trades = 400000;
+  /// Zipf skew of trades over companies (~1.0 reproduces "40 of 4000
+  /// stocks carry half the volume").
+  double zipf_theta = 1.05;
+  uint64_t seed = 7;
+  int statistics_target = 100;
+};
+
+struct NasdaqDatabase {
+  storage::Catalog catalog;
+  stats::StatsCatalog stats;
+};
+
+/// Builds `company(id, symbol, company)` and
+/// `trades(id, company_id, shares)` with Zipf-skewed trade volume.
+std::unique_ptr<NasdaqDatabase> BuildNasdaqDatabase(
+    const NasdaqOptions& options);
+
+}  // namespace reopt::imdb
+
+#endif  // REOPT_IMDB_IMDB_H_

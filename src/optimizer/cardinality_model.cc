@@ -1,0 +1,181 @@
+#include "optimizer/cardinality_model.h"
+
+#include <algorithm>
+
+#include "optimizer/selectivity.h"
+
+namespace reopt::optimizer {
+
+double CardinalityModel::Cardinality(plan::RelSet set) {
+  REOPT_CHECK(!set.empty());
+  auto it = cache_.find(set.bits());
+  if (it != cache_.end()) return it->second;
+  double rows = std::max(1.0, Compute(set));
+  cache_[set.bits()] = rows;
+  ++num_estimates_;
+  ++estimates_by_size_[set.count()];
+  return rows;
+}
+
+namespace {
+
+// Extracts the single equality value of a predicate usable for joint
+// column-group lookup (col = v, or col IN (v)).
+const common::Value* EqualityValue(const plan::ScanPredicate& pred) {
+  if (pred.kind == plan::ScanPredicate::Kind::kCompare &&
+      pred.op == plan::CompareOp::kEq) {
+    return &pred.value;
+  }
+  if (pred.kind == plan::ScanPredicate::Kind::kIn &&
+      pred.in_list.size() == 1) {
+    return &pred.in_list[0];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+double CardinalityModel::BaseEstimate(int rel) const {
+  const stats::TableStats* ts = ctx().table_stats(rel);
+  double rows = ts != nullptr
+                    ? ts->row_count
+                    : static_cast<double>(ctx().table(rel).num_rows());
+  std::vector<const plan::ScanPredicate*> preds =
+      ctx().query().FiltersFor(rel);
+  std::vector<bool> handled(preds.size(), false);
+  double sel = 1.0;
+
+  // CORDS correction: greedily pair equality predicates whose columns
+  // have joint group statistics.
+  if (use_column_groups_ && ts != nullptr && !ts->groups.empty()) {
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (handled[i]) continue;
+      const common::Value* vi = EqualityValue(*preds[i]);
+      if (vi == nullptr) continue;
+      for (size_t j = i + 1; j < preds.size(); ++j) {
+        if (handled[j]) continue;
+        const common::Value* vj = EqualityValue(*preds[j]);
+        if (vj == nullptr) continue;
+        const stats::ColumnGroupStats* group = stats::FindGroup(
+            ts->groups, preds[i]->column.col, preds[j]->column.col);
+        if (group == nullptr) continue;
+        // Order values to match the group's (col_a < col_b) layout.
+        const common::Value* va = vi;
+        const common::Value* vb = vj;
+        if (preds[i]->column.col > preds[j]->column.col) std::swap(va, vb);
+        std::optional<double> joint = group->Find(*va, *vb);
+        // A pair absent from the joint MCVs of a strongly-correlated
+        // group is rare: estimate the leftover mass spread uniformly.
+        double joint_sel;
+        if (joint.has_value()) {
+          joint_sel = *joint;
+        } else {
+          double covered = 0.0;
+          for (double f : group->freqs) covered += f;
+          double leftover_pairs = std::max(
+              1.0, group->num_distinct_pairs -
+                       static_cast<double>(group->pairs.size()));
+          joint_sel = std::max(1e-9, (1.0 - covered) / leftover_pairs);
+        }
+        sel *= joint_sel;
+        handled[i] = handled[j] = true;
+        break;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < preds.size(); ++i) {
+    if (handled[i]) continue;
+    const stats::ColumnStats* cs = ctx().column_stats(preds[i]->column);
+    sel *= EstimateFilterSelectivity(*preds[i], cs);  // independence
+  }
+  return rows * sel;
+}
+
+double CardinalityModel::PeelEstimate(plan::RelSet set) {
+  const plan::JoinGraph& graph = ctx().graph();
+
+  // Disconnected subsets: multiply component estimates.
+  if (!graph.IsConnected(set)) {
+    double product = 1.0;
+    plan::RelSet remaining = set;
+    while (!remaining.empty()) {
+      plan::RelSet component = plan::RelSet::Single(remaining.Lowest());
+      while (true) {
+        plan::RelSet grow =
+            graph.NeighborsOf(component).Intersect(remaining);
+        if (grow.empty()) break;
+        component = component.Union(grow);
+      }
+      product *= Cardinality(component);
+      remaining = remaining.Minus(component);
+    }
+    return product;
+  }
+
+  // Peel the highest relation that keeps the rest connected (one always
+  // exists: a connected graph has at least two non-cut vertices). Prefer
+  // peeling relations outside the anchor so known sub-cardinalities stay
+  // intact in the recursion.
+  plan::RelSet anchor = AnchorSubset(set);
+  int peel = -1;
+  std::vector<int> members;
+  for (int r : set.Members()) members.push_back(r);
+  for (bool respect_anchor : {true, false}) {
+    for (auto it = members.rbegin(); it != members.rend(); ++it) {
+      if (respect_anchor && anchor.Contains(*it)) continue;
+      plan::RelSet rest = set.Without(*it);
+      if (rest.count() == 0 || graph.IsConnected(rest)) {
+        peel = *it;
+        break;
+      }
+    }
+    if (peel >= 0) break;
+  }
+  REOPT_CHECK_MSG(peel >= 0, "no peelable relation in connected set");
+
+  plan::RelSet rest = set.Without(peel);
+  double rows = Cardinality(rest) * Cardinality(plan::RelSet::Single(peel));
+  for (const plan::JoinEdge* e :
+       ctx().query().JoinsBetween(rest, plan::RelSet::Single(peel))) {
+    rows *= EstimateJoinEdgeSelectivity(*e, ctx());
+  }
+  return rows;
+}
+
+double EstimatorModel::Compute(plan::RelSet set) {
+  if (set.count() == 1) return BaseEstimate(set.Lowest());
+  return PeelEstimate(set);
+}
+
+double PerfectNModel::Compute(plan::RelSet set) {
+  if (set.count() <= n_) return oracle_->True(set);
+  if (set.count() == 1) return BaseEstimate(set.Lowest());
+  return PeelEstimate(set);
+}
+
+void InjectedModel::Inject(plan::RelSet set, double cardinality) {
+  overrides_[set.bits()] = cardinality;
+  // Corrections change everything computed on top of them.
+  ClearCache();
+}
+
+double InjectedModel::Compute(plan::RelSet set) {
+  auto it = overrides_.find(set.bits());
+  if (it != overrides_.end()) return it->second;
+  return EstimatorModel::Compute(set);
+}
+
+plan::RelSet InjectedModel::AnchorSubset(plan::RelSet set) const {
+  plan::RelSet best;
+  for (const auto& [bits, value] : overrides_) {
+    (void)value;
+    plan::RelSet candidate(bits);
+    if (set.ContainsAll(candidate) && candidate.count() > best.count()) {
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace reopt::optimizer

@@ -1,0 +1,141 @@
+// Cardinality models: the planner asks one of these for the estimated row
+// count of every relation subset it considers. Swapping the model is the
+// paper's experimental lever:
+//   * EstimatorModel      — PostgreSQL-style estimates (the baseline),
+//   * PerfectNModel       — oracle for joins of <= n tables, estimator
+//                           extrapolation above (Sec. III perfect-(n)),
+//   * InjectedModel       — per-subset overrides on top of the estimator
+//                           (Sec. IV-E LEO-style iterative correction).
+// Estimates are memoized per subset; the per-size call counts reproduce
+// Table I.
+#ifndef REOPT_OPTIMIZER_CARDINALITY_MODEL_H_
+#define REOPT_OPTIMIZER_CARDINALITY_MODEL_H_
+
+#include <cstdint>
+#include <map>
+
+#include "optimizer/query_context.h"
+#include "optimizer/true_cardinality.h"
+#include "plan/rel_set.h"
+
+namespace reopt::optimizer {
+
+class CardinalityModel {
+ public:
+  explicit CardinalityModel(const QueryContext* ctx) : ctx_(ctx) {}
+  virtual ~CardinalityModel() = default;
+
+  /// Estimated row count of joining `set` (filters + internal edges
+  /// applied). Memoized; clamped to >= 1 row like PostgreSQL.
+  double Cardinality(plan::RelSet set);
+
+  /// Distinct subsets estimated so far, total and grouped by subset size
+  /// (Table I's "number of estimates on joins of N tables").
+  int64_t num_estimates() const { return num_estimates_; }
+  const std::map<int, int64_t>& estimates_by_size() const {
+    return estimates_by_size_;
+  }
+
+ protected:
+  virtual double Compute(plan::RelSet set) = 0;
+
+  /// A subset of `set` whose cardinality the model knows exactly (injected
+  /// or oracle-backed). PeelEstimate avoids peeling its members so the
+  /// known value anchors the recursion and corrections propagate upward —
+  /// mirroring how PostgreSQL derives a join rel's size from its input
+  /// rels' (possibly corrected) sizes. Empty = no anchor.
+  virtual plan::RelSet AnchorSubset(plan::RelSet set) const {
+    (void)set;
+    return plan::RelSet();
+  }
+
+  /// Default System-R style estimate: peel one relation r off `set` (the
+  /// highest-numbered one keeping the rest connected, preferring relations
+  /// outside AnchorSubset()), then
+  ///   |set| = |set \ r| * |r| * prod(selectivity of edges r <-> rest).
+  /// Sub-cardinalities go through Cardinality(), so a subclass's corrected
+  /// values propagate upward — exactly the perfect-(n) semantics.
+  double PeelEstimate(plan::RelSet set);
+
+  /// Base-relation estimate: row count times the product of filter
+  /// selectivities (the independence assumption). When column-group usage
+  /// is enabled and the table has CORDS-style group statistics, pairs of
+  /// equality predicates on correlated columns use their joint frequency
+  /// instead of the independent product.
+  double BaseEstimate(int rel) const;
+
+ public:
+  /// Enables CORDS-style column-group correction (paper Sec. IV-B).
+  void set_use_column_groups(bool use) { use_column_groups_ = use; }
+  bool use_column_groups() const { return use_column_groups_; }
+
+ protected:
+
+  /// Clears the memo (after injecting overrides).
+  void ClearCache() { cache_.clear(); }
+
+  const QueryContext& ctx() const { return *ctx_; }
+
+ private:
+  const QueryContext* ctx_;
+  std::map<uint64_t, double> cache_;
+  int64_t num_estimates_ = 0;
+  std::map<int, int64_t> estimates_by_size_;
+  bool use_column_groups_ = false;
+};
+
+/// The default PostgreSQL-style estimator.
+class EstimatorModel : public CardinalityModel {
+ public:
+  explicit EstimatorModel(const QueryContext* ctx) : CardinalityModel(ctx) {}
+
+ protected:
+  double Compute(plan::RelSet set) override;
+};
+
+/// Perfect-(n): true cardinalities for subsets of <= n relations, estimator
+/// extrapolation above. Perfect-(0) degenerates to the plain estimator;
+/// perfect-(num_relations) is a full oracle. The oracle is shared (and its
+/// cache reused) across models.
+class PerfectNModel : public CardinalityModel {
+ public:
+  PerfectNModel(const QueryContext* ctx, TrueCardinalityOracle* oracle, int n)
+      : CardinalityModel(ctx), oracle_(oracle), n_(n) {}
+
+  int n() const { return n_; }
+
+ protected:
+  double Compute(plan::RelSet set) override;
+
+ private:
+  TrueCardinalityOracle* oracle_;
+  int n_;
+};
+
+/// Estimator plus per-subset injected true values (LEO-style feedback).
+/// Injected values participate in the peel recursion, so corrections to a
+/// sub-join also shift every estimate above it.
+class InjectedModel : public EstimatorModel {
+ public:
+  explicit InjectedModel(const QueryContext* ctx) : EstimatorModel(ctx) {}
+
+  /// Overrides the estimate for exactly `set`.
+  void Inject(plan::RelSet set, double cardinality);
+  int64_t num_injected() const {
+    return static_cast<int64_t>(overrides_.size());
+  }
+  bool HasInjection(plan::RelSet set) const {
+    return overrides_.count(set.bits()) > 0;
+  }
+
+ protected:
+  double Compute(plan::RelSet set) override;
+  plan::RelSet AnchorSubset(plan::RelSet set) const override;
+
+ private:
+  std::map<uint64_t, double> overrides_;
+};
+
+}  // namespace reopt::optimizer
+
+#endif  // REOPT_OPTIMIZER_CARDINALITY_MODEL_H_

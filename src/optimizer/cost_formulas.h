@@ -1,0 +1,84 @@
+// Operator cost formulas, used twice: by the optimizer with *estimated*
+// cardinalities (plan selection) and by the executor with *actual*
+// cardinalities (runtime charging / simulated time). Header-only pure
+// functions so the executor does not link against the optimizer.
+#ifndef REOPT_OPTIMIZER_COST_FORMULAS_H_
+#define REOPT_OPTIMIZER_COST_FORMULAS_H_
+
+#include "optimizer/cost_params.h"
+
+namespace reopt::optimizer {
+
+/// Full scan of `table_rows` rows evaluating `num_filters` predicates per
+/// row, emitting `out_rows`.
+inline double SeqScanCost(const CostParams& p, double table_rows,
+                          int num_filters, double out_rows) {
+  return p.PagesFor(table_rows) * p.seq_page_cost +
+         table_rows * (p.cpu_tuple_cost +
+                       static_cast<double>(num_filters) * p.cpu_operator_cost) +
+         out_rows * p.cpu_tuple_cost;
+}
+
+/// Hash-index lookup answering an equality/IN predicate that matches
+/// `index_rows` rows, with `num_residual` further predicates per match and
+/// `out_rows` survivors.
+inline double IndexScanCost(const CostParams& p, double index_rows,
+                            int num_residual, double out_rows) {
+  return 2.0 * p.cpu_operator_cost  // hash probe
+         + p.PagesFor(index_rows) * p.random_page_cost +
+         index_rows * (p.cpu_index_tuple_cost +
+                       static_cast<double>(num_residual) * p.cpu_operator_cost) +
+         out_rows * p.cpu_tuple_cost;
+}
+
+/// Hash join: build on `build_rows`, probe with `probe_rows`, emit
+/// `out_rows`.
+inline double HashJoinCost(const CostParams& p, double build_rows,
+                           double probe_rows, double out_rows) {
+  return build_rows *
+             (p.hash_build_factor * p.cpu_operator_cost + p.cpu_tuple_cost) +
+         probe_rows * p.hash_probe_factor * p.cpu_operator_cost +
+         out_rows * p.cpu_tuple_cost;
+}
+
+/// Nested-loop join with a materialized inner: every outer tuple is
+/// compared against every inner tuple. This is the operator that turns a
+/// two-orders-of-magnitude cardinality underestimate into a catastrophic
+/// plan (paper Sec. IV-D, query 18a).
+inline double NestedLoopJoinCost(const CostParams& p, double outer_rows,
+                                 double inner_rows, double out_rows) {
+  return inner_rows * p.cpu_tuple_cost  // materialize inner once
+         + outer_rows * inner_rows * p.cpu_operator_cost +
+         out_rows * p.cpu_tuple_cost;
+}
+
+/// Index nested-loop join: one hash-index probe per outer tuple plus
+/// per-match work; `match_rows` are index matches before residual edges,
+/// `out_rows` after.
+inline double IndexNestedLoopJoinCost(const CostParams& p, double outer_rows,
+                                      double match_rows, int num_residual,
+                                      double out_rows) {
+  return outer_rows * (2.0 * p.cpu_operator_cost +
+                       0.25 * p.random_page_cost)  // probe + fetch
+         + match_rows * (p.cpu_index_tuple_cost +
+                         static_cast<double>(num_residual) * p.cpu_operator_cost) +
+         out_rows * p.cpu_tuple_cost;
+}
+
+/// MIN() aggregation over `in_rows` with `num_outputs` aggregates.
+inline double AggregateCost(const CostParams& p, double in_rows,
+                            int num_outputs) {
+  return in_rows * static_cast<double>(num_outputs) * p.cpu_operator_cost +
+         p.cpu_tuple_cost;
+}
+
+/// Materializing `rows` x `num_cols` into a temp table (the re-optimizer's
+/// CREATE TEMP TABLE ... AS SELECT), including ANALYZE of the result.
+inline double TempWriteCost(const CostParams& p, double rows, int num_cols) {
+  return rows * static_cast<double>(num_cols) * p.temp_write_cost +
+         p.PagesFor(rows) * p.seq_page_cost;
+}
+
+}  // namespace reopt::optimizer
+
+#endif  // REOPT_OPTIMIZER_COST_FORMULAS_H_

@@ -1,0 +1,81 @@
+// The plan enumerator: System-R-style dynamic programming over connected
+// subgraphs (bushy trees, no Cartesian products), with access-path
+// selection (seq vs hash-index scan) and join-algorithm selection (hash
+// join, nested loop, index nested loop). Costs come from cost_formulas.h
+// fed by the supplied CardinalityModel — the single lever all of the
+// paper's experiments pull.
+#ifndef REOPT_OPTIMIZER_PLANNER_H_
+#define REOPT_OPTIMIZER_PLANNER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/status.h"
+#include "optimizer/cardinality_model.h"
+#include "optimizer/cost_params.h"
+#include "optimizer/query_context.h"
+#include "plan/physical_plan.h"
+
+namespace reopt::optimizer {
+
+struct PlannerOptions {
+  bool enable_hash_join = true;
+  bool enable_nested_loop = true;
+  bool enable_index_nested_loop = true;
+  bool enable_index_scan = true;
+  /// If true the root is an Aggregate over the join tree; otherwise the
+  /// bare join tree is returned (used for temp-table subplans).
+  bool add_aggregate = true;
+};
+
+struct PlannerResult {
+  plan::PlanNodePtr root;
+  /// Simulated planning time in cost units: charged per new cardinality
+  /// estimate and per join path costed.
+  double planning_cost_units = 0.0;
+  /// New (not previously memoized) estimates this planning made.
+  int64_t num_estimates = 0;
+  /// Join alternatives costed.
+  int64_t num_paths = 0;
+};
+
+class Planner {
+ public:
+  Planner(const QueryContext* ctx, CardinalityModel* model,
+          const CostParams& params, const PlannerOptions& options = {})
+      : ctx_(ctx), model_(model), params_(params), options_(options) {}
+
+  /// Plans the context's query. Fails only on malformed specs (bind
+  /// validation catches most of those earlier).
+  common::Result<PlannerResult> Plan();
+
+ private:
+  struct Cand {
+    plan::PlanOp op = plan::PlanOp::kSeqScan;
+    double rows = 0.0;   // estimated output rows of the subset
+    double cost = 0.0;   // cumulative estimated cost
+    uint64_t left = 0;   // join children (subset bits)
+    uint64_t right = 0;
+    int rel = -1;                                     // scans
+    const plan::ScanPredicate* index_pred = nullptr;  // kIndexScan
+    const plan::JoinEdge* index_edge = nullptr;       // kIndexNestedLoopJoin
+  };
+
+  void PlanBaseRelation(int rel);
+  void PlanJoins(int64_t* num_paths);
+  /// Considers `outer` joining `inner` (in that role order) and keeps the
+  /// cheapest candidate for the union.
+  void ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
+                    int64_t* num_paths);
+  plan::PlanNodePtr BuildTree(uint64_t bits) const;
+
+  const QueryContext* ctx_;
+  CardinalityModel* model_;
+  CostParams params_;
+  PlannerOptions options_;
+  std::map<uint64_t, Cand> best_;
+};
+
+}  // namespace reopt::optimizer
+
+#endif  // REOPT_OPTIMIZER_PLANNER_H_

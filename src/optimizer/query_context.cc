@@ -1,0 +1,69 @@
+#include "optimizer/query_context.h"
+
+#include "common/string_util.h"
+
+namespace reopt::optimizer {
+
+common::Result<std::unique_ptr<QueryContext>> QueryContext::Bind(
+    const plan::QuerySpec* query, const storage::Catalog* catalog,
+    const stats::StatsCatalog* stats_catalog) {
+  auto ctx = std::unique_ptr<QueryContext>(new QueryContext());
+  ctx->query_ = query;
+
+  if (query->relations.empty()) {
+    return common::Status::InvalidArgument("query has no relations");
+  }
+
+  // Bind tables.
+  for (const plan::RelationRef& ref : query->relations) {
+    const storage::Table* table = catalog->FindTable(ref.table_name);
+    if (table == nullptr) {
+      return common::Status::NotFound("no such table: " + ref.table_name);
+    }
+    ctx->bound_.tables.push_back(table);
+    ctx->rel_stats_.push_back(
+        stats_catalog == nullptr ? nullptr
+                                 : stats_catalog->Find(ref.table_name));
+  }
+
+  auto check_ref = [&](const plan::ColumnRef& ref) -> common::Status {
+    if (ref.rel < 0 || ref.rel >= query->num_relations()) {
+      return common::Status::InvalidArgument("column ref: bad relation");
+    }
+    const storage::Table& table = ctx->bound_.table(ref.rel);
+    if (ref.col < 0 || ref.col >= table.num_columns()) {
+      return common::Status::InvalidArgument(common::StrPrintf(
+          "column ref: no column %d in %s", ref.col, table.name().c_str()));
+    }
+    return common::Status::OK();
+  };
+
+  for (const plan::ScanPredicate& p : query->filters) {
+    REOPT_RETURN_IF_ERROR(check_ref(p.column));
+  }
+  for (const plan::JoinEdge& e : query->joins) {
+    REOPT_RETURN_IF_ERROR(check_ref(e.left));
+    REOPT_RETURN_IF_ERROR(check_ref(e.right));
+    if (ctx->bound_.table(e.left.rel).schema().column(e.left.col).type !=
+            common::DataType::kInt64 ||
+        ctx->bound_.table(e.right.rel).schema().column(e.right.col).type !=
+            common::DataType::kInt64) {
+      return common::Status::InvalidArgument(
+          "join edges must connect INT64 columns");
+    }
+  }
+  for (const plan::OutputExpr& out : query->outputs) {
+    REOPT_RETURN_IF_ERROR(check_ref(out.column));
+  }
+
+  ctx->graph_ = std::make_unique<plan::JoinGraph>(*query);
+  if (query->num_relations() > 1 &&
+      !ctx->graph_->IsConnected(query->AllRelations())) {
+    return common::Status::InvalidArgument(
+        "query join graph is disconnected (Cartesian products are not "
+        "planned, matching the System R heritage)");
+  }
+  return ctx;
+}
+
+}  // namespace reopt::optimizer

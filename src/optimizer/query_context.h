@@ -1,0 +1,59 @@
+// QueryContext: a QuerySpec bound to storage and statistics, with the join
+// graph built. One context per (query, database); reused across repeated
+// plannings (perfect-(n) sweeps, threshold sweeps) so the join-graph
+// connectivity tables and oracle caches amortize.
+#ifndef REOPT_OPTIMIZER_QUERY_CONTEXT_H_
+#define REOPT_OPTIMIZER_QUERY_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/kernel.h"
+#include "plan/join_graph.h"
+#include "plan/query_spec.h"
+#include "stats/stats_catalog.h"
+#include "storage/catalog.h"
+
+namespace reopt::optimizer {
+
+class QueryContext {
+ public:
+  /// Validates and binds `query`: all tables exist, all column references
+  /// are in range, all join edges connect INT64 columns, and the join graph
+  /// is connected. The spec/catalogs must outlive the context.
+  static common::Result<std::unique_ptr<QueryContext>> Bind(
+      const plan::QuerySpec* query, const storage::Catalog* catalog,
+      const stats::StatsCatalog* stats_catalog);
+
+  const plan::QuerySpec& query() const { return *query_; }
+  const plan::JoinGraph& graph() const { return *graph_; }
+  const exec::BoundRelations& bound() const { return bound_; }
+
+  const storage::Table& table(int rel) const { return bound_.table(rel); }
+  /// Statistics for relation `rel`'s table; nullptr if never analyzed.
+  const stats::TableStats* table_stats(int rel) const {
+    return rel_stats_[static_cast<size_t>(rel)];
+  }
+  /// Column statistics behind a column reference; nullptr if unavailable.
+  const stats::ColumnStats* column_stats(const plan::ColumnRef& ref) const {
+    const stats::TableStats* ts = table_stats(ref.rel);
+    if (ts == nullptr ||
+        ref.col >= static_cast<int>(ts->columns.size())) {
+      return nullptr;
+    }
+    return &ts->column(ref.col);
+  }
+
+ private:
+  QueryContext() = default;
+
+  const plan::QuerySpec* query_ = nullptr;
+  std::unique_ptr<plan::JoinGraph> graph_;
+  exec::BoundRelations bound_;
+  std::vector<const stats::TableStats*> rel_stats_;
+};
+
+}  // namespace reopt::optimizer
+
+#endif  // REOPT_OPTIMIZER_QUERY_CONTEXT_H_

@@ -1,0 +1,178 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace reopt::optimizer {
+namespace {
+
+double Clamp(double sel) { return std::clamp(sel, kMinSel, 1.0); }
+
+// Range selectivity P(col <op> value) for an inequality, using MCVs plus
+// histogram, scaled to non-null rows.
+double RangeSelectivity(const plan::ScanPredicate& pred,
+                        const stats::ColumnStats* stats) {
+  if (stats == nullptr || (stats->histogram.empty() && stats->mcv.empty())) {
+    return kDefaultRangeSel;
+  }
+  bool want_below =
+      pred.op == plan::CompareOp::kLt || pred.op == plan::CompareOp::kLe;
+  bool inclusive =
+      pred.op == plan::CompareOp::kLe || pred.op == plan::CompareOp::kGe;
+
+  // MCV contribution: exact check per most-common value.
+  double mcv_part = 0.0;
+  for (int i = 0; i < stats->mcv.size(); ++i) {
+    int cmp = stats->mcv.values[static_cast<size_t>(i)].Compare(pred.value);
+    bool sat = want_below ? (inclusive ? cmp <= 0 : cmp < 0)
+                          : (inclusive ? cmp >= 0 : cmp > 0);
+    if (sat) mcv_part += stats->mcv.freqs[static_cast<size_t>(i)];
+  }
+  // Histogram contribution for the non-MCV mass.
+  double hist_frac;
+  if (stats->histogram.empty()) {
+    hist_frac = kDefaultRangeSel;
+  } else {
+    double below = stats->histogram.FractionBelow(pred.value, inclusive);
+    hist_frac = want_below ? below : 1.0 - below;
+  }
+  return mcv_part + stats->non_mcv_frac * hist_frac;
+}
+
+// LIKE selectivity. A pattern with a literal prefix is estimated as a
+// range over [prefix, prefix~] shrunk per extra pattern segment; a pattern
+// starting with a wildcard gets the fixed default — which is how
+// PostgreSQL (and we) mis-estimate '%Downey%Robert%'-style predicates.
+double LikeSelectivity(const std::string& pattern,
+                       const stats::ColumnStats* stats) {
+  size_t prefix_len = 0;
+  while (prefix_len < pattern.size() && pattern[prefix_len] != '%' &&
+         pattern[prefix_len] != '_') {
+    ++prefix_len;
+  }
+  // Count literal segments after the prefix ("%abc%def" has 2).
+  int extra_segments = 0;
+  bool in_segment = false;
+  for (size_t i = prefix_len; i < pattern.size(); ++i) {
+    if (pattern[i] == '%' || pattern[i] == '_') {
+      in_segment = false;
+    } else if (!in_segment) {
+      ++extra_segments;
+      in_segment = true;
+    }
+  }
+
+  if (prefix_len == 0) {
+    // Un-anchored pattern: no statistics can help; fixed default shrunk a
+    // little per extra literal segment.
+    return kDefaultMatchSel * std::pow(0.5, std::max(0, extra_segments - 1));
+  }
+  if (stats == nullptr || stats->histogram.empty()) {
+    return kDefaultMatchSel;
+  }
+  // Anchored: selectivity of prefix range, shrunk per extra segment.
+  std::string prefix = pattern.substr(0, prefix_len);
+  std::string upper = prefix;
+  upper.push_back('\x7f');
+  double range = stats->histogram.FractionBetween(
+      common::Value::Str(prefix), true, common::Value::Str(upper), false);
+  range *= stats->non_mcv_frac;
+  // MCVs matching the prefix.
+  for (int i = 0; i < stats->mcv.size(); ++i) {
+    const common::Value& v = stats->mcv.values[static_cast<size_t>(i)];
+    if (v.is_string() && common::StartsWith(v.AsString(), prefix)) {
+      range += stats->mcv.freqs[static_cast<size_t>(i)];
+    }
+  }
+  return range * std::pow(0.25, extra_segments);
+}
+
+}  // namespace
+
+double EqualitySelectivity(const common::Value& value,
+                           const stats::ColumnStats* stats) {
+  if (stats == nullptr || stats->num_distinct <= 0.0) return kDefaultEqSel;
+  if (auto freq = stats->mcv.Find(value)) {
+    return Clamp(*freq);
+  }
+  // Uniformity over the non-MCV distinct values.
+  if (stats->non_mcv_distinct > 0.0) {
+    return Clamp(stats->non_mcv_frac / stats->non_mcv_distinct);
+  }
+  return Clamp(1.0 / stats->num_distinct);
+}
+
+double EstimateFilterSelectivity(const plan::ScanPredicate& pred,
+                                 const stats::ColumnStats* stats) {
+  using Kind = plan::ScanPredicate::Kind;
+  double null_frac = stats == nullptr ? 0.0 : stats->null_frac;
+  double non_null = 1.0 - null_frac;
+
+  switch (pred.kind) {
+    case Kind::kCompare:
+      switch (pred.op) {
+        case plan::CompareOp::kEq:
+          return Clamp(EqualitySelectivity(pred.value, stats) * non_null);
+        case plan::CompareOp::kNe:
+          return Clamp(
+              (1.0 - EqualitySelectivity(pred.value, stats)) * non_null);
+        default:
+          return Clamp(RangeSelectivity(pred, stats) * non_null);
+      }
+    case Kind::kIn: {
+      double sum = 0.0;
+      for (const common::Value& v : pred.in_list) {
+        sum += EqualitySelectivity(v, stats);
+      }
+      return Clamp(sum * non_null);
+    }
+    case Kind::kLike:
+      return Clamp(LikeSelectivity(pred.value.AsString(), stats) * non_null);
+    case Kind::kNotLike:
+      return Clamp(
+          (1.0 - LikeSelectivity(pred.value.AsString(), stats)) * non_null);
+    case Kind::kBetween: {
+      if (stats == nullptr ||
+          (stats->histogram.empty() && stats->mcv.empty())) {
+        return Clamp(kDefaultRangeSel * kDefaultRangeSel);
+      }
+      double mcv_part = 0.0;
+      for (int i = 0; i < stats->mcv.size(); ++i) {
+        const common::Value& v = stats->mcv.values[static_cast<size_t>(i)];
+        if (v >= pred.value && v <= pred.value2) {
+          mcv_part += stats->mcv.freqs[static_cast<size_t>(i)];
+        }
+      }
+      double hist = stats->histogram.empty()
+                        ? kDefaultRangeSel
+                        : stats->histogram.FractionBetween(
+                              pred.value, true, pred.value2, true);
+      return Clamp((mcv_part + stats->non_mcv_frac * hist) * non_null);
+    }
+    case Kind::kIsNull:
+      return Clamp(null_frac);
+    case Kind::kIsNotNull:
+      return Clamp(non_null);
+  }
+  return kDefaultEqSel;
+}
+
+double EstimateJoinEdgeSelectivity(const plan::JoinEdge& edge,
+                                   const QueryContext& ctx) {
+  const stats::ColumnStats* left = ctx.column_stats(edge.left);
+  const stats::ColumnStats* right = ctx.column_stats(edge.right);
+  double ndv_left = left == nullptr ? 0.0 : left->num_distinct;
+  double ndv_right = right == nullptr ? 0.0 : right->num_distinct;
+  double ndv = std::max(ndv_left, ndv_right);
+  if (ndv <= 0.0) {
+    // No statistics on either side: PostgreSQL falls back to a default.
+    return kDefaultEqSel;
+  }
+  double non_null_left = left == nullptr ? 1.0 : 1.0 - left->null_frac;
+  double non_null_right = right == nullptr ? 1.0 : 1.0 - right->null_frac;
+  return Clamp(non_null_left * non_null_right / ndv);
+}
+
+}  // namespace reopt::optimizer

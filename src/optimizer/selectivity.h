@@ -1,0 +1,42 @@
+// PostgreSQL-style selectivity estimation. This module embodies exactly
+// the simplifying assumptions the paper blames for catastrophic plans:
+//   * independence across predicates (selectivities multiply),
+//   * uniformity outside the MCV list,
+//   * join selectivity 1/max(ndv) from *base-table* statistics,
+//   * fixed defaults for unestimatable predicates (un-anchored LIKE).
+#ifndef REOPT_OPTIMIZER_SELECTIVITY_H_
+#define REOPT_OPTIMIZER_SELECTIVITY_H_
+
+#include "optimizer/query_context.h"
+#include "plan/query_spec.h"
+#include "stats/column_stats.h"
+
+namespace reopt::optimizer {
+
+/// Default selectivities used when statistics cannot answer (PostgreSQL's
+/// DEFAULT_EQ_SEL / DEFAULT_MATCH_SEL / DEFAULT_INEQ_SEL analogues).
+inline constexpr double kDefaultEqSel = 0.005;
+inline constexpr double kDefaultMatchSel = 0.005;
+inline constexpr double kDefaultRangeSel = 0.3333;
+
+/// Selectivity floor/ceiling applied to every estimate.
+inline constexpr double kMinSel = 1e-9;
+
+/// Estimated fraction of rows satisfying one filter predicate.
+/// `stats` may be null (falls back to defaults).
+double EstimateFilterSelectivity(const plan::ScanPredicate& pred,
+                                 const stats::ColumnStats* stats);
+
+/// Estimated selectivity of one equi-join edge, from base-table column
+/// statistics on both sides: (1-nullfrac_l)(1-nullfrac_r) / max(ndv_l,
+/// ndv_r) — PostgreSQL's eqjoinsel without MCV refinement.
+double EstimateJoinEdgeSelectivity(const plan::JoinEdge& edge,
+                                   const QueryContext& ctx);
+
+/// Selectivity of an equality match against a specific value.
+double EqualitySelectivity(const common::Value& value,
+                           const stats::ColumnStats* stats);
+
+}  // namespace reopt::optimizer
+
+#endif  // REOPT_OPTIMIZER_SELECTIVITY_H_

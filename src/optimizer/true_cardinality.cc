@@ -1,0 +1,203 @@
+#include "optimizer/true_cardinality.h"
+
+#include "common/check.h"
+#include "exec/kernel.h"
+
+namespace reopt::optimizer {
+
+double TrueCardinalityOracle::True(plan::RelSet set) {
+  REOPT_CHECK(!set.empty());
+  auto it = cache_.find(set.bits());
+  if (it != cache_.end()) return it->second;
+  double count = Compute(set);
+  cache_[set.bits()] = count;
+  ++num_computed_;
+  return count;
+}
+
+void TrueCardinalityOracle::ReleaseScratch() {
+  filtered_.clear();
+  weights_.clear();
+}
+
+void TrueCardinalityOracle::Preload(const std::map<uint64_t, double>& counts) {
+  for (const auto& [bits, count] : counts) cache_[bits] = count;
+}
+
+double TrueCardinalityOracle::Compute(plan::RelSet set) {
+  // Disconnected sets multiply component counts (Cartesian semantics).
+  const plan::JoinGraph& graph = ctx_->graph();
+  double product = 1.0;
+  plan::RelSet remaining = set;
+  while (!remaining.empty()) {
+    plan::RelSet component = plan::RelSet::Single(remaining.Lowest());
+    while (true) {
+      plan::RelSet grow = graph.NeighborsOf(component).Intersect(remaining);
+      if (grow.empty()) break;
+      component = component.Union(grow);
+    }
+    if (component == set) return ComputeConnected(set);
+    product *= True(component);
+    remaining = remaining.Minus(component);
+    if (product == 0.0) return 0.0;
+  }
+  return product;
+}
+
+double TrueCardinalityOracle::ComputeConnected(plan::RelSet set) {
+  if (set.count() == 1) {
+    return static_cast<double>(FilteredRows(set.Lowest()).size());
+  }
+  if (IsTreeSubset(set)) {
+    return FactorizedCount(set);
+  }
+  // Cyclic subset: exact hash-join materialization.
+  return exec::ExactJoinCount(ctx_->query(), set, ctx_->bound());
+}
+
+bool TrueCardinalityOracle::IsTreeSubset(plan::RelSet set) const {
+  int edges = 0;
+  for (const plan::JoinEdge& e : ctx_->query().joins) {
+    if (set.ContainsAll(e.Relations())) ++edges;
+  }
+  return edges == set.count() - 1;
+}
+
+const std::vector<common::RowIdx>& TrueCardinalityOracle::FilteredRows(
+    int rel) {
+  if (filtered_.size() < static_cast<size_t>(ctx_->query().num_relations())) {
+    filtered_.resize(static_cast<size_t>(ctx_->query().num_relations()));
+  }
+  auto& slot = filtered_[static_cast<size_t>(rel)];
+  if (slot == nullptr) {
+    slot = std::make_unique<std::vector<common::RowIdx>>(exec::FilterScan(
+        ctx_->table(rel), ctx_->query().FiltersFor(rel)));
+  }
+  return *slot;
+}
+
+namespace {
+
+/// One child edge of `rel` within a subtree: the neighbor relation, the
+/// column of `rel` on this edge, and the neighbor's key column.
+struct ChildEdge {
+  int child;
+  common::ColumnIdx my_col;
+  common::ColumnIdx child_col;
+  plan::RelSet child_subtree;
+};
+
+// Component of `within` containing `start` (graph restricted to `within`).
+plan::RelSet ComponentOf(const plan::JoinGraph& graph, int start,
+                         plan::RelSet within) {
+  plan::RelSet component = plan::RelSet::Single(start);
+  while (true) {
+    plan::RelSet grow = graph.NeighborsOf(component).Intersect(within);
+    if (grow.empty()) break;
+    component = component.Union(grow);
+  }
+  return component;
+}
+
+// Child edges of `rel` inside `subtree` (which contains rel), excluding the
+// edge back to `parent` (-1 for the root).
+std::vector<ChildEdge> ChildEdgesOf(const QueryContext& ctx, int rel,
+                                    plan::RelSet subtree, int parent) {
+  std::vector<ChildEdge> out;
+  plan::RelSet rest = subtree.Without(rel);
+  for (const plan::JoinEdge& e : ctx.query().joins) {
+    int other;
+    common::ColumnIdx my_col;
+    common::ColumnIdx other_col;
+    if (e.left.rel == rel) {
+      other = e.right.rel;
+      my_col = e.left.col;
+      other_col = e.right.col;
+    } else if (e.right.rel == rel) {
+      other = e.left.rel;
+      my_col = e.right.col;
+      other_col = e.left.col;
+    } else {
+      continue;
+    }
+    if (other == parent || !subtree.Contains(other)) continue;
+    ChildEdge ce;
+    ce.child = other;
+    ce.my_col = my_col;
+    ce.child_col = other_col;
+    ce.child_subtree = ComponentOf(ctx.graph(), other, rest);
+    out.push_back(ce);
+  }
+  return out;
+}
+
+}  // namespace
+
+double TrueCardinalityOracle::FactorizedCount(plan::RelSet set) {
+  int root = set.Lowest();
+  std::vector<ChildEdge> children = ChildEdgesOf(*ctx_, root, set, -1);
+  // Resolve child weight maps first (SubtreeWeights may recurse and we hold
+  // pointers into the memo map, which is node-stable).
+  std::vector<const WeightMap*> maps;
+  maps.reserve(children.size());
+  for (const ChildEdge& ce : children) {
+    maps.push_back(
+        &SubtreeWeights(ce.child, ce.child_col, ce.child_subtree, root));
+  }
+  const storage::Table& table = ctx_->table(root);
+  double total = 0.0;
+  for (common::RowIdx row : FilteredRows(root)) {
+    double w = 1.0;
+    for (size_t i = 0; i < children.size() && w != 0.0; ++i) {
+      const storage::Column& col = table.column(children[i].my_col);
+      if (col.IsNull(row)) {
+        w = 0.0;
+        break;
+      }
+      auto it = maps[i]->find(col.GetInt(row));
+      w = it == maps[i]->end() ? 0.0 : w * it->second;
+    }
+    total += w;
+  }
+  return total;
+}
+
+const TrueCardinalityOracle::WeightMap& TrueCardinalityOracle::SubtreeWeights(
+    int rel, common::ColumnIdx key_col, plan::RelSet subtree, int parent_rel) {
+  auto key = std::make_tuple(rel, key_col, subtree.bits());
+  auto it = weights_.find(key);
+  if (it != weights_.end()) return *it->second;
+
+  std::vector<ChildEdge> children =
+      ChildEdgesOf(*ctx_, rel, subtree, parent_rel);
+  std::vector<const WeightMap*> maps;
+  maps.reserve(children.size());
+  for (const ChildEdge& ce : children) {
+    maps.push_back(
+        &SubtreeWeights(ce.child, ce.child_col, ce.child_subtree, rel));
+  }
+
+  auto result = std::make_unique<WeightMap>();
+  const storage::Table& table = ctx_->table(rel);
+  const storage::Column& key_column = table.column(key_col);
+  for (common::RowIdx row : FilteredRows(rel)) {
+    if (key_column.IsNull(row)) continue;
+    double w = 1.0;
+    for (size_t i = 0; i < children.size() && w != 0.0; ++i) {
+      const storage::Column& col = table.column(children[i].my_col);
+      if (col.IsNull(row)) {
+        w = 0.0;
+        break;
+      }
+      auto cit = maps[i]->find(col.GetInt(row));
+      w = cit == maps[i]->end() ? 0.0 : w * cit->second;
+    }
+    if (w != 0.0) (*result)[key_column.GetInt(row)] += w;
+  }
+
+  const WeightMap& ref = *result;
+  weights_[key] = std::move(result);
+  return ref;
+}
+
+}  // namespace reopt::optimizer

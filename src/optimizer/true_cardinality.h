@@ -1,0 +1,78 @@
+// The true-cardinality oracle: exact row counts of sub-joins, used by
+// perfect-(n) models (Sec. III), by the re-optimization trigger (Sec. V-A,
+// standing in for the actual counts EXPLAIN ANALYZE reports), and by the
+// LEO-style iterative-correction experiment (Sec. IV-E).
+//
+// Counts are computed lazily and memoized per (query, relation subset).
+// Tree-shaped sub-joins (the common JOB case) are counted in time linear
+// in the base data via factorized (Yannakakis-style) counting without ever
+// materializing the join; cyclic subsets fall back to hash-join
+// materialization.
+#ifndef REOPT_OPTIMIZER_TRUE_CARDINALITY_H_
+#define REOPT_OPTIMIZER_TRUE_CARDINALITY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/query_context.h"
+#include "plan/rel_set.h"
+
+namespace reopt::optimizer {
+
+/// Per-query oracle. The context must outlive the oracle.
+class TrueCardinalityOracle {
+ public:
+  explicit TrueCardinalityOracle(const QueryContext* ctx) : ctx_(ctx) {}
+
+  /// Exact cardinality of joining `set` with all filters and internal join
+  /// edges applied.
+  double True(plan::RelSet set);
+
+  /// Number of counts computed (excluding cache hits).
+  int64_t num_computed() const { return num_computed_; }
+  /// Number of cached entries.
+  int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
+
+  /// Releases the factorized-counting scratch memory (weight maps and
+  /// filtered base rows), keeping the count cache. Call between queries.
+  void ReleaseScratch();
+
+  /// Pre-populates count cache entries (from a disk cache).
+  void Preload(const std::map<uint64_t, double>& counts);
+  /// Snapshot of the count cache (for a disk cache).
+  const std::map<uint64_t, double>& counts() const { return cache_; }
+
+ private:
+  using WeightMap = std::unordered_map<int64_t, double>;
+
+  double Compute(plan::RelSet set);
+  double ComputeConnected(plan::RelSet set);
+  /// True if every relation pair in `set` is linked by at most one edge and
+  /// the edge count equals |set|-1 (a join tree).
+  bool IsTreeSubset(plan::RelSet set) const;
+  double FactorizedCount(plan::RelSet set);
+  /// Weight map of `rel`'s subtree (within `subtree`), keyed by `rel`'s
+  /// value in `key_col`; `subtree` must contain `rel` and be connected.
+  const WeightMap& SubtreeWeights(int rel, common::ColumnIdx key_col,
+                                  plan::RelSet subtree, int parent_rel);
+  const std::vector<common::RowIdx>& FilteredRows(int rel);
+
+  const QueryContext* ctx_;
+  int64_t num_computed_ = 0;
+  std::map<uint64_t, double> cache_;
+
+  // Scratch (released by ReleaseScratch): filtered base rows per relation
+  // and memoized subtree weight maps keyed by (rel, key_col, subtree bits).
+  std::vector<std::unique_ptr<std::vector<common::RowIdx>>> filtered_;
+  std::map<std::tuple<int, common::ColumnIdx, uint64_t>,
+           std::unique_ptr<WeightMap>>
+      weights_;
+};
+
+}  // namespace reopt::optimizer
+
+#endif  // REOPT_OPTIMIZER_TRUE_CARDINALITY_H_

@@ -1,0 +1,93 @@
+#include "plan/join_graph.h"
+
+#include "common/check.h"
+
+namespace reopt::plan {
+
+JoinGraph::JoinGraph(const QuerySpec& query)
+    : num_relations_(query.num_relations()),
+      neighbors_(static_cast<size_t>(query.num_relations())) {
+  REOPT_CHECK_MSG(num_relations_ <= 22,
+                  "join graph connectivity tables support <= 22 relations");
+  for (const JoinEdge& e : query.joins) {
+    neighbors_[static_cast<size_t>(e.left.rel)] =
+        neighbors_[static_cast<size_t>(e.left.rel)].With(e.right.rel);
+    neighbors_[static_cast<size_t>(e.right.rel)] =
+        neighbors_[static_cast<size_t>(e.right.rel)].With(e.left.rel);
+  }
+}
+
+RelSet JoinGraph::NeighborsOf(RelSet set) const {
+  RelSet out;
+  for (int r : set.Members()) {
+    out = out.Union(Neighbors(r));
+  }
+  return out.Minus(set);
+}
+
+bool JoinGraph::IsConnected(RelSet set) const {
+  if (set.empty()) return false;
+  if (set.count() == 1) return true;
+  // Expand from the lowest member until a fixpoint; connected iff we reach
+  // the whole set.
+  RelSet reached = RelSet::Single(set.Lowest());
+  while (true) {
+    RelSet frontier;
+    for (int r : reached.Members()) {
+      frontier = frontier.Union(Neighbors(r));
+    }
+    RelSet next = reached.Union(frontier.Intersect(set));
+    if (next == reached) break;
+    reached = next;
+  }
+  return reached == set;
+}
+
+void JoinGraph::EnsureConnectivityComputed() const {
+  if (!connected_bitmap_.empty()) return;
+  size_t total = size_t{1} << num_relations_;
+  connected_bitmap_.assign(total, 0);
+  connected_subsets_.clear();
+  for (uint64_t bits = 1; bits < total; ++bits) {
+    RelSet set(bits);
+    if (IsConnected(set)) {
+      connected_bitmap_[bits] = 1;
+      connected_subsets_.push_back(set);
+    }
+  }
+}
+
+const std::vector<RelSet>& JoinGraph::ConnectedSubsets() const {
+  EnsureConnectivityComputed();
+  return connected_subsets_;
+}
+
+const std::vector<CsgCmpPair>& JoinGraph::ConnectedPairs() const {
+  EnsureConnectivityComputed();
+  if (!connected_pairs_.empty() || num_relations_ < 2) {
+    return connected_pairs_;
+  }
+  for (RelSet s : connected_subsets_) {
+    if (s.count() < 2) continue;
+    uint64_t low_bit = uint64_t{1} << s.Lowest();
+    uint64_t rest = s.bits() & ~low_bit;
+    // Enumerate submasks s1 of s that contain the lowest bit (so each
+    // unordered partition appears exactly once).
+    for (uint64_t sub = rest;; sub = (sub - 1) & rest) {
+      uint64_t left_bits = sub | low_bit;
+      uint64_t right_bits = s.bits() & ~left_bits;
+      if (right_bits != 0 && connected_bitmap_[left_bits] &&
+          connected_bitmap_[right_bits]) {
+        RelSet left(left_bits);
+        RelSet right(right_bits);
+        if (NeighborsOf(left).Intersects(right)) {
+          connected_pairs_.push_back(CsgCmpPair{left, right});
+        }
+      }
+      if (sub == 0) break;
+    }
+  }
+  return connected_pairs_;
+}
+
+}  // namespace reopt::plan

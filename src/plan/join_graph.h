@@ -1,0 +1,62 @@
+// The query's join graph: relations as nodes, equi-join edges. Provides the
+// connectivity machinery the DP enumerator and the true-cardinality oracle
+// need, including a memoized enumeration of connected-subset /
+// connected-complement pairs (csg-cmp pairs).
+#ifndef REOPT_PLAN_JOIN_GRAPH_H_
+#define REOPT_PLAN_JOIN_GRAPH_H_
+
+#include <vector>
+
+#include "plan/query_spec.h"
+#include "plan/rel_set.h"
+
+namespace reopt::plan {
+
+/// A pair (left, right) of disjoint, individually-connected relation sets
+/// with at least one join edge between them. The DP considers joining the
+/// two sides for the combined set left ∪ right.
+struct CsgCmpPair {
+  RelSet left;
+  RelSet right;
+};
+
+class JoinGraph {
+ public:
+  explicit JoinGraph(const QuerySpec& query);
+
+  int num_relations() const { return num_relations_; }
+
+  /// Relations adjacent to `rel`.
+  RelSet Neighbors(int rel) const {
+    return neighbors_[static_cast<size_t>(rel)];
+  }
+
+  /// Relations adjacent to any member of `set` (excluding `set` itself).
+  RelSet NeighborsOf(RelSet set) const;
+
+  /// True if the induced subgraph on `set` is connected (singletons are
+  /// connected; the empty set is not).
+  bool IsConnected(RelSet set) const;
+
+  /// All connected subsets of the full relation set, ascending by bits.
+  /// Computed lazily and cached.
+  const std::vector<RelSet>& ConnectedSubsets() const;
+
+  /// All csg-cmp pairs, grouped by their union; within one union the pairs
+  /// are deduplicated so (A,B) appears once (not also as (B,A)).
+  /// Computed lazily and cached; reused across repeated plannings of the
+  /// same query (perfect-(n) sweeps, threshold sweeps).
+  const std::vector<CsgCmpPair>& ConnectedPairs() const;
+
+ private:
+  int num_relations_;
+  std::vector<RelSet> neighbors_;
+  mutable std::vector<RelSet> connected_subsets_;      // lazy
+  mutable std::vector<CsgCmpPair> connected_pairs_;    // lazy
+  mutable std::vector<uint8_t> connected_bitmap_;      // lazy, 2^n entries
+  void EnsureConnectivityComputed() const;
+};
+
+}  // namespace reopt::plan
+
+#endif  // REOPT_PLAN_JOIN_GRAPH_H_

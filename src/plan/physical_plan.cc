@@ -1,0 +1,93 @@
+#include "plan/physical_plan.h"
+
+#include "common/string_util.h"
+
+namespace reopt::plan {
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kSeqScan:
+      return "SeqScan";
+    case PlanOp::kIndexScan:
+      return "IndexScan";
+    case PlanOp::kHashJoin:
+      return "HashJoin";
+    case PlanOp::kNestedLoopJoin:
+      return "NestedLoop";
+    case PlanOp::kIndexNestedLoopJoin:
+      return "IndexNestedLoop";
+    case PlanOp::kAggregate:
+      return "Aggregate";
+    case PlanOp::kTempWrite:
+      return "TempWrite";
+  }
+  return "?";
+}
+
+double PlanNode::SubtreeChargedCost() const {
+  double total = 0.0;
+  PostOrderConst([&total](const PlanNode* n) { total += n->charged_cost; });
+  return total;
+}
+
+PlanNodePtr ClonePlan(const PlanNode& node) {
+  auto copy = std::make_unique<PlanNode>();
+  copy->op = node.op;
+  copy->rels = node.rels;
+  copy->est_rows = node.est_rows;
+  copy->est_cost = node.est_cost;
+  copy->scan_rel = node.scan_rel;
+  copy->filters = node.filters;
+  copy->index_pred = node.index_pred;
+  copy->edges = node.edges;
+  copy->index_edge = node.index_edge;
+  copy->temp_table_name = node.temp_table_name;
+  copy->temp_columns = node.temp_columns;
+  if (node.left) copy->left = ClonePlan(*node.left);
+  if (node.right) copy->right = ClonePlan(*node.right);
+  return copy;
+}
+
+namespace {
+
+void ExplainNode(const PlanNode& node, const QuerySpec& query, int depth,
+                 std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(PlanOpName(node.op));
+  if (node.is_scan()) {
+    const RelationRef& rel =
+        query.relations[static_cast<size_t>(node.scan_rel)];
+    out->append(common::StrPrintf(" %s AS %s", rel.table_name.c_str(),
+                                  rel.alias.c_str()));
+    if (!node.filters.empty()) {
+      out->append(
+          common::StrPrintf(" (%d filters)",
+                            static_cast<int>(node.filters.size())));
+    }
+  } else if (node.is_join()) {
+    out->append(common::StrPrintf(" on %d edge(s)",
+                                  static_cast<int>(node.edges.size())));
+  } else if (node.op == PlanOp::kTempWrite) {
+    out->append(" -> ");
+    out->append(node.temp_table_name);
+  }
+  out->append(common::StrPrintf("  (est_rows=%.0f est_cost=%.1f",
+                                node.est_rows, node.est_cost));
+  if (node.actual_rows >= 0.0) {
+    out->append(common::StrPrintf(" actual_rows=%.0f charged=%.1f",
+                                  node.actual_rows, node.charged_cost));
+  }
+  out->append(")\n");
+  if (node.left) ExplainNode(*node.left, query, depth + 1, out);
+  if (node.right) ExplainNode(*node.right, query, depth + 1, out);
+}
+
+}  // namespace
+
+std::string ExplainPlan(const PlanNode& root, const QuerySpec& query) {
+  std::string out;
+  ExplainNode(root, query, 0, &out);
+  return out;
+}
+
+}  // namespace reopt::plan

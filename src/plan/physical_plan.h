@@ -1,0 +1,109 @@
+// Physical plan trees produced by the optimizer and consumed by the
+// executor. Nodes carry the optimizer's cardinality/cost estimates and,
+// after execution, the actual row counts and charged runtime — the
+// EXPLAIN ANALYZE view the re-optimizer compares against.
+#ifndef REOPT_PLAN_PHYSICAL_PLAN_H_
+#define REOPT_PLAN_PHYSICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "plan/query_spec.h"
+#include "plan/rel_set.h"
+
+namespace reopt::plan {
+
+enum class PlanOp {
+  kSeqScan,
+  kIndexScan,            // equality predicate looked up in a hash index
+  kHashJoin,             // left child = build side, right child = probe side
+  kNestedLoopJoin,       // left child = outer, right child = inner
+  kIndexNestedLoopJoin,  // left child = outer; inner base rel probed by index
+  kAggregate,            // MIN() outputs over the single child
+  kTempWrite,            // materialize child into a temp table (re-optimizer)
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// One node of a physical plan. Plain struct: the optimizer fills the shape
+/// and estimates; the executor fills the `actual_*` fields.
+struct PlanNode {
+  PlanOp op;
+  /// Base relations (positions in the QuerySpec) covered by this subtree.
+  RelSet rels;
+
+  // ---- Optimizer estimates --------------------------------------------
+  double est_rows = 0.0;  // estimated output rows of this node
+  double est_cost = 0.0;  // cumulative estimated cost (this + children)
+
+  // ---- Children --------------------------------------------------------
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+
+  // ---- Scan fields (kSeqScan / kIndexScan) ------------------------------
+  int scan_rel = -1;
+  /// Filters applied during the scan (all of the relation's filters).
+  std::vector<const ScanPredicate*> filters;
+  /// kIndexScan: the equality/IN predicate answered by the index.
+  const ScanPredicate* index_pred = nullptr;
+
+  // ---- Join fields ------------------------------------------------------
+  /// Equi-join edges applied at this node (all edges connecting the two
+  /// sides).
+  std::vector<const JoinEdge*> edges;
+  /// kIndexNestedLoopJoin: the edge whose inner-side column is probed via
+  /// the inner relation's hash index (must be one of `edges`; the rest are
+  /// evaluated as residual conditions). The inner relation is
+  /// right->scan_rel and right must be a scan node.
+  const JoinEdge* index_edge = nullptr;
+
+  // ---- TempWrite fields -------------------------------------------------
+  std::string temp_table_name;
+  /// Columns (of the covered relations) to materialize.
+  std::vector<ColumnRef> temp_columns;
+
+  // ---- Execution actuals (filled by the executor) -----------------------
+  double actual_rows = -1.0;   // -1 = not executed
+  double charged_cost = 0.0;   // this node only, in cost units
+
+  bool is_scan() const {
+    return op == PlanOp::kSeqScan || op == PlanOp::kIndexScan;
+  }
+  bool is_join() const {
+    return op == PlanOp::kHashJoin || op == PlanOp::kNestedLoopJoin ||
+           op == PlanOp::kIndexNestedLoopJoin;
+  }
+
+  /// Total charged cost of this subtree.
+  double SubtreeChargedCost() const;
+
+  /// Applies `fn` to every node, children before parents.
+  template <typename Fn>
+  void PostOrder(Fn&& fn) {
+    if (left) left->PostOrder(fn);
+    if (right) right->PostOrder(fn);
+    fn(this);
+  }
+  template <typename Fn>
+  void PostOrderConst(Fn&& fn) const {
+    if (left) left->PostOrderConst(fn);
+    if (right) right->PostOrderConst(fn);
+    fn(this);
+  }
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// Deep copy of a plan subtree (actuals reset). Predicate/edge pointers
+/// still reference the originating QuerySpec.
+PlanNodePtr ClonePlan(const PlanNode& node);
+
+/// Renders the plan tree, one node per line, EXPLAIN-style. When actuals
+/// are present they are shown next to the estimates.
+std::string ExplainPlan(const PlanNode& root, const QuerySpec& query);
+
+}  // namespace reopt::plan
+
+#endif  // REOPT_PLAN_PHYSICAL_PLAN_H_

@@ -1,0 +1,139 @@
+#include "plan/query_spec.h"
+
+#include "common/string_util.h"
+
+namespace reopt::plan {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string RelSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int r : Members()) {
+    if (!first) out += ",";
+    out += std::to_string(r);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<const ScanPredicate*> QuerySpec::FiltersFor(int rel) const {
+  std::vector<const ScanPredicate*> out;
+  for (const ScanPredicate& p : filters) {
+    if (p.column.rel == rel) out.push_back(&p);
+  }
+  return out;
+}
+
+std::vector<const JoinEdge*> QuerySpec::JoinsWithin(RelSet set) const {
+  std::vector<const JoinEdge*> out;
+  for (const JoinEdge& e : joins) {
+    if (set.ContainsAll(e.Relations())) out.push_back(&e);
+  }
+  return out;
+}
+
+std::vector<const JoinEdge*> QuerySpec::JoinsBetween(RelSet left,
+                                                     RelSet right) const {
+  std::vector<const JoinEdge*> out;
+  for (const JoinEdge& e : joins) {
+    bool l_in_left = left.Contains(e.left.rel);
+    bool r_in_right = right.Contains(e.right.rel);
+    bool l_in_right = right.Contains(e.left.rel);
+    bool r_in_left = left.Contains(e.right.rel);
+    if ((l_in_left && r_in_right) || (l_in_right && r_in_left)) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string ColumnRefToString(const QuerySpec& q, const ColumnRef& c) {
+  const std::string& alias = q.relations[static_cast<size_t>(c.rel)].alias;
+  if (!c.name.empty()) {
+    return common::StrPrintf("%s.%s", alias.c_str(), c.name.c_str());
+  }
+  return common::StrPrintf("%s.#%d", alias.c_str(), c.col);
+}
+
+std::string PredicateToString(const QuerySpec& q, const ScanPredicate& p) {
+  std::string col = ColumnRefToString(q, p.column);
+  switch (p.kind) {
+    case ScanPredicate::Kind::kCompare:
+      return col + " " + CompareOpName(p.op) + " " + p.value.ToString();
+    case ScanPredicate::Kind::kIn: {
+      std::string out = col + " IN (";
+      for (size_t i = 0; i < p.in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += p.in_list[i].ToString();
+      }
+      return out + ")";
+    }
+    case ScanPredicate::Kind::kLike:
+      return col + " LIKE " + p.value.ToString();
+    case ScanPredicate::Kind::kNotLike:
+      return col + " NOT LIKE " + p.value.ToString();
+    case ScanPredicate::Kind::kBetween:
+      return col + " BETWEEN " + p.value.ToString() + " AND " +
+             p.value2.ToString();
+    case ScanPredicate::Kind::kIsNull:
+      return col + " IS NULL";
+    case ScanPredicate::Kind::kIsNotNull:
+      return col + " IS NOT NULL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string QuerySpec::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (i > 0) out += ", ";
+    const OutputExpr& e = outputs[i];
+    std::string col = ColumnRefToString(*this, e.column);
+    out += e.min_agg ? ("MIN(" + col + ")") : col;
+    if (!e.label.empty()) out += " AS " + e.label;
+  }
+  out += "\nFROM ";
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += relations[i].table_name + " AS " + relations[i].alias;
+  }
+  out += "\nWHERE ";
+  bool first = true;
+  for (const ScanPredicate& p : filters) {
+    if (!first) out += "\n  AND ";
+    out += PredicateToString(*this, p);
+    first = false;
+  }
+  for (const JoinEdge& e : joins) {
+    if (!first) out += "\n  AND ";
+    out += ColumnRefToString(*this, e.left) + " = " +
+           ColumnRefToString(*this, e.right);
+    first = false;
+  }
+  out += ";";
+  return out;
+}
+
+}  // namespace reopt::plan

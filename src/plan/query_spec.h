@@ -1,0 +1,109 @@
+// The logical representation of a select-project-join query: relations
+// (with aliases), single-table filter predicates, equi-join edges, and a
+// MIN() output list — exactly the JOB query class. Produced either by the
+// SQL binder or programmatically by the workload generator; consumed by the
+// optimizer and rewritten by the re-optimizer.
+#ifndef REOPT_PLAN_QUERY_SPEC_H_
+#define REOPT_PLAN_QUERY_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+#include "plan/rel_set.h"
+
+namespace reopt::plan {
+
+/// One FROM-list entry: a base (or temp) table with an alias.
+struct RelationRef {
+  std::string table_name;
+  std::string alias;
+};
+
+/// A column of one of the query's relations, by relation position and
+/// column index within that relation's schema. `name` is display-only
+/// metadata (rendering, temp-table schemas) and does not participate in
+/// equality.
+struct ColumnRef {
+  int rel = -1;
+  common::ColumnIdx col = common::kInvalidColumnIdx;
+  std::string name;
+
+  bool operator==(const ColumnRef& other) const {
+    return rel == other.rel && col == other.col;
+  }
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+/// A single-table filter predicate.
+struct ScanPredicate {
+  enum class Kind {
+    kCompare,   // col <op> literal
+    kIn,        // col IN (v1, v2, ...)
+    kLike,      // col LIKE pattern
+    kNotLike,   // col NOT LIKE pattern
+    kBetween,   // col BETWEEN lo AND hi (inclusive)
+    kIsNull,    // col IS NULL
+    kIsNotNull  // col IS NOT NULL
+  };
+
+  ColumnRef column;
+  Kind kind = Kind::kCompare;
+  CompareOp op = CompareOp::kEq;       // kCompare only
+  common::Value value;                 // kCompare literal / LIKE pattern /
+                                       // BETWEEN lower bound
+  common::Value value2;                // BETWEEN upper bound
+  std::vector<common::Value> in_list;  // kIn only
+};
+
+/// An equi-join edge between two relations' columns.
+struct JoinEdge {
+  ColumnRef left;
+  ColumnRef right;
+
+  /// The set {left.rel, right.rel}.
+  RelSet Relations() const {
+    return RelSet::Single(left.rel).Union(RelSet::Single(right.rel));
+  }
+};
+
+/// One SELECT-list item: MIN(col) AS label (JOB outputs are all MIN), or a
+/// plain column when `min_agg` is false (used for temp-table materialization
+/// where raw columns are projected).
+struct OutputExpr {
+  ColumnRef column;
+  bool min_agg = true;
+  std::string label;
+};
+
+/// A complete SPJ query.
+struct QuerySpec {
+  std::string name;  // e.g. "q18a" — used in reports and oracle cache keys.
+  std::vector<RelationRef> relations;
+  std::vector<ScanPredicate> filters;
+  std::vector<JoinEdge> joins;
+  std::vector<OutputExpr> outputs;
+
+  int num_relations() const { return static_cast<int>(relations.size()); }
+  RelSet AllRelations() const { return RelSet::FirstN(num_relations()); }
+
+  /// Filters that apply to relation `rel`.
+  std::vector<const ScanPredicate*> FiltersFor(int rel) const;
+
+  /// Join edges fully contained in `set`.
+  std::vector<const JoinEdge*> JoinsWithin(RelSet set) const;
+
+  /// Join edges connecting `left` to `right` (one endpoint in each).
+  std::vector<const JoinEdge*> JoinsBetween(RelSet left, RelSet right) const;
+
+  /// SQL-ish rendering for debugging and examples.
+  std::string ToString() const;
+};
+
+}  // namespace reopt::plan
+
+#endif  // REOPT_PLAN_QUERY_SPEC_H_

@@ -1,0 +1,106 @@
+// RelSet: a bitmap over the relations of one query (JOB maxes out at 17
+// relations; we support 64). Used as the DP table key, the oracle cache key
+// and the re-optimizer's subtree identifier.
+#ifndef REOPT_PLAN_REL_SET_H_
+#define REOPT_PLAN_REL_SET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+
+namespace reopt::plan {
+
+/// A set of relation positions (0-based) within one query.
+class RelSet {
+ public:
+  constexpr RelSet() : bits_(0) {}
+  constexpr explicit RelSet(uint64_t bits) : bits_(bits) {}
+
+  static constexpr RelSet Single(int rel) {
+    return RelSet(uint64_t{1} << rel);
+  }
+  /// The set {0, 1, ..., n-1}.
+  static constexpr RelSet FirstN(int n) {
+    return RelSet(n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1);
+  }
+
+  constexpr uint64_t bits() const { return bits_; }
+  constexpr bool empty() const { return bits_ == 0; }
+  int count() const { return __builtin_popcountll(bits_); }
+
+  constexpr bool Contains(int rel) const {
+    return (bits_ >> rel) & uint64_t{1};
+  }
+  constexpr bool ContainsAll(RelSet other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+  constexpr bool Intersects(RelSet other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  constexpr RelSet Union(RelSet other) const {
+    return RelSet(bits_ | other.bits_);
+  }
+  constexpr RelSet Intersect(RelSet other) const {
+    return RelSet(bits_ & other.bits_);
+  }
+  constexpr RelSet Minus(RelSet other) const {
+    return RelSet(bits_ & ~other.bits_);
+  }
+  constexpr RelSet With(int rel) const {
+    return RelSet(bits_ | (uint64_t{1} << rel));
+  }
+  constexpr RelSet Without(int rel) const {
+    return RelSet(bits_ & ~(uint64_t{1} << rel));
+  }
+
+  /// Lowest relation in the set; undefined on empty sets.
+  int Lowest() const {
+    REOPT_CHECK(!empty());
+    return __builtin_ctzll(bits_);
+  }
+
+  /// Iterates set members: `for (int r : set.Members())`.
+  class MemberIterator {
+   public:
+    explicit MemberIterator(uint64_t bits) : bits_(bits) {}
+    int operator*() const { return __builtin_ctzll(bits_); }
+    MemberIterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    bool operator!=(const MemberIterator& other) const {
+      return bits_ != other.bits_;
+    }
+
+   private:
+    uint64_t bits_;
+  };
+  struct MemberRange {
+    uint64_t bits;
+    MemberIterator begin() const { return MemberIterator(bits); }
+    MemberIterator end() const { return MemberIterator(0); }
+  };
+  MemberRange Members() const { return MemberRange{bits_}; }
+
+  constexpr bool operator==(const RelSet& other) const {
+    return bits_ == other.bits_;
+  }
+  constexpr bool operator!=(const RelSet& other) const {
+    return bits_ != other.bits_;
+  }
+  constexpr bool operator<(const RelSet& other) const {
+    return bits_ < other.bits_;
+  }
+
+  /// "{0,3,5}" rendering.
+  std::string ToString() const;
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace reopt::plan
+
+#endif  // REOPT_PLAN_REL_SET_H_

@@ -1,0 +1,88 @@
+#include "reopt/iterative_feedback.h"
+
+#include <algorithm>
+
+#include "common/sim_time.h"
+#include "exec/executor.h"
+#include "optimizer/planner.h"
+
+namespace reopt::reoptimizer {
+
+common::Result<IterativeFeedbackResult> RunIterativeFeedback(
+    QuerySession* session, storage::Catalog* catalog,
+    stats::StatsCatalog* stats_catalog, const optimizer::CostParams& params,
+    const IterativeFeedbackOptions& options) {
+  IterativeFeedbackResult result;
+  exec::Executor executor(catalog, stats_catalog, params);
+  optimizer::QueryContext* ctx = session->ctx();
+  optimizer::TrueCardinalityOracle* oracle = session->oracle();
+
+  // Reference: execution time with a full oracle.
+  {
+    optimizer::PerfectNModel perfect(ctx, oracle,
+                                     session->spec().num_relations());
+    optimizer::Planner planner(ctx, &perfect, params);
+    auto planned = planner.Plan();
+    if (!planned.ok()) return planned.status();
+    auto executed = executor.Execute(session->spec(), planned->root.get());
+    if (!executed.ok()) return executed.status();
+    result.perfect_exec_seconds =
+        common::CostUnitsToSeconds(executed->cost_units);
+  }
+
+  // The injected corrections persist across iterations (LEO remembers what
+  // it learned from earlier executions of the same query).
+  optimizer::InjectedModel model(ctx);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    optimizer::Planner planner(ctx, &model, params);
+    auto planned = planner.Plan();
+    if (!planned.ok()) return planned.status();
+    auto executed = executor.Execute(session->spec(), planned->root.get());
+    if (!executed.ok()) return executed.status();
+
+    IterationRecord record;
+    record.exec_seconds = common::CostUnitsToSeconds(executed->cost_units);
+    record.plan_seconds =
+        common::CostUnitsToSeconds(planned->planning_cost_units);
+
+    // Lowest operator (scan or join) whose estimate is off by more than
+    // the relative threshold and not already corrected.
+    plan::PlanNode* offender = nullptr;
+    double offender_q = 0.0;
+    planned->root->PostOrder([&](plan::PlanNode* node) {
+      if (!node->is_join() && !node->is_scan()) return;
+      if (model.HasInjection(node->rels)) return;
+      double est = std::max(1.0, node->est_rows);
+      double truth = std::max(1.0, oracle->True(node->rels));
+      double q = std::max(truth / est, est / truth);
+      if (q <= options.relative_threshold) return;
+      if (offender == nullptr ||
+          node->rels.count() < offender->rels.count() ||
+          (node->rels.count() == offender->rels.count() &&
+           node->rels.bits() < offender->rels.bits())) {
+        offender = node;
+        offender_q = q;
+      }
+    });
+
+    if (offender == nullptr) {
+      record.injected_after = model.num_injected();
+      result.iterations.push_back(record);
+      result.converged = true;
+      break;
+    }
+
+    // Correct the offending subtree and everything below it.
+    offender->PostOrder([&](plan::PlanNode* node) {
+      if (!node->is_join() && !node->is_scan()) return;
+      model.Inject(node->rels, oracle->True(node->rels));
+    });
+    record.corrected_qerror = offender_q;
+    record.injected_after = model.num_injected();
+    result.iterations.push_back(record);
+  }
+  return result;
+}
+
+}  // namespace reopt::reoptimizer

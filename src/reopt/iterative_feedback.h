@@ -1,0 +1,51 @@
+// LEO-style selective improvement of cardinality estimates (paper
+// Sec. IV-E, Fig. 5): repeatedly execute the query, find the lowest
+// operator in the plan whose estimate is off by more than a relative
+// threshold, fix that subtree's estimates to their true values, and
+// re-optimize. Demonstrates that *partial* corrections can select plans
+// several times slower than the original — the motivation for full
+// re-optimization instead.
+#ifndef REOPT_REOPT_ITERATIVE_FEEDBACK_H_
+#define REOPT_REOPT_ITERATIVE_FEEDBACK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/cost_params.h"
+#include "reopt/query_runner.h"
+
+namespace reopt::reoptimizer {
+
+struct IterationRecord {
+  /// Simulated execution seconds of this iteration's full query.
+  double exec_seconds = 0.0;
+  double plan_seconds = 0.0;
+  /// Total injected (corrected) subsets after this iteration.
+  int64_t injected_after = 0;
+  /// Q-error of the subtree corrected after this execution (0 if none).
+  double corrected_qerror = 0.0;
+};
+
+struct IterativeFeedbackResult {
+  std::vector<IterationRecord> iterations;
+  /// True if no operator exceeded the threshold at the end.
+  bool converged = false;
+  /// Simulated execution seconds with perfect estimates (the dotted
+  /// reference line in Fig. 5).
+  double perfect_exec_seconds = 0.0;
+};
+
+struct IterativeFeedbackOptions {
+  double relative_threshold = 32.0;  // the paper's setting
+  int max_iterations = 64;
+};
+
+/// Runs the iterative-correction experiment on one query.
+common::Result<IterativeFeedbackResult> RunIterativeFeedback(
+    QuerySession* session, storage::Catalog* catalog,
+    stats::StatsCatalog* stats_catalog, const optimizer::CostParams& params,
+    const IterativeFeedbackOptions& options = {});
+
+}  // namespace reopt::reoptimizer
+
+#endif  // REOPT_REOPT_ITERATIVE_FEEDBACK_H_

@@ -1,0 +1,188 @@
+#include "reopt/query_runner.h"
+
+#include <algorithm>
+
+#include "common/sim_time.h"
+#include "exec/executor.h"
+#include "reopt/rewrite.h"
+
+namespace reopt::reoptimizer {
+
+double RunResult::plan_seconds() const {
+  return common::CostUnitsToSeconds(plan_cost_units);
+}
+double RunResult::exec_seconds() const {
+  return common::CostUnitsToSeconds(exec_cost_units);
+}
+
+common::Result<std::unique_ptr<QuerySession>> QuerySession::Create(
+    const plan::QuerySpec* spec, const storage::Catalog* catalog,
+    const stats::StatsCatalog* stats_catalog) {
+  auto session = std::unique_ptr<QuerySession>(new QuerySession());
+  session->spec_ = spec;
+  REOPT_ASSIGN_OR_RETURN(
+      session->ctx_,
+      optimizer::QueryContext::Bind(spec, catalog, stats_catalog));
+  session->oracle_ =
+      std::make_unique<optimizer::TrueCardinalityOracle>(session->ctx_.get());
+  return session;
+}
+
+std::unique_ptr<optimizer::CardinalityModel> QueryRunner::MakeModel(
+    const ModelSpec& spec, optimizer::QueryContext* ctx,
+    optimizer::TrueCardinalityOracle* oracle) const {
+  std::unique_ptr<optimizer::CardinalityModel> model;
+  switch (spec.kind) {
+    case ModelSpec::Kind::kEstimator:
+      model = std::make_unique<optimizer::EstimatorModel>(ctx);
+      break;
+    case ModelSpec::Kind::kPerfectN:
+      model = std::make_unique<optimizer::PerfectNModel>(ctx, oracle,
+                                                         spec.perfect_n);
+      break;
+  }
+  REOPT_CHECK(model != nullptr);
+  model->set_use_column_groups(spec.use_column_groups);
+  return model;
+}
+
+common::Result<RunResult> QueryRunner::Run(QuerySession* session,
+                                           const ModelSpec& model_spec,
+                                           const ReoptOptions& reopt) {
+  RunResult result;
+  exec::Executor executor(catalog_, stats_catalog_, params_);
+
+  // Round-local ownership: rewritten specs and their contexts/oracles live
+  // until the run finishes (plans hold pointers into the specs).
+  std::vector<std::unique_ptr<plan::QuerySpec>> owned_specs;
+  std::vector<std::unique_ptr<optimizer::QueryContext>> owned_ctxs;
+  std::vector<std::unique_ptr<optimizer::TrueCardinalityOracle>>
+      owned_oracles;
+  std::vector<std::string> temp_tables;
+
+  const plan::QuerySpec* spec = &session->spec();
+  optimizer::QueryContext* ctx = session->ctx();
+  optimizer::TrueCardinalityOracle* oracle = session->oracle();
+
+  auto cleanup = [&]() {
+    for (const std::string& name : temp_tables) {
+      (void)catalog_->DropTable(name);
+      stats_catalog_->Remove(name);
+    }
+  };
+
+  for (int round = 0;; ++round) {
+    std::unique_ptr<optimizer::CardinalityModel> model =
+        MakeModel(model_spec, ctx, oracle);
+    optimizer::Planner planner(ctx, model.get(), params_, planner_options_);
+    auto planned = planner.Plan();
+    if (!planned.ok()) {
+      cleanup();
+      return planned.status();
+    }
+    result.plan_cost_units += planned->planning_cost_units;
+
+    // Re-optimization trigger: the lowest join operator whose true
+    // cardinality is more than `threshold` times off the estimate.
+    plan::PlanNode* offender = nullptr;
+    double offender_q = 0.0;
+    bool consider = reopt.enabled && round < reopt.max_rounds &&
+                    planned->root->est_cost >= reopt.min_plan_cost_units;
+    if (consider) {
+      planned->root->PostOrder([&](plan::PlanNode* node) {
+        if (!node->is_join()) return;
+        double est = std::max(1.0, node->est_rows);
+        double truth = std::max(1.0, oracle->True(node->rels));
+        double q = std::max(truth / est, est / truth);
+        if (q <= reopt.qerror_threshold) return;
+        bool better;
+        if (reopt.pick == ReoptOptions::Pick::kMaxQError) {
+          better = offender == nullptr || q > offender_q;
+        } else {
+          better = offender == nullptr ||
+                   node->rels.count() < offender->rels.count() ||
+                   (node->rels.count() == offender->rels.count() &&
+                    node->rels.bits() < offender->rels.bits());
+        }
+        if (better) {
+          offender = node;
+          offender_q = q;
+        }
+      });
+    }
+
+    if (offender == nullptr) {
+      // No (more) mis-estimates: execute the final plan.
+      auto executed = executor.Execute(*spec, planned->root.get());
+      if (!executed.ok()) {
+        cleanup();
+        return executed.status();
+      }
+      result.aggregates = std::move(executed->aggregates);
+      result.raw_rows = executed->raw_rows;
+      result.exec_cost_units += executed->cost_units;
+      RoundRecord record;
+      record.materialized = false;
+      record.subset = planned->root->rels;
+      record.plan_cost_units = planned->planning_cost_units;
+      record.exec_cost_units = executed->cost_units;
+      result.rounds.push_back(record);
+      break;
+    }
+
+    // Materialize the offending subtree into a temp table (CREATE TEMP
+    // TABLE ... AS SELECT in the paper's simulation), then rewrite.
+    plan::RelSet subset = offender->rels;
+    std::vector<plan::ColumnRef> temp_cols =
+        ColumnsToMaterialize(*spec, subset);
+    std::string temp_name = catalog_->NextTempName();
+
+    auto write = std::make_unique<plan::PlanNode>();
+    write->op = plan::PlanOp::kTempWrite;
+    write->rels = subset;
+    write->est_rows = offender->est_rows;
+    write->temp_table_name = temp_name;
+    write->temp_columns = temp_cols;
+    write->left = plan::ClonePlan(*offender);
+    write->est_cost = write->left->est_cost;
+
+    auto executed = executor.Execute(*spec, write.get());
+    if (!executed.ok()) {
+      cleanup();
+      return executed.status();
+    }
+    result.exec_cost_units += executed->cost_units;
+    ++result.num_materializations;
+    temp_tables.push_back(temp_name);
+
+    RoundRecord record;
+    record.materialized = true;
+    record.subset = subset;
+    record.qerror = offender_q;
+    record.est_rows = offender->est_rows;
+    record.true_rows = static_cast<double>(executed->raw_rows);
+    record.plan_cost_units = planned->planning_cost_units;
+    record.exec_cost_units = executed->cost_units;
+    result.rounds.push_back(record);
+
+    owned_specs.push_back(
+        RewriteWithTemp(*spec, subset, temp_name, temp_cols, round));
+    spec = owned_specs.back().get();
+    auto bound =
+        optimizer::QueryContext::Bind(spec, catalog_, stats_catalog_);
+    if (!bound.ok()) {
+      cleanup();
+      return bound.status();
+    }
+    owned_ctxs.push_back(std::move(bound.value()));
+    ctx = owned_ctxs.back().get();
+    owned_oracles.push_back(
+        std::make_unique<optimizer::TrueCardinalityOracle>(ctx));
+    oracle = owned_oracles.back().get();
+  }
+
+  cleanup();
+  return result;
+}
+
+}  // namespace reopt::reoptimizer

@@ -1,0 +1,145 @@
+// The re-optimizing query runner — the paper's core contribution (Sec. V).
+//
+// Without re-optimization: plan once, execute.
+// With re-optimization: plan; find the *lowest* join operator whose true
+// cardinality differs from the estimate by more than the Q-error threshold
+// (default 32, the paper's best setting, Fig. 7); materialize that subtree
+// into a temp table (charging full materialization, the paper's stated
+// upper bound on re-optimization cost); ANALYZE the temp table; rewrite the
+// remaining query to reference it (the Fig. 6 transformation); re-plan;
+// repeat until no join operator exceeds the threshold; execute the final
+// plan. Planning time accumulates across rounds; execution time is the sum
+// of the materialization subplans plus the final plan.
+#ifndef REOPT_REOPT_QUERY_RUNNER_H_
+#define REOPT_REOPT_QUERY_RUNNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "optimizer/cardinality_model.h"
+#include "optimizer/cost_params.h"
+#include "optimizer/planner.h"
+#include "optimizer/query_context.h"
+#include "optimizer/true_cardinality.h"
+#include "plan/query_spec.h"
+#include "stats/stats_catalog.h"
+#include "storage/catalog.h"
+
+namespace reopt::reoptimizer {
+
+/// Which cardinality model the planner uses each round.
+struct ModelSpec {
+  enum class Kind { kEstimator, kPerfectN };
+  Kind kind = Kind::kEstimator;
+  /// For kPerfectN: the oracle horizon (perfect-(n)). perfect-(0) is the
+  /// plain estimator by construction.
+  int perfect_n = 0;
+  /// Use CORDS-style column-group statistics where available (paper
+  /// Sec. IV-B; bench/ablation_cords).
+  bool use_column_groups = false;
+
+  static ModelSpec Estimator() { return ModelSpec{}; }
+  static ModelSpec PerfectN(int n) {
+    return ModelSpec{Kind::kPerfectN, n};
+  }
+  static ModelSpec Cords() { return ModelSpec{Kind::kEstimator, 0, true}; }
+};
+
+struct ReoptOptions {
+  bool enabled = false;
+  /// Q-error trigger: re-optimize when max(true/est, est/true) exceeds it.
+  double qerror_threshold = 32.0;
+  /// Safety valve; the loop also terminates naturally because every round
+  /// removes at least one relation.
+  int max_rounds = 32;
+  /// Sec. V-D mitigation: only consider re-optimization when the current
+  /// plan's estimated cost exceeds this many cost units ("this can be
+  /// avoided by re-optimizing only long-running queries"). 0 = always.
+  double min_plan_cost_units = 0.0;
+  /// Which offending join to materialize. The paper materializes the
+  /// lowest one; kMaxQError is an ablation (bench/ablation_reopt_policy).
+  enum class Pick { kLowestJoin, kMaxQError };
+  Pick pick = Pick::kLowestJoin;
+};
+
+/// One re-optimization round (or the final execution).
+struct RoundRecord {
+  bool materialized = false;    // false = final execution
+  plan::RelSet subset;          // relations materialized (round-local ids)
+  double qerror = 0.0;          // trigger value (materialization rounds)
+  double est_rows = 0.0;
+  double true_rows = 0.0;
+  double plan_cost_units = 0.0;
+  double exec_cost_units = 0.0;
+};
+
+/// End-to-end result of running one query.
+struct RunResult {
+  std::vector<common::Value> aggregates;
+  int64_t raw_rows = 0;
+  double plan_cost_units = 0.0;
+  double exec_cost_units = 0.0;
+  /// Number of temp tables materialized (0 without re-optimization).
+  int num_materializations = 0;
+  std::vector<RoundRecord> rounds;
+
+  double plan_seconds() const;
+  double exec_seconds() const;
+  double total_seconds() const { return plan_seconds() + exec_seconds(); }
+};
+
+/// Per-query reusable state: bound context plus the true-cardinality
+/// oracle whose cache amortizes across repeated runs (sweeps).
+class QuerySession {
+ public:
+  static common::Result<std::unique_ptr<QuerySession>> Create(
+      const plan::QuerySpec* spec, const storage::Catalog* catalog,
+      const stats::StatsCatalog* stats_catalog);
+
+  const plan::QuerySpec& spec() const { return *spec_; }
+  optimizer::QueryContext* ctx() { return ctx_.get(); }
+  optimizer::TrueCardinalityOracle* oracle() { return oracle_.get(); }
+
+ private:
+  QuerySession() = default;
+  const plan::QuerySpec* spec_ = nullptr;
+  std::unique_ptr<optimizer::QueryContext> ctx_;
+  std::unique_ptr<optimizer::TrueCardinalityOracle> oracle_;
+};
+
+/// Runs queries against one database, with or without re-optimization.
+class QueryRunner {
+ public:
+  QueryRunner(storage::Catalog* catalog, stats::StatsCatalog* stats_catalog,
+              const optimizer::CostParams& params)
+      : catalog_(catalog), stats_catalog_(stats_catalog), params_(params) {}
+
+  /// Overrides planner behaviour (operator ablations). Defaults to all
+  /// operators enabled.
+  void set_planner_options(const optimizer::PlannerOptions& options) {
+    planner_options_ = options;
+  }
+
+  /// Runs the session's query. Temp tables created by re-optimization are
+  /// dropped before returning.
+  common::Result<RunResult> Run(QuerySession* session,
+                                const ModelSpec& model_spec,
+                                const ReoptOptions& reopt);
+
+ private:
+  std::unique_ptr<optimizer::CardinalityModel> MakeModel(
+      const ModelSpec& spec, optimizer::QueryContext* ctx,
+      optimizer::TrueCardinalityOracle* oracle) const;
+
+  storage::Catalog* catalog_;
+  stats::StatsCatalog* stats_catalog_;
+  optimizer::CostParams params_;
+  optimizer::PlannerOptions planner_options_;
+};
+
+}  // namespace reopt::reoptimizer
+
+#endif  // REOPT_REOPT_QUERY_RUNNER_H_

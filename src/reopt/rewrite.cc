@@ -1,0 +1,90 @@
+#include "reopt/rewrite.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace reopt::reoptimizer {
+
+std::vector<plan::ColumnRef> ColumnsToMaterialize(
+    const plan::QuerySpec& spec, plan::RelSet subset) {
+  std::vector<plan::ColumnRef> out;
+  auto add = [&out](const plan::ColumnRef& ref) {
+    for (const plan::ColumnRef& existing : out) {
+      if (existing == ref) return;
+    }
+    out.push_back(ref);
+  };
+  for (const plan::JoinEdge& e : spec.joins) {
+    bool left_in = subset.Contains(e.left.rel);
+    bool right_in = subset.Contains(e.right.rel);
+    if (left_in && !right_in) add(e.left);
+    if (right_in && !left_in) add(e.right);
+  }
+  for (const plan::OutputExpr& o : spec.outputs) {
+    if (subset.Contains(o.column.rel)) add(o.column);
+  }
+  return out;
+}
+
+std::unique_ptr<plan::QuerySpec> RewriteWithTemp(
+    const plan::QuerySpec& spec, plan::RelSet subset,
+    const std::string& temp_table,
+    const std::vector<plan::ColumnRef>& temp_columns, int round) {
+  auto out = std::make_unique<plan::QuerySpec>();
+  out->name = common::StrPrintf("%s+r%d", spec.name.c_str(), round);
+
+  // Relation remap: survivors keep order, temp relation appended last.
+  std::vector<int> remap(static_cast<size_t>(spec.num_relations()), -1);
+  for (int r = 0; r < spec.num_relations(); ++r) {
+    if (!subset.Contains(r)) {
+      remap[static_cast<size_t>(r)] = static_cast<int>(out->relations.size());
+      out->relations.push_back(spec.relations[static_cast<size_t>(r)]);
+    }
+  }
+  int temp_rel = static_cast<int>(out->relations.size());
+  out->relations.push_back(plan::RelationRef{
+      temp_table, common::StrPrintf("tmp%d", round)});
+
+  auto map_ref = [&](const plan::ColumnRef& ref) -> plan::ColumnRef {
+    if (!subset.Contains(ref.rel)) {
+      return plan::ColumnRef{remap[static_cast<size_t>(ref.rel)], ref.col,
+                             ref.name};
+    }
+    for (size_t i = 0; i < temp_columns.size(); ++i) {
+      if (temp_columns[i] == ref) {
+        std::string name =
+            ref.name.empty()
+                ? ""
+                : spec.relations[static_cast<size_t>(ref.rel)].alias + "_" +
+                      ref.name;
+        return plan::ColumnRef{temp_rel, static_cast<common::ColumnIdx>(i),
+                               std::move(name)};
+      }
+    }
+    REOPT_UNREACHABLE("materialized column missing from temp schema");
+  };
+
+  for (const plan::ScanPredicate& p : spec.filters) {
+    if (subset.Contains(p.column.rel)) continue;  // already applied
+    plan::ScanPredicate np = p;
+    np.column = map_ref(p.column);
+    out->filters.push_back(std::move(np));
+  }
+  for (const plan::JoinEdge& e : spec.joins) {
+    if (subset.ContainsAll(e.Relations())) continue;  // already applied
+    plan::JoinEdge ne;
+    ne.left = map_ref(e.left);
+    ne.right = map_ref(e.right);
+    out->joins.push_back(ne);
+  }
+  for (const plan::OutputExpr& o : spec.outputs) {
+    plan::OutputExpr no = o;
+    no.column = map_ref(o.column);
+    out->outputs.push_back(std::move(no));
+  }
+  return out;
+}
+
+}  // namespace reopt::reoptimizer

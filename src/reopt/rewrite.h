@@ -1,0 +1,33 @@
+// The Fig. 6 query transformation: replace a materialized sub-join's
+// relations with the temp table in the remainder of the query.
+#ifndef REOPT_REOPT_REWRITE_H_
+#define REOPT_REOPT_REWRITE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/query_spec.h"
+#include "plan/rel_set.h"
+
+namespace reopt::reoptimizer {
+
+/// Columns of `subset`'s relations that the remainder of the query still
+/// needs: endpoints of join edges crossing out of `subset`, plus output
+/// columns. Deduplicated, in deterministic order.
+std::vector<plan::ColumnRef> ColumnsToMaterialize(
+    const plan::QuerySpec& spec, plan::RelSet subset);
+
+/// Rewrites `spec`, replacing the relations of `subset` by one temp
+/// relation named `temp_table` whose columns are `temp_columns` (in order).
+/// Filters on `subset` relations are dropped (already applied); join edges
+/// inside `subset` are dropped; crossing edges and outputs are remapped to
+/// the temp relation, which is appended as the last relation.
+std::unique_ptr<plan::QuerySpec> RewriteWithTemp(
+    const plan::QuerySpec& spec, plan::RelSet subset,
+    const std::string& temp_table,
+    const std::vector<plan::ColumnRef>& temp_columns, int round);
+
+}  // namespace reopt::reoptimizer
+
+#endif  // REOPT_REOPT_REWRITE_H_

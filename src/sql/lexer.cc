@@ -1,0 +1,132 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace reopt::sql {
+namespace {
+
+const char* kKeywords[] = {
+    "SELECT", "FROM",  "WHERE",   "AND",  "AS",    "MIN",   "IN",
+    "LIKE",   "NOT",   "BETWEEN", "IS",   "NULL",  "CREATE", "TEMP",
+    "TEMPORARY", "TABLE", "ON"};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+common::Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: -- to end of line.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.position = static_cast<int>(i);
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word = input.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        token.text = common::ToLower(word);
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        if (input[i] == '.') is_float = true;
+        ++i;
+      }
+      token.type = is_float ? TokenType::kFloat : TokenType::kInteger;
+      token.text = input.substr(start, i - start);
+    } else if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // '' escape
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return common::Status::InvalidArgument(common::StrPrintf(
+            "unterminated string literal at offset %d", token.position));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(value);
+    } else if (c == '<' && i + 1 < n &&
+               (input[i + 1] == '=' || input[i + 1] == '>')) {
+      token.type = TokenType::kSymbol;
+      token.text = input.substr(i, 2);
+      i += 2;
+    } else if (c == '>' && i + 1 < n && input[i + 1] == '=') {
+      token.type = TokenType::kSymbol;
+      token.text = ">=";
+      i += 2;
+    } else if (c == '!' && i + 1 < n && input[i + 1] == '=') {
+      token.type = TokenType::kSymbol;
+      token.text = "<>";
+      i += 2;
+    } else if (std::string("(),;.*=<>").find(c) != std::string::npos) {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+    } else {
+      return common::Status::InvalidArgument(common::StrPrintf(
+          "unexpected character '%c' at offset %d", c, token.position));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = static_cast<int>(n);
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace reopt::sql

@@ -1,0 +1,38 @@
+// SQL lexer for the SPJ dialect the Join Order Benchmark uses.
+#ifndef REOPT_SQL_LEXER_H_
+#define REOPT_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace reopt::sql {
+
+enum class TokenType {
+  kIdentifier,  // table / column / alias names (case-insensitive keywords)
+  kKeyword,     // SELECT, FROM, WHERE, AND, MIN, AS, IN, LIKE, NOT,
+                // BETWEEN, IS, NULL, CREATE, TEMP, TABLE, ...
+  kString,      // 'text' (with '' escaping)
+  kInteger,     // 123
+  kFloat,       // 1.5
+  kSymbol,      // ( ) , ; . = <> < <= > >= *
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // keywords upper-cased, identifiers lower-cased
+  int position = 0;  // byte offset, for error messages
+};
+
+/// Tokenizes `input`. Fails on unterminated strings or unexpected bytes.
+common::Result<std::vector<Token>> Lex(const std::string& input);
+
+/// True if `word` (upper-case) is a reserved keyword.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace reopt::sql
+
+#endif  // REOPT_SQL_LEXER_H_

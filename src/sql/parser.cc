@@ -1,0 +1,413 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace reopt::sql {
+namespace {
+
+using common::Status;
+using common::StrPrintf;
+using common::Value;
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const storage::Catalog* catalog,
+         std::string query_name)
+      : tokens_(std::move(tokens)),
+        catalog_(catalog),
+        query_name_(std::move(query_name)) {}
+
+  common::Result<ParsedStatement> ParseStatement() {
+    ParsedStatement out;
+    if (PeekKeyword("CREATE")) {
+      Advance();
+      if (!(PeekKeyword("TEMP") || PeekKeyword("TEMPORARY"))) {
+        return Error("expected TEMP or TEMPORARY after CREATE");
+      }
+      Advance();
+      if (!PeekKeyword("TABLE")) return Error("expected TABLE");
+      Advance();
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected temp table name");
+      }
+      out.create_table_name = Peek().text;
+      out.temporary = true;
+      Advance();
+      if (!PeekKeyword("AS")) return Error("expected AS before SELECT");
+      Advance();
+    }
+    auto query = ParseSelect();
+    if (!query.ok()) return query.status();
+    out.query = std::move(query.value());
+    if (PeekSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return out;
+  }
+
+ private:
+  // ---- token helpers ---------------------------------------------------
+  const Token& Peek(int ahead = 0) const {
+    size_t idx = pos_ + static_cast<size_t>(ahead);
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  void Advance() { ++pos_; }
+  bool PeekKeyword(const char* kw, int ahead = 0) const {
+    return Peek(ahead).type == TokenType::kKeyword && Peek(ahead).text == kw;
+  }
+  bool PeekSymbol(const char* sym, int ahead = 0) const {
+    return Peek(ahead).type == TokenType::kSymbol && Peek(ahead).text == sym;
+  }
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(StrPrintf(
+        "SQL parse error at offset %d near '%s': %s", Peek().position,
+        Peek().text.c_str(), message.c_str()));
+  }
+
+  // ---- binding ------------------------------------------------------------
+  int FindAlias(const std::string& alias) const {
+    for (size_t i = 0; i < spec_->relations.size(); ++i) {
+      if (spec_->relations[i].alias == alias) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  common::Result<plan::ColumnRef> ResolveColumn(const std::string& alias,
+                                                const std::string& column) {
+    int rel = FindAlias(alias);
+    if (rel < 0) {
+      return Status::InvalidArgument("unknown alias: " + alias);
+    }
+    const storage::Table* table =
+        catalog_->FindTable(spec_->relations[static_cast<size_t>(rel)]
+                                .table_name);
+    common::ColumnIdx col = table->schema().FindColumn(column);
+    if (col == common::kInvalidColumnIdx) {
+      return Status::InvalidArgument(StrPrintf(
+          "no column %s in %s", column.c_str(), table->name().c_str()));
+    }
+    return plan::ColumnRef{rel, col, column};
+  }
+
+  /// alias '.' column (JOB always qualifies columns).
+  common::Result<plan::ColumnRef> ParseColumnRef() {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected alias.column");
+    }
+    std::string alias = Peek().text;
+    Advance();
+    if (!PeekSymbol(".")) return Error("expected '.' after alias");
+    Advance();
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected column name after '.'");
+    }
+    std::string column = Peek().text;
+    Advance();
+    return ResolveColumn(alias, column);
+  }
+
+  bool PeekColumnRef() const {
+    return Peek().type == TokenType::kIdentifier && PeekSymbol(".", 1) &&
+           Peek(2).type == TokenType::kIdentifier;
+  }
+
+  common::Result<Value> ParseLiteral() {
+    const Token& token = Peek();
+    switch (token.type) {
+      case TokenType::kString: {
+        Value v = Value::Str(token.text);
+        Advance();
+        return v;
+      }
+      case TokenType::kInteger: {
+        Value v = Value::Int(std::atoll(token.text.c_str()));
+        Advance();
+        return v;
+      }
+      case TokenType::kFloat: {
+        Value v = Value::Real(std::atof(token.text.c_str()));
+        Advance();
+        return v;
+      }
+      case TokenType::kKeyword:
+        if (token.text == "NULL") {
+          Advance();
+          return Value::Null_();
+        }
+        break;
+      default:
+        break;
+    }
+    return Error("expected literal");
+  }
+
+  // ---- grammar -----------------------------------------------------------
+  common::Result<std::unique_ptr<plan::QuerySpec>> ParseSelect() {
+    spec_ = std::make_unique<plan::QuerySpec>();
+    spec_->name = query_name_;
+    if (!PeekKeyword("SELECT")) return Error("expected SELECT");
+    Advance();
+
+    // Outputs reference aliases declared in FROM, so parse the select list
+    // as raw (agg, alias, column, label) first and bind after FROM.
+    struct RawOutput {
+      bool min_agg;
+      std::string alias;
+      std::string column;
+      std::string label;
+    };
+    std::vector<RawOutput> raw_outputs;
+    while (true) {
+      RawOutput out;
+      if (PeekKeyword("MIN")) {
+        out.min_agg = true;
+        Advance();
+        if (!PeekSymbol("(")) return Error("expected '(' after MIN");
+        Advance();
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected alias.column in MIN()");
+        }
+        out.alias = Peek().text;
+        Advance();
+        if (!PeekSymbol(".")) return Error("expected '.'");
+        Advance();
+        out.column = Peek().text;
+        Advance();
+        if (!PeekSymbol(")")) return Error("expected ')'");
+        Advance();
+      } else if (Peek().type == TokenType::kIdentifier) {
+        out.min_agg = false;
+        out.alias = Peek().text;
+        Advance();
+        if (!PeekSymbol(".")) return Error("expected qualified column");
+        Advance();
+        out.column = Peek().text;
+        Advance();
+      } else {
+        return Error("expected MIN(alias.column) or alias.column");
+      }
+      if (PeekKeyword("AS")) {
+        Advance();
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected label after AS");
+        }
+        out.label = Peek().text;
+        Advance();
+      }
+      raw_outputs.push_back(std::move(out));
+      if (!PeekSymbol(",")) break;
+      Advance();
+    }
+
+    // FROM list.
+    if (!PeekKeyword("FROM")) return Error("expected FROM");
+    Advance();
+    while (true) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected table name");
+      }
+      std::string table = Peek().text;
+      Advance();
+      std::string alias = table;
+      if (PeekKeyword("AS")) {
+        Advance();
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        alias = Peek().text;
+        Advance();
+      } else if (Peek().type == TokenType::kIdentifier) {
+        alias = Peek().text;
+        Advance();
+      }
+      if (catalog_->FindTable(table) == nullptr) {
+        return Status::NotFound("no such table: " + table);
+      }
+      if (FindAlias(alias) >= 0) {
+        return Status::InvalidArgument("duplicate alias: " + alias);
+      }
+      spec_->relations.push_back(plan::RelationRef{table, alias});
+      if (!PeekSymbol(",")) break;
+      Advance();
+    }
+
+    // Bind outputs now that aliases exist.
+    for (const RawOutput& raw : raw_outputs) {
+      auto ref = ResolveColumn(raw.alias, raw.column);
+      if (!ref.ok()) return ref.status();
+      plan::OutputExpr out;
+      out.column = ref.value();
+      out.min_agg = raw.min_agg;
+      out.label = raw.label;
+      spec_->outputs.push_back(std::move(out));
+    }
+
+    // WHERE conjunction.
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      while (true) {
+        REOPT_RETURN_IF_ERROR(ParseCondition());
+        if (!PeekKeyword("AND")) break;
+        Advance();
+      }
+    }
+    return std::move(spec_);
+  }
+
+  Status ParseCondition() {
+    auto left = ParseColumnRef();
+    if (!left.ok()) return left.status();
+    plan::ColumnRef column = left.value();
+
+    bool negated = false;
+    if (PeekKeyword("NOT")) {
+      negated = true;
+      Advance();
+    }
+
+    if (PeekKeyword("IN")) {
+      if (negated) {
+        return Error("NOT IN is not supported (JOB does not use it)");
+      }
+      Advance();
+      if (!PeekSymbol("(")) return Error("expected '(' after IN");
+      Advance();
+      plan::ScanPredicate pred;
+      pred.column = column;
+      pred.kind = plan::ScanPredicate::Kind::kIn;
+      while (true) {
+        auto v = ParseLiteral();
+        if (!v.ok()) return v.status();
+        pred.in_list.push_back(std::move(v.value()));
+        if (!PeekSymbol(",")) break;
+        Advance();
+      }
+      if (!PeekSymbol(")")) return Error("expected ')' after IN list");
+      Advance();
+      spec_->filters.push_back(std::move(pred));
+      return Status::OK();
+    }
+
+    if (PeekKeyword("LIKE")) {
+      Advance();
+      if (Peek().type != TokenType::kString) {
+        return Error("expected string pattern after LIKE");
+      }
+      plan::ScanPredicate pred;
+      pred.column = column;
+      pred.kind = negated ? plan::ScanPredicate::Kind::kNotLike
+                          : plan::ScanPredicate::Kind::kLike;
+      pred.value = Value::Str(Peek().text);
+      Advance();
+      spec_->filters.push_back(std::move(pred));
+      return Status::OK();
+    }
+
+    if (PeekKeyword("BETWEEN")) {
+      if (negated) return Error("NOT BETWEEN is not supported");
+      Advance();
+      plan::ScanPredicate pred;
+      pred.column = column;
+      pred.kind = plan::ScanPredicate::Kind::kBetween;
+      auto lo = ParseLiteral();
+      if (!lo.ok()) return lo.status();
+      pred.value = std::move(lo.value());
+      if (!PeekKeyword("AND")) return Error("expected AND in BETWEEN");
+      Advance();
+      auto hi = ParseLiteral();
+      if (!hi.ok()) return hi.status();
+      pred.value2 = std::move(hi.value());
+      spec_->filters.push_back(std::move(pred));
+      return Status::OK();
+    }
+
+    if (PeekKeyword("IS")) {
+      Advance();
+      bool not_null = false;
+      if (PeekKeyword("NOT")) {
+        not_null = true;
+        Advance();
+      }
+      if (!PeekKeyword("NULL")) return Error("expected NULL after IS");
+      Advance();
+      plan::ScanPredicate pred;
+      pred.column = column;
+      pred.kind = not_null ? plan::ScanPredicate::Kind::kIsNotNull
+                           : plan::ScanPredicate::Kind::kIsNull;
+      spec_->filters.push_back(std::move(pred));
+      return Status::OK();
+    }
+
+    if (negated) return Error("expected IN or LIKE after NOT");
+
+    // Comparison: = <> < <= > >= against a column ref (join) or literal.
+    if (Peek().type != TokenType::kSymbol) {
+      return Error("expected comparison operator");
+    }
+    std::string op_text = Peek().text;
+    plan::CompareOp op;
+    if (op_text == "=") {
+      op = plan::CompareOp::kEq;
+    } else if (op_text == "<>") {
+      op = plan::CompareOp::kNe;
+    } else if (op_text == "<") {
+      op = plan::CompareOp::kLt;
+    } else if (op_text == "<=") {
+      op = plan::CompareOp::kLe;
+    } else if (op_text == ">") {
+      op = plan::CompareOp::kGt;
+    } else if (op_text == ">=") {
+      op = plan::CompareOp::kGe;
+    } else {
+      return Error("unknown operator: " + op_text);
+    }
+    Advance();
+
+    if (PeekColumnRef()) {
+      if (op != plan::CompareOp::kEq) {
+        return Error("only equi-joins between columns are supported");
+      }
+      auto right = ParseColumnRef();
+      if (!right.ok()) return right.status();
+      plan::JoinEdge edge;
+      edge.left = column;
+      edge.right = right.value();
+      if (edge.left.rel == edge.right.rel) {
+        return Error("self-comparison within one relation is not a join");
+      }
+      spec_->joins.push_back(edge);
+      return Status::OK();
+    }
+
+    auto v = ParseLiteral();
+    if (!v.ok()) return v.status();
+    plan::ScanPredicate pred;
+    pred.column = column;
+    pred.kind = plan::ScanPredicate::Kind::kCompare;
+    pred.op = op;
+    pred.value = std::move(v.value());
+    spec_->filters.push_back(std::move(pred));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  const storage::Catalog* catalog_;
+  std::string query_name_;
+  size_t pos_ = 0;
+  std::unique_ptr<plan::QuerySpec> spec_;
+};
+
+}  // namespace
+
+common::Result<ParsedStatement> ParseStatement(
+    const std::string& sql, const storage::Catalog& catalog,
+    const std::string& query_name) {
+  auto tokens = Lex(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()), &catalog, query_name);
+  return parser.ParseStatement();
+}
+
+}  // namespace reopt::sql

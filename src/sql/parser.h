@@ -1,0 +1,37 @@
+// Recursive-descent parser + binder for the JOB SQL dialect:
+//
+//   SELECT MIN(x.col) AS label, ... FROM table AS alias, ...
+//   WHERE <filter|join> AND ... ;
+//   CREATE TEMP TABLE name AS SELECT ... ;
+//
+// Filters: =, <>, <, <=, >, >=, [NOT] IN (...), [NOT] LIKE, BETWEEN,
+// IS [NOT] NULL. Join conditions are alias.col = alias.col equalities.
+// Binding resolves tables/columns against a Catalog and produces the same
+// plan::QuerySpec the programmatic QueryBuilder emits.
+#ifndef REOPT_SQL_PARSER_H_
+#define REOPT_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "plan/query_spec.h"
+#include "storage/catalog.h"
+
+namespace reopt::sql {
+
+struct ParsedStatement {
+  std::unique_ptr<plan::QuerySpec> query;
+  /// Non-empty for CREATE TEMP TABLE <name> AS SELECT ...
+  std::string create_table_name;
+  bool temporary = false;
+};
+
+/// Parses one statement and binds it against `catalog`.
+common::Result<ParsedStatement> ParseStatement(
+    const std::string& sql, const storage::Catalog& catalog,
+    const std::string& query_name = "sql");
+
+}  // namespace reopt::sql
+
+#endif  // REOPT_SQL_PARSER_H_

@@ -1,0 +1,39 @@
+// ANALYZE: builds TableStats from table contents. With the default options
+// (sample_size = 0) every row is scanned, matching the paper's setup of
+// default_statistics_target at its maximum "to give PostgreSQL the best
+// chance at good cardinality estimates". Estimation errors in this system
+// therefore come from the *model* (independence/uniformity), not from stale
+// or sampled statistics — exactly the regime the paper studies.
+#ifndef REOPT_STATS_ANALYZE_H_
+#define REOPT_STATS_ANALYZE_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "storage/table.h"
+#include "stats/table_stats.h"
+
+namespace reopt::stats {
+
+struct AnalyzeOptions {
+  /// Maximum number of histogram buckets and MCV entries, like
+  /// default_statistics_target.
+  int statistics_target = 100;
+  /// If > 0, statistics are computed from a uniform sample of this many
+  /// rows instead of the full table.
+  int64_t sample_size = 0;
+  /// Seed for the sampling RNG.
+  uint64_t seed = 0x5eed;
+};
+
+/// Scans `table` and produces statistics for every column.
+TableStats Analyze(const storage::Table& table,
+                   const AnalyzeOptions& options = {});
+
+/// Analyzes a single column (exposed for tests).
+ColumnStats AnalyzeColumn(const storage::Column& column,
+                          const AnalyzeOptions& options = {});
+
+}  // namespace reopt::stats
+
+#endif  // REOPT_STATS_ANALYZE_H_

@@ -1,0 +1,106 @@
+#include "stats/column_groups.h"
+
+#include <algorithm>
+#include <map>
+
+namespace reopt::stats {
+
+std::optional<double> ColumnGroupStats::Find(const common::Value& a,
+                                             const common::Value& b) const {
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (pairs[i].first == a && pairs[i].second == b) return freqs[i];
+  }
+  return std::nullopt;
+}
+
+const ColumnGroupStats* FindGroup(
+    const std::vector<ColumnGroupStats>& groups, common::ColumnIdx a,
+    common::ColumnIdx b) {
+  if (a > b) std::swap(a, b);
+  for (const ColumnGroupStats& g : groups) {
+    if (g.col_a == a && g.col_b == b) return &g;
+  }
+  return nullptr;
+}
+
+namespace {
+
+double DistinctCount(const storage::Column& col) {
+  std::map<common::Value, int64_t> counts;
+  for (common::RowIdx r = 0; r < col.size(); ++r) {
+    if (col.IsNull(r)) continue;
+    ++counts[col.GetValue(r)];
+    if (counts.size() > 100000) return 1e18;  // give up, too wide
+  }
+  return static_cast<double>(counts.size());
+}
+
+}  // namespace
+
+std::vector<ColumnGroupStats> BuildColumnGroups(
+    const storage::Table& table, const ColumnGroupOptions& options) {
+  std::vector<ColumnGroupStats> groups;
+  int cols = table.num_columns();
+  if (table.num_rows() == 0) return groups;
+
+  // Pre-compute per-column distinct counts, skipping wide columns.
+  std::vector<double> ndv(static_cast<size_t>(cols), 1e18);
+  for (common::ColumnIdx c = 0; c < cols; ++c) {
+    // Skip id-like unique columns early: they cannot be correlated in a
+    // way MCV pairs could capture.
+    ndv[static_cast<size_t>(c)] = DistinctCount(table.column(c));
+  }
+
+  for (common::ColumnIdx a = 0; a < cols; ++a) {
+    if (ndv[static_cast<size_t>(a)] > options.max_column_ndv) continue;
+    for (common::ColumnIdx b = a + 1; b < cols; ++b) {
+      if (ndv[static_cast<size_t>(b)] > options.max_column_ndv) continue;
+      const storage::Column& col_a = table.column(a);
+      const storage::Column& col_b = table.column(b);
+      std::map<std::pair<common::Value, common::Value>, int64_t> joint;
+      int64_t non_null = 0;
+      for (common::RowIdx r = 0; r < table.num_rows(); ++r) {
+        if (col_a.IsNull(r) || col_b.IsNull(r)) continue;
+        ++non_null;
+        ++joint[{col_a.GetValue(r), col_b.GetValue(r)}];
+      }
+      if (non_null == 0) continue;
+      double independent_pairs =
+          std::min(ndv[static_cast<size_t>(a)] * ndv[static_cast<size_t>(b)],
+                   static_cast<double>(non_null));
+      double correlation =
+          1.0 - static_cast<double>(joint.size()) /
+                    std::max(1.0, independent_pairs);
+      if (correlation < options.min_correlation) continue;
+
+      ColumnGroupStats group;
+      group.col_a = a;
+      group.col_b = b;
+      group.num_distinct_pairs = static_cast<double>(joint.size());
+      group.correlation = correlation;
+      // Most common pairs, by descending count.
+      std::vector<std::pair<int64_t, const std::pair<common::Value,
+                                                     common::Value>*>>
+          ranked;
+      ranked.reserve(joint.size());
+      for (const auto& [pair, count] : joint) {
+        ranked.emplace_back(count, &pair);
+      }
+      std::sort(ranked.begin(), ranked.end(),
+                [](const auto& x, const auto& y) { return x.first > y.first; });
+      int keep = std::min<int>(options.max_pairs,
+                               static_cast<int>(ranked.size()));
+      double total_rows = static_cast<double>(table.num_rows());
+      for (int i = 0; i < keep; ++i) {
+        group.pairs.push_back(*ranked[static_cast<size_t>(i)].second);
+        group.freqs.push_back(
+            static_cast<double>(ranked[static_cast<size_t>(i)].first) /
+            total_rows);
+      }
+      groups.push_back(std::move(group));
+    }
+  }
+  return groups;
+}
+
+}  // namespace reopt::stats

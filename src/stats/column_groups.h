@@ -1,0 +1,59 @@
+// CORDS-style column-group statistics (paper Sec. IV-B): joint
+// most-common-value statistics over pairs of columns in one table, used to
+// correct the independence assumption for correlated same-table
+// predicates. The paper's argument — which bench/ablation_cords reproduces
+// empirically — is that this machinery, while sound, "seems unlikely to
+// improve execution time in JOB, because correlations exist between
+// columns that are several edges away in the join graph".
+#ifndef REOPT_STATS_COLUMN_GROUPS_H_
+#define REOPT_STATS_COLUMN_GROUPS_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace reopt::stats {
+
+/// Joint statistics for one ordered column pair (col_a < col_b).
+struct ColumnGroupStats {
+  common::ColumnIdx col_a = common::kInvalidColumnIdx;
+  common::ColumnIdx col_b = common::kInvalidColumnIdx;
+  /// Joint most-common pairs and their frequency over all rows.
+  std::vector<std::pair<common::Value, common::Value>> pairs;
+  std::vector<double> freqs;
+  /// Number of distinct (a, b) combinations observed.
+  double num_distinct_pairs = 0.0;
+  /// Correlation strength in [0, 1]: 1 - ndv(a,b)/min(ndv(a)*ndv(b), rows).
+  /// CORDS flags a pair as correlated when this is high.
+  double correlation = 0.0;
+
+  /// Joint frequency of (a, b) if it is a tracked common pair.
+  std::optional<double> Find(const common::Value& a,
+                             const common::Value& b) const;
+};
+
+struct ColumnGroupOptions {
+  /// Keep at most this many most-common pairs per group.
+  int max_pairs = 100;
+  /// Only record groups whose correlation strength is at least this.
+  double min_correlation = 0.2;
+  /// Skip columns with more distinct values than this (CORDS samples;
+  /// we bound work by cardinality).
+  double max_column_ndv = 10000.0;
+};
+
+/// Builds group statistics for every qualifying column pair of `table`.
+std::vector<ColumnGroupStats> BuildColumnGroups(
+    const storage::Table& table, const ColumnGroupOptions& options = {});
+
+/// Finds the group for (a, b) in any order; nullptr if absent.
+const ColumnGroupStats* FindGroup(
+    const std::vector<ColumnGroupStats>& groups, common::ColumnIdx a,
+    common::ColumnIdx b);
+
+}  // namespace reopt::stats
+
+#endif  // REOPT_STATS_COLUMN_GROUPS_H_

@@ -1,0 +1,27 @@
+#include "stats/column_stats.h"
+
+#include "common/string_util.h"
+
+namespace reopt::stats {
+
+std::optional<double> McvList::Find(const common::Value& v) const {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] == v) return freqs[i];
+  }
+  return std::nullopt;
+}
+
+double McvList::TotalFreq() const {
+  double sum = 0.0;
+  for (double f : freqs) sum += f;
+  return sum;
+}
+
+std::string ColumnStats::ToString() const {
+  return common::StrPrintf(
+      "ndv=%.0f null_frac=%.3f mcvs=%d mcv_freq=%.3f min=%s max=%s",
+      num_distinct, null_frac, mcv.size(), mcv.TotalFreq(),
+      min.ToString().c_str(), max.ToString().c_str());
+}
+
+}  // namespace reopt::stats

@@ -1,0 +1,53 @@
+// Per-column statistics mirroring pg_stats: null fraction, distinct count,
+// most-common values with frequencies, equi-depth histogram, min/max.
+#ifndef REOPT_STATS_COLUMN_STATS_H_
+#define REOPT_STATS_COLUMN_STATS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "stats/histogram.h"
+
+namespace reopt::stats {
+
+/// A most-common-values list: values paired with their frequency as a
+/// fraction of all (non-null) rows.
+struct McvList {
+  std::vector<common::Value> values;
+  std::vector<double> freqs;
+
+  bool empty() const { return values.empty(); }
+  int size() const { return static_cast<int>(values.size()); }
+
+  /// Frequency of `v` if present.
+  std::optional<double> Find(const common::Value& v) const;
+
+  /// Sum of all MCV frequencies.
+  double TotalFreq() const;
+};
+
+/// Statistics for one column.
+struct ColumnStats {
+  /// Fraction of rows that are NULL.
+  double null_frac = 0.0;
+  /// Number of distinct non-null values.
+  double num_distinct = 0.0;
+  /// Most common values (frequency above the ANALYZE threshold).
+  McvList mcv;
+  /// Equi-depth histogram over non-MCV, non-null values.
+  EquiDepthHistogram histogram;
+  /// Fraction of (non-null) rows not covered by the MCV list.
+  double non_mcv_frac = 1.0;
+  /// Number of distinct values outside the MCV list.
+  double non_mcv_distinct = 0.0;
+  common::Value min;
+  common::Value max;
+
+  std::string ToString() const;
+};
+
+}  // namespace reopt::stats
+
+#endif  // REOPT_STATS_COLUMN_STATS_H_

@@ -1,0 +1,86 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace reopt::stats {
+
+EquiDepthHistogram EquiDepthHistogram::Build(
+    std::vector<common::Value> values, int num_buckets) {
+  EquiDepthHistogram hist;
+  if (values.empty() || num_buckets < 1) return hist;
+  std::sort(values.begin(), values.end());
+  size_t n = values.size();
+  size_t buckets = std::min<size_t>(static_cast<size_t>(num_buckets), n);
+  hist.bounds_.reserve(buckets + 1);
+  hist.bounds_.push_back(values.front());
+  for (size_t b = 1; b <= buckets; ++b) {
+    // Boundary after the b-th equal-depth slice.
+    size_t idx = (n * b) / buckets;
+    hist.bounds_.push_back(values[idx - 1]);
+  }
+  return hist;
+}
+
+namespace {
+
+// Position of v within [lo, hi] for interpolation; 0.5 when not numeric or
+// when the bucket is a single point.
+double Interpolate(const common::Value& v, const common::Value& lo,
+                   const common::Value& hi) {
+  if (v.is_string() || lo.is_string() || hi.is_string()) return 0.5;
+  double a = lo.AsDouble();
+  double b = hi.AsDouble();
+  double x = v.AsDouble();
+  if (b <= a) return 0.5;
+  double t = (x - a) / (b - a);
+  return std::clamp(t, 0.0, 1.0);
+}
+
+}  // namespace
+
+double EquiDepthHistogram::FractionBelow(const common::Value& v,
+                                         bool inclusive) const {
+  if (empty()) return 0.5;
+  int k = num_buckets();
+  if (inclusive ? (v < bounds_.front()) : (v <= bounds_.front())) {
+    return 0.0;
+  }
+  if (inclusive ? (v >= bounds_.back()) : (v > bounds_.back())) {
+    return 1.0;
+  }
+  // Find the bucket containing v.
+  for (int i = 0; i < k; ++i) {
+    const common::Value& lo = bounds_[static_cast<size_t>(i)];
+    const common::Value& hi = bounds_[static_cast<size_t>(i) + 1];
+    if (v <= hi) {
+      double within = Interpolate(v, lo, hi);
+      return (static_cast<double>(i) + within) / static_cast<double>(k);
+    }
+  }
+  return 1.0;
+}
+
+double EquiDepthHistogram::FractionBetween(const common::Value& lo,
+                                           bool lo_inclusive,
+                                           const common::Value& hi,
+                                           bool hi_inclusive) const {
+  if (empty()) return 0.25;
+  double above = FractionBelow(hi, hi_inclusive);
+  double below = FractionBelow(lo, !lo_inclusive);
+  return std::max(0.0, above - below);
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += bounds_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace reopt::stats

@@ -1,0 +1,48 @@
+// Equi-depth histograms, the workhorse of PostgreSQL-style selectivity
+// estimation. Built by ANALYZE over non-null, non-MCV values.
+#ifndef REOPT_STATS_HISTOGRAM_H_
+#define REOPT_STATS_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace reopt::stats {
+
+/// An equi-depth (equal-height) histogram: `bounds_` holds bucket
+/// boundaries b0 <= b1 <= ... <= bk; bucket i covers (b_i, b_{i+1}] and
+/// holds ~1/k of the summarized values. Mirrors pg_stats.histogram_bounds.
+class EquiDepthHistogram {
+ public:
+  EquiDepthHistogram() = default;
+
+  /// Builds from a (not necessarily sorted) sample of values. `num_buckets`
+  /// is a maximum; fewer are used if there are few distinct values.
+  static EquiDepthHistogram Build(std::vector<common::Value> values,
+                                  int num_buckets);
+
+  bool empty() const { return bounds_.size() < 2; }
+  int num_buckets() const {
+    return empty() ? 0 : static_cast<int>(bounds_.size()) - 1;
+  }
+  const std::vector<common::Value>& bounds() const { return bounds_; }
+
+  /// Estimated fraction of summarized values < v (or <= v).
+  /// Linear interpolation within a bucket for numeric types; bucket
+  /// midpoint for strings.
+  double FractionBelow(const common::Value& v, bool inclusive) const;
+
+  /// Estimated fraction in [lo, hi] with per-bound inclusivity.
+  double FractionBetween(const common::Value& lo, bool lo_inclusive,
+                         const common::Value& hi, bool hi_inclusive) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<common::Value> bounds_;
+};
+
+}  // namespace reopt::stats
+
+#endif  // REOPT_STATS_HISTOGRAM_H_

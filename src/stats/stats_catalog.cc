@@ -1,0 +1,45 @@
+#include "stats/stats_catalog.h"
+
+namespace reopt::stats {
+
+void StatsCatalog::AnalyzeTable(const storage::Table& table,
+                                const AnalyzeOptions& options) {
+  stats_[table.name()] = Analyze(table, options);
+}
+
+void StatsCatalog::AnalyzeAll(const storage::Catalog& catalog,
+                              const AnalyzeOptions& options) {
+  for (const std::string& name : catalog.TableNames()) {
+    AnalyzeTable(*catalog.FindTable(name), options);
+  }
+}
+
+const TableStats* StatsCatalog::Find(const std::string& table_name) const {
+  auto it = stats_.find(table_name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+void StatsCatalog::Set(const std::string& table_name, TableStats stats) {
+  stats_[table_name] = std::move(stats);
+}
+
+void StatsCatalog::Remove(const std::string& table_name) {
+  stats_.erase(table_name);
+}
+
+void StatsCatalog::BuildColumnGroupsAll(const storage::Catalog& catalog,
+                                        const ColumnGroupOptions& options) {
+  for (auto& [name, stats] : stats_) {
+    const storage::Table* table = catalog.FindTable(name);
+    if (table == nullptr) continue;
+    stats.groups = BuildColumnGroups(*table, options);
+  }
+}
+
+void StatsCatalog::ClearColumnGroups() {
+  for (auto& [name, stats] : stats_) {
+    stats.groups.clear();
+  }
+}
+
+}  // namespace reopt::stats

@@ -1,0 +1,49 @@
+// Maps table names to their TableStats, the statistics side of the catalog.
+// The re-optimizer registers exact statistics for materialized temp tables
+// here before re-planning.
+#ifndef REOPT_STATS_STATS_CATALOG_H_
+#define REOPT_STATS_STATS_CATALOG_H_
+
+#include <map>
+#include <string>
+
+#include "storage/catalog.h"
+#include "stats/analyze.h"
+#include "stats/column_groups.h"
+#include "stats/table_stats.h"
+
+namespace reopt::stats {
+
+/// Statistics for all tables in a database instance.
+class StatsCatalog {
+ public:
+  StatsCatalog() = default;
+
+  /// Runs ANALYZE on one table and stores the result.
+  void AnalyzeTable(const storage::Table& table,
+                    const AnalyzeOptions& options = {});
+
+  /// Runs ANALYZE on every table in the catalog.
+  void AnalyzeAll(const storage::Catalog& catalog,
+                  const AnalyzeOptions& options = {});
+
+  /// Stats for `table_name`, or nullptr if never analyzed.
+  const TableStats* Find(const std::string& table_name) const;
+
+  void Set(const std::string& table_name, TableStats stats);
+  void Remove(const std::string& table_name);
+
+  /// Builds CORDS-style column-group statistics for every analyzed table
+  /// (paper Sec. IV-B; see bench/ablation_cords).
+  void BuildColumnGroupsAll(const storage::Catalog& catalog,
+                            const ColumnGroupOptions& options = {});
+  /// Drops all group statistics.
+  void ClearColumnGroups();
+
+ private:
+  std::map<std::string, TableStats> stats_;
+};
+
+}  // namespace reopt::stats
+
+#endif  // REOPT_STATS_STATS_CATALOG_H_

@@ -1,0 +1,18 @@
+#include "stats/table_stats.h"
+
+#include "common/string_util.h"
+
+namespace reopt::stats {
+
+std::string TableStats::ToString() const {
+  std::string out =
+      common::StrPrintf("rows=%.0f, %d columns:\n", row_count,
+                        static_cast<int>(columns.size()));
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out += common::StrPrintf("  [%d] %s\n", static_cast<int>(i),
+                             columns[i].ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace reopt::stats

@@ -1,0 +1,31 @@
+// Table-level statistics: row count plus per-column ColumnStats.
+#ifndef REOPT_STATS_TABLE_STATS_H_
+#define REOPT_STATS_TABLE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "stats/column_groups.h"
+#include "stats/column_stats.h"
+
+namespace reopt::stats {
+
+/// Statistics for one table, indexed by column position.
+struct TableStats {
+  double row_count = 0.0;
+  std::vector<ColumnStats> columns;
+  /// CORDS-style column-group statistics; empty unless explicitly built
+  /// (StatsCatalog::BuildColumnGroupsAll).
+  std::vector<ColumnGroupStats> groups;
+
+  const ColumnStats& column(common::ColumnIdx idx) const {
+    return columns[static_cast<size_t>(idx)];
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace reopt::stats
+
+#endif  // REOPT_STATS_TABLE_STATS_H_

@@ -1,0 +1,75 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace reopt::storage {
+
+common::Result<Table*> Catalog::CreateTable(const std::string& name,
+                                            Schema schema, bool temporary) {
+  if (tables_.count(name) > 0) {
+    return common::Status::AlreadyExists("table exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_[name] = Entry{std::move(table), temporary};
+  return raw;
+}
+
+common::Status Catalog::AddTable(std::unique_ptr<Table> table,
+                                 bool temporary) {
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return common::Status::AlreadyExists("table exists: " + name);
+  }
+  tables_[name] = Entry{std::move(table), temporary};
+  return common::Status::OK();
+}
+
+Table* Catalog::FindTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.table.get();
+}
+
+const Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.table.get();
+}
+
+common::Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return common::Status::NotFound("no such table: " + name);
+  }
+  tables_.erase(it);
+  return common::Status::OK();
+}
+
+void Catalog::DropTempTables() {
+  for (auto it = tables_.begin(); it != tables_.end();) {
+    if (it->second.temporary) {
+      it = tables_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Catalog::IsTemporary(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it != tables_.end() && it->second.temporary;
+}
+
+std::vector<std::string> Catalog::TableNames(bool temp_only) const {
+  std::vector<std::string> out;
+  for (const auto& [name, entry] : tables_) {
+    if (!temp_only || entry.temporary) out.push_back(name);
+  }
+  return out;
+}
+
+std::string Catalog::NextTempName() {
+  return common::StrPrintf("reopt_temp_%lld",
+                           static_cast<long long>(++temp_counter_));
+}
+
+}  // namespace reopt::storage

@@ -1,0 +1,61 @@
+// The catalog maps table names to Table objects, with a separate namespace
+// flag for temporary tables created by the re-optimizer (CREATE TEMP TABLE
+// ... AS SELECT in the paper's Fig. 6 rewrite).
+#ifndef REOPT_STORAGE_CATALOG_H_
+#define REOPT_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace reopt::storage {
+
+/// Owns all tables in a database instance.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Fails with AlreadyExists on a name collision.
+  common::Result<Table*> CreateTable(const std::string& name, Schema schema,
+                                     bool temporary = false);
+
+  /// Registers a prebuilt table (used by generators). Takes ownership.
+  common::Status AddTable(std::unique_ptr<Table> table,
+                          bool temporary = false);
+
+  /// Lookup; nullptr if absent.
+  Table* FindTable(const std::string& name);
+  const Table* FindTable(const std::string& name) const;
+
+  /// Drops a table (temp tables after a re-optimized query finishes).
+  common::Status DropTable(const std::string& name);
+
+  /// Drops every temporary table.
+  void DropTempTables();
+
+  bool IsTemporary(const std::string& name) const;
+
+  /// Names of all (or only temporary) tables, sorted.
+  std::vector<std::string> TableNames(bool temp_only = false) const;
+
+  /// Generates a unique temp-table name ("reopt_temp_1", ...).
+  std::string NextTempName();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Table> table;
+    bool temporary = false;
+  };
+  std::map<std::string, Entry> tables_;
+  int64_t temp_counter_ = 0;
+};
+
+}  // namespace reopt::storage
+
+#endif  // REOPT_STORAGE_CATALOG_H_

@@ -1,0 +1,79 @@
+#include "storage/column.h"
+
+namespace reopt::storage {
+
+void Column::AppendNull() {
+  switch (type_) {
+    case common::DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case common::DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case common::DataType::kString:
+      strings_.emplace_back();
+      break;
+  }
+  NoteAppend(false);
+}
+
+void Column::AppendValue(const common::Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case common::DataType::kInt64:
+      AppendInt(v.AsInt());
+      return;
+    case common::DataType::kDouble:
+      AppendDouble(v.AsDouble());
+      return;
+    case common::DataType::kString:
+      AppendString(v.AsString());
+      return;
+  }
+  REOPT_UNREACHABLE("bad column type");
+}
+
+void Column::Reserve(int64_t n) {
+  switch (type_) {
+    case common::DataType::kInt64:
+      ints_.reserve(static_cast<size_t>(n));
+      break;
+    case common::DataType::kDouble:
+      doubles_.reserve(static_cast<size_t>(n));
+      break;
+    case common::DataType::kString:
+      strings_.reserve(static_cast<size_t>(n));
+      break;
+  }
+}
+
+common::Value Column::GetValue(common::RowIdx row) const {
+  if (IsNull(row)) return common::Value::Null_();
+  switch (type_) {
+    case common::DataType::kInt64:
+      return common::Value::Int(GetInt(row));
+    case common::DataType::kDouble:
+      return common::Value::Real(GetDouble(row));
+    case common::DataType::kString:
+      return common::Value::Str(GetString(row));
+  }
+  REOPT_UNREACHABLE("bad column type");
+}
+
+void Column::NoteAppend(bool valid) {
+  ++size_;
+  if (!valid && valid_.empty()) {
+    // First null: materialize the bitmap with all prior rows valid.
+    valid_.assign(static_cast<size_t>(size_), 1);
+    valid_.back() = 0;
+    return;
+  }
+  if (!valid_.empty()) {
+    valid_.push_back(valid ? 1 : 0);
+  }
+}
+
+}  // namespace reopt::storage

@@ -1,0 +1,87 @@
+// In-memory typed column storage. A Column stores one attribute of a table
+// as a contiguous typed vector plus an optional validity bitmap.
+#ifndef REOPT_STORAGE_COLUMN_H_
+#define REOPT_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "common/value.h"
+
+namespace reopt::storage {
+
+/// A single typed column. Rows are addressed by RowIdx (0-based). Values may
+/// be null; a null row's slot in the typed vector holds a default value and
+/// must not be interpreted.
+class Column {
+ public:
+  explicit Column(common::DataType type) : type_(type) {}
+
+  common::DataType type() const { return type_; }
+  int64_t size() const { return size_; }
+
+  // ---- Appends -------------------------------------------------------
+  void AppendInt(int64_t v) {
+    REOPT_CHECK(type_ == common::DataType::kInt64);
+    ints_.push_back(v);
+    NoteAppend(true);
+  }
+  void AppendDouble(double v) {
+    REOPT_CHECK(type_ == common::DataType::kDouble);
+    doubles_.push_back(v);
+    NoteAppend(true);
+  }
+  void AppendString(std::string v) {
+    REOPT_CHECK(type_ == common::DataType::kString);
+    strings_.push_back(std::move(v));
+    NoteAppend(true);
+  }
+  /// Appends a NULL of this column's type.
+  void AppendNull();
+  /// Appends any Value (must match the column type or be null).
+  void AppendValue(const common::Value& v);
+
+  void Reserve(int64_t n);
+
+  // ---- Reads ---------------------------------------------------------
+  bool IsNull(common::RowIdx row) const {
+    return !valid_.empty() && valid_[static_cast<size_t>(row)] == 0;
+  }
+  int64_t GetInt(common::RowIdx row) const {
+    return ints_[static_cast<size_t>(row)];
+  }
+  double GetDouble(common::RowIdx row) const {
+    return doubles_[static_cast<size_t>(row)];
+  }
+  const std::string& GetString(common::RowIdx row) const {
+    return strings_[static_cast<size_t>(row)];
+  }
+  /// Boxed access (used off the hot path).
+  common::Value GetValue(common::RowIdx row) const;
+
+  /// Direct typed access for scans.
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  /// True if no row is null.
+  bool AllValid() const { return valid_.empty(); }
+
+ private:
+  void NoteAppend(bool valid);
+
+  common::DataType type_;
+  int64_t size_ = 0;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  // Empty means "all valid". Lazily materialized on the first null.
+  std::vector<uint8_t> valid_;
+};
+
+}  // namespace reopt::storage
+
+#endif  // REOPT_STORAGE_COLUMN_H_

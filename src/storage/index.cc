@@ -1,0 +1,27 @@
+#include "storage/index.h"
+
+#include "common/check.h"
+#include "storage/table.h"
+
+namespace reopt::storage {
+
+HashIndex::HashIndex(common::ColumnIdx column, const Table& table)
+    : column_(column) {
+  const Column& col = table.column(column);
+  REOPT_CHECK(col.type() == common::DataType::kInt64);
+  map_.reserve(static_cast<size_t>(col.size()));
+  for (common::RowIdx row = 0; row < col.size(); ++row) {
+    if (col.IsNull(row)) continue;
+    map_[col.GetInt(row)].push_back(row);
+    ++num_entries_;
+  }
+}
+
+const std::vector<common::RowIdx>& HashIndex::Lookup(int64_t key) const {
+  static const std::vector<common::RowIdx> kEmpty;
+  auto it = map_.find(key);
+  if (it == map_.end()) return kEmpty;
+  return it->second;
+}
+
+}  // namespace reopt::storage

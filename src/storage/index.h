@@ -1,0 +1,43 @@
+// Hash indexes on integer key columns. The paper's experimental setup adds
+// foreign-key indexes to every join column, "making access path selection
+// more challenging" — we mirror that: the data generator indexes every id
+// and FK column, and the optimizer can pick index scans / index nested-loop
+// joins against them.
+#ifndef REOPT_STORAGE_INDEX_H_
+#define REOPT_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace reopt::storage {
+
+class Table;
+
+/// A hash index over one INT64 column: key -> list of matching row indexes.
+/// NULL keys are not indexed (equi-joins never match NULL).
+class HashIndex {
+ public:
+  HashIndex(common::ColumnIdx column, const Table& table);
+
+  common::ColumnIdx column() const { return column_; }
+
+  /// Rows whose key equals `key`; empty vector if none.
+  const std::vector<common::RowIdx>& Lookup(int64_t key) const;
+
+  /// Number of distinct keys.
+  int64_t num_keys() const { return static_cast<int64_t>(map_.size()); }
+  /// Total indexed entries.
+  int64_t num_entries() const { return num_entries_; }
+
+ private:
+  common::ColumnIdx column_;
+  int64_t num_entries_ = 0;
+  std::unordered_map<int64_t, std::vector<common::RowIdx>> map_;
+};
+
+}  // namespace reopt::storage
+
+#endif  // REOPT_STORAGE_INDEX_H_

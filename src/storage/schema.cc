@@ -1,0 +1,30 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace reopt::storage {
+
+common::ColumnIdx Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<common::ColumnIdx>(i);
+  }
+  return common::kInvalidColumnIdx;
+}
+
+common::ColumnIdx Schema::AddColumn(ColumnDef def) {
+  columns_.push_back(std::move(def));
+  return static_cast<common::ColumnIdx>(columns_.size() - 1);
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += common::DataTypeName(columns_[i].type);
+  }
+  return out;
+}
+
+}  // namespace reopt::storage

@@ -1,0 +1,46 @@
+// Table schemas: ordered, named, typed columns.
+#ifndef REOPT_STORAGE_SCHEMA_H_
+#define REOPT_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace reopt::storage {
+
+/// One column definition.
+struct ColumnDef {
+  std::string name;
+  common::DataType type;
+};
+
+/// An ordered list of column definitions with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(common::ColumnIdx idx) const {
+    return columns_[static_cast<size_t>(idx)];
+  }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column with this name, or kInvalidColumnIdx.
+  common::ColumnIdx FindColumn(const std::string& name) const;
+
+  /// Appends a column definition; returns its index.
+  common::ColumnIdx AddColumn(ColumnDef def);
+
+  /// "name:TYPE, name:TYPE, ..." rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace reopt::storage
+
+#endif  // REOPT_STORAGE_SCHEMA_H_

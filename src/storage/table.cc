@@ -1,0 +1,68 @@
+#include "storage/table.h"
+
+#include "common/string_util.h"
+
+namespace reopt::storage {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(static_cast<size_t>(schema_.num_columns()));
+  for (const ColumnDef& def : schema_.columns()) {
+    columns_.push_back(std::make_unique<Column>(def.type));
+  }
+}
+
+void Table::AppendRow(const std::vector<common::Value>& values) {
+  REOPT_CHECK_MSG(static_cast<int>(values.size()) == schema_.num_columns(),
+                  "row arity mismatch");
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i]->AppendValue(values[i]);
+  }
+  ++num_rows_;
+}
+
+void Table::Reserve(int64_t n) {
+  for (auto& col : columns_) col->Reserve(n);
+}
+
+void Table::SyncRowCountFromColumns() {
+  if (columns_.empty()) {
+    num_rows_ = 0;
+    return;
+  }
+  int64_t n = columns_.front()->size();
+  for (const auto& col : columns_) {
+    REOPT_CHECK_MSG(col->size() == n, "ragged columns");
+  }
+  num_rows_ = n;
+}
+
+common::Status Table::CreateIndex(common::ColumnIdx column) {
+  if (column < 0 || column >= schema_.num_columns()) {
+    return common::Status::InvalidArgument(common::StrPrintf(
+        "no column %d in table %s", column, name_.c_str()));
+  }
+  if (schema_.column(column).type != common::DataType::kInt64) {
+    return common::Status::InvalidArgument(
+        "hash indexes are only supported on INT64 columns");
+  }
+  if (FindIndex(column) != nullptr) return common::Status::OK();
+  indexes_.push_back(std::make_unique<HashIndex>(column, *this));
+  return common::Status::OK();
+}
+
+const HashIndex* Table::FindIndex(common::ColumnIdx column) const {
+  for (const auto& idx : indexes_) {
+    if (idx->column() == column) return idx.get();
+  }
+  return nullptr;
+}
+
+std::vector<common::Value> Table::GetRow(common::RowIdx row) const {
+  std::vector<common::Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col->GetValue(row));
+  return out;
+}
+
+}  // namespace reopt::storage

@@ -1,0 +1,75 @@
+// In-memory tables: a Schema plus one Column per attribute, with optional
+// hash indexes on integer columns.
+#ifndef REOPT_STORAGE_TABLE_H_
+#define REOPT_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "common/value.h"
+#include "storage/column.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+
+namespace reopt::storage {
+
+/// A named table. Append-only; rows are addressed by 0-based RowIdx.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return schema_.num_columns(); }
+
+  const Column& column(common::ColumnIdx idx) const {
+    return *columns_[static_cast<size_t>(idx)];
+  }
+  Column& mutable_column(common::ColumnIdx idx) {
+    return *columns_[static_cast<size_t>(idx)];
+  }
+
+  /// Appends one row; `values` must have one entry per column with matching
+  /// types (or null).
+  void AppendRow(const std::vector<common::Value>& values);
+
+  void Reserve(int64_t n);
+
+  /// Recomputes the row count from column sizes after direct per-column
+  /// appends (bulk loaders, temp-table materialization). CHECK-fails if
+  /// columns disagree in length.
+  void SyncRowCountFromColumns();
+
+  /// Builds a hash index on an INT64 column (no-op if one already exists).
+  /// Returns InvalidArgument for non-integer columns.
+  common::Status CreateIndex(common::ColumnIdx column);
+
+  /// The index on `column`, or nullptr if none.
+  const HashIndex* FindIndex(common::ColumnIdx column) const;
+
+  /// All indexes on this table.
+  const std::vector<std::unique_ptr<HashIndex>>& indexes() const {
+    return indexes_;
+  }
+
+  /// Boxed row access (tests / debugging).
+  std::vector<common::Value> GetRow(common::RowIdx row) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  int64_t num_rows_ = 0;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::vector<std::unique_ptr<HashIndex>> indexes_;
+};
+
+}  // namespace reopt::storage
+
+#endif  // REOPT_STORAGE_TABLE_H_

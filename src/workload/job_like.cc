@@ -1,0 +1,380 @@
+#include "workload/job_like.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "imdb/imdb.h"
+#include "workload/query_builder.h"
+
+namespace reopt::workload {
+namespace {
+
+using common::Rng;
+using common::StrPrintf;
+using common::Value;
+
+/// One way to grow a query: attach `new_table` to an existing instance of
+/// `from_table` joining from_col = new_col.
+struct Expansion {
+  const char* from_table;
+  const char* from_col;
+  const char* new_table;
+  const char* new_col;
+  double weight;
+};
+
+const Expansion kExpansions[] = {
+    {"title", "id", "movie_keyword", "movie_id", 1.0},
+    {"movie_keyword", "keyword_id", "keyword", "id", 1.6},
+    {"title", "id", "cast_info", "movie_id", 1.0},
+    {"cast_info", "person_id", "name", "id", 1.4},
+    {"cast_info", "role_id", "role_type", "id", 0.5},
+    {"cast_info", "person_role_id", "char_name", "id", 0.4},
+    {"title", "id", "movie_companies", "movie_id", 1.0},
+    {"movie_companies", "company_id", "company_name", "id", 1.3},
+    {"movie_companies", "company_type_id", "company_type", "id", 0.5},
+    {"title", "id", "movie_info", "movie_id", 0.9},
+    {"movie_info", "info_type_id", "info_type", "id", 0.9},
+    {"title", "id", "movie_info_idx", "movie_id", 0.9},
+    {"movie_info_idx", "info_type_id", "info_type", "id", 0.9},
+    {"title", "kind_id", "kind_type", "id", 0.5},
+    {"title", "id", "aka_title", "movie_id", 0.4},
+    {"title", "id", "complete_cast", "movie_id", 0.4},
+    {"complete_cast", "subject_id", "comp_cast_type", "id", 0.5},
+    {"title", "id", "movie_link", "movie_id", 0.4},
+    {"movie_link", "link_type_id", "link_type", "id", 0.5},
+    {"movie_link", "linked_movie_id", "title", "id", 0.35},
+    {"name", "id", "aka_name", "person_id", 0.5},
+    {"name", "id", "person_info", "person_id", 0.5},
+    {"person_info", "info_type_id", "info_type", "id", 0.4},
+};
+
+/// Per-table instance caps (how many aliases of a table one query may
+/// have); JOB repeats info_type, title, cast_info and movie_keyword.
+int TableCap(const std::string& table) {
+  if (table == "title" || table == "info_type" || table == "cast_info" ||
+      table == "movie_keyword" || table == "keyword" || table == "name") {
+    return 2;
+  }
+  return 1;
+}
+
+const char* AliasBase(const std::string& table) {
+  static const std::map<std::string, const char*>* kAliases =
+      new std::map<std::string, const char*>{
+          {"title", "t"},          {"keyword", "k"},
+          {"movie_keyword", "mk"}, {"cast_info", "ci"},
+          {"name", "n"},           {"char_name", "chn"},
+          {"company_name", "cn"},  {"company_type", "ct"},
+          {"movie_companies", "mc"}, {"movie_info", "mi"},
+          {"movie_info_idx", "miidx"}, {"info_type", "it"},
+          {"kind_type", "kt"},     {"link_type", "lt"},
+          {"movie_link", "ml"},    {"role_type", "rt"},
+          {"aka_name", "an"},      {"aka_title", "at"},
+          {"person_info", "pi"},   {"complete_cast", "cc"},
+          {"comp_cast_type", "cct"}};
+  auto it = kAliases->find(table);
+  REOPT_CHECK(it != kAliases->end());
+  return it->second;
+}
+
+struct Instance {
+  std::string table;
+  int rel;
+  std::string parent_table;  // table it was attached to ("" for the root)
+};
+
+/// Grows a connected, tree-shaped join graph of `target` relations
+/// starting from `title`.
+std::vector<Instance> GrowQuery(QueryBuilder* qb, int target, Rng* rng) {
+  std::vector<Instance> instances;
+  std::map<std::string, int> counts;
+
+  int t = qb->AddRelation("title", "t");
+  instances.push_back(Instance{"title", t, ""});
+  counts["title"] = 1;
+
+  while (static_cast<int>(instances.size()) < target) {
+    // Collect applicable (instance, expansion) pairs with weights.
+    struct Candidate {
+      size_t instance;
+      const Expansion* expansion;
+      double weight;
+    };
+    std::vector<Candidate> candidates;
+    double total = 0.0;
+    for (size_t i = 0; i < instances.size(); ++i) {
+      for (const Expansion& e : kExpansions) {
+        if (instances[i].table != e.from_table) continue;
+        if (counts[e.new_table] >= TableCap(e.new_table)) continue;
+        candidates.push_back(Candidate{i, &e, e.weight});
+        total += e.weight;
+      }
+    }
+    REOPT_CHECK_MSG(!candidates.empty(), "query growth stuck");
+    double pick = rng->UniformDouble() * total;
+    const Candidate* chosen = &candidates.back();
+    for (const Candidate& c : candidates) {
+      if (pick < c.weight) {
+        chosen = &c;
+        break;
+      }
+      pick -= c.weight;
+    }
+    const Expansion& e = *chosen->expansion;
+    int n = ++counts[e.new_table];
+    std::string alias = AliasBase(e.new_table);
+    if (TableCap(e.new_table) > 1) alias += StrPrintf("%d", n);
+    int rel = qb->AddRelation(e.new_table, alias);
+    qb->Join(instances[chosen->instance].rel, e.from_col, rel, e.new_col);
+    instances.push_back(
+        Instance{e.new_table, rel, instances[chosen->instance].table});
+  }
+  return instances;
+}
+
+std::vector<Value> PickHotKeywords(Rng* rng, int count) {
+  const std::vector<std::string>& hot = imdb::HotKeywords();
+  std::vector<int> idx(hot.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  rng->Shuffle(&idx);
+  std::vector<Value> out;
+  for (int i = 0; i < count && i < static_cast<int>(idx.size()); ++i) {
+    out.push_back(Value::Str(hot[static_cast<size_t>(idx[static_cast<size_t>(i)])]));
+  }
+  return out;
+}
+
+/// Adds a benign (well-estimated) filter to one instance when the table
+/// supports one. Returns true if a filter was added.
+bool AddBenignFilter(QueryBuilder* qb, const Instance& inst, Rng* rng) {
+  const std::string& t = inst.table;
+  if (t == "title") {
+    int64_t start = 1935 + rng->UniformInt(0, 10) * 5;
+    int64_t len = 10 + rng->UniformInt(0, 5) * 5;
+    qb->FilterBetween(inst.rel, "production_year", Value::Int(start),
+                      Value::Int(start + len));
+    return true;
+  }
+  if (t == "keyword") {
+    // A cold keyword: uniform, so the estimate is accurate.
+    qb->FilterEq(inst.rel, "keyword",
+                 Value::Str(StrPrintf("kw_%06d",
+                                      static_cast<int>(rng->UniformInt(
+                                          200, 2000)))));
+    return true;
+  }
+  if (t == "company_name") {
+    static const char* kCodes[] = {"[us]", "[gb]", "[de]", "[fr]", "[jp]"};
+    qb->FilterEq(inst.rel, "country_code",
+                 Value::Str(kCodes[rng->UniformInt(0, 4)]));
+    return true;
+  }
+  if (t == "info_type") {
+    static const char* kInfos[] = {"genres", "countries", "languages",
+                                   "release dates", "runtimes"};
+    qb->FilterEq(inst.rel, "info", Value::Str(kInfos[rng->UniformInt(0, 4)]));
+    return true;
+  }
+  if (t == "kind_type") {
+    qb->FilterEq(inst.rel, "kind", Value::Str("movie"));
+    return true;
+  }
+  if (t == "role_type") {
+    static const char* kRoles[] = {"actor", "actress", "writer", "director"};
+    qb->FilterEq(inst.rel, "role", Value::Str(kRoles[rng->UniformInt(0, 3)]));
+    return true;
+  }
+  if (t == "link_type") {
+    qb->FilterEq(inst.rel, "link",
+                 Value::Str(rng->Bernoulli(0.5) ? "sequel" : "prequel"));
+    return true;
+  }
+  if (t == "name") {
+    qb->FilterEq(inst.rel, "gender", Value::Str("f"));
+    return true;
+  }
+  if (t == "movie_info") {
+    static const char* kGenres[] = {"Drama", "Comedy", "Thriller", "Romance"};
+    qb->FilterEq(inst.rel, "info", Value::Str(kGenres[rng->UniformInt(0, 3)]));
+    return true;
+  }
+  return false;
+}
+
+/// Adds a trappy filter (skew / correlation the estimator mis-handles).
+bool AddTrappyFilter(QueryBuilder* qb, const Instance& inst, Rng* rng) {
+  const std::string& t = inst.table;
+  if (t == "keyword") {
+    qb->FilterIn(inst.rel, "keyword",
+                 PickHotKeywords(rng, static_cast<int>(rng->UniformInt(3, 8))));
+    return true;
+  }
+  if (t == "name") {
+    const std::vector<std::string>& tokens = imdb::StarNameTokens();
+    const std::string& tok = tokens[static_cast<size_t>(rng->UniformInt(
+        0, static_cast<int64_t>(tokens.size()) - 1))];
+    qb->FilterLike(inst.rel, "name", "%" + tok + "%");
+    if (rng->Bernoulli(0.5)) {
+      // Correlated pair: stars skew male.
+      qb->FilterEq(inst.rel, "gender", Value::Str("m"));
+    }
+    return true;
+  }
+  if (t == "cast_info") {
+    qb->FilterIn(inst.rel, "note",
+                 {Value::Str("(producer)"),
+                  Value::Str("(executive producer)")});
+    return true;
+  }
+  if (t == "movie_info") {
+    qb->FilterEq(inst.rel, "info",
+                 Value::Str(rng->Bernoulli(0.6) ? "Action" : "Adventure"));
+    return true;
+  }
+  if (t == "info_type" && inst.parent_table == "movie_info_idx") {
+    qb->FilterEq(inst.rel, "info",
+                 Value::Str(rng->Bernoulli(0.5) ? "votes" : "budget"));
+    return true;
+  }
+  if (t == "title") {
+    qb->FilterCompare(inst.rel, "production_year", plan::CompareOp::kGt,
+                      Value::Int(2000));
+    return true;
+  }
+  return false;
+}
+
+/// Output candidates: string columns that read nicely in results.
+void AddOutputs(QueryBuilder* qb, const std::vector<Instance>& instances,
+                Rng* rng) {
+  struct Option {
+    const char* table;
+    const char* col;
+    const char* label;
+  };
+  static const Option kOptions[] = {
+      {"title", "title", "movie_title"},
+      {"name", "name", "person_name"},
+      {"keyword", "keyword", "movie_keyword"},
+      {"company_name", "name", "company"},
+      {"char_name", "name", "character"},
+      {"movie_info_idx", "info", "rating_info"},
+      {"link_type", "link", "link_kind"},
+      {"aka_title", "title", "alt_title"},
+  };
+  int added = 0;
+  int want = 1 + static_cast<int>(rng->UniformInt(0, 2));
+  for (const Option& opt : kOptions) {
+    if (added >= want) break;
+    for (const Instance& inst : instances) {
+      if (inst.table == opt.table) {
+        qb->OutputMin(inst.rel, opt.col, opt.label);
+        ++added;
+        break;
+      }
+    }
+  }
+  if (added == 0) {
+    qb->OutputMin(instances.front().rel, "title", "movie_title");
+  }
+}
+
+std::unique_ptr<plan::QuerySpec> GenerateQuery(
+    const storage::Catalog& catalog, const std::string& name, int size,
+    bool trappy, Rng* rng) {
+  QueryBuilder qb(&catalog, name);
+  std::vector<Instance> instances = GrowQuery(&qb, size, rng);
+
+  // Shuffled visiting order so filters land on different relations.
+  std::vector<size_t> order(instances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+
+  int filters = 0;
+  int want_trappy = trappy ? 1 + (rng->Bernoulli(0.35) ? 1 : 0) : 0;
+  // Larger queries carry more predicates (JOB style) so results stay
+  // selective — multi-million-row outputs would be un-JOB-like.
+  int want_total = 2 + size / 4 + static_cast<int>(rng->UniformInt(0, 2));
+
+  if (trappy) {
+    for (size_t i : order) {
+      if (want_trappy == 0) break;
+      if (AddTrappyFilter(&qb, instances[i], rng)) {
+        --want_trappy;
+        ++filters;
+      }
+    }
+  }
+  for (size_t i : order) {
+    if (filters >= want_total) break;
+    if (AddBenignFilter(&qb, instances[i], rng)) ++filters;
+  }
+  // Guarantee selectivity: queries of 8+ relations always get a title
+  // year-range (in addition to whatever else was drawn), and every query
+  // has at least one filter. Without this, large generated queries can
+  // emit millions of rows, which JOB's hand-tuned predicates never do.
+  bool has_title_filter = false;
+  for (const plan::ScanPredicate& p : qb.PendingFilters()) {
+    if (p.column.rel == instances.front().rel) has_title_filter = true;
+  }
+  if (filters == 0 || (size >= 8 && !has_title_filter)) {
+    int64_t start = 1950 + rng->UniformInt(0, 9) * 5;
+    qb.FilterBetween(instances.front().rel, "production_year",
+                     Value::Int(start), Value::Int(start + 25));
+  }
+  AddOutputs(&qb, instances, rng);
+  return qb.Build();
+}
+
+}  // namespace
+
+const plan::QuerySpec* JobLikeWorkload::Find(const std::string& name) const {
+  for (const auto& q : queries) {
+    if (q->name == name) return q.get();
+  }
+  return nullptr;
+}
+
+const std::map<int, int>& JobLikeWorkload::TableCountDistribution() {
+  static const std::map<int, int>* kDist = new std::map<int, int>{
+      {4, 3}, {5, 20}, {6, 2},  {7, 16},  {8, 21}, {9, 14},
+      {10, 7}, {11, 10}, {12, 11}, {14, 6}, {17, 3}};
+  return *kDist;
+}
+
+std::unique_ptr<JobLikeWorkload> BuildJobLikeWorkload(
+    const storage::Catalog& catalog, const WorkloadOptions& options) {
+  auto workload = std::make_unique<JobLikeWorkload>();
+  Rng rng(options.seed);
+
+  // Signature queries first (they occupy slots in the Table III counts).
+  workload->queries.push_back(MakeQuery6d(catalog));     // 5 tables
+  workload->queries.push_back(MakeQuery18a(catalog));    // 7 tables
+  workload->queries.push_back(MakeQueryFig6(catalog));   // 7 tables
+  workload->queries.push_back(MakeQuery16b(catalog));    // 8 tables
+  workload->queries.push_back(MakeQuery25c(catalog));    // 9 tables
+  workload->queries.push_back(MakeQuery30a(catalog));    // 9 tables
+
+  std::map<int, int> remaining = JobLikeWorkload::TableCountDistribution();
+  for (const auto& q : workload->queries) {
+    int size = q->num_relations();
+    REOPT_CHECK(remaining[size] > 0);
+    --remaining[size];
+  }
+
+  for (const auto& [size, count] : remaining) {
+    for (int i = 0; i < count; ++i) {
+      bool trappy = rng.Bernoulli(options.trappy_probability);
+      std::string name = StrPrintf("q%d_%02d", size, i + 1);
+      workload->queries.push_back(
+          GenerateQuery(catalog, name, size, trappy, &rng));
+    }
+  }
+  REOPT_CHECK(workload->queries.size() == 113);
+  return workload;
+}
+
+}  // namespace reopt::workload

@@ -1,0 +1,60 @@
+// The JOB-like workload: 113 select-project-join queries over the synthetic
+// IMDB schema whose table-count distribution matches the paper's Table III
+// exactly, including hand-written analogues of the queries the paper
+// dissects (6d, 18a, the Fig. 6 rewrite example, and the Fig. 5 iterative-
+// correction queries 16b / 25c / 30a).
+#ifndef REOPT_WORKLOAD_JOB_LIKE_H_
+#define REOPT_WORKLOAD_JOB_LIKE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/query_spec.h"
+#include "storage/catalog.h"
+
+namespace reopt::workload {
+
+struct WorkloadOptions {
+  uint64_t seed = 20190319;
+  /// Fraction of generated queries that draw at least one "trappy"
+  /// predicate (skew / correlation patterns the estimator mis-handles).
+  /// Calibrated so the relative-runtime distribution resembles Table II.
+  double trappy_probability = 0.5;
+};
+
+struct JobLikeWorkload {
+  std::vector<std::unique_ptr<plan::QuerySpec>> queries;
+
+  const plan::QuerySpec* Find(const std::string& name) const;
+
+  /// The paper's Table III: #tables -> #queries.
+  static const std::map<int, int>& TableCountDistribution();
+};
+
+/// Builds all 113 queries. Deterministic in `options.seed`.
+std::unique_ptr<JobLikeWorkload> BuildJobLikeWorkload(
+    const storage::Catalog& catalog, const WorkloadOptions& options = {});
+
+// ---- Signature queries (paper Sec. IV-D / V, Figs. 3, 4, 5, 6) ----------
+
+/// Query 6d analogue: 5-way join, hot-keyword IN-list whose frequency the
+/// uniformity assumption underestimates by >2 orders of magnitude.
+std::unique_ptr<plan::QuerySpec> MakeQuery6d(const storage::Catalog& catalog);
+
+/// Query 18a analogue: 7-way join with info_type self-pair (budget/votes)
+/// and correlated person predicates; only improves at perfect-(4).
+std::unique_ptr<plan::QuerySpec> MakeQuery18a(const storage::Catalog& catalog);
+
+/// The Fig. 6 running example (character-name-in-title).
+std::unique_ptr<plan::QuerySpec> MakeQueryFig6(const storage::Catalog& catalog);
+
+/// Fig. 5 iterative-correction subjects.
+std::unique_ptr<plan::QuerySpec> MakeQuery16b(const storage::Catalog& catalog);
+std::unique_ptr<plan::QuerySpec> MakeQuery25c(const storage::Catalog& catalog);
+std::unique_ptr<plan::QuerySpec> MakeQuery30a(const storage::Catalog& catalog);
+
+}  // namespace reopt::workload
+
+#endif  // REOPT_WORKLOAD_JOB_LIKE_H_

@@ -1,0 +1,109 @@
+#include "workload/query_builder.h"
+
+#include "common/check.h"
+
+namespace reopt::workload {
+
+QueryBuilder::QueryBuilder(const storage::Catalog* catalog, std::string name)
+    : catalog_(catalog), spec_(std::make_unique<plan::QuerySpec>()) {
+  spec_->name = std::move(name);
+}
+
+int QueryBuilder::AddRelation(const std::string& table,
+                              const std::string& alias) {
+  const storage::Table* t = catalog_->FindTable(table);
+  REOPT_CHECK_MSG(t != nullptr, "QueryBuilder: unknown table");
+  tables_.push_back(t);
+  spec_->relations.push_back(plan::RelationRef{table, alias});
+  return static_cast<int>(spec_->relations.size()) - 1;
+}
+
+common::ColumnIdx QueryBuilder::Col(int rel, const std::string& col) const {
+  REOPT_CHECK(rel >= 0 && rel < static_cast<int>(tables_.size()));
+  common::ColumnIdx idx =
+      tables_[static_cast<size_t>(rel)]->schema().FindColumn(col);
+  REOPT_CHECK_MSG(idx != common::kInvalidColumnIdx,
+                  "QueryBuilder: unknown column");
+  return idx;
+}
+
+QueryBuilder& QueryBuilder::Join(int rel_a, const std::string& col_a,
+                                 int rel_b, const std::string& col_b) {
+  plan::JoinEdge edge;
+  edge.left = plan::ColumnRef{rel_a, Col(rel_a, col_a), col_a};
+  edge.right = plan::ColumnRef{rel_b, Col(rel_b, col_b), col_b};
+  spec_->joins.push_back(edge);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FilterCompare(int rel, const std::string& col,
+                                          plan::CompareOp op,
+                                          common::Value value) {
+  plan::ScanPredicate pred;
+  pred.column = plan::ColumnRef{rel, Col(rel, col), col};
+  pred.kind = plan::ScanPredicate::Kind::kCompare;
+  pred.op = op;
+  pred.value = std::move(value);
+  spec_->filters.push_back(std::move(pred));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FilterIn(int rel, const std::string& col,
+                                     std::vector<common::Value> values) {
+  plan::ScanPredicate pred;
+  pred.column = plan::ColumnRef{rel, Col(rel, col), col};
+  pred.kind = plan::ScanPredicate::Kind::kIn;
+  pred.in_list = std::move(values);
+  spec_->filters.push_back(std::move(pred));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FilterLike(int rel, const std::string& col,
+                                       const std::string& pattern,
+                                       bool negated) {
+  plan::ScanPredicate pred;
+  pred.column = plan::ColumnRef{rel, Col(rel, col), col};
+  pred.kind = negated ? plan::ScanPredicate::Kind::kNotLike
+                      : plan::ScanPredicate::Kind::kLike;
+  pred.value = common::Value::Str(pattern);
+  spec_->filters.push_back(std::move(pred));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FilterBetween(int rel, const std::string& col,
+                                          common::Value lo,
+                                          common::Value hi) {
+  plan::ScanPredicate pred;
+  pred.column = plan::ColumnRef{rel, Col(rel, col), col};
+  pred.kind = plan::ScanPredicate::Kind::kBetween;
+  pred.value = std::move(lo);
+  pred.value2 = std::move(hi);
+  spec_->filters.push_back(std::move(pred));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FilterIsNotNull(int rel, const std::string& col) {
+  plan::ScanPredicate pred;
+  pred.column = plan::ColumnRef{rel, Col(rel, col), col};
+  pred.kind = plan::ScanPredicate::Kind::kIsNotNull;
+  spec_->filters.push_back(std::move(pred));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::OutputMin(int rel, const std::string& col,
+                                      const std::string& label) {
+  plan::OutputExpr out;
+  out.column = plan::ColumnRef{rel, Col(rel, col), col};
+  out.min_agg = true;
+  out.label = label;
+  spec_->outputs.push_back(std::move(out));
+  return *this;
+}
+
+std::unique_ptr<plan::QuerySpec> QueryBuilder::Build() {
+  REOPT_CHECK_MSG(!spec_->outputs.empty(),
+                  "QueryBuilder: query needs at least one output");
+  return std::move(spec_);
+}
+
+}  // namespace reopt::workload

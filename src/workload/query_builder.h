@@ -1,0 +1,64 @@
+// Programmatic construction of QuerySpecs against a catalog, resolving
+// column names to indexes at build time. Used by the workload generator,
+// the examples and the tests.
+#ifndef REOPT_WORKLOAD_QUERY_BUILDER_H_
+#define REOPT_WORKLOAD_QUERY_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/query_spec.h"
+#include "storage/catalog.h"
+
+namespace reopt::workload {
+
+class QueryBuilder {
+ public:
+  QueryBuilder(const storage::Catalog* catalog, std::string name);
+
+  /// Adds a FROM entry; returns its relation position. CHECK-fails on
+  /// unknown tables (the builder is for trusted, programmatic use).
+  int AddRelation(const std::string& table, const std::string& alias);
+
+  /// rel_a.col_a = rel_b.col_b.
+  QueryBuilder& Join(int rel_a, const std::string& col_a, int rel_b,
+                     const std::string& col_b);
+
+  QueryBuilder& FilterCompare(int rel, const std::string& col,
+                              plan::CompareOp op, common::Value value);
+  QueryBuilder& FilterEq(int rel, const std::string& col,
+                         common::Value value) {
+    return FilterCompare(rel, col, plan::CompareOp::kEq, std::move(value));
+  }
+  QueryBuilder& FilterIn(int rel, const std::string& col,
+                         std::vector<common::Value> values);
+  QueryBuilder& FilterLike(int rel, const std::string& col,
+                           const std::string& pattern, bool negated = false);
+  QueryBuilder& FilterBetween(int rel, const std::string& col,
+                              common::Value lo, common::Value hi);
+  QueryBuilder& FilterIsNotNull(int rel, const std::string& col);
+
+  /// Adds MIN(rel.col) AS label to the output list.
+  QueryBuilder& OutputMin(int rel, const std::string& col,
+                          const std::string& label);
+
+  std::unique_ptr<plan::QuerySpec> Build();
+
+  /// Filters added so far (generator introspection before Build()).
+  const std::vector<plan::ScanPredicate>& PendingFilters() const {
+    return spec_->filters;
+  }
+
+  /// Column index of `col` in `rel`'s table; CHECK-fails if absent.
+  common::ColumnIdx Col(int rel, const std::string& col) const;
+
+ private:
+  const storage::Catalog* catalog_;
+  std::unique_ptr<plan::QuerySpec> spec_;
+  std::vector<const storage::Table*> tables_;
+};
+
+}  // namespace reopt::workload
+
+#endif  // REOPT_WORKLOAD_QUERY_BUILDER_H_

@@ -1,0 +1,63 @@
+#include "workload/runner.h"
+
+namespace reopt::workload {
+
+double WorkloadRunResult::TotalPlanSeconds() const {
+  double total = 0.0;
+  for (const QueryRecord& r : records) total += r.plan_seconds;
+  return total;
+}
+
+double WorkloadRunResult::TotalExecSeconds() const {
+  double total = 0.0;
+  for (const QueryRecord& r : records) total += r.exec_seconds;
+  return total;
+}
+
+const QueryRecord* WorkloadRunResult::Find(const std::string& name) const {
+  for (const QueryRecord& r : records) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+common::Result<reoptimizer::QuerySession*> WorkloadRunner::GetSession(
+    const plan::QuerySpec* query) {
+  auto it = sessions_.find(query);
+  if (it != sessions_.end()) return it->second.get();
+  auto created =
+      reoptimizer::QuerySession::Create(query, &db_->catalog, &db_->stats);
+  if (!created.ok()) return created.status();
+  reoptimizer::QuerySession* raw = created.value().get();
+  sessions_[query] = std::move(created.value());
+  return raw;
+}
+
+common::Result<reoptimizer::RunResult> WorkloadRunner::RunOne(
+    const plan::QuerySpec* query, const reoptimizer::ModelSpec& model,
+    const reoptimizer::ReoptOptions& reopt) {
+  REOPT_ASSIGN_OR_RETURN(reoptimizer::QuerySession * session, GetSession(query));
+  return runner_.Run(session, model, reopt);
+}
+
+common::Result<WorkloadRunResult> WorkloadRunner::RunAll(
+    const JobLikeWorkload& workload, const reoptimizer::ModelSpec& model,
+    const reoptimizer::ReoptOptions& reopt) {
+  WorkloadRunResult out;
+  out.records.reserve(workload.queries.size());
+  for (const auto& query : workload.queries) {
+    auto run = RunOne(query.get(), model, reopt);
+    if (!run.ok()) return run.status();
+    QueryRecord record;
+    record.name = query->name;
+    record.num_tables = query->num_relations();
+    record.plan_seconds = run->plan_seconds();
+    record.exec_seconds = run->exec_seconds();
+    record.materializations = run->num_materializations;
+    record.raw_rows = run->raw_rows;
+    out.records.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace reopt::workload

@@ -1,0 +1,75 @@
+// Workload runner: executes the 113-query suite under a given cardinality
+// model and re-optimization setting, producing the per-query records every
+// bench table/figure is derived from. Sessions (and their true-cardinality
+// caches) are reused across configurations so perfect-(n) and threshold
+// sweeps amortize oracle work.
+#ifndef REOPT_WORKLOAD_RUNNER_H_
+#define REOPT_WORKLOAD_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "imdb/imdb.h"
+#include "reopt/query_runner.h"
+#include "workload/job_like.h"
+
+namespace reopt::workload {
+
+struct QueryRecord {
+  std::string name;
+  int num_tables = 0;
+  double plan_seconds = 0.0;
+  double exec_seconds = 0.0;
+  int materializations = 0;
+  int64_t raw_rows = 0;
+
+  double total_seconds() const { return plan_seconds + exec_seconds; }
+};
+
+struct WorkloadRunResult {
+  std::vector<QueryRecord> records;
+
+  double TotalPlanSeconds() const;
+  double TotalExecSeconds() const;
+  const QueryRecord* Find(const std::string& name) const;
+};
+
+class WorkloadRunner {
+ public:
+  explicit WorkloadRunner(imdb::ImdbDatabase* db,
+                          const optimizer::CostParams& params = {})
+      : db_(db), params_(params), runner_(&db->catalog, &db->stats, params) {}
+
+  /// Runs one query (session cached across calls).
+  common::Result<reoptimizer::RunResult> RunOne(const plan::QuerySpec* query,
+                                          const reoptimizer::ModelSpec& model,
+                                          const reoptimizer::ReoptOptions& reopt);
+
+  /// Runs every query of the workload in order.
+  common::Result<WorkloadRunResult> RunAll(
+      const JobLikeWorkload& workload, const reoptimizer::ModelSpec& model,
+      const reoptimizer::ReoptOptions& reopt);
+
+  /// The cached session for a query (creating it on first use).
+  common::Result<reoptimizer::QuerySession*> GetSession(
+      const plan::QuerySpec* query);
+
+  const optimizer::CostParams& params() const { return params_; }
+
+  /// Access for operator-ablation benches.
+  reoptimizer::QueryRunner* query_runner() { return &runner_; }
+
+ private:
+  imdb::ImdbDatabase* db_;
+  optimizer::CostParams params_;
+  reoptimizer::QueryRunner runner_;
+  std::map<const plan::QuerySpec*, std::unique_ptr<reoptimizer::QuerySession>>
+      sessions_;
+};
+
+}  // namespace reopt::workload
+
+#endif  // REOPT_WORKLOAD_RUNNER_H_

@@ -1,0 +1,214 @@
+#include "workload/job_like.h"
+
+#include "common/value.h"
+#include "workload/query_builder.h"
+
+namespace reopt::workload {
+
+using common::Value;
+
+std::unique_ptr<plan::QuerySpec> MakeQuery6d(const storage::Catalog& catalog) {
+  // SELECT MIN(k.keyword), MIN(n.name), MIN(t.title)
+  // FROM cast_info ci, keyword k, movie_keyword mk, name n, title t
+  // WHERE k.keyword IN (8 hot keywords)
+  //   AND n.name LIKE '%Downey%Robert%'  (-> our '%Downey%' star token)
+  //   AND t.production_year > 2000
+  //   AND mk.keyword_id = k.id AND t.id = mk.movie_id
+  //   AND t.id = ci.movie_id AND ci.person_id = n.id;
+  QueryBuilder qb(&catalog, "6d");
+  int ci = qb.AddRelation("cast_info", "ci");
+  int k = qb.AddRelation("keyword", "k");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  int n = qb.AddRelation("name", "n");
+  int t = qb.AddRelation("title", "t");
+  qb.Join(mk, "keyword_id", k, "id")
+      .Join(t, "id", mk, "movie_id")
+      .Join(t, "id", ci, "movie_id")
+      .Join(ci, "person_id", n, "id")
+      .FilterIn(k, "keyword",
+                {Value::Str("superhero"), Value::Str("sequel"),
+                 Value::Str("second-part"), Value::Str("marvel-comics"),
+                 Value::Str("based-on-comic"), Value::Str("tv-special"),
+                 Value::Str("fight"), Value::Str("violence")})
+      .FilterLike(n, "name", "%Downey%")
+      .FilterCompare(t, "production_year", plan::CompareOp::kGt,
+                     Value::Int(2000))
+      .OutputMin(k, "keyword", "movie_keyword")
+      .OutputMin(n, "name", "actor_name")
+      .OutputMin(t, "title", "hero_movie");
+  return qb.Build();
+}
+
+std::unique_ptr<plan::QuerySpec> MakeQuery18a(
+    const storage::Catalog& catalog) {
+  // SELECT MIN(mi.info), MIN(mi_idx.info), MIN(t.title)
+  // FROM cast_info ci, info_type it1, info_type it2, movie_info mi,
+  //      movie_info_idx mi_idx, name n, title t
+  // WHERE ci.note IN ('(producer)', '(executive producer)')
+  //   AND it1.info = 'genres' AND it2.info = 'votes'
+  //   (the paper filters it1 on 'budget'; in our generator budget rows
+  //    live in movie_info_idx, so the mi-side filter uses 'genres' — the
+  //    it2/'votes' x mi_idx correlation trap is preserved)
+  //   AND n.gender = 'm' AND n.name LIKE '%Tim%'
+  //   AND t.id = ci.movie_id AND t.id = mi.movie_id
+  //   AND t.id = mi_idx.movie_id AND ci.person_id = n.id
+  //   AND it1.id = mi.info_type_id AND it2.id = mi_idx.info_type_id;
+  QueryBuilder qb(&catalog, "18a");
+  int ci = qb.AddRelation("cast_info", "ci");
+  int it1 = qb.AddRelation("info_type", "it1");
+  int it2 = qb.AddRelation("info_type", "it2");
+  int mi = qb.AddRelation("movie_info", "mi");
+  int mi_idx = qb.AddRelation("movie_info_idx", "mi_idx");
+  int n = qb.AddRelation("name", "n");
+  int t = qb.AddRelation("title", "t");
+  qb.Join(t, "id", ci, "movie_id")
+      .Join(t, "id", mi, "movie_id")
+      .Join(t, "id", mi_idx, "movie_id")
+      .Join(ci, "person_id", n, "id")
+      .Join(it1, "id", mi, "info_type_id")
+      .Join(it2, "id", mi_idx, "info_type_id")
+      .FilterIn(ci, "note",
+                {Value::Str("(producer)"),
+                 Value::Str("(executive producer)")})
+      .FilterEq(it1, "info", Value::Str("genres"))
+      .FilterEq(it2, "info", Value::Str("votes"))
+      .FilterEq(n, "gender", Value::Str("m"))
+      .FilterLike(n, "name", "%Tim%")
+      .OutputMin(mi, "info", "movie_budget")
+      .OutputMin(mi_idx, "info", "movie_votes")
+      .OutputMin(t, "title", "movie_title");
+  return qb.Build();
+}
+
+std::unique_ptr<plan::QuerySpec> MakeQueryFig6(
+    const storage::Catalog& catalog) {
+  // The paper's re-optimization example (Fig. 6):
+  // FROM cast_info ci, company_name cn, keyword k, movie_companies mc,
+  //      movie_keyword mk, name n, title t
+  // WHERE k.keyword = 'character-name-in-title' AND n.name LIKE 'X%'
+  //   AND the join chain over person/movie ids. Our surnames start with
+  //   A-Z; 'W%' selects a few (White/Wilson/Walker/Wright).
+  QueryBuilder qb(&catalog, "fig6");
+  int ci = qb.AddRelation("cast_info", "ci");
+  int cn = qb.AddRelation("company_name", "cn");
+  int k = qb.AddRelation("keyword", "k");
+  int mc = qb.AddRelation("movie_companies", "mc");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  int n = qb.AddRelation("name", "n");
+  int t = qb.AddRelation("title", "t");
+  qb.Join(n, "id", ci, "person_id")
+      .Join(ci, "movie_id", t, "id")
+      .Join(t, "id", mk, "movie_id")
+      .Join(mk, "keyword_id", k, "id")
+      .Join(t, "id", mc, "movie_id")
+      .Join(mc, "company_id", cn, "id")
+      .FilterEq(k, "keyword", Value::Str("character-name-in-title"))
+      .FilterLike(n, "name", "W%")
+      .OutputMin(n, "name", "of_person")
+      .OutputMin(t, "title", "biography_movie");
+  return qb.Build();
+}
+
+std::unique_ptr<plan::QuerySpec> MakeQuery16b(
+    const storage::Catalog& catalog) {
+  // 8-way: aka_name + the Fig. 6 shape; several interacting mis-estimates
+  // (hot keyword + un-anchored LIKE), the Fig. 5 slow-convergence subject.
+  QueryBuilder qb(&catalog, "16b");
+  int an = qb.AddRelation("aka_name", "an");
+  int ci = qb.AddRelation("cast_info", "ci");
+  int cn = qb.AddRelation("company_name", "cn");
+  int k = qb.AddRelation("keyword", "k");
+  int mc = qb.AddRelation("movie_companies", "mc");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  int n = qb.AddRelation("name", "n");
+  int t = qb.AddRelation("title", "t");
+  qb.Join(an, "person_id", n, "id")
+      .Join(n, "id", ci, "person_id")
+      .Join(ci, "movie_id", t, "id")
+      .Join(t, "id", mk, "movie_id")
+      .Join(mk, "keyword_id", k, "id")
+      .Join(t, "id", mc, "movie_id")
+      .Join(mc, "company_id", cn, "id")
+      .FilterEq(k, "keyword", Value::Str("character-name-in-title"))
+      .FilterEq(cn, "country_code", Value::Str("[us]"))
+      .FilterLike(n, "name", "%Chris%")
+      .OutputMin(an, "name", "cool_actor_pseudonym")
+      .OutputMin(t, "title", "series_named_after_char");
+  return qb.Build();
+}
+
+std::unique_ptr<plan::QuerySpec> MakeQuery25c(
+    const storage::Catalog& catalog) {
+  // 9-way: hot keywords x producer notes x budget/votes info pair — three
+  // stacked correlation traps.
+  QueryBuilder qb(&catalog, "25c");
+  int ci = qb.AddRelation("cast_info", "ci");
+  int it1 = qb.AddRelation("info_type", "it1");
+  int it2 = qb.AddRelation("info_type", "it2");
+  int k = qb.AddRelation("keyword", "k");
+  int mi = qb.AddRelation("movie_info", "mi");
+  int mi_idx = qb.AddRelation("movie_info_idx", "mi_idx");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  int n = qb.AddRelation("name", "n");
+  int t = qb.AddRelation("title", "t");
+  qb.Join(t, "id", mi, "movie_id")
+      .Join(t, "id", mi_idx, "movie_id")
+      .Join(t, "id", ci, "movie_id")
+      .Join(t, "id", mk, "movie_id")
+      .Join(ci, "person_id", n, "id")
+      .Join(mi, "info_type_id", it1, "id")
+      .Join(mi_idx, "info_type_id", it2, "id")
+      .Join(mk, "keyword_id", k, "id")
+      .FilterIn(k, "keyword",
+                {Value::Str("murder"), Value::Str("violence"),
+                 Value::Str("blood"), Value::Str("gore")})
+      .FilterIn(ci, "note",
+                {Value::Str("(producer)"),
+                 Value::Str("(executive producer)")})
+      .FilterEq(it1, "info", Value::Str("genres"))
+      .FilterEq(it2, "info", Value::Str("votes"))
+      .FilterEq(n, "gender", Value::Str("m"))
+      .OutputMin(mi, "info", "movie_budget")
+      .OutputMin(mi_idx, "info", "movie_votes")
+      .OutputMin(n, "name", "male_writer")
+      .OutputMin(t, "title", "violent_movie_title");
+  return qb.Build();
+}
+
+std::unique_ptr<plan::QuerySpec> MakeQuery30a(
+    const storage::Catalog& catalog) {
+  // 9-way with complete_cast: hot keywords and Action genre, moderate
+  // errors that a few corrections fix (then over-correct, Fig. 5 bottom).
+  QueryBuilder qb(&catalog, "30a");
+  int cc = qb.AddRelation("complete_cast", "cc");
+  int cct = qb.AddRelation("comp_cast_type", "cct1");
+  int ci = qb.AddRelation("cast_info", "ci");
+  int k = qb.AddRelation("keyword", "k");
+  int mi = qb.AddRelation("movie_info", "mi");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  int n = qb.AddRelation("name", "n");
+  int t = qb.AddRelation("title", "t");
+  int it = qb.AddRelation("info_type", "it1");
+  qb.Join(t, "id", cc, "movie_id")
+      .Join(cc, "subject_id", cct, "id")
+      .Join(t, "id", ci, "movie_id")
+      .Join(t, "id", mk, "movie_id")
+      .Join(t, "id", mi, "movie_id")
+      .Join(mk, "keyword_id", k, "id")
+      .Join(ci, "person_id", n, "id")
+      .Join(mi, "info_type_id", it, "id")
+      .FilterIn(k, "keyword",
+                {Value::Str("superhero"), Value::Str("based-on-comic"),
+                 Value::Str("fight"), Value::Str("revenge")})
+      .FilterEq(it, "info", Value::Str("genres"))
+      .FilterEq(mi, "info", Value::Str("Action"))
+      .FilterEq(cct, "kind", Value::Str("cast"))
+      .FilterCompare(t, "production_year", plan::CompareOp::kGt,
+                     Value::Int(2000))
+      .OutputMin(mi, "info", "movie_budget")
+      .OutputMin(n, "name", "writer")
+      .OutputMin(t, "title", "complete_violent_movie");
+  return qb.Build();
+}
+
+}  // namespace reopt::workload

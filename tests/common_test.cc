@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace reopt::common {
+namespace {
+
+// ---- Status / Result -----------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such table: foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: no such table: foo");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r.value());
+  EXPECT_EQ(*v, 7);
+}
+
+// ---- Value ---------------------------------------------------------------
+
+TEST(ValueTest, NullOrdering) {
+  Value null;
+  EXPECT_TRUE(null.is_null());
+  EXPECT_LT(null, Value::Int(0));
+  EXPECT_LT(null, Value::Str(""));
+  EXPECT_EQ(null, Value::Null_());
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_GT(Value::Int(-1), Value::Int(-2));
+}
+
+TEST(ValueTest, MixedNumericComparison) {
+  EXPECT_LT(Value::Int(1), Value::Real(1.5));
+  EXPECT_EQ(Value::Int(2), Value::Real(2.0));
+  EXPECT_GT(Value::Real(2.5), Value::Int(2));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Str("abc"), Value::Str("abd"));
+  EXPECT_EQ(Value::Str("x"), Value::Str("x"));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Str("hi").ToString(), "'hi'");
+  EXPECT_EQ(Value::Null_().ToString(), "NULL");
+}
+
+TEST(ValueTest, HashDistinguishesTypesAndValues) {
+  std::set<uint64_t> hashes;
+  hashes.insert(Value::Int(1).Hash());
+  hashes.insert(Value::Int(2).Hash());
+  hashes.insert(Value::Str("1").Hash());
+  hashes.insert(Value::Null_().Hash());
+  EXPECT_EQ(hashes.size(), 4u);
+}
+
+TEST(ValueTest, HashIsStable) {
+  EXPECT_EQ(Value::Str("abc").Hash(), Value::Str("abc").Hash());
+  EXPECT_EQ(Value::Int(99).Hash(), Value::Int(99).Hash());
+}
+
+// ---- Rng -----------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ZipfTest, UniformWhenThetaZero) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(9);
+  std::map<int64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (int64_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(13);
+  int top10 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(&rng) <= 10) ++top10;
+  }
+  // Under theta=1, the top 10 of 1000 ranks carry ~39% of the mass.
+  EXPECT_GT(static_cast<double>(top10) / n, 0.3);
+}
+
+TEST(ZipfTest, SampleRangeRespected) {
+  ZipfSampler zipf(5, 1.2);
+  Rng rng(21);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 5);
+  }
+}
+
+// ---- String utilities ------------------------------------------------------
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC dE"), "abc de");
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "|"), "a|b||c");
+}
+
+TEST(StringUtilTest, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("hello world", "hello"));
+  EXPECT_FALSE(StartsWith("hi", "hello"));
+  EXPECT_TRUE(EndsWith("movie_id", "_id"));
+  EXPECT_TRUE(Contains("abcdef", "cde"));
+  EXPECT_FALSE(Contains("abc", "x"));
+}
+
+TEST(StringUtilTest, StrPrintfFormats) {
+  EXPECT_EQ(StrPrintf("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrPrintf("%05d", 42), "00042");
+}
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool match;
+};
+
+class LikeMatchTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatchTest, Matches) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(LikeMatch(c.text, c.pattern), c.match)
+      << c.text << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, LikeMatchTest,
+    ::testing::Values(
+        LikeCase{"hello", "hello", true}, LikeCase{"hello", "h%", true},
+        LikeCase{"hello", "%o", true}, LikeCase{"hello", "%ell%", true},
+        LikeCase{"hello", "h_llo", true}, LikeCase{"hello", "h_lo", false},
+        LikeCase{"hello", "%", true}, LikeCase{"", "%", true},
+        LikeCase{"", "", true}, LikeCase{"", "_", false},
+        LikeCase{"abc", "%a%b%c%", true}, LikeCase{"abc", "%c%a%", false},
+        LikeCase{"Downey Robert Jr", "%Downey%Robert%", true},
+        LikeCase{"Robert Downey Jr", "%Downey%Robert%", false},
+        LikeCase{"xx", "x", false}, LikeCase{"x", "xx", false},
+        LikeCase{"mississippi", "%ss%ss%", true},
+        LikeCase{"mississippi", "m%pi", true},
+        LikeCase{"aaa", "a%a", true}));
+
+// ---- Simulated time ---------------------------------------------------------
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(CostUnitsToSeconds(kCostUnitsPerSecond), 1.0);
+  EXPECT_DOUBLE_EQ(CostUnitsToMillis(kCostUnitsPerSecond), 1000.0);
+}
+
+TEST(SimTimeTest, Formatting) {
+  EXPECT_EQ(FormatSimSeconds(2.5), "2.50 s");
+  EXPECT_EQ(FormatSimSeconds(0.1234), "123.4 ms");
+  EXPECT_EQ(FormatSimSeconds(0.00005), "50.0 us");
+}
+
+}  // namespace
+}  // namespace reopt::common

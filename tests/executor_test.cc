@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "optimizer/cardinality_model.h"
+#include "optimizer/planner.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/query_builder.h"
+
+namespace reopt::exec {
+namespace {
+
+using testing::SmallImdb;
+
+// Plans a query with the given options and executes it; returns both.
+struct Planned {
+  std::unique_ptr<plan::QuerySpec> query;
+  std::unique_ptr<optimizer::QueryContext> ctx;
+  std::unique_ptr<optimizer::EstimatorModel> model;
+  plan::PlanNodePtr root;
+  QueryResult result;
+};
+
+Planned PlanAndRun(std::unique_ptr<plan::QuerySpec> query,
+                   const optimizer::PlannerOptions& options = {}) {
+  Planned out;
+  imdb::ImdbDatabase* db = SmallImdb();
+  out.query = std::move(query);
+  auto bound =
+      optimizer::QueryContext::Bind(out.query.get(), &db->catalog, &db->stats);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  out.ctx = std::move(bound.value());
+  out.model = std::make_unique<optimizer::EstimatorModel>(out.ctx.get());
+  optimizer::CostParams params;
+  optimizer::Planner planner(out.ctx.get(), out.model.get(), params, options);
+  auto planned = planner.Plan();
+  EXPECT_TRUE(planned.ok()) << planned.status().ToString();
+  out.root = std::move(planned->root);
+
+  Executor executor(&db->catalog, &db->stats, params);
+  auto executed = executor.Execute(*out.query, out.root.get());
+  EXPECT_TRUE(executed.ok()) << executed.status().ToString();
+  out.result = std::move(executed.value());
+  return out;
+}
+
+TEST(ExecutorTest, ActualsFilledOnEveryNode) {
+  Planned p = PlanAndRun(workload::MakeQuery6d(SmallImdb()->catalog));
+  p.root->PostOrder([](plan::PlanNode* node) {
+    if (node->op == plan::PlanOp::kIndexScan ||
+        node->op == plan::PlanOp::kSeqScan) {
+      // Index-NLJ inner scans are probed, not scanned; all others must
+      // carry actuals.
+      return;
+    }
+    EXPECT_GE(node->actual_rows, 0.0) << plan::PlanOpName(node->op);
+  });
+  EXPECT_GT(p.result.cost_units, 0.0);
+}
+
+TEST(ExecutorTest, JoinActualsMatchOracleTruth) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  Planned p = PlanAndRun(workload::MakeQuery6d(db->catalog));
+  optimizer::TrueCardinalityOracle oracle(p.ctx.get());
+  p.root->PostOrder([&](plan::PlanNode* node) {
+    if (!node->is_join()) return;
+    EXPECT_DOUBLE_EQ(node->actual_rows, oracle.True(node->rels))
+        << node->rels.ToString();
+  });
+}
+
+TEST(ExecutorTest, ResultsIdenticalAcrossOperatorChoices) {
+  // Hash-only vs NLJ-only vs index-NLJ-preferred plans must produce the
+  // same aggregates (physical operators are semantically equivalent).
+  auto run_with = [&](bool hash, bool nlj, bool inlj) {
+    optimizer::PlannerOptions opts;
+    opts.enable_hash_join = hash;
+    opts.enable_nested_loop = nlj;
+    opts.enable_index_nested_loop = inlj;
+    return PlanAndRun(workload::MakeQuery6d(SmallImdb()->catalog), opts);
+  };
+  Planned hash_only = run_with(true, false, false);
+  Planned inlj_only = run_with(false, false, true);
+  Planned everything = run_with(true, true, true);
+
+  ASSERT_EQ(hash_only.result.aggregates.size(),
+            everything.result.aggregates.size());
+  for (size_t i = 0; i < hash_only.result.aggregates.size(); ++i) {
+    EXPECT_EQ(hash_only.result.aggregates[i],
+              everything.result.aggregates[i]);
+    EXPECT_EQ(inlj_only.result.aggregates[i],
+              everything.result.aggregates[i]);
+  }
+  EXPECT_EQ(hash_only.result.raw_rows, everything.result.raw_rows);
+  EXPECT_EQ(inlj_only.result.raw_rows, everything.result.raw_rows);
+}
+
+TEST(ExecutorTest, NestedLoopChargedQuadratically) {
+  // Force a pure NLJ plan on a two-table join and check the charge
+  // dominates the hash-join charge for the same inputs.
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto make_query = [&]() {
+    workload::QueryBuilder qb(&db->catalog, "two_way");
+    int t = qb.AddRelation("title", "t");
+    int mk = qb.AddRelation("movie_keyword", "mk");
+    qb.Join(t, "id", mk, "movie_id")
+        .FilterBetween(t, "production_year", common::Value::Int(2000),
+                       common::Value::Int(2005))
+        .OutputMin(t, "title", "m");
+    return qb.Build();
+  };
+  optimizer::PlannerOptions nlj_only;
+  nlj_only.enable_hash_join = false;
+  nlj_only.enable_index_nested_loop = false;
+  optimizer::PlannerOptions hash_only;
+  hash_only.enable_nested_loop = false;
+  hash_only.enable_index_nested_loop = false;
+
+  Planned nlj = PlanAndRun(make_query(), nlj_only);
+  Planned hash = PlanAndRun(make_query(), hash_only);
+  EXPECT_EQ(nlj.result.raw_rows, hash.result.raw_rows);
+  EXPECT_GT(nlj.result.cost_units, 10.0 * hash.result.cost_units);
+}
+
+TEST(ExecutorTest, AggregateMinSkipsNulls) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  workload::QueryBuilder qb(&db->catalog, "min_gender");
+  int n = qb.AddRelation("name", "n");
+  qb.FilterLike(n, "name", "Adams%").OutputMin(n, "gender", "g");
+  Planned p = PlanAndRun(qb.Build());
+  ASSERT_EQ(p.result.aggregates.size(), 1u);
+  // Some gender values are NULL; MIN must skip them and return 'f'.
+  EXPECT_EQ(p.result.aggregates[0], common::Value::Str("f"));
+}
+
+TEST(ExecutorTest, EmptyResultYieldsNullAggregates) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  workload::QueryBuilder qb(&db->catalog, "empty");
+  int t = qb.AddRelation("title", "t");
+  qb.FilterEq(t, "production_year", common::Value::Int(1700))
+      .OutputMin(t, "title", "m");
+  Planned p = PlanAndRun(qb.Build());
+  EXPECT_EQ(p.result.raw_rows, 0);
+  ASSERT_EQ(p.result.aggregates.size(), 1u);
+  EXPECT_TRUE(p.result.aggregates[0].is_null());
+}
+
+TEST(ExecutorTest, MissingTableReportedNotFound) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  plan::QuerySpec spec;
+  spec.relations.push_back(plan::RelationRef{"no_such_table", "x"});
+  plan::PlanNode root;
+  root.op = plan::PlanOp::kSeqScan;
+  root.scan_rel = 0;
+  optimizer::CostParams params;
+  Executor executor(&db->catalog, &db->stats, params);
+  auto result = executor.Execute(spec, &root);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(ExecutorTest, TempWriteMaterializesAndAnalyzes) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  workload::QueryBuilder qb(&db->catalog, "mat");
+  int t = qb.AddRelation("title", "t");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  qb.Join(t, "id", mk, "movie_id")
+      .FilterCompare(t, "production_year", plan::CompareOp::kGt,
+                     common::Value::Int(2015))
+      .OutputMin(t, "title", "m");
+  auto query = qb.Build();
+
+  auto bound =
+      optimizer::QueryContext::Bind(query.get(), &db->catalog, &db->stats);
+  ASSERT_TRUE(bound.ok());
+  optimizer::EstimatorModel model(bound.value().get());
+  optimizer::CostParams params;
+  optimizer::Planner planner(bound.value().get(), &model, params);
+  auto planned = planner.Plan();
+  ASSERT_TRUE(planned.ok());
+
+  // Wrap the join (the aggregate's child) in a TempWrite.
+  plan::PlanNodePtr join = std::move(planned->root->left);
+  auto write = std::make_unique<plan::PlanNode>();
+  write->op = plan::PlanOp::kTempWrite;
+  write->rels = join->rels;
+  write->temp_table_name = "test_temp_1";
+  write->temp_columns = {plan::ColumnRef{0, qb.Col(0, "title")},
+                         plan::ColumnRef{1, qb.Col(1, "keyword_id")}};
+  write->left = std::move(join);
+
+  Executor executor(&db->catalog, &db->stats, params);
+  auto result = executor.Execute(*query, write.get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  storage::Table* temp = db->catalog.FindTable("test_temp_1");
+  ASSERT_NE(temp, nullptr);
+  EXPECT_TRUE(db->catalog.IsTemporary("test_temp_1"));
+  EXPECT_EQ(temp->num_rows(), result->raw_rows);
+  EXPECT_EQ(temp->num_columns(), 2);
+  EXPECT_EQ(temp->schema().column(0).name, "t_title");
+  // Stats were registered with exact row count.
+  ASSERT_NE(db->stats.Find("test_temp_1"), nullptr);
+  EXPECT_DOUBLE_EQ(db->stats.Find("test_temp_1")->row_count,
+                   static_cast<double>(temp->num_rows()));
+
+  ASSERT_TRUE(db->catalog.DropTable("test_temp_1").ok());
+  db->stats.Remove("test_temp_1");
+}
+
+TEST(ExecutorTest, ChargedCostsArePositiveAndSumToTotal) {
+  Planned p = PlanAndRun(workload::MakeQueryFig6(SmallImdb()->catalog));
+  double sum = 0.0;
+  p.root->PostOrder([&](plan::PlanNode* node) {
+    EXPECT_GE(node->charged_cost, 0.0);
+    sum += node->charged_cost;
+  });
+  EXPECT_DOUBLE_EQ(sum, p.result.cost_units);
+}
+
+TEST(ExecutorTest, DeterministicAcrossRuns) {
+  Planned a = PlanAndRun(workload::MakeQuery18a(SmallImdb()->catalog));
+  Planned b = PlanAndRun(workload::MakeQuery18a(SmallImdb()->catalog));
+  EXPECT_DOUBLE_EQ(a.result.cost_units, b.result.cost_units);
+  EXPECT_EQ(a.result.raw_rows, b.result.raw_rows);
+}
+
+}  // namespace
+}  // namespace reopt::exec

@@ -1,0 +1,86 @@
+// EXPLAIN / EXPLAIN ANALYZE-style rendering: the annotated plan is the
+// interface the paper's re-optimization simulation reads, so its contents
+// (estimates before execution, actuals after) are load-bearing.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "optimizer/cardinality_model.h"
+#include "optimizer/planner.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+
+namespace reopt::plan {
+namespace {
+
+using testing::SmallImdb;
+
+struct PlannedQuery {
+  std::unique_ptr<QuerySpec> query;
+  std::unique_ptr<optimizer::QueryContext> ctx;
+  PlanNodePtr root;
+};
+
+PlannedQuery Plan6d() {
+  PlannedQuery out;
+  imdb::ImdbDatabase* db = SmallImdb();
+  out.query = workload::MakeQuery6d(db->catalog);
+  out.ctx = std::move(optimizer::QueryContext::Bind(out.query.get(),
+                                                    &db->catalog, &db->stats)
+                          .value());
+  optimizer::EstimatorModel model(out.ctx.get());
+  optimizer::CostParams params;
+  optimizer::Planner planner(out.ctx.get(), &model, params);
+  out.root = std::move(planner.Plan()->root);
+  return out;
+}
+
+TEST(ExplainTest, BeforeExecutionShowsEstimatesOnly) {
+  PlannedQuery p = Plan6d();
+  std::string text = ExplainPlan(*p.root, *p.query);
+  EXPECT_NE(text.find("Aggregate"), std::string::npos);
+  EXPECT_NE(text.find("est_rows="), std::string::npos);
+  EXPECT_EQ(text.find("actual_rows="), std::string::npos);
+  // Every relation's table name appears.
+  for (const RelationRef& rel : p.query->relations) {
+    EXPECT_NE(text.find(rel.table_name), std::string::npos)
+        << rel.table_name;
+  }
+}
+
+TEST(ExplainTest, AfterExecutionShowsActuals) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  PlannedQuery p = Plan6d();
+  optimizer::CostParams params;
+  exec::Executor executor(&db->catalog, &db->stats, params);
+  ASSERT_TRUE(executor.Execute(*p.query, p.root.get()).ok());
+  std::string text = ExplainPlan(*p.root, *p.query);
+  EXPECT_NE(text.find("actual_rows="), std::string::npos);
+  EXPECT_NE(text.find("charged="), std::string::npos);
+}
+
+TEST(ExplainTest, CloneResetsActuals) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  PlannedQuery p = Plan6d();
+  optimizer::CostParams params;
+  exec::Executor executor(&db->catalog, &db->stats, params);
+  ASSERT_TRUE(executor.Execute(*p.query, p.root.get()).ok());
+  PlanNodePtr copy = ClonePlan(*p.root);
+  copy->PostOrder([](PlanNode* node) {
+    EXPECT_DOUBLE_EQ(node->actual_rows, -1.0);
+    EXPECT_DOUBLE_EQ(node->charged_cost, 0.0);
+  });
+  // Estimates survive the clone.
+  EXPECT_DOUBLE_EQ(copy->est_rows, p.root->est_rows);
+}
+
+TEST(ExplainTest, IndentationReflectsTreeDepth) {
+  PlannedQuery p = Plan6d();
+  std::string text = ExplainPlan(*p.root, *p.query);
+  // The root line starts at column 0; at least one child line is indented.
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text[0], ' ');
+  EXPECT_NE(text.find("\n  "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace reopt::plan

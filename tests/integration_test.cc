@@ -1,0 +1,172 @@
+// End-to-end integration: runs a slice of the full workload through every
+// configuration the paper compares (default estimator, perfect-(n),
+// re-optimization) and checks the paper's qualitative claims hold on the
+// test-scale database.
+#include <gtest/gtest.h>
+
+#include "reopt/query_runner.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/runner.h"
+
+namespace reopt::workload {
+namespace {
+
+using reoptimizer::ModelSpec;
+using reoptimizer::ReoptOptions;
+using testing::MediumImdb;
+
+struct Env {
+  imdb::ImdbDatabase* db;
+  std::unique_ptr<JobLikeWorkload> workload;
+  std::unique_ptr<WorkloadRunner> runner;
+};
+
+Env* SharedEnv() {
+  static Env* env = [] {
+    auto* e = new Env();
+    e->db = MediumImdb();
+    e->workload = BuildJobLikeWorkload(e->db->catalog);
+    e->runner = std::make_unique<WorkloadRunner>(e->db);
+    return e;
+  }();
+  return env;
+}
+
+ReoptOptions ReoptOn(double threshold = 32.0) {
+  ReoptOptions r;
+  r.enabled = true;
+  r.qerror_threshold = threshold;
+  return r;
+}
+
+// A fixed slice across sizes, including the signature trap queries.
+std::vector<const plan::QuerySpec*> Slice() {
+  Env* env = SharedEnv();
+  std::vector<const plan::QuerySpec*> out;
+  for (const char* name : {"6d", "18a", "fig6", "16b", "25c", "30a"}) {
+    out.push_back(env->workload->Find(name));
+  }
+  int generated = 0;
+  for (const auto& q : env->workload->queries) {
+    if (q->name[0] == 'q' && generated < 14) {
+      out.push_back(q.get());
+      ++generated;
+    }
+  }
+  return out;
+}
+
+TEST(IntegrationTest, AllConfigurationsAgreeOnResults) {
+  Env* env = SharedEnv();
+  for (const plan::QuerySpec* q : Slice()) {
+    auto est = env->runner->RunOne(q, ModelSpec::Estimator(), {});
+    auto reopt = env->runner->RunOne(q, ModelSpec::Estimator(), ReoptOn());
+    auto perfect = env->runner->RunOne(
+        q, ModelSpec::PerfectN(q->num_relations()), {});
+    ASSERT_TRUE(est.ok()) << q->name << est.status().ToString();
+    ASSERT_TRUE(reopt.ok()) << q->name;
+    ASSERT_TRUE(perfect.ok()) << q->name;
+    EXPECT_EQ(est->raw_rows, reopt->raw_rows) << q->name;
+    EXPECT_EQ(est->raw_rows, perfect->raw_rows) << q->name;
+    for (size_t i = 0; i < est->aggregates.size(); ++i) {
+      EXPECT_EQ(est->aggregates[i], reopt->aggregates[i]) << q->name;
+      EXPECT_EQ(est->aggregates[i], perfect->aggregates[i]) << q->name;
+    }
+  }
+}
+
+TEST(IntegrationTest, PerfectBeatsDefaultOnSliceTotal) {
+  Env* env = SharedEnv();
+  double est_total = 0.0;
+  double perfect_total = 0.0;
+  for (const plan::QuerySpec* q : Slice()) {
+    auto est = env->runner->RunOne(q, ModelSpec::Estimator(), {});
+    auto perfect = env->runner->RunOne(
+        q, ModelSpec::PerfectN(q->num_relations()), {});
+    ASSERT_TRUE(est.ok());
+    ASSERT_TRUE(perfect.ok());
+    est_total += est->exec_seconds();
+    perfect_total += perfect->exec_seconds();
+  }
+  // The paper: perfect estimates halve the workload execution time. On the
+  // slice (trap-heavy) the gap is at least 1.5x.
+  EXPECT_GT(est_total, 1.5 * perfect_total);
+}
+
+TEST(IntegrationTest, ReoptRecoversMostOfPerfectBenefit) {
+  Env* env = SharedEnv();
+  double est_total = 0.0;
+  double reopt_total = 0.0;
+  double perfect_total = 0.0;
+  for (const plan::QuerySpec* q : Slice()) {
+    auto est = env->runner->RunOne(q, ModelSpec::Estimator(), {});
+    auto re = env->runner->RunOne(q, ModelSpec::Estimator(), ReoptOn());
+    auto perfect = env->runner->RunOne(
+        q, ModelSpec::PerfectN(q->num_relations()), {});
+    ASSERT_TRUE(est.ok());
+    ASSERT_TRUE(re.ok());
+    ASSERT_TRUE(perfect.ok());
+    est_total += est->exec_seconds();
+    reopt_total += re->exec_seconds();
+    perfect_total += perfect->exec_seconds();
+  }
+  EXPECT_LT(reopt_total, est_total);
+  // "Achieving more than half of the benefit of perfect estimates."
+  double benefit_perfect = est_total - perfect_total;
+  double benefit_reopt = est_total - reopt_total;
+  EXPECT_GT(benefit_reopt, 0.5 * benefit_perfect);
+}
+
+TEST(IntegrationTest, PerfectFourRecoversMostOfPerfectOnTraps) {
+  // Section III: improvements materialize around perfect-(4).
+  Env* env = SharedEnv();
+  const plan::QuerySpec* q = env->workload->Find("18a");
+  auto p0 = env->runner->RunOne(q, ModelSpec::Estimator(), {});
+  auto p4 = env->runner->RunOne(q, ModelSpec::PerfectN(4), {});
+  auto pall =
+      env->runner->RunOne(q, ModelSpec::PerfectN(q->num_relations()), {});
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p4.ok());
+  ASSERT_TRUE(pall.ok());
+  // Tolerance: even a full oracle estimates index-NLJ probe matches
+  // through edge selectivities, so charged costs can invert by a few
+  // percent between adjacent horizons.
+  EXPECT_LE(pall->exec_seconds(), p4->exec_seconds() * 1.10);
+  EXPECT_LE(p4->exec_seconds(), p0->exec_seconds() * 1.10);
+}
+
+TEST(IntegrationTest, RunAllProducesOneRecordPerQuery) {
+  // Uses a private runner over the small DB to keep runtime bounded.
+  imdb::ImdbDatabase* db = testing::SmallImdb();
+  auto workload = BuildJobLikeWorkload(db->catalog);
+  WorkloadRunner runner(db);
+  auto result = runner.RunAll(*workload, ModelSpec::Estimator(), {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->records.size(), 113u);
+  EXPECT_GT(result->TotalExecSeconds(), 0.0);
+  EXPECT_GT(result->TotalPlanSeconds(), 0.0);
+  for (const QueryRecord& r : result->records) {
+    EXPECT_GT(r.exec_seconds, 0.0) << r.name;
+    EXPECT_GE(r.num_tables, 4) << r.name;
+    EXPECT_LE(r.num_tables, 17) << r.name;
+  }
+  EXPECT_NE(result->Find("6d"), nullptr);
+}
+
+TEST(IntegrationTest, ReoptNeverCatastrophicallyWorseOnSlice) {
+  // Sec. V-D: individual regressions are possible (short queries), but on
+  // the trap slice no query should blow up by more than ~3x in execution.
+  Env* env = SharedEnv();
+  for (const plan::QuerySpec* q : Slice()) {
+    auto est = env->runner->RunOne(q, ModelSpec::Estimator(), {});
+    auto re = env->runner->RunOne(q, ModelSpec::Estimator(), ReoptOn());
+    ASSERT_TRUE(est.ok());
+    ASSERT_TRUE(re.ok());
+    EXPECT_LT(re->exec_seconds(), 3.0 * est->exec_seconds() + 0.05)
+        << q->name;
+  }
+}
+
+}  // namespace
+}  // namespace reopt::workload

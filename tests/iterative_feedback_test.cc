@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "reopt/iterative_feedback.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/query_builder.h"
+
+namespace reopt::reoptimizer {
+namespace {
+
+using testing::SmallImdb;
+
+IterativeFeedbackResult RunOn(const plan::QuerySpec* query,
+                              double threshold = 32.0,
+                              int max_iters = 64) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto session = QuerySession::Create(query, &db->catalog, &db->stats);
+  EXPECT_TRUE(session.ok());
+  optimizer::CostParams params;
+  IterativeFeedbackOptions options;
+  options.relative_threshold = threshold;
+  options.max_iterations = max_iters;
+  auto result = RunIterativeFeedback(session.value().get(), &db->catalog,
+                                     &db->stats, params, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result.value());
+}
+
+TEST(IterativeFeedbackTest, ConvergesOnTrapQueries) {
+  for (auto make : {workload::MakeQuery16b, workload::MakeQuery25c,
+                    workload::MakeQuery30a}) {
+    auto query = make(SmallImdb()->catalog);
+    IterativeFeedbackResult r = RunOn(query.get());
+    EXPECT_TRUE(r.converged) << query->name;
+    EXPECT_GE(r.iterations.size(), 2u) << query->name
+        << " — trap queries need at least one correction";
+  }
+}
+
+TEST(IterativeFeedbackTest, InjectionCountMonotonicallyGrows) {
+  auto query = workload::MakeQuery25c(SmallImdb()->catalog);
+  IterativeFeedbackResult r = RunOn(query.get());
+  int64_t prev = 0;
+  for (size_t i = 0; i + 1 < r.iterations.size(); ++i) {
+    EXPECT_GT(r.iterations[i].injected_after, prev);
+    prev = r.iterations[i].injected_after;
+  }
+}
+
+TEST(IterativeFeedbackTest, CorrectedQErrorsAboveThreshold) {
+  auto query = workload::MakeQuery16b(SmallImdb()->catalog);
+  IterativeFeedbackResult r = RunOn(query.get());
+  for (size_t i = 0; i + 1 < r.iterations.size(); ++i) {
+    EXPECT_GT(r.iterations[i].corrected_qerror, 32.0);
+  }
+  // The converged final iteration corrected nothing.
+  EXPECT_DOUBLE_EQ(r.iterations.back().corrected_qerror, 0.0);
+}
+
+TEST(IterativeFeedbackTest, FinalIterationNearPerfect) {
+  // Once every operator's estimate is within the threshold, execution
+  // time should be within a small factor of the perfect plan's.
+  auto query = workload::MakeQuery25c(SmallImdb()->catalog);
+  IterativeFeedbackResult r = RunOn(query.get());
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.perfect_exec_seconds, 0.0);
+  EXPECT_LE(r.iterations.back().exec_seconds,
+            10.0 * r.perfect_exec_seconds);
+}
+
+TEST(IterativeFeedbackTest, BenignQueryConvergesImmediately) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  workload::QueryBuilder* unused = nullptr;
+  (void)unused;
+  auto query = [&]() {
+    workload::QueryBuilder qb(&db->catalog, "benign_fb");
+    int t = qb.AddRelation("title", "t");
+    int mk = qb.AddRelation("movie_keyword", "mk");
+    qb.Join(t, "id", mk, "movie_id")
+        .FilterBetween(t, "production_year", common::Value::Int(1960),
+                       common::Value::Int(1990))
+        .OutputMin(t, "title", "m");
+    return qb.Build();
+  }();
+  IterativeFeedbackResult r = RunOn(query.get());
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations.size(), 1u);
+  EXPECT_EQ(r.iterations[0].injected_after, 0);
+}
+
+TEST(IterativeFeedbackTest, RespectsMaxIterations) {
+  auto query = workload::MakeQuery25c(SmallImdb()->catalog);
+  IterativeFeedbackResult r = RunOn(query.get(), /*threshold=*/1.5,
+                                    /*max_iters=*/3);
+  EXPECT_LE(r.iterations.size(), 3u);
+}
+
+}  // namespace
+}  // namespace reopt::reoptimizer

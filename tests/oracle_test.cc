@@ -1,0 +1,147 @@
+// True-cardinality oracle tests: the factorized (Yannakakis-style) counter
+// must agree exactly with materialized hash-join counting on every
+// connected subset of real workload queries, and the fallback must handle
+// cyclic graphs.
+#include <gtest/gtest.h>
+
+#include "optimizer/true_cardinality.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/query_builder.h"
+
+namespace reopt::optimizer {
+namespace {
+
+using testing::SmallImdb;
+
+std::unique_ptr<QueryContext> Bind(const plan::QuerySpec* spec) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto ctx = QueryContext::Bind(spec, &db->catalog, &db->stats);
+  EXPECT_TRUE(ctx.ok()) << ctx.status().ToString();
+  return std::move(ctx.value());
+}
+
+TEST(OracleTest, SingleRelationIsFilteredCount) {
+  auto query = workload::MakeQuery6d(SmallImdb()->catalog);
+  auto ctx = Bind(query.get());
+  TrueCardinalityOracle oracle(ctx.get());
+  // keyword (rel 1) has the 8-hot-keyword IN filter.
+  EXPECT_DOUBLE_EQ(oracle.True(plan::RelSet::Single(1)), 8.0);
+}
+
+TEST(OracleTest, FactorizedAgreesWithMaterializedOnAllConnectedSubsets) {
+  auto query = workload::MakeQuery6d(SmallImdb()->catalog);
+  auto ctx = Bind(query.get());
+  TrueCardinalityOracle oracle(ctx.get());
+  for (plan::RelSet set : ctx->graph().ConnectedSubsets()) {
+    double fast = oracle.True(set);
+    double slow = exec::ExactJoinCount(*query, set, ctx->bound());
+    EXPECT_DOUBLE_EQ(fast, slow) << set.ToString();
+  }
+}
+
+TEST(OracleTest, FactorizedAgreesOn18a) {
+  auto query = workload::MakeQuery18a(SmallImdb()->catalog);
+  auto ctx = Bind(query.get());
+  TrueCardinalityOracle oracle(ctx.get());
+  int checked = 0;
+  for (plan::RelSet set : ctx->graph().ConnectedSubsets()) {
+    if (set.count() > 5) continue;  // keep the materialized check fast
+    EXPECT_DOUBLE_EQ(oracle.True(set),
+                     exec::ExactJoinCount(*query, set, ctx->bound()))
+        << set.ToString();
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(OracleTest, CyclicSubsetFallsBackToMaterialization) {
+  // Build a triangle: t - mk (movie), t - ci (movie), ci - mk (movie) —
+  // the transitive-closure edge creates a cycle as in the paper's Fig. 6.
+  imdb::ImdbDatabase* db = SmallImdb();
+  workload::QueryBuilder qb(&db->catalog, "cycle");
+  int t = qb.AddRelation("title", "t");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  int ci = qb.AddRelation("cast_info", "ci");
+  qb.Join(t, "id", mk, "movie_id")
+      .Join(t, "id", ci, "movie_id")
+      .Join(ci, "movie_id", mk, "movie_id")
+      .FilterCompare(t, "production_year", plan::CompareOp::kGt,
+                     common::Value::Int(2010))
+      .OutputMin(t, "title", "m");
+  auto query = qb.Build();
+  auto ctx = Bind(query.get());
+  TrueCardinalityOracle oracle(ctx.get());
+  plan::RelSet all = query->AllRelations();
+  // The cyclic count must equal the tree count with the redundant edge
+  // dropped (transitively implied equality).
+  workload::QueryBuilder qb2(&db->catalog, "tree");
+  int t2 = qb2.AddRelation("title", "t");
+  int mk2 = qb2.AddRelation("movie_keyword", "mk");
+  int ci2 = qb2.AddRelation("cast_info", "ci");
+  qb2.Join(t2, "id", mk2, "movie_id")
+      .Join(t2, "id", ci2, "movie_id")
+      .FilterCompare(t2, "production_year", plan::CompareOp::kGt,
+                     common::Value::Int(2010))
+      .OutputMin(t2, "title", "m");
+  auto tree_query = qb2.Build();
+  auto tree_ctx = Bind(tree_query.get());
+  TrueCardinalityOracle tree_oracle(tree_ctx.get());
+  EXPECT_DOUBLE_EQ(oracle.True(all), tree_oracle.True(all));
+}
+
+TEST(OracleTest, MemoizationCountsComputations) {
+  auto query = workload::MakeQuery6d(SmallImdb()->catalog);
+  auto ctx = Bind(query.get());
+  TrueCardinalityOracle oracle(ctx.get());
+  plan::RelSet set(0b00110);
+  oracle.True(set);
+  int64_t computed = oracle.num_computed();
+  oracle.True(set);
+  oracle.True(set);
+  EXPECT_EQ(oracle.num_computed(), computed);  // cache hits
+  EXPECT_EQ(oracle.cache_size(), computed);
+}
+
+TEST(OracleTest, ReleaseScratchKeepsCounts) {
+  auto query = workload::MakeQuery6d(SmallImdb()->catalog);
+  auto ctx = Bind(query.get());
+  TrueCardinalityOracle oracle(ctx.get());
+  plan::RelSet all = query->AllRelations();
+  double before = oracle.True(all);
+  oracle.ReleaseScratch();
+  int64_t computed = oracle.num_computed();
+  EXPECT_DOUBLE_EQ(oracle.True(all), before);
+  EXPECT_EQ(oracle.num_computed(), computed);  // still cached
+}
+
+TEST(OracleTest, PreloadAvoidsComputation) {
+  auto query = workload::MakeQuery6d(SmallImdb()->catalog);
+  auto ctx = Bind(query.get());
+  TrueCardinalityOracle a(ctx.get());
+  plan::RelSet all = query->AllRelations();
+  double truth = a.True(all);
+
+  TrueCardinalityOracle b(ctx.get());
+  b.Preload(a.counts());
+  EXPECT_DOUBLE_EQ(b.True(all), truth);
+  EXPECT_EQ(b.num_computed(), 0);
+}
+
+TEST(OracleTest, MonotoneUnderExtraJoins) {
+  // Adding an n:1 FK join (movie_keyword -> keyword, no filter) must not
+  // change the count; adding a filtered relation can only shrink it.
+  auto query = workload::MakeQueryFig6(SmallImdb()->catalog);
+  auto ctx = Bind(query.get());
+  TrueCardinalityOracle oracle(ctx.get());
+  // rel indexes in fig6: ci=0, cn=1, k=2, mc=3, mk=4, n=5, t=6.
+  double t_mk = oracle.True(plan::RelSet::Single(6).With(4));
+  double t_mk_k = oracle.True(plan::RelSet::Single(6).With(4).With(2));
+  EXPECT_LE(t_mk_k, t_mk);  // k is filtered to one keyword
+  double t_ci = oracle.True(plan::RelSet::Single(6).With(0));
+  double ci_alone = oracle.True(plan::RelSet::Single(0));
+  EXPECT_DOUBLE_EQ(t_ci, ci_alone);  // every cast row has a movie
+}
+
+}  // namespace
+}  // namespace reopt::optimizer

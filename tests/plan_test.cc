@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "plan/join_graph.h"
+#include "plan/physical_plan.h"
+#include "plan/query_spec.h"
+#include "plan/rel_set.h"
+
+namespace reopt::plan {
+namespace {
+
+// ---- RelSet -----------------------------------------------------------------
+
+TEST(RelSetTest, BasicOps) {
+  RelSet s = RelSet::Single(2).With(5);
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_EQ(s.Lowest(), 2);
+  EXPECT_EQ(s.Without(2), RelSet::Single(5));
+}
+
+TEST(RelSetTest, SetAlgebra) {
+  RelSet a(0b1010);
+  RelSet b(0b0110);
+  EXPECT_EQ(a.Union(b).bits(), 0b1110u);
+  EXPECT_EQ(a.Intersect(b).bits(), 0b0010u);
+  EXPECT_EQ(a.Minus(b).bits(), 0b1000u);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(a.ContainsAll(RelSet(0b1000)));
+  EXPECT_FALSE(a.ContainsAll(b));
+}
+
+TEST(RelSetTest, FirstN) {
+  EXPECT_EQ(RelSet::FirstN(3).bits(), 0b111u);
+  EXPECT_EQ(RelSet::FirstN(0).bits(), 0u);
+  EXPECT_EQ(RelSet::FirstN(17).count(), 17);
+}
+
+TEST(RelSetTest, MemberIteration) {
+  RelSet s(0b101001);
+  std::vector<int> members;
+  for (int r : s.Members()) members.push_back(r);
+  EXPECT_EQ(members, (std::vector<int>{0, 3, 5}));
+}
+
+TEST(RelSetTest, ToString) {
+  EXPECT_EQ(RelSet(0b101).ToString(), "{0,2}");
+  EXPECT_EQ(RelSet().ToString(), "{}");
+}
+
+// ---- QuerySpec helpers ----------------------------------------------------
+
+// A chain query: r0 - r1 - r2 - r3.
+QuerySpec ChainQuery(int n) {
+  QuerySpec q;
+  q.name = "chain";
+  for (int i = 0; i < n; ++i) {
+    q.relations.push_back(RelationRef{"t" + std::to_string(i),
+                                      "a" + std::to_string(i)});
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    JoinEdge e;
+    e.left = ColumnRef{i, 0, ""};
+    e.right = ColumnRef{i + 1, 0, ""};
+    q.joins.push_back(e);
+  }
+  return q;
+}
+
+// A star query: r0 in the middle, r1..r{n-1} as satellites.
+QuerySpec StarQuery(int n) {
+  QuerySpec q;
+  q.name = "star";
+  for (int i = 0; i < n; ++i) {
+    q.relations.push_back(RelationRef{"t" + std::to_string(i),
+                                      "a" + std::to_string(i)});
+  }
+  for (int i = 1; i < n; ++i) {
+    JoinEdge e;
+    e.left = ColumnRef{0, 0, ""};
+    e.right = ColumnRef{i, 0, ""};
+    q.joins.push_back(e);
+  }
+  return q;
+}
+
+TEST(QuerySpecTest, FiltersFor) {
+  QuerySpec q = ChainQuery(3);
+  ScanPredicate p;
+  p.column = ColumnRef{1, 0, ""};
+  q.filters.push_back(p);
+  EXPECT_EQ(q.FiltersFor(1).size(), 1u);
+  EXPECT_TRUE(q.FiltersFor(0).empty());
+}
+
+TEST(QuerySpecTest, JoinsWithinAndBetween) {
+  QuerySpec q = ChainQuery(4);
+  EXPECT_EQ(q.JoinsWithin(RelSet(0b0011)).size(), 1u);
+  EXPECT_EQ(q.JoinsWithin(RelSet(0b1111)).size(), 3u);
+  EXPECT_EQ(q.JoinsWithin(RelSet(0b0101)).size(), 0u);
+  EXPECT_EQ(q.JoinsBetween(RelSet(0b0011), RelSet(0b0100)).size(), 1u);
+  EXPECT_EQ(q.JoinsBetween(RelSet(0b0001), RelSet(0b0100)).size(), 0u);
+}
+
+TEST(QuerySpecTest, ToStringMentionsTablesAndPredicates) {
+  QuerySpec q = ChainQuery(2);
+  OutputExpr out;
+  out.column = ColumnRef{0, 0, ""};
+  out.label = "m";
+  q.outputs.push_back(out);
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("t0 AS a0"), std::string::npos);
+  EXPECT_NE(s.find("MIN("), std::string::npos);
+}
+
+// ---- JoinGraph --------------------------------------------------------------
+
+TEST(JoinGraphTest, NeighborsOnChain) {
+  QuerySpec q = ChainQuery(4);
+  JoinGraph g(q);
+  EXPECT_EQ(g.Neighbors(0), RelSet::Single(1));
+  EXPECT_EQ(g.Neighbors(1), RelSet::Single(0).With(2));
+  EXPECT_EQ(g.NeighborsOf(RelSet(0b0110)), RelSet::Single(0).With(3));
+}
+
+TEST(JoinGraphTest, ConnectivityOnChain) {
+  QuerySpec q = ChainQuery(4);
+  JoinGraph g(q);
+  EXPECT_TRUE(g.IsConnected(RelSet(0b1111)));
+  EXPECT_TRUE(g.IsConnected(RelSet(0b0110)));
+  EXPECT_FALSE(g.IsConnected(RelSet(0b1001)));
+  EXPECT_FALSE(g.IsConnected(RelSet(0b0101)));
+  EXPECT_TRUE(g.IsConnected(RelSet::Single(2)));
+  EXPECT_FALSE(g.IsConnected(RelSet()));
+}
+
+TEST(JoinGraphTest, ConnectedSubsetCountChain) {
+  // A chain of n nodes has n*(n+1)/2 connected subsets (contiguous runs).
+  for (int n : {2, 3, 5, 8}) {
+    QuerySpec q = ChainQuery(n);
+    JoinGraph g(q);
+    EXPECT_EQ(static_cast<int>(g.ConnectedSubsets().size()),
+              n * (n + 1) / 2)
+        << "chain of " << n;
+  }
+}
+
+TEST(JoinGraphTest, ConnectedSubsetCountStar) {
+  // A star of n nodes: n singletons-1... all subsets containing the hub
+  // (2^(n-1)) plus the n-1 satellite singletons, plus the hub singleton is
+  // already counted: total = 2^(n-1) + (n-1).
+  for (int n : {3, 4, 6}) {
+    QuerySpec q = StarQuery(n);
+    JoinGraph g(q);
+    EXPECT_EQ(static_cast<int>(g.ConnectedSubsets().size()),
+              (1 << (n - 1)) + (n - 1))
+        << "star of " << n;
+  }
+}
+
+TEST(JoinGraphTest, ConnectedPairsCoverChain) {
+  // Chain of 3: partitions {0|12, 01|2, 0|1 (of {0,1}), 1|2 (of {1,2})}.
+  QuerySpec q = ChainQuery(3);
+  JoinGraph g(q);
+  const auto& pairs = g.ConnectedPairs();
+  EXPECT_EQ(pairs.size(), 4u);
+  for (const CsgCmpPair& p : pairs) {
+    EXPECT_FALSE(p.left.Intersects(p.right));
+    EXPECT_TRUE(g.IsConnected(p.left));
+    EXPECT_TRUE(g.IsConnected(p.right));
+    EXPECT_TRUE(g.NeighborsOf(p.left).Intersects(p.right));
+  }
+}
+
+TEST(JoinGraphTest, PairsAreUnordered) {
+  QuerySpec q = ChainQuery(4);
+  JoinGraph g(q);
+  for (const CsgCmpPair& p : g.ConnectedPairs()) {
+    // The left side always contains the lowest relation of the union.
+    EXPECT_TRUE(p.left.Contains(p.left.Union(p.right).Lowest()));
+  }
+}
+
+// ---- Physical plan -----------------------------------------------------------
+
+TEST(PhysicalPlanTest, CloneIsDeep) {
+  PlanNode root;
+  root.op = PlanOp::kHashJoin;
+  root.rels = RelSet(0b11);
+  root.est_rows = 5;
+  root.left = std::make_unique<PlanNode>();
+  root.left->op = PlanOp::kSeqScan;
+  root.left->scan_rel = 0;
+  root.right = std::make_unique<PlanNode>();
+  root.right->op = PlanOp::kSeqScan;
+  root.right->scan_rel = 1;
+  root.actual_rows = 77;
+
+  PlanNodePtr copy = ClonePlan(root);
+  EXPECT_EQ(copy->op, PlanOp::kHashJoin);
+  EXPECT_EQ(copy->est_rows, 5);
+  ASSERT_NE(copy->left, nullptr);
+  EXPECT_NE(copy->left.get(), root.left.get());
+  EXPECT_EQ(copy->left->scan_rel, 0);
+}
+
+TEST(PhysicalPlanTest, PostOrderVisitsChildrenFirst) {
+  PlanNode root;
+  root.op = PlanOp::kHashJoin;
+  root.left = std::make_unique<PlanNode>();
+  root.left->op = PlanOp::kSeqScan;
+  root.right = std::make_unique<PlanNode>();
+  root.right->op = PlanOp::kSeqScan;
+  std::vector<PlanOp> order;
+  root.PostOrder([&](PlanNode* n) { order.push_back(n->op); });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.back(), PlanOp::kHashJoin);
+}
+
+TEST(PhysicalPlanTest, SubtreeChargedCostSums) {
+  PlanNode root;
+  root.op = PlanOp::kHashJoin;
+  root.charged_cost = 10;
+  root.left = std::make_unique<PlanNode>();
+  root.left->charged_cost = 3;
+  root.left->op = PlanOp::kSeqScan;
+  root.right = std::make_unique<PlanNode>();
+  root.right->charged_cost = 4;
+  root.right->op = PlanOp::kSeqScan;
+  EXPECT_DOUBLE_EQ(root.SubtreeChargedCost(), 17.0);
+}
+
+TEST(PhysicalPlanTest, PlanOpNames) {
+  EXPECT_STREQ(PlanOpName(PlanOp::kSeqScan), "SeqScan");
+  EXPECT_STREQ(PlanOpName(PlanOp::kIndexNestedLoopJoin), "IndexNestedLoop");
+  EXPECT_STREQ(PlanOpName(PlanOp::kTempWrite), "TempWrite");
+}
+
+}  // namespace
+}  // namespace reopt::plan

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optimizer/cardinality_model.h"
+#include "optimizer/cost_formulas.h"
+#include "optimizer/planner.h"
+#include "exec/executor.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/query_builder.h"
+
+namespace reopt::optimizer {
+namespace {
+
+using testing::SmallImdb;
+
+struct PlannedQuery {
+  std::unique_ptr<plan::QuerySpec> query;
+  std::unique_ptr<QueryContext> ctx;
+  std::unique_ptr<CardinalityModel> model;
+  PlannerResult result;
+};
+
+PlannedQuery PlanQuery(std::unique_ptr<plan::QuerySpec> query,
+                       const PlannerOptions& options = {},
+                       int perfect_n = -1) {
+  PlannedQuery out;
+  imdb::ImdbDatabase* db = SmallImdb();
+  out.query = std::move(query);
+  auto bound =
+      QueryContext::Bind(out.query.get(), &db->catalog, &db->stats);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  out.ctx = std::move(bound.value());
+  if (perfect_n >= 0) {
+    static std::vector<std::unique_ptr<TrueCardinalityOracle>>* oracles =
+        new std::vector<std::unique_ptr<TrueCardinalityOracle>>();
+    oracles->push_back(
+        std::make_unique<TrueCardinalityOracle>(out.ctx.get()));
+    out.model = std::make_unique<PerfectNModel>(
+        out.ctx.get(), oracles->back().get(), perfect_n);
+  } else {
+    out.model = std::make_unique<EstimatorModel>(out.ctx.get());
+  }
+  CostParams params;
+  Planner planner(out.ctx.get(), out.model.get(), params, options);
+  auto planned = planner.Plan();
+  EXPECT_TRUE(planned.ok()) << planned.status().ToString();
+  out.result = std::move(planned.value());
+  return out;
+}
+
+// ---- Structural validity ----------------------------------------------------
+
+void CheckPlanShape(const plan::PlanNode& node, const plan::QuerySpec& query) {
+  if (node.is_scan()) {
+    EXPECT_EQ(node.rels.count(), 1);
+    EXPECT_EQ(node.rels.Lowest(), node.scan_rel);
+    // Every filter of the relation is applied at the scan.
+    EXPECT_EQ(node.filters.size(), query.FiltersFor(node.scan_rel).size());
+    return;
+  }
+  if (node.is_join()) {
+    ASSERT_NE(node.left, nullptr);
+    ASSERT_NE(node.right, nullptr);
+    EXPECT_EQ(node.rels.bits(),
+              node.left->rels.Union(node.right->rels).bits());
+    EXPECT_FALSE(node.left->rels.Intersects(node.right->rels));
+    // All edges between the two sides are applied here.
+    EXPECT_EQ(node.edges.size(),
+              query.JoinsBetween(node.left->rels, node.right->rels).size());
+    EXPECT_FALSE(node.edges.empty());
+    if (node.op == plan::PlanOp::kIndexNestedLoopJoin) {
+      EXPECT_TRUE(node.right->is_scan());
+      ASSERT_NE(node.index_edge, nullptr);
+    }
+    CheckPlanShape(*node.left, query);
+    CheckPlanShape(*node.right, query);
+  }
+}
+
+TEST(PlannerTest, PlansAreStructurallyValid) {
+  for (auto make : {workload::MakeQuery6d, workload::MakeQuery18a,
+                    workload::MakeQueryFig6, workload::MakeQuery16b,
+                    workload::MakeQuery25c, workload::MakeQuery30a}) {
+    PlannedQuery p = PlanQuery(make(SmallImdb()->catalog));
+    ASSERT_EQ(p.result.root->op, plan::PlanOp::kAggregate);
+    ASSERT_NE(p.result.root->left, nullptr);
+    EXPECT_EQ(p.result.root->left->rels.bits(),
+              p.query->AllRelations().bits());
+    CheckPlanShape(*p.result.root->left, *p.query);
+  }
+}
+
+TEST(PlannerTest, SingleRelationQuery) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  workload::QueryBuilder qb(&db->catalog, "single");
+  int t = qb.AddRelation("title", "t");
+  qb.FilterCompare(t, "production_year", plan::CompareOp::kGt,
+                   common::Value::Int(2010))
+      .OutputMin(t, "title", "m");
+  PlannedQuery p = PlanQuery(qb.Build());
+  EXPECT_EQ(p.result.root->op, plan::PlanOp::kAggregate);
+  EXPECT_TRUE(p.result.root->left->is_scan());
+}
+
+// ---- Optimality vs exhaustive search --------------------------------------------
+
+// Recomputes the cumulative cost of a plan bottom-up from the cost formulas
+// and the model, verifying the DP's bookkeeping.
+double RecomputeCost(const plan::PlanNode& node, CardinalityModel* model,
+                     const QueryContext& ctx, const CostParams& params) {
+  if (node.is_scan()) return node.est_cost;  // validated structurally
+  double left = RecomputeCost(*node.left, model, ctx, params);
+  double rows = model->Cardinality(node.rels);
+  if (node.op == plan::PlanOp::kHashJoin) {
+    double right = RecomputeCost(*node.right, model, ctx, params);
+    return left + right +
+           HashJoinCost(params, node.left->est_rows, node.right->est_rows,
+                        rows);
+  }
+  if (node.op == plan::PlanOp::kNestedLoopJoin) {
+    double right = RecomputeCost(*node.right, model, ctx, params);
+    return left + right +
+           NestedLoopJoinCost(params, node.left->est_rows,
+                              node.right->est_rows, rows);
+  }
+  return node.est_cost;  // index NLJ: trust the planner's record
+}
+
+TEST(PlannerTest, RecordedCostsConsistent) {
+  PlannedQuery p = PlanQuery(workload::MakeQueryFig6(SmallImdb()->catalog));
+  CostParams params;
+  const plan::PlanNode& join_root = *p.result.root->left;
+  double recomputed =
+      RecomputeCost(join_root, p.model.get(), *p.ctx, params);
+  EXPECT_NEAR(recomputed, join_root.est_cost,
+              1e-6 * std::abs(join_root.est_cost) + 1e-6);
+}
+
+// Exhaustive reference: enumerate ALL bushy join trees over connected
+// pairs recursively and find the minimum cost (hash joins only, to bound
+// the search). The DP must match it.
+double BestCostExhaustive(plan::RelSet set, const QueryContext& ctx,
+                          CardinalityModel* model, const CostParams& params,
+                          std::map<uint64_t, double>* memo) {
+  auto it = memo->find(set.bits());
+  if (it != memo->end()) return it->second;
+  double best;
+  if (set.count() == 1) {
+    int rel = set.Lowest();
+    double rows = model->Cardinality(set);
+    double table_rows =
+        static_cast<double>(ctx.table(rel).num_rows());
+    best = SeqScanCost(params, table_rows,
+                       static_cast<int>(ctx.query().FiltersFor(rel).size()),
+                       rows);
+  } else {
+    best = 1e300;
+    uint64_t low_bit = uint64_t{1} << set.Lowest();
+    uint64_t rest = set.bits() & ~low_bit;
+    for (uint64_t sub = rest;; sub = (sub - 1) & rest) {
+      uint64_t left_bits = sub | low_bit;
+      uint64_t right_bits = set.bits() & ~left_bits;
+      if (right_bits != 0) {
+        plan::RelSet left(left_bits);
+        plan::RelSet right(right_bits);
+        if (ctx.graph().IsConnected(left) && ctx.graph().IsConnected(right) &&
+            !ctx.query().JoinsBetween(left, right).empty()) {
+          double l = BestCostExhaustive(left, ctx, model, params, memo);
+          double r = BestCostExhaustive(right, ctx, model, params, memo);
+          double rows = model->Cardinality(set);
+          double a = l + r +
+                     HashJoinCost(params, model->Cardinality(left),
+                                  model->Cardinality(right), rows);
+          double b = l + r +
+                     HashJoinCost(params, model->Cardinality(right),
+                                  model->Cardinality(left), rows);
+          best = std::min({best, a, b});
+        }
+      }
+      if (sub == 0) break;
+    }
+  }
+  (*memo)[set.bits()] = best;
+  return best;
+}
+
+TEST(PlannerTest, DpMatchesExhaustiveHashOnlySearch) {
+  PlannerOptions hash_only;
+  hash_only.enable_nested_loop = false;
+  hash_only.enable_index_nested_loop = false;
+  hash_only.enable_index_scan = false;
+  for (auto make : {workload::MakeQuery6d, workload::MakeQueryFig6}) {
+    PlannedQuery p = PlanQuery(make(SmallImdb()->catalog), hash_only);
+    std::map<uint64_t, double> memo;
+    CostParams params;
+    double exhaustive = BestCostExhaustive(
+        p.query->AllRelations(), *p.ctx, p.model.get(), params, &memo);
+    EXPECT_NEAR(p.result.root->left->est_cost, exhaustive,
+                1e-6 * exhaustive)
+        << p.query->name;
+  }
+}
+
+// ---- Operator selection behaviour -------------------------------------------------
+
+TEST(PlannerTest, IndexScanChosenForSelectiveEqualityOnIndexedColumn) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  workload::QueryBuilder qb(&db->catalog, "idx");
+  int t = qb.AddRelation("title", "t");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  qb.Join(t, "id", mk, "movie_id")
+      .FilterEq(t, "id", common::Value::Int(77))
+      .OutputMin(t, "title", "m");
+  PlannedQuery p = PlanQuery(qb.Build());
+  bool found_index_scan = false;
+  p.result.root->PostOrder([&](plan::PlanNode* node) {
+    if (node->op == plan::PlanOp::kIndexScan && node->scan_rel == 0) {
+      found_index_scan = true;
+    }
+    // Index-NLJ into t with the id probe is equally reasonable.
+    if (node->op == plan::PlanOp::kIndexNestedLoopJoin) {
+      found_index_scan = true;
+    }
+  });
+  EXPECT_TRUE(found_index_scan);
+}
+
+TEST(PlannerTest, PerfectModelNeverCostsMoreOnItsOwnTerms) {
+  // The plan chosen under the oracle model, costed with true
+  // cardinalities, is at least as cheap as the estimator's plan costed
+  // with true cardinalities (optimality transfer).
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto q1 = workload::MakeQuery6d(db->catalog);
+  auto q2 = workload::MakeQuery6d(db->catalog);
+  PlannedQuery est = PlanQuery(std::move(q1));
+  PlannedQuery perfect = PlanQuery(std::move(q2), {}, /*perfect_n=*/5);
+  // Execute both and compare charged (true-cardinality) costs.
+  exec::Executor executor(&db->catalog, &db->stats, CostParams());
+  auto r_est = executor.Execute(*est.query, est.result.root.get());
+  auto r_perf = executor.Execute(*perfect.query, perfect.result.root.get());
+  ASSERT_TRUE(r_est.ok());
+  ASSERT_TRUE(r_perf.ok());
+  EXPECT_LE(r_perf->cost_units, r_est->cost_units * 1.0001);
+}
+
+TEST(PlannerTest, PlanningChargesGrowWithQuerySize) {
+  PlannedQuery small = PlanQuery(workload::MakeQuery6d(SmallImdb()->catalog));
+  PlannedQuery large = PlanQuery(workload::MakeQuery25c(SmallImdb()->catalog));
+  EXPECT_GT(large.result.num_estimates, small.result.num_estimates);
+  EXPECT_GT(large.result.planning_cost_units,
+            small.result.planning_cost_units);
+}
+
+TEST(PlannerTest, DeterministicPlans) {
+  auto a = PlanQuery(workload::MakeQuery18a(SmallImdb()->catalog));
+  auto b = PlanQuery(workload::MakeQuery18a(SmallImdb()->catalog));
+  EXPECT_EQ(plan::ExplainPlan(*a.result.root, *a.query),
+            plan::ExplainPlan(*b.result.root, *b.query));
+}
+
+TEST(PlannerTest, DisconnectedQueryRejectedAtBind) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  plan::QuerySpec spec;
+  spec.name = "disconnected";
+  spec.relations.push_back(plan::RelationRef{"title", "t"});
+  spec.relations.push_back(plan::RelationRef{"keyword", "k"});
+  plan::OutputExpr out;
+  out.column = plan::ColumnRef{0, 0, ""};
+  spec.outputs.push_back(out);
+  auto bound = QueryContext::Bind(&spec, &db->catalog, &db->stats);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), common::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace reopt::optimizer

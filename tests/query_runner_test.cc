@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "reopt/query_runner.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/query_builder.h"
+
+namespace reopt::reoptimizer {
+namespace {
+
+using testing::SmallImdb;
+
+struct Harness {
+  explicit Harness(imdb::ImdbDatabase* database = SmallImdb())
+      : db(database), runner(&db->catalog, &db->stats, params) {}
+  imdb::ImdbDatabase* db;
+  optimizer::CostParams params;
+  QueryRunner runner;
+
+  std::unique_ptr<QuerySession> Session(const plan::QuerySpec* spec) {
+    auto s = QuerySession::Create(spec, &db->catalog, &db->stats);
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    return std::move(s.value());
+  }
+};
+
+ReoptOptions ReoptOn(double threshold = 32.0) {
+  ReoptOptions r;
+  r.enabled = true;
+  r.qerror_threshold = threshold;
+  return r;
+}
+
+TEST(QueryRunnerTest, ReoptPreservesResults) {
+  Harness h;
+  for (auto make : {workload::MakeQuery6d, workload::MakeQuery18a,
+                    workload::MakeQueryFig6, workload::MakeQuery16b,
+                    workload::MakeQuery25c, workload::MakeQuery30a}) {
+    auto query = make(h.db->catalog);
+    auto session = h.Session(query.get());
+    auto plain = h.runner.Run(session.get(), ModelSpec::Estimator(), {});
+    auto reopt = h.runner.Run(session.get(), ModelSpec::Estimator(),
+                              ReoptOn());
+    ASSERT_TRUE(plain.ok()) << query->name;
+    ASSERT_TRUE(reopt.ok()) << query->name;
+    EXPECT_EQ(plain->raw_rows, reopt->raw_rows) << query->name;
+    ASSERT_EQ(plain->aggregates.size(), reopt->aggregates.size());
+    for (size_t i = 0; i < plain->aggregates.size(); ++i) {
+      EXPECT_EQ(plain->aggregates[i], reopt->aggregates[i])
+          << query->name << " output " << i;
+    }
+  }
+}
+
+imdb::ImdbDatabase* TrapScaleImdb() {
+  // The 6d catastrophe (nested loop on an underestimated join) appears
+  // once the data is large enough for the bad plan to be chosen; 0.25 is
+  // the quickstart scale where re-optimization wins ~45x.
+  static imdb::ImdbDatabase* db = [] {
+    imdb::ImdbOptions options;
+    options.scale = 0.25;
+    return imdb::BuildImdbDatabase(options).release();
+  }();
+  return db;
+}
+
+TEST(QueryRunnerTest, ReoptImprovesTrapQueries) {
+  Harness h(TrapScaleImdb());
+  auto query = workload::MakeQuery6d(h.db->catalog);
+  auto session = h.Session(query.get());
+  auto plain = h.runner.Run(session.get(), ModelSpec::Estimator(), {});
+  auto reopt =
+      h.runner.Run(session.get(), ModelSpec::Estimator(), ReoptOn());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(reopt.ok());
+  EXPECT_GT(reopt->num_materializations, 0);
+  EXPECT_LT(reopt->exec_cost_units, plain->exec_cost_units);
+  // Re-optimization pays extra planning.
+  EXPECT_GE(reopt->plan_cost_units, plain->plan_cost_units);
+}
+
+TEST(QueryRunnerTest, HugeThresholdNeverTriggers) {
+  Harness h;
+  auto query = workload::MakeQuery6d(h.db->catalog);
+  auto session = h.Session(query.get());
+  auto reopt = h.runner.Run(session.get(), ModelSpec::Estimator(),
+                            ReoptOn(1e12));
+  ASSERT_TRUE(reopt.ok());
+  EXPECT_EQ(reopt->num_materializations, 0);
+  auto plain = h.runner.Run(session.get(), ModelSpec::Estimator(), {});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(reopt->exec_cost_units, plain->exec_cost_units);
+}
+
+TEST(QueryRunnerTest, PerfectModelNeverTriggersReopt) {
+  Harness h;
+  auto query = workload::MakeQuery6d(h.db->catalog);
+  auto session = h.Session(query.get());
+  auto run = h.runner.Run(
+      session.get(), ModelSpec::PerfectN(query->num_relations()), ReoptOn());
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->num_materializations, 0);
+}
+
+TEST(QueryRunnerTest, TempTablesCleanedUp) {
+  Harness h;
+  auto query = workload::MakeQuery6d(h.db->catalog);
+  auto session = h.Session(query.get());
+  size_t before = h.db->catalog.TableNames().size();
+  auto reopt =
+      h.runner.Run(session.get(), ModelSpec::Estimator(), ReoptOn());
+  ASSERT_TRUE(reopt.ok());
+  EXPECT_GT(reopt->num_materializations, 0);
+  EXPECT_EQ(h.db->catalog.TableNames().size(), before);
+  EXPECT_TRUE(h.db->catalog.TableNames(/*temp_only=*/true).empty());
+}
+
+TEST(QueryRunnerTest, RoundLogConsistent) {
+  Harness h;
+  auto query = workload::MakeQuery6d(h.db->catalog);
+  auto session = h.Session(query.get());
+  auto reopt =
+      h.runner.Run(session.get(), ModelSpec::Estimator(), ReoptOn());
+  ASSERT_TRUE(reopt.ok());
+  ASSERT_FALSE(reopt->rounds.empty());
+  // Last round is the final execution; earlier rounds are
+  // materializations with the trigger recorded.
+  for (size_t i = 0; i + 1 < reopt->rounds.size(); ++i) {
+    EXPECT_TRUE(reopt->rounds[i].materialized);
+    EXPECT_GT(reopt->rounds[i].qerror, 32.0);
+    EXPECT_GE(reopt->rounds[i].subset.count(), 2);
+  }
+  EXPECT_FALSE(reopt->rounds.back().materialized);
+  EXPECT_EQ(static_cast<int>(reopt->rounds.size()) - 1,
+            reopt->num_materializations);
+  // Cost bookkeeping adds up.
+  double plan_sum = 0.0;
+  double exec_sum = 0.0;
+  for (const RoundRecord& r : reopt->rounds) {
+    plan_sum += r.plan_cost_units;
+    exec_sum += r.exec_cost_units;
+  }
+  EXPECT_DOUBLE_EQ(plan_sum, reopt->plan_cost_units);
+  EXPECT_DOUBLE_EQ(exec_sum, reopt->exec_cost_units);
+}
+
+TEST(QueryRunnerTest, ThresholdSweepIsMonotoneInMaterializations) {
+  // Lower thresholds can only trigger at least as many materializations.
+  Harness h;
+  auto query = workload::MakeQuery25c(h.db->catalog);
+  auto session = h.Session(query.get());
+  int prev = 1 << 30;
+  for (double threshold : {2.0, 8.0, 32.0, 512.0, 65536.0}) {
+    auto run = h.runner.Run(session.get(), ModelSpec::Estimator(),
+                            ReoptOn(threshold));
+    ASSERT_TRUE(run.ok());
+    EXPECT_LE(run->num_materializations, prev) << threshold;
+    prev = run->num_materializations;
+  }
+}
+
+TEST(QueryRunnerTest, WellEstimatedQueryNotReoptimized) {
+  Harness h;
+  // A benign query: year range + cold keyword, accurate estimates.
+  workload::QueryBuilder qb(&h.db->catalog, "benign");
+  int t = qb.AddRelation("title", "t");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  int k = qb.AddRelation("keyword", "k");
+  qb.Join(t, "id", mk, "movie_id")
+      .Join(mk, "keyword_id", k, "id")
+      .FilterBetween(t, "production_year", common::Value::Int(1950),
+                     common::Value::Int(1980))
+      .OutputMin(t, "title", "m");
+  auto query = qb.Build();
+  auto session = h.Session(query.get());
+  auto run =
+      h.runner.Run(session.get(), ModelSpec::Estimator(), ReoptOn(32.0));
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->num_materializations, 0);
+}
+
+TEST(QueryRunnerTest, PerfectNReducesMaterializationNeed) {
+  // With a higher oracle horizon, the re-optimizer should fire no more
+  // often than with the plain estimator.
+  Harness h;
+  auto query = workload::MakeQuery25c(h.db->catalog);
+  auto session = h.Session(query.get());
+  auto est = h.runner.Run(session.get(), ModelSpec::Estimator(), ReoptOn());
+  auto p4 = h.runner.Run(session.get(), ModelSpec::PerfectN(4), ReoptOn());
+  ASSERT_TRUE(est.ok());
+  ASSERT_TRUE(p4.ok());
+  EXPECT_LE(p4->num_materializations, est->num_materializations);
+}
+
+TEST(QueryRunnerTest, DeterministicAcrossRuns) {
+  Harness h;
+  auto query = workload::MakeQuery16b(h.db->catalog);
+  auto session = h.Session(query.get());
+  auto a = h.runner.Run(session.get(), ModelSpec::Estimator(), ReoptOn());
+  auto b = h.runner.Run(session.get(), ModelSpec::Estimator(), ReoptOn());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->exec_cost_units, b->exec_cost_units);
+  EXPECT_DOUBLE_EQ(a->plan_cost_units, b->plan_cost_units);
+  EXPECT_EQ(a->num_materializations, b->num_materializations);
+}
+
+TEST(QueryRunnerTest, LongRunningOnlyGateSuppressesReopt) {
+  // Sec. V-D: "this can be avoided by re-optimizing only long-running
+  // queries". With an absurdly high cost gate, re-optimization never
+  // fires even on trap queries.
+  Harness h;
+  auto query = workload::MakeQuery6d(h.db->catalog);
+  auto session = h.Session(query.get());
+  ReoptOptions gated = ReoptOn();
+  gated.min_plan_cost_units = 1e15;
+  auto run = h.runner.Run(session.get(), ModelSpec::Estimator(), gated);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->num_materializations, 0);
+  // With gate 0 it fires as usual.
+  gated.min_plan_cost_units = 0.0;
+  auto ungated = h.runner.Run(session.get(), ModelSpec::Estimator(), gated);
+  ASSERT_TRUE(ungated.ok());
+  EXPECT_GT(ungated->num_materializations, 0);
+}
+
+TEST(QueryRunnerTest, MaxQErrorPickMaterializesDifferentSubset) {
+  Harness h;
+  auto query = workload::MakeQuery25c(h.db->catalog);
+  auto session = h.Session(query.get());
+  ReoptOptions lowest = ReoptOn();
+  ReoptOptions maxq = ReoptOn();
+  maxq.pick = ReoptOptions::Pick::kMaxQError;
+  auto a = h.runner.Run(session.get(), ModelSpec::Estimator(), lowest);
+  auto b = h.runner.Run(session.get(), ModelSpec::Estimator(), maxq);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Both policies preserve results.
+  ASSERT_EQ(a->aggregates.size(), b->aggregates.size());
+  for (size_t i = 0; i < a->aggregates.size(); ++i) {
+    EXPECT_EQ(a->aggregates[i], b->aggregates[i]);
+  }
+  // The paper's pick takes the *lowest* join: its first materialized
+  // subset is no larger than the max-Q-error pick's.
+  if (a->num_materializations > 0 && b->num_materializations > 0) {
+    EXPECT_LE(a->rounds[0].subset.count(), b->rounds[0].subset.count());
+  }
+}
+
+TEST(QueryRunnerTest, PlannerOptionsAblationRespected) {
+  Harness h;
+  auto query = workload::MakeQuery6d(h.db->catalog);
+  auto session = h.Session(query.get());
+  optimizer::PlannerOptions hash_only;
+  hash_only.enable_nested_loop = false;
+  hash_only.enable_index_nested_loop = false;
+  hash_only.enable_index_scan = false;
+  h.runner.set_planner_options(hash_only);
+  auto run = h.runner.Run(session.get(), ModelSpec::Estimator(), {});
+  h.runner.set_planner_options({});
+  ASSERT_TRUE(run.ok());
+  auto normal = h.runner.Run(session.get(), ModelSpec::Estimator(), {});
+  ASSERT_TRUE(normal.ok());
+  EXPECT_EQ(run->raw_rows, normal->raw_rows);  // semantics unchanged
+}
+
+}  // namespace
+}  // namespace reopt::reoptimizer

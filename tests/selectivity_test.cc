@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/selectivity.h"
+#include "stats/analyze.h"
+#include "tests/test_util.h"
+
+namespace reopt::optimizer {
+namespace {
+
+using common::Value;
+using testing::SmallImdb;
+
+stats::ColumnStats StatsOf(const char* table, const char* column) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  const storage::Table* t = db->catalog.FindTable(table);
+  common::ColumnIdx idx = t->schema().FindColumn(column);
+  return db->stats.Find(table)->column(idx);
+}
+
+double TrueSelectivity(const char* table, const plan::ScanPredicate& pred) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  const storage::Table* t = db->catalog.FindTable(table);
+  int64_t hits = 0;
+  for (common::RowIdx r = 0; r < t->num_rows(); ++r) {
+    if (exec::EvalPredicate(pred, *t, r)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(t->num_rows());
+}
+
+plan::ScanPredicate Pred(const char* table, const char* column,
+                         plan::ScanPredicate::Kind kind) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  plan::ScanPredicate p;
+  p.column = plan::ColumnRef{
+      0, db->catalog.FindTable(table)->schema().FindColumn(column), ""};
+  p.kind = kind;
+  return p;
+}
+
+// ---- Equality via MCVs: accurate on skewed dimension values ----------------
+
+TEST(SelectivityTest, EqOnMcvValueIsAccurate) {
+  stats::ColumnStats cs = StatsOf("company_name", "country_code");
+  plan::ScanPredicate p = Pred("company_name", "country_code",
+                               plan::ScanPredicate::Kind::kCompare);
+  p.op = plan::CompareOp::kEq;
+  p.value = Value::Str("[us]");
+  double est = EstimateFilterSelectivity(p, &cs);
+  double truth = TrueSelectivity("company_name", p);
+  EXPECT_NEAR(est, truth, 0.02);  // MCV gives a near-exact answer
+}
+
+TEST(SelectivityTest, EqOnUniformValueUsesUniformity) {
+  stats::ColumnStats cs = StatsOf("keyword", "keyword");
+  plan::ScanPredicate p =
+      Pred("keyword", "keyword", plan::ScanPredicate::Kind::kCompare);
+  p.op = plan::CompareOp::kEq;
+  p.value = Value::Str("kw_000300");
+  double est = EstimateFilterSelectivity(p, &cs);
+  double truth = TrueSelectivity("keyword", p);
+  // Unique values: estimate ~1/ndv, truth 1/N — both tiny and close.
+  EXPECT_NEAR(est, truth, truth * 2 + 1e-6);
+}
+
+TEST(SelectivityTest, MissingStatsFallsBackToDefault) {
+  plan::ScanPredicate p =
+      Pred("keyword", "keyword", plan::ScanPredicate::Kind::kCompare);
+  p.op = plan::CompareOp::kEq;
+  p.value = Value::Str("anything");
+  EXPECT_DOUBLE_EQ(EstimateFilterSelectivity(p, nullptr), kDefaultEqSel);
+}
+
+// ---- Ranges ------------------------------------------------------------------
+
+TEST(SelectivityTest, YearRangeCloseToTruth) {
+  stats::ColumnStats cs = StatsOf("title", "production_year");
+  plan::ScanPredicate p = Pred("title", "production_year",
+                               plan::ScanPredicate::Kind::kBetween);
+  p.value = Value::Int(1990);
+  p.value2 = Value::Int(2010);
+  double est = EstimateFilterSelectivity(p, &cs);
+  double truth = TrueSelectivity("title", p);
+  EXPECT_NEAR(est, truth, 0.08);
+}
+
+TEST(SelectivityTest, GreaterThanComplementsLessEqual) {
+  stats::ColumnStats cs = StatsOf("title", "production_year");
+  plan::ScanPredicate gt = Pred("title", "production_year",
+                                plan::ScanPredicate::Kind::kCompare);
+  gt.op = plan::CompareOp::kGt;
+  gt.value = Value::Int(2000);
+  plan::ScanPredicate le = gt;
+  le.op = plan::CompareOp::kLe;
+  double s_gt = EstimateFilterSelectivity(gt, &cs);
+  double s_le = EstimateFilterSelectivity(le, &cs);
+  EXPECT_NEAR(s_gt + s_le, 1.0, 0.05);
+}
+
+// ---- IN lists ------------------------------------------------------------------
+
+TEST(SelectivityTest, InListSumsEqualities) {
+  stats::ColumnStats cs = StatsOf("title", "production_year");
+  plan::ScanPredicate in =
+      Pred("title", "production_year", plan::ScanPredicate::Kind::kIn);
+  in.in_list = {Value::Int(2001), Value::Int(2002), Value::Int(2003)};
+  plan::ScanPredicate eq = Pred("title", "production_year",
+                                plan::ScanPredicate::Kind::kCompare);
+  eq.op = plan::CompareOp::kEq;
+  double sum = 0.0;
+  for (const Value& v : in.in_list) {
+    eq.value = v;
+    sum += EstimateFilterSelectivity(eq, &cs);
+  }
+  EXPECT_NEAR(EstimateFilterSelectivity(in, &cs), sum, 1e-9);
+}
+
+// ---- LIKE: the un-anchored default is the paper's failure mode -------------------
+
+TEST(SelectivityTest, UnanchoredLikeUsesDefaultRegardlessOfTruth) {
+  // The estimator has no statistics for un-anchored patterns: it returns
+  // the same fixed default whether the token is a rare star token or a
+  // common first name, even though the truths differ by an order of
+  // magnitude. This blindness is what the paper's 18a-style queries hit.
+  stats::ColumnStats cs = StatsOf("name", "name");
+  plan::ScanPredicate rare =
+      Pred("name", "name", plan::ScanPredicate::Kind::kLike);
+  rare.value = Value::Str("%Downey%");
+  plan::ScanPredicate frequent = rare;
+  frequent.value = Value::Str("%Maria%");
+  double est_rare = EstimateFilterSelectivity(rare, &cs);
+  double est_frequent = EstimateFilterSelectivity(frequent, &cs);
+  EXPECT_NEAR(est_rare, kDefaultMatchSel, kDefaultMatchSel);
+  EXPECT_DOUBLE_EQ(est_rare, est_frequent);
+  double truth_rare = TrueSelectivity("name", rare);
+  double truth_frequent = TrueSelectivity("name", frequent);
+  EXPECT_GT(truth_frequent / std::max(truth_rare, 1e-9), 5.0);
+}
+
+TEST(SelectivityTest, AnchoredLikeUsesHistogramPrefixRange) {
+  stats::ColumnStats cs = StatsOf("title", "title");
+  plan::ScanPredicate p =
+      Pred("title", "title", plan::ScanPredicate::Kind::kLike);
+  p.value = Value::Str("Saga%");
+  double est = EstimateFilterSelectivity(p, &cs);
+  double truth = TrueSelectivity("title", p);
+  // Prefix range through the histogram should land near the truth (~5%).
+  EXPECT_NEAR(est, truth, 0.05);
+  EXPECT_GT(est, kDefaultMatchSel);  // better than the blind default
+}
+
+TEST(SelectivityTest, NotLikeComplements) {
+  stats::ColumnStats cs = StatsOf("name", "name");
+  plan::ScanPredicate like =
+      Pred("name", "name", plan::ScanPredicate::Kind::kLike);
+  like.value = Value::Str("%Tim%");
+  plan::ScanPredicate not_like = like;
+  not_like.kind = plan::ScanPredicate::Kind::kNotLike;
+  double a = EstimateFilterSelectivity(like, &cs);
+  double b = EstimateFilterSelectivity(not_like, &cs);
+  EXPECT_NEAR(a + b, 1.0, 0.05);
+}
+
+// ---- NULL tests -------------------------------------------------------------------
+
+TEST(SelectivityTest, NullFractionDrivesIsNull) {
+  stats::ColumnStats cs = StatsOf("name", "gender");
+  plan::ScanPredicate is_null =
+      Pred("name", "gender", plan::ScanPredicate::Kind::kIsNull);
+  plan::ScanPredicate is_not_null =
+      Pred("name", "gender", plan::ScanPredicate::Kind::kIsNotNull);
+  double null_est = EstimateFilterSelectivity(is_null, &cs);
+  double truth = TrueSelectivity("name", is_null);
+  EXPECT_NEAR(null_est, truth, 0.01);
+  EXPECT_NEAR(EstimateFilterSelectivity(is_not_null, &cs), 1.0 - truth,
+              0.01);
+}
+
+// ---- Join edge selectivity -----------------------------------------------------------
+
+TEST(SelectivityTest, FkJoinEdgeSelectivityNearOneOverKeys) {
+  // title.id = movie_keyword.movie_id: 1/max(ndv) should be ~1/|title|.
+  imdb::ImdbDatabase* db = SmallImdb();
+  plan::QuerySpec spec;
+  spec.relations.push_back(plan::RelationRef{"title", "t"});
+  spec.relations.push_back(plan::RelationRef{"movie_keyword", "mk"});
+  plan::JoinEdge e;
+  e.left = plan::ColumnRef{
+      0, db->catalog.FindTable("title")->schema().FindColumn("id"), ""};
+  e.right = plan::ColumnRef{
+      1,
+      db->catalog.FindTable("movie_keyword")->schema().FindColumn("movie_id"), ""};
+  spec.joins.push_back(e);
+  plan::OutputExpr out;
+  out.column = e.left;
+  spec.outputs.push_back(out);
+
+  auto ctx = QueryContext::Bind(&spec, &db->catalog, &db->stats);
+  ASSERT_TRUE(ctx.ok());
+  double sel = EstimateJoinEdgeSelectivity(spec.joins[0], **ctx);
+  double titles =
+      static_cast<double>(db->catalog.FindTable("title")->num_rows());
+  EXPECT_NEAR(sel, 1.0 / titles, 0.5 / titles);
+}
+
+TEST(SelectivityTest, SelectivityAlwaysInUnitRange) {
+  // Sweep every (predicate kind x column) pair we use and assert bounds.
+  stats::ColumnStats cs = StatsOf("title", "production_year");
+  for (auto op : {plan::CompareOp::kEq, plan::CompareOp::kNe,
+                  plan::CompareOp::kLt, plan::CompareOp::kLe,
+                  plan::CompareOp::kGt, plan::CompareOp::kGe}) {
+    plan::ScanPredicate p = Pred("title", "production_year",
+                                 plan::ScanPredicate::Kind::kCompare);
+    p.op = op;
+    for (int64_t v : {-100, 1900, 1980, 2019, 5000}) {
+      p.value = Value::Int(v);
+      double s = EstimateFilterSelectivity(p, &cs);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reopt::optimizer

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "optimizer/planner.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/query_builder.h"
+
+namespace reopt::sql {
+namespace {
+
+using testing::SmallImdb;
+
+// ---- Lexer ------------------------------------------------------------------
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Lex("SELECT MIN(t.title) FROM title AS t WHERE "
+                    "t.production_year >= 2000;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->front().type, TokenType::kKeyword);
+  EXPECT_EQ(tokens->front().text, "SELECT");
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Lex("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto tokens = Lex("'oops");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Lex("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Lex("SELECT -- this is a comment\n 1");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 2u);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kInteger);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto tokens = Lex("<= >= <> !=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "<=");
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_EQ((*tokens)[2].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "<>");  // != normalizes
+}
+
+// ---- Parser / binder ----------------------------------------------------------
+
+TEST(ParserTest, ParsesJobStyleQuery) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto parsed = ParseStatement(
+      "SELECT MIN(k.keyword) AS movie_keyword, MIN(t.title) AS hero_movie "
+      "FROM keyword AS k, movie_keyword AS mk, title AS t "
+      "WHERE k.keyword IN ('superhero', 'sequel') "
+      "  AND t.production_year > 2000 "
+      "  AND mk.keyword_id = k.id AND t.id = mk.movie_id;",
+      db->catalog);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const plan::QuerySpec& q = *parsed->query;
+  EXPECT_EQ(q.num_relations(), 3);
+  EXPECT_EQ(q.joins.size(), 2u);
+  EXPECT_EQ(q.filters.size(), 2u);
+  EXPECT_EQ(q.outputs.size(), 2u);
+  EXPECT_TRUE(parsed->create_table_name.empty());
+}
+
+TEST(ParserTest, SqlMatchesQueryBuilderOn6d) {
+  // The SQL rendering of the 6d analogue must parse back into an
+  // equivalent spec (same counts, same estimated behavior).
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto built = workload::MakeQuery6d(db->catalog);
+  auto parsed = ParseStatement(
+      "SELECT MIN(k.keyword), MIN(n.name), MIN(t.title) "
+      "FROM cast_info AS ci, keyword AS k, movie_keyword AS mk, "
+      "     name AS n, title AS t "
+      "WHERE k.keyword IN ('superhero','sequel','second-part',"
+      "'marvel-comics','based-on-comic','tv-special','fight','violence') "
+      "  AND n.name LIKE '%Downey%' AND t.production_year > 2000 "
+      "  AND mk.keyword_id = k.id AND t.id = mk.movie_id "
+      "  AND t.id = ci.movie_id AND ci.person_id = n.id;",
+      db->catalog, "6d_sql");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->query->num_relations(), built->num_relations());
+  EXPECT_EQ(parsed->query->joins.size(), built->joins.size());
+  EXPECT_EQ(parsed->query->filters.size(), built->filters.size());
+}
+
+TEST(ParserTest, SqlQueryExecutesLikeBuiltQuery) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto run = [&](const plan::QuerySpec& q) {
+    auto ctx = optimizer::QueryContext::Bind(&q, &db->catalog, &db->stats);
+    EXPECT_TRUE(ctx.ok());
+    optimizer::EstimatorModel model(ctx.value().get());
+    optimizer::CostParams params;
+    optimizer::Planner planner(ctx.value().get(), &model, params);
+    auto planned = planner.Plan();
+    EXPECT_TRUE(planned.ok());
+    exec::Executor executor(&db->catalog, &db->stats, params);
+    auto result = executor.Execute(q, planned->root.get());
+    EXPECT_TRUE(result.ok());
+    return std::move(result.value());
+  };
+  auto parsed = ParseStatement(
+      "SELECT MIN(t.title) AS m FROM title AS t, movie_keyword AS mk, "
+      "keyword AS k WHERE t.id = mk.movie_id AND mk.keyword_id = k.id "
+      "AND k.keyword = 'superhero';",
+      db->catalog);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  workload::QueryBuilder qb(&db->catalog, "same");
+  int t = qb.AddRelation("title", "t");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  int k = qb.AddRelation("keyword", "k");
+  qb.Join(t, "id", mk, "movie_id")
+      .Join(mk, "keyword_id", k, "id")
+      .FilterEq(k, "keyword", common::Value::Str("superhero"))
+      .OutputMin(t, "title", "m");
+  auto built = qb.Build();
+
+  exec::QueryResult a = run(*parsed->query);
+  exec::QueryResult b = run(*built);
+  EXPECT_EQ(a.raw_rows, b.raw_rows);
+  ASSERT_EQ(a.aggregates.size(), b.aggregates.size());
+  EXPECT_EQ(a.aggregates[0], b.aggregates[0]);
+}
+
+TEST(ParserTest, CreateTempTableAsSelect) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto parsed = ParseStatement(
+      "CREATE TEMP TABLE temp1 AS "
+      "SELECT mk.movie_id FROM keyword AS k, movie_keyword AS mk "
+      "WHERE mk.keyword_id = k.id "
+      "AND k.keyword = 'character-name-in-title';",
+      db->catalog);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->create_table_name, "temp1");
+  EXPECT_TRUE(parsed->temporary);
+  EXPECT_EQ(parsed->query->num_relations(), 2);
+  EXPECT_FALSE(parsed->query->outputs[0].min_agg);
+}
+
+TEST(ParserTest, BetweenAndIsNull) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto parsed = ParseStatement(
+      "SELECT MIN(t.title) FROM title AS t "
+      "WHERE t.production_year BETWEEN 1990 AND 2000 "
+      "AND t.title IS NOT NULL;",
+      db->catalog);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->query->filters.size(), 2u);
+  EXPECT_EQ(parsed->query->filters[0].kind,
+            plan::ScanPredicate::Kind::kBetween);
+  EXPECT_EQ(parsed->query->filters[1].kind,
+            plan::ScanPredicate::Kind::kIsNotNull);
+}
+
+TEST(ParserTest, ImplicitAliasAndBareAlias) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto parsed = ParseStatement(
+      "SELECT MIN(title.title) FROM title WHERE title.id = 3;",
+      db->catalog);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto parsed2 = ParseStatement(
+      "SELECT MIN(t.title) FROM title t WHERE t.id = 3;", db->catalog);
+  ASSERT_TRUE(parsed2.ok()) << parsed2.status().ToString();
+}
+
+struct BadSql {
+  const char* sql;
+  const char* why;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadSql> {};
+
+TEST_P(ParserErrorTest, Rejected) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto parsed = ParseStatement(GetParam().sql, db->catalog);
+  EXPECT_FALSE(parsed.ok()) << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, ParserErrorTest,
+    ::testing::Values(
+        BadSql{"FROM title t", "missing SELECT"},
+        BadSql{"SELECT MIN(t.title) FROM nope t", "unknown table"},
+        BadSql{"SELECT MIN(t.nope) FROM title t", "unknown column"},
+        BadSql{"SELECT MIN(x.title) FROM title t", "unknown alias"},
+        BadSql{"SELECT MIN(t.title) FROM title t, title t",
+               "duplicate alias"},
+        BadSql{"SELECT MIN(t.title) FROM title t WHERE t.id <",
+               "dangling operator"},
+        BadSql{"SELECT MIN(t.title) FROM title t WHERE t.id = 1 garbage",
+               "trailing tokens"},
+        BadSql{"SELECT MIN(t.title) FROM title t WHERE t.id < t.kind_id",
+               "non-equi join"},
+        BadSql{"SELECT MIN(t.title) FROM title t WHERE t.id = t.kind_id",
+               "self comparison"}));
+
+TEST(ParserTest, ParsedQueryBindsIntoContext) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto parsed = ParseStatement(
+      "SELECT MIN(n.name) FROM name AS n, cast_info AS ci "
+      "WHERE n.id = ci.person_id AND n.gender = 'f';",
+      db->catalog);
+  ASSERT_TRUE(parsed.ok());
+  auto ctx = optimizer::QueryContext::Bind(parsed->query.get(), &db->catalog,
+                                           &db->stats);
+  EXPECT_TRUE(ctx.ok()) << ctx.status().ToString();
+}
+
+}  // namespace
+}  // namespace reopt::sql

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/analyze.h"
+#include "stats/histogram.h"
+#include "stats/stats_catalog.h"
+#include "storage/table.h"
+
+namespace reopt::stats {
+namespace {
+
+using common::Value;
+
+// ---- EquiDepthHistogram ---------------------------------------------------
+
+std::vector<Value> IntValues(const std::vector<int64_t>& xs) {
+  std::vector<Value> out;
+  for (int64_t x : xs) out.push_back(Value::Int(x));
+  return out;
+}
+
+TEST(HistogramTest, EmptyInput) {
+  EquiDepthHistogram h = EquiDepthHistogram::Build({}, 10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.num_buckets(), 0);
+}
+
+TEST(HistogramTest, BoundsAreSorted) {
+  common::Rng rng(5);
+  std::vector<Value> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(Value::Int(rng.UniformInt(0, 500)));
+  }
+  EquiDepthHistogram h = EquiDepthHistogram::Build(values, 20);
+  for (size_t i = 1; i < h.bounds().size(); ++i) {
+    EXPECT_LE(h.bounds()[i - 1], h.bounds()[i]);
+  }
+}
+
+TEST(HistogramTest, FractionBelowEndpoints) {
+  EquiDepthHistogram h =
+      EquiDepthHistogram::Build(IntValues({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}), 5);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(Value::Int(0), true), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(Value::Int(11), true), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(Value::Int(10), true), 1.0);
+}
+
+TEST(HistogramTest, FractionBelowIsMonotone) {
+  common::Rng rng(9);
+  std::vector<Value> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(Value::Int(rng.UniformInt(0, 1000)));
+  }
+  EquiDepthHistogram h = EquiDepthHistogram::Build(values, 50);
+  double prev = -1.0;
+  for (int64_t v = 0; v <= 1000; v += 25) {
+    double f = h.FractionBelow(Value::Int(v), true);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+// Property sweep: on uniform data the histogram's range estimate should be
+// close to the true fraction, for several bucket counts.
+class HistogramAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramAccuracyTest, UniformRangeEstimateAccurate) {
+  int buckets = GetParam();
+  common::Rng rng(42);
+  std::vector<int64_t> raw;
+  std::vector<Value> values;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = rng.UniformInt(0, 9999);
+    raw.push_back(v);
+    values.push_back(Value::Int(v));
+  }
+  EquiDepthHistogram h = EquiDepthHistogram::Build(values, buckets);
+  int64_t lo = 2500;
+  int64_t hi = 7500;
+  double truth = 0.0;
+  for (int64_t v : raw) {
+    if (v >= lo && v <= hi) truth += 1.0;
+  }
+  truth /= static_cast<double>(raw.size());
+  double est =
+      h.FractionBetween(Value::Int(lo), true, Value::Int(hi), true);
+  EXPECT_NEAR(est, truth, 2.0 / buckets + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketCounts, HistogramAccuracyTest,
+                         ::testing::Values(10, 25, 50, 100, 200));
+
+TEST(HistogramTest, StringBounds) {
+  EquiDepthHistogram h = EquiDepthHistogram::Build(
+      {Value::Str("a"), Value::Str("b"), Value::Str("c"), Value::Str("d")},
+      2);
+  EXPECT_GT(h.FractionBelow(Value::Str("c"), true), 0.0);
+  EXPECT_LE(h.FractionBelow(Value::Str("a"), false), 0.0);
+}
+
+// ---- AnalyzeColumn ------------------------------------------------------------
+
+storage::Column MakeIntColumn(const std::vector<int64_t>& xs,
+                              int num_nulls = 0) {
+  storage::Column col(common::DataType::kInt64);
+  for (int64_t x : xs) col.AppendInt(x);
+  for (int i = 0; i < num_nulls; ++i) col.AppendNull();
+  return col;
+}
+
+TEST(AnalyzeTest, NullFraction) {
+  storage::Column col = MakeIntColumn({1, 2, 3}, 1);
+  ColumnStats stats = AnalyzeColumn(col);
+  EXPECT_NEAR(stats.null_frac, 0.25, 1e-9);
+}
+
+TEST(AnalyzeTest, DistinctCountExact) {
+  storage::Column col = MakeIntColumn({1, 1, 2, 2, 2, 3});
+  ColumnStats stats = AnalyzeColumn(col);
+  EXPECT_DOUBLE_EQ(stats.num_distinct, 3.0);
+  EXPECT_EQ(stats.min, common::Value::Int(1));
+  EXPECT_EQ(stats.max, common::Value::Int(3));
+}
+
+TEST(AnalyzeTest, McvCapturesSkewedValue) {
+  // Value 7 appears in half the rows; it must be an MCV with freq ~0.5.
+  std::vector<int64_t> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(7);
+  for (int i = 0; i < 500; ++i) xs.push_back(100 + i);
+  ColumnStats stats = AnalyzeColumn(MakeIntColumn(xs));
+  auto freq = stats.mcv.Find(common::Value::Int(7));
+  ASSERT_TRUE(freq.has_value());
+  EXPECT_NEAR(*freq, 0.5, 0.01);
+}
+
+TEST(AnalyzeTest, UniformColumnHasNoMcvs) {
+  std::vector<int64_t> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(i);
+  ColumnStats stats = AnalyzeColumn(MakeIntColumn(xs));
+  EXPECT_TRUE(stats.mcv.empty());
+  EXPECT_NEAR(stats.non_mcv_frac, 1.0, 1e-9);
+}
+
+TEST(AnalyzeTest, McvRespectsStatisticsTarget) {
+  // 50 heavy values, target 10 -> exactly 10 MCVs (the heaviest).
+  std::vector<int64_t> xs;
+  for (int64_t v = 0; v < 50; ++v) {
+    for (int64_t c = 0; c < 20 + v; ++c) xs.push_back(v);
+  }
+  for (int64_t i = 0; i < 200; ++i) xs.push_back(1000 + i);
+  AnalyzeOptions options;
+  options.statistics_target = 10;
+  ColumnStats stats = AnalyzeColumn(MakeIntColumn(xs), options);
+  EXPECT_LE(stats.mcv.size(), 10);
+  // The very heaviest value must be included.
+  EXPECT_TRUE(stats.mcv.Find(common::Value::Int(49)).has_value());
+}
+
+TEST(AnalyzeTest, NonMcvFractionConsistent) {
+  std::vector<int64_t> xs;
+  for (int i = 0; i < 600; ++i) xs.push_back(1);
+  for (int i = 0; i < 400; ++i) xs.push_back(10 + i);
+  ColumnStats stats = AnalyzeColumn(MakeIntColumn(xs));
+  double mcv_total = stats.mcv.TotalFreq();
+  EXPECT_NEAR(mcv_total + stats.non_mcv_frac, 1.0, 1e-9);
+}
+
+TEST(AnalyzeTest, SampledAnalyzeApproximatesNullFrac) {
+  storage::Column col = MakeIntColumn(std::vector<int64_t>(9000, 5), 1000);
+  AnalyzeOptions options;
+  options.sample_size = 2000;
+  ColumnStats stats = AnalyzeColumn(col, options);
+  EXPECT_NEAR(stats.null_frac, 0.1, 0.03);
+}
+
+TEST(AnalyzeTest, WholeTable) {
+  storage::Table t("t", storage::Schema({{"a", common::DataType::kInt64},
+                                         {"b", common::DataType::kString}}));
+  t.AppendRow({Value::Int(1), Value::Str("x")});
+  t.AppendRow({Value::Int(2), Value::Str("y")});
+  TableStats stats = Analyze(t);
+  EXPECT_DOUBLE_EQ(stats.row_count, 2.0);
+  ASSERT_EQ(stats.columns.size(), 2u);
+  EXPECT_DOUBLE_EQ(stats.column(0).num_distinct, 2.0);
+}
+
+// ---- StatsCatalog ---------------------------------------------------------------
+
+TEST(StatsCatalogTest, AnalyzeAllAndLookup) {
+  storage::Catalog cat;
+  auto t = cat.CreateTable("t1", storage::Schema({{"a", common::DataType::kInt64}}));
+  ASSERT_TRUE(t.ok());
+  t.value()->AppendRow({Value::Int(1)});
+  StatsCatalog sc;
+  sc.AnalyzeAll(cat);
+  ASSERT_NE(sc.Find("t1"), nullptr);
+  EXPECT_DOUBLE_EQ(sc.Find("t1")->row_count, 1.0);
+  EXPECT_EQ(sc.Find("missing"), nullptr);
+  sc.Remove("t1");
+  EXPECT_EQ(sc.Find("t1"), nullptr);
+}
+
+}  // namespace
+}  // namespace reopt::stats

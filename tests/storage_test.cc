@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/column.h"
+#include "storage/index.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace reopt::storage {
+namespace {
+
+using common::DataType;
+using common::Value;
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"name", DataType::kString},
+                 {"score", DataType::kDouble}});
+}
+
+// ---- Column ----------------------------------------------------------------
+
+TEST(ColumnTest, TypedAppendAndRead) {
+  Column col(DataType::kInt64);
+  col.AppendInt(10);
+  col.AppendInt(-3);
+  EXPECT_EQ(col.size(), 2);
+  EXPECT_EQ(col.GetInt(0), 10);
+  EXPECT_EQ(col.GetInt(1), -3);
+  EXPECT_TRUE(col.AllValid());
+}
+
+TEST(ColumnTest, NullBitmapLazilyMaterialized) {
+  Column col(DataType::kString);
+  col.AppendString("a");
+  EXPECT_TRUE(col.AllValid());
+  col.AppendNull();
+  EXPECT_FALSE(col.AllValid());
+  col.AppendString("b");
+  EXPECT_FALSE(col.IsNull(0));
+  EXPECT_TRUE(col.IsNull(1));
+  EXPECT_FALSE(col.IsNull(2));
+  EXPECT_EQ(col.size(), 3);
+}
+
+TEST(ColumnTest, GetValueBoxesCorrectly) {
+  Column col(DataType::kDouble);
+  col.AppendDouble(1.5);
+  col.AppendNull();
+  EXPECT_EQ(col.GetValue(0), Value::Real(1.5));
+  EXPECT_TRUE(col.GetValue(1).is_null());
+}
+
+TEST(ColumnTest, AppendValueDispatchesOnType) {
+  Column col(DataType::kInt64);
+  col.AppendValue(Value::Int(7));
+  col.AppendValue(Value::Null_());
+  EXPECT_EQ(col.GetInt(0), 7);
+  EXPECT_TRUE(col.IsNull(1));
+}
+
+// ---- Schema -----------------------------------------------------------------
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.FindColumn("name"), 1);
+  EXPECT_EQ(s.FindColumn("missing"), common::kInvalidColumnIdx);
+  EXPECT_EQ(s.num_columns(), 3);
+}
+
+TEST(SchemaTest, AddColumnReturnsIndex) {
+  Schema s;
+  EXPECT_EQ(s.AddColumn({"a", DataType::kInt64}), 0);
+  EXPECT_EQ(s.AddColumn({"b", DataType::kString}), 1);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(TestSchema().ToString(),
+            "id:INT64, name:STRING, score:DOUBLE");
+}
+
+// ---- Table ------------------------------------------------------------------
+
+TEST(TableTest, AppendAndGetRow) {
+  Table t("t", TestSchema());
+  t.AppendRow({Value::Int(1), Value::Str("alpha"), Value::Real(0.5)});
+  t.AppendRow({Value::Int(2), Value::Null_(), Value::Real(1.5)});
+  EXPECT_EQ(t.num_rows(), 2);
+  std::vector<Value> row = t.GetRow(1);
+  EXPECT_EQ(row[0], Value::Int(2));
+  EXPECT_TRUE(row[1].is_null());
+}
+
+TEST(TableTest, SyncRowCountFromColumns) {
+  Table t("t", TestSchema());
+  t.mutable_column(0).AppendInt(1);
+  t.mutable_column(1).AppendString("x");
+  t.mutable_column(2).AppendDouble(2.0);
+  EXPECT_EQ(t.num_rows(), 0);  // direct appends bypass the row counter
+  t.SyncRowCountFromColumns();
+  EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(TableTest, CreateIndexOnlyOnInt64) {
+  Table t("t", TestSchema());
+  EXPECT_TRUE(t.CreateIndex(0).ok());
+  EXPECT_FALSE(t.CreateIndex(1).ok());  // string column
+  EXPECT_FALSE(t.CreateIndex(9).ok());  // out of range
+  EXPECT_NE(t.FindIndex(0), nullptr);
+  EXPECT_EQ(t.FindIndex(1), nullptr);
+}
+
+TEST(TableTest, CreateIndexIdempotent) {
+  Table t("t", TestSchema());
+  ASSERT_TRUE(t.CreateIndex(0).ok());
+  ASSERT_TRUE(t.CreateIndex(0).ok());
+  EXPECT_EQ(t.indexes().size(), 1u);
+}
+
+// ---- HashIndex ---------------------------------------------------------------
+
+TEST(HashIndexTest, LookupFindsAllDuplicates) {
+  Table t("t", Schema({{"k", DataType::kInt64}}));
+  for (int64_t v : {5, 3, 5, 5, 7}) t.AppendRow({Value::Int(v)});
+  ASSERT_TRUE(t.CreateIndex(0).ok());
+  const HashIndex* idx = t.FindIndex(0);
+  EXPECT_EQ(idx->Lookup(5).size(), 3u);
+  EXPECT_EQ(idx->Lookup(3).size(), 1u);
+  EXPECT_TRUE(idx->Lookup(99).empty());
+  EXPECT_EQ(idx->num_keys(), 3);
+  EXPECT_EQ(idx->num_entries(), 5);
+}
+
+TEST(HashIndexTest, NullKeysNotIndexed) {
+  Table t("t", Schema({{"k", DataType::kInt64}}));
+  t.AppendRow({Value::Int(1)});
+  t.AppendRow({Value::Null_()});
+  ASSERT_TRUE(t.CreateIndex(0).ok());
+  EXPECT_EQ(t.FindIndex(0)->num_entries(), 1);
+}
+
+// ---- Catalog -------------------------------------------------------------------
+
+TEST(CatalogTest, CreateFindDrop) {
+  Catalog cat;
+  auto created = cat.CreateTable("t", TestSchema());
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(cat.FindTable("t"), created.value());
+  EXPECT_TRUE(cat.DropTable("t").ok());
+  EXPECT_EQ(cat.FindTable("t"), nullptr);
+  EXPECT_FALSE(cat.DropTable("t").ok());
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("t", TestSchema()).ok());
+  EXPECT_FALSE(cat.CreateTable("t", TestSchema()).ok());
+}
+
+TEST(CatalogTest, TempTablesSeparatelyDroppable) {
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("base", TestSchema()).ok());
+  ASSERT_TRUE(cat.CreateTable("tmp1", TestSchema(), /*temporary=*/true).ok());
+  ASSERT_TRUE(cat.CreateTable("tmp2", TestSchema(), /*temporary=*/true).ok());
+  EXPECT_TRUE(cat.IsTemporary("tmp1"));
+  EXPECT_FALSE(cat.IsTemporary("base"));
+  EXPECT_EQ(cat.TableNames(/*temp_only=*/true).size(), 2u);
+  cat.DropTempTables();
+  EXPECT_EQ(cat.FindTable("tmp1"), nullptr);
+  EXPECT_NE(cat.FindTable("base"), nullptr);
+}
+
+TEST(CatalogTest, NextTempNameUnique) {
+  Catalog cat;
+  std::string a = cat.NextTempName();
+  std::string b = cat.NextTempName();
+  EXPECT_NE(a, b);
+}
+
+TEST(CatalogTest, AddPrebuiltTable) {
+  Catalog cat;
+  auto table = std::make_unique<Table>("pre", TestSchema());
+  ASSERT_TRUE(cat.AddTable(std::move(table)).ok());
+  EXPECT_NE(cat.FindTable("pre"), nullptr);
+}
+
+}  // namespace
+}  // namespace reopt::storage

@@ -1,0 +1,84 @@
+// Shared test helpers: a lazily-built, process-wide small IMDB database and
+// a naive reference join implementation used by property tests.
+#ifndef REOPT_TESTS_TEST_UTIL_H_
+#define REOPT_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/intermediate.h"
+#include "exec/kernel.h"
+#include "imdb/imdb.h"
+#include "plan/query_spec.h"
+
+namespace reopt::testing {
+
+/// A small (scale 0.05) deterministic IMDB database shared by all tests in
+/// one binary. Built once.
+inline imdb::ImdbDatabase* SmallImdb() {
+  static imdb::ImdbDatabase* db = [] {
+    imdb::ImdbOptions options;
+    options.scale = 0.05;
+    return imdb::BuildImdbDatabase(options).release();
+  }();
+  return db;
+}
+
+/// A slightly larger database for integration tests (scale 0.15).
+inline imdb::ImdbDatabase* MediumImdb() {
+  static imdb::ImdbDatabase* db = [] {
+    imdb::ImdbOptions options;
+    options.scale = 0.15;
+    return imdb::BuildImdbDatabase(options).release();
+  }();
+  return db;
+}
+
+/// Reference equi-join: a genuinely quadratic nested loop over two
+/// intermediates, used to validate the hash-join kernel.
+inline exec::Intermediate NaiveJoin(
+    const exec::Intermediate& left, const exec::Intermediate& right,
+    const std::vector<const plan::JoinEdge*>& edges,
+    const exec::BoundRelations& rels) {
+  exec::Intermediate out;
+  out.rels = left.rels;
+  out.rels.insert(out.rels.end(), right.rels.begin(), right.rels.end());
+  out.columns.resize(out.rels.size());
+  for (int64_t l = 0; l < left.size(); ++l) {
+    for (int64_t r = 0; r < right.size(); ++r) {
+      bool match = true;
+      for (const plan::JoinEdge* e : edges) {
+        const exec::Intermediate& ls =
+            left.FindRel(e->left.rel) >= 0 ? left : right;
+        const exec::Intermediate& rs =
+            right.FindRel(e->right.rel) >= 0 ? right : left;
+        int64_t lt = (&ls == &left) ? l : r;
+        int64_t rt = (&rs == &right) ? r : l;
+        const storage::Column& lc =
+            rels.table(e->left.rel).column(e->left.col);
+        const storage::Column& rc =
+            rels.table(e->right.rel).column(e->right.col);
+        common::RowIdx lrow = ls.RowOf(e->left.rel, lt);
+        common::RowIdx rrow = rs.RowOf(e->right.rel, rt);
+        if (lc.IsNull(lrow) || rc.IsNull(rrow) ||
+            lc.GetInt(lrow) != rc.GetInt(rrow)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      size_t c = 0;
+      for (; c < left.columns.size(); ++c) {
+        out.columns[c].push_back(left.columns[c][static_cast<size_t>(l)]);
+      }
+      for (size_t p = 0; p < right.columns.size(); ++p, ++c) {
+        out.columns[c].push_back(right.columns[p][static_cast<size_t>(r)]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace reopt::testing
+
+#endif  // REOPT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "optimizer/query_context.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/query_builder.h"
+
+namespace reopt::workload {
+namespace {
+
+using testing::SmallImdb;
+
+JobLikeWorkload* TestWorkload() {
+  static JobLikeWorkload* wl =
+      BuildJobLikeWorkload(SmallImdb()->catalog).release();
+  return wl;
+}
+
+TEST(WorkloadTest, ExactlyOneHundredThirteenQueries) {
+  EXPECT_EQ(TestWorkload()->queries.size(), 113u);
+}
+
+TEST(WorkloadTest, TableCountDistributionMatchesTableIII) {
+  std::map<int, int> counts;
+  for (const auto& q : TestWorkload()->queries) {
+    ++counts[q->num_relations()];
+  }
+  EXPECT_EQ(counts, JobLikeWorkload::TableCountDistribution());
+}
+
+TEST(WorkloadTest, SignatureQueriesPresent) {
+  for (const char* name : {"6d", "18a", "fig6", "16b", "25c", "30a"}) {
+    EXPECT_NE(TestWorkload()->Find(name), nullptr) << name;
+  }
+  EXPECT_EQ(TestWorkload()->Find("nonexistent"), nullptr);
+}
+
+TEST(WorkloadTest, UniqueQueryNames) {
+  std::map<std::string, int> names;
+  for (const auto& q : TestWorkload()->queries) ++names[q->name];
+  for (const auto& [name, count] : names) {
+    EXPECT_EQ(count, 1) << name;
+  }
+}
+
+TEST(WorkloadTest, EveryQueryBinds) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  for (const auto& q : TestWorkload()->queries) {
+    auto ctx =
+        optimizer::QueryContext::Bind(q.get(), &db->catalog, &db->stats);
+    EXPECT_TRUE(ctx.ok()) << q->name << ": " << ctx.status().ToString();
+  }
+}
+
+TEST(WorkloadTest, GeneratedJoinGraphsAreTrees) {
+  // Tree graphs guarantee the oracle's fast factorized-count path and
+  // match JOB's (transitively-reduced) join structure.
+  for (const auto& q : TestWorkload()->queries) {
+    EXPECT_EQ(static_cast<int>(q->joins.size()), q->num_relations() - 1)
+        << q->name;
+  }
+}
+
+TEST(WorkloadTest, EveryQueryHasFilterAndOutput) {
+  for (const auto& q : TestWorkload()->queries) {
+    EXPECT_FALSE(q->filters.empty()) << q->name;
+    EXPECT_FALSE(q->outputs.empty()) << q->name;
+    EXPECT_LE(q->outputs.size(), 4u) << q->name;
+  }
+}
+
+TEST(WorkloadTest, DeterministicAcrossBuilds) {
+  auto a = BuildJobLikeWorkload(SmallImdb()->catalog);
+  auto b = BuildJobLikeWorkload(SmallImdb()->catalog);
+  ASSERT_EQ(a->queries.size(), b->queries.size());
+  for (size_t i = 0; i < a->queries.size(); ++i) {
+    EXPECT_EQ(a->queries[i]->ToString(), b->queries[i]->ToString());
+  }
+}
+
+TEST(WorkloadTest, SeedChangesGeneratedQueries) {
+  WorkloadOptions other;
+  other.seed = 999;
+  auto a = BuildJobLikeWorkload(SmallImdb()->catalog);
+  auto b = BuildJobLikeWorkload(SmallImdb()->catalog, other);
+  int different = 0;
+  for (size_t i = 0; i < a->queries.size(); ++i) {
+    if (a->queries[i]->ToString() != b->queries[i]->ToString()) ++different;
+  }
+  EXPECT_GT(different, 50);
+}
+
+TEST(WorkloadTest, AliasesUniquePerQuery) {
+  for (const auto& q : TestWorkload()->queries) {
+    std::map<std::string, int> aliases;
+    for (const auto& rel : q->relations) ++aliases[rel.alias];
+    for (const auto& [alias, count] : aliases) {
+      EXPECT_EQ(count, 1) << q->name << " alias " << alias;
+    }
+  }
+}
+
+TEST(QueryBuilderTest, BuildsValidSpec) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  QueryBuilder qb(&db->catalog, "qb_test");
+  int t = qb.AddRelation("title", "t");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  qb.Join(t, "id", mk, "movie_id")
+      .FilterEq(t, "production_year", common::Value::Int(2001))
+      .FilterIsNotNull(t, "title")
+      .OutputMin(t, "title", "m");
+  auto spec = qb.Build();
+  EXPECT_EQ(spec->num_relations(), 2);
+  EXPECT_EQ(spec->joins.size(), 1u);
+  EXPECT_EQ(spec->filters.size(), 2u);
+  auto ctx =
+      optimizer::QueryContext::Bind(spec.get(), &db->catalog, &db->stats);
+  EXPECT_TRUE(ctx.ok());
+}
+
+}  // namespace
+}  // namespace reopt::workload
