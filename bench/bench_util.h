@@ -1,7 +1,7 @@
 // Shared benchmark environment: one synthetic IMDB database + the
 // 113-query workload + a session-caching runner. Scale is configurable via
 // REOPT_BENCH_SCALE (default 0.4) so the full suite stays laptop-friendly;
-// shapes, not absolute numbers, are the reproduction target (DESIGN.md).
+// shapes, not absolute numbers, are the reproduction target (docs/ARCHITECTURE.md).
 #ifndef REOPT_BENCH_BENCH_UTIL_H_
 #define REOPT_BENCH_BENCH_UTIL_H_
 

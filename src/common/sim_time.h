@@ -1,6 +1,6 @@
 // Deterministic simulated time. Plan and execution costs are charged in
 // abstract "cost units" by the runtime cost model; this module converts
-// them to simulated seconds for reporting. See DESIGN.md section 4.1.
+// them to simulated seconds for reporting. See docs/ARCHITECTURE.md ("simulated time").
 #ifndef REOPT_COMMON_SIM_TIME_H_
 #define REOPT_COMMON_SIM_TIME_H_
 

@@ -1,7 +1,7 @@
 // The query executor. Every operator genuinely executes (exact results,
 // exact intermediate cardinalities); time is *charged* through the shared
 // cost formulas evaluated at the actual row counts, making execution time
-// deterministic and plan-quality-faithful (see DESIGN.md: simulated time).
+// deterministic and plan-quality-faithful (see docs/ARCHITECTURE.md: simulated time).
 #ifndef REOPT_EXEC_EXECUTOR_H_
 #define REOPT_EXEC_EXECUTOR_H_
 

@@ -1,5 +1,5 @@
 // Synthetic IMDB-shaped database generator. Stands in for the real IMDB
-// dump the paper uses (see DESIGN.md substitution table): a 21-table schema
+// dump the paper uses (see docs/ARCHITECTURE.md): a 21-table schema
 // matching the Join Order Benchmark's, populated with the two phenomena the
 // paper blames for catastrophic estimates —
 //   * skew: Zipfian popularity of movies, people, companies and keywords

@@ -185,8 +185,8 @@ TEST(ExecutorTest, TempWriteMaterializesAndAnalyzes) {
   write->op = plan::PlanOp::kTempWrite;
   write->rels = join->rels;
   write->temp_table_name = "test_temp_1";
-  write->temp_columns = {plan::ColumnRef{0, qb.Col(0, "title")},
-                         plan::ColumnRef{1, qb.Col(1, "keyword_id")}};
+  write->temp_columns = {plan::ColumnRef{0, qb.Col(0, "title"), "title"},
+                         plan::ColumnRef{1, qb.Col(1, "keyword_id"), "keyword_id"}};
   write->left = std::move(join);
 
   Executor executor(&db->catalog, &db->stats, params);
