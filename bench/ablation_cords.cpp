@@ -9,21 +9,25 @@
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
   std::fprintf(stderr, "[bench] building column-group statistics...\n");
   env->db->stats.BuildColumnGroupsAll(env->db->catalog);
 
-  auto plain = env->runner->RunAll(*env->workload,
-                                   reoptimizer::ModelSpec::Estimator(), {});
-  auto cords = env->runner->RunAll(*env->workload,
-                                   reoptimizer::ModelSpec::Cords(), {});
-  auto reopt = env->runner->RunAll(*env->workload,
-                                   reoptimizer::ModelSpec::Estimator(),
-                                   bench::ReoptOn(32.0));
-  auto perfect = env->runner->RunAll(
-      *env->workload, reoptimizer::ModelSpec::PerfectN(17), {});
-  if (!plain.ok() || !cords.ok() || !reopt.ok() || !perfect.ok()) return 1;
+  std::vector<workload::SweepConfig> configs = {
+      {"independence", reoptimizer::ModelSpec::Estimator(), {}},
+      {"column groups", reoptimizer::ModelSpec::Cords(), {}},
+      {"re-opt", reoptimizer::ModelSpec::Estimator(), bench::ReoptOn(32.0)},
+      {"perfect", reoptimizer::ModelSpec::PerfectN(17), {}},
+  };
+  auto results =
+      env->runner->RunSweep(*env->workload, configs, env->threads,
+                            bench::SweepProgress());
+  if (!results.ok()) return 1;
+  const workload::WorkloadRunResult* plain = &results.value()[0];
+  const workload::WorkloadRunResult* cords = &results.value()[1];
+  const workload::WorkloadRunResult* reopt = &results.value()[2];
+  const workload::WorkloadRunResult* perfect = &results.value()[3];
 
   bench::PrintCaption(
       "Ablation: CORDS column-group statistics vs re-optimization");

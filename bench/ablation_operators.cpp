@@ -13,8 +13,8 @@
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
   struct Config {
     const char* label;
     bool nlj;
@@ -33,9 +33,12 @@ int main() {
     optimizer::PlannerOptions options;
     options.enable_nested_loop = config.nlj;
     options.enable_index_nested_loop = config.index_nlj;
+    // Planner options are runner-level state, so each ablation is its own
+    // RunAll; the queries within it still fan across the workers.
     env->runner->query_runner()->set_planner_options(options);
     auto run = env->runner->RunAll(*env->workload,
-                                   reoptimizer::ModelSpec::Estimator(), {});
+                                   reoptimizer::ModelSpec::Estimator(), {},
+                                   env->threads);
     if (!run.ok()) return 1;
     std::printf("%-18s %10.2f %10.2f\n", config.label,
                 run->TotalPlanSeconds(), run->TotalExecSeconds());

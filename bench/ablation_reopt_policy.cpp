@@ -12,16 +12,8 @@
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
-  auto pg = env->runner->RunAll(*env->workload,
-                                reoptimizer::ModelSpec::Estimator(), {});
-  if (!pg.ok()) return 1;
-
-  struct Config {
-    const char* label;
-    reoptimizer::ReoptOptions reopt;
-  };
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
   reoptimizer::ReoptOptions lowest = bench::ReoptOn(32.0);
   reoptimizer::ReoptOptions maxq = bench::ReoptOn(32.0);
   maxq.pick = reoptimizer::ReoptOptions::Pick::kMaxQError;
@@ -29,37 +21,39 @@ int main() {
   // "Long-running" = estimated cost above ~2 simulated seconds.
   gated.min_plan_cost_units = 2.0 * common::kCostUnitsPerSecond;
 
-  Config configs[] = {
-      {"lowest join (paper)", lowest},
-      {"max Q-error join", maxq},
-      {"lowest + long-only", gated},
+  std::vector<workload::SweepConfig> configs = {
+      {"default estimation", reoptimizer::ModelSpec::Estimator(), {}},
+      {"lowest join (paper)", reoptimizer::ModelSpec::Estimator(), lowest},
+      {"max Q-error join", reoptimizer::ModelSpec::Estimator(), maxq},
+      {"lowest + long-only", reoptimizer::ModelSpec::Estimator(), gated},
   };
+  auto results =
+      env->runner->RunSweep(*env->workload, configs, env->threads,
+                            bench::SweepProgress());
+  if (!results.ok()) return 1;
+  const workload::WorkloadRunResult* pg = &results.value()[0];
 
   bench::PrintCaption(
       "Ablation: re-optimization trigger policy (threshold 32)");
   std::printf("%-22s %10s %10s %8s %16s\n", "policy", "plan (s)",
               "exec (s)", "# temps", "worst regression");
-  for (const Config& config : configs) {
-    auto run = env->runner->RunAll(*env->workload,
-                                   reoptimizer::ModelSpec::Estimator(),
-                                   config.reopt);
-    if (!run.ok()) return 1;
+  for (size_t c = 1; c < configs.size(); ++c) {
+    const workload::WorkloadRunResult& run = results.value()[c];
     int temps = 0;
     double worst = 0.0;
     std::string worst_name;
-    for (size_t i = 0; i < run->records.size(); ++i) {
-      temps += run->records[i].materializations;
-      double regression = run->records[i].exec_seconds /
+    for (size_t i = 0; i < run.records.size(); ++i) {
+      temps += run.records[i].materializations;
+      double regression = run.records[i].exec_seconds /
                           std::max(1e-9, pg->records[i].exec_seconds);
       if (regression > worst) {
         worst = regression;
-        worst_name = run->records[i].name;
+        worst_name = run.records[i].name;
       }
     }
-    std::printf("%-22s %10.2f %10.2f %8d %10.2fx (%s)\n", config.label,
-                run->TotalPlanSeconds(), run->TotalExecSeconds(), temps,
-                worst, worst_name.c_str());
-    std::fflush(stdout);
+    std::printf("%-22s %10.2f %10.2f %8d %10.2fx (%s)\n",
+                configs[c].label.c_str(), run.TotalPlanSeconds(),
+                run.TotalExecSeconds(), temps, worst, worst_name.c_str());
   }
   std::printf("(baseline: default estimation exec %.2f s)\n",
               pg->TotalExecSeconds());

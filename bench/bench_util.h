@@ -2,14 +2,22 @@
 // 113-query workload + a session-caching runner. Scale is configurable via
 // REOPT_BENCH_SCALE (default 0.4) so the full suite stays laptop-friendly;
 // shapes, not absolute numbers, are the reproduction target (docs/ARCHITECTURE.md).
+//
+// Parallelism: every driver accepts --threads=N (or REOPT_BENCH_THREADS);
+// N=0 means all hardware threads. Simulated-time results are byte-identical
+// at any thread count — threads only shrink wall-clock (see
+// docs/ARCHITECTURE.md, "Concurrency model") — so the default stays 1 for
+// predictable machine load, not for reproducibility.
 #ifndef REOPT_BENCH_BENCH_UTIL_H_
 #define REOPT_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "imdb/imdb.h"
 #include "reopt/query_runner.h"
 #include "workload/job_like.h"
@@ -21,6 +29,8 @@ struct BenchEnv {
   std::unique_ptr<imdb::ImdbDatabase> db;
   std::unique_ptr<workload::JobLikeWorkload> workload;
   std::unique_ptr<workload::WorkloadRunner> runner;
+  /// Worker threads for RunAll/RunSweep (from --threads / env; default 1).
+  int threads = 1;
 };
 
 inline double BenchScale() {
@@ -32,16 +42,52 @@ inline double BenchScale() {
   return 0.4;
 }
 
-inline std::unique_ptr<BenchEnv> MakeBenchEnv() {
+/// Thread count from --threads=N (precedence) or REOPT_BENCH_THREADS.
+/// 0 means "all hardware threads"; absent/invalid means 1 (serial).
+inline int BenchThreads(int argc, char** argv) {
+  auto resolve = [](const char* s) {
+    int n = std::atoi(s);
+    if (n > 0) return n;
+    if (s[0] == '0' && s[1] == '\0') return common::DefaultThreadCount();
+    return 1;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return resolve(argv[i] + 10);
+    }
+  }
+  const char* env = std::getenv("REOPT_BENCH_THREADS");
+  if (env != nullptr && env[0] != '\0') return resolve(env);
+  return 1;
+}
+
+inline std::unique_ptr<BenchEnv> MakeBenchEnv(int argc = 0,
+                                              char** argv = nullptr) {
   auto env = std::make_unique<BenchEnv>();
+  env->threads = BenchThreads(argc, argv);
   imdb::ImdbOptions options;
   options.scale = BenchScale();
-  std::fprintf(stderr, "[bench] generating IMDB database at scale %.2f...\n",
-               options.scale);
+  std::fprintf(stderr,
+               "[bench] generating IMDB database at scale %.2f "
+               "(%d worker thread%s)...\n",
+               options.scale, env->threads, env->threads == 1 ? "" : "s");
   env->db = imdb::BuildImdbDatabase(options);
   env->workload = workload::BuildJobLikeWorkload(env->db->catalog);
   env->runner = std::make_unique<workload::WorkloadRunner>(env->db.get());
   return env;
+}
+
+/// Stderr progress hook for RunSweep: one line per finished configuration,
+/// so multi-minute sweeps show liveness (and partial results survive an
+/// interrupted run) while stdout keeps the final, deterministically-ordered
+/// table.
+inline workload::SweepProgressFn SweepProgress() {
+  return [](const workload::SweepConfig& config,
+            const workload::WorkloadRunResult& result) {
+    std::fprintf(stderr, "[bench] %-20s plan %8.2f s   exec %8.2f s\n",
+                 config.label.c_str(), result.TotalPlanSeconds(),
+                 result.TotalExecSeconds());
+  };
 }
 
 inline reoptimizer::ReoptOptions ReoptOn(double threshold = 32.0) {

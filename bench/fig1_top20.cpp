@@ -9,10 +9,11 @@
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
   auto pg = env->runner->RunAll(*env->workload,
-                                reoptimizer::ModelSpec::Estimator(), {});
+                                reoptimizer::ModelSpec::Estimator(), {},
+                                env->threads);
   if (!pg.ok()) return 1;
 
   // Top 20 by default execution time.

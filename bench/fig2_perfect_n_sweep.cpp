@@ -2,27 +2,37 @@
 // perfect-(n) cardinalities, n = 0..17. The paper's shape: flat until
 // perfect-(3), a large drop at perfect-(4)/(5), perfect-(17) about half
 // the default total.
+#include <vector>
+
 #include "bench/bench_util.h"
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
+  std::vector<workload::SweepConfig> configs;
+  for (int n = 0; n <= 17; ++n) {
+    configs.push_back({std::to_string(n),
+                       reoptimizer::ModelSpec::PerfectN(n),
+                       {}});
+  }
+  auto results =
+      env->runner->RunSweep(*env->workload, configs, env->threads,
+                            bench::SweepProgress());
+  if (!results.ok()) {
+    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
   bench::PrintCaption(
       "Figure 2: plan+execute totals vs perfect-(n), all 113 queries");
   std::printf("%-12s %12s %12s %12s\n", "perfect-(n)", "plan (s)",
               "exec (s)", "total (s)");
-  for (int n = 0; n <= 17; ++n) {
-    auto result = env->runner->RunAll(
-        *env->workload, reoptimizer::ModelSpec::PerfectN(n), {});
-    if (!result.ok()) {
-      std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
-      return 1;
-    }
-    double plan = result->TotalPlanSeconds();
-    double exec = result->TotalExecSeconds();
-    std::printf("%-12d %12.2f %12.2f %12.2f\n", n, plan, exec, plan + exec);
-    std::fflush(stdout);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const workload::WorkloadRunResult& result = results.value()[i];
+    double plan = result.TotalPlanSeconds();
+    double exec = result.TotalExecSeconds();
+    std::printf("%-12s %12.2f %12.2f %12.2f\n", configs[i].label.c_str(),
+                plan, exec, plan + exec);
   }
   return 0;
 }

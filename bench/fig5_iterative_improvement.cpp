@@ -10,8 +10,8 @@
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
   optimizer::CostParams params;
   bench::PrintCaption(
       "Figure 5: execution time under iterative estimate correction");

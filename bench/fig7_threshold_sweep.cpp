@@ -3,42 +3,45 @@
 // default PostgreSQL-style estimation and perfect-(17). Paper shape: best
 // around 32; even threshold 2 only mildly over-plans and still beats no
 // re-optimization; very high thresholds converge to the default.
+#include <vector>
+
 #include "bench/bench_util.h"
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
+  const double thresholds[] = {2,   4,    8,    16,   32,    64,   128,
+                               256, 512,  1024, 2048, 4096,  8192, 16384};
+  std::vector<workload::SweepConfig> configs;
+  for (double threshold : thresholds) {
+    configs.push_back({std::to_string(static_cast<int>(threshold)),
+                       reoptimizer::ModelSpec::Estimator(),
+                       bench::ReoptOn(threshold)});
+  }
+  configs.push_back({"PG", reoptimizer::ModelSpec::Estimator(), {}});
+  configs.push_back({"Perfect", reoptimizer::ModelSpec::PerfectN(17), {}});
+
+  auto results =
+      env->runner->RunSweep(*env->workload, configs, env->threads,
+                            bench::SweepProgress());
+  if (!results.ok()) {
+    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
   bench::PrintCaption(
       "Figure 7: plan+execute totals vs re-optimization threshold");
   std::printf("%-12s %10s %10s %10s %8s\n", "threshold", "plan (s)",
               "exec (s)", "total (s)", "# temps");
-  const double thresholds[] = {2,   4,    8,    16,   32,    64,   128,
-                               256, 512,  1024, 2048, 4096,  8192, 16384};
-  for (double threshold : thresholds) {
-    auto result =
-        env->runner->RunAll(*env->workload,
-                            reoptimizer::ModelSpec::Estimator(),
-                            bench::ReoptOn(threshold));
-    if (!result.ok()) return 1;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const workload::WorkloadRunResult& result = results.value()[i];
     int temps = 0;
-    for (const auto& r : result->records) temps += r.materializations;
-    std::printf("%-12.0f %10.2f %10.2f %10.2f %8d\n", threshold,
-                result->TotalPlanSeconds(), result->TotalExecSeconds(),
-                result->TotalPlanSeconds() + result->TotalExecSeconds(),
+    for (const auto& r : result.records) temps += r.materializations;
+    std::printf("%-12s %10.2f %10.2f %10.2f %8d\n",
+                configs[i].label.c_str(), result.TotalPlanSeconds(),
+                result.TotalExecSeconds(),
+                result.TotalPlanSeconds() + result.TotalExecSeconds(),
                 temps);
-    std::fflush(stdout);
   }
-  auto pg = env->runner->RunAll(*env->workload,
-                                reoptimizer::ModelSpec::Estimator(), {});
-  auto perfect = env->runner->RunAll(
-      *env->workload, reoptimizer::ModelSpec::PerfectN(17), {});
-  if (!pg.ok() || !perfect.ok()) return 1;
-  std::printf("%-12s %10.2f %10.2f %10.2f %8d\n", "PG",
-              pg->TotalPlanSeconds(), pg->TotalExecSeconds(),
-              pg->TotalPlanSeconds() + pg->TotalExecSeconds(), 0);
-  std::printf("%-12s %10.2f %10.2f %10.2f %8d\n", "Perfect",
-              perfect->TotalPlanSeconds(), perfect->TotalExecSeconds(),
-              perfect->TotalPlanSeconds() + perfect->TotalExecSeconds(), 0);
   return 0;
 }

@@ -3,30 +3,46 @@
 // Paper shape: re-optimization helps until about perfect-(5); beyond that
 // it is a small (~6%) overhead — the risk of re-optimizing good plans is
 // bounded.
+#include <vector>
+
 #include "bench/bench_util.h"
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
+  // Interleave (plain, reopt) per n: config 2n is perfect-(n) without and
+  // config 2n+1 with re-optimization.
+  std::vector<workload::SweepConfig> configs;
+  for (int n = 0; n <= 17; ++n) {
+    configs.push_back({std::to_string(n) + " plain",
+                       reoptimizer::ModelSpec::PerfectN(n),
+                       {}});
+    configs.push_back({std::to_string(n) + " reopt",
+                       reoptimizer::ModelSpec::PerfectN(n),
+                       bench::ReoptOn(32.0)});
+  }
+  auto results =
+      env->runner->RunSweep(*env->workload, configs, env->threads,
+                            bench::SweepProgress());
+  if (!results.ok()) {
+    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
   bench::PrintCaption(
       "Figure 8: execution time of perfect-(n) with and without "
       "re-optimization");
   std::printf("%-12s %14s %14s %10s\n", "perfect-(n)", "exec (s)",
               "exec+reopt (s)", "# temps");
   for (int n = 0; n <= 17; ++n) {
-    auto plain = env->runner->RunAll(
-        *env->workload, reoptimizer::ModelSpec::PerfectN(n), {});
-    auto reopt = env->runner->RunAll(*env->workload,
-                                     reoptimizer::ModelSpec::PerfectN(n),
-                                     bench::ReoptOn(32.0));
-    if (!plain.ok() || !reopt.ok()) return 1;
+    const workload::WorkloadRunResult& plain =
+        results.value()[static_cast<size_t>(2 * n)];
+    const workload::WorkloadRunResult& reopt =
+        results.value()[static_cast<size_t>(2 * n + 1)];
     int temps = 0;
-    for (const auto& r : reopt->records) temps += r.materializations;
-    std::printf("%-12d %14.2f %14.2f %10d\n", n,
-                plain->TotalExecSeconds(), reopt->TotalExecSeconds(),
-                temps);
-    std::fflush(stdout);
+    for (const auto& r : reopt.records) temps += r.materializations;
+    std::printf("%-12d %14.2f %14.2f %10d\n", n, plain.TotalExecSeconds(),
+                reopt.TotalExecSeconds(), temps);
   }
   return 0;
 }

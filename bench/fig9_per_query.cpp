@@ -9,16 +9,20 @@
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
-  auto pg = env->runner->RunAll(*env->workload,
-                                reoptimizer::ModelSpec::Estimator(), {});
-  auto re = env->runner->RunAll(*env->workload,
-                                reoptimizer::ModelSpec::Estimator(),
-                                bench::ReoptOn(32.0));
-  auto perfect = env->runner->RunAll(
-      *env->workload, reoptimizer::ModelSpec::PerfectN(17), {});
-  if (!pg.ok() || !re.ok() || !perfect.ok()) return 1;
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
+  std::vector<workload::SweepConfig> configs = {
+      {"PostgreSQL", reoptimizer::ModelSpec::Estimator(), {}},
+      {"Re-opt", reoptimizer::ModelSpec::Estimator(), bench::ReoptOn(32.0)},
+      {"Perfect", reoptimizer::ModelSpec::PerfectN(17), {}},
+  };
+  auto results =
+      env->runner->RunSweep(*env->workload, configs, env->threads,
+                            bench::SweepProgress());
+  if (!results.ok()) return 1;
+  const workload::WorkloadRunResult* pg = &results.value()[0];
+  const workload::WorkloadRunResult* re = &results.value()[1];
+  const workload::WorkloadRunResult* perfect = &results.value()[2];
 
   std::vector<size_t> order(pg->records.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;

@@ -9,8 +9,8 @@
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
   std::map<int, int64_t> totals;
   int64_t grand_total = 0;
   optimizer::CostParams params;

@@ -6,13 +6,18 @@
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
-  auto pg = env->runner->RunAll(*env->workload,
-                                reoptimizer::ModelSpec::Estimator(), {});
-  auto perfect = env->runner->RunAll(
-      *env->workload, reoptimizer::ModelSpec::PerfectN(17), {});
-  if (!pg.ok() || !perfect.ok()) return 1;
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
+  std::vector<workload::SweepConfig> configs = {
+      {"default", reoptimizer::ModelSpec::Estimator(), {}},
+      {"perfect", reoptimizer::ModelSpec::PerfectN(17), {}},
+  };
+  auto results =
+      env->runner->RunSweep(*env->workload, configs, env->threads,
+                            bench::SweepProgress());
+  if (!results.ok()) return 1;
+  const workload::WorkloadRunResult* pg = &results.value()[0];
+  const workload::WorkloadRunResult* perfect = &results.value()[1];
 
   struct Bucket {
     const char* label;

@@ -4,8 +4,8 @@
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
   std::map<int, int> counts;
   for (const auto& q : env->workload->queries) {
     ++counts[q->num_relations()];

@@ -6,16 +6,20 @@
 
 using namespace reopt;  // NOLINT: benchmark driver
 
-int main() {
-  auto env = bench::MakeBenchEnv();
-  auto re = env->runner->RunAll(*env->workload,
-                                reoptimizer::ModelSpec::Estimator(),
-                                bench::ReoptOn(32.0));
-  auto perfect = env->runner->RunAll(
-      *env->workload, reoptimizer::ModelSpec::PerfectN(17), {});
-  auto pg = env->runner->RunAll(*env->workload,
-                                reoptimizer::ModelSpec::Estimator(), {});
-  if (!re.ok() || !perfect.ok() || !pg.ok()) return 1;
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
+  std::vector<workload::SweepConfig> configs = {
+      {"re-opt", reoptimizer::ModelSpec::Estimator(), bench::ReoptOn(32.0)},
+      {"perfect", reoptimizer::ModelSpec::PerfectN(17), {}},
+      {"default", reoptimizer::ModelSpec::Estimator(), {}},
+  };
+  auto results =
+      env->runner->RunSweep(*env->workload, configs, env->threads,
+                            bench::SweepProgress());
+  if (!results.ok()) return 1;
+  const workload::WorkloadRunResult* re = &results.value()[0];
+  const workload::WorkloadRunResult* perfect = &results.value()[1];
+  const workload::WorkloadRunResult* pg = &results.value()[2];
 
   struct Bucket {
     const char* label;

@@ -1,0 +1,43 @@
+// ScopeGuard: runs a callable when the enclosing scope exits, whatever the
+// exit path — normal return, early Status return, or stack unwinding from a
+// CHECK-adjacent throw. Used by the re-optimization loop to guarantee temp
+// tables and their statistics never outlive the query that created them.
+#ifndef REOPT_COMMON_SCOPE_GUARD_H_
+#define REOPT_COMMON_SCOPE_GUARD_H_
+
+#include <utility>
+
+namespace reopt::common {
+
+template <typename F>
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(F fn) : fn_(std::move(fn)) {}
+  ~ScopeGuard() {
+    if (armed_) fn_();
+  }
+
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+  ScopeGuard(ScopeGuard&& other) noexcept
+      : fn_(std::move(other.fn_)), armed_(other.armed_) {
+    other.armed_ = false;
+  }
+  ScopeGuard& operator=(ScopeGuard&&) = delete;
+
+  /// Cancels the guard; the callable will not run.
+  void Dismiss() { armed_ = false; }
+
+ private:
+  F fn_;
+  bool armed_ = true;
+};
+
+template <typename F>
+ScopeGuard<F> MakeScopeGuard(F fn) {
+  return ScopeGuard<F>(std::move(fn));
+}
+
+}  // namespace reopt::common
+
+#endif  // REOPT_COMMON_SCOPE_GUARD_H_

@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <utility>
+
+namespace reopt::common {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int n = num_threads < 1 ? 1 : num_threads;
+  workers_.reserve(static_cast<size_t>(n));
+  for (int w = 0; w < n; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Let queued work drain before shutting down: Submit-after-Wait and
+    // destruction mid-batch both behave predictably.
+    all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void(int)> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  while (true) {
+    std::function<void(int)> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(int64_t count, int num_threads,
+                 const std::function<void(int64_t index, int worker)>& fn) {
+  if (count <= 0) return;
+  int workers = num_threads;
+  if (workers > count) workers = static_cast<int>(count);
+  if (workers <= 1) {
+    for (int64_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  ThreadPool pool(workers);
+  std::atomic<int64_t> next{0};
+  for (int w = 0; w < workers; ++w) {
+    pool.Submit([&](int worker) {
+      while (true) {
+        int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i, worker);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+int DefaultThreadCount() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace reopt::common

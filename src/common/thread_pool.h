@@ -1,0 +1,68 @@
+// A small fixed-size thread pool plus a ParallelFor helper, the concurrency
+// substrate for the parallel workload-sweep engine (workload/runner.h).
+// Tasks receive the executing worker's 0-based index so callers can address
+// per-worker state (scratch buffers, namespaced temp tables) without any
+// further synchronization.
+#ifndef REOPT_COMMON_THREAD_POOL_H_
+#define REOPT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reopt::common {
+
+/// A fixed set of worker threads draining one shared task queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  /// Waits for all queued work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; it runs on some worker and is passed that worker's
+  /// index in [0, num_threads()). Tasks must not throw (the library is
+  /// exception-free); they may Submit further tasks.
+  void Submit(std::function<void(int worker)> task);
+
+  /// Blocks until the queue is empty and every worker is idle. The pool is
+  /// reusable afterwards.
+  void Wait();
+
+ private:
+  void WorkerLoop(int worker);
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void(int)>> queue_;
+  int active_ = 0;        // tasks currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(index, worker) for every index in [0, count), distributing
+/// indices over up to `num_threads` workers through an atomic cursor.
+/// `worker` is in [0, min(num_threads, count)). With num_threads <= 1 (or
+/// count <= 1) everything runs inline on worker 0 and no threads are
+/// spawned, so serial callers pay nothing. Returns once every index has
+/// been processed.
+void ParallelFor(int64_t count, int num_threads,
+                 const std::function<void(int64_t index, int worker)>& fn);
+
+/// std::thread::hardware_concurrency with a floor of 1 (the standard allows
+/// it to report 0).
+int DefaultThreadCount();
+
+}  // namespace reopt::common
+
+#endif  // REOPT_COMMON_THREAD_POOL_H_

@@ -6,6 +6,11 @@
 namespace reopt::optimizer {
 
 double TrueCardinalityOracle::True(plan::RelSet set) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TrueLocked(set);
+}
+
+double TrueCardinalityOracle::TrueLocked(plan::RelSet set) {
   REOPT_CHECK(!set.empty());
   auto it = cache_.find(set.bits());
   if (it != cache_.end()) return it->second;
@@ -16,11 +21,13 @@ double TrueCardinalityOracle::True(plan::RelSet set) {
 }
 
 void TrueCardinalityOracle::ReleaseScratch() {
+  std::lock_guard<std::mutex> lock(mu_);
   filtered_.clear();
   weights_.clear();
 }
 
 void TrueCardinalityOracle::Preload(const std::map<uint64_t, double>& counts) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [bits, count] : counts) cache_[bits] = count;
 }
 
@@ -37,7 +44,7 @@ double TrueCardinalityOracle::Compute(plan::RelSet set) {
       component = component.Union(grow);
     }
     if (component == set) return ComputeConnected(set);
-    product *= True(component);
+    product *= TrueLocked(component);
     remaining = remaining.Minus(component);
     if (product == 0.0) return 0.0;
   }

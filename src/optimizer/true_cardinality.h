@@ -8,12 +8,21 @@
 // in the base data via factorized (Yannakakis-style) counting without ever
 // materializing the join; cyclic subsets fall back to hash-join
 // materialization.
+//
+// Thread safety: True(), ReleaseScratch(), Preload() and the counters are
+// mutex-guarded, so one session's oracle may be shared by concurrent sweep
+// workers running the same query under different configurations. The lock
+// is coarse (held for the whole count computation): contention only arises
+// when two workers need the *same* query's counts at the same moment, and
+// the second then hits the fresh memo entry. counts() exposes the raw cache
+// and is for quiescent (single-threaded) use only.
 #ifndef REOPT_OPTIMIZER_TRUE_CARDINALITY_H_
 #define REOPT_OPTIMIZER_TRUE_CARDINALITY_H_
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,9 +42,15 @@ class TrueCardinalityOracle {
   double True(plan::RelSet set);
 
   /// Number of counts computed (excluding cache hits).
-  int64_t num_computed() const { return num_computed_; }
+  int64_t num_computed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_computed_;
+  }
   /// Number of cached entries.
-  int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
+  int64_t cache_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(cache_.size());
+  }
 
   /// Releases the factorized-counting scratch memory (weight maps and
   /// filtered base rows), keeping the count cache. Call between queries.
@@ -43,12 +58,16 @@ class TrueCardinalityOracle {
 
   /// Pre-populates count cache entries (from a disk cache).
   void Preload(const std::map<uint64_t, double>& counts);
-  /// Snapshot of the count cache (for a disk cache).
+  /// Snapshot of the count cache (for a disk cache). Quiescent use only —
+  /// do not call while other threads may be counting.
   const std::map<uint64_t, double>& counts() const { return cache_; }
 
  private:
   using WeightMap = std::unordered_map<int64_t, double>;
 
+  /// True() with mu_ already held; Compute recurses through this entry so
+  /// the (non-recursive) lock is taken exactly once per public call.
+  double TrueLocked(plan::RelSet set);
   double Compute(plan::RelSet set);
   double ComputeConnected(plan::RelSet set);
   /// True if every relation pair in `set` is linked by at most one edge and
@@ -62,6 +81,7 @@ class TrueCardinalityOracle {
   const std::vector<common::RowIdx>& FilteredRows(int rel);
 
   const QueryContext* ctx_;
+  mutable std::mutex mu_;  // guards everything below
   int64_t num_computed_ = 0;
   std::map<uint64_t, double> cache_;
 

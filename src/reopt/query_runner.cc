@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/scope_guard.h"
 #include "common/sim_time.h"
 #include "exec/executor.h"
 #include "reopt/rewrite.h"
@@ -64,12 +65,15 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
   optimizer::QueryContext* ctx = session->ctx();
   optimizer::TrueCardinalityOracle* oracle = session->oracle();
 
-  auto cleanup = [&]() {
+  // Scope guard, not a manually-invoked lambda: temp tables and their
+  // statistics must not survive this query on *any* exit path — early
+  // Status returns below, or unwinding from CHECK-adjacent code.
+  common::ScopeGuard drop_temps([&]() {
     for (const std::string& name : temp_tables) {
       (void)catalog_->DropTable(name);
       stats_catalog_->Remove(name);
     }
-  };
+  });
 
   for (int round = 0;; ++round) {
     std::unique_ptr<optimizer::CardinalityModel> model =
@@ -77,7 +81,6 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
     optimizer::Planner planner(ctx, model.get(), params_, planner_options_);
     auto planned = planner.Plan();
     if (!planned.ok()) {
-      cleanup();
       return planned.status();
     }
     result.plan_cost_units += planned->planning_cost_units;
@@ -91,6 +94,10 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
     if (consider) {
       planned->root->PostOrder([&](plan::PlanNode* node) {
         if (!node->is_join()) return;
+        // Both sides clamp to >= 1 row: a zero-row truth (empty-result
+        // query) must not yield an infinite Q-error that forces
+        // materializing an empty subtree, and sub-row estimates must not
+        // inflate the ratio from the other side.
         double est = std::max(1.0, node->est_rows);
         double truth = std::max(1.0, oracle->True(node->rels));
         double q = std::max(truth / est, est / truth);
@@ -115,7 +122,6 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
       // No (more) mis-estimates: execute the final plan.
       auto executed = executor.Execute(*spec, planned->root.get());
       if (!executed.ok()) {
-        cleanup();
         return executed.status();
       }
       result.aggregates = std::move(executed->aggregates);
@@ -135,7 +141,7 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
     plan::RelSet subset = offender->rels;
     std::vector<plan::ColumnRef> temp_cols =
         ColumnsToMaterialize(*spec, subset);
-    std::string temp_name = catalog_->NextTempName();
+    std::string temp_name = catalog_->NextTempName(temp_namespace_);
 
     auto write = std::make_unique<plan::PlanNode>();
     write->op = plan::PlanOp::kTempWrite;
@@ -148,7 +154,6 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
 
     auto executed = executor.Execute(*spec, write.get());
     if (!executed.ok()) {
-      cleanup();
       return executed.status();
     }
     result.exec_cost_units += executed->cost_units;
@@ -171,7 +176,6 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
     auto bound =
         optimizer::QueryContext::Bind(spec, catalog_, stats_catalog_);
     if (!bound.ok()) {
-      cleanup();
       return bound.status();
     }
     owned_ctxs.push_back(std::move(bound.value()));
@@ -181,7 +185,6 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
     oracle = owned_oracles.back().get();
   }
 
-  cleanup();
   return result;
 }
 

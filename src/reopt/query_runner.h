@@ -122,6 +122,16 @@ class QueryRunner {
   void set_planner_options(const optimizer::PlannerOptions& options) {
     planner_options_ = options;
   }
+  const optimizer::PlannerOptions& planner_options() const {
+    return planner_options_;
+  }
+
+  /// Namespace woven into generated temp-table names
+  /// ("reopt_temp_<ns>_<n>"). Parallel sweep workers each set a distinct
+  /// namespace so concurrent re-optimization rounds can never collide in
+  /// the catalog. Empty (the default) keeps the serial "reopt_temp_<n>".
+  void set_temp_namespace(std::string ns) { temp_namespace_ = std::move(ns); }
+  const std::string& temp_namespace() const { return temp_namespace_; }
 
   /// Runs the session's query. Temp tables created by re-optimization are
   /// dropped before returning.
@@ -138,6 +148,7 @@ class QueryRunner {
   stats::StatsCatalog* stats_catalog_;
   optimizer::CostParams params_;
   optimizer::PlannerOptions planner_options_;
+  std::string temp_namespace_;
 };
 
 }  // namespace reopt::reoptimizer

@@ -1,10 +1,19 @@
 // Maps table names to their TableStats, the statistics side of the catalog.
 // The re-optimizer registers exact statistics for materialized temp tables
 // here before re-planning.
+//
+// Thread safety: map-touching members are mutex-guarded so parallel
+// workload runners can ANALYZE/Remove their temp-table statistics
+// concurrently. Find returns a pointer into the node-based map, valid until
+// *that entry* is removed — safe under the runners' discipline of only ever
+// removing their own namespaced temp entries. The bulk builders
+// (AnalyzeAll, BuildColumnGroupsAll, ClearColumnGroups) mutate entries in
+// place and belong to the single-threaded setup phase.
 #ifndef REOPT_STATS_STATS_CATALOG_H_
 #define REOPT_STATS_STATS_CATALOG_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "storage/catalog.h"
@@ -34,13 +43,14 @@ class StatsCatalog {
   void Remove(const std::string& table_name);
 
   /// Builds CORDS-style column-group statistics for every analyzed table
-  /// (paper Sec. IV-B; see bench/ablation_cords).
+  /// (paper Sec. IV-B; see bench/ablation_cords). Setup-phase only.
   void BuildColumnGroupsAll(const storage::Catalog& catalog,
                             const ColumnGroupOptions& options = {});
-  /// Drops all group statistics.
+  /// Drops all group statistics. Setup-phase only.
   void ClearColumnGroups();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, TableStats> stats_;
 };
 

@@ -1,11 +1,24 @@
 // The catalog maps table names to Table objects, with a separate namespace
 // flag for temporary tables created by the re-optimizer (CREATE TEMP TABLE
 // ... AS SELECT in the paper's Fig. 6 rewrite).
+//
+// Thread safety: all member functions are safe to call concurrently. The
+// map is guarded by a mutex and the temp-name counter is atomic, so
+// parallel workload runners can register/drop their (namespaced) temp
+// tables while other threads resolve base tables. Table* pointers returned
+// by lookup stay valid until *that table* is dropped — the map is
+// node-based and tables are heap-owned — so concurrent DDL on unrelated
+// tables never invalidates them. The Table objects themselves are not
+// internally synchronized: a temp table must be fully populated by its
+// creating thread before its name is shared.
 #ifndef REOPT_STORAGE_CATALOG_H_
 #define REOPT_STORAGE_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,16 +57,20 @@ class Catalog {
   /// Names of all (or only temporary) tables, sorted.
   std::vector<std::string> TableNames(bool temp_only = false) const;
 
-  /// Generates a unique temp-table name ("reopt_temp_1", ...).
-  std::string NextTempName();
+  /// Generates a unique temp-table name: "reopt_temp_1", ... or, with a
+  /// non-empty namespace, "reopt_temp_<ns>_1", ... . Each parallel runner
+  /// passes its own namespace so names are collision-free by construction
+  /// even before the atomic counter makes them unique.
+  std::string NextTempName(const std::string& name_space = "");
 
  private:
   struct Entry {
     std::unique_ptr<Table> table;
     bool temporary = false;
   };
+  mutable std::mutex mu_;
   std::map<std::string, Entry> tables_;
-  int64_t temp_counter_ = 0;
+  std::atomic<int64_t> temp_counter_{0};
 };
 
 }  // namespace reopt::storage

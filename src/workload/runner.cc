@@ -1,5 +1,11 @@
 #include "workload/runner.h"
 
+#include <atomic>
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.h"
+
 namespace reopt::workload {
 
 double WorkloadRunResult::TotalPlanSeconds() const {
@@ -21,8 +27,28 @@ const QueryRecord* WorkloadRunResult::Find(const std::string& name) const {
   return nullptr;
 }
 
+namespace {
+
+QueryRecord MakeRecord(const plan::QuerySpec& query,
+                       const reoptimizer::RunResult& run) {
+  QueryRecord record;
+  record.name = query.name;
+  record.num_tables = query.num_relations();
+  record.plan_seconds = run.plan_seconds();
+  record.exec_seconds = run.exec_seconds();
+  record.materializations = run.num_materializations;
+  record.raw_rows = run.raw_rows;
+  return record;
+}
+
+}  // namespace
+
 common::Result<reoptimizer::QuerySession*> WorkloadRunner::GetSession(
     const plan::QuerySpec* query) {
+  // Creation stays under the lock: two workers racing on the same query's
+  // first use must not each build a session — the loser's insert would
+  // destroy the session the winner is already running on.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
   auto it = sessions_.find(query);
   if (it != sessions_.end()) return it->second.get();
   auto created =
@@ -42,20 +68,94 @@ common::Result<reoptimizer::RunResult> WorkloadRunner::RunOne(
 
 common::Result<WorkloadRunResult> WorkloadRunner::RunAll(
     const JobLikeWorkload& workload, const reoptimizer::ModelSpec& model,
-    const reoptimizer::ReoptOptions& reopt) {
-  WorkloadRunResult out;
-  out.records.reserve(workload.queries.size());
-  for (const auto& query : workload.queries) {
-    auto run = RunOne(query.get(), model, reopt);
-    if (!run.ok()) return run.status();
-    QueryRecord record;
-    record.name = query->name;
-    record.num_tables = query->num_relations();
-    record.plan_seconds = run->plan_seconds();
-    record.exec_seconds = run->exec_seconds();
-    record.materializations = run->num_materializations;
-    record.raw_rows = run->raw_rows;
-    out.records.push_back(std::move(record));
+    const reoptimizer::ReoptOptions& reopt, int num_threads) {
+  if (num_threads <= 1) {
+    // Serial fast path: no worker runners, stop at the first error.
+    WorkloadRunResult out;
+    out.records.reserve(workload.queries.size());
+    for (const auto& query : workload.queries) {
+      auto run = RunOne(query.get(), model, reopt);
+      if (!run.ok()) return run.status();
+      out.records.push_back(MakeRecord(*query, *run));
+    }
+    return out;
+  }
+  std::vector<SweepConfig> configs(1);
+  configs[0].model = model;
+  configs[0].reopt = reopt;
+  REOPT_ASSIGN_OR_RETURN(std::vector<WorkloadRunResult> results,
+                         RunSweep(workload, configs, num_threads));
+  return std::move(results[0]);
+}
+
+common::Result<std::vector<WorkloadRunResult>> WorkloadRunner::RunSweep(
+    const JobLikeWorkload& workload, const std::vector<SweepConfig>& configs,
+    int num_threads, const SweepProgressFn& progress) {
+  const int64_t num_queries = static_cast<int64_t>(workload.queries.size());
+  const int64_t num_configs = static_cast<int64_t>(configs.size());
+  std::vector<WorkloadRunResult> out(configs.size());
+  for (WorkloadRunResult& r : out) r.records.resize(workload.queries.size());
+  if (num_configs == 0 || num_queries == 0) return out;
+
+  const int64_t num_tasks = num_configs * num_queries;
+  int workers = num_threads < 1 ? 1 : num_threads;
+  if (workers > num_tasks) workers = static_cast<int>(num_tasks);
+
+  // Worker-private runners: same catalog/stats/params/planner options as
+  // the serial runner, plus a per-worker temp-table namespace so
+  // re-optimization rounds on different threads can never collide.
+  std::vector<reoptimizer::QueryRunner> runners;
+  runners.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    runners.emplace_back(&db_->catalog, &db_->stats, params_);
+    runners.back().set_planner_options(runner_.planner_options());
+    runners.back().set_temp_namespace("w" + std::to_string(w));
+  }
+
+  // One slot per (config, query) task, config-major — the serial execution
+  // order — so both record assembly and error selection below are
+  // deterministic no matter which worker ran what. Every task runs even
+  // after a failure (errors are rare and each task is bounded); skipping
+  // would let scheduling decide which error slot gets filled first and the
+  // returned error would differ run to run.
+  std::vector<common::Status> statuses(static_cast<size_t>(num_tasks));
+  std::atomic<bool> failed{false};
+  std::vector<std::atomic<int64_t>> unfinished(configs.size());
+  for (auto& n : unfinished) n.store(num_queries, std::memory_order_relaxed);
+  std::mutex progress_mu;
+  common::ParallelFor(
+      num_tasks, workers, [&](int64_t task, int worker) {
+        const size_t c = static_cast<size_t>(task / num_queries);
+        const size_t q = static_cast<size_t>(task % num_queries);
+        const plan::QuerySpec* spec = workload.queries[q].get();
+        auto session = GetSession(spec);
+        if (!session.ok()) {
+          statuses[static_cast<size_t>(task)] = session.status();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        auto run = runners[static_cast<size_t>(worker)].Run(
+            session.value(), configs[c].model, configs[c].reopt);
+        if (!run.ok()) {
+          statuses[static_cast<size_t>(task)] = run.status();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        out[c].records[q] = MakeRecord(*spec, *run);
+        // Last finished query of a config fires the progress hook with the
+        // complete result (a failed query never decrements, so a failing
+        // config never reports).
+        if (progress &&
+            unfinished[c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          progress(configs[c], out[c]);
+        }
+      });
+
+  if (failed.load()) {
+    for (const common::Status& status : statuses) {
+      if (!status.ok()) return status;
+    }
   }
   return out;
 }

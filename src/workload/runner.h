@@ -3,11 +3,21 @@
 // bench table/figure is derived from. Sessions (and their true-cardinality
 // caches) are reused across configurations so perfect-(n) and threshold
 // sweeps amortize oracle work.
+//
+// RunAll and RunSweep accept a thread count and fan the work over a
+// common::ThreadPool. Results are byte-identical to the serial order:
+// every record slot is written by exactly one worker, each (config, query)
+// run is deterministic in isolation (worker-private QueryRunner with a
+// namespaced temp-table space; thread-safe catalog/stats/oracle), and the
+// slots are assembled in config-major, query-minor order regardless of
+// which worker ran what. See docs/ARCHITECTURE.md, "Concurrency model".
 #ifndef REOPT_WORKLOAD_RUNNER_H_
 #define REOPT_WORKLOAD_RUNNER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,6 +47,22 @@ struct WorkloadRunResult {
   const QueryRecord* Find(const std::string& name) const;
 };
 
+/// One configuration of a sweep: a cardinality model plus re-optimization
+/// settings, with a label for reporting.
+struct SweepConfig {
+  std::string label;
+  reoptimizer::ModelSpec model;
+  reoptimizer::ReoptOptions reopt;
+};
+
+/// Progress hook for RunSweep: invoked once per configuration as soon as
+/// all of its queries have finished, with the complete result. Invocations
+/// are serialized but arrive in *completion* order (== config order when
+/// num_threads is 1); long sweeps use it for incremental reporting.
+using SweepProgressFn =
+    std::function<void(const SweepConfig& config,
+                       const WorkloadRunResult& result)>;
+
 class WorkloadRunner {
  public:
   explicit WorkloadRunner(imdb::ImdbDatabase* db,
@@ -48,24 +74,40 @@ class WorkloadRunner {
                                           const reoptimizer::ModelSpec& model,
                                           const reoptimizer::ReoptOptions& reopt);
 
-  /// Runs every query of the workload in order.
+  /// Runs every query of the workload. With num_threads > 1 the queries
+  /// are fanned over a thread pool; records come back in workload order
+  /// with values identical to a serial run.
   common::Result<WorkloadRunResult> RunAll(
       const JobLikeWorkload& workload, const reoptimizer::ModelSpec& model,
-      const reoptimizer::ReoptOptions& reopt);
+      const reoptimizer::ReoptOptions& reopt, int num_threads = 1);
+
+  /// Runs every (configuration, query) pair of a sweep — the unit of work
+  /// behind every figure/table driver — over one shared pool, so workers
+  /// stay busy across configuration boundaries. Results come back in
+  /// `configs` order, each identical to a serial RunAll of that
+  /// configuration. On failure every pair still runs, and the error of the
+  /// first failing (config, query) pair in serial order is returned —
+  /// scheduling cannot change which error the caller sees.
+  common::Result<std::vector<WorkloadRunResult>> RunSweep(
+      const JobLikeWorkload& workload, const std::vector<SweepConfig>& configs,
+      int num_threads = 1, const SweepProgressFn& progress = nullptr);
 
   /// The cached session for a query (creating it on first use).
+  /// Thread-safe; sessions are shared across workers and configurations.
   common::Result<reoptimizer::QuerySession*> GetSession(
       const plan::QuerySpec* query);
 
   const optimizer::CostParams& params() const { return params_; }
 
-  /// Access for operator-ablation benches.
+  /// Access for operator-ablation benches. Planner options set here also
+  /// apply to the worker runners RunAll/RunSweep spawn.
   reoptimizer::QueryRunner* query_runner() { return &runner_; }
 
  private:
   imdb::ImdbDatabase* db_;
   optimizer::CostParams params_;
   reoptimizer::QueryRunner runner_;
+  std::mutex sessions_mu_;
   std::map<const plan::QuerySpec*, std::unique_ptr<reoptimizer::QuerySession>>
       sessions_;
 };

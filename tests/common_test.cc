@@ -2,8 +2,11 @@
 
 #include <map>
 #include <set>
+#include <stdexcept>
+#include <utility>
 
 #include "common/rng.h"
+#include "common/scope_guard.h"
 #include "common/sim_time.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -269,6 +272,57 @@ TEST(SimTimeTest, Formatting) {
   EXPECT_EQ(FormatSimSeconds(2.5), "2.50 s");
   EXPECT_EQ(FormatSimSeconds(0.1234), "123.4 ms");
   EXPECT_EQ(FormatSimSeconds(0.00005), "50.0 us");
+}
+
+// ---- ScopeGuard -------------------------------------------------------------
+
+TEST(ScopeGuardTest, RunsOnNormalExit) {
+  int runs = 0;
+  {
+    ScopeGuard guard([&runs] { ++runs; });
+  }
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ScopeGuardTest, RunsOnEarlyReturn) {
+  int runs = 0;
+  auto fn = [&runs](bool early) {
+    ScopeGuard guard([&runs] { ++runs; });
+    if (early) return 1;
+    return 2;
+  };
+  EXPECT_EQ(fn(true), 1);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(fn(false), 2);
+  EXPECT_EQ(runs, 2);
+}
+
+TEST(ScopeGuardTest, RunsDuringStackUnwinding) {
+  int runs = 0;
+  try {
+    ScopeGuard guard([&runs] { ++runs; });
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ScopeGuardTest, DismissCancels) {
+  int runs = 0;
+  {
+    ScopeGuard guard([&runs] { ++runs; });
+    guard.Dismiss();
+  }
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(ScopeGuardTest, MoveTransfersOwnership) {
+  int runs = 0;
+  {
+    auto guard = MakeScopeGuard([&runs] { ++runs; });
+    ScopeGuard moved = std::move(guard);
+  }
+  EXPECT_EQ(runs, 1);
 }
 
 }  // namespace

@@ -1,0 +1,185 @@
+// The parallel sweep engine's correctness contract: RunAll/RunSweep with
+// num_threads > 1 produce records byte-identical to the serial run, never
+// leak temp tables, and propagate errors deterministically. This suite is
+// the ThreadSanitizer target (ctest label "tsan"): it drives 4+ workers
+// through concurrent re-optimization rounds — temp-table DDL, stats
+// registration, shared oracle counting — over a reduced workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/runner.h"
+
+namespace reopt::workload {
+namespace {
+
+using testing::SmallImdb;
+
+// A reduced workload: the first 18 generated queries plus every signature
+// query (6d materializes even at test scale, so re-optimization's
+// temp-table path runs concurrently).
+std::unique_ptr<JobLikeWorkload> ReducedWorkload() {
+  auto full = BuildJobLikeWorkload(SmallImdb()->catalog);
+  auto reduced = std::make_unique<JobLikeWorkload>();
+  const std::vector<std::string> keep = {"6d",  "18a", "fig6",
+                                         "16b", "25c", "30a"};
+  for (size_t i = 0; i < full->queries.size(); ++i) {
+    bool is_signature = false;
+    for (const std::string& name : keep) {
+      if (full->queries[i]->name == name) is_signature = true;
+    }
+    if (i < 18 || is_signature) {
+      reduced->queries.push_back(std::move(full->queries[i]));
+    }
+  }
+  return reduced;
+}
+
+void ExpectSameRecords(const WorkloadRunResult& a,
+                       const WorkloadRunResult& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    const QueryRecord& x = a.records[i];
+    const QueryRecord& y = b.records[i];
+    EXPECT_EQ(x.name, y.name) << i;
+    EXPECT_EQ(x.num_tables, y.num_tables) << x.name;
+    EXPECT_DOUBLE_EQ(x.plan_seconds, y.plan_seconds) << x.name;
+    EXPECT_DOUBLE_EQ(x.exec_seconds, y.exec_seconds) << x.name;
+    EXPECT_EQ(x.materializations, y.materializations) << x.name;
+    EXPECT_EQ(x.raw_rows, y.raw_rows) << x.name;
+  }
+}
+
+TEST(ParallelRunnerTest, ParallelRunAllMatchesSerial) {
+  auto workload = ReducedWorkload();
+  WorkloadRunner runner(SmallImdb());
+  reoptimizer::ReoptOptions reopt;
+  reopt.enabled = true;
+  reopt.qerror_threshold = 32.0;
+
+  auto serial = runner.RunAll(*workload, reoptimizer::ModelSpec::Estimator(),
+                              reopt);
+  auto parallel = runner.RunAll(*workload,
+                                reoptimizer::ModelSpec::Estimator(), reopt,
+                                /*num_threads=*/4);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ExpectSameRecords(*serial, *parallel);
+
+  // The run must actually have exercised the concurrent temp-table path.
+  int materializations = 0;
+  for (const QueryRecord& r : parallel->records) {
+    materializations += r.materializations;
+  }
+  EXPECT_GT(materializations, 0);
+  EXPECT_TRUE(SmallImdb()->catalog.TableNames(/*temp_only=*/true).empty());
+}
+
+TEST(ParallelRunnerTest, SweepMatchesPerConfigSerialRuns) {
+  auto workload = ReducedWorkload();
+  WorkloadRunner runner(SmallImdb());
+  reoptimizer::ReoptOptions reopt32;
+  reopt32.enabled = true;
+  reopt32.qerror_threshold = 32.0;
+  std::vector<SweepConfig> configs = {
+      {"default", reoptimizer::ModelSpec::Estimator(), {}},
+      {"reopt-32", reoptimizer::ModelSpec::Estimator(), reopt32},
+      {"perfect-4", reoptimizer::ModelSpec::PerfectN(4), {}},
+  };
+
+  auto sweep = runner.RunSweep(*workload, configs, /*num_threads=*/4);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  ASSERT_EQ(sweep->size(), configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    auto serial = runner.RunAll(*workload, configs[c].model,
+                                configs[c].reopt);
+    ASSERT_TRUE(serial.ok()) << configs[c].label;
+    ExpectSameRecords(*serial, (*sweep)[c]);
+  }
+  EXPECT_TRUE(SmallImdb()->catalog.TableNames(/*temp_only=*/true).empty());
+}
+
+TEST(ParallelRunnerTest, ProgressHookFiresOncePerConfigWithFullResult) {
+  auto workload = ReducedWorkload();
+  WorkloadRunner runner(SmallImdb());
+  std::vector<SweepConfig> configs = {
+      {"a", reoptimizer::ModelSpec::Estimator(), {}},
+      {"b", reoptimizer::ModelSpec::PerfectN(3), {}},
+  };
+  // Invocations are serialized by RunSweep, so the unguarded vector is safe.
+  std::vector<std::string> seen;
+  auto sweep = runner.RunSweep(
+      *workload, configs, /*num_threads=*/4,
+      [&](const SweepConfig& config, const WorkloadRunResult& result) {
+        EXPECT_EQ(result.records.size(), workload->queries.size());
+        for (const QueryRecord& r : result.records) {
+          EXPECT_FALSE(r.name.empty());  // complete when reported
+        }
+        seen.push_back(config.label);
+      });
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParallelRunnerTest, RepeatedParallelRunsAreDeterministic) {
+  auto workload = ReducedWorkload();
+  WorkloadRunner runner(SmallImdb());
+  reoptimizer::ReoptOptions reopt;
+  reopt.enabled = true;
+  reopt.qerror_threshold = 8.0;
+  auto a = runner.RunAll(*workload, reoptimizer::ModelSpec::Estimator(),
+                         reopt, 4);
+  auto b = runner.RunAll(*workload, reoptimizer::ModelSpec::Estimator(),
+                         reopt, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameRecords(*a, *b);
+}
+
+TEST(ParallelRunnerTest, ErrorPropagatesAndLeavesNoTempTables) {
+  auto workload = ReducedWorkload();
+  WorkloadRunner runner(SmallImdb());
+  // With every join algorithm disabled, multi-relation queries cannot be
+  // planned: the DP never reaches the full relation set.
+  optimizer::PlannerOptions no_joins;
+  no_joins.enable_hash_join = false;
+  no_joins.enable_nested_loop = false;
+  no_joins.enable_index_nested_loop = false;
+  runner.query_runner()->set_planner_options(no_joins);
+
+  size_t tables_before = SmallImdb()->catalog.TableNames().size();
+  auto run = runner.RunAll(*workload, reoptimizer::ModelSpec::Estimator(),
+                           {}, /*num_threads=*/4);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), common::StatusCode::kInternal);
+  EXPECT_EQ(SmallImdb()->catalog.TableNames().size(), tables_before);
+  EXPECT_TRUE(SmallImdb()->catalog.TableNames(/*temp_only=*/true).empty());
+
+  // The runner recovers once the options are restored.
+  runner.query_runner()->set_planner_options({});
+  auto ok_run = runner.RunAll(*workload,
+                              reoptimizer::ModelSpec::Estimator(), {}, 4);
+  EXPECT_TRUE(ok_run.ok()) << ok_run.status().ToString();
+}
+
+TEST(ParallelRunnerTest, OversubscribedThreadCountStillMatches) {
+  auto workload = ReducedWorkload();
+  WorkloadRunner runner(SmallImdb());
+  auto serial = runner.RunAll(*workload,
+                              reoptimizer::ModelSpec::Estimator(), {});
+  auto wide = runner.RunAll(*workload, reoptimizer::ModelSpec::Estimator(),
+                            {}, /*num_threads=*/64);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(wide.ok());
+  ExpectSameRecords(*serial, *wide);
+}
+
+}  // namespace
+}  // namespace reopt::workload

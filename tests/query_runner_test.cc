@@ -247,6 +247,84 @@ TEST(QueryRunnerTest, MaxQErrorPickMaterializesDifferentSubset) {
   }
 }
 
+TEST(QueryRunnerTest, EmptyResultQueryDoesNotTriggerReopt) {
+  // Regression guard for the Q-error trigger's zero-row edge case: a join
+  // whose true cardinality is 0 must not produce an infinite Q-error
+  // (est / 0) that forces materializing an empty subtree every round. Both
+  // sides of the ratio clamp to >= 1, so an empty result with a tiny
+  // estimate is a *good* estimate (q == 1), not a trigger.
+  Harness h;
+  workload::QueryBuilder qb(&h.db->catalog, "empty_result");
+  int t = qb.AddRelation("title", "t");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  qb.Join(t, "id", mk, "movie_id")
+      .FilterEq(t, "production_year", common::Value::Int(-987654))
+      .OutputMin(t, "title", "m");
+  auto query = qb.Build();
+  auto session = h.Session(query.get());
+  size_t tables_before = h.db->catalog.TableNames().size();
+  // With an unclamped truth the Q-error would be est/0 = inf, which beats
+  // *any* threshold; clamped, the q stays finite and this must not fire.
+  auto run =
+      h.runner.Run(session.get(), ModelSpec::Estimator(), ReoptOn(1e9));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->raw_rows, 0);
+  EXPECT_EQ(run->num_materializations, 0);
+  ASSERT_EQ(run->aggregates.size(), 1u);
+  EXPECT_TRUE(run->aggregates[0].is_null());
+  EXPECT_EQ(h.db->catalog.TableNames().size(), tables_before);
+
+  // At an aggressive threshold the (finite) overestimate legitimately
+  // triggers; materializing and re-planning over an *empty* temp table
+  // must work end-to-end and still clean up.
+  auto aggressive =
+      h.runner.Run(session.get(), ModelSpec::Estimator(), ReoptOn(2.0));
+  ASSERT_TRUE(aggressive.ok()) << aggressive.status().ToString();
+  EXPECT_EQ(aggressive->raw_rows, 0);
+  ASSERT_EQ(aggressive->aggregates.size(), 1u);
+  EXPECT_TRUE(aggressive->aggregates[0].is_null());
+  EXPECT_EQ(h.db->catalog.TableNames().size(), tables_before);
+  EXPECT_TRUE(h.db->catalog.TableNames(/*temp_only=*/true).empty());
+}
+
+TEST(QueryRunnerTest, TempNamespaceIsolatesRunners) {
+  // Two runners with distinct namespaces share one catalog; their temp
+  // tables cannot collide and each cleans up only its own.
+  Harness h;
+  h.runner.set_temp_namespace("a");
+  QueryRunner other(&h.db->catalog, &h.db->stats, h.params);
+  other.set_temp_namespace("b");
+  auto query = workload::MakeQuery6d(h.db->catalog);
+  auto session_a = h.Session(query.get());
+  auto session_b = h.Session(query.get());
+  auto ra = h.runner.Run(session_a.get(), ModelSpec::Estimator(), ReoptOn());
+  auto rb = other.Run(session_b.get(), ModelSpec::Estimator(), ReoptOn());
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_GT(ra->num_materializations, 0);
+  EXPECT_EQ(ra->num_materializations, rb->num_materializations);
+  EXPECT_DOUBLE_EQ(ra->exec_cost_units, rb->exec_cost_units);
+  EXPECT_TRUE(h.db->catalog.TableNames(/*temp_only=*/true).empty());
+}
+
+TEST(QueryRunnerTest, PlanningErrorLeavesNoTempTables) {
+  // The temp-table cleanup is a scope guard, not a success-path epilogue:
+  // a Run that fails must leave the catalog and stats untouched.
+  Harness h;
+  optimizer::PlannerOptions no_joins;
+  no_joins.enable_hash_join = false;
+  no_joins.enable_nested_loop = false;
+  no_joins.enable_index_nested_loop = false;
+  h.runner.set_planner_options(no_joins);
+  auto query = workload::MakeQuery6d(h.db->catalog);
+  auto session = h.Session(query.get());
+  size_t tables_before = h.db->catalog.TableNames().size();
+  auto run = h.runner.Run(session.get(), ModelSpec::Estimator(), ReoptOn());
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(h.db->catalog.TableNames().size(), tables_before);
+  EXPECT_TRUE(h.db->catalog.TableNames(/*temp_only=*/true).empty());
+}
+
 TEST(QueryRunnerTest, PlannerOptionsAblationRespected) {
   Harness h;
   auto query = workload::MakeQuery6d(h.db->catalog);

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "storage/catalog.h"
 #include "storage/column.h"
 #include "storage/index.h"
@@ -175,6 +181,66 @@ TEST(CatalogTest, NextTempNameUnique) {
   std::string a = cat.NextTempName();
   std::string b = cat.NextTempName();
   EXPECT_NE(a, b);
+}
+
+TEST(CatalogTest, NextTempNameCarriesNamespace) {
+  Catalog cat;
+  EXPECT_EQ(cat.NextTempName(), "reopt_temp_1");
+  EXPECT_EQ(cat.NextTempName("w3"), "reopt_temp_w3_2");
+  EXPECT_EQ(cat.NextTempName(), "reopt_temp_3");
+}
+
+TEST(CatalogTest, ConcurrentTempNamesNeverCollide) {
+  // Two (or more) concurrent runners drawing temp names — with and without
+  // per-worker namespaces — must never produce the same name.
+  Catalog cat;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<std::string>> names(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cat, &names, t] {
+      std::string ns = t % 2 == 0 ? "" : "w" + std::to_string(t);
+      names[static_cast<size_t>(t)].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        names[static_cast<size_t>(t)].push_back(cat.NextTempName(ns));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::set<std::string> unique;
+  for (const auto& per_thread : names) {
+    for (const std::string& name : per_thread) unique.insert(name);
+  }
+  EXPECT_EQ(unique.size(),
+            static_cast<size_t>(kThreads) * static_cast<size_t>(kPerThread));
+}
+
+TEST(CatalogTest, ConcurrentTempDdlWithBaseLookups) {
+  // Workers create/drop namespaced temp tables while others resolve a base
+  // table — the parallel re-optimization access pattern.
+  Catalog cat;
+  ASSERT_TRUE(cat.CreateTable("base", TestSchema()).ok());
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cat, &failures, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        std::string name = cat.NextTempName("w" + std::to_string(t));
+        if (!cat.CreateTable(name, TestSchema(), /*temporary=*/true).ok() ||
+            cat.FindTable("base") == nullptr ||
+            cat.FindTable(name) == nullptr || !cat.DropTable(name).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(cat.TableNames(/*temp_only=*/true).empty());
+  EXPECT_NE(cat.FindTable("base"), nullptr);
 }
 
 TEST(CatalogTest, AddPrebuiltTable) {

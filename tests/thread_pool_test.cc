@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace reopt::common {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&count](int) { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> count{0};
+  pool.Submit([&count](int) { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, WorkerIndexStaysInRange) {
+  ThreadPool pool(3);
+  std::atomic<int> bad{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&bad](int worker) {
+      if (worker < 0 || worker >= 3) bad.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count](int) { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (batch + 1) * 50);
+  }
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&](int) {
+    count.fetch_add(1);
+    pool.Submit([&count](int) { count.fetch_add(1); });
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr int64_t kCount = 1000;
+  std::vector<int> hits(kCount, 0);
+  // Distinct indices are owned by exactly one worker, so the unguarded
+  // increments below are race-free if (and only if) indices never repeat.
+  ParallelFor(kCount, 4, [&hits](int64_t i, int) {
+    hits[static_cast<size_t>(i)] += 1;
+  });
+  for (int64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SingleThreadRunsInlineInOrder) {
+  std::vector<int64_t> seen;
+  std::thread::id main_id = std::this_thread::get_id();
+  bool off_thread = false;
+  ParallelFor(10, 1, [&](int64_t i, int worker) {
+    seen.push_back(i);
+    EXPECT_EQ(worker, 0);
+    if (std::this_thread::get_id() != main_id) off_thread = true;
+  });
+  EXPECT_FALSE(off_thread);
+  ASSERT_EQ(seen.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(seen[static_cast<size_t>(i)], i);
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoop) {
+  int calls = 0;
+  ParallelFor(0, 8, [&calls](int64_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, MoreThreadsThanWorkClampsWorkerIds) {
+  std::atomic<int> max_worker{-1};
+  ParallelFor(2, 16, [&max_worker](int64_t, int worker) {
+    int prev = max_worker.load();
+    while (worker > prev && !max_worker.compare_exchange_weak(prev, worker)) {
+    }
+  });
+  // Only min(threads, count) = 2 workers may exist.
+  EXPECT_LT(max_worker.load(), 2);
+}
+
+TEST(ParallelForTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+}  // namespace
+}  // namespace reopt::common
