@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "exec/kernel.h"
+#include "exec/kernel_reference.h"
 #include "imdb/imdb.h"
 #include "optimizer/cardinality_model.h"
 #include "optimizer/planner.h"
@@ -45,14 +46,20 @@ Bound6d* Query6d() {
   return bound;
 }
 
-void BM_FilterScanTitleYearRange(benchmark::State& state) {
-  const storage::Table* title = Db()->catalog.FindTable("title");
+// The shared year-range predicate of the filter-scan benchmarks.
+plan::ScanPredicate TitleYearRange(const storage::Table* title) {
   plan::ScanPredicate pred;
   pred.column = plan::ColumnRef{0,
                                 title->schema().FindColumn("production_year"), ""};
   pred.kind = plan::ScanPredicate::Kind::kBetween;
   pred.value = common::Value::Int(1990);
   pred.value2 = common::Value::Int(2010);
+  return pred;
+}
+
+void BM_FilterScanTitleYearRange(benchmark::State& state) {
+  const storage::Table* title = Db()->catalog.FindTable("title");
+  plan::ScanPredicate pred = TitleYearRange(title);
   for (auto _ : state) {
     auto rows = exec::FilterScan(*title, {&pred});
     benchmark::DoNotOptimize(rows);
@@ -60,6 +67,19 @@ void BM_FilterScanTitleYearRange(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * title->num_rows());
 }
 BENCHMARK(BM_FilterScanTitleYearRange);
+
+// Same scan through the retained scalar reference kernel: the scalar-vs-
+// vectorized comparison (items/sec ratio) in one report.
+void BM_FilterScanTitleYearRangeScalarRef(benchmark::State& state) {
+  const storage::Table* title = Db()->catalog.FindTable("title");
+  plan::ScanPredicate pred = TitleYearRange(title);
+  for (auto _ : state) {
+    auto rows = exec::reference::FilterScan(*title, {&pred});
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * title->num_rows());
+}
+BENCHMARK(BM_FilterScanTitleYearRangeScalarRef);
 
 void BM_HashJoinTitleMovieKeyword(benchmark::State& state) {
   Bound6d* b = Query6d();
@@ -78,6 +98,23 @@ void BM_HashJoinTitleMovieKeyword(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * (t.size() + mk.size()));
 }
 BENCHMARK(BM_HashJoinTitleMovieKeyword);
+
+void BM_HashJoinTitleMovieKeywordScalarRef(benchmark::State& state) {
+  Bound6d* b = Query6d();
+  const exec::BoundRelations& rels = b->ctx->bound();
+  exec::Intermediate t = exec::ExactJoin(*b->query, plan::RelSet::Single(4),
+                                         rels);
+  exec::Intermediate mk = exec::ExactJoin(*b->query, plan::RelSet::Single(2),
+                                          rels);
+  auto edges = b->query->JoinsBetween(plan::RelSet::Single(4),
+                                      plan::RelSet::Single(2));
+  for (auto _ : state) {
+    auto out = exec::reference::HashJoinIntermediates(t, mk, edges, rels);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * (t.size() + mk.size()));
+}
+BENCHMARK(BM_HashJoinTitleMovieKeywordScalarRef);
 
 void BM_OracleFactorizedFullJoinCount(benchmark::State& state) {
   Bound6d* b = Query6d();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "exec/kernel_reference.h"
 #include "optimizer/cost_formulas.h"
 #include "stats/analyze.h"
 
@@ -15,6 +16,23 @@ using optimizer::IndexScanCost;
 using optimizer::NestedLoopJoinCost;
 using optimizer::SeqScanCost;
 using optimizer::TempWriteCost;
+
+std::vector<common::RowIdx> Executor::RunFilterScan(
+    const storage::Table& table,
+    const std::vector<const plan::ScanPredicate*>& filters) const {
+  return kernel_mode_ == KernelMode::kReference
+             ? reference::FilterScan(table, filters)
+             : FilterScan(table, filters);
+}
+
+Intermediate Executor::RunHashJoin(
+    const Intermediate& left, const Intermediate& right,
+    const std::vector<const plan::JoinEdge*>& edges,
+    const BoundRelations& rels) const {
+  return kernel_mode_ == KernelMode::kReference
+             ? reference::HashJoinIntermediates(left, right, edges, rels)
+             : HashJoinIntermediates(left, right, edges, rels);
+}
 
 common::Result<QueryResult> Executor::Execute(const plan::QuerySpec& query,
                                               plan::PlanNode* plan_root) {
@@ -31,17 +49,61 @@ common::Result<QueryResult> Executor::Execute(const plan::QuerySpec& query,
     Intermediate input = ExecuteNode(query, rels, plan_root->left.get());
     result.raw_rows = input.size();
 
-    // MIN() per output, skipping NULLs.
+    // MIN() per output, skipping NULLs. The relation's tuple column and the
+    // base column span are resolved once per output; the tuple loop runs
+    // typed (boxing the minimum once at the end).
     result.aggregates.reserve(query.outputs.size());
+    const int64_t num_tuples = input.size();
     for (const plan::OutputExpr& out : query.outputs) {
-      const storage::Table& table = rels.table(out.column.rel);
-      const storage::Column& col = table.column(out.column.col);
+      int rel_idx = input.FindRel(out.column.rel);
+      REOPT_CHECK_MSG(rel_idx >= 0, "aggregate over absent relation");
+      const common::RowIdx* tuple_rows =
+          input.columns[static_cast<size_t>(rel_idx)].data();
+      const storage::ColumnView col =
+          rels.table(out.column.rel).column(out.column.col).View();
       common::Value best;
-      for (int64_t t = 0; t < input.size(); ++t) {
-        common::RowIdx row = input.RowOf(out.column.rel, t);
-        if (col.IsNull(row)) continue;
-        common::Value v = col.GetValue(row);
-        if (best.is_null() || v < best) best = v;
+      switch (col.type) {
+        case common::DataType::kInt64: {
+          bool found = false;
+          int64_t min_v = 0;
+          for (int64_t t = 0; t < num_tuples; ++t) {
+            common::RowIdx row = tuple_rows[t];
+            if (col.IsNull(row)) continue;
+            int64_t v = col.ints[static_cast<size_t>(row)];
+            if (!found || v < min_v) {
+              min_v = v;
+              found = true;
+            }
+          }
+          if (found) best = common::Value::Int(min_v);
+          break;
+        }
+        case common::DataType::kDouble: {
+          bool found = false;
+          double min_v = 0.0;
+          for (int64_t t = 0; t < num_tuples; ++t) {
+            common::RowIdx row = tuple_rows[t];
+            if (col.IsNull(row)) continue;
+            double v = col.doubles[static_cast<size_t>(row)];
+            if (!found || v < min_v) {
+              min_v = v;
+              found = true;
+            }
+          }
+          if (found) best = common::Value::Real(min_v);
+          break;
+        }
+        case common::DataType::kString: {
+          const std::string* min_v = nullptr;
+          for (int64_t t = 0; t < num_tuples; ++t) {
+            common::RowIdx row = tuple_rows[t];
+            if (col.IsNull(row)) continue;
+            const std::string& v = col.strings[static_cast<size_t>(row)];
+            if (min_v == nullptr || v < *min_v) min_v = &v;
+          }
+          if (min_v != nullptr) best = common::Value::Str(*min_v);
+          break;
+        }
       }
       result.aggregates.push_back(std::move(best));
     }
@@ -128,7 +190,7 @@ Intermediate Executor::ExecuteScan(const plan::QuerySpec& query,
                       static_cast<int>(residual.size()),
                       static_cast<double>(rows.size()));
   } else {
-    rows = FilterScan(table, node->filters);
+    rows = RunFilterScan(table, node->filters);
     node->charged_cost =
         SeqScanCost(params_, static_cast<double>(table.num_rows()),
                     static_cast<int>(node->filters.size()),
@@ -143,7 +205,7 @@ Intermediate Executor::ExecuteHashJoin(const plan::QuerySpec& query,
                                        plan::PlanNode* node) {
   Intermediate build = ExecuteNode(query, rels, node->left.get());
   Intermediate probe = ExecuteNode(query, rels, node->right.get());
-  Intermediate out = HashJoinIntermediates(build, probe, node->edges, rels);
+  Intermediate out = RunHashJoin(build, probe, node->edges, rels);
   node->actual_rows = static_cast<double>(out.size());
   node->charged_cost =
       HashJoinCost(params_, static_cast<double>(build.size()),
@@ -160,7 +222,7 @@ Intermediate Executor::ExecuteNestedLoop(const plan::QuerySpec& query,
   // Physical-operator simulation: the result of an equi-join NLJ is
   // identical to the hash join's, so we compute it by hashing but charge
   // the quadratic nested-loop cost the plan committed to.
-  Intermediate out = HashJoinIntermediates(outer, inner, node->edges, rels);
+  Intermediate out = RunHashJoin(outer, inner, node->edges, rels);
   node->actual_rows = static_cast<double>(out.size());
   node->charged_cost =
       NestedLoopJoinCost(params_, static_cast<double>(outer.size()),
@@ -187,14 +249,34 @@ Intermediate Executor::ExecuteIndexNestedLoop(const plan::QuerySpec& query,
   const storage::HashIndex* index = inner_table.FindIndex(inner_col);
   REOPT_CHECK_MSG(index != nullptr, "IndexNLJ without inner index");
 
-  // Residual join edges (beyond the indexed one).
-  std::vector<const plan::JoinEdge*> residual_edges;
+  // Residual join edges (beyond the indexed one), with the per-tuple
+  // FindRel/column lookups resolved once: the inner and outer key column
+  // views plus the outer side's tuple column for the edge's outer relation.
+  struct ResidualEdge {
+    storage::ColumnView inner_col;
+    storage::ColumnView outer_col;
+    const common::RowIdx* outer_tuple_rows;
+  };
+  std::vector<ResidualEdge> residual_edges;
   for (const plan::JoinEdge* e : node->edges) {
-    if (e != node->index_edge) residual_edges.push_back(e);
+    if (e == node->index_edge) continue;
+    bool e_inner_is_left = e->left.rel == inner_rel;
+    const plan::ColumnRef& in_ref = e_inner_is_left ? e->left : e->right;
+    const plan::ColumnRef& out_ref2 = e_inner_is_left ? e->right : e->left;
+    int rel_idx = outer.FindRel(out_ref2.rel);
+    REOPT_CHECK_MSG(rel_idx >= 0, "residual edge relation not on outer side");
+    residual_edges.push_back(ResidualEdge{
+        inner_table.column(in_ref.col).View(),
+        rels.table(out_ref2.rel).column(out_ref2.col).View(),
+        outer.columns[static_cast<size_t>(rel_idx)].data()});
   }
 
   const storage::Table& outer_table = rels.table(outer_ref.rel);
-  const storage::Column& outer_col = outer_table.column(outer_ref.col);
+  const storage::ColumnView outer_col = outer_table.column(outer_ref.col).View();
+  int outer_key_idx = outer.FindRel(outer_ref.rel);
+  REOPT_CHECK_MSG(outer_key_idx >= 0, "index edge relation not on outer side");
+  const common::RowIdx* outer_key_rows =
+      outer.columns[static_cast<size_t>(outer_key_idx)].data();
 
   Intermediate out;
   out.rels = outer.rels;
@@ -202,10 +284,12 @@ Intermediate Executor::ExecuteIndexNestedLoop(const plan::QuerySpec& query,
   out.columns.resize(out.rels.size());
 
   int64_t match_rows = 0;  // index matches before residual filtering
-  for (int64_t t = 0; t < outer.size(); ++t) {
-    common::RowIdx outer_row = outer.RowOf(outer_ref.rel, t);
+  const int64_t outer_n = outer.size();
+  for (int64_t t = 0; t < outer_n; ++t) {
+    common::RowIdx outer_row = outer_key_rows[t];
     if (outer_col.IsNull(outer_row)) continue;
-    const auto& matches = index->Lookup(outer_col.GetInt(outer_row));
+    const auto& matches =
+        index->Lookup(outer_col.ints[static_cast<size_t>(outer_row)]);
     for (common::RowIdx inner_row : matches) {
       ++match_rows;
       // Inner filters.
@@ -218,16 +302,11 @@ Intermediate Executor::ExecuteIndexNestedLoop(const plan::QuerySpec& query,
       }
       if (!pass) continue;
       // Residual join edges.
-      for (const plan::JoinEdge* e : residual_edges) {
-        bool e_inner_is_left = e->left.rel == inner_rel;
-        plan::ColumnRef in_ref = e_inner_is_left ? e->left : e->right;
-        plan::ColumnRef out_ref2 = e_inner_is_left ? e->right : e->left;
-        const storage::Column& ic = inner_table.column(in_ref.col);
-        const storage::Column& oc =
-            rels.table(out_ref2.rel).column(out_ref2.col);
-        common::RowIdx orow = outer.RowOf(out_ref2.rel, t);
-        if (ic.IsNull(inner_row) || oc.IsNull(orow) ||
-            ic.GetInt(inner_row) != oc.GetInt(orow)) {
+      for (const ResidualEdge& e : residual_edges) {
+        common::RowIdx orow = e.outer_tuple_rows[t];
+        if (e.inner_col.IsNull(inner_row) || e.outer_col.IsNull(orow) ||
+            e.inner_col.ints[static_cast<size_t>(inner_row)] !=
+                e.outer_col.ints[static_cast<size_t>(orow)]) {
           pass = false;
           break;
         }
@@ -269,29 +348,49 @@ void Executor::ExecuteTempWrite(const plan::QuerySpec& query,
   REOPT_CHECK_MSG(created.ok(), "temp table name collision");
   storage::Table* temp = created.value();
   temp->Reserve(input.size());
-  for (int64_t t = 0; t < input.size(); ++t) {
-    for (size_t c = 0; c < node->temp_columns.size(); ++c) {
-      const plan::ColumnRef& ref = node->temp_columns[c];
-      const storage::Column& src = rels.table(ref.rel).column(ref.col);
-      common::RowIdx row = input.RowOf(ref.rel, t);
-      if (src.IsNull(row)) {
-        temp->mutable_column(static_cast<common::ColumnIdx>(c)).AppendNull();
-      } else {
-        switch (src.type()) {
-          case common::DataType::kInt64:
-            temp->mutable_column(static_cast<common::ColumnIdx>(c))
-                .AppendInt(src.GetInt(row));
-            break;
-          case common::DataType::kDouble:
-            temp->mutable_column(static_cast<common::ColumnIdx>(c))
-                .AppendDouble(src.GetDouble(row));
-            break;
-          case common::DataType::kString:
-            temp->mutable_column(static_cast<common::ColumnIdx>(c))
-                .AppendString(src.GetString(row));
-            break;
+  // Column-at-a-time materialization: the source column span and the
+  // intermediate's tuple column are resolved once per output column, and
+  // the type switch runs per column instead of per (tuple, column).
+  const int64_t num_tuples = input.size();
+  for (size_t c = 0; c < node->temp_columns.size(); ++c) {
+    const plan::ColumnRef& ref = node->temp_columns[c];
+    const storage::ColumnView src = rels.table(ref.rel).column(ref.col).View();
+    int rel_idx = input.FindRel(ref.rel);
+    REOPT_CHECK_MSG(rel_idx >= 0, "temp column relation not in intermediate");
+    const common::RowIdx* tuple_rows =
+        input.columns[static_cast<size_t>(rel_idx)].data();
+    storage::Column& dst = temp->mutable_column(static_cast<common::ColumnIdx>(c));
+    switch (src.type) {
+      case common::DataType::kInt64:
+        for (int64_t t = 0; t < num_tuples; ++t) {
+          common::RowIdx row = tuple_rows[t];
+          if (src.IsNull(row)) {
+            dst.AppendNull();
+          } else {
+            dst.AppendInt(src.ints[static_cast<size_t>(row)]);
+          }
         }
-      }
+        break;
+      case common::DataType::kDouble:
+        for (int64_t t = 0; t < num_tuples; ++t) {
+          common::RowIdx row = tuple_rows[t];
+          if (src.IsNull(row)) {
+            dst.AppendNull();
+          } else {
+            dst.AppendDouble(src.doubles[static_cast<size_t>(row)]);
+          }
+        }
+        break;
+      case common::DataType::kString:
+        for (int64_t t = 0; t < num_tuples; ++t) {
+          common::RowIdx row = tuple_rows[t];
+          if (src.IsNull(row)) {
+            dst.AppendNull();
+          } else {
+            dst.AppendString(src.strings[static_cast<size_t>(row)]);
+          }
+        }
+        break;
     }
   }
   // The per-column appends above bypass Table::AppendRow's row counter.

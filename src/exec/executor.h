@@ -42,6 +42,13 @@ class Executor {
            const optimizer::CostParams& params)
       : catalog_(catalog), stats_catalog_(stats_catalog), params_(params) {}
 
+  /// Routes scans and joins through the vectorized kernel (default, set
+  /// from the process-wide DefaultKernelMode at construction) or the
+  /// retained scalar reference kernel (differential testing only). Results
+  /// are identical either way; only the evaluation strategy differs.
+  void set_kernel_mode(KernelMode mode) { kernel_mode_ = mode; }
+  KernelMode kernel_mode() const { return kernel_mode_; }
+
   /// Executes `plan` for `query`. Fills actual_rows / charged_cost on every
   /// node of the plan.
   common::Result<QueryResult> Execute(const plan::QuerySpec& query,
@@ -65,9 +72,19 @@ class Executor {
                         const BoundRelations& rels, plan::PlanNode* node,
                         const Intermediate& input);
 
+  /// FilterScan / HashJoinIntermediates through the selected kernel.
+  std::vector<common::RowIdx> RunFilterScan(
+      const storage::Table& table,
+      const std::vector<const plan::ScanPredicate*>& filters) const;
+  Intermediate RunHashJoin(const Intermediate& left,
+                           const Intermediate& right,
+                           const std::vector<const plan::JoinEdge*>& edges,
+                           const BoundRelations& rels) const;
+
   storage::Catalog* catalog_;
   stats::StatsCatalog* stats_catalog_;
   optimizer::CostParams params_;
+  KernelMode kernel_mode_ = DefaultKernelMode();
 };
 
 }  // namespace reopt::exec

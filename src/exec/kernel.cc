@@ -1,12 +1,27 @@
 #include "exec/kernel.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <atomic>
+#include <string_view>
 
 #include "common/string_util.h"
 #include "plan/join_graph.h"
 
 namespace reopt::exec {
+
+namespace {
+
+std::atomic<KernelMode> g_default_kernel_mode{KernelMode::kVectorized};
+
+}  // namespace
+
+void SetDefaultKernelMode(KernelMode mode) {
+  g_default_kernel_mode.store(mode, std::memory_order_relaxed);
+}
+
+KernelMode DefaultKernelMode() {
+  return g_default_kernel_mode.load(std::memory_order_relaxed);
+}
 
 BoundRelations BindRelations(const plan::QuerySpec& query,
                              const storage::Catalog& catalog) {
@@ -68,93 +83,630 @@ bool EvalPredicate(const plan::ScanPredicate& pred,
   REOPT_UNREACHABLE("bad predicate kind");
 }
 
+// ---------------------------------------------------------------------------
+// Vectorized predicate kernels
+// ---------------------------------------------------------------------------
+namespace {
+
+using common::RowIdx;
+
+/// Compacts `rows` in place through `pass`, skipping NULL rows (the SQL
+/// "NULL fails every comparison" rule). Returns the surviving count.
+template <typename PassFn>
+int CompactNotNull(const uint8_t* valid, RowIdx* rows, int n, PassFn pass) {
+  int out = 0;
+  if (valid == nullptr) {
+    for (int i = 0; i < n; ++i) {
+      RowIdx r = rows[i];
+      rows[out] = r;
+      out += pass(r) ? 1 : 0;
+    }
+  } else {
+    for (int i = 0; i < n; ++i) {
+      RowIdx r = rows[i];
+      rows[out] = r;
+      out += (valid[static_cast<size_t>(r)] != 0 && pass(r)) ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+/// Compacts `rows` in place through `pass` with no implicit NULL handling
+/// (IS [NOT] NULL kinds and the generic fallback, whose scalar evaluation
+/// owns the null semantics).
+template <typename PassFn>
+int CompactPlain(RowIdx* rows, int n, PassFn pass) {
+  int out = 0;
+  for (int i = 0; i < n; ++i) {
+    RowIdx r = rows[i];
+    rows[out] = r;
+    out += pass(r) ? 1 : 0;
+  }
+  return out;
+}
+
+/// One tight loop per comparison op. `get(row)` yields the typed value to
+/// compare against `c`. Every op is phrased in terms of `<` and `>` alone
+/// so the result matches common::Value::Compare exactly — including for
+/// NaN doubles, where Compare's 'a < b ? -1 : (a > b ? 1 : 0)' yields 0
+/// (equal), unlike raw IEEE ==/<=/>=.
+template <typename K, typename GetFn>
+int CompareKernel(plan::CompareOp op, const uint8_t* valid, RowIdx* rows,
+                  int n, GetFn get, const K& c) {
+  switch (op) {
+    case plan::CompareOp::kEq:
+      return CompactNotNull(valid, rows, n, [&](RowIdx r) {
+        return !(get(r) < c) && !(get(r) > c);
+      });
+    case plan::CompareOp::kNe:
+      return CompactNotNull(valid, rows, n, [&](RowIdx r) {
+        return get(r) < c || get(r) > c;
+      });
+    case plan::CompareOp::kLt:
+      return CompactNotNull(valid, rows, n,
+                            [&](RowIdx r) { return get(r) < c; });
+    case plan::CompareOp::kLe:
+      return CompactNotNull(valid, rows, n,
+                            [&](RowIdx r) { return !(get(r) > c); });
+    case plan::CompareOp::kGt:
+      return CompactNotNull(valid, rows, n,
+                            [&](RowIdx r) { return get(r) > c; });
+    case plan::CompareOp::kGe:
+      return CompactNotNull(valid, rows, n,
+                            [&](RowIdx r) { return !(get(r) < c); });
+  }
+  REOPT_UNREACHABLE("bad compare op");
+}
+
+/// A ScanPredicate resolved against one table: raw column spans plus typed
+/// constants, dispatched to one tight loop per batch. Anything the typed
+/// fast paths cannot mirror exactly (NULL literals, mixed numeric/string
+/// operand types) falls back to per-row scalar evaluation, which is
+/// byte-identical to the reference kernel by construction.
+struct BoundPredicate {
+  enum class Path {
+    kIntCompare,     // INT64 column, int64 constant
+    kDoubleCompare,  // numeric column, constants coerced to double
+    kStringCompare,  // STRING column, string constant
+    kIntBetween,
+    kDoubleBetween,
+    kStringBetween,
+    kIntIn,     // INT64 column, all-integer IN list
+    kStringIn,  // STRING column, all-string IN list
+    kLike,
+    kNotLike,
+    kIsNull,
+    kIsNotNull,
+    kGeneric,  // scalar EvalPredicate per row
+  };
+
+  /// LIKE patterns are classified once per scan; anchored shapes run as
+  /// plain prefix/suffix/substring checks instead of the backtracking
+  /// matcher. `kGeneralPattern` (inner '%' or any '_') keeps LikeMatch.
+  enum class LikeShape {
+    kExact,     // no wildcards: equality
+    kPrefix,    // "lit%"
+    kSuffix,    // "%lit"
+    kContains,  // "%lit%"
+    kAny,       // "%", "%%", ...: matches everything
+    kGeneralPattern,
+  };
+
+  const plan::ScanPredicate* pred = nullptr;
+  const storage::Table* table = nullptr;  // kGeneric only
+  storage::ColumnView view;
+  Path path = Path::kGeneric;
+  plan::CompareOp op = plan::CompareOp::kEq;
+  int64_t int_c = 0;
+  int64_t int_c2 = 0;
+  double dbl_c = 0.0;
+  double dbl_c2 = 0.0;
+  const std::string* str_c = nullptr;
+  const std::string* str_c2 = nullptr;
+  std::vector<int64_t> int_list;                // kIntIn
+  std::vector<const std::string*> str_list;     // kStringIn
+  LikeShape like_shape = LikeShape::kGeneralPattern;
+  std::string_view like_needle;  // into *str_c (the pattern literal)
+};
+
+/// Classifies a LIKE pattern into an anchored shape when that shape's
+/// direct check is exactly equivalent to LikeMatch.
+void ClassifyLike(const std::string& pattern, BoundPredicate* bp) {
+  using LikeShape = BoundPredicate::LikeShape;
+  if (pattern.find('_') != std::string::npos) {
+    bp->like_shape = LikeShape::kGeneralPattern;
+    return;
+  }
+  size_t begin = 0;
+  while (begin < pattern.size() && pattern[begin] == '%') ++begin;
+  size_t end = pattern.size();
+  while (end > begin && pattern[end - 1] == '%') --end;
+  std::string_view core(pattern.data() + begin, end - begin);
+  if (core.find('%') != std::string_view::npos) {
+    bp->like_shape = LikeShape::kGeneralPattern;
+    return;
+  }
+  bool leading = begin > 0;
+  bool trailing = end < pattern.size();
+  bp->like_needle = core;
+  if (core.empty()) {
+    // All-'%' pattern matches everything; a fully empty pattern matches
+    // only the empty string (exact with an empty needle).
+    bp->like_shape = leading ? LikeShape::kAny : LikeShape::kExact;
+  } else if (!leading && !trailing) {
+    bp->like_shape = LikeShape::kExact;
+  } else if (!leading) {
+    bp->like_shape = LikeShape::kPrefix;
+  } else if (!trailing) {
+    bp->like_shape = LikeShape::kSuffix;
+  } else {
+    bp->like_shape = LikeShape::kContains;
+  }
+}
+
+/// Evaluates a classified LIKE pattern against one string.
+inline bool LikeShapeMatch(const BoundPredicate& bp, const std::string& v) {
+  using LikeShape = BoundPredicate::LikeShape;
+  switch (bp.like_shape) {
+    case LikeShape::kExact:
+      return std::string_view(v) == bp.like_needle;
+    case LikeShape::kPrefix:
+      return common::StartsWith(v, bp.like_needle);
+    case LikeShape::kSuffix:
+      return common::EndsWith(v, bp.like_needle);
+    case LikeShape::kContains:
+      return common::Contains(v, bp.like_needle);
+    case LikeShape::kAny:
+      return true;
+    case LikeShape::kGeneralPattern:
+      return common::LikeMatch(v, *bp.str_c);
+  }
+  REOPT_UNREACHABLE("bad like shape");
+}
+
+BoundPredicate BindPredicate(const plan::ScanPredicate& pred,
+                             const storage::Table& table) {
+  using Kind = plan::ScanPredicate::Kind;
+  using Path = BoundPredicate::Path;
+  BoundPredicate bp;
+  bp.pred = &pred;
+  bp.table = &table;
+  bp.view = table.column(pred.column.col).View();
+  bp.op = pred.op;
+  const common::DataType type = bp.view.type;
+
+  switch (pred.kind) {
+    case Kind::kIsNull:
+      bp.path = Path::kIsNull;
+      return bp;
+    case Kind::kIsNotNull:
+      bp.path = Path::kIsNotNull;
+      return bp;
+    case Kind::kCompare:
+      if (type == common::DataType::kInt64 && pred.value.is_int()) {
+        bp.path = Path::kIntCompare;
+        bp.int_c = pred.value.AsInt();
+      } else if (type != common::DataType::kString &&
+                 (pred.value.is_int() || pred.value.is_double())) {
+        bp.path = Path::kDoubleCompare;
+        bp.dbl_c = pred.value.AsDouble();
+      } else if (type == common::DataType::kString &&
+                 pred.value.is_string()) {
+        bp.path = Path::kStringCompare;
+        bp.str_c = &pred.value.AsString();
+      }
+      return bp;
+    case Kind::kBetween: {
+      bool numeric_bounds =
+          (pred.value.is_int() || pred.value.is_double()) &&
+          (pred.value2.is_int() || pred.value2.is_double());
+      // An INT64 column takes the double path only when BOTH bounds are
+      // doubles: Value::Compare coerces per bound, so a mixed int/double
+      // pair compares one side exactly and one side coerced — the generic
+      // fallback preserves that (matters beyond 2^53).
+      if (type == common::DataType::kInt64 && pred.value.is_int() &&
+          pred.value2.is_int()) {
+        bp.path = Path::kIntBetween;
+        bp.int_c = pred.value.AsInt();
+        bp.int_c2 = pred.value2.AsInt();
+      } else if ((type == common::DataType::kDouble && numeric_bounds) ||
+                 (type == common::DataType::kInt64 &&
+                  pred.value.is_double() && pred.value2.is_double())) {
+        bp.path = Path::kDoubleBetween;
+        bp.dbl_c = pred.value.AsDouble();
+        bp.dbl_c2 = pred.value2.AsDouble();
+      } else if (type == common::DataType::kString &&
+                 pred.value.is_string() && pred.value2.is_string()) {
+        bp.path = Path::kStringBetween;
+        bp.str_c = &pred.value.AsString();
+        bp.str_c2 = &pred.value2.AsString();
+      }
+      return bp;
+    }
+    case Kind::kIn: {
+      // NULL list entries never match a non-null row value and are dropped;
+      // mixed numeric lists keep the scalar path's exact/coerced semantics
+      // by falling back.
+      bool all_int = type == common::DataType::kInt64;
+      bool all_str = type == common::DataType::kString;
+      for (const common::Value& v : pred.in_list) {
+        if (v.is_null()) continue;
+        all_int = all_int && v.is_int();
+        all_str = all_str && v.is_string();
+      }
+      if (all_int) {
+        bp.path = Path::kIntIn;
+        for (const common::Value& v : pred.in_list) {
+          if (!v.is_null()) bp.int_list.push_back(v.AsInt());
+        }
+      } else if (all_str) {
+        bp.path = Path::kStringIn;
+        for (const common::Value& v : pred.in_list) {
+          if (!v.is_null()) bp.str_list.push_back(&v.AsString());
+        }
+      }
+      return bp;
+    }
+    case Kind::kLike:
+    case Kind::kNotLike:
+      if (type == common::DataType::kString && pred.value.is_string()) {
+        bp.path = pred.kind == Kind::kLike ? Path::kLike : Path::kNotLike;
+        bp.str_c = &pred.value.AsString();
+        ClassifyLike(*bp.str_c, &bp);
+      }
+      return bp;
+  }
+  return bp;
+}
+
+/// Applies one bound predicate to the selection vector; returns the
+/// surviving count.
+int ApplyPredicate(const BoundPredicate& bp, RowIdx* rows, int n) {
+  using Path = BoundPredicate::Path;
+  const uint8_t* valid = bp.view.valid;
+  switch (bp.path) {
+    case Path::kIntCompare: {
+      const int64_t* data = bp.view.ints;
+      return CompareKernel(
+          bp.op, valid, rows, n,
+          [data](RowIdx r) { return data[static_cast<size_t>(r)]; },
+          bp.int_c);
+    }
+    case Path::kDoubleCompare: {
+      if (bp.view.type == common::DataType::kInt64) {
+        const int64_t* data = bp.view.ints;
+        return CompareKernel(
+            bp.op, valid, rows, n,
+            [data](RowIdx r) {
+              return static_cast<double>(data[static_cast<size_t>(r)]);
+            },
+            bp.dbl_c);
+      }
+      const double* data = bp.view.doubles;
+      return CompareKernel(
+          bp.op, valid, rows, n,
+          [data](RowIdx r) { return data[static_cast<size_t>(r)]; },
+          bp.dbl_c);
+    }
+    case Path::kStringCompare: {
+      const std::string* data = bp.view.strings;
+      const std::string& c = *bp.str_c;
+      // Strings are totally ordered, so ==/!= are exactly Compare()==0 /
+      // !=0 and early-out on length, unlike the two three-way comparisons
+      // CompareKernel's NaN-safe </> phrasing would do.
+      if (bp.op == plan::CompareOp::kEq) {
+        return CompactNotNull(valid, rows, n, [&](RowIdx r) {
+          return data[static_cast<size_t>(r)] == c;
+        });
+      }
+      if (bp.op == plan::CompareOp::kNe) {
+        return CompactNotNull(valid, rows, n, [&](RowIdx r) {
+          return data[static_cast<size_t>(r)] != c;
+        });
+      }
+      return CompareKernel(
+          bp.op, valid, rows, n,
+          [data](RowIdx r) -> const std::string& {
+            return data[static_cast<size_t>(r)];
+          },
+          c);
+    }
+    case Path::kIntBetween: {
+      const int64_t* data = bp.view.ints;
+      int64_t lo = bp.int_c, hi = bp.int_c2;
+      return CompactNotNull(valid, rows, n, [=](RowIdx r) {
+        int64_t v = data[static_cast<size_t>(r)];
+        return v >= lo && v <= hi;
+      });
+    }
+    case Path::kDoubleBetween: {
+      // Phrased via </> like Value::Compare so NaN behaves identically to
+      // the scalar path (Compare treats NaN as equal to everything).
+      double lo = bp.dbl_c, hi = bp.dbl_c2;
+      if (bp.view.type == common::DataType::kInt64) {
+        const int64_t* data = bp.view.ints;
+        return CompactNotNull(valid, rows, n, [=](RowIdx r) {
+          double v = static_cast<double>(data[static_cast<size_t>(r)]);
+          return !(v < lo) && !(v > hi);
+        });
+      }
+      const double* data = bp.view.doubles;
+      return CompactNotNull(valid, rows, n, [=](RowIdx r) {
+        double v = data[static_cast<size_t>(r)];
+        return !(v < lo) && !(v > hi);
+      });
+    }
+    case Path::kStringBetween: {
+      const std::string* data = bp.view.strings;
+      const std::string& lo = *bp.str_c;
+      const std::string& hi = *bp.str_c2;
+      return CompactNotNull(valid, rows, n, [&](RowIdx r) {
+        const std::string& v = data[static_cast<size_t>(r)];
+        return v >= lo && v <= hi;
+      });
+    }
+    case Path::kIntIn: {
+      const int64_t* data = bp.view.ints;
+      const int64_t* list = bp.int_list.data();
+      const size_t len = bp.int_list.size();
+      return CompactNotNull(valid, rows, n, [=](RowIdx r) {
+        int64_t v = data[static_cast<size_t>(r)];
+        for (size_t i = 0; i < len; ++i) {
+          if (v == list[i]) return true;
+        }
+        return false;
+      });
+    }
+    case Path::kStringIn: {
+      const std::string* data = bp.view.strings;
+      return CompactNotNull(valid, rows, n, [&](RowIdx r) {
+        const std::string& v = data[static_cast<size_t>(r)];
+        for (const std::string* cand : bp.str_list) {
+          if (v == *cand) return true;
+        }
+        return false;
+      });
+    }
+    case Path::kLike: {
+      const std::string* data = bp.view.strings;
+      return CompactNotNull(valid, rows, n, [&](RowIdx r) {
+        return LikeShapeMatch(bp, data[static_cast<size_t>(r)]);
+      });
+    }
+    case Path::kNotLike: {
+      const std::string* data = bp.view.strings;
+      return CompactNotNull(valid, rows, n, [&](RowIdx r) {
+        return !LikeShapeMatch(bp, data[static_cast<size_t>(r)]);
+      });
+    }
+    case Path::kIsNull:
+      if (valid == nullptr) return 0;  // all valid: nothing is NULL
+      return CompactPlain(rows, n, [=](RowIdx r) {
+        return valid[static_cast<size_t>(r)] == 0;
+      });
+    case Path::kIsNotNull:
+      if (valid == nullptr) return n;
+      return CompactPlain(rows, n, [=](RowIdx r) {
+        return valid[static_cast<size_t>(r)] != 0;
+      });
+    case Path::kGeneric: {
+      const plan::ScanPredicate& pred = *bp.pred;
+      const storage::Table& table = *bp.table;
+      return CompactPlain(rows, n, [&](RowIdx r) {
+        return EvalPredicate(pred, table, r);
+      });
+    }
+  }
+  REOPT_UNREACHABLE("bad predicate path");
+}
+
+}  // namespace
+
 std::vector<common::RowIdx> FilterScan(
     const storage::Table& table,
     const std::vector<const plan::ScanPredicate*>& filters) {
+  const int64_t n = table.num_rows();
   std::vector<common::RowIdx> out;
-  int64_t n = table.num_rows();
-  for (common::RowIdx row = 0; row < n; ++row) {
-    bool pass = true;
-    for (const plan::ScanPredicate* pred : filters) {
-      if (!EvalPredicate(*pred, table, row)) {
-        pass = false;
-        break;
-      }
+  if (filters.empty()) {
+    out.resize(static_cast<size_t>(n));
+    for (int64_t row = 0; row < n; ++row) {
+      out[static_cast<size_t>(row)] = row;
     }
-    if (pass) out.push_back(row);
+    return out;
+  }
+
+  std::vector<BoundPredicate> bound;
+  bound.reserve(filters.size());
+  for (const plan::ScanPredicate* pred : filters) {
+    bound.push_back(BindPredicate(*pred, table));
+  }
+
+  RowIdx sel[kKernelBatchSize];
+  for (int64_t lo = 0; lo < n; lo += kKernelBatchSize) {
+    int count = static_cast<int>(std::min<int64_t>(kKernelBatchSize, n - lo));
+    for (int i = 0; i < count; ++i) sel[i] = lo + i;
+    for (const BoundPredicate& bp : bound) {
+      count = ApplyPredicate(bp, sel, count);
+      if (count == 0) break;
+    }
+    out.insert(out.end(), sel, sel + count);
   }
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Two-phase hash join
+// ---------------------------------------------------------------------------
 namespace {
 
-// Composite join key: FNV-1a over the int64 key parts. Collisions are
-// resolved by comparing the parts.
-struct JoinKey {
-  // Up to 4 edges between two sides in JOB-like queries; small inline array.
-  int64_t parts[4];
-  int count;
-
-  bool operator==(const JoinKey& other) const {
-    if (count != other.count) return false;
-    for (int i = 0; i < count; ++i) {
-      if (parts[i] != other.parts[i]) return false;
-    }
-    return true;
-  }
+/// Per-edge key accessors for one side, resolved once per join: the side's
+/// row-id column for the edge's relation (FindRel hoisted) and the raw view
+/// of the base table's key column.
+struct KeyColumn {
+  const RowIdx* tuple_rows;  // side.columns[FindRel(rel)].data()
+  storage::ColumnView col;
 };
 
-struct JoinKeyHash {
-  size_t operator()(const JoinKey& k) const {
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (int i = 0; i < k.count; ++i) {
-      h ^= static_cast<uint64_t>(k.parts[i]);
-      h *= 0x100000001b3ULL;
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
-// Extracts the side-specific key columns of the edges: for each edge, which
-// (relation, column) belongs to this side.
-struct SideKeys {
-  std::vector<int> rel;                 // relation position per edge
-  std::vector<common::ColumnIdx> col;   // column per edge
-};
-
-SideKeys KeysForSide(const std::vector<const plan::JoinEdge*>& edges,
-                     const Intermediate& side) {
-  SideKeys out;
+std::vector<KeyColumn> ResolveKeyColumns(
+    const std::vector<const plan::JoinEdge*>& edges, const Intermediate& side,
+    const BoundRelations& rels) {
+  std::vector<KeyColumn> out;
+  out.reserve(edges.size());
+  REOPT_CHECK_MSG(edges.size() <= 4, "more than 4 join edges between sides");
   for (const plan::JoinEdge* e : edges) {
-    if (side.FindRel(e->left.rel) >= 0) {
-      out.rel.push_back(e->left.rel);
-      out.col.push_back(e->left.col);
+    const plan::ColumnRef* ref;
+    int idx = side.FindRel(e->left.rel);
+    if (idx >= 0) {
+      ref = &e->left;
     } else {
-      REOPT_CHECK_MSG(side.FindRel(e->right.rel) >= 0,
-                      "edge endpoint not on either side");
-      out.rel.push_back(e->right.rel);
-      out.col.push_back(e->right.col);
+      idx = side.FindRel(e->right.rel);
+      REOPT_CHECK_MSG(idx >= 0, "edge endpoint not on either side");
+      ref = &e->right;
     }
+    KeyColumn kc;
+    kc.tuple_rows = side.columns[static_cast<size_t>(idx)].data();
+    kc.col = rels.table(ref->rel).column(ref->col).View();
+    REOPT_CHECK_MSG(kc.col.type == common::DataType::kInt64,
+                    "join columns must be INT64");
+    out.push_back(kc);
   }
   return out;
 }
 
-// Builds the key for tuple `t` of `side`; returns false if any key part is
-// NULL (NULL never matches in an equi-join).
-bool MakeKey(const Intermediate& side, const SideKeys& keys,
-             const BoundRelations& rels, int64_t t, JoinKey* out) {
-  out->count = static_cast<int>(keys.rel.size());
-  REOPT_CHECK_MSG(out->count <= 4, "more than 4 join edges between sides");
-  for (size_t i = 0; i < keys.rel.size(); ++i) {
-    const storage::Table& table = rels.table(keys.rel[i]);
-    const storage::Column& col = table.column(keys.col[i]);
-    common::RowIdx row = side.RowOf(keys.rel[i], t);
-    if (col.IsNull(row)) return false;
-    REOPT_CHECK_MSG(col.type() == common::DataType::kInt64,
-                    "join columns must be INT64");
-    out->parts[i] = col.GetInt(row);
+/// Computes the flattened composite keys for every tuple of one side:
+/// keys[t * ne + i] is edge i's value; has_key[t] is 0 when any part is
+/// NULL (NULL never matches in an equi-join). One pass per edge over the
+/// raw spans.
+void ComputeKeys(const std::vector<KeyColumn>& key_cols, int64_t num_tuples,
+                 std::vector<int64_t>* keys, std::vector<uint8_t>* has_key) {
+  const size_t ne = key_cols.size();
+  keys->resize(static_cast<size_t>(num_tuples) * ne);
+  has_key->assign(static_cast<size_t>(num_tuples), 1);
+  int64_t* key_data = keys->data();
+  uint8_t* hk = has_key->data();
+  for (size_t i = 0; i < ne; ++i) {
+    const RowIdx* tuple_rows = key_cols[i].tuple_rows;
+    const int64_t* vals = key_cols[i].col.ints;
+    const uint8_t* valid = key_cols[i].col.valid;
+    if (valid == nullptr) {
+      for (int64_t t = 0; t < num_tuples; ++t) {
+        key_data[static_cast<size_t>(t) * ne + i] =
+            vals[static_cast<size_t>(tuple_rows[t])];
+      }
+    } else {
+      for (int64_t t = 0; t < num_tuples; ++t) {
+        RowIdx row = tuple_rows[t];
+        if (valid[static_cast<size_t>(row)] == 0) {
+          hk[t] = 0;
+        } else {
+          key_data[static_cast<size_t>(t) * ne + i] =
+              vals[static_cast<size_t>(row)];
+        }
+      }
+    }
+  }
+}
+
+/// 64-bit mixer (splitmix64 finalizer) over the composite key parts.
+inline uint64_t HashKey(const int64_t* parts, size_t ne) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < ne; ++i) {
+    uint64_t x = static_cast<uint64_t>(parts[i]) + h;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    h = x ^ (x >> 31);
+  }
+  return h;
+}
+
+inline bool KeysEqual(const int64_t* a, const int64_t* b, size_t ne) {
+  for (size_t i = 0; i < ne; ++i) {
+    if (a[i] != b[i]) return false;
   }
   return true;
+}
+
+/// Key accessors for the single-edge fast path: scalar int64 keys.
+struct SingleKeyOps {
+  const int64_t* build_keys;
+  const int64_t* probe_keys;
+
+  uint64_t BuildHash(int64_t t) const { return HashKey(&build_keys[t], 1); }
+  uint64_t ProbeHash(int64_t t) const { return HashKey(&probe_keys[t], 1); }
+  bool BuildMatchesBuild(int64_t a, int64_t b) const {
+    return build_keys[a] == build_keys[b];
+  }
+  bool BuildMatchesProbe(int64_t b, int64_t p) const {
+    return build_keys[b] == probe_keys[p];
+  }
+};
+
+/// Key accessors for multi-edge joins: flattened composite keys.
+struct CompositeKeyOps {
+  const int64_t* build_keys;
+  const int64_t* probe_keys;
+  size_t ne;
+
+  uint64_t BuildHash(int64_t t) const {
+    return HashKey(&build_keys[static_cast<size_t>(t) * ne], ne);
+  }
+  uint64_t ProbeHash(int64_t t) const {
+    return HashKey(&probe_keys[static_cast<size_t>(t) * ne], ne);
+  }
+  bool BuildMatchesBuild(int64_t a, int64_t b) const {
+    return KeysEqual(&build_keys[static_cast<size_t>(a) * ne],
+                     &build_keys[static_cast<size_t>(b) * ne], ne);
+  }
+  bool BuildMatchesProbe(int64_t b, int64_t p) const {
+    return KeysEqual(&build_keys[static_cast<size_t>(b) * ne],
+                     &probe_keys[static_cast<size_t>(p) * ne], ne);
+  }
+};
+
+/// One copy of the build-insert and probe loops, templated on the key
+/// accessors so the single-edge instantiation inlines to scalar compares.
+/// Insertion runs in reverse so prepending yields ascending duplicate
+/// chains — the reference kernel's bucket order.
+template <typename KeyOps>
+void BuildAndProbe(const KeyOps& ops, int64_t build_n, int64_t probe_n,
+                   const std::vector<uint8_t>& build_has_key,
+                   const std::vector<uint8_t>& probe_has_key, uint64_t mask,
+                   std::vector<int64_t>* slot_head, std::vector<int64_t>* next,
+                   std::vector<int64_t>* match_build,
+                   std::vector<int64_t>* match_probe) {
+  for (int64_t t = build_n - 1; t >= 0; --t) {
+    if (!build_has_key[static_cast<size_t>(t)]) continue;
+    uint64_t s = ops.BuildHash(t) & mask;
+    while (true) {
+      int64_t head = (*slot_head)[s];
+      if (head < 0) {
+        (*slot_head)[s] = t;
+        break;
+      }
+      if (ops.BuildMatchesBuild(head, t)) {
+        (*next)[static_cast<size_t>(t)] = head;
+        (*slot_head)[s] = t;
+        break;
+      }
+      s = (s + 1) & mask;
+    }
+  }
+  for (int64_t t = 0; t < probe_n; ++t) {
+    if (!probe_has_key[static_cast<size_t>(t)]) continue;
+    uint64_t s = ops.ProbeHash(t) & mask;
+    while (true) {
+      int64_t head = (*slot_head)[s];
+      if (head < 0) break;  // miss
+      if (ops.BuildMatchesProbe(head, t)) {
+        for (int64_t b = head; b >= 0; b = (*next)[static_cast<size_t>(b)]) {
+          match_build->push_back(b);
+          match_probe->push_back(t);
+        }
+        break;
+      }
+      s = (s + 1) & mask;
+    }
+  }
 }
 
 }  // namespace
@@ -166,36 +718,70 @@ Intermediate HashJoinIntermediates(
   REOPT_CHECK_MSG(!edges.empty(), "equi-join requires at least one edge");
   const Intermediate& build = left.size() <= right.size() ? left : right;
   const Intermediate& probe = left.size() <= right.size() ? right : left;
-
-  SideKeys build_keys = KeysForSide(edges, build);
-  SideKeys probe_keys = KeysForSide(edges, probe);
-
-  std::unordered_map<JoinKey, std::vector<int64_t>, JoinKeyHash> table;
-  table.reserve(static_cast<size_t>(build.size()));
-  JoinKey key;
-  for (int64_t t = 0; t < build.size(); ++t) {
-    if (MakeKey(build, build_keys, rels, t, &key)) {
-      table[key].push_back(t);
-    }
-  }
+  const size_t ne = edges.size();
+  const int64_t build_n = build.size();
+  const int64_t probe_n = probe.size();
 
   Intermediate out;
   out.rels = build.rels;
   out.rels.insert(out.rels.end(), probe.rels.begin(), probe.rels.end());
   out.columns.resize(out.rels.size());
+  if (build_n == 0 || probe_n == 0) return out;
 
-  for (int64_t t = 0; t < probe.size(); ++t) {
-    if (!MakeKey(probe, probe_keys, rels, t, &key)) continue;
-    auto it = table.find(key);
-    if (it == table.end()) continue;
-    for (int64_t b : it->second) {
-      size_t c = 0;
-      for (; c < build.columns.size(); ++c) {
-        out.columns[c].push_back(build.columns[c][static_cast<size_t>(b)]);
-      }
-      for (size_t p = 0; p < probe.columns.size(); ++p, ++c) {
-        out.columns[c].push_back(probe.columns[p][static_cast<size_t>(t)]);
-      }
+  // Phase 1: batch key computation for the build side, then one sized
+  // open-addressing table. Slots hold the head tuple of a distinct-key
+  // chain; chains are threaded through `next` in ascending tuple order
+  // (insertion runs in reverse so prepending yields ascending chains),
+  // matching the reference kernel's bucket order exactly.
+  std::vector<int64_t> build_keys;
+  std::vector<uint8_t> build_has_key;
+  ComputeKeys(ResolveKeyColumns(edges, build, rels), build_n, &build_keys,
+              &build_has_key);
+
+  uint64_t capacity = 16;
+  while (capacity < static_cast<uint64_t>(build_n) * 2) capacity <<= 1;
+  const uint64_t mask = capacity - 1;
+  std::vector<int64_t> slot_head(capacity, -1);
+  std::vector<int64_t> next(static_cast<size_t>(build_n), -1);
+  std::vector<int64_t> match_build;
+  std::vector<int64_t> match_probe;
+  match_build.reserve(static_cast<size_t>(probe_n));
+  match_probe.reserve(static_cast<size_t>(probe_n));
+
+  std::vector<int64_t> probe_keys;
+  std::vector<uint8_t> probe_has_key;
+  ComputeKeys(ResolveKeyColumns(edges, probe, rels), probe_n, &probe_keys,
+              &probe_has_key);
+
+  if (ne == 1) {
+    // Single-edge specialization (the dominant JOB case): scalar int64
+    // keys, no composite-key indirection in the loops.
+    BuildAndProbe(SingleKeyOps{build_keys.data(), probe_keys.data()},
+                  build_n, probe_n, build_has_key, probe_has_key, mask,
+                  &slot_head, &next, &match_build, &match_probe);
+  } else {
+    BuildAndProbe(CompositeKeyOps{build_keys.data(), probe_keys.data(), ne},
+                  build_n, probe_n, build_has_key, probe_has_key, mask,
+                  &slot_head, &next, &match_build, &match_probe);
+  }
+
+  // Phase 3: column-wise gather materialization.
+  const size_t m = match_build.size();
+  size_t c = 0;
+  for (; c < build.columns.size(); ++c) {
+    const RowIdx* src = build.columns[c].data();
+    std::vector<RowIdx>& dst = out.columns[c];
+    dst.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      dst[i] = src[static_cast<size_t>(match_build[i])];
+    }
+  }
+  for (size_t p = 0; p < probe.columns.size(); ++p, ++c) {
+    const RowIdx* src = probe.columns[p].data();
+    std::vector<RowIdx>& dst = out.columns[c];
+    dst.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      dst[i] = src[static_cast<size_t>(match_probe[i])];
     }
   }
   return out;

@@ -2,6 +2,17 @@
 // and equi-join evaluation over intermediates. Shared by the executor
 // (which charges operator-specific costs on top) and by the
 // true-cardinality oracle (which only wants exact counts).
+//
+// Execution is vectorized (MonetDB/X100-style): FilterScan works on
+// fixed-size batches of row ids (selection vectors), dispatching one typed
+// tight loop per (column type, comparison op) pair instead of one boxed
+// EvalPredicate call per row, and HashJoinIntermediates is a two-phase
+// hash join (batch key computation into a sized open-addressing table,
+// then a batch probe pass with all FindRel/column lookups hoisted out of
+// the tuple loop, then column-wise gather materialization). The retained
+// pre-vectorization scalar kernel lives in kernel_reference.h and serves
+// as the correctness oracle for the differential-test harness; both
+// produce identical tuples in identical order.
 #ifndef REOPT_EXEC_KERNEL_H_
 #define REOPT_EXEC_KERNEL_H_
 
@@ -12,6 +23,22 @@
 #include "storage/catalog.h"
 
 namespace reopt::exec {
+
+/// Rows per selection-vector batch in FilterScan. Small enough that a
+/// batch's selection vector stays cache-resident, large enough to amortize
+/// per-batch dispatch.
+inline constexpr int kKernelBatchSize = 1024;
+
+/// Which kernel implementation the Executor routes scans and joins
+/// through. The reference (scalar) mode exists for differential testing
+/// and benchmarking only.
+enum class KernelMode { kVectorized, kReference };
+
+/// Process-wide default mode picked up by newly created Executors
+/// (including the ones QueryRunner creates internally, so differential
+/// tests can flip a whole workload run). Defaults to kVectorized.
+void SetDefaultKernelMode(KernelMode mode);
+KernelMode DefaultKernelMode();
 
 /// Binds the relations of one query to storage tables. Built once per
 /// (query, catalog) and handed to kernel calls.
@@ -28,18 +55,24 @@ struct BoundRelations {
 BoundRelations BindRelations(const plan::QuerySpec& query,
                              const storage::Catalog& catalog);
 
-/// Evaluates one predicate on one row of the relation's base table.
+/// Evaluates one predicate on one row of the relation's base table. Scalar
+/// entry point for sparse row sets (index-scan residual filters); batch
+/// scans go through FilterScan, which dispatches typed kernels instead.
 bool EvalPredicate(const plan::ScanPredicate& pred,
                    const storage::Table& table, common::RowIdx row);
 
-/// Row ids of `rel` passing all of `filters` (full scan).
+/// Row ids of `rel` passing all of `filters` (full scan). Vectorized:
+/// processes the table in kKernelBatchSize batches, compacting a selection
+/// vector through one typed kernel per predicate.
 std::vector<common::RowIdx> FilterScan(
     const storage::Table& table,
     const std::vector<const plan::ScanPredicate*>& filters);
 
 /// Equi-joins two intermediates on `edges` (every edge must connect the two
-/// sides). Implemented as a hash join: build on the smaller input. Join
-/// columns must be INT64 (id/FK columns, as in JOB).
+/// sides). Implemented as a two-phase hash join: build on the smaller
+/// input. Join columns must be INT64 (id/FK columns, as in JOB). Output
+/// tuple order matches the scalar reference kernel: probe order major,
+/// build insertion order minor.
 Intermediate HashJoinIntermediates(
     const Intermediate& left, const Intermediate& right,
     const std::vector<const plan::JoinEdge*>& edges,

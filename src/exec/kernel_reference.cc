@@ -1,0 +1,230 @@
+#include "exec/kernel_reference.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "plan/join_graph.h"
+
+namespace reopt::exec::reference {
+
+std::vector<common::RowIdx> FilterScan(
+    const storage::Table& table,
+    const std::vector<const plan::ScanPredicate*>& filters) {
+  std::vector<common::RowIdx> out;
+  int64_t n = table.num_rows();
+  for (common::RowIdx row = 0; row < n; ++row) {
+    bool pass = true;
+    for (const plan::ScanPredicate* pred : filters) {
+      if (!EvalPredicate(*pred, table, row)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out.push_back(row);
+  }
+  return out;
+}
+
+namespace {
+
+// Composite join key: FNV-1a over the int64 key parts. Collisions are
+// resolved by comparing the parts.
+struct JoinKey {
+  // Up to 4 edges between two sides in JOB-like queries; small inline array.
+  int64_t parts[4];
+  int count;
+
+  bool operator==(const JoinKey& other) const {
+    if (count != other.count) return false;
+    for (int i = 0; i < count; ++i) {
+      if (parts[i] != other.parts[i]) return false;
+    }
+    return true;
+  }
+};
+
+struct JoinKeyHash {
+  size_t operator()(const JoinKey& k) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < k.count; ++i) {
+      h ^= static_cast<uint64_t>(k.parts[i]);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+// Extracts the side-specific key columns of the edges: for each edge, which
+// (relation, column) belongs to this side.
+struct SideKeys {
+  std::vector<int> rel;                 // relation position per edge
+  std::vector<common::ColumnIdx> col;   // column per edge
+};
+
+SideKeys KeysForSide(const std::vector<const plan::JoinEdge*>& edges,
+                     const Intermediate& side) {
+  SideKeys out;
+  for (const plan::JoinEdge* e : edges) {
+    if (side.FindRel(e->left.rel) >= 0) {
+      out.rel.push_back(e->left.rel);
+      out.col.push_back(e->left.col);
+    } else {
+      REOPT_CHECK_MSG(side.FindRel(e->right.rel) >= 0,
+                      "edge endpoint not on either side");
+      out.rel.push_back(e->right.rel);
+      out.col.push_back(e->right.col);
+    }
+  }
+  return out;
+}
+
+// Builds the key for tuple `t` of `side`; returns false if any key part is
+// NULL (NULL never matches in an equi-join).
+bool MakeKey(const Intermediate& side, const SideKeys& keys,
+             const BoundRelations& rels, int64_t t, JoinKey* out) {
+  out->count = static_cast<int>(keys.rel.size());
+  REOPT_CHECK_MSG(out->count <= 4, "more than 4 join edges between sides");
+  for (size_t i = 0; i < keys.rel.size(); ++i) {
+    const storage::Table& table = rels.table(keys.rel[i]);
+    const storage::Column& col = table.column(keys.col[i]);
+    common::RowIdx row = side.RowOf(keys.rel[i], t);
+    if (col.IsNull(row)) return false;
+    REOPT_CHECK_MSG(col.type() == common::DataType::kInt64,
+                    "join columns must be INT64");
+    out->parts[i] = col.GetInt(row);
+  }
+  return true;
+}
+
+}  // namespace
+
+Intermediate HashJoinIntermediates(
+    const Intermediate& left, const Intermediate& right,
+    const std::vector<const plan::JoinEdge*>& edges,
+    const BoundRelations& rels) {
+  REOPT_CHECK_MSG(!edges.empty(), "equi-join requires at least one edge");
+  const Intermediate& build = left.size() <= right.size() ? left : right;
+  const Intermediate& probe = left.size() <= right.size() ? right : left;
+
+  SideKeys build_keys = KeysForSide(edges, build);
+  SideKeys probe_keys = KeysForSide(edges, probe);
+
+  std::unordered_map<JoinKey, std::vector<int64_t>, JoinKeyHash> table;
+  table.reserve(static_cast<size_t>(build.size()));
+  JoinKey key;
+  for (int64_t t = 0; t < build.size(); ++t) {
+    if (MakeKey(build, build_keys, rels, t, &key)) {
+      table[key].push_back(t);
+    }
+  }
+
+  Intermediate out;
+  out.rels = build.rels;
+  out.rels.insert(out.rels.end(), probe.rels.begin(), probe.rels.end());
+  out.columns.resize(out.rels.size());
+
+  for (int64_t t = 0; t < probe.size(); ++t) {
+    if (!MakeKey(probe, probe_keys, rels, t, &key)) continue;
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    for (int64_t b : it->second) {
+      size_t c = 0;
+      for (; c < build.columns.size(); ++c) {
+        out.columns[c].push_back(build.columns[c][static_cast<size_t>(b)]);
+      }
+      for (size_t p = 0; p < probe.columns.size(); ++p, ++c) {
+        out.columns[c].push_back(probe.columns[p][static_cast<size_t>(t)]);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Joins the connected `set` in a greedy connectivity-preserving order.
+Intermediate JoinConnectedSet(const plan::QuerySpec& query, plan::RelSet set,
+                              const BoundRelations& rels) {
+  // Start from the smallest filtered relation; repeatedly attach the
+  // connected relation whose filtered base is smallest.
+  std::vector<std::vector<common::RowIdx>> filtered(
+      static_cast<size_t>(query.num_relations()));
+  int start = -1;
+  int64_t start_size = INT64_MAX;
+  for (int r : set.Members()) {
+    filtered[static_cast<size_t>(r)] =
+        FilterScan(rels.table(r), query.FiltersFor(r));
+    int64_t sz = static_cast<int64_t>(filtered[static_cast<size_t>(r)].size());
+    if (sz < start_size) {
+      start_size = sz;
+      start = r;
+    }
+  }
+
+  plan::JoinGraph graph(query);
+  Intermediate current = Intermediate::FromRows(
+      start, std::move(filtered[static_cast<size_t>(start)]));
+  plan::RelSet done = plan::RelSet::Single(start);
+
+  while (done != set) {
+    // Next: smallest filtered relation adjacent to `done` within `set`.
+    int next = -1;
+    int64_t best = INT64_MAX;
+    plan::RelSet frontier = graph.NeighborsOf(done).Intersect(set);
+    REOPT_CHECK_MSG(!frontier.empty(),
+                    "JoinConnectedSet requires a connected set");
+    for (int r : frontier.Members()) {
+      int64_t sz = static_cast<int64_t>(filtered[static_cast<size_t>(r)].size());
+      if (sz < best) {
+        best = sz;
+        next = r;
+      }
+    }
+    Intermediate rhs = Intermediate::FromRows(
+        next, std::move(filtered[static_cast<size_t>(next)]));
+    std::vector<const plan::JoinEdge*> edges =
+        query.JoinsBetween(done, plan::RelSet::Single(next));
+    current = reference::HashJoinIntermediates(current, rhs, edges, rels);
+    done = done.With(next);
+  }
+  return current;
+}
+
+}  // namespace
+
+Intermediate ExactJoin(const plan::QuerySpec& query, plan::RelSet set,
+                       const BoundRelations& rels) {
+  REOPT_CHECK(!set.empty());
+  if (set.count() == 1) {
+    int r = set.Lowest();
+    return Intermediate::FromRows(
+        r, FilterScan(rels.table(r), query.FiltersFor(r)));
+  }
+  return JoinConnectedSet(query, set, rels);
+}
+
+double ExactJoinCount(const plan::QuerySpec& query, plan::RelSet set,
+                      const BoundRelations& rels) {
+  REOPT_CHECK(!set.empty());
+  plan::JoinGraph graph(query);
+  double product = 1.0;
+  plan::RelSet remaining = set;
+  while (!remaining.empty()) {
+    // Peel one connected component.
+    plan::RelSet component = plan::RelSet::Single(remaining.Lowest());
+    while (true) {
+      plan::RelSet grow =
+          graph.NeighborsOf(component).Intersect(remaining);
+      if (grow.empty()) break;
+      component = component.Union(grow);
+    }
+    Intermediate joined = reference::ExactJoin(query, component, rels);
+    product *= static_cast<double>(joined.size());
+    remaining = remaining.Minus(component);
+    if (product == 0.0) return 0.0;
+  }
+  return product;
+}
+
+}  // namespace reopt::exec::reference

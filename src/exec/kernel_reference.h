@@ -1,0 +1,44 @@
+// The retained scalar (row-at-a-time) evaluation kernel. This is the
+// pre-vectorization implementation, kept verbatim as the correctness oracle
+// for the differential-testing harness (tests/kernel_differential_test.cc,
+// tests/kernel_fuzz_test.cc) and as the baseline side of the scalar-vs-
+// vectorized micro-benchmarks. It is NOT on any hot path: production
+// execution goes through the batch kernels in kernel.h.
+//
+// Contract: for every input, each function here returns results identical
+// to its vectorized counterpart in kernel.h — same rows, same tuple order.
+#ifndef REOPT_EXEC_KERNEL_REFERENCE_H_
+#define REOPT_EXEC_KERNEL_REFERENCE_H_
+
+#include <vector>
+
+#include "exec/intermediate.h"
+#include "exec/kernel.h"
+#include "plan/query_spec.h"
+#include "storage/catalog.h"
+
+namespace reopt::exec::reference {
+
+/// Row ids of `rel` passing all of `filters` (full scan, one
+/// EvalPredicate dispatch per (row, predicate)).
+std::vector<common::RowIdx> FilterScan(
+    const storage::Table& table,
+    const std::vector<const plan::ScanPredicate*>& filters);
+
+/// Tuple-at-a-time hash join (build on the smaller input, std::unordered_map
+/// bucket chains, per-tuple FindRel/column lookups).
+Intermediate HashJoinIntermediates(
+    const Intermediate& left, const Intermediate& right,
+    const std::vector<const plan::JoinEdge*>& edges,
+    const BoundRelations& rels);
+
+/// As exec::ExactJoin / exec::ExactJoinCount but composed from the scalar
+/// kernels above (same greedy connectivity-preserving join order).
+Intermediate ExactJoin(const plan::QuerySpec& query, plan::RelSet set,
+                       const BoundRelations& rels);
+double ExactJoinCount(const plan::QuerySpec& query, plan::RelSet set,
+                      const BoundRelations& rels);
+
+}  // namespace reopt::exec::reference
+
+#endif  // REOPT_EXEC_KERNEL_REFERENCE_H_

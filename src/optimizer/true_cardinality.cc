@@ -151,17 +151,22 @@ double TrueCardinalityOracle::FactorizedCount(plan::RelSet set) {
     maps.push_back(
         &SubtreeWeights(ce.child, ce.child_col, ce.child_subtree, root));
   }
+  // Per-child key columns resolved once; the row loop reads raw spans.
   const storage::Table& table = ctx_->table(root);
+  std::vector<storage::ColumnView> cols;
+  cols.reserve(children.size());
+  for (const ChildEdge& ce : children) {
+    cols.push_back(table.column(ce.my_col).View());
+  }
   double total = 0.0;
   for (common::RowIdx row : FilteredRows(root)) {
     double w = 1.0;
     for (size_t i = 0; i < children.size() && w != 0.0; ++i) {
-      const storage::Column& col = table.column(children[i].my_col);
-      if (col.IsNull(row)) {
+      if (cols[i].IsNull(row)) {
         w = 0.0;
         break;
       }
-      auto it = maps[i]->find(col.GetInt(row));
+      auto it = maps[i]->find(cols[i].ints[static_cast<size_t>(row)]);
       w = it == maps[i]->end() ? 0.0 : w * it->second;
     }
     total += w;
@@ -186,20 +191,24 @@ const TrueCardinalityOracle::WeightMap& TrueCardinalityOracle::SubtreeWeights(
 
   auto result = std::make_unique<WeightMap>();
   const storage::Table& table = ctx_->table(rel);
-  const storage::Column& key_column = table.column(key_col);
+  const storage::ColumnView key_column = table.column(key_col).View();
+  std::vector<storage::ColumnView> cols;
+  cols.reserve(children.size());
+  for (const ChildEdge& ce : children) {
+    cols.push_back(table.column(ce.my_col).View());
+  }
   for (common::RowIdx row : FilteredRows(rel)) {
     if (key_column.IsNull(row)) continue;
     double w = 1.0;
     for (size_t i = 0; i < children.size() && w != 0.0; ++i) {
-      const storage::Column& col = table.column(children[i].my_col);
-      if (col.IsNull(row)) {
+      if (cols[i].IsNull(row)) {
         w = 0.0;
         break;
       }
-      auto cit = maps[i]->find(col.GetInt(row));
+      auto cit = maps[i]->find(cols[i].ints[static_cast<size_t>(row)]);
       w = cit == maps[i]->end() ? 0.0 : w * cit->second;
     }
-    if (w != 0.0) (*result)[key_column.GetInt(row)] += w;
+    if (w != 0.0) (*result)[key_column.ints[static_cast<size_t>(row)]] += w;
   }
 
   const WeightMap& ref = *result;

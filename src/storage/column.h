@@ -13,6 +13,26 @@
 
 namespace reopt::storage {
 
+/// A borrowed, raw-span view of one column: the typed data pointers plus
+/// the validity bitmap, resolved once so batch kernels can run tight loops
+/// without per-row accessor calls. Only the pointer matching `type` spans
+/// `size` elements; the others point at empty storage and must not be
+/// indexed. Invalidated by appends to the underlying column.
+struct ColumnView {
+  common::DataType type = common::DataType::kInt64;
+  int64_t size = 0;
+  const int64_t* ints = nullptr;
+  const double* doubles = nullptr;
+  const std::string* strings = nullptr;
+  /// nullptr means every row is valid; otherwise 0 marks a NULL row.
+  const uint8_t* valid = nullptr;
+
+  bool IsNull(common::RowIdx row) const {
+    return valid != nullptr && valid[static_cast<size_t>(row)] == 0;
+  }
+  bool AllValid() const { return valid == nullptr; }
+};
+
 /// A single typed column. Rows are addressed by RowIdx (0-based). Values may
 /// be null; a null row's slot in the typed vector holds a default value and
 /// must not be interpreted.
@@ -66,6 +86,18 @@ class Column {
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
   const std::vector<std::string>& strings() const { return strings_; }
+
+  /// Raw-span view for batch kernels (see ColumnView).
+  ColumnView View() const {
+    ColumnView view;
+    view.type = type_;
+    view.size = size_;
+    view.ints = ints_.data();
+    view.doubles = doubles_.data();
+    view.strings = strings_.data();
+    view.valid = valid_.empty() ? nullptr : valid_.data();
+    return view;
+  }
 
   /// True if no row is null.
   bool AllValid() const { return valid_.empty(); }

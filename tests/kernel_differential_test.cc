@@ -1,0 +1,163 @@
+// Differential-testing harness for the vectorized execution kernel: every
+// query of the 113-query JOB-like workload runs through both the vectorized
+// kernel (the hot path) and the retained scalar reference kernel
+// (exec::reference, the correctness oracle), and the results must be
+// identical — row counts, MIN() aggregates, charged cost, and the
+// per-node actual_rows the re-optimizer triggers on. A second suite runs
+// the full workload (with re-optimization, serial and --threads=4) under
+// both kernel modes and compares the per-query records field for field.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/kernel.h"
+#include "exec/kernel_reference.h"
+#include "optimizer/cardinality_model.h"
+#include "optimizer/planner.h"
+#include "optimizer/query_context.h"
+#include "plan/join_graph.h"
+#include "plan/physical_plan.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/runner.h"
+
+namespace reopt {
+namespace {
+
+using testing::SmallImdb;
+
+/// (op, actual_rows, charged_cost) per node in post-order: the executor
+/// state the re-optimizer reads.
+std::vector<std::tuple<plan::PlanOp, double, double>> NodeActuals(
+    const plan::PlanNode& root) {
+  std::vector<std::tuple<plan::PlanOp, double, double>> out;
+  root.PostOrderConst([&](const plan::PlanNode* n) {
+    out.emplace_back(n->op, n->actual_rows, n->charged_cost);
+  });
+  return out;
+}
+
+TEST(KernelDifferentialTest, All113QueriesMatchReferenceKernel) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto workload = workload::BuildJobLikeWorkload(db->catalog);
+  ASSERT_EQ(workload->queries.size(), 113u);
+
+  optimizer::CostParams params;
+  exec::Executor vec_exec(&db->catalog, &db->stats, params);
+  exec::Executor ref_exec(&db->catalog, &db->stats, params);
+  ref_exec.set_kernel_mode(exec::KernelMode::kReference);
+  ASSERT_EQ(vec_exec.kernel_mode(), exec::KernelMode::kVectorized);
+
+  for (const auto& query : workload->queries) {
+    SCOPED_TRACE(query->name);
+    auto ctx_result =
+        optimizer::QueryContext::Bind(query.get(), &db->catalog, &db->stats);
+    ASSERT_TRUE(ctx_result.ok());
+    auto ctx = std::move(ctx_result.value());
+    optimizer::EstimatorModel model(ctx.get());
+    optimizer::Planner planner(ctx.get(), &model, params);
+    auto planned = planner.Plan();
+    ASSERT_TRUE(planned.ok());
+    plan::PlanNodePtr vec_plan = std::move(planned.value().root);
+    plan::PlanNodePtr ref_plan = plan::ClonePlan(*vec_plan);
+
+    auto vec_result = vec_exec.Execute(*query, vec_plan.get());
+    auto ref_result = ref_exec.Execute(*query, ref_plan.get());
+    ASSERT_TRUE(vec_result.ok());
+    ASSERT_TRUE(ref_result.ok());
+
+    EXPECT_EQ(vec_result.value().raw_rows, ref_result.value().raw_rows);
+    EXPECT_EQ(vec_result.value().cost_units, ref_result.value().cost_units);
+    ASSERT_EQ(vec_result.value().aggregates.size(),
+              ref_result.value().aggregates.size());
+    for (size_t i = 0; i < vec_result.value().aggregates.size(); ++i) {
+      const common::Value& va = vec_result.value().aggregates[i];
+      const common::Value& ra = ref_result.value().aggregates[i];
+      EXPECT_EQ(va.is_null(), ra.is_null()) << "aggregate " << i;
+      if (!va.is_null() && !ra.is_null()) {
+        EXPECT_EQ(va, ra) << "aggregate " << i;
+      }
+    }
+    EXPECT_EQ(NodeActuals(*vec_plan), NodeActuals(*ref_plan));
+  }
+}
+
+TEST(KernelDifferentialTest, ExactJoinCountMatchesReferenceOnSignatureQueries) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  for (auto make : {workload::MakeQuery6d, workload::MakeQuery16b,
+                    workload::MakeQueryFig6}) {
+    auto query = make(db->catalog);
+    SCOPED_TRACE(query->name);
+    exec::BoundRelations rels = exec::BindRelations(*query, db->catalog);
+    // Every connected sub-join the oracle could be asked about.
+    plan::JoinGraph graph(*query);
+    for (const plan::CsgCmpPair& pair : graph.ConnectedPairs()) {
+      plan::RelSet set = pair.left.Union(pair.right);
+      EXPECT_DOUBLE_EQ(exec::ExactJoinCount(*query, set, rels),
+                       exec::reference::ExactJoinCount(*query, set, rels))
+          << set.ToString();
+    }
+    plan::RelSet all = query->AllRelations();
+    EXPECT_DOUBLE_EQ(exec::ExactJoinCount(*query, all, rels),
+                     exec::reference::ExactJoinCount(*query, all, rels));
+  }
+}
+
+/// Per-query records of a full workload run must be identical across
+/// kernel modes and thread counts — the same invariant the parallel
+/// runner test pins for scheduling, extended to the kernel dimension.
+class KernelModeWorkloadTest : public ::testing::Test {
+ protected:
+  static void ExpectSameRecords(const workload::WorkloadRunResult& a,
+                                const workload::WorkloadRunResult& b) {
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (size_t i = 0; i < a.records.size(); ++i) {
+      const workload::QueryRecord& ra = a.records[i];
+      const workload::QueryRecord& rb = b.records[i];
+      SCOPED_TRACE(ra.name);
+      EXPECT_EQ(ra.name, rb.name);
+      EXPECT_EQ(ra.num_tables, rb.num_tables);
+      EXPECT_EQ(ra.raw_rows, rb.raw_rows);
+      EXPECT_EQ(ra.materializations, rb.materializations);
+      EXPECT_EQ(ra.plan_seconds, rb.plan_seconds);
+      EXPECT_EQ(ra.exec_seconds, rb.exec_seconds);
+    }
+  }
+};
+
+TEST_F(KernelModeWorkloadTest, FullWorkloadWithReoptSerialAndThreaded) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto workload = workload::BuildJobLikeWorkload(db->catalog);
+  reoptimizer::ModelSpec model = reoptimizer::ModelSpec::Estimator();
+  reoptimizer::ReoptOptions reopt;
+  reopt.enabled = true;  // exercises temp-write materialization too
+
+  // Each run gets a fresh WorkloadRunner (sessions cache oracle counts,
+  // which are kernel-independent, but a fresh runner keeps runs symmetric).
+  auto run = [&](exec::KernelMode mode, int threads) {
+    exec::SetDefaultKernelMode(mode);
+    workload::WorkloadRunner runner(db);
+    auto result = runner.RunAll(*workload, model, reopt, threads);
+    exec::SetDefaultKernelMode(exec::KernelMode::kVectorized);
+    EXPECT_TRUE(result.ok());
+    return std::move(result.value());
+  };
+
+  workload::WorkloadRunResult vec_serial =
+      run(exec::KernelMode::kVectorized, 1);
+  workload::WorkloadRunResult ref_serial =
+      run(exec::KernelMode::kReference, 1);
+  workload::WorkloadRunResult vec_threaded =
+      run(exec::KernelMode::kVectorized, 4);
+  workload::WorkloadRunResult ref_threaded =
+      run(exec::KernelMode::kReference, 4);
+
+  ExpectSameRecords(vec_serial, ref_serial);
+  ExpectSameRecords(vec_serial, vec_threaded);
+  ExpectSameRecords(vec_serial, ref_threaded);
+}
+
+}  // namespace
+}  // namespace reopt

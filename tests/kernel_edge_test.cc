@@ -1,0 +1,351 @@
+// Edge-case coverage for the vectorized kernels: empty tables, all-rows-pass
+// and zero-rows-pass selections, single-row build sides, NULL keys and NULL
+// comparisons, selection-vector batch boundaries (kKernelBatchSize - 1,
+// kKernelBatchSize, kKernelBatchSize + 1), and the typed fast-path /
+// generic-fallback seams (mixed-type literals). Every case is asserted both
+// against hand-computed expectations and against the retained scalar
+// reference kernel, element for element.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/kernel.h"
+#include "exec/kernel_reference.h"
+#include "storage/catalog.h"
+#include "tests/test_util.h"
+
+namespace reopt::exec {
+namespace {
+
+using common::Value;
+
+/// A private catalog with deterministic tables sized around the batch size.
+class KernelEdgeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new storage::Catalog();
+    // Tables "n<size>": id = 0..n-1, parity = id % 2, val = id / 2.0,
+    // name = "row<id>", nullable = id (NULL every 7th row).
+    for (int64_t n : {static_cast<int64_t>(0), static_cast<int64_t>(1),
+                      static_cast<int64_t>(kKernelBatchSize) - 1,
+                      static_cast<int64_t>(kKernelBatchSize),
+                      static_cast<int64_t>(kKernelBatchSize) + 1}) {
+      storage::Schema schema({{"id", common::DataType::kInt64},
+                              {"parity", common::DataType::kInt64},
+                              {"val", common::DataType::kDouble},
+                              {"name", common::DataType::kString},
+                              {"nullable", common::DataType::kInt64}});
+      auto created = catalog_->CreateTable("n" + std::to_string(n),
+                                           std::move(schema));
+      ASSERT_TRUE(created.ok());
+      storage::Table* t = created.value();
+      for (int64_t i = 0; i < n; ++i) {
+        t->AppendRow({Value::Int(i), Value::Int(i % 2),
+                      Value::Real(static_cast<double>(i) / 2.0),
+                      Value::Str("row" + std::to_string(i)),
+                      i % 7 == 0 ? Value::Null_() : Value::Int(i)});
+      }
+    }
+  }
+
+  static const storage::Table& TableOfSize(int64_t n) {
+    const storage::Table* t = catalog_->FindTable("n" + std::to_string(n));
+    EXPECT_NE(t, nullptr);
+    return *t;
+  }
+
+  static plan::ScanPredicate Pred(common::ColumnIdx col,
+                                  plan::ScanPredicate::Kind kind,
+                                  plan::CompareOp op, Value v,
+                                  Value v2 = Value::Null_()) {
+    plan::ScanPredicate p;
+    p.column = plan::ColumnRef{0, col, ""};
+    p.kind = kind;
+    p.op = op;
+    p.value = std::move(v);
+    p.value2 = std::move(v2);
+    return p;
+  }
+
+  /// Vectorized and reference FilterScan must agree element for element;
+  /// returns the (shared) result.
+  static std::vector<common::RowIdx> BothScans(
+      const storage::Table& table,
+      const std::vector<const plan::ScanPredicate*>& filters) {
+    std::vector<common::RowIdx> vec = FilterScan(table, filters);
+    std::vector<common::RowIdx> ref = reference::FilterScan(table, filters);
+    EXPECT_EQ(vec, ref);
+    return vec;
+  }
+
+  static storage::Catalog* catalog_;
+};
+
+storage::Catalog* KernelEdgeTest::catalog_ = nullptr;
+
+// ---- FilterScan ------------------------------------------------------------
+
+TEST_F(KernelEdgeTest, EmptyTableYieldsNoRows) {
+  const storage::Table& empty = TableOfSize(0);
+  EXPECT_TRUE(BothScans(empty, {}).empty());
+  plan::ScanPredicate all = Pred(0, plan::ScanPredicate::Kind::kCompare,
+                                 plan::CompareOp::kGe, Value::Int(0));
+  EXPECT_TRUE(BothScans(empty, {&all}).empty());
+}
+
+TEST_F(KernelEdgeTest, AllRowsPassAndZeroRowsPass) {
+  for (int64_t n : {static_cast<int64_t>(1),
+                    static_cast<int64_t>(kKernelBatchSize),
+                    static_cast<int64_t>(kKernelBatchSize) + 1}) {
+    const storage::Table& t = TableOfSize(n);
+    plan::ScanPredicate all_pass = Pred(0, plan::ScanPredicate::Kind::kCompare,
+                                        plan::CompareOp::kGe, Value::Int(0));
+    plan::ScanPredicate none_pass = Pred(0, plan::ScanPredicate::Kind::kCompare,
+                                         plan::CompareOp::kLt, Value::Int(0));
+    EXPECT_EQ(static_cast<int64_t>(BothScans(t, {&all_pass}).size()), n);
+    EXPECT_TRUE(BothScans(t, {&none_pass}).empty());
+    // Conjunction short-circuit: all-pass then none-pass.
+    EXPECT_TRUE(BothScans(t, {&all_pass, &none_pass}).empty());
+  }
+}
+
+TEST_F(KernelEdgeTest, BatchBoundarySizes) {
+  for (int64_t n : {static_cast<int64_t>(kKernelBatchSize) - 1,
+                    static_cast<int64_t>(kKernelBatchSize),
+                    static_cast<int64_t>(kKernelBatchSize) + 1}) {
+    SCOPED_TRACE(n);
+    const storage::Table& t = TableOfSize(n);
+    plan::ScanPredicate even = Pred(1, plan::ScanPredicate::Kind::kCompare,
+                                    plan::CompareOp::kEq, Value::Int(0));
+    EXPECT_EQ(static_cast<int64_t>(BothScans(t, {&even}).size()), (n + 1) / 2);
+    // Only the very last row — crosses the final (partial) batch.
+    plan::ScanPredicate last = Pred(0, plan::ScanPredicate::Kind::kCompare,
+                                    plan::CompareOp::kEq, Value::Int(n - 1));
+    std::vector<common::RowIdx> rows = BothScans(t, {&last});
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0], n - 1);
+    // No predicate: identity selection at every boundary size.
+    EXPECT_EQ(static_cast<int64_t>(BothScans(t, {}).size()), n);
+  }
+}
+
+TEST_F(KernelEdgeTest, NullSemanticsAcrossKinds) {
+  const storage::Table& t = TableOfSize(kKernelBatchSize + 1);
+  int64_t n = t.num_rows();
+  int64_t nulls = (n + 6) / 7;  // rows 0, 7, 14, ...
+  plan::ScanPredicate is_null =
+      Pred(4, plan::ScanPredicate::Kind::kIsNull, plan::CompareOp::kEq,
+           Value::Null_());
+  plan::ScanPredicate is_not_null =
+      Pred(4, plan::ScanPredicate::Kind::kIsNotNull, plan::CompareOp::kEq,
+           Value::Null_());
+  EXPECT_EQ(static_cast<int64_t>(BothScans(t, {&is_null}).size()), nulls);
+  EXPECT_EQ(static_cast<int64_t>(BothScans(t, {&is_not_null}).size()),
+            n - nulls);
+  // NULL fails every comparison: >= 0 matches only the non-null rows.
+  plan::ScanPredicate ge0 = Pred(4, plan::ScanPredicate::Kind::kCompare,
+                                 plan::CompareOp::kGe, Value::Int(0));
+  EXPECT_EQ(static_cast<int64_t>(BothScans(t, {&ge0}).size()), n - nulls);
+  // IS NULL on a column with no validity bitmap (id is never null).
+  plan::ScanPredicate id_null =
+      Pred(0, plan::ScanPredicate::Kind::kIsNull, plan::CompareOp::kEq,
+           Value::Null_());
+  EXPECT_TRUE(BothScans(t, {&id_null}).empty());
+}
+
+TEST_F(KernelEdgeTest, TypedFastPathAndGenericFallbackAgree) {
+  const storage::Table& t = TableOfSize(kKernelBatchSize);
+  // Double literal against the INT64 id column (coerced comparison).
+  plan::ScanPredicate dbl = Pred(0, plan::ScanPredicate::Kind::kCompare,
+                                 plan::CompareOp::kLt, Value::Real(10.5));
+  EXPECT_EQ(BothScans(t, {&dbl}).size(), 11u);
+  // NULL literal: no non-null value compares equal / less.
+  plan::ScanPredicate null_eq = Pred(0, plan::ScanPredicate::Kind::kCompare,
+                                     plan::CompareOp::kEq, Value::Null_());
+  EXPECT_TRUE(BothScans(t, {&null_eq}).empty());
+  plan::ScanPredicate null_gt = Pred(0, plan::ScanPredicate::Kind::kCompare,
+                                     plan::CompareOp::kGt, Value::Null_());
+  EXPECT_EQ(static_cast<int64_t>(BothScans(t, {&null_gt}).size()),
+            t.num_rows());
+  // Mixed-type IN list (int column, int + double candidates).
+  plan::ScanPredicate mixed_in;
+  mixed_in.column = plan::ColumnRef{0, 0, ""};
+  mixed_in.kind = plan::ScanPredicate::Kind::kIn;
+  mixed_in.in_list = {Value::Int(3), Value::Real(5.0), Value::Null_()};
+  EXPECT_EQ(BothScans(t, {&mixed_in}).size(), 2u);
+  // BETWEEN over doubles.
+  plan::ScanPredicate between_d =
+      Pred(2, plan::ScanPredicate::Kind::kBetween, plan::CompareOp::kEq,
+           Value::Real(1.0), Value::Real(2.0));
+  EXPECT_EQ(BothScans(t, {&between_d}).size(), 3u);  // val in {1.0, 1.5, 2.0}
+  // Mixed int/double BETWEEN bounds on an int column: per-bound coercion
+  // semantics, preserved via the generic fallback.
+  plan::ScanPredicate mixed_between =
+      Pred(0, plan::ScanPredicate::Kind::kBetween, plan::CompareOp::kEq,
+           Value::Int(5), Value::Real(9.5));
+  EXPECT_EQ(BothScans(t, {&mixed_between}).size(), 5u);  // ids 5..9
+}
+
+TEST_F(KernelEdgeTest, LikeShapeClassificationMatchesReference) {
+  const storage::Table& t = TableOfSize(kKernelBatchSize);
+  int64_t n = t.num_rows();
+  auto like = [&](const char* pattern, bool negated = false) {
+    return Pred(3,
+                negated ? plan::ScanPredicate::Kind::kNotLike
+                        : plan::ScanPredicate::Kind::kLike,
+                plan::CompareOp::kEq, Value::Str(pattern));
+  };
+  // Every anchored shape plus the generic fallback, against the reference.
+  plan::ScanPredicate any = like("%");           // kAny
+  plan::ScanPredicate any2 = like("%%");         // kAny
+  plan::ScanPredicate empty = like("");          // exact empty: no match
+  plan::ScanPredicate exact = like("row7");      // kExact
+  plan::ScanPredicate prefix = like("row99%");   // kPrefix
+  plan::ScanPredicate suffix = like("%77");      // kSuffix
+  plan::ScanPredicate contains = like("%w10%");  // kContains
+  plan::ScanPredicate underscore = like("row_");    // general pattern
+  plan::ScanPredicate inner = like("row%7");        // general pattern
+  plan::ScanPredicate not_prefix = like("row1%", /*negated=*/true);
+  EXPECT_EQ(static_cast<int64_t>(BothScans(t, {&any}).size()), n);
+  EXPECT_EQ(static_cast<int64_t>(BothScans(t, {&any2}).size()), n);
+  EXPECT_TRUE(BothScans(t, {&empty}).empty());
+  EXPECT_EQ(BothScans(t, {&exact}).size(), 1u);
+  EXPECT_EQ(BothScans(t, {&prefix}).size(), 11u);  // row99, row990..row999
+  EXPECT_FALSE(BothScans(t, {&suffix}).empty());
+  EXPECT_FALSE(BothScans(t, {&contains}).empty());
+  EXPECT_EQ(BothScans(t, {&underscore}).size(), 10u);  // row0..row9
+  EXPECT_FALSE(BothScans(t, {&inner}).empty());
+  BothScans(t, {&not_prefix});
+}
+
+TEST_F(KernelEdgeTest, StringBetweenMatchesReferenceExactly) {
+  const storage::Table& t = TableOfSize(kKernelBatchSize);
+  plan::ScanPredicate between_s =
+      Pred(3, plan::ScanPredicate::Kind::kBetween, plan::CompareOp::kEq,
+           Value::Str("row10"), Value::Str("row11"));
+  // Cross-check only (lexicographic count is non-obvious): vectorized ==
+  // reference is the invariant that matters.
+  std::vector<common::RowIdx> rows = BothScans(t, {&between_s});
+  EXPECT_FALSE(rows.empty());
+}
+
+// ---- HashJoinIntermediates -------------------------------------------------
+
+/// Two-relation spec over tables of size `left_n` and `right_n`, joined on
+/// the given columns.
+struct JoinFixture {
+  plan::QuerySpec spec;
+  BoundRelations rels;
+  plan::JoinEdge edge;
+
+  JoinFixture(const storage::Catalog& catalog, int64_t left_n, int64_t right_n,
+              const char* left_col, const char* right_col) {
+    spec.relations.push_back(
+        plan::RelationRef{"n" + std::to_string(left_n), "l"});
+    spec.relations.push_back(
+        plan::RelationRef{"n" + std::to_string(right_n), "r"});
+    rels = BindRelations(spec, catalog);
+    edge.left = plan::ColumnRef{
+        0, rels.table(0).schema().FindColumn(left_col), ""};
+    edge.right = plan::ColumnRef{
+        1, rels.table(1).schema().FindColumn(right_col), ""};
+  }
+
+  Intermediate AllRows(int rel) const {
+    const storage::Table& t = rels.table(rel);
+    std::vector<common::RowIdx> rows(static_cast<size_t>(t.num_rows()));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      rows[i] = static_cast<common::RowIdx>(i);
+    }
+    return Intermediate::FromRows(rel, std::move(rows));
+  }
+};
+
+/// Vectorized and reference joins must agree on rels and on every column,
+/// element for element (same tuples in the same order).
+Intermediate BothJoins(const Intermediate& left, const Intermediate& right,
+                       const std::vector<const plan::JoinEdge*>& edges,
+                       const BoundRelations& rels) {
+  Intermediate vec = HashJoinIntermediates(left, right, edges, rels);
+  Intermediate ref = reference::HashJoinIntermediates(left, right, edges, rels);
+  EXPECT_EQ(vec.rels, ref.rels);
+  EXPECT_EQ(vec.columns, ref.columns);
+  return vec;
+}
+
+TEST_F(KernelEdgeTest, JoinWithEmptySides) {
+  JoinFixture f(*catalog_, 0, kKernelBatchSize, "id", "id");
+  Intermediate empty = f.AllRows(0);
+  Intermediate full = f.AllRows(1);
+  ASSERT_EQ(empty.size(), 0);
+  // Empty build side.
+  Intermediate out = BothJoins(empty, full, {&f.edge}, f.rels);
+  EXPECT_EQ(out.size(), 0);
+  ASSERT_EQ(out.rels.size(), 2u);
+  ASSERT_EQ(out.columns.size(), 2u);
+  // Empty probe side (empty input is the smaller one either way).
+  out = BothJoins(full, empty, {&f.edge}, f.rels);
+  EXPECT_EQ(out.size(), 0);
+  // Both empty.
+  JoinFixture g(*catalog_, 0, 0, "id", "id");
+  out = BothJoins(g.AllRows(0), g.AllRows(1), {&g.edge}, g.rels);
+  EXPECT_EQ(out.size(), 0);
+}
+
+TEST_F(KernelEdgeTest, SingleRowBuildSide) {
+  JoinFixture f(*catalog_, 1, kKernelBatchSize + 1, "id", "parity");
+  Intermediate one = f.AllRows(0);   // single row, id = 0
+  Intermediate big = f.AllRows(1);
+  ASSERT_EQ(one.size(), 1);
+  // id 0 matches every even row of the probe side's parity column.
+  Intermediate out = BothJoins(one, big, {&f.edge}, f.rels);
+  EXPECT_EQ(out.size(), (big.size() + 1) / 2);
+  // Single-row build with no match at all.
+  JoinFixture g(*catalog_, 1, kKernelBatchSize, "nullable", "parity");
+  // Row 0's `nullable` is NULL (0 % 7 == 0): a NULL key matches nothing.
+  out = BothJoins(g.AllRows(0), g.AllRows(1), {&g.edge}, g.rels);
+  EXPECT_EQ(out.size(), 0);
+}
+
+TEST_F(KernelEdgeTest, NullKeysNeverMatch) {
+  int64_t n = kKernelBatchSize;
+  JoinFixture f(*catalog_, n, n, "nullable", "id");
+  Intermediate left = f.AllRows(0);
+  Intermediate right = f.AllRows(1);
+  Intermediate out = BothJoins(left, right, {&f.edge}, f.rels);
+  // Every non-null `nullable` value i matches exactly id == i.
+  int64_t nulls = (n + 6) / 7;
+  EXPECT_EQ(out.size(), n - nulls);
+}
+
+TEST_F(KernelEdgeTest, DuplicateKeysMultiplyAtBatchBoundaries) {
+  for (int64_t n : {static_cast<int64_t>(kKernelBatchSize) - 1,
+                    static_cast<int64_t>(kKernelBatchSize),
+                    static_cast<int64_t>(kKernelBatchSize) + 1}) {
+    SCOPED_TRACE(n);
+    JoinFixture f(*catalog_, n, n, "parity", "parity");
+    Intermediate left = f.AllRows(0);
+    Intermediate right = f.AllRows(1);
+    // parity x parity: evens^2 + odds^2 tuples.
+    int64_t evens = (n + 1) / 2;
+    int64_t odds = n / 2;
+    Intermediate out = BothJoins(left, right, {&f.edge}, f.rels);
+    EXPECT_EQ(out.size(), evens * evens + odds * odds);
+  }
+}
+
+TEST_F(KernelEdgeTest, MultiEdgeCompositeKeyAgrees) {
+  int64_t n = kKernelBatchSize - 1;
+  JoinFixture f(*catalog_, n, n, "id", "id");
+  plan::JoinEdge second;
+  second.left = plan::ColumnRef{0, f.rels.table(0).schema().FindColumn("parity"), ""};
+  second.right = plan::ColumnRef{1, f.rels.table(1).schema().FindColumn("parity"), ""};
+  Intermediate out = BothJoins(f.AllRows(0), f.AllRows(1),
+                               {&f.edge, &second}, f.rels);
+  EXPECT_EQ(out.size(), n);  // id = id already implies parity = parity
+}
+
+}  // namespace
+}  // namespace reopt::exec
