@@ -1,24 +1,42 @@
-// Scalar-vs-vectorized kernel perf smoke: times the retained scalar
-// reference kernel against the vectorized kernel on the workloads the
-// sweeps are dominated by (filter scans over title/cast_info, the
-// title x movie_keyword hash join) and prints rows/sec plus the speedup.
+// Perf smoke for the retained-reference fast paths: times each optimized
+// implementation against the verbatim reference it replaced, on the
+// workloads the sweeps are dominated by —
+//   * vectorized kernels vs the scalar kernel (filter scans over
+//     title/cast_info, the title x movie_keyword hash join),
+//   * the incremental re-planner (round >= 1 memo carry) and the round-0
+//     session-memo replay vs from-scratch DP,
+//   * the typed single-pass ANALYZE vs the boxed reference on a 1M-row
+//     int column (and a string column, informational).
 //
 // Self-timed (std::chrono, best-of-N) so it builds without Google
-// Benchmark; CI runs it in the Release job. Exits non-zero only if the two
-// kernels *disagree* — the speedup itself is reported, never gated on
-// (bench boxes are noisy; the timing gate lives in the job log for
-// eyeballs, the correctness gate in the differential tests and this exit
-// code).
+// Benchmark; CI runs it in Release. Exits non-zero only if an optimized
+// path *disagrees* with its reference — the speedups are reported, never
+// gated on (bench boxes are noisy; the timing gate lives in the job log
+// for eyeballs, the correctness gate in the differential tests and this
+// exit code). Every comparison is also written as machine-readable ns/op
+// to BENCH_perf_smoke.json (path overridable as argv[1]); the Release CI
+// job uploads it, seeding the benchmark trajectory.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
+#include "exec/executor.h"
 #include "exec/kernel.h"
 #include "exec/kernel_reference.h"
 #include "imdb/imdb.h"
+#include "optimizer/cardinality_model.h"
+#include "optimizer/planner.h"
+#include "optimizer/planner_reference.h"
+#include "plan/physical_plan.h"
 #include "plan/query_spec.h"
+#include "reopt/rewrite.h"
+#include "stats/analyze.h"
+#include "stats/analyze_reference.h"
 #include "workload/job_like.h"
 
 namespace {
@@ -37,6 +55,46 @@ double BestSeconds(const std::function<void()>& fn, int reps) {
   return best;
 }
 
+// One reference-vs-optimized comparison, accumulated for the JSON report.
+struct JsonEntry {
+  std::string name;
+  double reference_ns_per_op;
+  double optimized_ns_per_op;
+  double speedup;
+};
+std::vector<JsonEntry>& JsonEntries() {
+  static std::vector<JsonEntry> entries;
+  return entries;
+}
+
+void Record(const std::string& name, double ref_s, double opt_s,
+            double ops_per_call = 1.0) {
+  JsonEntries().push_back(JsonEntry{name, ref_s * 1e9 / ops_per_call,
+                                    opt_s * 1e9 / ops_per_call,
+                                    ref_s / opt_s});
+}
+
+void WriteJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < JsonEntries().size(); ++i) {
+    const JsonEntry& e = JsonEntries()[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"reference_ns_per_op\": %.1f, "
+                 "\"optimized_ns_per_op\": %.1f, \"speedup\": %.3f}%s\n",
+                 e.name.c_str(), e.reference_ns_per_op, e.optimized_ns_per_op,
+                 e.speedup, i + 1 < JsonEntries().size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu benchmarks)\n", path.c_str(),
+              JsonEntries().size());
+}
+
 struct Comparison {
   const char* name;
   int64_t rows_processed;
@@ -50,11 +108,251 @@ void Report(const Comparison& c) {
   std::printf("%-28s scalar %10.2e rows/s   vectorized %10.2e rows/s   "
               "speedup %.2fx\n",
               c.name, scalar_rps, vec_rps, c.scalar_s / c.vectorized_s);
+  Record(c.name, c.scalar_s, c.vectorized_s,
+         static_cast<double>(c.rows_processed));
+}
+
+// ---- Re-plan path -----------------------------------------------------------
+
+// Builds the paper's round-1 state for one query: plan, materialize the
+// lowest join into a real temp table, rewrite, bind — then times
+// from-scratch DP vs the incremental carry on the rewritten query, and
+// round-0 memo replay vs DP on the original.
+bool BenchReplanPathFor(imdb::ImdbDatabase* db, const plan::QuerySpec* query,
+                        const char* tag) {
+  bool ok = true;
+  auto spec = std::make_unique<plan::QuerySpec>(*query);
+  auto bound = optimizer::QueryContext::Bind(spec.get(), &db->catalog,
+                                             &db->stats);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "FAIL: bind: %s\n", bound.status().ToString().c_str());
+    return false;
+  }
+  std::unique_ptr<optimizer::QueryContext> ctx = std::move(bound.value());
+  optimizer::CostParams params;
+  constexpr int kReps = 15;
+  constexpr int kInner = 20;  // Plan calls per timed rep
+
+  optimizer::EstimatorModel model(ctx.get());
+  optimizer::Planner planner(ctx.get(), &model, params);
+  auto planned = planner.Plan();
+  if (!planned.ok()) {
+    std::fprintf(stderr, "FAIL: plan\n");
+    return false;
+  }
+  optimizer::PlanMemo memo = planner.TakeMemo();
+
+  // Round-0 replay: PlanFromMemo vs from-scratch on the same context.
+  {
+    double scratch_s = BestSeconds(
+        [&] {
+          for (int i = 0; i < kInner; ++i) {
+            optimizer::EstimatorModel m(ctx.get());
+            optimizer::reference::Planner p(ctx.get(), &m, params);
+            auto r = p.Plan();
+            if (!r.ok()) std::abort();
+          }
+        },
+        kReps) / kInner;
+    std::string want, got;
+    double replay_s = BestSeconds(
+        [&] {
+          for (int i = 0; i < kInner; ++i) {
+            optimizer::EstimatorModel m(ctx.get());
+            optimizer::Planner p(ctx.get(), &m, params);
+            auto r = p.PlanFromMemo(memo);
+            if (!r.ok()) std::abort();
+          }
+        },
+        kReps) / kInner;
+    {
+      optimizer::EstimatorModel m(ctx.get());
+      optimizer::Planner p(ctx.get(), &m, params);
+      auto r = p.PlanFromMemo(memo);
+      got = plan::ExplainPlan(*r.value().root, *spec);
+      want = plan::ExplainPlan(*planned->root, *spec);
+      optimizer::EstimatorModel mr(ctx.get());
+      optimizer::reference::Planner pr(ctx.get(), &mr, params);
+      auto ref = pr.Plan();
+      if (want != got ||
+          r.value().planning_cost_units != planned->planning_cost_units ||
+          want != plan::ExplainPlan(*ref.value().root, *spec) ||
+          ref.value().planning_cost_units != planned->planning_cost_units) {
+        std::fprintf(stderr,
+                     "FAIL: planner paths disagree (reference / memo replay)\n");
+        ok = false;
+      }
+    }
+    std::printf("plan %-8s round-0 memo   scratch %8.1f us  replay %11.1f us  "
+                "speedup %.2fx\n",
+                tag, scratch_s * 1e6, replay_s * 1e6, scratch_s / replay_s);
+    Record(std::string("replan_round0_memo_replay_") + tag, scratch_s,
+           replay_s);
+  }
+
+  // Materialize the lowest join of the chosen plan, rewrite, re-bind.
+  plan::PlanNode* offender = nullptr;
+  planned->root->PostOrder([&](plan::PlanNode* node) {
+    if (!node->is_join()) return;
+    if (offender == nullptr || node->rels.count() < offender->rels.count()) {
+      offender = node;
+    }
+  });
+  plan::RelSet subset = offender->rels;
+  std::vector<plan::ColumnRef> temp_cols =
+      reoptimizer::ColumnsToMaterialize(*spec, subset);
+  std::string temp_name = db->catalog.NextTempName("perfsmoke");
+  auto write = std::make_unique<plan::PlanNode>();
+  write->op = plan::PlanOp::kTempWrite;
+  write->rels = subset;
+  write->est_rows = offender->est_rows;
+  write->temp_table_name = temp_name;
+  write->temp_columns = temp_cols;
+  write->left = plan::ClonePlan(*offender);
+  write->est_cost = write->left->est_cost;
+  exec::Executor executor(&db->catalog, &db->stats, params);
+  auto executed = executor.Execute(*spec, write.get());
+  if (!executed.ok()) {
+    std::fprintf(stderr, "FAIL: materialize\n");
+    return false;
+  }
+
+  reoptimizer::RewriteInfo info;
+  auto rewritten = reoptimizer::RewriteWithTemp(*spec, subset, temp_name,
+                                                temp_cols, 0, &info);
+  auto rebound = optimizer::QueryContext::Bind(rewritten.get(), &db->catalog,
+                                               &db->stats);
+  if (!rebound.ok()) {
+    std::fprintf(stderr, "FAIL: rebind\n");
+    return false;
+  }
+  std::unique_ptr<optimizer::QueryContext> new_ctx =
+      std::move(rebound.value());
+  optimizer::MemoTranslation translation = reoptimizer::MemoTranslationFor(
+      *spec, *rewritten, subset, info);
+
+  // Round >= 1: from-scratch DP vs incremental carry on the rewritten
+  // query. Each incremental call pays the full cost it would in the loop:
+  // fresh model state (Rebind semantics) plus seeding.
+  {
+    double scratch_s = BestSeconds(
+        [&] {
+          for (int i = 0; i < kInner; ++i) {
+            optimizer::EstimatorModel m(new_ctx.get());
+            optimizer::reference::Planner p(new_ctx.get(), &m, params);
+            auto r = p.Plan();
+            if (!r.ok()) std::abort();
+          }
+        },
+        kReps) / kInner;
+    double incremental_s = BestSeconds(
+        [&] {
+          for (int i = 0; i < kInner; ++i) {
+            optimizer::EstimatorModel m(new_ctx.get());
+            optimizer::Planner p(new_ctx.get(), &m, params);
+            auto r = p.PlanIncremental(memo, translation);
+            if (!r.ok()) std::abort();
+          }
+        },
+        kReps) / kInner;
+    optimizer::EstimatorModel m1(new_ctx.get());
+    optimizer::reference::Planner p1(new_ctx.get(), &m1, params);
+    auto scratch = p1.Plan();
+    optimizer::EstimatorModel m2(new_ctx.get());
+    optimizer::Planner p2(new_ctx.get(), &m2, params);
+    auto incremental = p2.PlanIncremental(memo, translation);
+    if (!incremental.value().used_incremental ||
+        plan::ExplainPlan(*scratch.value().root, *rewritten) !=
+            plan::ExplainPlan(*incremental.value().root, *rewritten) ||
+        scratch.value().planning_cost_units !=
+            incremental.value().planning_cost_units ||
+        scratch.value().num_estimates != incremental.value().num_estimates) {
+      std::fprintf(stderr,
+                   "FAIL: incremental re-plan disagrees with from-scratch\n");
+      ok = false;
+    }
+    std::printf("replan %-8s round-1      scratch %8.1f us  incremental %6.1f us  "
+                "speedup %.2fx\n",
+                tag, scratch_s * 1e6, incremental_s * 1e6,
+                scratch_s / incremental_s);
+    Record(std::string("replan_round1_incremental_") + tag, scratch_s,
+           incremental_s);
+  }
+
+  (void)db->catalog.DropTable(temp_name);
+  db->stats.Remove(temp_name);
+  return ok;
+}
+
+// ---- ANALYZE ----------------------------------------------------------------
+
+bool BenchAnalyze() {
+  bool ok = true;
+  common::Rng rng(0xA11A);
+
+  // 1M-row int column: skewed domain plus 2% nulls — the shape of a
+  // materialized temp join key.
+  {
+    storage::Column col(common::DataType::kInt64);
+    col.Reserve(1000000);
+    for (int64_t i = 0; i < 1000000; ++i) {
+      if (rng.Bernoulli(0.02)) {
+        col.AppendNull();
+      } else if (rng.Bernoulli(0.3)) {
+        col.AppendInt(rng.UniformInt(0, 99));  // hot head
+      } else {
+        col.AppendInt(rng.UniformInt(0, 199999));
+      }
+    }
+    stats::ColumnStats ref_stats, typed_stats;
+    double ref_s = BestSeconds(
+        [&] { ref_stats = stats::reference::AnalyzeColumn(col); }, 3);
+    double typed_s =
+        BestSeconds([&] { typed_stats = stats::AnalyzeColumn(col); }, 3);
+    if (ref_stats.ToString() != typed_stats.ToString()) {
+      std::fprintf(stderr, "FAIL: typed ANALYZE (int) disagrees\n");
+      ok = false;
+    }
+    std::printf("%-28s boxed   %10.1f ms       typed    %10.1f ms       "
+                "speedup %.2fx\n",
+                "analyze int 1M", ref_s * 1e3, typed_s * 1e3,
+                ref_s / typed_s);
+    Record("analyze_int_1m", ref_s, typed_s);
+  }
+
+  // 100k-row string column (informational: dominated by string copies
+  // either way).
+  {
+    storage::Column col(common::DataType::kString);
+    col.Reserve(100000);
+    for (int64_t i = 0; i < 100000; ++i) {
+      if (rng.Bernoulli(0.05)) {
+        col.AppendNull();
+      } else {
+        col.AppendString("note-" + std::to_string(rng.UniformInt(0, 4999)));
+      }
+    }
+    stats::ColumnStats ref_stats, typed_stats;
+    double ref_s = BestSeconds(
+        [&] { ref_stats = stats::reference::AnalyzeColumn(col); }, 3);
+    double typed_s =
+        BestSeconds([&] { typed_stats = stats::AnalyzeColumn(col); }, 3);
+    if (ref_stats.ToString() != typed_stats.ToString()) {
+      std::fprintf(stderr, "FAIL: typed ANALYZE (string) disagrees\n");
+      ok = false;
+    }
+    std::printf("%-28s boxed   %10.1f ms       typed    %10.1f ms       "
+                "speedup %.2fx\n",
+                "analyze string 100k", ref_s * 1e3, typed_s * 1e3,
+                ref_s / typed_s);
+    Record("analyze_string_100k", ref_s, typed_s);
+  }
+  return ok;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   imdb::ImdbOptions options;
   options.scale = 0.1;
   auto db = imdb::BuildImdbDatabase(options);
@@ -173,6 +471,26 @@ int main() {
       ok = false;
     }
   }
+
+  // ---- Planner paths and ANALYZE ------------------------------------------
+  // 18a (7-way) plus the workload's largest query: re-planning cost is
+  // dominated by the big queries, exactly where the memo carry pays off.
+  {
+    auto workload = workload::BuildJobLikeWorkload(db->catalog);
+    const plan::QuerySpec* largest = nullptr;
+    for (const auto& q : workload->queries) {
+      if (largest == nullptr || q->num_relations() > largest->num_relations()) {
+        largest = q.get();
+      }
+    }
+    auto q18a = workload::MakeQuery18a(db->catalog);
+    ok = BenchReplanPathFor(db.get(), q18a.get(), "18a") && ok;
+    ok = BenchReplanPathFor(db.get(), largest,
+                            largest->name.c_str()) && ok;
+  }
+  ok = BenchAnalyze() && ok;
+
+  WriteJson(argc > 1 ? argv[1] : "BENCH_perf_smoke.json");
 
   if (!ok) return 1;
   std::printf("perf smoke OK (speedups are informational, not gated)\n");

@@ -348,10 +348,21 @@ void Executor::ExecuteTempWrite(const plan::QuerySpec& query,
   REOPT_CHECK_MSG(created.ok(), "temp table name collision");
   storage::Table* temp = created.value();
   temp->Reserve(input.size());
-  // Column-at-a-time materialization: the source column span and the
-  // intermediate's tuple column are resolved once per output column, and
-  // the type switch runs per column instead of per (tuple, column).
+  // Column-at-a-time materialization with fused ANALYZE: the source column
+  // span and the intermediate's tuple column are resolved once per output
+  // column, the type switch runs per column instead of per (tuple, column),
+  // and the gather loop feeds the same values straight into the typed
+  // ANALYZE core — the temp column is scanned once, not written and then
+  // re-read by a separate ANALYZE pass. The re-optimizer always ANALYZEs a
+  // fresh temp table with default options (full scan), so the stats are
+  // identical to stats::Analyze over the finished table.
   const int64_t num_tuples = input.size();
+  const bool analyze = stats_catalog_ != nullptr;
+  stats::TableStats temp_stats;
+  temp_stats.row_count = static_cast<double>(num_tuples);
+  if (analyze) {
+    temp_stats.columns.reserve(node->temp_columns.size());
+  }
   for (size_t c = 0; c < node->temp_columns.size(); ++c) {
     const plan::ColumnRef& ref = node->temp_columns[c];
     const storage::ColumnView src = rels.table(ref.rel).column(ref.col).View();
@@ -360,44 +371,75 @@ void Executor::ExecuteTempWrite(const plan::QuerySpec& query,
     const common::RowIdx* tuple_rows =
         input.columns[static_cast<size_t>(rel_idx)].data();
     storage::Column& dst = temp->mutable_column(static_cast<common::ColumnIdx>(c));
+    int64_t null_rows = 0;
     switch (src.type) {
-      case common::DataType::kInt64:
+      case common::DataType::kInt64: {
+        std::vector<int64_t> values;
+        if (analyze) values.reserve(static_cast<size_t>(num_tuples));
         for (int64_t t = 0; t < num_tuples; ++t) {
           common::RowIdx row = tuple_rows[t];
           if (src.IsNull(row)) {
             dst.AppendNull();
+            ++null_rows;
           } else {
-            dst.AppendInt(src.ints[static_cast<size_t>(row)]);
+            int64_t v = src.ints[static_cast<size_t>(row)];
+            dst.AppendInt(v);
+            if (analyze) values.push_back(v);
           }
         }
+        if (analyze) {
+          temp_stats.columns.push_back(stats::ComputeColumnStats(
+              std::move(values), num_tuples, null_rows));
+        }
         break;
-      case common::DataType::kDouble:
+      }
+      case common::DataType::kDouble: {
+        std::vector<double> values;
+        if (analyze) values.reserve(static_cast<size_t>(num_tuples));
         for (int64_t t = 0; t < num_tuples; ++t) {
           common::RowIdx row = tuple_rows[t];
           if (src.IsNull(row)) {
             dst.AppendNull();
+            ++null_rows;
           } else {
-            dst.AppendDouble(src.doubles[static_cast<size_t>(row)]);
+            double v = src.doubles[static_cast<size_t>(row)];
+            dst.AppendDouble(v);
+            if (analyze) values.push_back(v);
           }
         }
+        if (analyze) {
+          temp_stats.columns.push_back(stats::ComputeColumnStats(
+              std::move(values), num_tuples, null_rows));
+        }
         break;
-      case common::DataType::kString:
+      }
+      case common::DataType::kString: {
+        std::vector<std::string> values;
+        if (analyze) values.reserve(static_cast<size_t>(num_tuples));
         for (int64_t t = 0; t < num_tuples; ++t) {
           common::RowIdx row = tuple_rows[t];
           if (src.IsNull(row)) {
             dst.AppendNull();
+            ++null_rows;
           } else {
-            dst.AppendString(src.strings[static_cast<size_t>(row)]);
+            const std::string& v = src.strings[static_cast<size_t>(row)];
+            dst.AppendString(v);
+            if (analyze) values.push_back(v);
           }
         }
+        if (analyze) {
+          temp_stats.columns.push_back(stats::ComputeColumnStats(
+              std::move(values), num_tuples, null_rows));
+        }
         break;
+      }
     }
   }
   // The per-column appends above bypass Table::AppendRow's row counter.
   temp->SyncRowCountFromColumns();
 
-  if (stats_catalog_ != nullptr) {
-    stats_catalog_->AnalyzeTable(*temp);
+  if (analyze) {
+    stats_catalog_->Set(node->temp_table_name, std::move(temp_stats));
   }
   node->actual_rows = static_cast<double>(input.size());
   node->charged_cost =

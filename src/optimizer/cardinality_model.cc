@@ -17,6 +17,29 @@ double CardinalityModel::Cardinality(plan::RelSet set) {
   return rows;
 }
 
+void CardinalityModel::SeedEstimate(plan::RelSet set, double rows) {
+  REOPT_CHECK(!set.empty());
+  if (!cache_.emplace(set.bits(), rows).second) return;
+  ++num_estimates_;
+  ++estimates_by_size_[set.count()];
+}
+
+std::map<int, int64_t> CardinalityModel::estimates_by_size() const {
+  std::map<int, int64_t> out;
+  for (int size = 0; size < 65; ++size) {
+    if (estimates_by_size_[size] != 0) out[size] = estimates_by_size_[size];
+  }
+  return out;
+}
+
+void CardinalityModel::Rebind(const QueryContext* ctx,
+                              TrueCardinalityOracle* oracle) {
+  (void)oracle;
+  REOPT_CHECK(ctx != nullptr);
+  ctx_ = ctx;
+  cache_.clear();
+}
+
 namespace {
 
 // Extracts the single equality value of a predicate usable for joint
@@ -136,9 +159,14 @@ double CardinalityModel::PeelEstimate(plan::RelSet set) {
 
   plan::RelSet rest = set.Without(peel);
   double rows = Cardinality(rest) * Cardinality(plan::RelSet::Single(peel));
-  for (const plan::JoinEdge* e :
-       ctx().query().JoinsBetween(rest, plan::RelSet::Single(peel))) {
-    rows *= EstimateJoinEdgeSelectivity(*e, ctx());
+  // Edges between `rest` and the peeled relation, off the precomputed
+  // adjacency table (no per-estimate JoinsBetween allocation).
+  const uint64_t rest_bits = rest.bits();
+  const uint64_t peel_bit = uint64_t{1} << peel;
+  for (const QueryContext::BoundEdge& be : ctx().join_edges()) {
+    bool crosses = ((be.left_bit & rest_bits) && (be.right_bit & peel_bit)) ||
+                   ((be.left_bit & peel_bit) && (be.right_bit & rest_bits));
+    if (crosses) rows *= EstimateJoinEdgeSelectivity(*be.edge, ctx());
   }
   return rows;
 }
@@ -154,10 +182,23 @@ double PerfectNModel::Compute(plan::RelSet set) {
   return PeelEstimate(set);
 }
 
+void PerfectNModel::Rebind(const QueryContext* ctx,
+                           TrueCardinalityOracle* oracle) {
+  CardinalityModel::Rebind(ctx, oracle);
+  REOPT_CHECK(oracle != nullptr);
+  oracle_ = oracle;
+}
+
 void InjectedModel::Inject(plan::RelSet set, double cardinality) {
   overrides_[set.bits()] = cardinality;
   // Corrections change everything computed on top of them.
   ClearCache();
+}
+
+void InjectedModel::Rebind(const QueryContext* ctx,
+                           TrueCardinalityOracle* oracle) {
+  EstimatorModel::Rebind(ctx, oracle);
+  overrides_.clear();
 }
 
 double InjectedModel::Compute(plan::RelSet set) {

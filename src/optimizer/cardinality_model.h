@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 
 #include "optimizer/query_context.h"
 #include "optimizer/true_cardinality.h"
@@ -32,9 +33,25 @@ class CardinalityModel {
   /// Distinct subsets estimated so far, total and grouped by subset size
   /// (Table I's "number of estimates on joins of N tables").
   int64_t num_estimates() const { return num_estimates_; }
-  const std::map<int, int64_t>& estimates_by_size() const {
-    return estimates_by_size_;
-  }
+  std::map<int, int64_t> estimates_by_size() const;
+
+  /// Seeds the memo with a known estimate for `set`, counting it exactly as
+  /// if this model had just computed it. Used when the planner carries DP
+  /// entries across re-optimization rounds or replays a session-cached
+  /// memo: the *simulated* accounting (num_estimates, estimates_by_size,
+  /// and hence planning_cost_units) must match a from-scratch re-plan —
+  /// the paper's PostgreSQL re-plans every round — while the recomputation
+  /// itself is skipped. No-op on an already-memoized subset.
+  void SeedEstimate(plan::RelSet set, double rows);
+  /// Pre-sizes the memo before a bulk SeedEstimate pass.
+  void ReserveEstimates(size_t n) { cache_.reserve(n); }
+
+  /// Rebinds the model to a new context after a re-optimization rewrite
+  /// renumbered the relations, clearing the estimate memo (the counters
+  /// keep accumulating; planner results report per-round deltas). `oracle`
+  /// is the new context's true-cardinality oracle; models that do not
+  /// consult one ignore it.
+  virtual void Rebind(const QueryContext* ctx, TrueCardinalityOracle* oracle);
 
  protected:
   virtual double Compute(plan::RelSet set) = 0;
@@ -78,9 +95,12 @@ class CardinalityModel {
 
  private:
   const QueryContext* ctx_;
-  std::map<uint64_t, double> cache_;
+  // Hot path: the memo is consulted on every Cardinality() call and bulk
+  // re-seeded every re-opt round, so it is an open hash map and the
+  // per-size counters a flat array (RelSet holds at most 64 relations).
+  std::unordered_map<uint64_t, double> cache_;
   int64_t num_estimates_ = 0;
-  std::map<int, int64_t> estimates_by_size_;
+  int64_t estimates_by_size_[65] = {};
   bool use_column_groups_ = false;
 };
 
@@ -104,6 +124,8 @@ class PerfectNModel : public CardinalityModel {
 
   int n() const { return n_; }
 
+  void Rebind(const QueryContext* ctx, TrueCardinalityOracle* oracle) override;
+
  protected:
   double Compute(plan::RelSet set) override;
 
@@ -121,6 +143,9 @@ class InjectedModel : public EstimatorModel {
 
   /// Overrides the estimate for exactly `set`.
   void Inject(plan::RelSet set, double cardinality);
+  /// Rebinding drops the injected corrections along with the memo — they
+  /// are keyed on the old context's relation numbering.
+  void Rebind(const QueryContext* ctx, TrueCardinalityOracle* oracle) override;
   int64_t num_injected() const {
     return static_cast<int64_t>(overrides_.size());
   }

@@ -1,6 +1,7 @@
 #include "optimizer/planner.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "optimizer/cost_formulas.h"
 #include "optimizer/selectivity.h"
@@ -9,18 +10,157 @@ namespace reopt::optimizer {
 
 common::Result<PlannerResult> Planner::Plan() {
   best_.clear();
+  fresh_paths_ = 0;
   const plan::QuerySpec& query = ctx_->query();
+  best_.reserve(64);
   int64_t estimates_before = model_->num_estimates();
-  int64_t num_paths = 0;
 
   for (int rel = 0; rel < query.num_relations(); ++rel) {
     PlanBaseRelation(rel);
-    ++num_paths;
   }
   if (query.num_relations() > 1) {
-    PlanJoins(&num_paths);
+    // Csg-cmp pairs are produced grouped by ascending union, so both sides'
+    // best plans exist when a pair is considered.
+    for (const plan::CsgCmpPair& pair : ctx_->graph().ConnectedPairs()) {
+      ConsiderJoin(pair.left, pair.right);
+      ConsiderJoin(pair.right, pair.left);
+    }
   }
 
+  return Finish(model_->num_estimates() - estimates_before, fresh_paths_);
+}
+
+common::Result<PlannerResult> Planner::PlanIncremental(
+    const PlanMemo& prev, const MemoTranslation& t) {
+  const plan::QuerySpec& query = ctx_->query();
+  const int n = query.num_relations();
+
+  // ---- Validation (no state is touched until the carry-over is known to
+  // be sound; a failed check falls back to from-scratch DP). -------------
+  auto fallback = [this]() { return Plan(); };
+  if (!t.valid || prev.empty() || t.temp_rel < 0 || t.temp_rel >= n ||
+      static_cast<int>(t.rel_remap.size()) < 1) {
+    return fallback();
+  }
+  const uint64_t temp_bit = uint64_t{1} << t.temp_rel;
+  const uint64_t old_mat = t.old_materialized.bits();
+  int64_t estimates_before = model_->num_estimates();
+
+  // The remap must send every surviving old relation to a distinct new
+  // relation other than the temp, and every materialized one to -1.
+  uint64_t seen_targets = 0;
+  int survivors = 0;
+  for (size_t r = 0; r < t.rel_remap.size(); ++r) {
+    int to = t.rel_remap[r];
+    bool materialized = (old_mat >> r) & 1;
+    if (materialized != (to < 0)) return fallback();
+    if (to < 0) continue;
+    if (to >= n || to == t.temp_rel ||
+        ((seen_targets >> to) & 1) != 0) {
+      return fallback();
+    }
+    seen_targets |= uint64_t{1} << to;
+    ++survivors;
+  }
+  if (survivors != n - 1) return fallback();
+
+  // Old subset bits -> new subset bits for survivor-only subsets.
+  auto remap_bits = [&t](uint64_t bits) {
+    uint64_t out = 0;
+    while (bits != 0) {
+      int r = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      out |= uint64_t{1} << t.rel_remap[static_cast<size_t>(r)];
+    }
+    return out;
+  };
+
+  // ---- Carry (reversible: the model is not touched until every check
+  // has passed, so a fallback can still run a clean from-scratch DP). ----
+  best_.clear();
+  fresh_paths_ = 0;
+  best_.reserve(prev.best.size() * 2);
+  int64_t carried_paths = 0;
+  for (const auto& [bits, cand] : prev.best) {
+    if (bits & old_mat) continue;  // dropped: estimate changed
+    PlanCand carried = cand;
+    if (carried.index_pred != nullptr) {
+      auto it = t.preds.find(carried.index_pred);
+      if (it == t.preds.end()) return fallback();
+      carried.index_pred = it->second;
+    }
+    if (carried.index_edge != nullptr) {
+      auto it = t.edges.find(carried.index_edge);
+      if (it == t.edges.end()) return fallback();
+      carried.index_edge = it->second;
+    }
+    carried.left = remap_bits(carried.left);
+    carried.right = remap_bits(carried.right);
+    if (carried.rel >= 0) {
+      carried.rel = t.rel_remap[static_cast<size_t>(carried.rel)];
+    }
+    best_.emplace(remap_bits(bits), carried);
+    carried_paths += carried.paths;
+  }
+
+  // Shape invariant, checked while splitting the pair list: every
+  // connected survivor-only subset of the NEW graph must have been
+  // connected (and hence carried) before the rewrite. The rewrite only
+  // ever contracts relations into the temp, so a violation means the
+  // graph changed shape some other way — re-plan from scratch.
+  pair_scratch_.clear();
+  for (const plan::CsgCmpPair& pair : ctx_->graph().ConnectedPairs()) {
+    uint64_t u = pair.left.bits() | pair.right.bits();
+    if (u & temp_bit) {
+      pair_scratch_.push_back(&pair);
+    } else if (best_.find(u) == best_.end()) {
+      return fallback();
+    }
+  }
+
+  // ---- Commit: seed the model with the carried estimates (counting them
+  // exactly like fresh computations — the simulated planner re-estimates
+  // every round), then run the DP over temp-containing subsets only. -----
+  model_->ReserveEstimates(best_.size() + pair_scratch_.size() + 1);
+  for (const auto& [bits, cand] : best_) {
+    model_->SeedEstimate(plan::RelSet(bits), cand.rows);
+  }
+  PlanBaseRelation(t.temp_rel);
+  for (const plan::CsgCmpPair* pair : pair_scratch_) {
+    ConsiderJoin(pair->left, pair->right);
+    ConsiderJoin(pair->right, pair->left);
+  }
+
+  auto result = Finish(model_->num_estimates() - estimates_before,
+                       carried_paths + fresh_paths_);
+  if (result.ok()) result.value().used_incremental = true;
+  return result;
+}
+
+common::Result<PlannerResult> Planner::PlanFromMemo(const PlanMemo& memo) {
+  uint64_t all = ctx_->query().AllRelations().bits();
+  if (memo.best.count(all) == 0) return Plan();
+  best_ = memo.best;
+  fresh_paths_ = 0;
+  model_->ReserveEstimates(best_.size());
+  for (const auto& [bits, cand] : best_) {
+    model_->SeedEstimate(plan::RelSet(bits), cand.rows);
+  }
+  return Finish(memo.num_estimates, memo.num_paths);
+}
+
+PlanMemo Planner::TakeMemo() {
+  PlanMemo memo;
+  memo.best = std::move(best_);
+  memo.num_estimates = memo_estimates_;
+  memo.num_paths = memo_paths_;
+  best_.clear();
+  return memo;
+}
+
+common::Result<PlannerResult> Planner::Finish(int64_t num_estimates,
+                                              int64_t num_paths) {
+  const plan::QuerySpec& query = ctx_->query();
   uint64_t all = query.AllRelations().bits();
   auto it = best_.find(all);
   if (it == best_.end()) {
@@ -44,26 +184,28 @@ common::Result<PlannerResult> Planner::Plan() {
     result.root = std::move(tree);
   }
 
-  result.num_estimates = model_->num_estimates() - estimates_before;
+  result.num_estimates = num_estimates;
   result.num_paths = num_paths;
   result.planning_cost_units =
       static_cast<double>(result.num_estimates) *
           params_.plan_cost_per_estimate +
       static_cast<double>(result.num_paths) * params_.plan_cost_per_path;
+  memo_estimates_ = num_estimates;
+  memo_paths_ = num_paths;
   return result;
 }
 
 void Planner::PlanBaseRelation(int rel) {
-  const plan::QuerySpec& query = ctx_->query();
   const storage::Table& table = ctx_->table(rel);
   const stats::TableStats* ts = ctx_->table_stats(rel);
   double table_rows = ts != nullptr
                           ? ts->row_count
                           : static_cast<double>(table.num_rows());
-  std::vector<const plan::ScanPredicate*> filters = query.FiltersFor(rel);
+  const std::vector<const plan::ScanPredicate*>& filters =
+      ctx_->filters_for(rel);
   double out_rows = model_->Cardinality(plan::RelSet::Single(rel));
 
-  Cand cand;
+  PlanCand cand;
   cand.op = plan::PlanOp::kSeqScan;
   cand.rel = rel;
   cand.rows = out_rows;
@@ -92,37 +234,44 @@ void Planner::PlanBaseRelation(int rel) {
       }
     }
   }
+  cand.paths = 1;
   best_[plan::RelSet::Single(rel).bits()] = cand;
+  ++fresh_paths_;
 }
 
-void Planner::PlanJoins(int64_t* num_paths) {
-  // Csg-cmp pairs are produced grouped by ascending union, so both sides'
-  // best plans exist when a pair is considered.
-  for (const plan::CsgCmpPair& pair : ctx_->graph().ConnectedPairs()) {
-    ConsiderJoin(pair.left, pair.right, num_paths);
-    ConsiderJoin(pair.right, pair.left, num_paths);
-  }
-}
-
-void Planner::ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
-                           int64_t* num_paths) {
+void Planner::ConsiderJoin(plan::RelSet outer, plan::RelSet inner) {
   auto outer_it = best_.find(outer.bits());
   auto inner_it = best_.find(inner.bits());
   if (outer_it == best_.end() || inner_it == best_.end()) return;
-  const Cand& outer_cand = outer_it->second;
-  const Cand& inner_cand = inner_it->second;
+  const PlanCand& outer_cand = outer_it->second;
+  const PlanCand& inner_cand = inner_it->second;
 
   plan::RelSet all = outer.Union(inner);
   double out_rows = model_->Cardinality(all);
-  std::vector<const plan::JoinEdge*> edges =
-      ctx_->query().JoinsBetween(outer, inner);
+  // Connecting edges off the precomputed adjacency table; the scratch
+  // vector is reused across calls, so steady-state plans allocate nothing
+  // here.
+  edge_scratch_.clear();
+  for (const QueryContext::BoundEdge& be : ctx_->join_edges()) {
+    bool crosses =
+        ((be.left_bit & outer.bits()) && (be.right_bit & inner.bits())) ||
+        ((be.left_bit & inner.bits()) && (be.right_bit & outer.bits()));
+    if (crosses) edge_scratch_.push_back(be.edge);
+  }
+  const std::vector<const plan::JoinEdge*>& edges = edge_scratch_;
   REOPT_CHECK_MSG(!edges.empty(), "csg-cmp pair without connecting edge");
 
-  auto keep_if_better = [&](const Cand& cand) {
-    auto it = best_.find(all.bits());
-    if (it == best_.end() || cand.cost < it->second.cost) {
-      best_[all.bits()] = cand;
-    }
+  // The union's entry is created on the first candidate (default cost is
+  // infinity, so the first keep always wins); `paths` accumulates across
+  // winners and losers alike. unordered_map references are stable, so the
+  // pointer survives any inserts best_ might see elsewhere.
+  PlanCand* entry = nullptr;
+  auto keep_if_better = [&](const PlanCand& cand) {
+    if (entry == nullptr) entry = &best_[all.bits()];
+    int64_t paths = entry->paths + 1;
+    if (cand.cost < entry->cost) *entry = cand;
+    entry->paths = paths;
+    ++fresh_paths_;
   };
 
   double child_cost = outer_cand.cost + inner_cand.cost;
@@ -130,7 +279,7 @@ void Planner::ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
   if (options_.enable_hash_join) {
     // Convention: left child = build side. Building on `inner` here; the
     // symmetric call covers building on `outer`.
-    Cand cand;
+    PlanCand cand;
     cand.op = plan::PlanOp::kHashJoin;
     cand.left = inner.bits();
     cand.right = outer.bits();
@@ -138,11 +287,10 @@ void Planner::ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
     cand.cost = child_cost + HashJoinCost(params_, inner_cand.rows,
                                           outer_cand.rows, out_rows);
     keep_if_better(cand);
-    ++*num_paths;
   }
 
   if (options_.enable_nested_loop) {
-    Cand cand;
+    PlanCand cand;
     cand.op = plan::PlanOp::kNestedLoopJoin;
     cand.left = outer.bits();
     cand.right = inner.bits();
@@ -150,7 +298,6 @@ void Planner::ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
     cand.cost = child_cost + NestedLoopJoinCost(params_, outer_cand.rows,
                                                 inner_cand.rows, out_rows);
     keep_if_better(cand);
-    ++*num_paths;
   }
 
   if (options_.enable_index_nested_loop && inner.count() == 1) {
@@ -161,7 +308,7 @@ void Planner::ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
         its != nullptr ? its->row_count
                        : static_cast<double>(inner_table.num_rows());
     int num_inner_filters =
-        static_cast<int>(ctx_->query().FiltersFor(inner_rel).size());
+        static_cast<int>(ctx_->filters_for(inner_rel).size());
     for (const plan::JoinEdge* edge : edges) {
       common::ColumnIdx inner_col =
           edge->left.rel == inner_rel ? edge->left.col : edge->right.col;
@@ -169,7 +316,7 @@ void Planner::ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
       // Index matches before inner filters / residual edges.
       double match_rows = outer_cand.rows * inner_table_rows *
                           EstimateJoinEdgeSelectivity(*edge, *ctx_);
-      Cand cand;
+      PlanCand cand;
       cand.op = plan::PlanOp::kIndexNestedLoopJoin;
       cand.left = outer.bits();
       cand.right = inner.bits();
@@ -182,7 +329,6 @@ void Planner::ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
               static_cast<int>(edges.size()) - 1 + num_inner_filters,
               out_rows);
       keep_if_better(cand);
-      ++*num_paths;
     }
   }
 }
@@ -190,7 +336,7 @@ void Planner::ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
 plan::PlanNodePtr Planner::BuildTree(uint64_t bits) const {
   auto it = best_.find(bits);
   REOPT_CHECK_MSG(it != best_.end(), "missing DP entry during rebuild");
-  const Cand& cand = it->second;
+  const PlanCand& cand = it->second;
 
   auto node = std::make_unique<plan::PlanNode>();
   node->op = cand.op;
@@ -201,7 +347,7 @@ plan::PlanNodePtr Planner::BuildTree(uint64_t bits) const {
   if (cand.op == plan::PlanOp::kSeqScan ||
       cand.op == plan::PlanOp::kIndexScan) {
     node->scan_rel = cand.rel;
-    node->filters = ctx_->query().FiltersFor(cand.rel);
+    node->filters = ctx_->filters_for(cand.rel);
     node->index_pred = cand.index_pred;
     return node;
   }
@@ -218,7 +364,7 @@ plan::PlanNodePtr Planner::BuildTree(uint64_t bits) const {
     inner->op = plan::PlanOp::kSeqScan;
     inner->rels = right;
     inner->scan_rel = inner_rel;
-    inner->filters = ctx_->query().FiltersFor(inner_rel);
+    inner->filters = ctx_->filters_for(inner_rel);
     inner->est_rows = model_->Cardinality(right);
     inner->est_cost = 0.0;
     node->right = std::move(inner);

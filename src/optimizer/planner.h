@@ -4,11 +4,27 @@
 // join, nested loop, index nested loop). Costs come from cost_formulas.h
 // fed by the supplied CardinalityModel — the single lever all of the
 // paper's experiments pull.
+//
+// Re-plans are the hot path of the paper's loop (plan, materialize a
+// subtree, rewrite, re-plan, repeat), so the DP table is a first-class
+// object: a completed PlanMemo can be replayed for the same context
+// (PlanFromMemo — session-cached plans across sweep configurations) or
+// carried across a re-opt rewrite (PlanIncremental — only subsets touching
+// the new temp relation are re-costed; everything over surviving relations
+// is translated through the rewrite's relation remap). Both replay paths
+// charge the *same* simulated planning cost as a from-scratch run — the
+// paper's PostgreSQL re-plans every round, so num_estimates/num_paths are
+// accounted for carried entries too, via CardinalityModel::SeedEstimate —
+// and fall back to from-scratch DP whenever the join-graph shape breaks
+// the carry-over invariants. See docs/ARCHITECTURE.md, "Planning fast
+// path".
 #ifndef REOPT_OPTIMIZER_PLANNER_H_
 #define REOPT_OPTIMIZER_PLANNER_H_
 
 #include <cstdint>
-#include <map>
+#include <limits>
+#include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "optimizer/cardinality_model.h"
@@ -28,15 +44,70 @@ struct PlannerOptions {
   bool add_aggregate = true;
 };
 
+/// One DP table entry: the best (cheapest) candidate found for a relation
+/// subset, with `rows` the model's (clamped) cardinality estimate for it
+/// and `paths` the number of candidates costed for the subset (1 for base
+/// relations) — summed when entries are carried across rounds so
+/// incremental accounting matches from-scratch.
+struct PlanCand {
+  plan::PlanOp op = plan::PlanOp::kSeqScan;
+  double rows = 0.0;  // estimated output rows of the subset
+  /// Cumulative estimated cost; infinity marks "no candidate kept yet".
+  double cost = std::numeric_limits<double>::infinity();
+  uint64_t left = 0;  // join children (subset bits)
+  uint64_t right = 0;
+  int64_t paths = 0;
+  int rel = -1;                                     // scans
+  const plan::ScanPredicate* index_pred = nullptr;  // kIndexScan
+  const plan::JoinEdge* index_edge = nullptr;       // kIndexNestedLoopJoin
+};
+
+/// A completed DP table plus the accounting the from-scratch DP charged for
+/// it. Owned by the caller (the re-optimizer keeps one per round in the
+/// query session); immutable once taken from the planner, so sessions may
+/// share memos across threads behind shared_ptr<const PlanMemo>.
+struct PlanMemo {
+  /// Best candidate per connected relation subset (keyed on RelSet bits).
+  std::unordered_map<uint64_t, PlanCand> best;
+  int64_t num_estimates = 0;
+  int64_t num_paths = 0;
+
+  bool empty() const { return best.empty(); }
+};
+
+/// How a re-opt rewrite contracted the previous round's query into the
+/// current one: which old relations were materialized, where the survivors
+/// moved, and where each surviving predicate/edge lives in the new spec.
+/// Produced by reoptimizer::MemoTranslationFor; consumed by
+/// Planner::PlanIncremental to translate carried memo entries.
+struct MemoTranslation {
+  bool valid = false;
+  /// Old-numbering relations merged into the temp relation.
+  plan::RelSet old_materialized;
+  /// The temp relation's index in the new spec (appended last).
+  int temp_rel = -1;
+  /// Old relation -> new relation; -1 for materialized relations.
+  std::vector<int> rel_remap;
+  /// Surviving filter predicates / join edges, old spec -> new spec.
+  std::unordered_map<const plan::ScanPredicate*, const plan::ScanPredicate*>
+      preds;
+  std::unordered_map<const plan::JoinEdge*, const plan::JoinEdge*> edges;
+};
+
 struct PlannerResult {
   plan::PlanNodePtr root;
   /// Simulated planning time in cost units: charged per new cardinality
-  /// estimate and per join path costed.
+  /// estimate and per join path costed. Memo replay charges exactly what a
+  /// from-scratch plan would (the simulated system re-plans every round);
+  /// only the wall-clock work is skipped.
   double planning_cost_units = 0.0;
   /// New (not previously memoized) estimates this planning made.
   int64_t num_estimates = 0;
   /// Join alternatives costed.
   int64_t num_paths = 0;
+  /// True when PlanIncremental carried the previous round's memo (false on
+  /// from-scratch planning, memo replay, and incremental fallback).
+  bool used_incremental = false;
 };
 
 class Planner {
@@ -45,35 +116,57 @@ class Planner {
           const CostParams& params, const PlannerOptions& options = {})
       : ctx_(ctx), model_(model), params_(params), options_(options) {}
 
-  /// Plans the context's query. Fails only on malformed specs (bind
-  /// validation catches most of those earlier).
+  /// Plans the context's query from scratch. Fails only on malformed specs
+  /// (bind validation catches most of those earlier).
   common::Result<PlannerResult> Plan();
 
- private:
-  struct Cand {
-    plan::PlanOp op = plan::PlanOp::kSeqScan;
-    double rows = 0.0;   // estimated output rows of the subset
-    double cost = 0.0;   // cumulative estimated cost
-    uint64_t left = 0;   // join children (subset bits)
-    uint64_t right = 0;
-    int rel = -1;                                     // scans
-    const plan::ScanPredicate* index_pred = nullptr;  // kIndexScan
-    const plan::JoinEdge* index_edge = nullptr;       // kIndexNestedLoopJoin
-  };
+  /// Re-plans after a re-opt rewrite, carrying every DP entry of `prev`
+  /// whose subset avoids the materialized relations (their estimates are
+  /// unchanged by the rewrite) and running the DP only over subsets that
+  /// contain the new temp relation. Falls back to Plan() when `translation`
+  /// is invalid or the new join graph's shape breaks the carry-over
+  /// invariant (a surviving-relation subset is connected now but was not
+  /// before). Plans, costs and accounting are identical to Plan().
+  common::Result<PlannerResult> PlanIncremental(
+      const PlanMemo& prev, const MemoTranslation& translation);
 
+  /// Replays a memo previously produced by Plan() for an identical context
+  /// (same spec, statistics, model configuration and operator options):
+  /// seeds the model, rebuilds the tree and charges the recorded
+  /// accounting without re-costing anything. Falls back to Plan() if the
+  /// memo does not cover this query.
+  common::Result<PlannerResult> PlanFromMemo(const PlanMemo& memo);
+
+  /// The DP table of the last successful Plan*/ call, with its accounting.
+  /// Moves the state out; the planner is single-shot per plan.
+  PlanMemo TakeMemo();
+
+ private:
   void PlanBaseRelation(int rel);
-  void PlanJoins(int64_t* num_paths);
   /// Considers `outer` joining `inner` (in that role order) and keeps the
   /// cheapest candidate for the union.
-  void ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
-                    int64_t* num_paths);
+  void ConsiderJoin(plan::RelSet outer, plan::RelSet inner);
   plan::PlanNodePtr BuildTree(uint64_t bits) const;
+  /// Assembles the PlannerResult (aggregate root, cost accounting) from the
+  /// completed DP table.
+  common::Result<PlannerResult> Finish(int64_t num_estimates,
+                                       int64_t num_paths);
 
   const QueryContext* ctx_;
   CardinalityModel* model_;
   CostParams params_;
   PlannerOptions options_;
-  std::map<uint64_t, Cand> best_;
+  std::unordered_map<uint64_t, PlanCand> best_;
+  /// Paths costed by this planning (excludes carried path counts).
+  int64_t fresh_paths_ = 0;
+  /// Scratch for the edges between two subsets (reused across
+  /// ConsiderJoin calls to avoid per-call allocation).
+  std::vector<const plan::JoinEdge*> edge_scratch_;
+  /// Scratch for the temp-containing csg-cmp pairs of an incremental plan.
+  std::vector<const plan::CsgCmpPair*> pair_scratch_;
+  /// Accounting of the last successful plan, for TakeMemo.
+  int64_t memo_estimates_ = 0;
+  int64_t memo_paths_ = 0;
 };
 
 }  // namespace reopt::optimizer

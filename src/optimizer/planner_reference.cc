@@ -1,0 +1,232 @@
+#include "optimizer/planner_reference.h"
+
+#include <algorithm>
+
+#include "optimizer/cost_formulas.h"
+#include "optimizer/selectivity.h"
+
+namespace reopt::optimizer::reference {
+
+common::Result<PlannerResult> Planner::Plan() {
+  best_.clear();
+  const plan::QuerySpec& query = ctx_->query();
+  int64_t estimates_before = model_->num_estimates();
+  int64_t num_paths = 0;
+
+  for (int rel = 0; rel < query.num_relations(); ++rel) {
+    PlanBaseRelation(rel);
+    ++num_paths;
+  }
+  if (query.num_relations() > 1) {
+    PlanJoins(&num_paths);
+  }
+
+  uint64_t all = query.AllRelations().bits();
+  auto it = best_.find(all);
+  if (it == best_.end()) {
+    return common::Status::Internal(
+        "DP found no plan for the full relation set (disconnected graph?)");
+  }
+
+  PlannerResult result;
+  plan::PlanNodePtr tree = BuildTree(all);
+  if (options_.add_aggregate) {
+    auto agg = std::make_unique<plan::PlanNode>();
+    agg->op = plan::PlanOp::kAggregate;
+    agg->rels = query.AllRelations();
+    agg->est_rows = 1.0;
+    agg->est_cost =
+        tree->est_cost + AggregateCost(params_, tree->est_rows,
+                                       static_cast<int>(query.outputs.size()));
+    agg->left = std::move(tree);
+    result.root = std::move(agg);
+  } else {
+    result.root = std::move(tree);
+  }
+
+  result.num_estimates = model_->num_estimates() - estimates_before;
+  result.num_paths = num_paths;
+  result.planning_cost_units =
+      static_cast<double>(result.num_estimates) *
+          params_.plan_cost_per_estimate +
+      static_cast<double>(result.num_paths) * params_.plan_cost_per_path;
+  return result;
+}
+
+void Planner::PlanBaseRelation(int rel) {
+  const plan::QuerySpec& query = ctx_->query();
+  const storage::Table& table = ctx_->table(rel);
+  const stats::TableStats* ts = ctx_->table_stats(rel);
+  double table_rows = ts != nullptr
+                          ? ts->row_count
+                          : static_cast<double>(table.num_rows());
+  std::vector<const plan::ScanPredicate*> filters = query.FiltersFor(rel);
+  double out_rows = model_->Cardinality(plan::RelSet::Single(rel));
+
+  Cand cand;
+  cand.op = plan::PlanOp::kSeqScan;
+  cand.rel = rel;
+  cand.rows = out_rows;
+  cand.cost = SeqScanCost(params_, table_rows,
+                          static_cast<int>(filters.size()), out_rows);
+
+  if (options_.enable_index_scan) {
+    // Try answering one equality/IN filter with a hash index.
+    for (const plan::ScanPredicate* pred : filters) {
+      bool indexable =
+          (pred->kind == plan::ScanPredicate::Kind::kCompare &&
+           pred->op == plan::CompareOp::kEq) ||
+          pred->kind == plan::ScanPredicate::Kind::kIn;
+      if (!indexable) continue;
+      if (table.FindIndex(pred->column.col) == nullptr) continue;
+      const stats::ColumnStats* cs = ctx_->column_stats(pred->column);
+      double index_rows =
+          table_rows * EstimateFilterSelectivity(*pred, cs);
+      double cost =
+          IndexScanCost(params_, index_rows,
+                        static_cast<int>(filters.size()) - 1, out_rows);
+      if (cost < cand.cost) {
+        cand.op = plan::PlanOp::kIndexScan;
+        cand.cost = cost;
+        cand.index_pred = pred;
+      }
+    }
+  }
+  best_[plan::RelSet::Single(rel).bits()] = cand;
+}
+
+void Planner::PlanJoins(int64_t* num_paths) {
+  // Csg-cmp pairs are produced grouped by ascending union, so both sides'
+  // best plans exist when a pair is considered.
+  for (const plan::CsgCmpPair& pair : ctx_->graph().ConnectedPairs()) {
+    ConsiderJoin(pair.left, pair.right, num_paths);
+    ConsiderJoin(pair.right, pair.left, num_paths);
+  }
+}
+
+void Planner::ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
+                           int64_t* num_paths) {
+  auto outer_it = best_.find(outer.bits());
+  auto inner_it = best_.find(inner.bits());
+  if (outer_it == best_.end() || inner_it == best_.end()) return;
+  const Cand& outer_cand = outer_it->second;
+  const Cand& inner_cand = inner_it->second;
+
+  plan::RelSet all = outer.Union(inner);
+  double out_rows = model_->Cardinality(all);
+  std::vector<const plan::JoinEdge*> edges =
+      ctx_->query().JoinsBetween(outer, inner);
+  REOPT_CHECK_MSG(!edges.empty(), "csg-cmp pair without connecting edge");
+
+  auto keep_if_better = [&](const Cand& cand) {
+    auto it = best_.find(all.bits());
+    if (it == best_.end() || cand.cost < it->second.cost) {
+      best_[all.bits()] = cand;
+    }
+  };
+
+  double child_cost = outer_cand.cost + inner_cand.cost;
+
+  if (options_.enable_hash_join) {
+    // Convention: left child = build side. Building on `inner` here; the
+    // symmetric call covers building on `outer`.
+    Cand cand;
+    cand.op = plan::PlanOp::kHashJoin;
+    cand.left = inner.bits();
+    cand.right = outer.bits();
+    cand.rows = out_rows;
+    cand.cost = child_cost + HashJoinCost(params_, inner_cand.rows,
+                                          outer_cand.rows, out_rows);
+    keep_if_better(cand);
+    ++*num_paths;
+  }
+
+  if (options_.enable_nested_loop) {
+    Cand cand;
+    cand.op = plan::PlanOp::kNestedLoopJoin;
+    cand.left = outer.bits();
+    cand.right = inner.bits();
+    cand.rows = out_rows;
+    cand.cost = child_cost + NestedLoopJoinCost(params_, outer_cand.rows,
+                                                inner_cand.rows, out_rows);
+    keep_if_better(cand);
+    ++*num_paths;
+  }
+
+  if (options_.enable_index_nested_loop && inner.count() == 1) {
+    int inner_rel = inner.Lowest();
+    const storage::Table& inner_table = ctx_->table(inner_rel);
+    const stats::TableStats* its = ctx_->table_stats(inner_rel);
+    double inner_table_rows =
+        its != nullptr ? its->row_count
+                       : static_cast<double>(inner_table.num_rows());
+    int num_inner_filters =
+        static_cast<int>(ctx_->query().FiltersFor(inner_rel).size());
+    for (const plan::JoinEdge* edge : edges) {
+      common::ColumnIdx inner_col =
+          edge->left.rel == inner_rel ? edge->left.col : edge->right.col;
+      if (inner_table.FindIndex(inner_col) == nullptr) continue;
+      // Index matches before inner filters / residual edges.
+      double match_rows = outer_cand.rows * inner_table_rows *
+                          EstimateJoinEdgeSelectivity(*edge, *ctx_);
+      Cand cand;
+      cand.op = plan::PlanOp::kIndexNestedLoopJoin;
+      cand.left = outer.bits();
+      cand.right = inner.bits();
+      cand.rows = out_rows;
+      cand.index_edge = edge;
+      cand.cost =
+          outer_cand.cost +  // inner side is probed, not scanned
+          IndexNestedLoopJoinCost(
+              params_, outer_cand.rows, match_rows,
+              static_cast<int>(edges.size()) - 1 + num_inner_filters,
+              out_rows);
+      keep_if_better(cand);
+      ++*num_paths;
+    }
+  }
+}
+
+plan::PlanNodePtr Planner::BuildTree(uint64_t bits) const {
+  auto it = best_.find(bits);
+  REOPT_CHECK_MSG(it != best_.end(), "missing DP entry during rebuild");
+  const Cand& cand = it->second;
+
+  auto node = std::make_unique<plan::PlanNode>();
+  node->op = cand.op;
+  node->rels = plan::RelSet(bits);
+  node->est_rows = cand.rows;
+  node->est_cost = cand.cost;
+
+  if (cand.op == plan::PlanOp::kSeqScan ||
+      cand.op == plan::PlanOp::kIndexScan) {
+    node->scan_rel = cand.rel;
+    node->filters = ctx_->query().FiltersFor(cand.rel);
+    node->index_pred = cand.index_pred;
+    return node;
+  }
+
+  plan::RelSet left(cand.left);
+  plan::RelSet right(cand.right);
+  node->edges = ctx_->query().JoinsBetween(left, right);
+  node->left = BuildTree(cand.left);
+  if (cand.op == plan::PlanOp::kIndexNestedLoopJoin) {
+    // The inner side is described by a scan node but executed via index
+    // probes; its filters are applied per match.
+    int inner_rel = right.Lowest();
+    auto inner = std::make_unique<plan::PlanNode>();
+    inner->op = plan::PlanOp::kSeqScan;
+    inner->rels = right;
+    inner->scan_rel = inner_rel;
+    inner->filters = ctx_->query().FiltersFor(inner_rel);
+    inner->est_rows = model_->Cardinality(right);
+    inner->est_cost = 0.0;
+    node->right = std::move(inner);
+    node->index_edge = cand.index_edge;
+  } else {
+    node->right = BuildTree(cand.right);
+  }
+  return node;
+}
+
+}  // namespace reopt::optimizer::reference

@@ -1,0 +1,57 @@
+// The pre-fast-path plan enumerator, retained verbatim as a correctness
+// oracle and benchmark baseline (same pattern as exec::reference and
+// stats::reference): System-R DP with a std::map table, per-call
+// JoinsBetween/FiltersFor vector allocation, and no memo reuse of any
+// kind. The optimized planner (planner.h) must produce identical plans,
+// costs and accounting; tests/planner_incremental_test.cc and
+// bench/perf_smoke hold it to that.
+#ifndef REOPT_OPTIMIZER_PLANNER_REFERENCE_H_
+#define REOPT_OPTIMIZER_PLANNER_REFERENCE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "optimizer/planner.h"
+
+namespace reopt::optimizer::reference {
+
+class Planner {
+ public:
+  Planner(const QueryContext* ctx, CardinalityModel* model,
+          const CostParams& params, const PlannerOptions& options = {})
+      : ctx_(ctx), model_(model), params_(params), options_(options) {}
+
+  /// Plans the context's query from scratch. Fails only on malformed specs
+  /// (bind validation catches most of those earlier).
+  common::Result<PlannerResult> Plan();
+
+ private:
+  struct Cand {
+    plan::PlanOp op = plan::PlanOp::kSeqScan;
+    double rows = 0.0;   // estimated output rows of the subset
+    double cost = 0.0;   // cumulative estimated cost
+    uint64_t left = 0;   // join children (subset bits)
+    uint64_t right = 0;
+    int rel = -1;                                     // scans
+    const plan::ScanPredicate* index_pred = nullptr;  // kIndexScan
+    const plan::JoinEdge* index_edge = nullptr;       // kIndexNestedLoopJoin
+  };
+
+  void PlanBaseRelation(int rel);
+  void PlanJoins(int64_t* num_paths);
+  /// Considers `outer` joining `inner` (in that role order) and keeps the
+  /// cheapest candidate for the union.
+  void ConsiderJoin(plan::RelSet outer, plan::RelSet inner,
+                    int64_t* num_paths);
+  plan::PlanNodePtr BuildTree(uint64_t bits) const;
+
+  const QueryContext* ctx_;
+  CardinalityModel* model_;
+  CostParams params_;
+  PlannerOptions options_;
+  std::map<uint64_t, Cand> best_;
+};
+
+}  // namespace reopt::optimizer::reference
+
+#endif  // REOPT_OPTIMIZER_PLANNER_REFERENCE_H_

@@ -56,6 +56,19 @@ common::Result<std::unique_ptr<QueryContext>> QueryContext::Bind(
     REOPT_RETURN_IF_ERROR(check_ref(out.column));
   }
 
+  // Connectivity tables for the planner hot loop: per-relation filter lists
+  // and the edge-adjacency table, resolved once per bind instead of being
+  // rebuilt (with a vector allocation) on every FiltersFor / JoinsBetween.
+  ctx->filters_for_.resize(static_cast<size_t>(query->num_relations()));
+  for (const plan::ScanPredicate& p : query->filters) {
+    ctx->filters_for_[static_cast<size_t>(p.column.rel)].push_back(&p);
+  }
+  ctx->join_edges_.reserve(query->joins.size());
+  for (const plan::JoinEdge& e : query->joins) {
+    ctx->join_edges_.push_back(BoundEdge{
+        &e, uint64_t{1} << e.left.rel, uint64_t{1} << e.right.rel});
+  }
+
   ctx->graph_ = std::make_unique<plan::JoinGraph>(*query);
   if (query->num_relations() > 1 &&
       !ctx->graph_->IsConnected(query->AllRelations())) {

@@ -5,6 +5,7 @@
 #ifndef REOPT_OPTIMIZER_QUERY_CONTEXT_H_
 #define REOPT_OPTIMIZER_QUERY_CONTEXT_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -30,6 +31,24 @@ class QueryContext {
   const plan::JoinGraph& graph() const { return *graph_; }
   const exec::BoundRelations& bound() const { return bound_; }
 
+  /// One join edge with its endpoint relations pre-resolved to single-bit
+  /// masks. The planner's ConsiderJoin and the estimator's peel recursion
+  /// walk this table with two bit tests per edge instead of allocating a
+  /// QuerySpec::JoinsBetween vector per call.
+  struct BoundEdge {
+    const plan::JoinEdge* edge;
+    uint64_t left_bit;
+    uint64_t right_bit;
+  };
+  /// All join edges in spec order.
+  const std::vector<BoundEdge>& join_edges() const { return join_edges_; }
+
+  /// Filters on relation `rel`, in spec order (same contents as
+  /// query().FiltersFor(rel), precomputed once at bind).
+  const std::vector<const plan::ScanPredicate*>& filters_for(int rel) const {
+    return filters_for_[static_cast<size_t>(rel)];
+  }
+
   const storage::Table& table(int rel) const { return bound_.table(rel); }
   /// Statistics for relation `rel`'s table; nullptr if never analyzed.
   const stats::TableStats* table_stats(int rel) const {
@@ -52,6 +71,8 @@ class QueryContext {
   std::unique_ptr<plan::JoinGraph> graph_;
   exec::BoundRelations bound_;
   std::vector<const stats::TableStats*> rel_stats_;
+  std::vector<BoundEdge> join_edges_;
+  std::vector<std::vector<const plan::ScanPredicate*>> filters_for_;
 };
 
 }  // namespace reopt::optimizer

@@ -1,8 +1,64 @@
 #include "plan/physical_plan.h"
 
+#include <new>
+#include <vector>
+
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace reopt::plan {
+
+namespace {
+
+// Thread-local slab pool behind PlanNode::operator new/delete: allocation
+// pops a free-listed block or bumps the current slab; deallocation pushes
+// the block back. Slabs are returned to the heap when the thread exits, so
+// short-lived sweep workers do not leak their arenas.
+constexpr size_t kPoolSlabNodes = 256;
+
+struct NodePool {
+  void* free_list = nullptr;
+  std::vector<char*> slabs;
+  size_t used_in_slab = kPoolSlabNodes;  // forces a slab on first alloc
+  bool alive = true;
+
+  ~NodePool() {
+    alive = false;
+    free_list = nullptr;
+    for (char* slab : slabs) ::operator delete(slab);
+  }
+};
+
+thread_local NodePool g_node_pool;
+
+}  // namespace
+
+void* PlanNode::operator new(std::size_t size) {
+  REOPT_CHECK(size == sizeof(PlanNode));
+  NodePool& pool = g_node_pool;
+  if (pool.free_list != nullptr) {
+    void* node = pool.free_list;
+    pool.free_list = *static_cast<void**>(node);
+    return node;
+  }
+  if (pool.used_in_slab == kPoolSlabNodes) {
+    pool.slabs.push_back(static_cast<char*>(
+        ::operator new(sizeof(PlanNode) * kPoolSlabNodes)));
+    pool.used_in_slab = 0;
+  }
+  return pool.slabs.back() + sizeof(PlanNode) * pool.used_in_slab++;
+}
+
+void PlanNode::operator delete(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  NodePool& pool = g_node_pool;
+  // Thread teardown: the pool destructor already reclaimed every slab, so
+  // a straggling node (static-duration tree torn down during exit) has
+  // nothing to return to.
+  if (!pool.alive) return;
+  *static_cast<void**>(ptr) = pool.free_list;
+  pool.free_list = ptr;
+}
 
 const char* PlanOpName(PlanOp op) {
   switch (op) {

@@ -30,6 +30,16 @@ const char* PlanOpName(PlanOp op);
 /// One node of a physical plan. Plain struct: the optimizer fills the shape
 /// and estimates; the executor fills the `actual_*` fields.
 struct PlanNode {
+  // Plan trees are built and torn down on every planning round (the re-opt
+  // loop re-plans per round, sweeps re-plan per configuration), so node
+  // blocks come from a thread-local slab pool instead of the general heap —
+  // transparent to make_unique/unique_ptr call sites. Constraint: a node
+  // must be freed on the thread that allocated it; every plan today lives
+  // and dies within one query run on one worker, and the TSan suites hold
+  // the line.
+  static void* operator new(std::size_t size);
+  static void operator delete(void* ptr) noexcept;
+
   PlanOp op;
   /// Base relations (positions in the QuerySpec) covered by this subtree.
   RelSet rels;

@@ -1,6 +1,7 @@
 #include "reopt/query_runner.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/scope_guard.h"
 #include "common/sim_time.h"
@@ -27,6 +28,55 @@ common::Result<std::unique_ptr<QuerySession>> QuerySession::Create(
   session->oracle_ =
       std::make_unique<optimizer::TrueCardinalityOracle>(session->ctx_.get());
   return session;
+}
+
+std::shared_ptr<const optimizer::PlanMemo> QuerySession::FindPlanMemo(
+    uint64_t key) const {
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  auto it = plan_memos_.find(key);
+  return it == plan_memos_.end() ? nullptr : it->second;
+}
+
+void QuerySession::StorePlanMemo(uint64_t key, optimizer::PlanMemo memo) {
+  auto shared = std::make_shared<const optimizer::PlanMemo>(std::move(memo));
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  plan_memos_.emplace(key, std::move(shared));  // first writer wins
+}
+
+uint64_t QueryRunner::MemoKey(const ModelSpec& spec) const {
+  uint64_t key = 0;
+  key |= static_cast<uint64_t>(spec.kind == ModelSpec::Kind::kPerfectN) << 0;
+  key |= static_cast<uint64_t>(spec.use_column_groups) << 1;
+  key |= static_cast<uint64_t>(planner_options_.enable_hash_join) << 2;
+  key |= static_cast<uint64_t>(planner_options_.enable_nested_loop) << 3;
+  key |= static_cast<uint64_t>(planner_options_.enable_index_nested_loop) << 4;
+  key |= static_cast<uint64_t>(planner_options_.enable_index_scan) << 5;
+  key |= static_cast<uint64_t>(static_cast<uint32_t>(spec.perfect_n)) << 8;
+  // Cost parameters pick the plans, so two runners sharing a session but
+  // costing differently must not collide: fold the parameter bits into the
+  // key (FNV-1a over the double representations).
+  uint64_t params_hash = 1469598103934665603ull;
+  auto mix = [&params_hash](double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      params_hash ^= (bits >> (i * 8)) & 0xff;
+      params_hash *= 1099511628211ull;
+    }
+  };
+  mix(params_.seq_page_cost);
+  mix(params_.random_page_cost);
+  mix(params_.cpu_tuple_cost);
+  mix(params_.cpu_index_tuple_cost);
+  mix(params_.cpu_operator_cost);
+  mix(params_.rows_per_page);
+  mix(params_.hash_build_factor);
+  mix(params_.hash_probe_factor);
+  mix(params_.temp_write_cost);
+  mix(params_.plan_cost_per_estimate);
+  mix(params_.plan_cost_per_path);
+  return params_hash ^ (key * 0x9e3779b97f4a7c15ull);
 }
 
 std::unique_ptr<optimizer::CardinalityModel> QueryRunner::MakeModel(
@@ -75,15 +125,41 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
     }
   });
 
+  // Hoisted out of the round loop: one cardinality model per run, rebound
+  // (not rebuilt) after each rewrite. Estimate counts are identical to a
+  // per-round model because planner results report per-round deltas and
+  // Rebind clears the memo.
+  std::unique_ptr<optimizer::CardinalityModel> model =
+      MakeModel(model_spec, ctx, oracle);
+
+  // Planning fast path (see docs/ARCHITECTURE.md): round 0 replays the
+  // session-cached memo when this (model, options) key planned the query
+  // before (threshold sweeps re-plan the same query many times); rounds
+  // >= 1 carry the previous round's memo across the rewrite and re-cost
+  // only the subsets that touch the new temp relation.
+  const uint64_t memo_key = MemoKey(model_spec);
+  std::shared_ptr<const optimizer::PlanMemo> cached =
+      incremental_replanning_ ? session->FindPlanMemo(memo_key) : nullptr;
+  optimizer::PlanMemo prev_memo;          // previous round's DP table
+  optimizer::MemoTranslation translation; // old -> new ids, last rewrite
+
   for (int round = 0;; ++round) {
-    std::unique_ptr<optimizer::CardinalityModel> model =
-        MakeModel(model_spec, ctx, oracle);
     optimizer::Planner planner(ctx, model.get(), params_, planner_options_);
-    auto planned = planner.Plan();
+    auto planned =
+        round == 0 ? (cached != nullptr ? planner.PlanFromMemo(*cached)
+                                        : planner.Plan())
+                   : (incremental_replanning_
+                          ? planner.PlanIncremental(prev_memo, translation)
+                          : planner.Plan());
     if (!planned.ok()) {
       return planned.status();
     }
+    prev_memo = planner.TakeMemo();
+    if (round == 0 && incremental_replanning_ && cached == nullptr) {
+      session->StorePlanMemo(memo_key, prev_memo);
+    }
     result.plan_cost_units += planned->planning_cost_units;
+    if (plan_observer_) plan_observer_(round, *planned->root, *spec);
 
     // Re-optimization trigger: the lowest join operator whose true
     // cardinality is more than `threshold` times off the estimate.
@@ -170,8 +246,10 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
     record.exec_cost_units = executed->cost_units;
     result.rounds.push_back(record);
 
-    owned_specs.push_back(
-        RewriteWithTemp(*spec, subset, temp_name, temp_cols, round));
+    RewriteInfo rewrite_info;
+    owned_specs.push_back(RewriteWithTemp(*spec, subset, temp_name,
+                                          temp_cols, round, &rewrite_info));
+    const plan::QuerySpec* old_spec = spec;
     spec = owned_specs.back().get();
     auto bound =
         optimizer::QueryContext::Bind(spec, catalog_, stats_catalog_);
@@ -183,6 +261,8 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
     owned_oracles.push_back(
         std::make_unique<optimizer::TrueCardinalityOracle>(ctx));
     oracle = owned_oracles.back().get();
+    translation = MemoTranslationFor(*old_spec, *spec, subset, rewrite_info);
+    model->Rebind(ctx, oracle);
   }
 
   return result;

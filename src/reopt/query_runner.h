@@ -13,7 +13,10 @@
 #ifndef REOPT_REOPT_QUERY_RUNNER_H_
 #define REOPT_REOPT_QUERY_RUNNER_H_
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -92,7 +95,12 @@ struct RunResult {
 };
 
 /// Per-query reusable state: bound context plus the true-cardinality
-/// oracle whose cache amortizes across repeated runs (sweeps).
+/// oracle whose cache amortizes across repeated runs (sweeps), plus the
+/// session plan-memo cache — the round-0 DP table per (model, operator
+/// options) key, so a threshold sweep re-planning the same query under the
+/// same model replays the memo instead of re-running the DP. Thread-safe:
+/// sessions are shared across sweep workers, memos are immutable once
+/// published and handed out behind shared_ptr.
 class QuerySession {
  public:
   static common::Result<std::unique_ptr<QuerySession>> Create(
@@ -103,11 +111,19 @@ class QuerySession {
   optimizer::QueryContext* ctx() { return ctx_.get(); }
   optimizer::TrueCardinalityOracle* oracle() { return oracle_.get(); }
 
+  /// The cached round-0 plan memo for `key`, or nullptr.
+  std::shared_ptr<const optimizer::PlanMemo> FindPlanMemo(uint64_t key) const;
+  /// Publishes a round-0 memo for `key`. First writer wins (all writers
+  /// compute identical memos for a given key, so the race is benign).
+  void StorePlanMemo(uint64_t key, optimizer::PlanMemo memo);
+
  private:
   QuerySession() = default;
   const plan::QuerySpec* spec_ = nullptr;
   std::unique_ptr<optimizer::QueryContext> ctx_;
   std::unique_ptr<optimizer::TrueCardinalityOracle> oracle_;
+  mutable std::mutex memo_mu_;
+  std::map<uint64_t, std::shared_ptr<const optimizer::PlanMemo>> plan_memos_;
 };
 
 /// Runs queries against one database, with or without re-optimization.
@@ -133,6 +149,26 @@ class QueryRunner {
   void set_temp_namespace(std::string ns) { temp_namespace_ = std::move(ns); }
   const std::string& temp_namespace() const { return temp_namespace_; }
 
+  /// Incremental re-planning (default on): rounds >= 1 carry the previous
+  /// round's DP memo and re-cost only subsets touching the temp relation;
+  /// round 0 replays the session's cached memo when one exists. Off forces
+  /// from-scratch DP every round — the correctness oracle the planner
+  /// differential suite compares against. Simulated results are identical
+  /// either way; only wall-clock differs.
+  void set_incremental_replanning(bool on) { incremental_replanning_ = on; }
+  bool incremental_replanning() const { return incremental_replanning_; }
+
+  /// Test/debug hook: observes each round's chosen plan (after planning,
+  /// before execution) with the spec it refers to. Not called on error
+  /// paths; keep it cheap and re-entrant — parallel sweeps may invoke it
+  /// from several workers at once.
+  using PlanObserver = std::function<void(
+      int round, const plan::PlanNode& root, const plan::QuerySpec& spec)>;
+  void set_plan_observer(PlanObserver observer) {
+    plan_observer_ = std::move(observer);
+  }
+  const PlanObserver& plan_observer() const { return plan_observer_; }
+
   /// Runs the session's query. Temp tables created by re-optimization are
   /// dropped before returning.
   common::Result<RunResult> Run(QuerySession* session,
@@ -144,11 +180,17 @@ class QueryRunner {
       const ModelSpec& spec, optimizer::QueryContext* ctx,
       optimizer::TrueCardinalityOracle* oracle) const;
 
+  /// Cache key for the session plan-memo: every knob that changes the
+  /// round-0 DP outcome for a given spec.
+  uint64_t MemoKey(const ModelSpec& spec) const;
+
   storage::Catalog* catalog_;
   stats::StatsCatalog* stats_catalog_;
   optimizer::CostParams params_;
   optimizer::PlannerOptions planner_options_;
   std::string temp_namespace_;
+  bool incremental_replanning_ = true;
+  PlanObserver plan_observer_;
 };
 
 }  // namespace reopt::reoptimizer

@@ -31,7 +31,8 @@ std::vector<plan::ColumnRef> ColumnsToMaterialize(
 std::unique_ptr<plan::QuerySpec> RewriteWithTemp(
     const plan::QuerySpec& spec, plan::RelSet subset,
     const std::string& temp_table,
-    const std::vector<plan::ColumnRef>& temp_columns, int round) {
+    const std::vector<plan::ColumnRef>& temp_columns, int round,
+    RewriteInfo* info) {
   auto out = std::make_unique<plan::QuerySpec>();
   out->name = common::StrPrintf("%s+r%d", spec.name.c_str(), round);
 
@@ -46,6 +47,10 @@ std::unique_ptr<plan::QuerySpec> RewriteWithTemp(
   int temp_rel = static_cast<int>(out->relations.size());
   out->relations.push_back(plan::RelationRef{
       temp_table, common::StrPrintf("tmp%d", round)});
+  if (info != nullptr) {
+    info->rel_remap = remap;
+    info->temp_rel = temp_rel;
+  }
 
   auto map_ref = [&](const plan::ColumnRef& ref) -> plan::ColumnRef {
     if (!subset.Contains(ref.rel)) {
@@ -85,6 +90,40 @@ std::unique_ptr<plan::QuerySpec> RewriteWithTemp(
     out->outputs.push_back(std::move(no));
   }
   return out;
+}
+
+optimizer::MemoTranslation MemoTranslationFor(const plan::QuerySpec& old_spec,
+                                              const plan::QuerySpec& new_spec,
+                                              plan::RelSet subset,
+                                              const RewriteInfo& info) {
+  optimizer::MemoTranslation t;
+  t.old_materialized = subset;
+  t.temp_rel = info.temp_rel;
+  t.rel_remap = info.rel_remap;
+  // Mirror RewriteWithTemp's skip rules: kept filters/edges appear in the
+  // new spec in the same relative order, so old and new walk in tandem.
+  // The correspondence must be exact — an extra filter or edge in the new
+  // spec changes surviving-subset cardinalities *without* changing
+  // connectivity, which the planner's shape check cannot see — so any
+  // leftover new entry invalidates the translation (and PlanIncremental
+  // then re-plans from scratch).
+  size_t nf = 0;
+  for (const plan::ScanPredicate& p : old_spec.filters) {
+    if (subset.Contains(p.column.rel)) continue;  // dropped by the rewrite
+    if (nf >= new_spec.filters.size()) return t;  // valid stays false
+    t.preds[&p] = &new_spec.filters[nf++];
+  }
+  size_t nj = 0;
+  for (const plan::JoinEdge& e : old_spec.joins) {
+    if (subset.ContainsAll(e.Relations())) continue;  // dropped
+    if (nj >= new_spec.joins.size()) return t;
+    t.edges[&e] = &new_spec.joins[nj++];
+  }
+  if (nf != new_spec.filters.size() || nj != new_spec.joins.size()) {
+    return t;  // trailing entries the rewrite cannot have produced
+  }
+  t.valid = true;
+  return t;
 }
 
 }  // namespace reopt::reoptimizer

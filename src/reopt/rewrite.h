@@ -7,10 +7,20 @@
 #include <string>
 #include <vector>
 
+#include "optimizer/planner.h"
 #include "plan/query_spec.h"
 #include "plan/rel_set.h"
 
 namespace reopt::reoptimizer {
+
+/// How RewriteWithTemp renumbered the relations: survivors keep their
+/// relative order (compacted), the temp relation is appended last.
+struct RewriteInfo {
+  /// Old relation -> new relation; -1 for materialized relations.
+  std::vector<int> rel_remap;
+  /// Index of the temp relation in the rewritten spec.
+  int temp_rel = -1;
+};
 
 /// Columns of `subset`'s relations that the remainder of the query still
 /// needs: endpoints of join edges crossing out of `subset`, plus output
@@ -26,7 +36,19 @@ std::vector<plan::ColumnRef> ColumnsToMaterialize(
 std::unique_ptr<plan::QuerySpec> RewriteWithTemp(
     const plan::QuerySpec& spec, plan::RelSet subset,
     const std::string& temp_table,
-    const std::vector<plan::ColumnRef>& temp_columns, int round);
+    const std::vector<plan::ColumnRef>& temp_columns, int round,
+    RewriteInfo* info = nullptr);
+
+/// Builds the planner's memo translation for a rewrite: the relation remap
+/// plus pointer maps from every surviving filter/edge of `old_spec` to its
+/// copy in `new_spec`. `new_spec` must be (or start with) the output of
+/// RewriteWithTemp(old_spec, subset, ...); the result comes back with
+/// valid=false when the correspondence does not hold, which makes
+/// Planner::PlanIncremental fall back to from-scratch DP.
+optimizer::MemoTranslation MemoTranslationFor(const plan::QuerySpec& old_spec,
+                                              const plan::QuerySpec& new_spec,
+                                              plan::RelSet subset,
+                                              const RewriteInfo& info);
 
 }  // namespace reopt::reoptimizer
 

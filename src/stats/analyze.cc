@@ -1,73 +1,47 @@
 #include "stats/analyze.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 #include <vector>
 
 namespace reopt::stats {
 namespace {
 
-// Collects the (possibly sampled) non-null values of a column.
-struct ColumnSample {
-  std::vector<common::Value> values;  // non-null values in sample
-  int64_t sample_rows = 0;            // rows examined (incl. nulls)
-  int64_t null_rows = 0;
-};
+common::Value Box(int64_t v) { return common::Value::Int(v); }
+common::Value Box(double v) { return common::Value::Real(v); }
+common::Value Box(const std::string& v) { return common::Value::Str(v); }
 
-ColumnSample CollectSample(const storage::Column& column,
-                           const AnalyzeOptions& options) {
-  ColumnSample sample;
-  int64_t n = column.size();
-  std::vector<common::RowIdx> rows;
-  if (options.sample_size > 0 && options.sample_size < n) {
-    common::Rng rng(options.seed);
-    rows.reserve(static_cast<size_t>(options.sample_size));
-    for (int64_t i = 0; i < options.sample_size; ++i) {
-      rows.push_back(rng.UniformInt(0, n - 1));
-    }
-  } else {
-    rows.reserve(static_cast<size_t>(n));
-    for (int64_t i = 0; i < n; ++i) rows.push_back(i);
-  }
-  sample.sample_rows = static_cast<int64_t>(rows.size());
-  sample.values.reserve(rows.size());
-  for (common::RowIdx row : rows) {
-    if (column.IsNull(row)) {
-      ++sample.null_rows;
-    } else {
-      sample.values.push_back(column.GetValue(row));
-    }
-  }
-  return sample;
-}
-
-}  // namespace
-
-ColumnStats AnalyzeColumn(const storage::Column& column,
-                          const AnalyzeOptions& options) {
+// Statistics core over one column's sampled non-null values, already
+// gathered as a typed vector. Mirrors the boxed reference implementation
+// (analyze_reference.cc) step for step — same grouping, the same MCV
+// threshold and tie-breaking sort, the same histogram boundary positions —
+// so the emitted ColumnStats are bit-identical; only the representation
+// (typed tight loops vs. per-row common::Value) differs.
+template <typename T>
+ColumnStats TypedStats(std::vector<T> values, int64_t sample_rows,
+                       int64_t null_rows, const AnalyzeOptions& options) {
   ColumnStats stats;
-  ColumnSample sample = CollectSample(column, options);
-  if (sample.sample_rows == 0) return stats;
-  stats.null_frac = static_cast<double>(sample.null_rows) /
-                    static_cast<double>(sample.sample_rows);
-  if (sample.values.empty()) return stats;
+  if (sample_rows == 0) return stats;
+  stats.null_frac = static_cast<double>(null_rows) /
+                    static_cast<double>(sample_rows);
+  if (values.empty()) return stats;
 
-  // Count distinct values.
-  std::sort(sample.values.begin(), sample.values.end());
-  stats.min = sample.values.front();
-  stats.max = sample.values.back();
+  std::sort(values.begin(), values.end());
+  stats.min = Box(values.front());
+  stats.max = Box(values.back());
 
+  // Group equal runs of the sorted sample: (start offset, count).
   struct Group {
-    const common::Value* value;
+    size_t first;
     int64_t count;
   };
   std::vector<Group> groups;
-  for (size_t i = 0; i < sample.values.size();) {
+  for (size_t i = 0; i < values.size();) {
     size_t j = i;
-    while (j < sample.values.size() && sample.values[j] == sample.values[i]) {
+    while (j < values.size() && values[j] == values[i]) {
       ++j;
     }
-    groups.push_back(Group{&sample.values[i], static_cast<int64_t>(j - i)});
+    groups.push_back(Group{i, static_cast<int64_t>(j - i)});
     i = j;
   }
   stats.num_distinct = static_cast<double>(groups.size());
@@ -75,39 +49,169 @@ ColumnStats AnalyzeColumn(const storage::Column& column,
   // MCV selection, PostgreSQL-style: keep up to statistics_target values
   // whose frequency is clearly above average (1.25x the mean count), most
   // frequent first.
-  double total = static_cast<double>(sample.values.size());
+  double total = static_cast<double>(values.size());
   double avg_count = total / static_cast<double>(groups.size());
-  std::vector<const Group*> candidates;
-  for (const Group& g : groups) {
-    if (static_cast<double>(g.count) > 1.25 * avg_count && g.count > 1) {
-      candidates.push_back(&g);
+  std::vector<size_t> candidates;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (static_cast<double>(groups[g].count) > 1.25 * avg_count &&
+        groups[g].count > 1) {
+      candidates.push_back(g);
     }
   }
   std::sort(candidates.begin(), candidates.end(),
-            [](const Group* a, const Group* b) { return a->count > b->count; });
+            [&groups](size_t a, size_t b) {
+              return groups[a].count > groups[b].count;
+            });
   if (static_cast<int>(candidates.size()) > options.statistics_target) {
     candidates.resize(static_cast<size_t>(options.statistics_target));
   }
-  for (const Group* g : candidates) {
-    stats.mcv.values.push_back(*g->value);
-    stats.mcv.freqs.push_back(static_cast<double>(g->count) / total);
+  std::vector<uint8_t> is_mcv(groups.size(), 0);
+  for (size_t g : candidates) {
+    stats.mcv.values.push_back(Box(values[groups[g].first]));
+    stats.mcv.freqs.push_back(static_cast<double>(groups[g].count) / total);
+    is_mcv[g] = 1;
   }
 
-  // Histogram over the values not covered by the MCV list.
-  std::vector<common::Value> rest;
-  rest.reserve(sample.values.size());
+  // Histogram over the values not covered by the MCV list. The non-MCV
+  // values form a sorted virtual array (the non-MCV groups in ascending
+  // order, each repeated `count` times); only its boundary picks are boxed,
+  // located by walking the groups alongside the ascending positions.
+  int64_t rest_count = 0;
   int64_t rest_distinct = 0;
-  for (const Group& g : groups) {
-    if (!stats.mcv.Find(*g.value).has_value()) {
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (!is_mcv[g]) {
+      rest_count += groups[g].count;
       ++rest_distinct;
-      for (int64_t c = 0; c < g.count; ++c) rest.push_back(*g.value);
     }
   }
-  stats.non_mcv_frac = rest.empty() ? 0.0 : static_cast<double>(rest.size()) / total;
+  stats.non_mcv_frac =
+      rest_count == 0 ? 0.0 : static_cast<double>(rest_count) / total;
   stats.non_mcv_distinct = static_cast<double>(rest_distinct);
-  stats.histogram =
-      EquiDepthHistogram::Build(std::move(rest), options.statistics_target);
+  if (rest_count > 0 && options.statistics_target >= 1) {
+    std::vector<size_t> positions = EquiDepthHistogram::BoundPositions(
+        static_cast<size_t>(rest_count), options.statistics_target);
+    std::vector<common::Value> bounds;
+    bounds.reserve(positions.size() + 1);
+    size_t g = 0;
+    while (is_mcv[g]) ++g;
+    bounds.push_back(Box(values[groups[g].first]));  // front of the rest
+    int64_t covered = 0;  // rest values in groups before `g`
+    for (size_t pos : positions) {
+      // Advance to the non-MCV group containing rest-position `pos`; the
+      // loop always stops on a non-MCV group because `covered <= pos`.
+      while (covered + (is_mcv[g] ? 0 : groups[g].count) <=
+             static_cast<int64_t>(pos)) {
+        if (!is_mcv[g]) covered += groups[g].count;
+        ++g;
+      }
+      bounds.push_back(Box(values[groups[g].first]));
+    }
+    stats.histogram = EquiDepthHistogram::FromBounds(std::move(bounds));
+  }
   return stats;
+}
+
+// One typed gather pass over the column view: the sampled rows' non-null
+// values (in sample order) plus the row accounting TypedStats needs.
+//
+// Sampling semantics: rows are drawn uniformly WITH replacement, so a row
+// picked twice contributes twice — both to `sample_rows` and to the value
+// distribution (its value is double-counted in NDV grouping, MCV
+// frequencies and the histogram). This is deliberate and pinned by
+// regression tests: the fixed seed makes the duplication deterministic,
+// and a column with fewer than `sample_size` rows never samples at all
+// (the full-scan branch), so small tables always get exact statistics.
+template <typename T, typename GetFn>
+void GatherSample(const storage::ColumnView& view,
+                  const AnalyzeOptions& options, GetFn get,
+                  std::vector<T>* values, int64_t* sample_rows,
+                  int64_t* null_rows) {
+  int64_t n = view.size;
+  if (options.sample_size > 0 && options.sample_size < n) {
+    common::Rng rng(options.seed);
+    *sample_rows = options.sample_size;
+    values->reserve(static_cast<size_t>(options.sample_size));
+    for (int64_t i = 0; i < options.sample_size; ++i) {
+      common::RowIdx row = rng.UniformInt(0, n - 1);
+      if (view.IsNull(row)) {
+        ++*null_rows;
+      } else {
+        values->push_back(get(row));
+      }
+    }
+  } else {
+    *sample_rows = n;
+    values->reserve(static_cast<size_t>(n));
+    if (view.AllValid()) {
+      for (int64_t row = 0; row < n; ++row) values->push_back(get(row));
+    } else {
+      for (int64_t row = 0; row < n; ++row) {
+        if (view.valid[static_cast<size_t>(row)] == 0) {
+          ++*null_rows;
+        } else {
+          values->push_back(get(row));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ColumnStats ComputeColumnStats(std::vector<int64_t> values,
+                               int64_t sample_rows, int64_t null_rows,
+                               const AnalyzeOptions& options) {
+  return TypedStats(std::move(values), sample_rows, null_rows, options);
+}
+
+ColumnStats ComputeColumnStats(std::vector<double> values,
+                               int64_t sample_rows, int64_t null_rows,
+                               const AnalyzeOptions& options) {
+  return TypedStats(std::move(values), sample_rows, null_rows, options);
+}
+
+ColumnStats ComputeColumnStats(std::vector<std::string> values,
+                               int64_t sample_rows, int64_t null_rows,
+                               const AnalyzeOptions& options) {
+  return TypedStats(std::move(values), sample_rows, null_rows, options);
+}
+
+ColumnStats AnalyzeColumn(const storage::Column& column,
+                          const AnalyzeOptions& options) {
+  const storage::ColumnView view = column.View();
+  int64_t sample_rows = 0;
+  int64_t null_rows = 0;
+  switch (view.type) {
+    case common::DataType::kInt64: {
+      std::vector<int64_t> values;
+      GatherSample(
+          view, options,
+          [&](common::RowIdx row) { return view.ints[static_cast<size_t>(row)]; },
+          &values, &sample_rows, &null_rows);
+      return TypedStats(std::move(values), sample_rows, null_rows, options);
+    }
+    case common::DataType::kDouble: {
+      std::vector<double> values;
+      GatherSample(
+          view, options,
+          [&](common::RowIdx row) {
+            return view.doubles[static_cast<size_t>(row)];
+          },
+          &values, &sample_rows, &null_rows);
+      return TypedStats(std::move(values), sample_rows, null_rows, options);
+    }
+    case common::DataType::kString: {
+      std::vector<std::string> values;
+      GatherSample(
+          view, options,
+          [&](common::RowIdx row) {
+            return view.strings[static_cast<size_t>(row)];
+          },
+          &values, &sample_rows, &null_rows);
+      return TypedStats(std::move(values), sample_rows, null_rows, options);
+    }
+  }
+  return ColumnStats{};
 }
 
 TableStats Analyze(const storage::Table& table,

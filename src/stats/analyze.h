@@ -4,10 +4,22 @@
 // chance at good cardinality estimates". Estimation errors in this system
 // therefore come from the *model* (independence/uniformity), not from stale
 // or sampled statistics — exactly the regime the paper studies.
+//
+// Implementation: a typed single pass. The column is scanned once through
+// its raw storage::ColumnView span, dispatching on the column type so
+// null-frac/min/max/NDV/MCV/histogram all come out of tight typed loops;
+// values are boxed into common::Value only at the statistics boundary
+// (min/max, the <= statistics_target MCVs, the histogram bounds). The
+// pre-vectorization boxed implementation is retained verbatim in
+// analyze_reference.h as the correctness oracle — both paths consume the
+// same sample row sequence and seed, and stats_test pins the outputs
+// bit-identical.
 #ifndef REOPT_STATS_ANALYZE_H_
 #define REOPT_STATS_ANALYZE_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "storage/table.h"
@@ -33,6 +45,24 @@ TableStats Analyze(const storage::Table& table,
 /// Analyzes a single column (exposed for tests).
 ColumnStats AnalyzeColumn(const storage::Column& column,
                           const AnalyzeOptions& options = {});
+
+// ---- Typed cores ----------------------------------------------------------
+// Full ColumnStats from the non-null values one scan already collected
+// (`sample_rows` counts every examined row including nulls). These are the
+// fused-ANALYZE entry points: the temp-table materialization path in the
+// executor feeds the values it is writing straight into them, so a
+// materialized column is scanned once, not written and then re-read by a
+// separate ANALYZE pass. Results are identical to AnalyzeColumn over the
+// same rows.
+ColumnStats ComputeColumnStats(std::vector<int64_t> values,
+                               int64_t sample_rows, int64_t null_rows,
+                               const AnalyzeOptions& options = {});
+ColumnStats ComputeColumnStats(std::vector<double> values,
+                               int64_t sample_rows, int64_t null_rows,
+                               const AnalyzeOptions& options = {});
+ColumnStats ComputeColumnStats(std::vector<std::string> values,
+                               int64_t sample_rows, int64_t null_rows,
+                               const AnalyzeOptions& options = {});
 
 }  // namespace reopt::stats
 

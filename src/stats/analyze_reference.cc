@@ -1,0 +1,124 @@
+#include "stats/analyze_reference.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace reopt::stats::reference {
+namespace {
+
+// Collects the (possibly sampled) non-null values of a column.
+struct ColumnSample {
+  std::vector<common::Value> values;  // non-null values in sample
+  int64_t sample_rows = 0;            // rows examined (incl. nulls)
+  int64_t null_rows = 0;
+};
+
+ColumnSample CollectSample(const storage::Column& column,
+                           const AnalyzeOptions& options) {
+  ColumnSample sample;
+  int64_t n = column.size();
+  std::vector<common::RowIdx> rows;
+  if (options.sample_size > 0 && options.sample_size < n) {
+    common::Rng rng(options.seed);
+    rows.reserve(static_cast<size_t>(options.sample_size));
+    for (int64_t i = 0; i < options.sample_size; ++i) {
+      rows.push_back(rng.UniformInt(0, n - 1));
+    }
+  } else {
+    rows.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) rows.push_back(i);
+  }
+  sample.sample_rows = static_cast<int64_t>(rows.size());
+  sample.values.reserve(rows.size());
+  for (common::RowIdx row : rows) {
+    if (column.IsNull(row)) {
+      ++sample.null_rows;
+    } else {
+      sample.values.push_back(column.GetValue(row));
+    }
+  }
+  return sample;
+}
+
+}  // namespace
+
+ColumnStats AnalyzeColumn(const storage::Column& column,
+                          const AnalyzeOptions& options) {
+  ColumnStats stats;
+  ColumnSample sample = CollectSample(column, options);
+  if (sample.sample_rows == 0) return stats;
+  stats.null_frac = static_cast<double>(sample.null_rows) /
+                    static_cast<double>(sample.sample_rows);
+  if (sample.values.empty()) return stats;
+
+  // Count distinct values.
+  std::sort(sample.values.begin(), sample.values.end());
+  stats.min = sample.values.front();
+  stats.max = sample.values.back();
+
+  struct Group {
+    const common::Value* value;
+    int64_t count;
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < sample.values.size();) {
+    size_t j = i;
+    while (j < sample.values.size() && sample.values[j] == sample.values[i]) {
+      ++j;
+    }
+    groups.push_back(Group{&sample.values[i], static_cast<int64_t>(j - i)});
+    i = j;
+  }
+  stats.num_distinct = static_cast<double>(groups.size());
+
+  // MCV selection, PostgreSQL-style: keep up to statistics_target values
+  // whose frequency is clearly above average (1.25x the mean count), most
+  // frequent first.
+  double total = static_cast<double>(sample.values.size());
+  double avg_count = total / static_cast<double>(groups.size());
+  std::vector<const Group*> candidates;
+  for (const Group& g : groups) {
+    if (static_cast<double>(g.count) > 1.25 * avg_count && g.count > 1) {
+      candidates.push_back(&g);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Group* a, const Group* b) { return a->count > b->count; });
+  if (static_cast<int>(candidates.size()) > options.statistics_target) {
+    candidates.resize(static_cast<size_t>(options.statistics_target));
+  }
+  for (const Group* g : candidates) {
+    stats.mcv.values.push_back(*g->value);
+    stats.mcv.freqs.push_back(static_cast<double>(g->count) / total);
+  }
+
+  // Histogram over the values not covered by the MCV list.
+  std::vector<common::Value> rest;
+  rest.reserve(sample.values.size());
+  int64_t rest_distinct = 0;
+  for (const Group& g : groups) {
+    if (!stats.mcv.Find(*g.value).has_value()) {
+      ++rest_distinct;
+      for (int64_t c = 0; c < g.count; ++c) rest.push_back(*g.value);
+    }
+  }
+  stats.non_mcv_frac = rest.empty() ? 0.0 : static_cast<double>(rest.size()) / total;
+  stats.non_mcv_distinct = static_cast<double>(rest_distinct);
+  stats.histogram =
+      EquiDepthHistogram::Build(std::move(rest), options.statistics_target);
+  return stats;
+}
+
+TableStats Analyze(const storage::Table& table,
+                   const AnalyzeOptions& options) {
+  TableStats stats;
+  stats.row_count = static_cast<double>(table.num_rows());
+  stats.columns.reserve(static_cast<size_t>(table.num_columns()));
+  for (common::ColumnIdx c = 0; c < table.num_columns(); ++c) {
+    stats.columns.push_back(reference::AnalyzeColumn(table.column(c), options));
+  }
+  return stats;
+}
+
+}  // namespace reopt::stats::reference

@@ -1,0 +1,25 @@
+// The pre-vectorization ANALYZE, retained verbatim as a correctness oracle
+// and benchmark baseline for the typed single-pass implementation in
+// analyze.cc (same pattern as exec::reference for the execution kernels).
+// Collects every sampled value as a boxed common::Value and computes the
+// statistics with Value comparisons throughout. The optimized path must
+// produce bit-identical ColumnStats; stats_test and bench/perf_smoke hold
+// it to that.
+#ifndef REOPT_STATS_ANALYZE_REFERENCE_H_
+#define REOPT_STATS_ANALYZE_REFERENCE_H_
+
+#include "stats/analyze.h"
+
+namespace reopt::stats::reference {
+
+/// Scans `table` and produces statistics for every column (boxed path).
+TableStats Analyze(const storage::Table& table,
+                   const AnalyzeOptions& options = {});
+
+/// Analyzes a single column (boxed path).
+ColumnStats AnalyzeColumn(const storage::Column& column,
+                          const AnalyzeOptions& options = {});
+
+}  // namespace reopt::stats::reference
+
+#endif  // REOPT_STATS_ANALYZE_REFERENCE_H_

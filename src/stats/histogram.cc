@@ -7,19 +7,36 @@
 
 namespace reopt::stats {
 
+std::vector<size_t> EquiDepthHistogram::BoundPositions(size_t n,
+                                                       int num_buckets) {
+  std::vector<size_t> positions;
+  if (n == 0 || num_buckets < 1) return positions;
+  size_t buckets = std::min<size_t>(static_cast<size_t>(num_buckets), n);
+  positions.reserve(buckets);
+  for (size_t b = 1; b <= buckets; ++b) {
+    // Boundary after the b-th equal-depth slice.
+    positions.push_back((n * b) / buckets - 1);
+  }
+  return positions;
+}
+
+EquiDepthHistogram EquiDepthHistogram::FromBounds(
+    std::vector<common::Value> bounds) {
+  EquiDepthHistogram hist;
+  hist.bounds_ = std::move(bounds);
+  return hist;
+}
+
 EquiDepthHistogram EquiDepthHistogram::Build(
     std::vector<common::Value> values, int num_buckets) {
   EquiDepthHistogram hist;
   if (values.empty() || num_buckets < 1) return hist;
   std::sort(values.begin(), values.end());
-  size_t n = values.size();
-  size_t buckets = std::min<size_t>(static_cast<size_t>(num_buckets), n);
-  hist.bounds_.reserve(buckets + 1);
+  hist.bounds_.reserve(
+      std::min<size_t>(static_cast<size_t>(num_buckets), values.size()) + 1);
   hist.bounds_.push_back(values.front());
-  for (size_t b = 1; b <= buckets; ++b) {
-    // Boundary after the b-th equal-depth slice.
-    size_t idx = (n * b) / buckets;
-    hist.bounds_.push_back(values[idx - 1]);
+  for (size_t idx : BoundPositions(values.size(), num_buckets)) {
+    hist.bounds_.push_back(values[idx]);
   }
   return hist;
 }

@@ -22,6 +22,17 @@ class EquiDepthHistogram {
   static EquiDepthHistogram Build(std::vector<common::Value> values,
                                   int num_buckets);
 
+  /// The equal-depth boundary positions Build samples from a *sorted* array
+  /// of `n` values: position (n*b)/buckets - 1 for b in 1..buckets, with
+  /// buckets = min(num_buckets, n). Shared with the typed ANALYZE path so it
+  /// can select bit-identical bounds without boxing the whole sorted array.
+  static std::vector<size_t> BoundPositions(size_t n, int num_buckets);
+
+  /// Wraps precomputed bounds (the sorted array's front value followed by
+  /// its BoundPositions picks, in order) as a histogram. The caller is
+  /// responsible for the Build invariants; used by the typed ANALYZE path.
+  static EquiDepthHistogram FromBounds(std::vector<common::Value> bounds);
+
   bool empty() const { return bounds_.size() < 2; }
   int num_buckets() const {
     return empty() ? 0 : static_cast<int>(bounds_.size()) - 1;

@@ -109,6 +109,9 @@ common::Result<std::vector<WorkloadRunResult>> WorkloadRunner::RunSweep(
   for (int w = 0; w < workers; ++w) {
     runners.emplace_back(&db_->catalog, &db_->stats, params_);
     runners.back().set_planner_options(runner_.planner_options());
+    runners.back().set_incremental_replanning(
+        runner_.incremental_replanning());
+    runners.back().set_plan_observer(runner_.plan_observer());
     runners.back().set_temp_namespace("w" + std::to_string(w));
   }
 

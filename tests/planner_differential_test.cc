@@ -1,0 +1,194 @@
+// The planner differential suite: incremental re-planning (session-cached
+// memos, carried DP tables) against the retained from-scratch DP, across
+// all 113 workload queries, every re-optimization round, estimator and
+// perfect-(n) models, serial and 4 worker threads. Plans, simulated costs
+// and estimate accounting must be identical — the fast path only removes
+// wall-clock work, never changes what the simulated system charges.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "plan/physical_plan.h"
+#include "reopt/query_runner.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/runner.h"
+
+namespace reopt::reoptimizer {
+namespace {
+
+using testing::SmallImdb;
+
+workload::JobLikeWorkload* TestWorkload() {
+  static workload::JobLikeWorkload* wl =
+      workload::BuildJobLikeWorkload(SmallImdb()->catalog).release();
+  return wl;
+}
+
+ReoptOptions ReoptOn(double threshold) {
+  ReoptOptions r;
+  r.enabled = true;
+  r.qerror_threshold = threshold;
+  return r;
+}
+
+// Temp-table names come from a global monotonic counter, so two otherwise
+// identical runs materialize reopt_temp_<k> with different k. Normalize
+// them before comparing plans — nothing but the label differs.
+std::string NormalizeTempNames(std::string text) {
+  const std::string prefix = "reopt_temp_";
+  size_t pos = 0;
+  while ((pos = text.find(prefix, pos)) != std::string::npos) {
+    size_t start = pos + prefix.size();
+    size_t end = start;
+    while (end < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[end])) ||
+            text[end] == '_')) {
+      ++end;
+    }
+    text.replace(start, end - start, "#");
+    pos = start + 1;
+  }
+  return text;
+}
+
+void ExpectSameRun(const RunResult& a, const RunResult& b,
+                   const std::string& name) {
+  EXPECT_EQ(a.raw_rows, b.raw_rows) << name;
+  EXPECT_EQ(a.plan_cost_units, b.plan_cost_units) << name;
+  EXPECT_EQ(a.exec_cost_units, b.exec_cost_units) << name;
+  EXPECT_EQ(a.num_materializations, b.num_materializations) << name;
+  ASSERT_EQ(a.aggregates.size(), b.aggregates.size()) << name;
+  for (size_t i = 0; i < a.aggregates.size(); ++i) {
+    EXPECT_EQ(a.aggregates[i], b.aggregates[i]) << name << " output " << i;
+  }
+  ASSERT_EQ(a.rounds.size(), b.rounds.size()) << name;
+  for (size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].materialized, b.rounds[i].materialized) << name;
+    EXPECT_EQ(a.rounds[i].subset.bits(), b.rounds[i].subset.bits()) << name;
+    EXPECT_EQ(a.rounds[i].qerror, b.rounds[i].qerror) << name;
+    EXPECT_EQ(a.rounds[i].est_rows, b.rounds[i].est_rows) << name;
+    EXPECT_EQ(a.rounds[i].true_rows, b.rounds[i].true_rows) << name;
+    EXPECT_EQ(a.rounds[i].plan_cost_units, b.rounds[i].plan_cost_units)
+        << name << " round " << i;
+    EXPECT_EQ(a.rounds[i].exec_cost_units, b.rounds[i].exec_cost_units)
+        << name << " round " << i;
+  }
+}
+
+// Runs every query under `model` in both planner modes, with per-round
+// EXPLAIN capture, and requires bit-identical results and plans. Each
+// query runs twice per mode: the second incremental run replays the
+// session-cached round-0 memo, which must change nothing either.
+void RunDifferential(const ModelSpec& model, double threshold) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  QueryRunner incremental(&db->catalog, &db->stats, {});
+  QueryRunner scratch(&db->catalog, &db->stats, {});
+  scratch.set_incremental_replanning(false);
+  ASSERT_TRUE(incremental.incremental_replanning());
+
+  std::vector<std::string> inc_plans, scratch_plans;
+  incremental.set_plan_observer(
+      [&inc_plans](int, const plan::PlanNode& root,
+                   const plan::QuerySpec& spec) {
+        inc_plans.push_back(NormalizeTempNames(plan::ExplainPlan(root, spec)));
+      });
+  scratch.set_plan_observer(
+      [&scratch_plans](int, const plan::PlanNode& root,
+                       const plan::QuerySpec& spec) {
+        scratch_plans.push_back(
+            NormalizeTempNames(plan::ExplainPlan(root, spec)));
+      });
+
+  int queries_with_rounds = 0;
+  for (const auto& query : TestWorkload()->queries) {
+    auto session =
+        QuerySession::Create(query.get(), &db->catalog, &db->stats);
+    ASSERT_TRUE(session.ok()) << query->name;
+
+    inc_plans.clear();
+    scratch_plans.clear();
+    auto inc = incremental.Run(session.value().get(), model,
+                               ReoptOn(threshold));
+    auto base = scratch.Run(session.value().get(), model, ReoptOn(threshold));
+    ASSERT_TRUE(inc.ok()) << query->name << ": " << inc.status().ToString();
+    ASSERT_TRUE(base.ok()) << query->name;
+    ExpectSameRun(*inc, *base, query->name);
+    EXPECT_EQ(inc_plans, scratch_plans) << query->name;
+    if (inc->num_materializations > 0) ++queries_with_rounds;
+
+    // Second incremental run: round 0 now replays the session memo.
+    std::vector<std::string> first_inc_plans = inc_plans;
+    inc_plans.clear();
+    auto again = incremental.Run(session.value().get(), model,
+                                 ReoptOn(threshold));
+    ASSERT_TRUE(again.ok()) << query->name;
+    ExpectSameRun(*again, *base, query->name + " (memo replay)");
+    EXPECT_EQ(inc_plans, first_inc_plans) << query->name;
+  }
+  // The suite must actually exercise multi-round re-planning.
+  EXPECT_GT(queries_with_rounds, 0);
+}
+
+TEST(PlannerDifferentialTest, EstimatorAllQueriesDefaultThreshold) {
+  RunDifferential(ModelSpec::Estimator(), 32.0);
+}
+
+TEST(PlannerDifferentialTest, EstimatorAllQueriesAggressiveThreshold) {
+  // Threshold 2 triggers many more rounds per query — deeper carry chains.
+  RunDifferential(ModelSpec::Estimator(), 2.0);
+}
+
+TEST(PlannerDifferentialTest, PerfectNModel) {
+  RunDifferential(ModelSpec::PerfectN(3), 32.0);
+}
+
+TEST(PlannerDifferentialTest, CordsModel) {
+  RunDifferential(ModelSpec::Cords(), 32.0);
+}
+
+TEST(PlannerDifferentialTest, ParallelSweepMatchesFromScratchSerial) {
+  // The full sweep engine: 4 workers with incremental re-planning (and a
+  // shared session memo cache) vs a serial from-scratch run, two
+  // configurations sharing the same memo key (same model, different
+  // thresholds) to force concurrent memo publication and replay.
+  imdb::ImdbDatabase* db = SmallImdb();
+  std::vector<workload::SweepConfig> configs(2);
+  configs[0].label = "threshold=4";
+  configs[0].model = ModelSpec::Estimator();
+  configs[0].reopt = ReoptOn(4.0);
+  configs[1].label = "threshold=32";
+  configs[1].model = ModelSpec::Estimator();
+  configs[1].reopt = ReoptOn(32.0);
+
+  workload::WorkloadRunner parallel_runner(db);
+  auto parallel =
+      parallel_runner.RunSweep(*TestWorkload(), configs, /*num_threads=*/4);
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+
+  workload::WorkloadRunner serial_runner(db);
+  serial_runner.query_runner()->set_incremental_replanning(false);
+  for (size_t c = 0; c < configs.size(); ++c) {
+    auto serial = serial_runner.RunAll(*TestWorkload(), configs[c].model,
+                                       configs[c].reopt, /*num_threads=*/1);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_EQ(parallel.value()[c].records.size(), serial->records.size());
+    for (size_t q = 0; q < serial->records.size(); ++q) {
+      const workload::QueryRecord& pr = parallel.value()[c].records[q];
+      const workload::QueryRecord& sr = serial->records[q];
+      EXPECT_EQ(pr.name, sr.name);
+      EXPECT_EQ(pr.plan_seconds, sr.plan_seconds) << sr.name;
+      EXPECT_EQ(pr.exec_seconds, sr.exec_seconds) << sr.name;
+      EXPECT_EQ(pr.materializations, sr.materializations) << sr.name;
+      EXPECT_EQ(pr.raw_rows, sr.raw_rows) << sr.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace reopt::reoptimizer

@@ -1,0 +1,362 @@
+// Invalidation correctness for the incremental re-planner: after a
+// materialize+rewrite, PlanIncremental must produce exactly the plan,
+// costs and accounting of a from-scratch DP over the rewritten query —
+// across chain, star and clique join-graph shapes — and must fall back to
+// from-scratch DP when the graph's shape changes in a way the carry-over
+// invariant does not cover.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "optimizer/cardinality_model.h"
+#include "optimizer/planner.h"
+#include "optimizer/planner_reference.h"
+#include "plan/physical_plan.h"
+#include "reopt/rewrite.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/query_builder.h"
+
+namespace reopt::optimizer {
+namespace {
+
+using testing::SmallImdb;
+
+std::unique_ptr<plan::QuerySpec> ChainQuery() {
+  workload::QueryBuilder qb(&SmallImdb()->catalog, "chain4");
+  int t = qb.AddRelation("title", "t");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  int k = qb.AddRelation("keyword", "k");
+  int mc = qb.AddRelation("movie_companies", "mc");
+  qb.Join(t, "id", mk, "movie_id")
+      .Join(mk, "keyword_id", k, "id")
+      .Join(t, "id", mc, "movie_id")
+      .FilterCompare(t, "production_year", plan::CompareOp::kGt,
+                     common::Value::Int(1990))
+      .OutputMin(t, "title", "m");
+  return qb.Build();
+}
+
+std::unique_ptr<plan::QuerySpec> StarQuery() {
+  workload::QueryBuilder qb(&SmallImdb()->catalog, "star4");
+  int t = qb.AddRelation("title", "t");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  int ci = qb.AddRelation("cast_info", "ci");
+  int mc = qb.AddRelation("movie_companies", "mc");
+  qb.Join(t, "id", mk, "movie_id")
+      .Join(t, "id", ci, "movie_id")
+      .Join(t, "id", mc, "movie_id")
+      .FilterCompare(mc, "company_type_id", plan::CompareOp::kEq,
+                     common::Value::Int(1))
+      .OutputMin(t, "title", "m");
+  return qb.Build();
+}
+
+std::unique_ptr<plan::QuerySpec> CliqueQuery() {
+  workload::QueryBuilder qb(&SmallImdb()->catalog, "clique4");
+  int t = qb.AddRelation("title", "t");
+  int mk = qb.AddRelation("movie_keyword", "mk");
+  int ci = qb.AddRelation("cast_info", "ci");
+  int mc = qb.AddRelation("movie_companies", "mc");
+  qb.Join(t, "id", mk, "movie_id")
+      .Join(t, "id", ci, "movie_id")
+      .Join(t, "id", mc, "movie_id")
+      .Join(mk, "movie_id", ci, "movie_id")
+      .Join(mk, "movie_id", mc, "movie_id")
+      .Join(ci, "movie_id", mc, "movie_id")
+      .FilterCompare(t, "production_year", plan::CompareOp::kLt,
+                     common::Value::Int(2005))
+      .OutputMin(t, "title", "m");
+  return qb.Build();
+}
+
+// The state of one simulated re-optimization round: the original plan's
+// memo, the rewritten spec bound to a real materialized temp table, and
+// the memo translation — everything PlanIncremental consumes.
+struct RewrittenRound {
+  std::unique_ptr<plan::QuerySpec> old_spec;
+  std::unique_ptr<QueryContext> old_ctx;
+  PlanMemo memo;
+  plan::RelSet subset;
+  std::string temp_name;
+  std::unique_ptr<plan::QuerySpec> new_spec;
+  std::unique_ptr<QueryContext> new_ctx;
+  reoptimizer::RewriteInfo info;
+  MemoTranslation translation;
+
+  ~RewrittenRound() {
+    if (!temp_name.empty()) {
+      (void)SmallImdb()->catalog.DropTable(temp_name);
+      SmallImdb()->stats.Remove(temp_name);
+    }
+  }
+};
+
+// Plans `spec`, materializes the lowest join of the chosen plan into a
+// temp table (exactly like the re-optimizer does) and rewrites the query.
+std::unique_ptr<RewrittenRound> MaterializeLowestJoin(
+    std::unique_ptr<plan::QuerySpec> spec) {
+  auto round = std::make_unique<RewrittenRound>();
+  imdb::ImdbDatabase* db = SmallImdb();
+  round->old_spec = std::move(spec);
+  auto bound =
+      QueryContext::Bind(round->old_spec.get(), &db->catalog, &db->stats);
+  EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+  round->old_ctx = std::move(bound.value());
+
+  EstimatorModel model(round->old_ctx.get());
+  CostParams params;
+  Planner planner(round->old_ctx.get(), &model, params);
+  auto planned = planner.Plan();
+  EXPECT_TRUE(planned.ok()) << planned.status().ToString();
+  round->memo = planner.TakeMemo();
+
+  // Lowest join node = the re-optimizer's default materialization pick.
+  plan::PlanNode* offender = nullptr;
+  planned->root->PostOrder([&](plan::PlanNode* node) {
+    if (!node->is_join()) return;
+    if (offender == nullptr ||
+        node->rels.count() < offender->rels.count()) {
+      offender = node;
+    }
+  });
+  EXPECT_NE(offender, nullptr);
+  round->subset = offender->rels;
+
+  std::vector<plan::ColumnRef> temp_cols =
+      reoptimizer::ColumnsToMaterialize(*round->old_spec, round->subset);
+  round->temp_name = db->catalog.NextTempName("incrtest");
+
+  auto write = std::make_unique<plan::PlanNode>();
+  write->op = plan::PlanOp::kTempWrite;
+  write->rels = round->subset;
+  write->est_rows = offender->est_rows;
+  write->temp_table_name = round->temp_name;
+  write->temp_columns = temp_cols;
+  write->left = plan::ClonePlan(*offender);
+  write->est_cost = write->left->est_cost;
+  exec::Executor executor(&db->catalog, &db->stats, params);
+  auto executed = executor.Execute(*round->old_spec, write.get());
+  EXPECT_TRUE(executed.ok()) << executed.status().ToString();
+
+  round->new_spec =
+      reoptimizer::RewriteWithTemp(*round->old_spec, round->subset,
+                                   round->temp_name, temp_cols,
+                                   /*round=*/0, &round->info);
+  auto rebound =
+      QueryContext::Bind(round->new_spec.get(), &db->catalog, &db->stats);
+  EXPECT_TRUE(rebound.ok()) << rebound.status().ToString();
+  round->new_ctx = std::move(rebound.value());
+  round->translation = reoptimizer::MemoTranslationFor(
+      *round->old_spec, *round->new_spec, round->subset, round->info);
+  EXPECT_TRUE(round->translation.valid);
+  return round;
+}
+
+void ExpectSameResult(const PlannerResult& a, const PlannerResult& b,
+                      const plan::QuerySpec& query) {
+  EXPECT_EQ(plan::ExplainPlan(*a.root, query),
+            plan::ExplainPlan(*b.root, query));
+  EXPECT_EQ(a.root->est_cost, b.root->est_cost);
+  EXPECT_EQ(a.num_estimates, b.num_estimates);
+  EXPECT_EQ(a.num_paths, b.num_paths);
+  EXPECT_EQ(a.planning_cost_units, b.planning_cost_units);
+}
+
+void CheckIncrementalMatchesFromScratch(
+    std::unique_ptr<plan::QuerySpec> spec) {
+  auto round = MaterializeLowestJoin(std::move(spec));
+  CostParams params;
+
+  // Incremental: rebind the original run's model (the hoisted-model flow)
+  // and carry the memo across the rewrite.
+  EstimatorModel inc_model(round->old_ctx.get());
+  inc_model.Rebind(round->new_ctx.get(), nullptr);
+  Planner inc_planner(round->new_ctx.get(), &inc_model, params);
+  auto inc = inc_planner.PlanIncremental(round->memo, round->translation);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  EXPECT_TRUE(inc->used_incremental);
+
+  // From-scratch oracle: fresh model, fresh DP on the rewritten query.
+  EstimatorModel fresh_model(round->new_ctx.get());
+  Planner fresh_planner(round->new_ctx.get(), &fresh_model, params);
+  auto fresh = fresh_planner.Plan();
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+  ExpectSameResult(*inc, *fresh, *round->new_spec);
+  // The carried model's accounting matches the fresh model's too.
+  EXPECT_EQ(inc_model.num_estimates(), fresh_model.num_estimates());
+  EXPECT_EQ(inc_model.estimates_by_size(), fresh_model.estimates_by_size());
+}
+
+TEST(PlannerIncrementalTest, ChainGraph) {
+  CheckIncrementalMatchesFromScratch(ChainQuery());
+}
+
+TEST(PlannerIncrementalTest, StarGraph) {
+  CheckIncrementalMatchesFromScratch(StarQuery());
+}
+
+TEST(PlannerIncrementalTest, CliqueGraph) {
+  CheckIncrementalMatchesFromScratch(CliqueQuery());
+}
+
+TEST(PlannerIncrementalTest, InvalidTranslationFallsBack) {
+  auto round = MaterializeLowestJoin(ChainQuery());
+  CostParams params;
+  MemoTranslation broken;  // valid == false
+  EstimatorModel model(round->new_ctx.get());
+  Planner planner(round->new_ctx.get(), &model, params);
+  auto planned = planner.PlanIncremental(round->memo, broken);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  EXPECT_FALSE(planned->used_incremental);
+
+  EstimatorModel fresh_model(round->new_ctx.get());
+  Planner fresh_planner(round->new_ctx.get(), &fresh_model, params);
+  auto fresh = fresh_planner.Plan();
+  ASSERT_TRUE(fresh.ok());
+  ExpectSameResult(*planned, *fresh, *round->new_spec);
+}
+
+TEST(PlannerIncrementalTest, ShapeChangeForcesFromScratchFallback) {
+  // Star rewrite, then the rewritten query gains an extra edge directly
+  // connecting two surviving relations that were previously connected only
+  // through the materialized center. The new graph has connected
+  // survivor-only subsets the old DP never planned, so the carry-over
+  // invariant fails and PlanIncremental must fall back.
+  auto round = MaterializeLowestJoin(StarQuery());
+  ASSERT_GE(round->new_spec->num_relations(), 3);
+
+  // Find two survivor relations (not the temp) with a movie_id column —
+  // the star's leaves all have one, and none of them are adjacent to each
+  // other in the original graph (only to the materialized center).
+  const storage::Catalog& catalog = SmallImdb()->catalog;
+  int rel_a = -1, rel_b = -1;
+  common::ColumnIdx col_a = -1, col_b = -1;
+  for (int r = 0; r < round->new_spec->num_relations() - 1 &&
+                  (rel_a < 0 || rel_b < 0);
+       ++r) {
+    if (r == round->info.temp_rel) continue;
+    const storage::Table* table = catalog.FindTable(
+        round->new_spec->relations[static_cast<size_t>(r)].table_name);
+    ASSERT_NE(table, nullptr);
+    common::ColumnIdx c = table->schema().FindColumn("movie_id");
+    if (c < 0) continue;
+    if (rel_a < 0) {
+      rel_a = r;
+      col_a = c;
+    } else {
+      rel_b = r;
+      col_b = c;
+    }
+  }
+  ASSERT_GE(rel_a, 0);
+  ASSERT_GE(rel_b, 0);
+
+  plan::JoinEdge extra;
+  extra.left = plan::ColumnRef{rel_a, col_a, "movie_id"};
+  extra.right = plan::ColumnRef{rel_b, col_b, "movie_id"};
+
+  // Reserve first so appending does not reallocate: the translation built
+  // against the pre-append spec (whose edge pointers must stay valid) is
+  // the one fed to the planner, forcing its *internal* shape check to
+  // detect the new survivor-survivor connectivity.
+  round->new_spec->joins.reserve(round->new_spec->joins.size() + 1);
+  round->translation = reoptimizer::MemoTranslationFor(
+      *round->old_spec, *round->new_spec, round->subset, round->info);
+  ASSERT_TRUE(round->translation.valid);
+  round->new_spec->joins.push_back(extra);
+
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto rebound =
+      QueryContext::Bind(round->new_spec.get(), &db->catalog, &db->stats);
+  ASSERT_TRUE(rebound.ok()) << rebound.status().ToString();
+  round->new_ctx = std::move(rebound.value());
+
+  // Deriving the translation after the mutation must itself refuse: the
+  // trailing edge is something RewriteWithTemp can never have produced.
+  EXPECT_FALSE(reoptimizer::MemoTranslationFor(*round->old_spec,
+                                               *round->new_spec,
+                                               round->subset, round->info)
+                   .valid);
+
+  CostParams params;
+  EstimatorModel model(round->new_ctx.get());
+  Planner planner(round->new_ctx.get(), &model, params);
+  auto planned = planner.PlanIncremental(round->memo, round->translation);
+  ASSERT_TRUE(planned.ok()) << planned.status().ToString();
+  EXPECT_FALSE(planned->used_incremental);  // fell back
+
+  EstimatorModel fresh_model(round->new_ctx.get());
+  Planner fresh_planner(round->new_ctx.get(), &fresh_model, params);
+  auto fresh = fresh_planner.Plan();
+  ASSERT_TRUE(fresh.ok());
+  ExpectSameResult(*planned, *fresh, *round->new_spec);
+}
+
+TEST(PlannerIncrementalTest, OptimizedPlannerMatchesRetainedReference) {
+  // The allocation-discipline rewrite of the DP (unordered memo, edge
+  // adjacency table, pooled plan nodes) must not move a single number
+  // relative to the verbatim pre-change planner.
+  imdb::ImdbDatabase* db = SmallImdb();
+  std::vector<std::unique_ptr<plan::QuerySpec>> specs;
+  specs.push_back(ChainQuery());
+  specs.push_back(StarQuery());
+  specs.push_back(CliqueQuery());
+  specs.push_back(workload::MakeQuery6d(db->catalog));
+  specs.push_back(workload::MakeQuery18a(db->catalog));
+  specs.push_back(workload::MakeQuery25c(db->catalog));
+  CostParams params;
+  for (const auto& spec : specs) {
+    auto bound = QueryContext::Bind(spec.get(), &db->catalog, &db->stats);
+    ASSERT_TRUE(bound.ok()) << spec->name;
+    auto ctx = std::move(bound.value());
+
+    EstimatorModel ref_model(ctx.get());
+    reference::Planner ref_planner(ctx.get(), &ref_model, params);
+    auto ref = ref_planner.Plan();
+    ASSERT_TRUE(ref.ok()) << spec->name;
+
+    EstimatorModel opt_model(ctx.get());
+    Planner opt_planner(ctx.get(), &opt_model, params);
+    auto opt = opt_planner.Plan();
+    ASSERT_TRUE(opt.ok()) << spec->name;
+
+    ExpectSameResult(*ref, *opt, *spec);
+    EXPECT_EQ(ref_model.num_estimates(), opt_model.num_estimates())
+        << spec->name;
+    EXPECT_EQ(ref_model.estimates_by_size(), opt_model.estimates_by_size())
+        << spec->name;
+  }
+}
+
+TEST(PlannerIncrementalTest, MemoReplayMatchesPlan) {
+  // PlanFromMemo on the same context: identical plan and accounting, zero
+  // fresh model computations beyond the seeded entries.
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto spec = ChainQuery();
+  auto bound = QueryContext::Bind(spec.get(), &db->catalog, &db->stats);
+  ASSERT_TRUE(bound.ok());
+  auto ctx = std::move(bound.value());
+  CostParams params;
+
+  EstimatorModel model_a(ctx.get());
+  Planner planner_a(ctx.get(), &model_a, params);
+  auto first = planner_a.Plan();
+  ASSERT_TRUE(first.ok());
+  PlanMemo memo = planner_a.TakeMemo();
+
+  EstimatorModel model_b(ctx.get());
+  Planner planner_b(ctx.get(), &model_b, params);
+  auto replay = planner_b.PlanFromMemo(memo);
+  ASSERT_TRUE(replay.ok());
+  ExpectSameResult(*first, *replay, *spec);
+  EXPECT_EQ(model_a.num_estimates(), model_b.num_estimates());
+  EXPECT_EQ(model_a.estimates_by_size(), model_b.estimates_by_size());
+}
+
+}  // namespace
+}  // namespace reopt::optimizer

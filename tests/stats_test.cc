@@ -4,9 +4,11 @@
 
 #include "common/rng.h"
 #include "stats/analyze.h"
+#include "stats/analyze_reference.h"
 #include "stats/histogram.h"
 #include "stats/stats_catalog.h"
 #include "storage/table.h"
+#include "tests/test_util.h"
 
 namespace reopt::stats {
 namespace {
@@ -202,6 +204,110 @@ TEST(StatsCatalogTest, AnalyzeAllAndLookup) {
   EXPECT_EQ(sc.Find("missing"), nullptr);
   sc.Remove("t1");
   EXPECT_EQ(sc.Find("t1"), nullptr);
+}
+
+// ---- Typed ANALYZE vs the retained boxed reference ------------------------
+
+// Bit-identical is the contract: the typed single-pass path must emit
+// exactly the stats the boxed implementation does, double for double.
+void ExpectStatsEqual(const ColumnStats& a, const ColumnStats& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.null_frac, b.null_frac) << label;
+  EXPECT_EQ(a.num_distinct, b.num_distinct) << label;
+  EXPECT_EQ(a.non_mcv_frac, b.non_mcv_frac) << label;
+  EXPECT_EQ(a.non_mcv_distinct, b.non_mcv_distinct) << label;
+  EXPECT_EQ(a.min, b.min) << label;
+  EXPECT_EQ(a.max, b.max) << label;
+  ASSERT_EQ(a.mcv.values.size(), b.mcv.values.size()) << label;
+  for (size_t i = 0; i < a.mcv.values.size(); ++i) {
+    EXPECT_EQ(a.mcv.values[i], b.mcv.values[i]) << label << " mcv " << i;
+    EXPECT_EQ(a.mcv.freqs[i], b.mcv.freqs[i]) << label << " mcv " << i;
+  }
+  ASSERT_EQ(a.histogram.bounds().size(), b.histogram.bounds().size()) << label;
+  for (size_t i = 0; i < a.histogram.bounds().size(); ++i) {
+    EXPECT_EQ(a.histogram.bounds()[i], b.histogram.bounds()[i])
+        << label << " bound " << i;
+  }
+}
+
+TEST(AnalyzeDifferentialTest, MatchesReferenceOnEveryImdbColumn) {
+  // Every column of the generated IMDB database — int keys, nullable
+  // foreign keys, strings, skew — full scan and two sample sizes.
+  const storage::Catalog& catalog = testing::SmallImdb()->catalog;
+  for (int64_t sample : {int64_t{0}, int64_t{257}, int64_t{4096}}) {
+    AnalyzeOptions options;
+    options.sample_size = sample;
+    for (const std::string& name : catalog.TableNames()) {
+      const storage::Table* table = catalog.FindTable(name);
+      for (common::ColumnIdx c = 0; c < table->num_columns(); ++c) {
+        ColumnStats typed = AnalyzeColumn(table->column(c), options);
+        ColumnStats boxed = reference::AnalyzeColumn(table->column(c), options);
+        ExpectStatsEqual(typed, boxed,
+                         name + "." + std::to_string(c) + " sample=" +
+                             std::to_string(sample));
+      }
+    }
+  }
+}
+
+TEST(AnalyzeDifferentialTest, FusedComputeMatchesAnalyzeColumn) {
+  // The fused materialize+ANALYZE contract: feeding the values written to a
+  // temp column straight into ComputeColumnStats equals analyzing the
+  // finished column.
+  std::vector<int64_t> raw = {5, 3, 3, 7, 7, 7, 1, 9, 9, 2};
+  storage::Column col(common::DataType::kInt64);
+  std::vector<int64_t> values;
+  int64_t nulls = 0;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (i % 4 == 3) {
+      col.AppendNull();
+      ++nulls;
+    } else {
+      col.AppendInt(raw[i]);
+      values.push_back(raw[i]);
+    }
+  }
+  ColumnStats fused =
+      ComputeColumnStats(std::move(values), col.size(), nulls);
+  ExpectStatsEqual(fused, AnalyzeColumn(col), "fused int column");
+}
+
+// ---- Sampling semantics (pinned) ------------------------------------------
+
+TEST(AnalyzeSamplingTest, ColumnSmallerThanSampleSizeIsExact) {
+  // A column with fewer rows than sample_size takes the full-scan branch:
+  // no replacement, no double counting, exact NDV and null fraction.
+  storage::Column col = MakeIntColumn({1, 1, 2, 3, 4, 4, 5, 6}, 2);
+  AnalyzeOptions options;
+  options.sample_size = 100;  // > 10 rows
+  ColumnStats stats = AnalyzeColumn(col, options);
+  EXPECT_DOUBLE_EQ(stats.null_frac, 0.2);
+  EXPECT_DOUBLE_EQ(stats.num_distinct, 6.0);
+  EXPECT_EQ(stats.min, common::Value::Int(1));
+  EXPECT_EQ(stats.max, common::Value::Int(6));
+}
+
+TEST(AnalyzeSamplingTest, WithReplacementDoubleCountsDeterministically) {
+  // When it does sample (sample_size < rows), sampling is WITH
+  // replacement: a row drawn twice counts twice toward sample_rows and
+  // the value distribution. The fixed seed pins the draw sequence, so the
+  // resulting stats are deterministic and identical to the reference
+  // implementation's.
+  std::vector<int64_t> xs;
+  for (int64_t i = 0; i < 200; ++i) xs.push_back(i % 8);
+  storage::Column col = MakeIntColumn(xs, /*num_nulls=*/1);
+  AnalyzeOptions options;
+  options.sample_size = 64;
+  ColumnStats typed = AnalyzeColumn(col, options);
+  ColumnStats boxed = reference::AnalyzeColumn(col, options);
+  ExpectStatsEqual(typed, boxed, "with-replacement sample");
+  // null_frac's denominator is the 64 drawn rows (duplicates included):
+  // whatever fraction comes out is a whole number of 64ths.
+  double scaled = typed.null_frac * 64.0;
+  EXPECT_EQ(scaled, std::floor(scaled));
+  // At most 8 distinct values exist; replacement cannot invent more.
+  EXPECT_LE(typed.num_distinct, 8.0);
+  EXPECT_GE(typed.num_distinct, 1.0);
 }
 
 }  // namespace
