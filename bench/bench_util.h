@@ -4,13 +4,19 @@
 // shapes, not absolute numbers, are the reproduction target (docs/ARCHITECTURE.md).
 //
 // Parallelism: every driver accepts --threads=N (or REOPT_BENCH_THREADS);
-// N=0 means all hardware threads. Simulated-time results are byte-identical
-// at any thread count — threads only shrink wall-clock (see
-// docs/ARCHITECTURE.md, "Concurrency model") — so the default stays 1 for
-// predictable machine load, not for reproducibility.
+// N=0 means all hardware threads, and N is the *total* thread budget.
+// --intra-threads=M (REOPT_BENCH_INTRA_THREADS) carves the budget into
+// max(1, N/M) inter-query workers, each executing its query over M morsel
+// workers, so the two levels never oversubscribe the budget. Simulated-time
+// results are byte-identical at any setting — threads only shrink
+// wall-clock (see docs/ARCHITECTURE.md, "Concurrency model") — so the
+// default stays 1 for predictable machine load, not for reproducibility.
+// Malformed or negative values are rejected with an error message and
+// clamped to 1 (serial) rather than silently misread.
 #ifndef REOPT_BENCH_BENCH_UTIL_H_
 #define REOPT_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,8 +35,12 @@ struct BenchEnv {
   std::unique_ptr<imdb::ImdbDatabase> db;
   std::unique_ptr<workload::JobLikeWorkload> workload;
   std::unique_ptr<workload::WorkloadRunner> runner;
-  /// Worker threads for RunAll/RunSweep (from --threads / env; default 1).
+  /// Inter-query worker threads for RunAll/RunSweep: the --threads budget
+  /// divided by intra_threads (floor, min 1).
   int threads = 1;
+  /// Morsel workers per executing query (--intra-threads; default 1).
+  /// Already applied to `runner` via set_intra_query_threads.
+  int intra_threads = 1;
 };
 
 inline double BenchScale() {
@@ -42,38 +52,101 @@ inline double BenchScale() {
   return 0.4;
 }
 
-/// Thread count from --threads=N (precedence) or REOPT_BENCH_THREADS.
-/// 0 means "all hardware threads"; absent/invalid means 1 (serial).
-inline int BenchThreads(int argc, char** argv) {
-  auto resolve = [](const char* s) {
-    int n = std::atoi(s);
-    if (n > 0) return n;
-    if (s[0] == '0' && s[1] == '\0') return common::DefaultThreadCount();
+/// Strictly parses one thread-count value: an integer >= 0, where 0 means
+/// "all hardware threads". Garbage (non-numeric, trailing junk, empty) and
+/// negative values produce a clear stderr error and clamp to 1 (serial) —
+/// a bench must never silently run with a misread thread count.
+inline int ParseThreadCount(const char* s, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "[bench] ERROR: %s expects a non-negative integer "
+                 "(0 = all hardware threads), got \"%s\"; running serial "
+                 "(1 thread)\n",
+                 what, s);
     return 1;
-  };
+  }
+  if (v < 0) {
+    std::fprintf(stderr,
+                 "[bench] ERROR: %s must be >= 0 "
+                 "(0 = all hardware threads), got %ld; running serial "
+                 "(1 thread)\n",
+                 what, v);
+    return 1;
+  }
+  if (v == 0) return common::DefaultThreadCount();
+  if (v > 1024) {
+    std::fprintf(stderr,
+                 "[bench] ERROR: %s = %ld is not a plausible thread count; "
+                 "clamping to 1024\n",
+                 what, v);
+    return 1024;
+  }
+  return static_cast<int>(v);
+}
+
+/// One thread-count knob resolved from --<flag>=N (precedence) or the
+/// environment variable `env_var`; absent means 1 (serial).
+inline int BenchThreadFlag(int argc, char** argv, const char* flag,
+                           const char* env_var) {
+  const size_t flag_len = std::strlen(flag);
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      return resolve(argv[i] + 10);
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      return ParseThreadCount(argv[i] + flag_len + 1, flag);
     }
   }
-  const char* env = std::getenv("REOPT_BENCH_THREADS");
-  if (env != nullptr && env[0] != '\0') return resolve(env);
+  const char* env = std::getenv(env_var);
+  if (env != nullptr && env[0] != '\0') return ParseThreadCount(env, env_var);
   return 1;
+}
+
+/// Total thread budget from --threads=N / REOPT_BENCH_THREADS.
+inline int BenchThreads(int argc, char** argv) {
+  return BenchThreadFlag(argc, argv, "--threads", "REOPT_BENCH_THREADS");
+}
+
+/// Morsel workers per query from --intra-threads=M /
+/// REOPT_BENCH_INTRA_THREADS.
+inline int BenchIntraThreads(int argc, char** argv) {
+  return BenchThreadFlag(argc, argv, "--intra-threads",
+                         "REOPT_BENCH_INTRA_THREADS");
 }
 
 inline std::unique_ptr<BenchEnv> MakeBenchEnv(int argc = 0,
                                               char** argv = nullptr) {
   auto env = std::make_unique<BenchEnv>();
-  env->threads = BenchThreads(argc, argv);
+  int budget = BenchThreads(argc, argv);
+  env->intra_threads = BenchIntraThreads(argc, argv);
+  // Split the budget: M morsel workers per query leaves max(1, N/M)
+  // inter-query workers, so W*M never exceeds the budget. Asking for more
+  // morsel threads than the budget implicitly raises the budget to M
+  // (pure-intra runs like `--intra-threads=4` with the default
+  // --threads=1) — said out loud so the machine load is never a surprise.
+  if (env->intra_threads > budget) {
+    std::fprintf(stderr,
+                 "[bench] NOTE: --intra-threads=%d exceeds the --threads=%d "
+                 "budget; raising the budget to %d (1 worker x %d morsel "
+                 "threads)\n",
+                 env->intra_threads, budget, env->intra_threads,
+                 env->intra_threads);
+    budget = env->intra_threads;
+  }
+  env->threads = budget / env->intra_threads;
+  if (env->threads < 1) env->threads = 1;
   imdb::ImdbOptions options;
   options.scale = BenchScale();
   std::fprintf(stderr,
                "[bench] generating IMDB database at scale %.2f "
-               "(%d worker thread%s)...\n",
-               options.scale, env->threads, env->threads == 1 ? "" : "s");
+               "(%d worker%s x %d intra-query thread%s)...\n",
+               options.scale, env->threads, env->threads == 1 ? "" : "s",
+               env->intra_threads, env->intra_threads == 1 ? "" : "s");
   env->db = imdb::BuildImdbDatabase(options);
   env->workload = workload::BuildJobLikeWorkload(env->db->catalog);
   env->runner = std::make_unique<workload::WorkloadRunner>(env->db.get());
+  env->runner->set_intra_query_threads(env->intra_threads);
   return env;
 }
 

@@ -3,6 +3,9 @@
 // workloads the sweeps are dominated by —
 //   * vectorized kernels vs the scalar kernel (filter scans over
 //     title/cast_info, the title x movie_keyword hash join),
+//   * intra-query morsel parallelism at 4 threads vs the serial vectorized
+//     kernel on the same large-scan and hash-join paths (speedups are
+//     hardware-dependent: expect >= 2x on a 4-core box, ~1x on 1 core),
 //   * the incremental re-planner (round >= 1 memo carry) and the round-0
 //     session-memo replay vs from-scratch DP,
 //   * the typed single-pass ANALYZE vs the boxed reference on a 1M-row
@@ -25,6 +28,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "exec/kernel.h"
 #include "exec/kernel_reference.h"
@@ -110,6 +114,96 @@ void Report(const Comparison& c) {
               c.name, scalar_rps, vec_rps, c.scalar_s / c.vectorized_s);
   Record(c.name, c.scalar_s, c.vectorized_s,
          static_cast<double>(c.rows_processed));
+}
+
+// ---- Intra-query parallelism ------------------------------------------------
+
+// Morsel-parallel kernels at 4 threads vs the serial vectorized kernel on
+// the single-query hot paths (one large filter scan, one large hash join).
+// Byte-identical results are gated; the speedup is informational and
+// hardware-dependent (hardware_concurrency is printed for context).
+// Runs on its own scale-0.5 database — the figure sweeps' scale — so the
+// per-morsel work dominates dispatch the way it does in real runs.
+bool BenchIntraQuery() {
+  bool ok = true;
+  constexpr int kReps = 9;
+  constexpr int kThreads = 4;
+  imdb::ImdbOptions options;
+  options.scale = 0.5;
+  auto db_owned = imdb::BuildImdbDatabase(options);
+  imdb::ImdbDatabase* db = db_owned.get();
+  common::ThreadPool pool(kThreads);
+  exec::MorselContext ctx{kThreads, &pool};
+  std::printf("intra-query parallelism: %d morsel threads "
+              "(%d hardware threads available)\n",
+              kThreads, common::DefaultThreadCount());
+
+  // Large scan: the cast_info integer conjunction (the biggest base table).
+  {
+    const storage::Table* ci = db->catalog.FindTable("cast_info");
+    plan::ScanPredicate role;
+    role.column = plan::ColumnRef{0, ci->schema().FindColumn("role_id"), ""};
+    role.kind = plan::ScanPredicate::Kind::kIn;
+    role.in_list = {common::Value::Int(1), common::Value::Int(2)};
+    plan::ScanPredicate person;
+    person.column =
+        plan::ColumnRef{0, ci->schema().FindColumn("person_id"), ""};
+    person.kind = plan::ScanPredicate::Kind::kCompare;
+    person.op = plan::CompareOp::kGt;
+    person.value = common::Value::Int(100);
+    std::vector<const plan::ScanPredicate*> filters = {&role, &person};
+
+    std::vector<common::RowIdx> serial_rows, par_rows;
+    double serial_s = BestSeconds(
+        [&] { serial_rows = exec::FilterScan(*ci, filters); }, kReps);
+    double par_s = BestSeconds(
+        [&] { par_rows = exec::FilterScanParallel(*ci, filters, ctx); },
+        kReps);
+    if (serial_rows != par_rows) {
+      std::fprintf(stderr, "FAIL: parallel filter-scan results differ\n");
+      ok = false;
+    }
+    std::printf("%-28s serial  %10.1f ms       4-thread %10.1f ms       "
+                "speedup %.2fx\n",
+                "intra filter-scan cast_info", serial_s * 1e3, par_s * 1e3,
+                serial_s / par_s);
+    Record("intra_filter_scan_cast_info_4t", serial_s, par_s,
+           static_cast<double>(ci->num_rows()));
+  }
+
+  // Large hash join: title x movie_keyword (both sides unfiltered).
+  {
+    auto query = workload::MakeQuery6d(db->catalog);
+    exec::BoundRelations rels = exec::BindRelations(*query, db->catalog);
+    exec::Intermediate t =
+        exec::ExactJoin(*query, plan::RelSet::Single(4), rels);
+    exec::Intermediate mk =
+        exec::ExactJoin(*query, plan::RelSet::Single(2), rels);
+    auto edges = query->JoinsBetween(plan::RelSet::Single(4),
+                                     plan::RelSet::Single(2));
+
+    exec::Intermediate serial_out, par_out;
+    double serial_s = BestSeconds(
+        [&] { serial_out = exec::HashJoinIntermediates(t, mk, edges, rels); },
+        kReps);
+    double par_s = BestSeconds(
+        [&] {
+          par_out =
+              exec::HashJoinIntermediatesParallel(t, mk, edges, rels, ctx);
+        },
+        kReps);
+    if (serial_out.columns != par_out.columns) {
+      std::fprintf(stderr, "FAIL: parallel hash-join results differ\n");
+      ok = false;
+    }
+    std::printf("%-28s serial  %10.1f ms       4-thread %10.1f ms       "
+                "speedup %.2fx\n",
+                "intra hash-join title x mk", serial_s * 1e3, par_s * 1e3,
+                serial_s / par_s);
+    Record("intra_hash_join_title_mk_4t", serial_s, par_s,
+           static_cast<double>(t.size() + mk.size()));
+  }
+  return ok;
 }
 
 // ---- Re-plan path -----------------------------------------------------------
@@ -471,6 +565,9 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
+
+  // ---- Intra-query morsel parallelism -------------------------------------
+  ok = BenchIntraQuery() && ok;
 
   // ---- Planner paths and ANALYZE ------------------------------------------
   // 18a (7-way) plus the workload's largest query: re-planning cost is

@@ -39,19 +39,23 @@ std::string Join(const std::vector<std::string>& parts,
 }
 
 bool LikeMatch(std::string_view text, std::string_view pattern) {
-  // Iterative two-pointer match with backtracking to the last '%'.
+  // Iterative two-pointer match with backtracking to the last '%'. The
+  // wildcard test must come before the literal-character test: a '%' in
+  // the pattern is always a wildcard, even when the text happens to hold a
+  // literal '%' at that position (the old order consumed it as a
+  // single-character match, so e.g. "a%b" failed to match LIKE 'a%').
   size_t t = 0;
   size_t p = 0;
   size_t star_p = std::string_view::npos;
   size_t star_t = 0;
   while (t < text.size()) {
-    if (p < pattern.size() &&
-        (pattern[p] == '_' || pattern[p] == text[t])) {
-      ++t;
-      ++p;
-    } else if (p < pattern.size() && pattern[p] == '%') {
+    if (p < pattern.size() && pattern[p] == '%') {
       star_p = p++;
       star_t = t;
+    } else if (p < pattern.size() &&
+               (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
     } else if (star_p != std::string_view::npos) {
       p = star_p + 1;
       t = ++star_t;

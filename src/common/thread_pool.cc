@@ -1,6 +1,6 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
+#include <algorithm>
 #include <utility>
 
 namespace reopt::common {
@@ -17,7 +17,8 @@ ThreadPool::~ThreadPool() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     // Let queued work drain before shutting down: Submit-after-Wait and
-    // destruction mid-batch both behave predictably.
+    // destruction mid-batch both behave predictably. A pending task
+    // exception is dropped here — destructors cannot rethrow.
     all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
     stopping_ = true;
   }
@@ -34,8 +35,16 @@ void ThreadPool::Submit(std::function<void(int)> task) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  if (error != nullptr) {
+    failed_.store(false, std::memory_order_relaxed);
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop(int worker) {
@@ -49,13 +58,51 @@ void ThreadPool::WorkerLoop(int worker) {
       queue_.pop_front();
       ++active_;
     }
-    task(worker);
+    std::exception_ptr error;
+    try {
+      task(worker);
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = error;  // first failure wins; later ones are dropped
+        failed_.store(true, std::memory_order_relaxed);
+      }
       --active_;
       if (queue_.empty() && active_ == 0) all_idle_.notify_all();
     }
   }
+}
+
+void ThreadPool::ParallelRun(
+    int64_t count, const std::function<void(int64_t, int)>& fn) {
+  ParallelRun(count, num_threads(), fn);
+}
+
+void ThreadPool::ParallelRun(
+    int64_t count, int max_workers,
+    const std::function<void(int64_t, int)>& fn) {
+  if (count <= 0) return;
+  int workers = num_threads() < max_workers ? num_threads() : max_workers;
+  if (workers > count) workers = static_cast<int>(count);
+  if (workers <= 1 || count == 1) {
+    // Inline: exceptions propagate naturally and the pool stays untouched.
+    for (int64_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  std::atomic<int64_t> next{0};
+  for (int w = 0; w < workers; ++w) {
+    Submit([this, &next, &fn, count](int worker) {
+      while (!has_error()) {
+        int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i, worker);
+      }
+    });
+  }
+  Wait();  // rethrows the first task exception, if any
 }
 
 void ParallelFor(int64_t count, int num_threads,
@@ -68,17 +115,24 @@ void ParallelFor(int64_t count, int num_threads,
     return;
   }
   ThreadPool pool(workers);
-  std::atomic<int64_t> next{0};
-  for (int w = 0; w < workers; ++w) {
-    pool.Submit([&](int worker) {
-      while (true) {
-        int64_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        fn(i, worker);
-      }
-    });
+  pool.ParallelRun(count, fn);
+}
+
+std::vector<MorselRange> MorselRanges(int64_t total, int64_t align,
+                                      int target_chunks) {
+  std::vector<MorselRange> out;
+  if (total <= 0) return out;
+  if (align < 1) align = 1;
+  int64_t chunks = target_chunks < 1 ? 1 : target_chunks;
+  // Chunk size: ceil(total / chunks) rounded up to the alignment, so every
+  // boundary lands on a multiple of `align`.
+  int64_t per = (total + chunks - 1) / chunks;
+  per = (per + align - 1) / align * align;
+  out.reserve(static_cast<size_t>((total + per - 1) / per));
+  for (int64_t begin = 0; begin < total; begin += per) {
+    out.push_back(MorselRange{begin, std::min(begin + per, total)});
   }
-  pool.Wait();
+  return out;
 }
 
 int DefaultThreadCount() {

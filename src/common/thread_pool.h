@@ -1,14 +1,25 @@
-// A small fixed-size thread pool plus a ParallelFor helper, the concurrency
-// substrate for the parallel workload-sweep engine (workload/runner.h).
+// A small fixed-size thread pool plus ParallelFor / morsel-scheduling
+// helpers: the concurrency substrate for the parallel workload-sweep engine
+// (workload/runner.h) and for intra-query morsel parallelism (exec/kernel.h).
 // Tasks receive the executing worker's 0-based index so callers can address
 // per-worker state (scratch buffers, namespaced temp tables) without any
 // further synchronization.
+//
+// Exception safety: a throwing task does NOT terminate the process. The
+// pool captures the first exception a task throws (std::exception_ptr) and
+// rethrows it on the thread that joins the batch — Wait(), ParallelRun(),
+// or ParallelFor()'s caller. Later exceptions from the same batch are
+// dropped, and pending work is drained without being skipped (tasks are
+// cheap and bounded here; skipping would make "which tasks ran" depend on
+// scheduling).
 #ifndef REOPT_COMMON_THREAD_POOL_H_
 #define REOPT_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -21,7 +32,9 @@ class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to >= 1).
   explicit ThreadPool(int num_threads);
-  /// Waits for all queued work, then joins the workers.
+  /// Waits for all queued work, then joins the workers. An exception still
+  /// pending from a task that threw after the last Wait() is dropped
+  /// (destructors cannot throw).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -30,13 +43,35 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues a task; it runs on some worker and is passed that worker's
-  /// index in [0, num_threads()). Tasks must not throw (the library is
-  /// exception-free); they may Submit further tasks.
+  /// index in [0, num_threads()). Tasks may throw — the first exception is
+  /// captured and rethrown by the next Wait() — and may Submit further
+  /// tasks.
   void Submit(std::function<void(int worker)> task);
 
-  /// Blocks until the queue is empty and every worker is idle. The pool is
-  /// reusable afterwards.
+  /// Blocks until the queue is empty and every worker is idle, then
+  /// rethrows the first exception any task threw since the previous Wait()
+  /// (clearing it — the pool stays reusable afterwards).
   void Wait();
+
+  /// True while an uncollected task exception is pending. Cheap (relaxed
+  /// atomic); long-running tasks poll it to stop early once a sibling has
+  /// failed.
+  bool has_error() const { return failed_.load(std::memory_order_relaxed); }
+
+  /// Runs fn(index, worker) for every index in [0, count), distributing
+  /// indices over this pool's workers through an atomic cursor, and blocks
+  /// until every index has been processed (rethrowing the first task
+  /// exception; once a task throws, remaining indices are skipped). Must
+  /// not run concurrently with other work on the same pool — Wait()
+  /// semantics are pool-wide. With count <= 1 the call runs inline on the
+  /// calling thread as worker 0. `max_workers` caps how many pool workers
+  /// the batch may occupy (a budget below the pool size; the two-argument
+  /// form uses them all); the worker index passed to fn is always the
+  /// pool-wide worker id.
+  void ParallelRun(int64_t count,
+                   const std::function<void(int64_t index, int worker)>& fn);
+  void ParallelRun(int64_t count, int max_workers,
+                   const std::function<void(int64_t index, int worker)>& fn);
 
  private:
   void WorkerLoop(int worker);
@@ -47,6 +82,8 @@ class ThreadPool {
   std::deque<std::function<void(int)>> queue_;
   int active_ = 0;        // tasks currently executing
   bool stopping_ = false;
+  std::exception_ptr first_error_;  // first uncollected task exception
+  std::atomic<bool> failed_{false};
   std::vector<std::thread> workers_;
 };
 
@@ -55,9 +92,24 @@ class ThreadPool {
 /// `worker` is in [0, min(num_threads, count)). With num_threads <= 1 (or
 /// count <= 1) everything runs inline on worker 0 and no threads are
 /// spawned, so serial callers pay nothing. Returns once every index has
-/// been processed.
+/// been processed; if fn throws, the first exception is rethrown on the
+/// calling thread after the remaining workers stop.
 void ParallelFor(int64_t count, int num_threads,
                  const std::function<void(int64_t index, int worker)>& fn);
+
+/// One contiguous morsel of a larger index range: [begin, end).
+struct MorselRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+/// Splits [0, total) into at most `target_chunks` contiguous morsels whose
+/// boundaries are multiples of `align` (the final morsel absorbs the
+/// remainder). The partition depends only on (total, align, target_chunks)
+/// — never on scheduling — so per-morsel results merged in index order are
+/// deterministic. Returns an empty vector for total <= 0.
+std::vector<MorselRange> MorselRanges(int64_t total, int64_t align,
+                                      int target_chunks);
 
 /// std::thread::hardware_concurrency with a floor of 1 (the standard allows
 /// it to report 0).

@@ -20,17 +20,22 @@ using optimizer::TempWriteCost;
 std::vector<common::RowIdx> Executor::RunFilterScan(
     const storage::Table& table,
     const std::vector<const plan::ScanPredicate*>& filters) const {
-  return kernel_mode_ == KernelMode::kReference
-             ? reference::FilterScan(table, filters)
-             : FilterScan(table, filters);
+  if (kernel_mode_ == KernelMode::kReference) {
+    return reference::FilterScan(table, filters);
+  }
+  return intra_.enabled() ? FilterScanParallel(table, filters, intra_)
+                          : FilterScan(table, filters);
 }
 
 Intermediate Executor::RunHashJoin(
     const Intermediate& left, const Intermediate& right,
     const std::vector<const plan::JoinEdge*>& edges,
     const BoundRelations& rels) const {
-  return kernel_mode_ == KernelMode::kReference
-             ? reference::HashJoinIntermediates(left, right, edges, rels)
+  if (kernel_mode_ == KernelMode::kReference) {
+    return reference::HashJoinIntermediates(left, right, edges, rels);
+  }
+  return intra_.enabled()
+             ? HashJoinIntermediatesParallel(left, right, edges, rels, intra_)
              : HashJoinIntermediates(left, right, edges, rels);
 }
 

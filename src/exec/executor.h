@@ -49,6 +49,17 @@ class Executor {
   void set_kernel_mode(KernelMode mode) { kernel_mode_ = mode; }
   KernelMode kernel_mode() const { return kernel_mode_; }
 
+  /// Intra-query morsel parallelism: FilterScan and hash joins fan over up
+  /// to `threads` of `pool`'s workers (see exec::MorselContext). Results
+  /// are byte-identical to the serial executor at any setting; threads <= 1
+  /// or a null pool keeps the serial kernels. The reference kernel mode is
+  /// always serial (it is the correctness oracle).
+  void set_intra_query_parallelism(int threads, common::ThreadPool* pool) {
+    intra_.threads = threads < 1 ? 1 : threads;
+    intra_.pool = pool;
+  }
+  int intra_query_threads() const { return intra_.threads; }
+
   /// Executes `plan` for `query`. Fills actual_rows / charged_cost on every
   /// node of the plan.
   common::Result<QueryResult> Execute(const plan::QuerySpec& query,
@@ -85,6 +96,7 @@ class Executor {
   stats::StatsCatalog* stats_catalog_;
   optimizer::CostParams params_;
   KernelMode kernel_mode_ = DefaultKernelMode();
+  MorselContext intra_;
 };
 
 }  // namespace reopt::exec

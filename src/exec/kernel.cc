@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "plan/join_graph.h"
 
 namespace reopt::exec {
@@ -535,6 +536,74 @@ std::vector<common::RowIdx> FilterScan(
 }
 
 // ---------------------------------------------------------------------------
+// Morsel-parallel FilterScan
+// ---------------------------------------------------------------------------
+namespace {
+
+/// Inputs below these sizes run serially even with a budget: morsel
+/// dispatch would cost more than it buys.
+constexpr int64_t kParallelMinRows = 4 * kKernelBatchSize;
+
+/// Morsels per worker: enough over-decomposition that one slow morsel
+/// (selective LIKE, hot chain) cannot leave siblings idle, small enough
+/// that per-morsel buffers stay negligible.
+constexpr int kMorselsPerWorker = 8;
+
+}  // namespace
+
+std::vector<common::RowIdx> FilterScanParallel(
+    const storage::Table& table,
+    const std::vector<const plan::ScanPredicate*>& filters,
+    const MorselContext& ctx) {
+  const int64_t n = table.num_rows();
+  if (!ctx.enabled() || n < kParallelMinRows || filters.empty()) {
+    return FilterScan(table, filters);
+  }
+
+  // Bound once, read-only across workers (ApplyPredicate never mutates).
+  std::vector<BoundPredicate> bound;
+  bound.reserve(filters.size());
+  for (const plan::ScanPredicate* pred : filters) {
+    bound.push_back(BindPredicate(*pred, table));
+  }
+
+  // 1024-row-aligned morsels: chunk boundaries coincide with the serial
+  // scan's batch boundaries, so every batch is evaluated exactly as the
+  // serial kernel would.
+  const std::vector<common::MorselRange> morsels = common::MorselRanges(
+      n, kKernelBatchSize, ctx.threads * kMorselsPerWorker);
+  std::vector<std::vector<common::RowIdx>> parts(morsels.size());
+  ctx.pool->ParallelRun(
+      static_cast<int64_t>(morsels.size()), ctx.threads, [&](int64_t m, int) {
+        const common::MorselRange range = morsels[static_cast<size_t>(m)];
+        std::vector<common::RowIdx>& part = parts[static_cast<size_t>(m)];
+        RowIdx sel[kKernelBatchSize];  // per-worker selection vector
+        for (int64_t lo = range.begin; lo < range.end;
+             lo += kKernelBatchSize) {
+          int count = static_cast<int>(
+              std::min<int64_t>(kKernelBatchSize, range.end - lo));
+          for (int i = 0; i < count; ++i) sel[i] = lo + i;
+          for (const BoundPredicate& bp : bound) {
+            count = ApplyPredicate(bp, sel, count);
+            if (count == 0) break;
+          }
+          part.insert(part.end(), sel, sel + count);
+        }
+      });
+
+  // Deterministic index-ordered merge: morsel outputs concatenated in
+  // morsel order are exactly the serial (ascending row id) result.
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<common::RowIdx> out;
+  out.reserve(total);
+  for (const auto& part : parts) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Two-phase hash join
 // ---------------------------------------------------------------------------
 namespace {
@@ -785,6 +854,334 @@ Intermediate HashJoinIntermediates(
     }
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-parallel hash join
+// ---------------------------------------------------------------------------
+namespace {
+
+/// Flattened composite keys, key-validity, and (build side only) splitmix
+/// hashes for one join side. The stored build hash doubles as the radix-
+/// partition selector (high bits) and the open-addressing slot (low bits),
+/// and is read once per partition pass; the probe side recomputes its hash
+/// inline from the keys it must read anyway, saving a full store+reload.
+struct HashedSide {
+  std::vector<int64_t> keys;     // keys[t * ne + i]
+  std::vector<uint8_t> has_key;  // 0 when any key part is NULL
+  std::vector<uint64_t> hashes;  // build side only; valid iff has_key[t]
+};
+
+/// ComputeKeys for the tuple range [begin, end): same per-edge inner loops
+/// as the serial ComputeKeys, then one optional hashing pass. Writes only
+/// to this range's slots, so concurrent ranges never touch the same bytes.
+void ComputeHashedRange(const std::vector<KeyColumn>& key_cols,
+                        int64_t begin, int64_t end, HashedSide* side) {
+  const size_t ne = key_cols.size();
+  int64_t* key_data = side->keys.data();
+  uint8_t* hk = side->has_key.data();
+  for (int64_t t = begin; t < end; ++t) hk[t] = 1;
+  for (size_t i = 0; i < ne; ++i) {
+    const RowIdx* tuple_rows = key_cols[i].tuple_rows;
+    const int64_t* vals = key_cols[i].col.ints;
+    const uint8_t* valid = key_cols[i].col.valid;
+    if (valid == nullptr) {
+      for (int64_t t = begin; t < end; ++t) {
+        key_data[static_cast<size_t>(t) * ne + i] =
+            vals[static_cast<size_t>(tuple_rows[t])];
+      }
+    } else {
+      for (int64_t t = begin; t < end; ++t) {
+        RowIdx row = tuple_rows[t];
+        if (valid[static_cast<size_t>(row)] == 0) {
+          hk[t] = 0;
+        } else {
+          key_data[static_cast<size_t>(t) * ne + i] =
+              vals[static_cast<size_t>(row)];
+        }
+      }
+    }
+  }
+  if (!side->hashes.empty()) {
+    uint64_t* hashes = side->hashes.data();
+    for (int64_t t = begin; t < end; ++t) {
+      if (hk[t]) {
+        hashes[t] = HashKey(&key_data[static_cast<size_t>(t) * ne], ne);
+      }
+    }
+  }
+}
+
+HashedSide ComputeHashedSide(const std::vector<KeyColumn>& key_cols,
+                             int64_t num_tuples, bool with_hashes,
+                             const MorselContext& ctx) {
+  const size_t ne = key_cols.size();
+  HashedSide side;
+  side.keys.resize(static_cast<size_t>(num_tuples) * ne);
+  side.has_key.resize(static_cast<size_t>(num_tuples));
+  if (with_hashes) side.hashes.resize(static_cast<size_t>(num_tuples));
+  const std::vector<common::MorselRange> morsels = common::MorselRanges(
+      num_tuples, kKernelBatchSize, ctx.threads * kMorselsPerWorker);
+  ctx.pool->ParallelRun(
+      static_cast<int64_t>(morsels.size()), ctx.threads, [&](int64_t m, int) {
+        const common::MorselRange r = morsels[static_cast<size_t>(m)];
+        ComputeHashedRange(key_cols, r.begin, r.end, &side);
+      });
+  return side;
+}
+
+/// One radix partition of the build-side hash table: a power-of-two slot
+/// range within the shared slot_head array. Partition p owns the build
+/// tuples whose hash's high bits equal p, so partitions can be built
+/// concurrently without synchronization.
+struct TablePartition {
+  int64_t base = 0;     // first slot in slot_head
+  uint64_t mask = 0;    // capacity - 1
+};
+
+/// Inserts partition `p`'s build tuples in reverse tuple order (prepending
+/// yields ascending duplicate chains — the serial build's chain order).
+/// With num_partitions == 1 every keyed tuple belongs to the partition.
+template <typename KeyOps>
+void BuildPartition(const KeyOps& ops, const HashedSide& build, int64_t p,
+                    int num_partition_bits, const TablePartition& part,
+                    std::vector<int64_t>* slot_head,
+                    std::vector<int64_t>* next) {
+  const int64_t build_n = static_cast<int64_t>(build.has_key.size());
+  const uint8_t* hk = build.has_key.data();
+  const uint64_t* hashes = build.hashes.data();
+  const uint64_t want = static_cast<uint64_t>(p);
+  for (int64_t t = build_n - 1; t >= 0; --t) {
+    if (!hk[t]) continue;
+    const uint64_t h = hashes[t];
+    if (num_partition_bits > 0 && (h >> (64 - num_partition_bits)) != want) {
+      continue;
+    }
+    uint64_t s = h & part.mask;
+    while (true) {
+      int64_t head = (*slot_head)[static_cast<size_t>(part.base) + s];
+      if (head < 0) {
+        (*slot_head)[static_cast<size_t>(part.base) + s] = t;
+        break;
+      }
+      if (ops.BuildMatchesBuild(head, t)) {
+        (*next)[static_cast<size_t>(t)] = head;
+        (*slot_head)[static_cast<size_t>(part.base) + s] = t;
+        break;
+      }
+      s = (s + 1) & part.mask;
+    }
+  }
+}
+
+/// Probes tuples [begin, end) against the partitioned table, appending
+/// matches (chain-ascending per probe tuple) to the chunk-local buffers.
+template <typename KeyOps>
+void ProbeRange(const KeyOps& ops, const HashedSide& probe, int64_t begin,
+                int64_t end, int num_partition_bits,
+                const std::vector<TablePartition>& parts,
+                const std::vector<int64_t>& slot_head,
+                const std::vector<int64_t>& next,
+                std::vector<int64_t>* match_build,
+                std::vector<int64_t>* match_probe) {
+  const uint8_t* hk = probe.has_key.data();
+  for (int64_t t = begin; t < end; ++t) {
+    if (!hk[t]) continue;
+    const uint64_t h = ops.ProbeHash(t);
+    const TablePartition& part =
+        parts[num_partition_bits > 0
+                  ? static_cast<size_t>(h >> (64 - num_partition_bits))
+                  : 0];
+    uint64_t s = h & part.mask;
+    while (true) {
+      int64_t head = slot_head[static_cast<size_t>(part.base) + s];
+      if (head < 0) break;  // miss
+      if (ops.BuildMatchesProbe(head, t)) {
+        for (int64_t b = head; b >= 0; b = next[static_cast<size_t>(b)]) {
+          match_build->push_back(b);
+          match_probe->push_back(t);
+        }
+        break;
+      }
+      s = (s + 1) & part.mask;
+    }
+  }
+}
+
+inline uint64_t RoundUpPow2(uint64_t v, uint64_t floor) {
+  uint64_t c = floor;
+  while (c < v) c <<= 1;
+  return c;
+}
+
+template <typename KeyOps>
+Intermediate HashJoinParallelImpl(const Intermediate& build,
+                                  const Intermediate& probe,
+                                  const KeyOps& ops,
+                                  const HashedSide& build_side,
+                                  const HashedSide& probe_side,
+                                  const MorselContext& ctx,
+                                  Intermediate out) {
+  const int64_t build_n = build.size();
+  const int64_t probe_n = probe.size();
+
+  // Partition count: the largest power of two <= the thread budget (only
+  // when the build side is big enough to amortize), because the build pass
+  // costs one filtered scan of the build hash/has_key streams (~9 bytes
+  // per tuple) *per partition* — with P <= threads that is at most one
+  // full scan per core, and build <= probe keeps it cheap relative to the
+  // probe. Small builds use one partition (serial insert).
+  int num_partition_bits = 0;
+  if (build_n >= kParallelMinRows) {
+    while ((2 << num_partition_bits) <= ctx.threads) ++num_partition_bits;
+    if (num_partition_bits > 6) num_partition_bits = 6;  // cap at 64
+  }
+  const int64_t num_partitions = int64_t{1} << num_partition_bits;
+
+  // Per-partition tuple counts (morsel-parallel histogram) size each
+  // partition's slot range for its own worst case, so key skew can never
+  // overflow a partition.
+  std::vector<int64_t> part_count(static_cast<size_t>(num_partitions), 0);
+  if (num_partition_bits == 0) {
+    part_count[0] = build_n;
+  } else {
+    const std::vector<common::MorselRange> morsels = common::MorselRanges(
+        build_n, kKernelBatchSize, ctx.threads * kMorselsPerWorker);
+    std::vector<std::vector<int64_t>> local(
+        morsels.size(),
+        std::vector<int64_t>(static_cast<size_t>(num_partitions), 0));
+    ctx.pool->ParallelRun(
+        static_cast<int64_t>(morsels.size()), ctx.threads,
+        [&](int64_t m, int) {
+          const common::MorselRange r = morsels[static_cast<size_t>(m)];
+          std::vector<int64_t>& counts = local[static_cast<size_t>(m)];
+          for (int64_t t = r.begin; t < r.end; ++t) {
+            if (build_side.has_key[static_cast<size_t>(t)]) {
+              ++counts[static_cast<size_t>(
+                  build_side.hashes[static_cast<size_t>(t)] >>
+                  (64 - num_partition_bits))];
+            }
+          }
+        });
+    for (const std::vector<int64_t>& counts : local) {
+      for (int64_t p = 0; p < num_partitions; ++p) {
+        part_count[static_cast<size_t>(p)] += counts[static_cast<size_t>(p)];
+      }
+    }
+  }
+
+  std::vector<TablePartition> parts(static_cast<size_t>(num_partitions));
+  int64_t total_slots = 0;
+  for (int64_t p = 0; p < num_partitions; ++p) {
+    uint64_t cap = RoundUpPow2(
+        static_cast<uint64_t>(part_count[static_cast<size_t>(p)]) * 2, 16);
+    parts[static_cast<size_t>(p)].base = total_slots;
+    parts[static_cast<size_t>(p)].mask = cap - 1;
+    total_slots += static_cast<int64_t>(cap);
+  }
+  std::vector<int64_t> slot_head(static_cast<size_t>(total_slots), -1);
+  std::vector<int64_t> next(static_cast<size_t>(build_n), -1);
+
+  ctx.pool->ParallelRun(num_partitions, ctx.threads, [&](int64_t p, int) {
+    BuildPartition(ops, build_side, p, num_partition_bits,
+                   parts[static_cast<size_t>(p)], &slot_head, &next);
+  });
+
+  // Probe over morsels into chunk-local match buffers.
+  const std::vector<common::MorselRange> probe_morsels =
+      common::MorselRanges(probe_n, kKernelBatchSize,
+                           ctx.threads * kMorselsPerWorker);
+  struct MatchChunk {
+    std::vector<int64_t> build;
+    std::vector<int64_t> probe;
+  };
+  std::vector<MatchChunk> chunks(probe_morsels.size());
+  ctx.pool->ParallelRun(
+      static_cast<int64_t>(probe_morsels.size()), ctx.threads,
+      [&](int64_t m, int) {
+        const common::MorselRange r = probe_morsels[static_cast<size_t>(m)];
+        MatchChunk& chunk = chunks[static_cast<size_t>(m)];
+        // Same heuristic as the serial join's probe_n reservation: about
+        // one match per probe tuple.
+        chunk.build.reserve(static_cast<size_t>(r.end - r.begin));
+        chunk.probe.reserve(static_cast<size_t>(r.end - r.begin));
+        ProbeRange(ops, probe_side, r.begin, r.end, num_partition_bits,
+                   parts, slot_head, next, &chunk.build, &chunk.probe);
+      });
+
+  // Deterministic merge: chunk offsets in morsel order reproduce the
+  // serial probe-order-major match sequence; the gather then writes
+  // disjoint output ranges in parallel.
+  std::vector<size_t> offsets(chunks.size() + 1, 0);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    offsets[c + 1] = offsets[c] + chunks[c].build.size();
+  }
+  const size_t m_total = offsets.empty() ? 0 : offsets.back();
+  for (std::vector<RowIdx>& col : out.columns) col.resize(m_total);
+
+  const size_t num_build_cols = build.columns.size();
+  ctx.pool->ParallelRun(
+      static_cast<int64_t>(chunks.size()), ctx.threads,
+      [&](int64_t ci, int) {
+        const MatchChunk& chunk = chunks[static_cast<size_t>(ci)];
+        const size_t off = offsets[static_cast<size_t>(ci)];
+        const size_t len = chunk.build.size();
+        for (size_t c = 0; c < num_build_cols; ++c) {
+          const RowIdx* src = build.columns[c].data();
+          RowIdx* dst = out.columns[c].data() + off;
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = src[static_cast<size_t>(chunk.build[i])];
+          }
+        }
+        for (size_t p = 0; p < probe.columns.size(); ++p) {
+          const RowIdx* src = probe.columns[p].data();
+          RowIdx* dst = out.columns[num_build_cols + p].data() + off;
+          for (size_t i = 0; i < len; ++i) {
+            dst[i] = src[static_cast<size_t>(chunk.probe[i])];
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+Intermediate HashJoinIntermediatesParallel(
+    const Intermediate& left, const Intermediate& right,
+    const std::vector<const plan::JoinEdge*>& edges,
+    const BoundRelations& rels, const MorselContext& ctx) {
+  REOPT_CHECK_MSG(!edges.empty(), "equi-join requires at least one edge");
+  const Intermediate& build = left.size() <= right.size() ? left : right;
+  const Intermediate& probe = left.size() <= right.size() ? right : left;
+  // The probe side dominates; below the threshold the serial join wins.
+  if (!ctx.enabled() || probe.size() < kParallelMinRows) {
+    return HashJoinIntermediates(left, right, edges, rels);
+  }
+
+  Intermediate out;
+  out.rels = build.rels;
+  out.rels.insert(out.rels.end(), probe.rels.begin(), probe.rels.end());
+  out.columns.resize(out.rels.size());
+  if (build.size() == 0 || probe.size() == 0) return out;
+
+  const size_t ne = edges.size();
+  HashedSide build_side =
+      ComputeHashedSide(ResolveKeyColumns(edges, build, rels), build.size(),
+                        /*with_hashes=*/true, ctx);
+  HashedSide probe_side =
+      ComputeHashedSide(ResolveKeyColumns(edges, probe, rels), probe.size(),
+                        /*with_hashes=*/false, ctx);
+
+  if (ne == 1) {
+    return HashJoinParallelImpl(
+        build, probe,
+        SingleKeyOps{build_side.keys.data(), probe_side.keys.data()},
+        build_side, probe_side, ctx, std::move(out));
+  }
+  return HashJoinParallelImpl(
+      build, probe,
+      CompositeKeyOps{build_side.keys.data(), probe_side.keys.data(), ne},
+      build_side, probe_side, ctx, std::move(out));
 }
 
 namespace {

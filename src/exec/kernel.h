@@ -22,6 +22,10 @@
 #include "plan/query_spec.h"
 #include "storage/catalog.h"
 
+namespace reopt::common {
+class ThreadPool;
+}  // namespace reopt::common
+
 namespace reopt::exec {
 
 /// Rows per selection-vector batch in FilterScan. Small enough that a
@@ -68,6 +72,30 @@ std::vector<common::RowIdx> FilterScan(
     const storage::Table& table,
     const std::vector<const plan::ScanPredicate*>& filters);
 
+/// Intra-query morsel parallelism budget handed to the *Parallel kernel
+/// entry points: how many of `pool`'s workers one operator may fan its
+/// morsels over. Disabled (threads <= 1 or no pool) routes straight to the
+/// serial kernel, so serial callers pay nothing. The submitting thread
+/// blocks while morsels run, so one executing query occupies `threads`
+/// live threads.
+struct MorselContext {
+  int threads = 1;
+  common::ThreadPool* pool = nullptr;
+
+  bool enabled() const { return threads > 1 && pool != nullptr; }
+};
+
+/// FilterScan over 1024-row-aligned morsels dispatched on `ctx.pool`:
+/// every worker compacts its own selection-vector buffer and appends to a
+/// per-morsel output, and the morsel outputs are concatenated in index
+/// order — so the result is byte-identical to the serial FilterScan at any
+/// thread count (ascending row ids, same batch boundaries). Falls back to
+/// the serial kernel when disabled or the table is small.
+std::vector<common::RowIdx> FilterScanParallel(
+    const storage::Table& table,
+    const std::vector<const plan::ScanPredicate*>& filters,
+    const MorselContext& ctx);
+
 /// Equi-joins two intermediates on `edges` (every edge must connect the two
 /// sides). Implemented as a two-phase hash join: build on the smaller
 /// input. Join columns must be INT64 (id/FK columns, as in JOB). Output
@@ -77,6 +105,21 @@ Intermediate HashJoinIntermediates(
     const Intermediate& left, const Intermediate& right,
     const std::vector<const plan::JoinEdge*>& edges,
     const BoundRelations& rels);
+
+/// HashJoinIntermediates with morsel parallelism on every phase: the key /
+/// hash pass fans over tuple morsels, the build is radix-partitioned by the
+/// high hash bits (each partition built by one worker in reverse tuple
+/// order, so duplicate chains stay ascending exactly like the serial
+/// build), the probe fans over probe morsels emitting into per-morsel match
+/// buffers that are merged in morsel order (probe-order-major, chain-
+/// ascending-minor — the serial tuple order), and the gather writes
+/// disjoint output ranges. Output is byte-identical to the serial join at
+/// any thread count. Falls back to the serial kernel when disabled or the
+/// inputs are small.
+Intermediate HashJoinIntermediatesParallel(
+    const Intermediate& left, const Intermediate& right,
+    const std::vector<const plan::JoinEdge*>& edges,
+    const BoundRelations& rels, const MorselContext& ctx);
 
 /// Exact row count of joining the relations in `set` with all single-table
 /// filters and all internal join edges of `query` applied. Joins in a

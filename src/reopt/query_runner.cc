@@ -102,6 +102,14 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
                                            const ReoptOptions& reopt) {
   RunResult result;
   exec::Executor executor(catalog_, stats_catalog_, params_);
+  if (intra_query_threads_ > 1 &&
+      (intra_pool_ == nullptr ||
+       intra_pool_->num_threads() < intra_query_threads_)) {
+    intra_pool_ = std::make_unique<common::ThreadPool>(intra_query_threads_);
+  }
+  executor.set_intra_query_parallelism(
+      intra_query_threads_,
+      intra_query_threads_ > 1 ? intra_pool_.get() : nullptr);
 
   // Round-local ownership: rewritten specs and their contexts/oracles live
   // until the run finishes (plans hold pointers into the specs).

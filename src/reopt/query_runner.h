@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/value.h"
 #include "optimizer/cardinality_model.h"
 #include "optimizer/cost_params.h"
@@ -149,6 +150,17 @@ class QueryRunner {
   void set_temp_namespace(std::string ns) { temp_namespace_ = std::move(ns); }
   const std::string& temp_namespace() const { return temp_namespace_; }
 
+  /// Intra-query thread budget (clamped to >= 1, default 1 = serial): each
+  /// query this runner executes fans its scans and hash joins over this
+  /// many morsel workers (exec::MorselContext). The runner lazily owns one
+  /// pool of that size, reused across runs; results are byte-identical at
+  /// any setting. Composes with inter-query parallelism: a sweep with W
+  /// workers x M intra-query threads occupies W*M live threads.
+  void set_intra_query_threads(int n) {
+    intra_query_threads_ = n < 1 ? 1 : n;
+  }
+  int intra_query_threads() const { return intra_query_threads_; }
+
   /// Incremental re-planning (default on): rounds >= 1 carry the previous
   /// round's DP memo and re-cost only subsets touching the temp relation;
   /// round 0 replays the session's cached memo when one exists. Off forces
@@ -190,6 +202,10 @@ class QueryRunner {
   optimizer::PlannerOptions planner_options_;
   std::string temp_namespace_;
   bool incremental_replanning_ = true;
+  int intra_query_threads_ = 1;
+  /// Created on the first Run with intra_query_threads_ > 1; sized to the
+  /// budget at creation time and reused across runs.
+  std::unique_ptr<common::ThreadPool> intra_pool_;
   PlanObserver plan_observer_;
 };
 

@@ -113,6 +113,10 @@ common::Result<std::vector<WorkloadRunResult>> WorkloadRunner::RunSweep(
         runner_.incremental_replanning());
     runners.back().set_plan_observer(runner_.plan_observer());
     runners.back().set_temp_namespace("w" + std::to_string(w));
+    // Each worker gets the full intra-query budget: the two levels
+    // multiply, and the caller is responsible for splitting one hardware
+    // budget between them (see set_intra_query_threads).
+    runners.back().set_intra_query_threads(intra_query_threads_);
   }
 
   // One slot per (config, query) task, config-major — the serial execution

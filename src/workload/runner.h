@@ -97,6 +97,19 @@ class WorkloadRunner {
   common::Result<reoptimizer::QuerySession*> GetSession(
       const plan::QuerySpec* query);
 
+  /// Intra-query thread budget (clamped to >= 1, default 1): every query
+  /// run — via RunOne, RunAll, or RunSweep workers — executes its scans
+  /// and hash joins over this many morsel workers. Composes with the
+  /// RunAll/RunSweep `num_threads` inter-query fan-out: W workers x M
+  /// intra-query threads occupy W*M live threads, so callers split one
+  /// budget between the two levels (bench drivers: --threads /
+  /// --intra-threads). Results stay byte-identical at any setting.
+  void set_intra_query_threads(int n) {
+    intra_query_threads_ = n < 1 ? 1 : n;
+    runner_.set_intra_query_threads(intra_query_threads_);
+  }
+  int intra_query_threads() const { return intra_query_threads_; }
+
   const optimizer::CostParams& params() const { return params_; }
 
   /// Access for operator-ablation benches. Planner options set here also
@@ -106,6 +119,7 @@ class WorkloadRunner {
  private:
   imdb::ImdbDatabase* db_;
   optimizer::CostParams params_;
+  int intra_query_threads_ = 1;
   reoptimizer::QueryRunner runner_;
   std::mutex sessions_mu_;
   std::map<const plan::QuerySpec*, std::unique_ptr<reoptimizer::QuerySession>>

@@ -259,7 +259,16 @@ INSTANTIATE_TEST_SUITE_P(
         LikeCase{"xx", "x", false}, LikeCase{"x", "xx", false},
         LikeCase{"mississippi", "%ss%ss%", true},
         LikeCase{"mississippi", "m%pi", true},
-        LikeCase{"aaa", "a%a", true}));
+        LikeCase{"aaa", "a%a", true},
+        // Regression: a literal '%' / '_' in the TEXT must not swallow the
+        // pattern's wildcard at the same position (the matcher used to try
+        // the literal-character match first, so "a%b" LIKE 'a%' failed).
+        LikeCase{"a%b", "a%", true}, LikeCase{"%%", "%", true},
+        LikeCase{"%", "%", true}, LikeCase{"a%b", "a%b", true},
+        LikeCase{"a_b", "a%", true}, LikeCase{"%a%", "%a%", true},
+        LikeCase{"50% off", "50%", true}, LikeCase{"50% off", "%off", true},
+        LikeCase{"a%b", "_%b", true}, LikeCase{"%", "_", true},
+        LikeCase{"a%b", "b%", false}));
 
 // ---- Simulated time ---------------------------------------------------------
 

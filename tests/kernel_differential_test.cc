@@ -6,11 +6,15 @@
 // per-node actual_rows the re-optimizer triggers on. A second suite runs
 // the full workload (with re-optimization, serial and --threads=4) under
 // both kernel modes and compares the per-query records field for field.
+// A third dimension covers intra-query morsel parallelism: all 113
+// queries with intra_query_threads in {1, 2, 4} must be byte-identical to
+// the serial executor, per query and across a full composed workload run.
 #include <gtest/gtest.h>
 
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "exec/kernel.h"
 #include "exec/kernel_reference.h"
@@ -81,6 +85,66 @@ TEST(KernelDifferentialTest, All113QueriesMatchReferenceKernel) {
       }
     }
     EXPECT_EQ(NodeActuals(*vec_plan), NodeActuals(*ref_plan));
+  }
+}
+
+/// All 113 queries with intra_query_threads in {1, 2, 4}: results must be
+/// byte-identical to the serial executor — aggregates, raw rows, charged
+/// cost, and every node's actual_rows (which the re-optimizer triggers on,
+/// so a single off-by-one tuple would change figure outputs).
+TEST(KernelDifferentialTest, All113QueriesIntraQueryThreadsMatchSerial) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto workload = workload::BuildJobLikeWorkload(db->catalog);
+  ASSERT_EQ(workload->queries.size(), 113u);
+
+  optimizer::CostParams params;
+  exec::Executor serial_exec(&db->catalog, &db->stats, params);
+  const int kThreadCounts[] = {1, 2, 4};
+  common::ThreadPool pool(4);  // shared; each executor uses its budget
+  exec::Executor intra_execs[3] = {
+      exec::Executor(&db->catalog, &db->stats, params),
+      exec::Executor(&db->catalog, &db->stats, params),
+      exec::Executor(&db->catalog, &db->stats, params)};
+  for (int i = 0; i < 3; ++i) {
+    intra_execs[i].set_intra_query_parallelism(kThreadCounts[i], &pool);
+  }
+
+  for (const auto& query : workload->queries) {
+    SCOPED_TRACE(query->name);
+    auto ctx_result =
+        optimizer::QueryContext::Bind(query.get(), &db->catalog, &db->stats);
+    ASSERT_TRUE(ctx_result.ok());
+    auto ctx = std::move(ctx_result.value());
+    optimizer::EstimatorModel model(ctx.get());
+    optimizer::Planner planner(ctx.get(), &model, params);
+    auto planned = planner.Plan();
+    ASSERT_TRUE(planned.ok());
+    plan::PlanNodePtr serial_plan = std::move(planned.value().root);
+
+    auto serial_result = serial_exec.Execute(*query, serial_plan.get());
+    ASSERT_TRUE(serial_result.ok());
+
+    for (int i = 0; i < 3; ++i) {
+      SCOPED_TRACE(kThreadCounts[i]);
+      plan::PlanNodePtr intra_plan = plan::ClonePlan(*serial_plan);
+      auto intra_result = intra_execs[i].Execute(*query, intra_plan.get());
+      ASSERT_TRUE(intra_result.ok());
+      EXPECT_EQ(intra_result.value().raw_rows,
+                serial_result.value().raw_rows);
+      EXPECT_EQ(intra_result.value().cost_units,
+                serial_result.value().cost_units);
+      ASSERT_EQ(intra_result.value().aggregates.size(),
+                serial_result.value().aggregates.size());
+      for (size_t a = 0; a < serial_result.value().aggregates.size(); ++a) {
+        const common::Value& iv = intra_result.value().aggregates[a];
+        const common::Value& sv = serial_result.value().aggregates[a];
+        EXPECT_EQ(iv.is_null(), sv.is_null()) << "aggregate " << a;
+        if (!iv.is_null() && !sv.is_null()) {
+          EXPECT_EQ(iv, sv) << "aggregate " << a;
+        }
+      }
+      EXPECT_EQ(NodeActuals(*intra_plan), NodeActuals(*serial_plan));
+    }
   }
 }
 
@@ -157,6 +221,21 @@ TEST_F(KernelModeWorkloadTest, FullWorkloadWithReoptSerialAndThreaded) {
   ExpectSameRecords(vec_serial, ref_serial);
   ExpectSameRecords(vec_serial, vec_threaded);
   ExpectSameRecords(vec_serial, ref_threaded);
+
+  // Composed two-level parallelism: 2 inter-query workers x 2 intra-query
+  // morsel threads (and pure intra: 1 x 4). Records must still match the
+  // serial run field for field — re-optimization rounds included, since
+  // materialized temp tables are produced by the parallel kernels too.
+  auto run_intra = [&](int workers, int intra) {
+    exec::SetDefaultKernelMode(exec::KernelMode::kVectorized);
+    workload::WorkloadRunner runner(db);
+    runner.set_intra_query_threads(intra);
+    auto result = runner.RunAll(*workload, model, reopt, workers);
+    EXPECT_TRUE(result.ok());
+    return std::move(result.value());
+  };
+  ExpectSameRecords(vec_serial, run_intra(2, 2));
+  ExpectSameRecords(vec_serial, run_intra(1, 4));
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "exec/kernel.h"
 #include "exec/kernel_reference.h"
 #include "storage/catalog.h"
@@ -46,6 +47,32 @@ class KernelEdgeTest : public ::testing::Test {
                       Value::Real(static_cast<double>(i) / 2.0),
                       Value::Str("row" + std::to_string(i)),
                       i % 7 == 0 ? Value::Null_() : Value::Int(i)});
+      }
+    }
+    // "edge_strings": adversarial string content for the LIKE / NULL-literal
+    // audit — empty strings, literal '%' and '_' characters (wildcards only
+    // have meaning in the *pattern*), spaces, and NULLs. Two batches' worth
+    // so batched and scalar evaluation cross a boundary.
+    {
+      storage::Schema schema({{"id", common::DataType::kInt64},
+                              {"s", common::DataType::kString}});
+      auto created =
+          catalog_->CreateTable("edge_strings", std::move(schema));
+      ASSERT_TRUE(created.ok());
+      storage::Table* t = created.value();
+      const char* samples[] = {"",      "a",   "ab",    "abc", "%",
+                               "%%",    "_",   "a%b",   "a_b", " ",
+                               "  a  ", "ba",  "aba",   "bab", "A",
+                               "aB",    "row", "row10", "%a%", "__"};
+      constexpr int64_t kRows = 2 * kKernelBatchSize + 17;
+      for (int64_t i = 0; i < kRows; ++i) {
+        if (i % 11 == 3) {
+          t->AppendRow({Value::Int(i), Value::Null_()});
+        } else {
+          t->AppendRow({Value::Int(i),
+                        Value::Str(samples[i % (sizeof(samples) /
+                                                sizeof(samples[0]))])});
+        }
       }
     }
   }
@@ -220,6 +247,187 @@ TEST_F(KernelEdgeTest, LikeShapeClassificationMatchesReference) {
   BothScans(t, {&not_prefix});
 }
 
+// ---- ClassifyLike / typed-binding audit: NULL literals and empty strings.
+// The scalar kernel (EvalPredicate -> common::LikeMatch / Value::Compare)
+// is the semantics spec; these tables pin that the typed fast paths and
+// the ClassifyLike shape classification never diverge from it on the edge
+// cases the JOB-like generator can produce: empty patterns, all-'%'
+// patterns, wildcard characters as *data*, empty-string literals and rows,
+// NULL literals in comparisons / BETWEEN / IN, and NULL rows under every
+// shape. (A NULL literal directly under LIKE is unrepresentable: the
+// parser only produces string patterns, and both kernels would reject it
+// identically in Value::AsString.)
+
+TEST_F(KernelEdgeTest, LikePatternTableDrivenAudit) {
+  const storage::Table* t = catalog_->FindTable("edge_strings");
+  ASSERT_NE(t, nullptr);
+  const common::ColumnIdx s_col = t->schema().FindColumn("s");
+  // Every ClassifyLike shape, with empty / wildcard-bearing needles.
+  const char* patterns[] = {
+      "",        // exact with empty needle: matches only ""
+      "%",       // kAny
+      "%%",      // kAny
+      "%%%",     // kAny
+      "a",       // exact
+      "ab",      // exact
+      "a%",      // prefix
+      "%a",      // suffix
+      "%a%",     // contains
+      "%ab%",    // contains
+      "% %",     // contains (space needle)
+      "_",       // general: any single char
+      "__",      // general: any two chars
+      "%_",      // general: at least one char
+      "_%",      // general
+      "a_b",     // general
+      "a%b",     // prefix+suffix composite -> general (inner %)
+      "%a%b%",   // general (two cores)
+      "aba",     // exact, also appears verbatim as data
+      "row1%",   // prefix
+      "%10",     // suffix
+      "A",       // exact, case-sensitive
+      "%B",      // suffix, case-sensitive
+  };
+  for (const char* pattern : patterns) {
+    SCOPED_TRACE(std::string("pattern '") + pattern + "'");
+    plan::ScanPredicate like = Pred(s_col, plan::ScanPredicate::Kind::kLike,
+                                    plan::CompareOp::kEq,
+                                    Value::Str(pattern));
+    plan::ScanPredicate not_like =
+        Pred(s_col, plan::ScanPredicate::Kind::kNotLike,
+             plan::CompareOp::kEq, Value::Str(pattern));
+    std::vector<common::RowIdx> pos = BothScans(*t, {&like});
+    std::vector<common::RowIdx> neg = BothScans(*t, {&not_like});
+    // LIKE and NOT LIKE partition the non-NULL rows exactly (NULL rows
+    // fail both, per the scalar kernel's NULL-fails-everything rule).
+    int64_t nulls = 0;
+    for (int64_t i = 0; i < t->num_rows(); ++i) {
+      if (t->column(s_col).IsNull(i)) ++nulls;
+    }
+    EXPECT_EQ(static_cast<int64_t>(pos.size() + neg.size()),
+              t->num_rows() - nulls);
+  }
+  // Hand-pinned counts for the load-bearing shapes (per 20-sample cycle:
+  // "" once; "%"-data rows are matched by exact "%" via the general
+  // matcher only as wildcards, not literally — the pattern "%" matches
+  // everything non-NULL).
+  plan::ScanPredicate any = Pred(s_col, plan::ScanPredicate::Kind::kLike,
+                                 plan::CompareOp::kEq, Value::Str("%"));
+  int64_t nulls = 0;
+  for (int64_t i = 0; i < t->num_rows(); ++i) {
+    if (t->column(s_col).IsNull(i)) ++nulls;
+  }
+  EXPECT_EQ(static_cast<int64_t>(BothScans(*t, {&any}).size()),
+            t->num_rows() - nulls);
+  plan::ScanPredicate empty_exact =
+      Pred(s_col, plan::ScanPredicate::Kind::kLike, plan::CompareOp::kEq,
+           Value::Str(""));
+  for (common::RowIdx r : BothScans(*t, {&empty_exact})) {
+    EXPECT_EQ(t->column(s_col).GetString(r), "");  // only empty strings
+  }
+}
+
+TEST_F(KernelEdgeTest, NullLiteralAndEmptyStringPredicateAudit) {
+  const storage::Table* t = catalog_->FindTable("edge_strings");
+  ASSERT_NE(t, nullptr);
+  const common::ColumnIdx s_col = t->schema().FindColumn("s");
+  const common::ColumnIdx id_col = t->schema().FindColumn("id");
+
+  struct Case {
+    const char* label;
+    plan::ScanPredicate pred;
+  };
+  std::vector<Case> cases;
+  // NULL literal under every comparison op, string and int columns: the
+  // scalar spec says NULL sorts below everything, so e.g. `s > NULL`
+  // passes every non-NULL row and `s = NULL` / `s < NULL` pass none.
+  for (plan::CompareOp op :
+       {plan::CompareOp::kEq, plan::CompareOp::kNe, plan::CompareOp::kLt,
+        plan::CompareOp::kLe, plan::CompareOp::kGt, plan::CompareOp::kGe}) {
+    cases.push_back({"s <op> NULL",
+                     Pred(s_col, plan::ScanPredicate::Kind::kCompare, op,
+                          Value::Null_())});
+    cases.push_back({"id <op> NULL",
+                     Pred(id_col, plan::ScanPredicate::Kind::kCompare, op,
+                          Value::Null_())});
+    // Empty-string literal: "" sorts below every non-empty string but
+    // above NULL.
+    cases.push_back({"s <op> ''",
+                     Pred(s_col, plan::ScanPredicate::Kind::kCompare, op,
+                          Value::Str(""))});
+  }
+  // BETWEEN with NULL bounds (either side, both sides) and empty-string
+  // bounds.
+  cases.push_back({"s BETWEEN NULL AND 'b'",
+                   Pred(s_col, plan::ScanPredicate::Kind::kBetween,
+                        plan::CompareOp::kEq, Value::Null_(),
+                        Value::Str("b"))});
+  cases.push_back({"s BETWEEN 'a' AND NULL",
+                   Pred(s_col, plan::ScanPredicate::Kind::kBetween,
+                        plan::CompareOp::kEq, Value::Str("a"),
+                        Value::Null_())});
+  cases.push_back({"s BETWEEN NULL AND NULL",
+                   Pred(s_col, plan::ScanPredicate::Kind::kBetween,
+                        plan::CompareOp::kEq, Value::Null_(),
+                        Value::Null_())});
+  cases.push_back({"s BETWEEN '' AND 'a'",
+                   Pred(s_col, plan::ScanPredicate::Kind::kBetween,
+                        plan::CompareOp::kEq, Value::Str(""),
+                        Value::Str("a"))});
+  cases.push_back({"id BETWEEN NULL AND 10",
+                   Pred(id_col, plan::ScanPredicate::Kind::kBetween,
+                        plan::CompareOp::kEq, Value::Null_(),
+                        Value::Int(10))});
+  // IN lists: all-NULL, NULL mixed with strings, empty strings as
+  // candidates, empty list.
+  auto in_pred = [&](common::ColumnIdx col, std::vector<Value> list) {
+    plan::ScanPredicate p;
+    p.column = plan::ColumnRef{0, col, ""};
+    p.kind = plan::ScanPredicate::Kind::kIn;
+    p.in_list = std::move(list);
+    return p;
+  };
+  cases.push_back({"s IN (NULL)", in_pred(s_col, {Value::Null_()})});
+  cases.push_back({"s IN (NULL, NULL)",
+                   in_pred(s_col, {Value::Null_(), Value::Null_()})});
+  cases.push_back(
+      {"s IN ('', NULL, 'a')",
+       in_pred(s_col, {Value::Str(""), Value::Null_(), Value::Str("a")})});
+  cases.push_back({"s IN ('%', '_')",
+                   in_pred(s_col, {Value::Str("%"), Value::Str("_")})});
+  cases.push_back({"s IN ()", in_pred(s_col, {})});
+  cases.push_back({"id IN (NULL, 3)",
+                   in_pred(id_col, {Value::Null_(), Value::Int(3)})});
+  cases.push_back({"id IN ()", in_pred(id_col, {})});
+
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.label);
+    BothScans(*t, {&c.pred});
+  }
+
+  // Spot-pin the scalar spec itself so a joint regression of both kernels
+  // cannot slip through: NULL-literal comparisons follow Value::Compare
+  // (NULL sorts first), and NULL *rows* fail every comparison.
+  int64_t nulls = 0;
+  for (int64_t i = 0; i < t->num_rows(); ++i) {
+    if (t->column(s_col).IsNull(i)) ++nulls;
+  }
+  plan::ScanPredicate gt_null = Pred(
+      s_col, plan::ScanPredicate::Kind::kCompare, plan::CompareOp::kGt,
+      Value::Null_());
+  EXPECT_EQ(static_cast<int64_t>(BothScans(*t, {&gt_null}).size()),
+            t->num_rows() - nulls);
+  plan::ScanPredicate eq_null = Pred(
+      s_col, plan::ScanPredicate::Kind::kCompare, plan::CompareOp::kEq,
+      Value::Null_());
+  EXPECT_TRUE(BothScans(*t, {&eq_null}).empty());
+  plan::ScanPredicate ge_empty = Pred(
+      s_col, plan::ScanPredicate::Kind::kCompare, plan::CompareOp::kGe,
+      Value::Str(""));
+  EXPECT_EQ(static_cast<int64_t>(BothScans(*t, {&ge_empty}).size()),
+            t->num_rows() - nulls);  // every non-NULL string >= ""
+}
+
 TEST_F(KernelEdgeTest, StringBetweenMatchesReferenceExactly) {
   const storage::Table& t = TableOfSize(kKernelBatchSize);
   plan::ScanPredicate between_s =
@@ -345,6 +553,123 @@ TEST_F(KernelEdgeTest, MultiEdgeCompositeKeyAgrees) {
   Intermediate out = BothJoins(f.AllRows(0), f.AllRows(1),
                                {&f.edge, &second}, f.rels);
   EXPECT_EQ(out.size(), n);  // id = id already implies parity = parity
+}
+
+// ---- Morsel-parallel kernels -----------------------------------------------
+// The parallel entry points must be byte-identical to the serial kernels
+// at every thread count — including the radix-partitioned build (large
+// build side), duplicate chains, NULL keys, and the small-input fallback.
+
+TEST_F(KernelEdgeTest, ParallelKernelsMatchSerialOnLargeInputs) {
+  // A table big enough to clear the parallel thresholds (> 4096 rows) with
+  // duplicate join keys (mod -> chains of ~3) and NULL keys every 7th row.
+  const int64_t kBig = 12 * kKernelBatchSize + 37;
+  if (catalog_->FindTable("edge_big") == nullptr) {
+    storage::Schema schema({{"id", common::DataType::kInt64},
+                            {"mod", common::DataType::kInt64},
+                            {"nmod", common::DataType::kInt64}});
+    auto created = catalog_->CreateTable("edge_big", std::move(schema));
+    ASSERT_TRUE(created.ok());
+    storage::Table* t = created.value();
+    for (int64_t i = 0; i < kBig; ++i) {
+      t->AppendRow({Value::Int(i), Value::Int(i % 4096),
+                    i % 7 == 0 ? Value::Null_()
+                               : Value::Int((i * 31) % 4096)});
+    }
+  }
+  const storage::Table& big = *catalog_->FindTable("edge_big");
+
+  common::ThreadPool pool(4);
+  for (int threads : {2, 3, 4}) {
+    SCOPED_TRACE(threads);
+    MorselContext ctx{threads, &pool};
+
+    // FilterScan: selective + NULL-bearing predicates.
+    plan::ScanPredicate range = Pred(1, plan::ScanPredicate::Kind::kBetween,
+                                     plan::CompareOp::kEq, Value::Int(100),
+                                     Value::Int(3000));
+    plan::ScanPredicate nn = Pred(2, plan::ScanPredicate::Kind::kCompare,
+                                  plan::CompareOp::kGe, Value::Int(0));
+    EXPECT_EQ(FilterScanParallel(big, {&range, &nn}, ctx),
+              FilterScan(big, {&range, &nn}));
+    EXPECT_EQ(FilterScanParallel(big, {}, ctx), FilterScan(big, {}));
+
+    // Hash join, both sides large: the build side (>= 4096 keyed rows)
+    // takes the radix-partitioned insert; `mod` duplicates exercise chain
+    // order, `nmod` NULLs exercise has_key.
+    plan::QuerySpec spec;
+    spec.relations.push_back(plan::RelationRef{"edge_big", "l"});
+    spec.relations.push_back(plan::RelationRef{"edge_big", "r"});
+    BoundRelations rels = BindRelations(spec, *catalog_);
+    auto all_rows = [&](int rel) {
+      std::vector<common::RowIdx> rows(static_cast<size_t>(big.num_rows()));
+      for (size_t i = 0; i < rows.size(); ++i) {
+        rows[i] = static_cast<common::RowIdx>(i);
+      }
+      return Intermediate::FromRows(rel, std::move(rows));
+    };
+    plan::JoinEdge edge;
+    edge.left = plan::ColumnRef{0, big.schema().FindColumn("mod"), ""};
+    edge.right = plan::ColumnRef{1, big.schema().FindColumn("nmod"), ""};
+    Intermediate left = all_rows(0);
+    Intermediate right = all_rows(1);
+    Intermediate serial = HashJoinIntermediates(left, right, {&edge}, rels);
+    Intermediate parallel =
+        HashJoinIntermediatesParallel(left, right, {&edge}, rels, ctx);
+    EXPECT_EQ(parallel.rels, serial.rels);
+    EXPECT_EQ(parallel.columns, serial.columns);
+
+    // Composite key (two edges) through the partitioned path.
+    plan::JoinEdge second;
+    second.left = plan::ColumnRef{0, big.schema().FindColumn("mod"), ""};
+    second.right = plan::ColumnRef{1, big.schema().FindColumn("mod"), ""};
+    Intermediate serial2 =
+        HashJoinIntermediates(left, right, {&edge, &second}, rels);
+    Intermediate parallel2 = HashJoinIntermediatesParallel(
+        left, right, {&edge, &second}, rels, ctx);
+    EXPECT_EQ(parallel2.rels, serial2.rels);
+    EXPECT_EQ(parallel2.columns, serial2.columns);
+
+    // Asymmetric sides: small build (serial insert), large probe (morsel
+    // probe + parallel gather).
+    std::vector<common::RowIdx> few;
+    for (common::RowIdx r = 0; r < 100; ++r) few.push_back(r * 3);
+    Intermediate small = Intermediate::FromRows(0, std::move(few));
+    Intermediate serial3 =
+        HashJoinIntermediates(small, right, {&edge}, rels);
+    Intermediate parallel3 =
+        HashJoinIntermediatesParallel(small, right, {&edge}, rels, ctx);
+    EXPECT_EQ(parallel3.rels, serial3.rels);
+    EXPECT_EQ(parallel3.columns, serial3.columns);
+  }
+}
+
+TEST_F(KernelEdgeTest, ParallelKernelsFallBackOnSmallInputs) {
+  common::ThreadPool pool(2);
+  MorselContext ctx{2, &pool};
+  // Below the parallel thresholds the parallel entry points must route to
+  // (and exactly reproduce) the serial kernels, batch boundaries included.
+  for (int64_t n : {static_cast<int64_t>(0), static_cast<int64_t>(1),
+                    static_cast<int64_t>(kKernelBatchSize),
+                    static_cast<int64_t>(kKernelBatchSize) + 1}) {
+    SCOPED_TRACE(n);
+    const storage::Table& t = TableOfSize(n);
+    plan::ScanPredicate even = Pred(1, plan::ScanPredicate::Kind::kCompare,
+                                    plan::CompareOp::kEq, Value::Int(0));
+    EXPECT_EQ(FilterScanParallel(t, {&even}, ctx), FilterScan(t, {&even}));
+  }
+  JoinFixture f(*catalog_, 1, kKernelBatchSize, "id", "parity");
+  Intermediate serial = HashJoinIntermediates(f.AllRows(0), f.AllRows(1),
+                                              {&f.edge}, f.rels);
+  Intermediate parallel = HashJoinIntermediatesParallel(
+      f.AllRows(0), f.AllRows(1), {&f.edge}, f.rels, ctx);
+  EXPECT_EQ(parallel.rels, serial.rels);
+  EXPECT_EQ(parallel.columns, serial.columns);
+  // A disabled context is always serial.
+  MorselContext off{1, nullptr};
+  EXPECT_EQ(
+      FilterScanParallel(f.rels.table(1), {}, off).size(),
+      static_cast<size_t>(kKernelBatchSize));
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -110,6 +112,161 @@ TEST(ParallelForTest, MoreThreadsThanWorkClampsWorkerIds) {
 
 TEST(ParallelForTest, DefaultThreadCountIsPositive) {
   EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+// ---- Exception safety ------------------------------------------------------
+// Regression: a throwing task used to escape WorkerLoop and
+// std::terminate the whole process. The pool must capture the exception
+// and rethrow it on the joining thread instead.
+
+TEST(ThreadPoolTest, TaskExceptionRethrownOnWait) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran](int) { ran.fetch_add(1); });
+  }
+  pool.Submit([](int) { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran](int) { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(
+      {
+        try {
+          pool.Wait();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task boom");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // Non-throwing tasks all still ran (the pool drains; it does not skip).
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterAnException) {
+  ThreadPool pool(2);
+  pool.Submit([](int) { throw std::runtime_error("first batch"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_FALSE(pool.has_error());
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count](int) { count.fetch_add(1); });
+  }
+  pool.Wait();  // must not rethrow the already-collected exception
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, FirstExceptionWinsLaterOnesDropped) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([](int) { throw std::runtime_error("boom"); });
+  }
+  // Exactly one exception comes back; the pool is clean afterwards.
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, DestructorSwallowsPendingException) {
+  // A pending exception at destruction must not terminate (dtors cannot
+  // throw). The test passes by not crashing.
+  ThreadPool pool(2);
+  pool.Submit([](int) { throw std::runtime_error("never collected"); });
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      {
+        try {
+          ParallelFor(1000, 4, [](int64_t i, int) {
+            if (i == 373) throw std::runtime_error("index 373");
+          });
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "index 373");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, InlineExceptionPropagates) {
+  EXPECT_THROW(ParallelFor(10, 1,
+                           [](int64_t i, int) {
+                             if (i == 3) throw std::runtime_error("inline");
+                           }),
+               std::runtime_error);
+}
+
+// ---- ParallelRun / MorselRanges --------------------------------------------
+
+TEST(ThreadPoolTest, ParallelRunCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr int64_t kCount = 500;
+  std::vector<int> hits(kCount, 0);
+  pool.ParallelRun(kCount, [&hits](int64_t i, int worker) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 3);
+    hits[static_cast<size_t>(i)] += 1;
+  });
+  for (int64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)], 1) << "index " << i;
+  }
+  // Reusable for a second batch on the same pool.
+  std::atomic<int> count{0};
+  pool.ParallelRun(64, [&count](int64_t, int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelRunRethrowsAndSkipsRemainder) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelRun(100,
+                                [](int64_t i, int) {
+                                  if (i == 7) {
+                                    throw std::runtime_error("morsel 7");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool recovered: a clean batch runs fine.
+  std::atomic<int> count{0};
+  pool.ParallelRun(10, [&count](int64_t, int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(MorselRangesTest, AlignedCoveringAndDeterministic) {
+  for (int64_t total : {int64_t{0}, int64_t{1}, int64_t{1023}, int64_t{1024},
+                        int64_t{1025}, int64_t{100000}}) {
+    for (int chunks : {1, 3, 4, 7, 64}) {
+      SCOPED_TRACE(std::to_string(total) + "/" + std::to_string(chunks));
+      std::vector<MorselRange> ranges = MorselRanges(total, 1024, chunks);
+      if (total <= 0) {
+        EXPECT_TRUE(ranges.empty());
+        continue;
+      }
+      ASSERT_FALSE(ranges.empty());
+      EXPECT_LE(static_cast<int>(ranges.size()), chunks);
+      EXPECT_EQ(ranges.front().begin, 0);
+      EXPECT_EQ(ranges.back().end, total);
+      for (size_t i = 0; i < ranges.size(); ++i) {
+        // Contiguous cover; every internal boundary is 1024-aligned.
+        if (i > 0) {
+          EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+        }
+        EXPECT_LT(ranges[i].begin, ranges[i].end);
+        EXPECT_EQ(ranges[i].begin % 1024, 0);
+      }
+      // Deterministic: same inputs, same partition.
+      EXPECT_EQ(ranges.size(), MorselRanges(total, 1024, chunks).size());
+    }
+  }
+}
+
+TEST(MorselRangesTest, SmallAlignmentAndSingleChunk) {
+  std::vector<MorselRange> one = MorselRanges(10, 1024, 4);
+  ASSERT_EQ(one.size(), 1u);  // 10 rows round up to one aligned chunk
+  EXPECT_EQ(one[0].begin, 0);
+  EXPECT_EQ(one[0].end, 10);
+  std::vector<MorselRange> fine = MorselRanges(10, 1, 5);
+  ASSERT_EQ(fine.size(), 5u);
+  EXPECT_EQ(fine.back().end, 10);
 }
 
 }  // namespace
