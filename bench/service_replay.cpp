@@ -1,0 +1,364 @@
+// Load-replay harness for the multi-session SQL service: replays the
+// 113-query JOB-like workload from hundreds of simulated clients against
+// one embedded SqlServer and proves the determinism invariant under load —
+// every client's per-query reply must be byte-identical (aggregates,
+// raw_rows, plan/exec cost units, materialization count) to a serial
+// single-session run of the same statement.
+//
+// Workload shape: the first 113 statements cover every query exactly once
+// (so the differential check always exercises the full workload); the rest
+// draw query popularity from a Zipf distribution (seeded common::Rng), the
+// skew real serving sees — a handful of hot statements dominate and the
+// cross-session statement cache earns its keep. Statements are dealt
+// round-robin to the clients; each client submits open-loop (optionally
+// pacing submissions with exponential inter-arrival gaps, --arrival-us)
+// and only waits for its tickets after its last submission, so the bounded
+// queue's backpressure — not client think time — is what limits admission.
+//
+//   --sessions=N     simulated clients                (default 128)
+//   --queries=K      total statements replayed        (default 339 = 3x113)
+//   --zipf=theta     popularity skew, 0 = uniform     (default 0.8)
+//   --arrival-us=U   mean inter-arrival gap per client (default 0 = none)
+//   --queue=C        server submission-queue capacity (default 64)
+//   --reopt=0|1      re-optimization on the SELECTs   (default 1)
+//   --out=PATH       JSON report path   (default BENCH_service_replay.json)
+//   --threads=N / --intra-threads=M: total thread budget and its intra
+//     split, exactly as every other bench (bench_util.h).
+//
+// Exit code: non-zero iff any reply diverges from the serial reference or
+// any statement fails. Latency (wall-clock p50/p99/mean), throughput and
+// serving counters go to stdout and the JSON report; CI uploads the JSON
+// alongside BENCH_perf_smoke.json.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "service/sql_server.h"
+#include "sql/engine.h"
+
+namespace {
+
+using namespace reopt;  // NOLINT: benchmark driver
+
+// One statement's expected reply, from the serial single-session pass.
+struct Expected {
+  std::vector<common::Value> aggregates;
+  int64_t raw_rows = 0;
+  double plan_cost_units = 0.0;
+  double exec_cost_units = 0.0;
+  int num_materializations = 0;
+};
+
+double FlagDouble(int argc, char** argv, const char* flag, double fallback) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::atof(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+long FlagInt(int argc, char** argv, const char* flag, long fallback) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return std::atol(argv[i] + len + 1);
+    }
+  }
+  return fallback;
+}
+
+std::string FlagString(int argc, char** argv, const char* flag,
+                       const char* fallback) {
+  const size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return fallback;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+bool ReplyMatches(const service::QueryReply& reply, const Expected& want,
+                  const std::string& query_name) {
+  if (!reply.status.ok()) {
+    std::fprintf(stderr, "FAIL: %s errored: %s\n", query_name.c_str(),
+                 reply.status.ToString().c_str());
+    return false;
+  }
+  const sql::StatementOutcome& got = reply.outcome;
+  if (got.aggregates != want.aggregates || got.raw_rows != want.raw_rows ||
+      got.plan_cost_units != want.plan_cost_units ||
+      got.exec_cost_units != want.exec_cost_units ||
+      got.num_materializations != want.num_materializations) {
+    std::fprintf(stderr,
+                 "FAIL: %s diverged from serial reference "
+                 "(rows %lld vs %lld, plan %.3f vs %.3f, exec %.3f vs %.3f, "
+                 "mats %d vs %d)\n",
+                 query_name.c_str(), static_cast<long long>(got.raw_rows),
+                 static_cast<long long>(want.raw_rows), got.plan_cost_units,
+                 want.plan_cost_units, got.exec_cost_units,
+                 want.exec_cost_units, got.num_materializations,
+                 want.num_materializations);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
+  const int sessions =
+      static_cast<int>(FlagInt(argc, argv, "--sessions", 128));
+  const int num_queries = std::max<long>(
+      1, FlagInt(argc, argv, "--queries",
+                 3 * static_cast<long>(env->workload->queries.size())));
+  const double zipf_theta = FlagDouble(argc, argv, "--zipf", 0.8);
+  const double arrival_us = FlagDouble(argc, argv, "--arrival-us", 0.0);
+  const int queue_capacity =
+      static_cast<int>(FlagInt(argc, argv, "--queue", 64));
+  const bool reopt_on = FlagInt(argc, argv, "--reopt", 1) != 0;
+  const std::string out_path =
+      FlagString(argc, argv, "--out", "BENCH_service_replay.json");
+
+  const size_t num_distinct = env->workload->queries.size();
+  bench::PrintCaption("service load replay");
+  std::printf(
+      "%d clients x %d statements over %zu distinct queries "
+      "(zipf theta %.2f), %d worker%s x %d intra thread%s, queue %d, "
+      "reopt %s\n",
+      sessions, num_queries, num_distinct, zipf_theta, env->threads,
+      env->threads == 1 ? "" : "s", env->intra_threads,
+      env->intra_threads == 1 ? "" : "s", queue_capacity,
+      reopt_on ? "on" : "off");
+
+  // Render every workload query as the SQL text real clients would submit.
+  std::vector<std::string> sql_texts;
+  sql_texts.reserve(num_distinct);
+  for (const auto& q : env->workload->queries) {
+    sql_texts.push_back(sql::RenderSql(*q));
+  }
+
+  const reoptimizer::ModelSpec model = reoptimizer::ModelSpec::Estimator();
+  const reoptimizer::ReoptOptions reopt =
+      reopt_on ? bench::ReoptOn() : reoptimizer::ReoptOptions{};
+
+  // Serial single-session reference: each distinct statement parsed from
+  // the same SQL text and run once through the same re-optimizing pipeline,
+  // one statement at a time on one thread.
+  std::fprintf(stderr, "[bench] computing serial reference (%zu queries)...\n",
+               num_distinct);
+  std::vector<Expected> expected(num_distinct);
+  {
+    reoptimizer::QueryRunner runner(&env->db->catalog, &env->db->stats,
+                                    optimizer::CostParams{});
+    runner.set_temp_namespace("replay_ref");
+    for (size_t qi = 0; qi < num_distinct; ++qi) {
+      auto parsed =
+          sql::ParseStatement(sql_texts[qi], env->db->catalog, "ref");
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "FAIL: reference parse of %s: %s\n",
+                     env->workload->queries[qi]->name.c_str(),
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      auto session = reoptimizer::QuerySession::Create(
+          parsed->query.get(), &env->db->catalog, &env->db->stats);
+      if (!session.ok()) {
+        std::fprintf(stderr, "FAIL: reference bind: %s\n",
+                     session.status().ToString().c_str());
+        return 1;
+      }
+      auto run = runner.Run(session->get(), model, reopt);
+      if (!run.ok()) {
+        std::fprintf(stderr, "FAIL: reference run of %s: %s\n",
+                     env->workload->queries[qi]->name.c_str(),
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      expected[qi] = Expected{std::move(run->aggregates), run->raw_rows,
+                              run->plan_cost_units, run->exec_cost_units,
+                              run->num_materializations};
+    }
+  }
+
+  // The replayed statement stream: full coverage first, zipf tail after,
+  // dealt round-robin to the clients.
+  common::Rng rng(0x5EA11CE);
+  common::ZipfSampler zipf(static_cast<int64_t>(num_distinct), zipf_theta);
+  std::vector<size_t> stream;
+  stream.reserve(static_cast<size_t>(num_queries));
+  for (size_t qi = 0; qi < num_distinct &&
+                      stream.size() < static_cast<size_t>(num_queries);
+       ++qi) {
+    stream.push_back(qi);
+  }
+  while (stream.size() < static_cast<size_t>(num_queries)) {
+    stream.push_back(static_cast<size_t>(zipf.Sample(&rng) - 1));
+  }
+  // Per-client inter-arrival gaps must come from per-client seeded streams
+  // so the replay stays deterministic regardless of thread interleaving.
+  std::vector<uint64_t> client_seeds(static_cast<size_t>(sessions));
+  for (auto& seed : client_seeds) seed = rng.Next();
+
+  service::ServerOptions options;
+  options.session_workers = env->threads;
+  options.intra_query_threads = env->intra_threads;
+  options.queue_capacity = queue_capacity;
+  options.model = model;
+  options.reopt = reopt;
+  service::SqlServer server(&env->db->catalog, &env->db->stats, options);
+
+  struct ClientWork {
+    service::SqlSession* session = nullptr;
+    std::vector<size_t> statements;                // indices into stream
+    std::vector<service::TicketPtr> tickets;       // parallel to statements
+  };
+  std::vector<ClientWork> clients(static_cast<size_t>(sessions));
+  for (size_t c = 0; c < clients.size(); ++c) {
+    clients[c].session = server.OpenSession("client" + std::to_string(c));
+  }
+  for (size_t i = 0; i < stream.size(); ++i) {
+    clients[i % clients.size()].statements.push_back(i);
+  }
+
+  std::fprintf(stderr, "[bench] replaying...\n");
+  const auto replay_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients.size());
+  for (size_t c = 0; c < clients.size(); ++c) {
+    client_threads.emplace_back([&, c] {
+      ClientWork& work = clients[c];
+      common::Rng arrivals(client_seeds[c]);
+      for (size_t idx : work.statements) {
+        if (arrival_us > 0.0) {
+          // Exponential inter-arrival (open-loop Poisson process).
+          double gap =
+              -arrival_us * std::log(1.0 - arrivals.UniformDouble());
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::micro>(gap));
+        }
+        work.tickets.push_back(
+            work.session->Submit(sql_texts[stream[idx]]));
+      }
+      for (const service::TicketPtr& ticket : work.tickets) ticket->Wait();
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  const double replay_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    replay_start)
+          .count();
+  server.Shutdown();
+
+  // Differential check: every reply against the serial reference.
+  bool ok = true;
+  int64_t mismatches = 0;
+  for (const ClientWork& work : clients) {
+    for (size_t i = 0; i < work.statements.size(); ++i) {
+      const size_t qi = stream[work.statements[i]];
+      if (!ReplyMatches(work.tickets[i]->Wait(), expected[qi],
+                        env->workload->queries[qi]->name)) {
+        ok = false;
+        if (++mismatches >= 10) {
+          std::fprintf(stderr, "FAIL: ... further mismatches suppressed\n");
+          break;
+        }
+      }
+    }
+    if (mismatches >= 10) break;
+  }
+
+  const service::ServerStats stats = server.Snapshot();
+  const double p50 = Percentile(stats.wall_latency_seconds, 0.50);
+  const double p99 = Percentile(stats.wall_latency_seconds, 0.99);
+  double mean = 0.0;
+  for (double s : stats.wall_latency_seconds) mean += s;
+  if (!stats.wall_latency_seconds.empty()) {
+    mean /= static_cast<double>(stats.wall_latency_seconds.size());
+  }
+  const double throughput =
+      replay_seconds > 0.0
+          ? static_cast<double>(stats.completed) / replay_seconds
+          : 0.0;
+
+  std::printf(
+      "completed %lld  failed %lld  rejected %lld  cache hits %lld\n",
+      static_cast<long long>(stats.completed),
+      static_cast<long long>(stats.failed),
+      static_cast<long long>(stats.rejected),
+      static_cast<long long>(stats.cache_hits));
+  std::printf(
+      "latency p50 %.2f ms  p99 %.2f ms  mean %.2f ms  "
+      "throughput %.1f q/s  wall %.2f s\n",
+      p50 * 1e3, p99 * 1e3, mean * 1e3, throughput, replay_seconds);
+  std::printf("simulated: plan %.2f s  exec %.2f s\n", stats.sim_plan_seconds,
+              stats.sim_exec_seconds);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARN: cannot write %s\n", out_path.c_str());
+  } else {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"sessions\": %d,\n"
+        "  \"session_workers\": %d,\n"
+        "  \"intra_query_threads\": %d,\n"
+        "  \"queue_capacity\": %d,\n"
+        "  \"queries\": %d,\n"
+        "  \"distinct_queries\": %zu,\n"
+        "  \"zipf_theta\": %.3f,\n"
+        "  \"reopt\": %s,\n"
+        "  \"completed\": %lld,\n"
+        "  \"failed\": %lld,\n"
+        "  \"rejected\": %lld,\n"
+        "  \"cache_hits\": %lld,\n"
+        "  \"p50_ms\": %.3f,\n"
+        "  \"p99_ms\": %.3f,\n"
+        "  \"mean_ms\": %.3f,\n"
+        "  \"throughput_qps\": %.2f,\n"
+        "  \"wall_seconds\": %.3f,\n"
+        "  \"sim_plan_seconds\": %.3f,\n"
+        "  \"sim_exec_seconds\": %.3f,\n"
+        "  \"deterministic\": %s\n"
+        "}\n",
+        sessions, env->threads, env->intra_threads, queue_capacity,
+        num_queries, num_distinct, zipf_theta, reopt_on ? "true" : "false",
+        static_cast<long long>(stats.completed),
+        static_cast<long long>(stats.failed),
+        static_cast<long long>(stats.rejected),
+        static_cast<long long>(stats.cache_hits), p50 * 1e3, p99 * 1e3,
+        mean * 1e3, throughput, replay_seconds, stats.sim_plan_seconds,
+        stats.sim_exec_seconds, ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (!ok || stats.failed > 0) {
+    std::fprintf(stderr,
+                 "FAIL: replay diverged from the serial reference\n");
+    return 1;
+  }
+  std::printf("service replay OK: %lld replies byte-identical to the serial "
+              "single-session run\n",
+              static_cast<long long>(stats.completed));
+  return 0;
+}

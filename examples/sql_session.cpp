@@ -3,69 +3,36 @@
 // re-optimization rewrite as CREATE TEMP TABLE ... AS SELECT followed by
 // the rewritten tail query, and compare results and simulated times.
 //
+// Every statement goes through sql::Engine — the same parse -> bind ->
+// plan -> execute pipeline the multi-session service layer
+// (src/service/sql_server.h) runs; this example is its single-session,
+// single-statement-at-a-time form.
+//
 //   $ ./build/examples/sql_session
 #include <cstdio>
 #include <string>
 
 #include "common/sim_time.h"
-#include "exec/executor.h"
 #include "imdb/imdb.h"
-#include "optimizer/planner.h"
-#include "sql/parser.h"
-#include "stats/analyze.h"
+#include "sql/engine.h"
 
 using namespace reopt;  // NOLINT: example code
 
 namespace {
 
-// Plans and executes one SQL statement; returns false on error.
-bool RunSql(imdb::ImdbDatabase* db, const std::string& sql,
-            exec::QueryResult* result) {
-  auto parsed = sql::ParseStatement(sql, db->catalog);
-  if (!parsed.ok()) {
-    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
-    return false;
-  }
-  auto ctx = optimizer::QueryContext::Bind(parsed->query.get(),
-                                           &db->catalog, &db->stats);
-  if (!ctx.ok()) {
-    std::printf("bind error: %s\n", ctx.status().ToString().c_str());
-    return false;
-  }
-  optimizer::EstimatorModel model(ctx.value().get());
-  optimizer::CostParams params;
-  optimizer::PlannerOptions popts;
-  popts.add_aggregate = parsed->create_table_name.empty();
-  optimizer::Planner planner(ctx.value().get(), &model, params, popts);
-  auto planned = planner.Plan();
-  if (!planned.ok()) {
-    std::printf("plan error: %s\n", planned.status().ToString().c_str());
-    return false;
-  }
-  plan::PlanNodePtr root = std::move(planned->root);
-  if (!parsed->create_table_name.empty()) {
-    // Wrap the join tree in a TempWrite materializing the select list.
-    auto write = std::make_unique<plan::PlanNode>();
-    write->op = plan::PlanOp::kTempWrite;
-    write->rels = root->rels;
-    write->temp_table_name = parsed->create_table_name;
-    for (const plan::OutputExpr& out : parsed->query->outputs) {
-      write->temp_columns.push_back(out.column);
-    }
-    write->left = std::move(root);
-    root = std::move(write);
-  }
-  exec::Executor executor(&db->catalog, &db->stats, params);
-  auto executed = executor.Execute(*parsed->query, root.get());
+// Runs one SQL statement through the shared pipeline; false on error.
+bool RunSql(sql::Engine* engine, const std::string& statement,
+            sql::StatementOutcome* outcome) {
+  auto executed = engine->Execute(statement);
   if (!executed.ok()) {
-    std::printf("exec error: %s\n", executed.status().ToString().c_str());
+    std::printf("error: %s\n", executed.status().ToString().c_str());
     return false;
   }
-  *result = std::move(executed.value());
+  *outcome = std::move(executed.value());
   std::printf("  -> %lld rows, exec %s\n",
-              static_cast<long long>(result->raw_rows),
+              static_cast<long long>(outcome->raw_rows),
               common::FormatSimSeconds(
-                  common::CostUnitsToSeconds(result->cost_units))
+                  common::CostUnitsToSeconds(outcome->exec_cost_units))
                   .c_str());
   return true;
 }
@@ -76,6 +43,7 @@ int main() {
   imdb::ImdbOptions options;
   options.scale = 0.25;
   auto db = imdb::BuildImdbDatabase(options);
+  sql::Engine engine(&db->catalog, &db->stats);
 
   const std::string original = R"sql(
     SELECT MIN(n.name) AS of_person, MIN(t.title) AS biography_movie
@@ -88,9 +56,9 @@ int main() {
       AND t.id = mc.movie_id AND mc.company_id = cn.id;
   )sql";
   std::printf("original query (paper Fig. 6, left):\n");
-  exec::QueryResult before;
-  if (!RunSql(db.get(), original, &before)) return 1;
-  double original_units = before.cost_units;
+  sql::StatementOutcome before;
+  if (!RunSql(&engine, original, &before)) return 1;
+  double original_units = before.exec_cost_units;
 
   std::printf("\nre-optimized form (paper Fig. 6, right):\n");
   const std::string create_temp = R"sql(
@@ -99,8 +67,8 @@ int main() {
     FROM keyword AS k, movie_keyword AS mk
     WHERE mk.keyword_id = k.id AND k.keyword = 'character-name-in-title';
   )sql";
-  exec::QueryResult temp_result;
-  if (!RunSql(db.get(), create_temp, &temp_result)) return 1;
+  sql::StatementOutcome temp_result;
+  if (!RunSql(&engine, create_temp, &temp_result)) return 1;
 
   const std::string rewritten = R"sql(
     SELECT MIN(n.name) AS of_person, MIN(t.title) AS biography_movie
@@ -111,14 +79,15 @@ int main() {
       AND t.id = tmp.mk_movie_id
       AND t.id = mc.movie_id AND mc.company_id = cn.id;
   )sql";
-  exec::QueryResult after;
-  if (!RunSql(db.get(), rewritten, &after)) return 1;
+  sql::StatementOutcome after;
+  if (!RunSql(&engine, rewritten, &after)) return 1;
 
   if (before.aggregates != after.aggregates) {
     std::printf("RESULT MISMATCH between original and rewritten query!\n");
     return 1;
   }
-  double rewritten_units = temp_result.cost_units + after.cost_units;
+  double rewritten_units =
+      temp_result.exec_cost_units + after.exec_cost_units;
   std::printf("\nresults agree; execution: original %s vs temp+rewritten "
               "%s (%.2fx)\n",
               common::FormatSimSeconds(

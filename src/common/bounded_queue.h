@@ -1,0 +1,102 @@
+// A bounded MPMC FIFO queue — the admission-control primitive of the SQL
+// service layer (service/sql_server.h). Producers either block until space
+// frees up (Push — backpressure) or fail fast when the queue is full
+// (TryPush — load shedding); consumers block until an item arrives or the
+// queue is closed and drained. Close() is one-way: further pushes fail,
+// already-queued items are still handed out, and every blocked thread
+// wakes, so shutdown cannot deadlock.
+#ifndef REOPT_COMMON_BOUNDED_QUEUE_H_
+#define REOPT_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace reopt::common {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Capacity is clamped to >= 1 (a zero-capacity queue could never pass an
+  /// item between threads that use blocking Push).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns false (dropping `item`) only
+  /// if the queue was closed before space became available.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking admission: returns false when the queue is full or
+  /// closed, leaving `item` unqueued.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (returning it) or the queue is
+  /// closed *and* drained (returning nullopt). Items queued before Close()
+  /// are always delivered.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Closes the queue: subsequent pushes fail, blocked producers and
+  /// consumers wake. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace reopt::common
+
+#endif  // REOPT_COMMON_BOUNDED_QUEUE_H_

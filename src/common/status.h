@@ -111,12 +111,18 @@ class Result {
   } while (0)
 
 /// Evaluates a Result<T> expression; on error returns the Status, otherwise
-/// binds the value to `lhs`.
-#define REOPT_ASSIGN_OR_RETURN(lhs, expr)            \
-  auto result_##__LINE__ = (expr);                   \
-  if (!result_##__LINE__.ok()) {                     \
-    return result_##__LINE__.status();               \
-  }                                                  \
-  lhs = std::move(result_##__LINE__.value())
+/// binds the value to `lhs`. The double-expansion through
+/// REOPT_ASSIGN_OR_RETURN_IMPL_ is what makes __LINE__ produce a distinct
+/// temporary per use, so the macro can appear several times in one scope.
+#define REOPT_ASSIGN_OR_RETURN(lhs, expr) \
+  REOPT_ASSIGN_OR_RETURN_IMPL_(lhs, expr, __LINE__)
+#define REOPT_ASSIGN_OR_RETURN_IMPL_(lhs, expr, line) \
+  REOPT_ASSIGN_OR_RETURN_IMPL2_(lhs, expr, line)
+#define REOPT_ASSIGN_OR_RETURN_IMPL2_(lhs, expr, line) \
+  auto result_##line = (expr);                         \
+  if (!result_##line.ok()) {                           \
+    return result_##line.status();                     \
+  }                                                    \
+  lhs = std::move(result_##line.value())
 
 #endif  // REOPT_COMMON_STATUS_H_

@@ -120,7 +120,7 @@ common::Result<QueryResult> Executor::Execute(const plan::QuerySpec& query,
     REOPT_CHECK(plan_root->left != nullptr);
     Intermediate input = ExecuteNode(query, rels, plan_root->left.get());
     result.raw_rows = input.size();
-    ExecuteTempWrite(query, rels, plan_root, input);
+    REOPT_RETURN_IF_ERROR(ExecuteTempWrite(query, rels, plan_root, input));
   } else {
     // Bare join/scan root (used by tests): no aggregation.
     Intermediate input = ExecuteNode(query, rels, plan_root);
@@ -335,10 +335,10 @@ Intermediate Executor::ExecuteIndexNestedLoop(const plan::QuerySpec& query,
   return out;
 }
 
-void Executor::ExecuteTempWrite(const plan::QuerySpec& query,
-                                const BoundRelations& rels,
-                                plan::PlanNode* node,
-                                const Intermediate& input) {
+common::Status Executor::ExecuteTempWrite(const plan::QuerySpec& query,
+                                          const BoundRelations& rels,
+                                          plan::PlanNode* node,
+                                          const Intermediate& input) {
   // Materialize the requested columns into a new temp table.
   storage::Schema schema;
   for (const plan::ColumnRef& ref : node->temp_columns) {
@@ -350,7 +350,10 @@ void Executor::ExecuteTempWrite(const plan::QuerySpec& query,
   }
   auto created = catalog_->CreateTable(node->temp_table_name,
                                        std::move(schema), /*temporary=*/true);
-  REOPT_CHECK_MSG(created.ok(), "temp table name collision");
+  // The re-optimizer's generated names are collision-free by construction,
+  // but user DDL (CREATE TEMP TABLE through the SQL service) can race on a
+  // name — that must surface as a clean error, never a crash.
+  if (!created.ok()) return created.status();
   storage::Table* temp = created.value();
   temp->Reserve(input.size());
   // Column-at-a-time materialization with fused ANALYZE: the source column
@@ -450,6 +453,7 @@ void Executor::ExecuteTempWrite(const plan::QuerySpec& query,
   node->charged_cost =
       TempWriteCost(params_, static_cast<double>(input.size()),
                     static_cast<int>(node->temp_columns.size()));
+  return common::Status::OK();
 }
 
 }  // namespace reopt::exec

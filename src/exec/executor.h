@@ -79,9 +79,12 @@ class Executor {
   Intermediate ExecuteIndexNestedLoop(const plan::QuerySpec& query,
                                       const BoundRelations& rels,
                                       plan::PlanNode* node);
-  void ExecuteTempWrite(const plan::QuerySpec& query,
-                        const BoundRelations& rels, plan::PlanNode* node,
-                        const Intermediate& input);
+  /// Fails with AlreadyExists on a temp-table name collision (user DDL can
+  /// race on names; the error must stay a Status, not a crash).
+  common::Status ExecuteTempWrite(const plan::QuerySpec& query,
+                                  const BoundRelations& rels,
+                                  plan::PlanNode* node,
+                                  const Intermediate& input);
 
   /// FilterScan / HashJoinIntermediates through the selected kernel.
   std::vector<common::RowIdx> RunFilterScan(

@@ -1,0 +1,283 @@
+#include "service/sql_server.h"
+
+#include <utility>
+
+#include "common/sim_time.h"
+
+namespace reopt::service {
+
+// ---- Ticket ----------------------------------------------------------------
+
+const QueryReply& Ticket::Wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return reply_;
+}
+
+bool Ticket::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void Ticket::Fulfill(QueryReply reply) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    REOPT_CHECK_MSG(!done_, "ticket fulfilled twice");
+    reply_ = std::move(reply);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+// ---- SqlSession ------------------------------------------------------------
+
+TicketPtr SqlSession::Submit(std::string sql) {
+  auto ticket = std::make_shared<Ticket>();
+  SqlServer::Pending pending{std::move(sql), ticket,
+                             SqlServer::Clock::now()};
+  if (!server_->queue_.Push(std::move(pending))) {
+    QueryReply reply;
+    reply.status = common::Status::Internal("server is shut down");
+    ticket->Fulfill(std::move(reply));
+    std::lock_guard<std::mutex> lock(server_->stats_mu_);
+    ++server_->stats_.rejected;
+    return ticket;
+  }
+  std::lock_guard<std::mutex> lock(server_->stats_mu_);
+  ++server_->stats_.submitted;
+  return ticket;
+}
+
+TicketPtr SqlSession::TrySubmit(std::string sql) {
+  auto ticket = std::make_shared<Ticket>();
+  SqlServer::Pending pending{std::move(sql), ticket,
+                             SqlServer::Clock::now()};
+  if (!server_->queue_.TryPush(std::move(pending))) {
+    std::lock_guard<std::mutex> lock(server_->stats_mu_);
+    ++server_->stats_.rejected;
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(server_->stats_mu_);
+  ++server_->stats_.submitted;
+  return ticket;
+}
+
+QueryReply SqlSession::Execute(std::string sql) {
+  return Submit(std::move(sql))->Wait();
+}
+
+// ---- SqlServer -------------------------------------------------------------
+
+namespace {
+
+ServerOptions Sanitize(ServerOptions options) {
+  if (options.session_workers < 1) options.session_workers = 1;
+  if (options.intra_query_threads < 1) options.intra_query_threads = 1;
+  if (options.queue_capacity < 1) options.queue_capacity = 1;
+  return options;
+}
+
+double SecondsBetween(SqlServer::Clock::time_point from,
+                      SqlServer::Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+SqlServer::SqlServer(storage::Catalog* catalog,
+                     stats::StatsCatalog* stats_catalog,
+                     ServerOptions options)
+    : catalog_(catalog),
+      stats_catalog_(stats_catalog),
+      options_(Sanitize(std::move(options))),
+      queue_(static_cast<std::size_t>(options_.queue_capacity)) {
+  workers_ = std::make_unique<common::ThreadPool>(options_.session_workers);
+  // One long-running drain loop per worker, each with its own loop id:
+  // distinct ids guarantee distinct temp-table namespaces no matter how the
+  // pool schedules the loop tasks.
+  for (int w = 0; w < options_.session_workers; ++w) {
+    workers_->Submit([this, w](int) { WorkerLoop(w); });
+  }
+}
+
+SqlServer::~SqlServer() { Shutdown(); }
+
+SqlSession* SqlServer::OpenSession(std::string name) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  int id = static_cast<int>(sessions_.size());
+  if (name.empty()) name = "session" + std::to_string(id);
+  sessions_.push_back(std::unique_ptr<SqlSession>(
+      new SqlSession(this, id, std::move(name))));
+  return sessions_.back().get();
+}
+
+void SqlServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shut_down_.exchange(true)) return;
+  // Close() fails further pushes but lets the workers drain every accepted
+  // statement, so no ticket is ever left unfulfilled.
+  queue_.Close();
+  workers_->Wait();
+  workers_.reset();  // joins the threads
+  // Temp tables created through the server die with it, as session-scoped
+  // temp tables do in a real DBMS.
+  std::vector<std::string> created;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    created.swap(created_tables_);
+  }
+  for (const std::string& name : created) {
+    (void)catalog_->DropTable(name);
+    stats_catalog_->Remove(name);
+  }
+}
+
+ServerStats SqlServer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void SqlServer::WorkerLoop(int worker) {
+  // Worker-private execution state, mirroring the parallel sweep engine:
+  // same catalog/stats/params as every other worker, plus a namespaced
+  // temp-table space so concurrent re-optimization rounds never collide.
+  reoptimizer::QueryRunner runner(catalog_, stats_catalog_, options_.params);
+  runner.set_temp_namespace("svc_w" + std::to_string(worker));
+  runner.set_intra_query_threads(options_.intra_query_threads);
+  sql::Engine engine(catalog_, stats_catalog_, options_.params);
+  engine.set_intra_query_threads(options_.intra_query_threads);
+
+  while (true) {
+    std::optional<Pending> pending = queue_.Pop();
+    if (!pending.has_value()) break;  // closed and drained
+    const Clock::time_point dequeued_at = Clock::now();
+    QueryReply reply;
+    // A failing statement fails *that* statement only: the worker and its
+    // sibling sessions keep serving. The engine/runner report errors as
+    // Status; the catch is a backstop so even an escaped exception cannot
+    // take the drain loop (and every later ticket) down with it.
+    try {
+      reply = RunStatement(worker, &runner, &engine, pending->sql);
+    } catch (const std::exception& e) {
+      reply = QueryReply{};
+      reply.status = common::Status::Internal(
+          std::string("statement execution threw: ") + e.what());
+    } catch (...) {
+      reply = QueryReply{};
+      reply.status =
+          common::Status::Internal("statement execution threw");
+    }
+    reply.worker = worker;
+    reply.queue_seconds = SecondsBetween(pending->submitted_at, dequeued_at);
+    reply.wall_seconds = SecondsBetween(pending->submitted_at, Clock::now());
+    RecordReply(reply);
+    pending->ticket->Fulfill(std::move(reply));
+  }
+}
+
+common::Result<std::shared_ptr<SqlServer::CachedStatement>>
+SqlServer::LookupStatement(const std::string& sql, bool* hit) {
+  *hit = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = statement_cache_.find(sql);
+    if (it != statement_cache_.end()) {
+      *hit = true;
+      return it->second;
+    }
+  }
+  // Parse and bind outside the lock; workers racing on the same new
+  // statement each build an identical entry and the first insert wins.
+  auto parsed = sql::ParseStatement(sql, *catalog_, "svc");
+  if (!parsed.ok()) return parsed.status();
+  auto entry = std::make_shared<CachedStatement>();
+  entry->parsed = std::move(parsed.value());
+
+  const bool is_select = entry->parsed.create_table_name.empty();
+  bool cacheable = is_select;
+  for (const plan::RelationRef& rel : entry->parsed.query->relations) {
+    // A statement over a temp table must not outlive the table in the
+    // cache (the table can be dropped while the entry survives).
+    if (catalog_->IsTemporary(rel.table_name)) cacheable = false;
+  }
+  if (is_select) {
+    auto session = reoptimizer::QuerySession::Create(
+        entry->parsed.query.get(), catalog_, stats_catalog_);
+    if (!session.ok()) return session.status();
+    entry->session = std::move(session.value());
+  }
+  if (!cacheable) return entry;
+
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto inserted = statement_cache_.emplace(sql, entry);
+  if (!inserted.second) {
+    // A racing worker published first; share its entry (and its session —
+    // the whole point of the cross-session cache).
+    *hit = true;
+    return inserted.first->second;
+  }
+  return entry;
+}
+
+QueryReply SqlServer::RunStatement(int worker,
+                                   reoptimizer::QueryRunner* runner,
+                                   sql::Engine* engine,
+                                   const std::string& sql) {
+  (void)worker;
+  QueryReply reply;
+  bool hit = false;
+  auto looked_up = LookupStatement(sql, &hit);
+  if (!looked_up.ok()) {
+    reply.status = looked_up.status();
+    return reply;
+  }
+  std::shared_ptr<CachedStatement> stmt = std::move(looked_up.value());
+  reply.cache_hit = hit;
+
+  if (stmt->session != nullptr) {
+    // SELECT: through the re-optimizing runner, sharing the statement's
+    // QuerySession (oracle cache + round-0 plan memos) across sessions.
+    auto run = runner->Run(stmt->session.get(), options_.model,
+                           options_.reopt);
+    if (!run.ok()) {
+      reply.status = run.status();
+      return reply;
+    }
+    reply.outcome.aggregates = std::move(run->aggregates);
+    reply.outcome.raw_rows = run->raw_rows;
+    reply.outcome.plan_cost_units = run->plan_cost_units;
+    reply.outcome.exec_cost_units = run->exec_cost_units;
+    reply.outcome.num_materializations = run->num_materializations;
+    return reply;
+  }
+
+  // CREATE TEMP TABLE ... AS SELECT: through the plain engine pipeline.
+  auto executed = engine->ExecuteParsed(stmt->parsed);
+  if (!executed.ok()) {
+    reply.status = executed.status();
+    return reply;
+  }
+  reply.outcome = std::move(executed.value());
+  if (!reply.outcome.created_table.empty()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    created_tables_.push_back(reply.outcome.created_table);
+  }
+  return reply;
+}
+
+void SqlServer::RecordReply(const QueryReply& reply) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (reply.status.ok()) {
+    ++stats_.completed;
+    stats_.sim_plan_seconds +=
+        common::CostUnitsToSeconds(reply.outcome.plan_cost_units);
+    stats_.sim_exec_seconds +=
+        common::CostUnitsToSeconds(reply.outcome.exec_cost_units);
+  } else {
+    ++stats_.failed;
+  }
+  if (reply.cache_hit) ++stats_.cache_hits;
+  stats_.wall_latency_seconds.push_back(reply.wall_seconds);
+}
+
+}  // namespace reopt::service

@@ -1,0 +1,237 @@
+// An embedded multi-session SQL server: the concurrent front end the
+// ROADMAP's "millions of users" north star needs in order to mean anything.
+// N client sessions submit SQL statements into one bounded queue; a fixed
+// pool of session workers drains it, running every statement through the
+// shared parse -> bind -> plan -> execute pipeline (sql/engine.h), with the
+// re-optimizing QueryRunner underneath when re-optimization is enabled.
+//
+// Concurrency budget (docs/ARCHITECTURE.md, "Service layer"): the server
+// occupies session_workers x intra_query_threads live threads — the same
+// two-level inter x intra budget the workload sweeps use — and the bounded
+// queue is the admission-control valve in front of it: Submit applies
+// backpressure (blocks when the queue is full), TrySubmit sheds load
+// (rejects, counted in ServerStats::rejected).
+//
+// Cache sharing: SELECT statements are cached by SQL text in a
+// cross-session statement cache. Each entry owns the bound spec plus a
+// reoptimizer::QuerySession, so all sessions share one true-cardinality
+// oracle and one round-0 plan memo per distinct statement — the second
+// client to send a popular query replays the first client's memo instead of
+// re-running the DP. The StatsCatalog is shared by construction.
+//
+// Determinism invariant: per-query results (aggregates, raw_rows, plan and
+// exec cost units) are byte-identical to a serial single-session run at any
+// (sessions x workers x intra-threads) setting. SELECTs read shared
+// immutable state through thread-safe catalogs; every worker plans with the
+// same model over the same statistics; re-optimization temp tables are
+// namespaced per worker ("svc_w<k>"). The service differential suite
+// (tests/service_test.cc, tsan-labelled) proves it over all 113 queries.
+#ifndef REOPT_SERVICE_SQL_SERVER_H_
+#define REOPT_SERVICE_SQL_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "optimizer/cost_params.h"
+#include "reopt/query_runner.h"
+#include "sql/engine.h"
+#include "stats/stats_catalog.h"
+#include "storage/catalog.h"
+
+namespace reopt::service {
+
+struct ServerOptions {
+  /// Inter-session worker threads draining the submission queue.
+  int session_workers = 2;
+  /// Morsel threads per executing statement. The server occupies
+  /// session_workers x intra_query_threads live threads total.
+  int intra_query_threads = 1;
+  /// Bounded submission-queue capacity (admission control).
+  int queue_capacity = 64;
+  optimizer::CostParams params;
+  /// Cardinality model and re-optimization setting applied to every SELECT.
+  /// Defaults: plain estimator, re-optimization off.
+  reoptimizer::ModelSpec model;
+  reoptimizer::ReoptOptions reopt;
+};
+
+/// Outcome of one submitted statement, delivered through its Ticket.
+struct QueryReply {
+  common::Status status;
+  /// Valid only when status.ok().
+  sql::StatementOutcome outcome;
+  /// Wall-clock submit -> completion (includes queue wait).
+  double wall_seconds = 0.0;
+  /// Wall-clock submit -> dequeue (the admission/queueing share).
+  double queue_seconds = 0.0;
+  /// True when the statement hit the shared statement cache.
+  bool cache_hit = false;
+  /// Worker that executed the statement (-1 = rejected before dispatch).
+  int worker = -1;
+};
+
+/// One submitted statement's completion handle. Thread-safe: any thread may
+/// Wait(); the executing worker fulfills it exactly once.
+class Ticket {
+ public:
+  /// Blocks until the statement finishes; the reply stays valid for the
+  /// ticket's lifetime.
+  const QueryReply& Wait() const;
+  bool done() const;
+
+ private:
+  friend class SqlServer;
+  friend class SqlSession;
+  void Fulfill(QueryReply reply);
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  QueryReply reply_;
+};
+using TicketPtr = std::shared_ptr<Ticket>;
+
+class SqlServer;
+
+/// A client connection. Sessions are cheap handles owned by the server;
+/// statements from any number of sessions interleave through the shared
+/// queue. Statements within a session are *submitted* in order but may
+/// complete out of order — a client with a dependent statement (SELECT
+/// against its own CREATE TEMP TABLE) waits on the earlier ticket first.
+class SqlSession {
+ public:
+  const std::string& name() const { return name_; }
+  int id() const { return id_; }
+
+  /// Blocking admission: waits for queue space (backpressure). The
+  /// returned ticket is always non-null; if the server is shut down the
+  /// ticket is already fulfilled with an error status.
+  TicketPtr Submit(std::string sql);
+
+  /// Non-blocking admission: returns nullptr when the queue is full or the
+  /// server is shut down (counted in ServerStats::rejected).
+  TicketPtr TrySubmit(std::string sql);
+
+  /// Submit + Wait.
+  QueryReply Execute(std::string sql);
+
+ private:
+  friend class SqlServer;
+  SqlSession(SqlServer* server, int id, std::string name)
+      : server_(server), id_(id), name_(std::move(name)) {}
+
+  SqlServer* server_;
+  int id_;
+  std::string name_;
+};
+
+/// Aggregate serving counters; Snapshot() returns a consistent copy.
+struct ServerStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;   // finished with an OK status
+  int64_t failed = 0;      // finished with an error status
+  int64_t rejected = 0;    // TrySubmit shed by admission control
+  int64_t cache_hits = 0;  // statement-cache hits
+  /// Simulated plan/exec time summed over completed statements.
+  double sim_plan_seconds = 0.0;
+  double sim_exec_seconds = 0.0;
+  /// Wall-clock submit -> completion per finished statement, in completion
+  /// order (the replay driver computes p50/p99 from this).
+  std::vector<double> wall_latency_seconds;
+};
+
+class SqlServer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// The catalog/stats must outlive the server. Workers start immediately.
+  SqlServer(storage::Catalog* catalog, stats::StatsCatalog* stats_catalog,
+            ServerOptions options = ServerOptions{});
+  /// Shuts down (draining accepted statements) if the caller has not.
+  ~SqlServer();
+
+  SqlServer(const SqlServer&) = delete;
+  SqlServer& operator=(const SqlServer&) = delete;
+
+  /// Opens a session; the handle is owned by the server and valid until the
+  /// server is destroyed. Empty name -> "session<id>".
+  SqlSession* OpenSession(std::string name = "");
+
+  /// Closes the queue, drains every accepted statement, joins the workers,
+  /// and drops temp tables created through the server (with their
+  /// statistics). Idempotent; no new statements are accepted afterwards.
+  void Shutdown();
+
+  ServerStats Snapshot() const;
+  const ServerOptions& options() const { return options_; }
+  /// Live threads the server occupies: session_workers x intra threads.
+  int total_thread_budget() const {
+    return options_.session_workers * options_.intra_query_threads;
+  }
+  int queue_depth() const { return static_cast<int>(queue_.size()); }
+
+ private:
+  friend class SqlSession;
+
+  struct Pending {
+    std::string sql;
+    TicketPtr ticket;
+    Clock::time_point submitted_at;
+  };
+
+  /// One cross-session statement-cache entry: the bound spec (stable
+  /// address — plans and sessions point into it) plus the shared
+  /// QuerySession carrying the oracle cache and round-0 plan memos.
+  struct CachedStatement {
+    sql::ParsedStatement parsed;
+    std::unique_ptr<reoptimizer::QuerySession> session;
+  };
+
+  TicketPtr MakeRejectedTicket(common::Status status);
+  void WorkerLoop(int worker);
+  QueryReply RunStatement(int worker, reoptimizer::QueryRunner* runner,
+                          sql::Engine* engine, const std::string& sql);
+  /// The cached entry for `sql`, creating (and publishing) it on first use;
+  /// nullptr when the statement is not cacheable (CREATE TEMP TABLE, or it
+  /// references a temp table whose lifetime the cache cannot track) or not
+  /// parseable (the error is returned instead). `hit` reports whether the
+  /// entry already existed.
+  common::Result<std::shared_ptr<CachedStatement>> LookupStatement(
+      const std::string& sql, bool* hit);
+  void RecordReply(const QueryReply& reply);
+
+  storage::Catalog* catalog_;
+  stats::StatsCatalog* stats_catalog_;
+  ServerOptions options_;
+
+  common::BoundedQueue<Pending> queue_;
+  std::unique_ptr<common::ThreadPool> workers_;
+  std::atomic<bool> shut_down_{false};
+  std::mutex shutdown_mu_;  // serializes Shutdown()
+
+  mutable std::mutex sessions_mu_;
+  std::deque<std::unique_ptr<SqlSession>> sessions_;
+
+  mutable std::mutex cache_mu_;
+  std::unordered_map<std::string, std::shared_ptr<CachedStatement>>
+      statement_cache_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+  /// Temp tables created via CREATE TEMP TABLE, dropped at Shutdown().
+  std::vector<std::string> created_tables_;
+};
+
+}  // namespace reopt::service
+
+#endif  // REOPT_SERVICE_SQL_SERVER_H_

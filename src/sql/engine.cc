@@ -1,0 +1,173 @@
+#include "sql/engine.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "exec/executor.h"
+#include "optimizer/cardinality_model.h"
+#include "optimizer/planner.h"
+#include "optimizer/query_context.h"
+#include "plan/physical_plan.h"
+
+namespace reopt::sql {
+
+common::Result<StatementOutcome> Engine::Execute(
+    const std::string& sql, const std::string& query_name) {
+  REOPT_ASSIGN_OR_RETURN(ParsedStatement parsed,
+                         ParseStatement(sql, *catalog_, query_name));
+  return ExecuteParsed(parsed);
+}
+
+common::Result<StatementOutcome> Engine::ExecuteParsed(
+    const ParsedStatement& parsed) {
+  const bool creates_table = !parsed.create_table_name.empty();
+  // Fail CREATE TEMP TABLE name collisions before planning: the executor's
+  // CreateTable would also reject them, but a pre-check reports the error
+  // without charging any planning work. (The executor check still holds for
+  // two sessions racing on the same name — first writer wins, the loser
+  // gets a clean AlreadyExists.)
+  if (creates_table &&
+      catalog_->FindTable(parsed.create_table_name) != nullptr) {
+    return common::Status::AlreadyExists("table already exists: " +
+                                         parsed.create_table_name);
+  }
+
+  REOPT_ASSIGN_OR_RETURN(
+      std::unique_ptr<optimizer::QueryContext> ctx,
+      optimizer::QueryContext::Bind(parsed.query.get(), catalog_,
+                                    stats_catalog_));
+  optimizer::EstimatorModel model(ctx.get());
+  optimizer::PlannerOptions popts;
+  popts.add_aggregate = !creates_table;
+  optimizer::Planner planner(ctx.get(), &model, params_, popts);
+  REOPT_ASSIGN_OR_RETURN(optimizer::PlannerResult planned, planner.Plan());
+
+  plan::PlanNodePtr root = std::move(planned.root);
+  if (creates_table) {
+    // Wrap the join tree in a TempWrite materializing the select list.
+    auto write = std::make_unique<plan::PlanNode>();
+    write->op = plan::PlanOp::kTempWrite;
+    write->rels = root->rels;
+    write->est_rows = root->est_rows;
+    write->est_cost = root->est_cost;
+    write->temp_table_name = parsed.create_table_name;
+    for (const plan::OutputExpr& out : parsed.query->outputs) {
+      write->temp_columns.push_back(out.column);
+    }
+    write->left = std::move(root);
+    root = std::move(write);
+  }
+
+  if (intra_query_threads_ > 1 &&
+      (intra_pool_ == nullptr ||
+       intra_pool_->num_threads() < intra_query_threads_)) {
+    intra_pool_ = std::make_unique<common::ThreadPool>(intra_query_threads_);
+  }
+  exec::Executor executor(catalog_, stats_catalog_, params_);
+  executor.set_intra_query_parallelism(
+      intra_query_threads_,
+      intra_query_threads_ > 1 ? intra_pool_.get() : nullptr);
+  REOPT_ASSIGN_OR_RETURN(exec::QueryResult executed,
+                         executor.Execute(*parsed.query, root.get()));
+
+  StatementOutcome out;
+  out.aggregates = std::move(executed.aggregates);
+  out.raw_rows = executed.raw_rows;
+  out.plan_cost_units = planned.planning_cost_units;
+  out.exec_cost_units = executed.cost_units;
+  if (creates_table) out.created_table = parsed.create_table_name;
+  return out;
+}
+
+// ---- SQL rendering ---------------------------------------------------------
+
+namespace {
+
+std::string RenderLiteral(const common::Value& v) {
+  if (v.is_null()) return "NULL";
+  if (v.is_int()) return v.ToString();
+  if (v.is_double()) {
+    // %.17g round-trips every double through the parser's atof exactly;
+    // Value::ToString's %g does not, and a drifted literal would change
+    // results between the programmatic spec and its SQL rendering.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+    return buf;
+  }
+  std::string out = "'";
+  for (char c : v.AsString()) {
+    out += c;
+    if (c == '\'') out += '\'';  // SQL '' escaping
+  }
+  out += "'";
+  return out;
+}
+
+std::string RenderColumn(const plan::QuerySpec& spec,
+                         const plan::ColumnRef& ref) {
+  REOPT_CHECK_MSG(!ref.name.empty(), "RenderSql needs column names");
+  return spec.relations[static_cast<size_t>(ref.rel)].alias + "." + ref.name;
+}
+
+std::string RenderPredicate(const plan::QuerySpec& spec,
+                            const plan::ScanPredicate& p) {
+  std::string col = RenderColumn(spec, p.column);
+  switch (p.kind) {
+    case plan::ScanPredicate::Kind::kCompare:
+      return col + " " + plan::CompareOpName(p.op) + " " +
+             RenderLiteral(p.value);
+    case plan::ScanPredicate::Kind::kIn: {
+      std::string out = col + " IN (";
+      for (size_t i = 0; i < p.in_list.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += RenderLiteral(p.in_list[i]);
+      }
+      return out + ")";
+    }
+    case plan::ScanPredicate::Kind::kLike:
+      return col + " LIKE " + RenderLiteral(p.value);
+    case plan::ScanPredicate::Kind::kNotLike:
+      return col + " NOT LIKE " + RenderLiteral(p.value);
+    case plan::ScanPredicate::Kind::kBetween:
+      return col + " BETWEEN " + RenderLiteral(p.value) + " AND " +
+             RenderLiteral(p.value2);
+    case plan::ScanPredicate::Kind::kIsNull:
+      return col + " IS NULL";
+    case plan::ScanPredicate::Kind::kIsNotNull:
+      return col + " IS NOT NULL";
+  }
+  REOPT_UNREACHABLE("unknown predicate kind");
+}
+
+}  // namespace
+
+std::string RenderSql(const plan::QuerySpec& spec) {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < spec.outputs.size(); ++i) {
+    if (i > 0) out += ", ";
+    const plan::OutputExpr& e = spec.outputs[i];
+    std::string col = RenderColumn(spec, e.column);
+    out += e.min_agg ? ("MIN(" + col + ")") : col;
+    if (!e.label.empty()) out += " AS " + e.label;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < spec.relations.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += spec.relations[i].table_name + " AS " + spec.relations[i].alias;
+  }
+  bool first = true;
+  for (const plan::ScanPredicate& p : spec.filters) {
+    out += first ? " WHERE " : " AND ";
+    out += RenderPredicate(spec, p);
+    first = false;
+  }
+  for (const plan::JoinEdge& e : spec.joins) {
+    out += first ? " WHERE " : " AND ";
+    out += RenderColumn(spec, e.left) + " = " + RenderColumn(spec, e.right);
+    first = false;
+  }
+  out += ";";
+  return out;
+}
+
+}  // namespace reopt::sql

@@ -1,0 +1,93 @@
+// The reusable SQL entry point: one call takes a statement through
+// parse -> bind -> plan -> execute against a catalog/stats pair. Factored
+// out of examples/sql_session.cpp so the interactive example, the unit
+// tests and the multi-session service layer (service/sql_server.h) all run
+// statements through the same pipeline instead of each re-implementing it.
+//
+// The engine handles both statement forms of the JOB dialect:
+//   SELECT MIN(...) ...             -> plans with a terminal aggregate
+//   CREATE TEMP TABLE t AS SELECT   -> wraps the join tree in a TempWrite
+// Errors at any stage come back as a clean Status — a malformed statement,
+// an unknown table, or a temp-table name collision must never crash the
+// process (the service layer keeps serving other sessions).
+#ifndef REOPT_SQL_ENGINE_H_
+#define REOPT_SQL_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/value.h"
+#include "optimizer/cost_params.h"
+#include "sql/parser.h"
+#include "stats/stats_catalog.h"
+#include "storage/catalog.h"
+
+namespace reopt::sql {
+
+/// Outcome of one executed statement.
+struct StatementOutcome {
+  /// MIN() values, one per output (empty for CREATE TEMP TABLE).
+  std::vector<common::Value> aggregates;
+  /// Join-result tuples entering the aggregate / written to the temp table.
+  int64_t raw_rows = 0;
+  double plan_cost_units = 0.0;
+  double exec_cost_units = 0.0;
+  /// Temp tables materialized by re-optimization (always 0 for the plain
+  /// engine pipeline; the service layer fills it when it runs statements
+  /// through the re-optimizing QueryRunner).
+  int num_materializations = 0;
+  /// Non-empty when the statement created a temp table.
+  std::string created_table;
+};
+
+/// Plans and executes SQL statements against one database. Stateless
+/// between calls except for the lazily-created intra-query morsel pool, so
+/// one engine per thread is the intended usage (the catalog/stats it points
+/// at are themselves thread-safe).
+class Engine {
+ public:
+  Engine(storage::Catalog* catalog, stats::StatsCatalog* stats_catalog,
+         const optimizer::CostParams& params = {})
+      : catalog_(catalog), stats_catalog_(stats_catalog), params_(params) {}
+
+  /// Morsel workers per executing statement (clamped to >= 1, default 1 =
+  /// serial). The engine lazily owns one pool of that size, reused across
+  /// statements; results are byte-identical at any setting.
+  void set_intra_query_threads(int n) {
+    intra_query_threads_ = n < 1 ? 1 : n;
+  }
+  int intra_query_threads() const { return intra_query_threads_; }
+
+  /// Full pipeline for one statement.
+  common::Result<StatementOutcome> Execute(const std::string& sql,
+                                           const std::string& query_name =
+                                               "sql");
+
+  /// Plan + execute an already-parsed statement (the service layer parses
+  /// once and caches). `parsed` must outlive the call.
+  common::Result<StatementOutcome> ExecuteParsed(
+      const ParsedStatement& parsed);
+
+ private:
+  storage::Catalog* catalog_;
+  stats::StatsCatalog* stats_catalog_;
+  optimizer::CostParams params_;
+  int intra_query_threads_ = 1;
+  std::unique_ptr<common::ThreadPool> intra_pool_;
+};
+
+/// Renders a QuerySpec as SQL text that ParseStatement accepts and binds
+/// back into an equivalent spec (same relations, filters, joins and outputs
+/// in the same order — proven by the round-trip suite in sql_test). String
+/// literals are quoted with '' escaping; doubles print with enough digits
+/// to round-trip exactly. This is how the replay driver turns the
+/// programmatic 113-query workload into the SQL text real clients would
+/// submit.
+std::string RenderSql(const plan::QuerySpec& spec);
+
+}  // namespace reopt::sql
+
+#endif  // REOPT_SQL_ENGINE_H_

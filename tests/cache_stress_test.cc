@@ -1,0 +1,205 @@
+// Concurrency stress for the shared caches under the service layer
+// (tsan-labelled): 8 threads hammer one QuerySession's plan-memo cache and
+// the shared StatsCatalog through the same hit/miss/invalidation patterns
+// concurrent serving produces. Correctness bar: no data race (tsan), no
+// crash, and every thread observes byte-identical query results — cache
+// hits must be indistinguishable from misses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "optimizer/cardinality_model.h"
+#include "optimizer/planner.h"
+#include "optimizer/query_context.h"
+#include "reopt/query_runner.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+
+namespace reopt {
+namespace {
+
+using testing::SmallImdb;
+
+constexpr int kThreads = 8;
+
+// ---- Shared QuerySession: plan-memo + oracle cache --------------------------
+
+// Every thread runs the same session under four different model specs (four
+// distinct memo keys) with re-optimization on: the first run per key is a
+// miss that publishes the memo, every later run replays it — concurrently,
+// from all threads, with per-round rewrites exercising the oracle cache
+// too. All runs under one key must agree exactly.
+TEST(CacheStressTest, SharedSessionMemoHitsAndMissesFromEightThreads) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto spec = workload::MakeQuery6d(db->catalog);
+  auto session = reoptimizer::QuerySession::Create(spec.get(), &db->catalog,
+                                                   &db->stats);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  const std::vector<reoptimizer::ModelSpec> models = {
+      reoptimizer::ModelSpec::Estimator(), reoptimizer::ModelSpec::PerfectN(1),
+      reoptimizer::ModelSpec::PerfectN(2),
+      reoptimizer::ModelSpec::PerfectN(4)};
+  reoptimizer::ReoptOptions reopt;
+  reopt.enabled = true;
+  reopt.qerror_threshold = 32.0;
+  constexpr int kItersPerThread = 8;
+
+  struct Observed {
+    std::vector<common::Value> aggregates;
+    int64_t raw_rows = 0;
+    double plan_cost_units = 0.0;
+    double exec_cost_units = 0.0;
+    int num_materializations = 0;
+  };
+  // [thread][iteration] -> result for model iteration % models.size().
+  std::vector<std::vector<Observed>> observed(
+      kThreads, std::vector<Observed>(kItersPerThread));
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Worker-private runner with its own temp namespace, exactly like a
+      // service worker; the *session* is the shared piece.
+      reoptimizer::QueryRunner runner(&db->catalog, &db->stats,
+                                      optimizer::CostParams{});
+      runner.set_temp_namespace("stress_w" + std::to_string(t));
+      for (int i = 0; i < kItersPerThread; ++i) {
+        auto run = runner.Run(session->get(),
+                              models[static_cast<size_t>(i) % models.size()],
+                              reopt);
+        if (!run.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        observed[static_cast<size_t>(t)][static_cast<size_t>(i)] =
+            Observed{run->aggregates, run->raw_rows, run->plan_cost_units,
+                     run->exec_cost_units, run->num_materializations};
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Per model spec, every (thread, iteration) result is identical — cache
+  // hits replay exactly what the miss computed.
+  for (size_t m = 0; m < models.size(); ++m) {
+    const Observed& want = observed[0][m];
+    for (int t = 0; t < kThreads; ++t) {
+      for (size_t i = m; i < static_cast<size_t>(kItersPerThread);
+           i += models.size()) {
+        const Observed& got = observed[static_cast<size_t>(t)][i];
+        EXPECT_EQ(got.aggregates, want.aggregates) << "model " << m;
+        EXPECT_EQ(got.raw_rows, want.raw_rows) << "model " << m;
+        EXPECT_EQ(got.plan_cost_units, want.plan_cost_units) << "model " << m;
+        EXPECT_EQ(got.exec_cost_units, want.exec_cost_units) << "model " << m;
+        EXPECT_EQ(got.num_materializations, want.num_materializations)
+            << "model " << m;
+      }
+    }
+  }
+}
+
+// Raw FindPlanMemo/StorePlanMemo races: all threads race to publish memos
+// under the same keys. First writer wins; every Find after a Store under
+// that key returns a non-null memo that plans to the same result.
+TEST(CacheStressTest, PlanMemoStoreRaceFirstWriterWins) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto spec = workload::MakeQueryFig6(db->catalog);
+  auto session = reoptimizer::QuerySession::Create(spec.get(), &db->catalog,
+                                                   &db->stats);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  // One real memo, copied into every Store call (all writers publishing
+  // identical memos is exactly the benign race the contract allows).
+  auto ctx = optimizer::QueryContext::Bind(spec.get(), &db->catalog,
+                                           &db->stats);
+  ASSERT_TRUE(ctx.ok());
+  optimizer::EstimatorModel model(ctx->get());
+  optimizer::CostParams params;
+  optimizer::Planner planner(ctx->get(), &model, params);
+  auto planned = planner.Plan();
+  ASSERT_TRUE(planned.ok());
+  optimizer::PlanMemo memo = planner.TakeMemo();
+
+  constexpr int kKeys = 16;
+  std::atomic<int> nulls_after_store{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (uint64_t key = 0; key < kKeys; ++key) {
+        if (session->get()->FindPlanMemo(key) == nullptr) {
+          session->get()->StorePlanMemo(key, memo);
+        }
+        // After this thread stored (or observed) a memo for `key`, Find
+        // must never regress to null.
+        if (session->get()->FindPlanMemo(key) == nullptr) {
+          nulls_after_store.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(nulls_after_store.load(), 0);
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    auto found = session->get()->FindPlanMemo(key);
+    ASSERT_NE(found, nullptr) << "key " << key;
+    // The published memo replays to the same plan the DP produced.
+    optimizer::EstimatorModel m(ctx->get());
+    optimizer::Planner p(ctx->get(), &m, params);
+    auto replayed = p.PlanFromMemo(*found);
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_EQ(replayed->planning_cost_units, planned->planning_cost_units);
+  }
+}
+
+// ---- StatsCatalog: concurrent Set/Find/Remove -------------------------------
+
+// The service discipline: every worker Set/Removes only its own namespaced
+// temp entries while everyone concurrently reads the shared base-table
+// stats. 8 threads cycle their private entries through
+// set -> find(hit) -> remove -> find(miss) while reading "title" stats on
+// every step; base stats must stay visible and untouched throughout.
+TEST(CacheStressTest, StatsCatalogNamespacedChurnUnderSharedReads) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  const stats::TableStats* keyword_stats = db->stats.Find("keyword");
+  ASSERT_NE(keyword_stats, nullptr);
+  const stats::TableStats seed = *keyword_stats;
+  const double title_rows = db->stats.Find("title")->row_count;
+
+  constexpr int kIters = 200;
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string mine = "stress_stats_t" + std::to_string(t);
+      for (int i = 0; i < kIters; ++i) {
+        db->stats.Set(mine, seed);
+        const stats::TableStats* found = db->stats.Find(mine);
+        if (found == nullptr || found->row_count != seed.row_count) {
+          violations.fetch_add(1);
+        }
+        // Shared read amid foreign churn.
+        const stats::TableStats* title = db->stats.Find("title");
+        if (title == nullptr || title->row_count != title_rows) {
+          violations.fetch_add(1);
+        }
+        db->stats.Remove(mine);
+        if (db->stats.Find(mine) != nullptr) violations.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(db->stats.Find("stress_stats_t" + std::to_string(t)), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace reopt

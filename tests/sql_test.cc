@@ -2,6 +2,7 @@
 
 #include "exec/executor.h"
 #include "optimizer/planner.h"
+#include "sql/engine.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
 #include "tests/test_util.h"
@@ -210,7 +211,19 @@ INSTANTIATE_TEST_SUITE_P(
         BadSql{"SELECT MIN(t.title) FROM title t WHERE t.id < t.kind_id",
                "non-equi join"},
         BadSql{"SELECT MIN(t.title) FROM title t WHERE t.id = t.kind_id",
-               "self comparison"}));
+               "self comparison"},
+        BadSql{"", "empty statement"},
+        BadSql{"   \n\t  ", "whitespace-only statement"},
+        BadSql{";", "bare semicolon"},
+        BadSql{"SELECT MIN(t.title) FROM title t WHERE t.title = 'oops",
+               "unterminated string literal"},
+        BadSql{"'unterminated", "unterminated string as whole input"},
+        BadSql{"SELECT MIN(t.title) FROM title t WHERE t.nope = 1",
+               "unknown column in predicate"},
+        BadSql{"SELECT MIN(t.title) FROM title t WHERE nosuch.id = t.id",
+               "unknown alias in join"},
+        BadSql{"CREATE TEMP TABLE AS SELECT MIN(t.title) FROM title t",
+               "CREATE without a table name"}));
 
 TEST(ParserTest, ParsedQueryBindsIntoContext) {
   imdb::ImdbDatabase* db = SmallImdb();
@@ -222,6 +235,214 @@ TEST(ParserTest, ParsedQueryBindsIntoContext) {
   auto ctx = optimizer::QueryContext::Bind(parsed->query.get(), &db->catalog,
                                            &db->stats);
   EXPECT_TRUE(ctx.ok()) << ctx.status().ToString();
+}
+
+// ---- Engine -----------------------------------------------------------------
+
+TEST(EngineTest, SelectMatchesManualPipeline) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  const std::string sql =
+      "SELECT MIN(t.title) AS m FROM title AS t, movie_keyword AS mk, "
+      "keyword AS k WHERE t.id = mk.movie_id AND mk.keyword_id = k.id "
+      "AND k.keyword = 'superhero';";
+  Engine engine(&db->catalog, &db->stats);
+  auto outcome = engine.Execute(sql);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  // Hand-built pipeline over the same parsed statement.
+  auto parsed = ParseStatement(sql, db->catalog);
+  ASSERT_TRUE(parsed.ok());
+  auto ctx = optimizer::QueryContext::Bind(parsed->query.get(), &db->catalog,
+                                           &db->stats);
+  ASSERT_TRUE(ctx.ok());
+  optimizer::EstimatorModel model(ctx->get());
+  optimizer::CostParams params;
+  optimizer::Planner planner(ctx->get(), &model, params);
+  auto planned = planner.Plan();
+  ASSERT_TRUE(planned.ok());
+  exec::Executor executor(&db->catalog, &db->stats, params);
+  auto manual = executor.Execute(*parsed->query, planned->root.get());
+  ASSERT_TRUE(manual.ok());
+
+  EXPECT_EQ(outcome->aggregates, manual->aggregates);
+  EXPECT_EQ(outcome->raw_rows, manual->raw_rows);
+  EXPECT_EQ(outcome->plan_cost_units, planned->planning_cost_units);
+  EXPECT_EQ(outcome->exec_cost_units, manual->cost_units);
+  EXPECT_TRUE(outcome->created_table.empty());
+}
+
+TEST(EngineTest, IntraQueryThreadsDoNotChangeResults) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  const std::string sql =
+      "SELECT MIN(n.name) FROM name AS n, cast_info AS ci "
+      "WHERE n.id = ci.person_id AND n.name LIKE 'B%';";
+  Engine serial(&db->catalog, &db->stats);
+  Engine parallel(&db->catalog, &db->stats);
+  parallel.set_intra_query_threads(2);
+  auto a = serial.Execute(sql);
+  auto b = parallel.Execute(sql);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->aggregates, b->aggregates);
+  EXPECT_EQ(a->raw_rows, b->raw_rows);
+  EXPECT_EQ(a->exec_cost_units, b->exec_cost_units);
+}
+
+TEST(EngineTest, CreateTempTableThenSelectOverIt) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  Engine engine(&db->catalog, &db->stats);
+  auto created = engine.Execute(
+      "CREATE TEMP TABLE eng_tmp AS SELECT mk.movie_id "
+      "FROM keyword AS k, movie_keyword AS mk "
+      "WHERE mk.keyword_id = k.id AND k.keyword = 'superhero';");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_EQ(created->created_table, "eng_tmp");
+  EXPECT_TRUE(created->aggregates.empty());
+  const storage::Table* tmp = db->catalog.FindTable("eng_tmp");
+  ASSERT_NE(tmp, nullptr);
+  EXPECT_TRUE(db->catalog.IsTemporary("eng_tmp"));
+  EXPECT_EQ(tmp->num_rows(), created->raw_rows);
+
+  // The materialized rows join like any base table.
+  auto selected = engine.Execute(
+      "SELECT MIN(t.title) FROM title AS t, eng_tmp AS e "
+      "WHERE t.id = e.mk_movie_id;");
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+
+  auto direct = engine.Execute(
+      "SELECT MIN(t.title) FROM title AS t, keyword AS k, "
+      "movie_keyword AS mk WHERE t.id = mk.movie_id "
+      "AND mk.keyword_id = k.id AND k.keyword = 'superhero';");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(selected->aggregates, direct->aggregates);
+
+  ASSERT_TRUE(db->catalog.DropTable("eng_tmp").ok());
+}
+
+TEST(EngineTest, ErrorsComeBackAsStatusNotCrash) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  Engine engine(&db->catalog, &db->stats);
+  EXPECT_FALSE(engine.Execute("").ok());
+  EXPECT_FALSE(engine.Execute("SELECT FROM WHERE;").ok());
+  EXPECT_FALSE(engine.Execute("'unterminated").ok());
+  EXPECT_FALSE(
+      engine.Execute("SELECT MIN(x.title) FROM no_such_table AS x;").ok());
+}
+
+TEST(EngineTest, CreateTempTableNameCollisionIsAlreadyExists) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  Engine engine(&db->catalog, &db->stats);
+  const std::string create =
+      "CREATE TEMP TABLE eng_dup AS SELECT k.id FROM keyword AS k "
+      "WHERE k.keyword = 'sequel';";
+  ASSERT_TRUE(engine.Execute(create).ok());
+  auto again = engine.Execute(create);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), common::StatusCode::kAlreadyExists);
+  // Colliding with a *base* table is equally fatal and equally clean.
+  auto base = engine.Execute(
+      "CREATE TEMP TABLE title AS SELECT k.id FROM keyword AS k;");
+  ASSERT_FALSE(base.ok());
+  EXPECT_EQ(base.status().code(), common::StatusCode::kAlreadyExists);
+  ASSERT_TRUE(db->catalog.DropTable("eng_dup").ok());
+}
+
+// ---- RenderSql round-trip ---------------------------------------------------
+
+void ExpectSpecsEquivalent(const plan::QuerySpec& a, const plan::QuerySpec& b,
+                           const std::string& name) {
+  ASSERT_EQ(a.relations.size(), b.relations.size()) << name;
+  for (size_t i = 0; i < a.relations.size(); ++i) {
+    EXPECT_EQ(a.relations[i].table_name, b.relations[i].table_name) << name;
+    EXPECT_EQ(a.relations[i].alias, b.relations[i].alias) << name;
+  }
+  ASSERT_EQ(a.filters.size(), b.filters.size()) << name;
+  for (size_t i = 0; i < a.filters.size(); ++i) {
+    const plan::ScanPredicate& fa = a.filters[i];
+    const plan::ScanPredicate& fb = b.filters[i];
+    EXPECT_EQ(fa.kind, fb.kind) << name << " filter " << i;
+    EXPECT_EQ(fa.column.rel, fb.column.rel) << name << " filter " << i;
+    EXPECT_EQ(fa.column.name, fb.column.name) << name << " filter " << i;
+    EXPECT_EQ(fa.op, fb.op) << name << " filter " << i;
+    EXPECT_EQ(fa.value, fb.value) << name << " filter " << i;
+    EXPECT_EQ(fa.value2, fb.value2) << name << " filter " << i;
+    EXPECT_EQ(fa.in_list, fb.in_list) << name << " filter " << i;
+  }
+  ASSERT_EQ(a.joins.size(), b.joins.size()) << name;
+  for (size_t i = 0; i < a.joins.size(); ++i) {
+    EXPECT_EQ(a.joins[i].left.rel, b.joins[i].left.rel) << name;
+    EXPECT_EQ(a.joins[i].left.name, b.joins[i].left.name) << name;
+    EXPECT_EQ(a.joins[i].right.rel, b.joins[i].right.rel) << name;
+    EXPECT_EQ(a.joins[i].right.name, b.joins[i].right.name) << name;
+  }
+  ASSERT_EQ(a.outputs.size(), b.outputs.size()) << name;
+  for (size_t i = 0; i < a.outputs.size(); ++i) {
+    EXPECT_EQ(a.outputs[i].column.rel, b.outputs[i].column.rel) << name;
+    EXPECT_EQ(a.outputs[i].column.name, b.outputs[i].column.name) << name;
+    EXPECT_EQ(a.outputs[i].min_agg, b.outputs[i].min_agg) << name;
+  }
+}
+
+// Every one of the 113 workload queries must survive the render -> parse ->
+// bind round trip with its structure intact: this is what lets the replay
+// driver treat RenderSql output as the wire format for real clients.
+TEST(RenderSqlTest, AllWorkloadQueriesRoundTrip) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto workload = workload::BuildJobLikeWorkload(db->catalog);
+  ASSERT_EQ(workload->queries.size(), 113u);
+  for (const auto& q : workload->queries) {
+    const std::string rendered = RenderSql(*q);
+    auto parsed = ParseStatement(rendered, db->catalog, q->name);
+    ASSERT_TRUE(parsed.ok())
+        << q->name << ": " << parsed.status().ToString() << "\n" << rendered;
+    ExpectSpecsEquivalent(*q, *parsed->query, q->name);
+  }
+}
+
+TEST(RenderSqlTest, RenderedQueryExecutesIdentically) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  Engine engine(&db->catalog, &db->stats);
+  for (const auto make :
+       {workload::MakeQuery6d, workload::MakeQueryFig6,
+        workload::MakeQuery16b}) {
+    auto built = make(db->catalog);
+    auto from_spec = [&](const plan::QuerySpec& spec) {
+      auto ctx = optimizer::QueryContext::Bind(&spec, &db->catalog,
+                                               &db->stats);
+      EXPECT_TRUE(ctx.ok());
+      optimizer::EstimatorModel model(ctx->get());
+      optimizer::CostParams params;
+      optimizer::Planner planner(ctx->get(), &model, params);
+      auto planned = planner.Plan();
+      EXPECT_TRUE(planned.ok());
+      exec::Executor executor(&db->catalog, &db->stats, params);
+      auto result = executor.Execute(spec, planned->root.get());
+      EXPECT_TRUE(result.ok());
+      return std::move(result.value());
+    };
+    exec::QueryResult want = from_spec(*built);
+    auto got = engine.Execute(RenderSql(*built), built->name);
+    ASSERT_TRUE(got.ok()) << built->name << ": " << got.status().ToString();
+    EXPECT_EQ(got->aggregates, want.aggregates) << built->name;
+    EXPECT_EQ(got->raw_rows, want.raw_rows) << built->name;
+    EXPECT_EQ(got->exec_cost_units, want.cost_units) << built->name;
+  }
+}
+
+TEST(RenderSqlTest, EscapesQuotesAndRoundTripsLiterals) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  workload::QueryBuilder qb(&db->catalog, "quotes");
+  int k = qb.AddRelation("keyword", "k");
+  qb.FilterEq(k, "keyword", common::Value::Str("it's a trap"))
+      .OutputMin(k, "keyword", "m");
+  auto built = qb.Build();
+  const std::string rendered = RenderSql(*built);
+  EXPECT_NE(rendered.find("'it''s a trap'"), std::string::npos) << rendered;
+  auto parsed = ParseStatement(rendered, db->catalog);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->query->filters.size(), 1u);
+  EXPECT_EQ(parsed->query->filters[0].value,
+            common::Value::Str("it's a trap"));
 }
 
 }  // namespace

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/bounded_queue.h"
 #include "common/thread_pool.h"
 
 namespace reopt::common {
@@ -257,6 +260,150 @@ TEST(MorselRangesTest, AlignedCoveringAndDeterministic) {
       EXPECT_EQ(ranges.size(), MorselRanges(total, 1024, chunks).size());
     }
   }
+}
+
+// ---- Saturation ------------------------------------------------------------
+// Submissions far beyond the worker budget must queue inside the pool —
+// Submit never blocks the producer and Wait never deadlocks, even while
+// every worker is pinned on a long task.
+
+TEST(ThreadPoolTest, SaturatedSubmissionsQueueWithoutDeadlock) {
+  constexpr int kWorkers = 2;
+  constexpr int kTasks = 500;
+  ThreadPool pool(kWorkers);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> ran{0};
+  // Pin every worker on a blocking task, then pile up kTasks submissions
+  // behind them: all Submit calls must return immediately.
+  for (int i = 0; i < kWorkers; ++i) {
+    pool.Submit([&](int) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+      ran.fetch_add(1);
+    });
+  }
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&ran](int) { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 0);  // nothing ran yet: workers are pinned, queue holds
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(ran.load(), kWorkers + kTasks);
+}
+
+// ---- BoundedQueue ----------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(int(i)));
+  EXPECT_EQ(q.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushRejectsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full: shed, don't block
+  (void)q.Pop();
+  EXPECT_TRUE(q.TryPush(3));  // a slot freed up
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPopFreesASlot) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // blocks: queue is full
+    pushed.store(true);
+  });
+  // The producer is blocked in Push; popping unblocks it.
+  EXPECT_EQ(*q.Pop(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReturnsEmpty) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.Push(7));
+  EXPECT_TRUE(q.Push(8));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  // Accepted items drain in order...
+  EXPECT_EQ(*q.Pop(), 7);
+  EXPECT_EQ(*q.Pop(), 8);
+  // ...then Pop reports closed-and-drained instead of blocking forever.
+  EXPECT_FALSE(q.Pop().has_value());
+  // New items are refused after Close (both admission paths).
+  EXPECT_FALSE(q.Push(9));
+  EXPECT_FALSE(q.TryPush(9));
+  q.Close();  // idempotent
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(2);
+  std::atomic<int> empty_pops{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      if (!q.Pop().has_value()) empty_pops.fetch_add(1);
+    });
+  }
+  q.Close();  // all three blocked Pops must wake and return nullopt
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(empty_pops.load(), 3);
+}
+
+TEST(BoundedQueueTest, CapacityClampsToAtLeastOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_FALSE(q.TryPush(2));
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumersDeliverEverythingOnce) {
+  BoundedQueue<int> q(3);  // smaller than the in-flight item count
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> workers;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> popped{0};
+  for (int c = 0; c < kConsumers; ++c) {
+    workers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.Close();
+  for (std::thread& t : workers) t.join();
+  constexpr int kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), int64_t{kTotal} * (kTotal - 1) / 2);
 }
 
 TEST(MorselRangesTest, SmallAlignmentAndSingleChunk) {
