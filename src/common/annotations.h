@@ -1,0 +1,98 @@
+// Clang thread-safety-analysis attribute macros (the Capability analysis,
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under Clang these
+// expand to the `capability` attribute family so `-Wthread-safety` (wired as
+// `-Werror=thread-safety` by the clang-thread-safety CI job and the
+// REOPTDB_THREAD_SAFETY CMake option) proves the lock discipline at compile
+// time: every member annotated GUARDED_BY must only be touched while its
+// mutex is held, every function annotated REQUIRES must only be called with
+// the lock already held, and so on. Under every other compiler (GCC builds,
+// MSVC) the macros expand to nothing, so annotations cost nothing and the
+// annotated code stays portable.
+//
+// Project rule (enforced by tools/lint.py): concurrent state lives behind
+// common::Mutex (common/mutex.h), never a naked std::mutex, so the analysis
+// can see every acquisition. Annotate:
+//   - data members:      int x_ GUARDED_BY(mu_);
+//   - lock-held helpers: void RemoveLocked() REQUIRES(mu_);
+//   - public entry points that must NOT hold the lock: EXCLUDES(mu_)
+//     (prevents self-deadlock on non-recursive mutexes).
+// Quiescent-phase accessors that intentionally bypass the lock document why
+// and carry NO_THREAD_SAFETY_ANALYSIS.
+#ifndef REOPT_COMMON_ANNOTATIONS_H_
+#define REOPT_COMMON_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define REOPT_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef REOPT_THREAD_ANNOTATION_
+#define REOPT_THREAD_ANNOTATION_(x)  // not Clang: annotations compile out
+#endif
+
+/// Declares a class to be a capability ("mutex"); its instances can appear
+/// as arguments to the other annotations.
+#define CAPABILITY(x) REOPT_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY REOPT_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held.
+#define GUARDED_BY(x) REOPT_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x` (the pointer itself may
+/// be read freely).
+#define PT_GUARDED_BY(x) REOPT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function callable only while the listed capabilities are held (and still
+/// held on return). The annotation for `FooLocked()`-style helpers.
+#define REQUIRES(...) \
+  REOPT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Like REQUIRES but for shared (reader) access.
+#define REQUIRES_SHARED(...) \
+  REOPT_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// Function that must be entered with the listed capabilities NOT held
+/// (it acquires them itself; guards against self-deadlock).
+#define EXCLUDES(...) REOPT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  REOPT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  REOPT_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, released on return).
+#define RELEASE(...) \
+  REOPT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  REOPT_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// Function tries to acquire the capability; holds it iff the returned
+/// value equals `b` (first argument).
+#define TRY_ACQUIRE(...) \
+  REOPT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (lock accessors).
+#define RETURN_CAPABILITY(x) REOPT_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Documents lock-ordering: this mutex must be acquired after the listed
+/// ones.
+#define ACQUIRED_AFTER(...) \
+  REOPT_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define ACQUIRED_BEFORE(...) \
+  REOPT_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (satisfies the analysis
+/// without acquiring).
+#define ASSERT_CAPABILITY(x) \
+  REOPT_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Escape hatch for functions that intentionally read guarded state without
+/// the lock (quiescent/setup-phase accessors). Always pair with a comment
+/// explaining why the unlocked access is safe.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  REOPT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // REOPT_COMMON_ANNOTATIONS_H_

@@ -5,15 +5,21 @@
 // queue is closed and drained. Close() is one-way: further pushes fail,
 // already-queued items are still handed out, and every blocked thread
 // wakes, so shutdown cannot deadlock.
+//
+// All state is guarded by one common::Mutex and machine-checked by the
+// Clang thread-safety analysis (common/annotations.h). Push/TryPush/Pop
+// return values are [[nodiscard]]: a dropped admission result is a lost
+// statement, so ignoring one fails the build.
 #ifndef REOPT_COMMON_BOUNDED_QUEUE_H_
 #define REOPT_COMMON_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace reopt::common {
 
@@ -30,71 +36,73 @@ class BoundedQueue {
 
   /// Blocks while the queue is full. Returns false (dropping `item`) only
   /// if the queue was closed before space became available.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
-    not_empty_.notify_one();
+  [[nodiscard]] bool Push(T item) EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.size() >= capacity_) not_full_.Wait(&mu_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking admission: returns false when the queue is full or
   /// closed, leaving `item` unqueued.
-  bool TryPush(T item) {
+  [[nodiscard]] bool TryPush(T item) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available (returning it) or the queue is
   /// closed *and* drained (returning nullopt). Items queued before Close()
   /// are always delivered.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+  [[nodiscard]] std::optional<T> Pop() EXCLUDES(mu_) {
+    std::optional<T> item;
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(&mu_);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Closes the queue: subsequent pushes fail, blocked producers and
   /// consumers wake. Idempotent.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
   std::size_t capacity() const { return capacity_; }
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace reopt::common

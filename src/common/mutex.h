@@ -1,0 +1,94 @@
+// Annotated synchronization primitives: thin wrappers over std::mutex /
+// std::condition_variable carrying the Clang thread-safety capability
+// attributes (common/annotations.h), so a Clang build with -Wthread-safety
+// proves at compile time that every GUARDED_BY member is only touched under
+// its lock. Under non-Clang compilers the attributes vanish and these are
+// zero-overhead aliases for the std primitives.
+//
+// Project rule (tools/lint.py): all concurrent state outside src/common/
+// uses common::Mutex + common::MutexLock (+ common::CondVar for waiting),
+// never naked std::mutex — a naked mutex is invisible to the analysis.
+//
+// Idioms:
+//   common::Mutex mu_;
+//   int count_ GUARDED_BY(mu_);
+//
+//   void Bump() {
+//     common::MutexLock lock(&mu_);
+//     ++count_;                     // OK: lock held
+//   }
+//
+// Condition waits are written as explicit predicate loops in the waiting
+// function — `while (!pred) cv_.Wait(&mu_);` — rather than lambda-predicate
+// overloads: Clang analyzes a lambda body as a separate function that holds
+// no locks, so guarded reads inside a wait-predicate lambda would defeat
+// the analysis the wrapper exists to enable.
+#ifndef REOPT_COMMON_MUTEX_H_
+#define REOPT_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace reopt::common {
+
+/// A non-recursive mutual-exclusion capability. Prefer MutexLock over
+/// manual Lock/Unlock pairs.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section: locks on construction, unlocks on destruction.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(*mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable bound to a common::Mutex at each wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases *mu and blocks until notified (or spuriously
+  /// woken); re-acquires *mu before returning. Callers loop on their
+  /// predicate.
+  void Wait(Mutex* mu) REQUIRES(*mu) {
+    // Adopt the already-held native mutex for the duration of the wait;
+    // release() hands ownership back without unlocking, so the capability
+    // state (held on entry, held on exit) matches the annotation.
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace reopt::common
+
+#endif  // REOPT_COMMON_MUTEX_H_

@@ -9,8 +9,11 @@
 
 namespace reopt::common {
 
+/// [[nodiscard]]: a guard that is not bound to a local dies immediately,
+/// firing its cleanup at the end of the full expression instead of the end
+/// of the scope — always a bug, so dropping one fails the build.
 template <typename F>
-class ScopeGuard {
+class [[nodiscard]] ScopeGuard {
  public:
   explicit ScopeGuard(F fn) : fn_(std::move(fn)) {}
   ~ScopeGuard() {
@@ -34,7 +37,7 @@ class ScopeGuard {
 };
 
 template <typename F>
-ScopeGuard<F> MakeScopeGuard(F fn) {
+[[nodiscard]] ScopeGuard<F> MakeScopeGuard(F fn) {
   return ScopeGuard<F>(std::move(fn));
 }
 

@@ -25,7 +25,10 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the success case.
-class Status {
+/// [[nodiscard]]: silently dropping a Status loses the only error signal a
+/// no-exceptions codebase has, so ignoring one fails the build (spell an
+/// intentional drop as `(void)expr;` with a comment).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -64,9 +67,9 @@ class Status {
 };
 
 /// Either a value of type T or an error Status. Inspect with ok() before
-/// dereferencing.
+/// dereferencing. [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` and `return status;` both work.
   Result(T value) : payload_(std::move(value)) {}  // NOLINT

@@ -15,30 +15,30 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Let queued work drain before shutting down: Submit-after-Wait and
     // destruction mid-batch both behave predictably. A pending task
     // exception is dropped here — destructors cannot rethrow.
-    all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    while (!queue_.empty() || active_ != 0) all_idle_.Wait(&mu_);
     stopping_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void(int)> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  work_ready_.notify_one();
+  work_ready_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    MutexLock lock(&mu_);
+    while (!queue_.empty() || active_ != 0) all_idle_.Wait(&mu_);
     error = std::exchange(first_error_, nullptr);
   }
   if (error != nullptr) {
@@ -51,8 +51,8 @@ void ThreadPool::WorkerLoop(int worker) {
   while (true) {
     std::function<void(int)> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) work_ready_.Wait(&mu_);
       if (stopping_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -65,13 +65,13 @@ void ThreadPool::WorkerLoop(int worker) {
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (error != nullptr && first_error_ == nullptr) {
         first_error_ = error;  // first failure wins; later ones are dropped
         failed_.store(true, std::memory_order_relaxed);
       }
       --active_;
-      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+      if (queue_.empty() && active_ == 0) all_idle_.NotifyAll();
     }
   }
 }

@@ -16,14 +16,15 @@
 #define REOPT_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace reopt::common {
 
@@ -46,12 +47,12 @@ class ThreadPool {
   /// index in [0, num_threads()). Tasks may throw — the first exception is
   /// captured and rethrown by the next Wait() — and may Submit further
   /// tasks.
-  void Submit(std::function<void(int worker)> task);
+  void Submit(std::function<void(int worker)> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and every worker is idle, then
   /// rethrows the first exception any task threw since the previous Wait()
   /// (clearing it — the pool stays reusable afterwards).
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// True while an uncollected task exception is pending. Cheap (relaxed
   /// atomic); long-running tasks poll it to stop early once a sibling has
@@ -76,13 +77,14 @@ class ThreadPool {
  private:
   void WorkerLoop(int worker);
 
-  std::mutex mu_;
-  std::condition_variable work_ready_;
-  std::condition_variable all_idle_;
-  std::deque<std::function<void(int)>> queue_;
-  int active_ = 0;        // tasks currently executing
-  bool stopping_ = false;
-  std::exception_ptr first_error_;  // first uncollected task exception
+  Mutex mu_;
+  CondVar work_ready_;
+  CondVar all_idle_;
+  std::deque<std::function<void(int)>> queue_ GUARDED_BY(mu_);
+  int active_ GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// First uncollected task exception.
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
   std::atomic<bool> failed_{false};
   std::vector<std::thread> workers_;
 };

@@ -6,7 +6,7 @@
 namespace reopt::optimizer {
 
 double TrueCardinalityOracle::True(plan::RelSet set) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return TrueLocked(set);
 }
 
@@ -21,13 +21,13 @@ double TrueCardinalityOracle::TrueLocked(plan::RelSet set) {
 }
 
 void TrueCardinalityOracle::ReleaseScratch() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   filtered_.clear();
   weights_.clear();
 }
 
 void TrueCardinalityOracle::Preload(const std::map<uint64_t, double>& counts) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (const auto& [bits, count] : counts) cache_[bits] = count;
 }
 

@@ -22,11 +22,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "optimizer/query_context.h"
 #include "plan/rel_set.h"
 
@@ -39,58 +40,64 @@ class TrueCardinalityOracle {
 
   /// Exact cardinality of joining `set` with all filters and internal join
   /// edges applied.
-  double True(plan::RelSet set);
+  double True(plan::RelSet set) EXCLUDES(mu_);
 
   /// Number of counts computed (excluding cache hits).
-  int64_t num_computed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t num_computed() const EXCLUDES(mu_) {
+    common::MutexLock lock(&mu_);
     return num_computed_;
   }
   /// Number of cached entries.
-  int64_t cache_size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t cache_size() const EXCLUDES(mu_) {
+    common::MutexLock lock(&mu_);
     return static_cast<int64_t>(cache_.size());
   }
 
   /// Releases the factorized-counting scratch memory (weight maps and
   /// filtered base rows), keeping the count cache. Call between queries.
-  void ReleaseScratch();
+  void ReleaseScratch() EXCLUDES(mu_);
 
   /// Pre-populates count cache entries (from a disk cache).
-  void Preload(const std::map<uint64_t, double>& counts);
+  void Preload(const std::map<uint64_t, double>& counts) EXCLUDES(mu_);
   /// Snapshot of the count cache (for a disk cache). Quiescent use only —
-  /// do not call while other threads may be counting.
-  const std::map<uint64_t, double>& counts() const { return cache_; }
+  /// do not call while other threads may be counting; the deliberate
+  /// unlocked read is why the analysis is suppressed here.
+  const std::map<uint64_t, double>& counts() const
+      NO_THREAD_SAFETY_ANALYSIS {
+    return cache_;
+  }
 
  private:
   using WeightMap = std::unordered_map<int64_t, double>;
 
   /// True() with mu_ already held; Compute recurses through this entry so
   /// the (non-recursive) lock is taken exactly once per public call.
-  double TrueLocked(plan::RelSet set);
-  double Compute(plan::RelSet set);
-  double ComputeConnected(plan::RelSet set);
+  double TrueLocked(plan::RelSet set) REQUIRES(mu_);
+  double Compute(plan::RelSet set) REQUIRES(mu_);
+  double ComputeConnected(plan::RelSet set) REQUIRES(mu_);
   /// True if every relation pair in `set` is linked by at most one edge and
   /// the edge count equals |set|-1 (a join tree).
   bool IsTreeSubset(plan::RelSet set) const;
-  double FactorizedCount(plan::RelSet set);
+  double FactorizedCount(plan::RelSet set) REQUIRES(mu_);
   /// Weight map of `rel`'s subtree (within `subtree`), keyed by `rel`'s
   /// value in `key_col`; `subtree` must contain `rel` and be connected.
   const WeightMap& SubtreeWeights(int rel, common::ColumnIdx key_col,
-                                  plan::RelSet subtree, int parent_rel);
-  const std::vector<common::RowIdx>& FilteredRows(int rel);
+                                  plan::RelSet subtree, int parent_rel)
+      REQUIRES(mu_);
+  const std::vector<common::RowIdx>& FilteredRows(int rel) REQUIRES(mu_);
 
   const QueryContext* ctx_;
-  mutable std::mutex mu_;  // guards everything below
-  int64_t num_computed_ = 0;
-  std::map<uint64_t, double> cache_;
+  mutable common::Mutex mu_;  // guards everything below
+  int64_t num_computed_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, double> cache_ GUARDED_BY(mu_);
 
   // Scratch (released by ReleaseScratch): filtered base rows per relation
   // and memoized subtree weight maps keyed by (rel, key_col, subtree bits).
-  std::vector<std::unique_ptr<std::vector<common::RowIdx>>> filtered_;
+  std::vector<std::unique_ptr<std::vector<common::RowIdx>>> filtered_
+      GUARDED_BY(mu_);
   std::map<std::tuple<int, common::ColumnIdx, uint64_t>,
            std::unique_ptr<WeightMap>>
-      weights_;
+      weights_ GUARDED_BY(mu_);
 };
 
 }  // namespace reopt::optimizer

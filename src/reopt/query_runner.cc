@@ -32,14 +32,14 @@ common::Result<std::unique_ptr<QuerySession>> QuerySession::Create(
 
 std::shared_ptr<const optimizer::PlanMemo> QuerySession::FindPlanMemo(
     uint64_t key) const {
-  std::lock_guard<std::mutex> lock(memo_mu_);
+  common::MutexLock lock(&memo_mu_);
   auto it = plan_memos_.find(key);
   return it == plan_memos_.end() ? nullptr : it->second;
 }
 
 void QuerySession::StorePlanMemo(uint64_t key, optimizer::PlanMemo memo) {
   auto shared = std::make_shared<const optimizer::PlanMemo>(std::move(memo));
-  std::lock_guard<std::mutex> lock(memo_mu_);
+  common::MutexLock lock(&memo_mu_);
   plan_memos_.emplace(key, std::move(shared));  // first writer wins
 }
 

@@ -16,10 +16,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/value.h"
@@ -113,18 +114,21 @@ class QuerySession {
   optimizer::TrueCardinalityOracle* oracle() { return oracle_.get(); }
 
   /// The cached round-0 plan memo for `key`, or nullptr.
-  std::shared_ptr<const optimizer::PlanMemo> FindPlanMemo(uint64_t key) const;
+  std::shared_ptr<const optimizer::PlanMemo> FindPlanMemo(uint64_t key) const
+      EXCLUDES(memo_mu_);
   /// Publishes a round-0 memo for `key`. First writer wins (all writers
   /// compute identical memos for a given key, so the race is benign).
-  void StorePlanMemo(uint64_t key, optimizer::PlanMemo memo);
+  void StorePlanMemo(uint64_t key, optimizer::PlanMemo memo)
+      EXCLUDES(memo_mu_);
 
  private:
   QuerySession() = default;
   const plan::QuerySpec* spec_ = nullptr;
   std::unique_ptr<optimizer::QueryContext> ctx_;
   std::unique_ptr<optimizer::TrueCardinalityOracle> oracle_;
-  mutable std::mutex memo_mu_;
-  std::map<uint64_t, std::shared_ptr<const optimizer::PlanMemo>> plan_memos_;
+  mutable common::Mutex memo_mu_;
+  std::map<uint64_t, std::shared_ptr<const optimizer::PlanMemo>> plan_memos_
+      GUARDED_BY(memo_mu_);
 };
 
 /// Runs queries against one database, with or without re-optimization.

@@ -9,24 +9,26 @@ namespace reopt::service {
 // ---- Ticket ----------------------------------------------------------------
 
 const QueryReply& Ticket::Wait() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return done_; });
+  common::MutexLock lock(&mu_);
+  while (!done_) cv_.Wait(&mu_);
   return reply_;
 }
 
 bool Ticket::done() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return done_;
 }
 
 void Ticket::Fulfill(QueryReply reply) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
+    // lint: allow-check(internal invariant, not user input: exactly one
+    // worker fulfills a ticket; a second Fulfill is a server bug)
     REOPT_CHECK_MSG(!done_, "ticket fulfilled twice");
     reply_ = std::move(reply);
     done_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 // ---- SqlSession ------------------------------------------------------------
@@ -39,12 +41,10 @@ TicketPtr SqlSession::Submit(std::string sql) {
     QueryReply reply;
     reply.status = common::Status::Internal("server is shut down");
     ticket->Fulfill(std::move(reply));
-    std::lock_guard<std::mutex> lock(server_->stats_mu_);
-    ++server_->stats_.rejected;
+    server_->CountSubmission(/*admitted=*/false);
     return ticket;
   }
-  std::lock_guard<std::mutex> lock(server_->stats_mu_);
-  ++server_->stats_.submitted;
+  server_->CountSubmission(/*admitted=*/true);
   return ticket;
 }
 
@@ -53,12 +53,10 @@ TicketPtr SqlSession::TrySubmit(std::string sql) {
   SqlServer::Pending pending{std::move(sql), ticket,
                              SqlServer::Clock::now()};
   if (!server_->queue_.TryPush(std::move(pending))) {
-    std::lock_guard<std::mutex> lock(server_->stats_mu_);
-    ++server_->stats_.rejected;
+    server_->CountSubmission(/*admitted=*/false);
     return nullptr;
   }
-  std::lock_guard<std::mutex> lock(server_->stats_mu_);
-  ++server_->stats_.submitted;
+  server_->CountSubmission(/*admitted=*/true);
   return ticket;
 }
 
@@ -102,8 +100,17 @@ SqlServer::SqlServer(storage::Catalog* catalog,
 
 SqlServer::~SqlServer() { Shutdown(); }
 
+void SqlServer::CountSubmission(bool admitted) {
+  common::MutexLock lock(&stats_mu_);
+  if (admitted) {
+    ++stats_.submitted;
+  } else {
+    ++stats_.rejected;
+  }
+}
+
 SqlSession* SqlServer::OpenSession(std::string name) {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  common::MutexLock lock(&sessions_mu_);
   int id = static_cast<int>(sessions_.size());
   if (name.empty()) name = "session" + std::to_string(id);
   sessions_.push_back(std::unique_ptr<SqlSession>(
@@ -112,7 +119,7 @@ SqlSession* SqlServer::OpenSession(std::string name) {
 }
 
 void SqlServer::Shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  common::MutexLock lock(&shutdown_mu_);
   if (shut_down_.exchange(true)) return;
   // Close() fails further pushes but lets the workers drain every accepted
   // statement, so no ticket is ever left unfulfilled.
@@ -123,7 +130,7 @@ void SqlServer::Shutdown() {
   // temp tables do in a real DBMS.
   std::vector<std::string> created;
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    common::MutexLock stats_lock(&stats_mu_);
     created.swap(created_tables_);
   }
   for (const std::string& name : created) {
@@ -133,7 +140,7 @@ void SqlServer::Shutdown() {
 }
 
 ServerStats SqlServer::Snapshot() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  common::MutexLock lock(&stats_mu_);
   return stats_;
 }
 
@@ -179,7 +186,7 @@ common::Result<std::shared_ptr<SqlServer::CachedStatement>>
 SqlServer::LookupStatement(const std::string& sql, bool* hit) {
   *hit = false;
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    common::MutexLock lock(&cache_mu_);
     auto it = statement_cache_.find(sql);
     if (it != statement_cache_.end()) {
       *hit = true;
@@ -208,7 +215,7 @@ SqlServer::LookupStatement(const std::string& sql, bool* hit) {
   }
   if (!cacheable) return entry;
 
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  common::MutexLock lock(&cache_mu_);
   auto inserted = statement_cache_.emplace(sql, entry);
   if (!inserted.second) {
     // A racing worker published first; share its entry (and its session —
@@ -259,14 +266,14 @@ QueryReply SqlServer::RunStatement(int worker,
   }
   reply.outcome = std::move(executed.value());
   if (!reply.outcome.created_table.empty()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(&stats_mu_);
     created_tables_.push_back(reply.outcome.created_table);
   }
   return reply;
 }
 
 void SqlServer::RecordReply(const QueryReply& reply) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  common::MutexLock lock(&stats_mu_);
   if (reply.status.ok()) {
     ++stats_.completed;
     stats_.sim_plan_seconds +=

@@ -31,15 +31,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/bounded_queue.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "optimizer/cost_params.h"
@@ -86,18 +86,20 @@ class Ticket {
  public:
   /// Blocks until the statement finishes; the reply stays valid for the
   /// ticket's lifetime.
-  const QueryReply& Wait() const;
-  bool done() const;
+  const QueryReply& Wait() const EXCLUDES(mu_);
+  bool done() const EXCLUDES(mu_);
 
  private:
   friend class SqlServer;
   friend class SqlSession;
-  void Fulfill(QueryReply reply);
+  void Fulfill(QueryReply reply) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  bool done_ = false;
-  QueryReply reply_;
+  mutable common::Mutex mu_;
+  mutable common::CondVar cv_;
+  bool done_ GUARDED_BY(mu_) = false;
+  /// Written exactly once (before done_ flips); Wait() binds the returned
+  /// reference under the lock, after which the reply is immutable.
+  QueryReply reply_ GUARDED_BY(mu_);
 };
 using TicketPtr = std::shared_ptr<Ticket>;
 
@@ -165,14 +167,14 @@ class SqlServer {
 
   /// Opens a session; the handle is owned by the server and valid until the
   /// server is destroyed. Empty name -> "session<id>".
-  SqlSession* OpenSession(std::string name = "");
+  SqlSession* OpenSession(std::string name = "") EXCLUDES(sessions_mu_);
 
   /// Closes the queue, drains every accepted statement, joins the workers,
   /// and drops temp tables created through the server (with their
   /// statistics). Idempotent; no new statements are accepted afterwards.
-  void Shutdown();
+  void Shutdown() EXCLUDES(shutdown_mu_, stats_mu_);
 
-  ServerStats Snapshot() const;
+  ServerStats Snapshot() const EXCLUDES(stats_mu_);
   const ServerOptions& options() const { return options_; }
   /// Live threads the server occupies: session_workers x intra threads.
   int total_thread_budget() const {
@@ -207,8 +209,11 @@ class SqlServer {
   /// parseable (the error is returned instead). `hit` reports whether the
   /// entry already existed.
   common::Result<std::shared_ptr<CachedStatement>> LookupStatement(
-      const std::string& sql, bool* hit);
-  void RecordReply(const QueryReply& reply);
+      const std::string& sql, bool* hit) EXCLUDES(cache_mu_);
+  void RecordReply(const QueryReply& reply) EXCLUDES(stats_mu_);
+  /// Admission accounting for Submit/TrySubmit (`admitted` false counts a
+  /// rejection).
+  void CountSubmission(bool admitted) EXCLUDES(stats_mu_);
 
   storage::Catalog* catalog_;
   stats::StatsCatalog* stats_catalog_;
@@ -217,19 +222,19 @@ class SqlServer {
   common::BoundedQueue<Pending> queue_;
   std::unique_ptr<common::ThreadPool> workers_;
   std::atomic<bool> shut_down_{false};
-  std::mutex shutdown_mu_;  // serializes Shutdown()
+  common::Mutex shutdown_mu_;  // serializes Shutdown()
 
-  mutable std::mutex sessions_mu_;
-  std::deque<std::unique_ptr<SqlSession>> sessions_;
+  mutable common::Mutex sessions_mu_;
+  std::deque<std::unique_ptr<SqlSession>> sessions_ GUARDED_BY(sessions_mu_);
 
-  mutable std::mutex cache_mu_;
+  mutable common::Mutex cache_mu_;
   std::unordered_map<std::string, std::shared_ptr<CachedStatement>>
-      statement_cache_;
+      statement_cache_ GUARDED_BY(cache_mu_);
 
-  mutable std::mutex stats_mu_;
-  ServerStats stats_;
+  mutable common::Mutex stats_mu_;
+  ServerStats stats_ GUARDED_BY(stats_mu_);
   /// Temp tables created via CREATE TEMP TABLE, dropped at Shutdown().
-  std::vector<std::string> created_tables_;
+  std::vector<std::string> created_tables_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace reopt::service

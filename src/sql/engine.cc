@@ -105,6 +105,9 @@ std::string RenderLiteral(const common::Value& v) {
 
 std::string RenderColumn(const plan::QuerySpec& spec,
                          const plan::ColumnRef& ref) {
+  // lint: allow-check(spec is bound, not raw user input: the parser/binder
+  // always produce named columns, so an unnamed ref here is a programmer
+  // error in a hand-built spec, unreachable from client SQL)
   REOPT_CHECK_MSG(!ref.name.empty(), "RenderSql needs column names");
   return spec.relations[static_cast<size_t>(ref.rel)].alias + "." + ref.name;
 }

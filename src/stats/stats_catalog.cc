@@ -8,7 +8,7 @@ void StatsCatalog::AnalyzeTable(const storage::Table& table,
                                 const AnalyzeOptions& options) {
   // ANALYZE scans the whole table — keep it outside the lock.
   TableStats stats = Analyze(table, options);
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   stats_[table.name()] = std::move(stats);
 }
 
@@ -20,24 +20,24 @@ void StatsCatalog::AnalyzeAll(const storage::Catalog& catalog,
 }
 
 const TableStats* StatsCatalog::Find(const std::string& table_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = stats_.find(table_name);
   return it == stats_.end() ? nullptr : &it->second;
 }
 
 void StatsCatalog::Set(const std::string& table_name, TableStats stats) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   stats_[table_name] = std::move(stats);
 }
 
 void StatsCatalog::Remove(const std::string& table_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   stats_.erase(table_name);
 }
 
 void StatsCatalog::BuildColumnGroupsAll(const storage::Catalog& catalog,
                                         const ColumnGroupOptions& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto& [name, stats] : stats_) {
     const storage::Table* table = catalog.FindTable(name);
     if (table == nullptr) continue;
@@ -46,7 +46,7 @@ void StatsCatalog::BuildColumnGroupsAll(const storage::Catalog& catalog,
 }
 
 void StatsCatalog::ClearColumnGroups() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto& [name, stats] : stats_) {
     stats.groups.clear();
   }

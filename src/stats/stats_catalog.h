@@ -13,9 +13,10 @@
 #define REOPT_STATS_STATS_CATALOG_H_
 
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "storage/catalog.h"
 #include "stats/analyze.h"
 #include "stats/column_groups.h"
@@ -50,8 +51,8 @@ class StatsCatalog {
   void ClearColumnGroups();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, TableStats> stats_;
+  mutable common::Mutex mu_;
+  std::map<std::string, TableStats> stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace reopt::stats

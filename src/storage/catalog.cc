@@ -8,7 +8,7 @@ common::Result<Table*> Catalog::CreateTable(const std::string& name,
                                             Schema schema, bool temporary) {
   auto table = std::make_unique<Table>(name, std::move(schema));
   Table* raw = table.get();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (tables_.count(name) > 0) {
     return common::Status::AlreadyExists("table exists: " + name);
   }
@@ -19,7 +19,7 @@ common::Result<Table*> Catalog::CreateTable(const std::string& name,
 common::Status Catalog::AddTable(std::unique_ptr<Table> table,
                                  bool temporary) {
   const std::string& name = table->name();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (tables_.count(name) > 0) {
     return common::Status::AlreadyExists("table exists: " + name);
   }
@@ -28,19 +28,19 @@ common::Status Catalog::AddTable(std::unique_ptr<Table> table,
 }
 
 Table* Catalog::FindTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.table.get();
 }
 
 const Table* Catalog::FindTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = tables_.find(name);
   return it == tables_.end() ? nullptr : it->second.table.get();
 }
 
 common::Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return common::Status::NotFound("no such table: " + name);
@@ -50,7 +50,7 @@ common::Status Catalog::DropTable(const std::string& name) {
 }
 
 void Catalog::DropTempTables() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (auto it = tables_.begin(); it != tables_.end();) {
     if (it->second.temporary) {
       it = tables_.erase(it);
@@ -61,13 +61,13 @@ void Catalog::DropTempTables() {
 }
 
 bool Catalog::IsTemporary(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = tables_.find(name);
   return it != tables_.end() && it->second.temporary;
 }
 
 std::vector<std::string> Catalog::TableNames(bool temp_only) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (const auto& [name, entry] : tables_) {
     if (!temp_only || entry.temporary) out.push_back(name);

@@ -18,10 +18,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/table.h"
 
@@ -68,8 +69,8 @@ class Catalog {
     std::unique_ptr<Table> table;
     bool temporary = false;
   };
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> tables_;
+  mutable common::Mutex mu_;
+  std::map<std::string, Entry> tables_ GUARDED_BY(mu_);
   std::atomic<int64_t> temp_counter_{0};
 };
 

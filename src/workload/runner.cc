@@ -48,7 +48,7 @@ common::Result<reoptimizer::QuerySession*> WorkloadRunner::GetSession(
   // Creation stays under the lock: two workers racing on the same query's
   // first use must not each build a session — the loser's insert would
   // destroy the session the winner is already running on.
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  common::MutexLock lock(&sessions_mu_);
   auto it = sessions_.find(query);
   if (it != sessions_.end()) return it->second.get();
   auto created =
@@ -129,7 +129,7 @@ common::Result<std::vector<WorkloadRunResult>> WorkloadRunner::RunSweep(
   std::atomic<bool> failed{false};
   std::vector<std::atomic<int64_t>> unfinished(configs.size());
   for (auto& n : unfinished) n.store(num_queries, std::memory_order_relaxed);
-  std::mutex progress_mu;
+  common::Mutex progress_mu;
   common::ParallelFor(
       num_tasks, workers, [&](int64_t task, int worker) {
         const size_t c = static_cast<size_t>(task / num_queries);
@@ -154,7 +154,7 @@ common::Result<std::vector<WorkloadRunResult>> WorkloadRunner::RunSweep(
         // config never reports).
         if (progress &&
             unfinished[c].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> lock(progress_mu);
+          common::MutexLock lock(&progress_mu);
           progress(configs[c], out[c]);
         }
       });

@@ -17,10 +17,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "imdb/imdb.h"
 #include "reopt/query_runner.h"
@@ -95,7 +96,7 @@ class WorkloadRunner {
   /// The cached session for a query (creating it on first use).
   /// Thread-safe; sessions are shared across workers and configurations.
   common::Result<reoptimizer::QuerySession*> GetSession(
-      const plan::QuerySpec* query);
+      const plan::QuerySpec* query) EXCLUDES(sessions_mu_);
 
   /// Intra-query thread budget (clamped to >= 1, default 1): every query
   /// run — via RunOne, RunAll, or RunSweep workers — executes its scans
@@ -121,9 +122,9 @@ class WorkloadRunner {
   optimizer::CostParams params_;
   int intra_query_threads_ = 1;
   reoptimizer::QueryRunner runner_;
-  std::mutex sessions_mu_;
+  common::Mutex sessions_mu_;
   std::map<const plan::QuerySpec*, std::unique_ptr<reoptimizer::QuerySession>>
-      sessions_;
+      sessions_ GUARDED_BY(sessions_mu_);
 };
 
 }  // namespace reopt::workload

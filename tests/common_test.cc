@@ -334,5 +334,136 @@ TEST(ScopeGuardTest, MoveTransfersOwnership) {
   EXPECT_EQ(runs, 1);
 }
 
+TEST(ScopeGuardTest, MovedFromGuardDoesNotFire) {
+  int runs = 0;
+  {
+    auto guard = MakeScopeGuard([&runs] { ++runs; });
+    {
+      ScopeGuard inner = std::move(guard);
+    }
+    EXPECT_EQ(runs, 1);  // fired exactly once, at the *inner* scope's end
+  }
+  EXPECT_EQ(runs, 1);  // the moved-from original stays disarmed
+}
+
+TEST(ScopeGuardTest, DismissThenExitNeverFires) {
+  int runs = 0;
+  auto fn = [&runs](bool commit) {
+    auto guard = MakeScopeGuard([&runs] { ++runs; });
+    if (commit) guard.Dismiss();  // commit path keeps the resource
+  };
+  fn(true);
+  EXPECT_EQ(runs, 0);
+  fn(false);
+  EXPECT_EQ(runs, 1);  // rollback path fires
+}
+
+// ---- CHECK / UNREACHABLE death tests ---------------------------------------
+// The macros abort with a recognizable diagnostic; these pin both the
+// "fires on violation" and the "silent on success" halves of the contract.
+
+TEST(CheckDeathTest, CheckAbortsWithDiagnostic) {
+  EXPECT_DEATH(REOPT_CHECK(1 == 2), "CHECK failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, CheckMsgIncludesMessage) {
+  EXPECT_DEATH(REOPT_CHECK_MSG(false, "the invariant text"),
+               "the invariant text");
+}
+
+TEST(CheckDeathTest, UnreachableAborts) {
+  EXPECT_DEATH(REOPT_UNREACHABLE("impossible branch"),
+               "UNREACHABLE: impossible branch");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  REOPT_CHECK(1 == 1);
+  REOPT_CHECK_MSG(true, "never printed");
+}
+
+TEST(CheckDeathTest, CheckEvaluatesConditionOnce) {
+  int evaluations = 0;
+  REOPT_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_DEATH((void)r.value(), "value\\(\\) on error Result");
+}
+
+TEST(ResultDeathTest, ResultFromOkStatusAborts) {
+  EXPECT_DEATH(Result<int> r((Status::OK())),
+               "Result constructed from OK status");
+}
+
+// ---- Status-macro propagation ----------------------------------------------
+
+namespace {
+
+Status FailWhen(bool fail) {
+  if (fail) return Status::InvalidArgument("asked to fail");
+  return Status::OK();
+}
+
+Result<int> IntOrError(bool fail, int v) {
+  if (fail) return Status::OutOfRange("no value");
+  return v;
+}
+
+Status UsesReturnIfError(bool fail, int* ran) {
+  REOPT_RETURN_IF_ERROR(FailWhen(fail));
+  ++*ran;
+  return Status::OK();
+}
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  REOPT_ASSIGN_OR_RETURN(int v, IntOrError(fail, 7));
+  return v + 1;
+}
+
+// The PR-6 regression: two REOPT_ASSIGN_OR_RETURN on consecutive lines in
+// ONE scope. Before the double-__LINE__ expansion fix both expanded to the
+// same `result_line` temporary and failed to compile / shadowed. Keep the
+// two macro uses on adjacent lines — that is the shape that broke.
+Result<int> TwoAssignsInOneScope(bool fail_second) {
+  REOPT_ASSIGN_OR_RETURN(int a, IntOrError(false, 10));
+  REOPT_ASSIGN_OR_RETURN(int b, IntOrError(fail_second, 20));
+  return a + b;
+}
+
+}  // namespace
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  int ran = 0;
+  Status failed = UsesReturnIfError(true, &ran);
+  EXPECT_EQ(failed.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ran, 0);  // code after the macro must not run on error
+  EXPECT_TRUE(UsesReturnIfError(false, &ran).ok());
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(StatusMacroTest, AssignOrReturnBindsValue) {
+  Result<int> ok = UsesAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+}
+
+TEST(StatusMacroTest, AssignOrReturnPropagatesError) {
+  Result<int> failed = UsesAssignOrReturn(true);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(failed.status().message(), "no value");
+}
+
+TEST(StatusMacroTest, TwoAssignsInOneScopeCompileAndCompose) {
+  Result<int> ok = TwoAssignsInOneScope(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 30);
+  Result<int> failed = TwoAssignsInOneScope(true);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kOutOfRange);
+}
+
 }  // namespace
 }  // namespace reopt::common

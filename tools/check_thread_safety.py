@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Proves the Clang thread-safety gate actually gates.
+
+Two compiles with the given Clang driver and -Werror=thread-safety:
+
+  positive: tools/thread_safety_positive.cc (correct lock discipline over
+            the annotated primitives) must COMPILE.
+  negative: tools/thread_safety_negative.cc (unguarded reads/writes and a
+            REQUIRES violation) must FAIL, and the diagnostics must be
+            thread-safety ones.
+
+Run from anywhere:  tools/check_thread_safety.py <clang++> [extra flags...]
+Registered as the `thread_safety_negative` ctest when the build compiler is
+Clang, so the clang-thread-safety CI job runs it on every push. A gcc/g++
+driver is rejected up front — without the analysis both files compile and
+the negative check would be meaningless.
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FLAGS = ["-std=c++17", "-fsyntax-only", "-Wthread-safety",
+         "-Werror=thread-safety", "-I", str(REPO / "src")]
+
+
+def compile_file(compiler: str, source: Path,
+                 extra: list[str]) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [compiler, *FLAGS, *extra, str(source)],
+        capture_output=True, text=True)
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    compiler, extra = sys.argv[1], sys.argv[2:]
+
+    probe = subprocess.run([compiler, "--version"], capture_output=True,
+                           text=True)
+    if "clang" not in probe.stdout.lower():
+        print(f"FAIL: {compiler} is not Clang — the thread-safety analysis "
+              "does not exist there, so this check cannot prove anything",
+            file=sys.stderr)
+        return 2
+
+    failures = 0
+
+    positive = REPO / "tools" / "thread_safety_positive.cc"
+    result = compile_file(compiler, positive, extra)
+    if result.returncode != 0:
+        print("FAIL: correctly-locked code no longer compiles under "
+              f"-Werror=thread-safety:\n{result.stderr}", file=sys.stderr)
+        failures += 1
+    else:
+        print("ok: positive file compiles under -Werror=thread-safety")
+
+    negative = REPO / "tools" / "thread_safety_negative.cc"
+    result = compile_file(compiler, negative, extra)
+    if result.returncode == 0:
+        print("FAIL: thread_safety_negative.cc COMPILED — the annotation "
+              "layer no longer rejects unguarded access; the gate is dead",
+              file=sys.stderr)
+        failures += 1
+    elif "-Wthread-safety" not in result.stderr:
+        print("FAIL: negative file failed for a non-thread-safety reason "
+              f"(broken test input?):\n{result.stderr}", file=sys.stderr)
+        failures += 1
+    else:
+        diags = result.stderr.count("error:")
+        print(f"ok: negative file rejected with {diags} thread-safety "
+              "error(s)")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Repo lint: project invariants no compiler flag can express.
+
+Checks (each one a named rule; violations print as file:line: [rule] msg):
+
+  naked-mutex        No naked std::mutex / std::lock_guard / std::unique_lock
+                     / std::condition_variable / <mutex> include under src/
+                     outside src/common/. Concurrent state must use
+                     common::Mutex + common::MutexLock (common/mutex.h) so
+                     the Clang thread-safety analysis sees every
+                     acquisition. (Tests and benches may use std primitives;
+                     the invariant protects the library.)
+
+  check-on-input     No REOPT_CHECK / REOPT_CHECK_MSG in src/sql/ or
+                     src/service/: those layers sit on user-input paths
+                     (SQL text from clients), where a malformed input must
+                     come back as a Status, never abort the server. Genuine
+                     programmer-invariant checks are waived with a
+                     // lint: allow-check(<why>)  marker on the same line
+                     or in the comment block immediately above.
+
+  kernel-reference   Every optimized kernel entry point declared in
+                     src/exec/kernel.h has a scalar twin declared in
+                     src/exec/kernel_reference.h (namespace
+                     exec::reference) and appears in at least one of the
+                     differential suites (tests/kernel_differential_test.cc
+                     / kernel_edge_test.cc / kernel_fuzz_test.cc), so no
+                     fast path can exist without a differential oracle.
+
+Exit status: 0 = clean, 1 = violations, 2 = lint is misconfigured (e.g. a
+checked file is missing — fail loudly rather than silently skipping).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+violations: list[str] = []
+errors: list[str] = []
+
+
+def violate(path: Path, lineno: int, rule: str, msg: str) -> None:
+    rel = path.relative_to(REPO)
+    violations.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+
+# --------------------------------------------------------------------------
+# Rule: naked-mutex
+# --------------------------------------------------------------------------
+
+NAKED_MUTEX_RE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|shared_lock|scoped_lock|condition_variable)\b"
+    r"|#\s*include\s*<(mutex|shared_mutex|condition_variable)>"
+)
+
+
+def check_naked_mutex() -> None:
+    allowed = REPO / "src" / "common"
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc") or allowed in path.parents:
+            continue
+        for lineno, line in enumerate(read_lines(path), 1):
+            if NAKED_MUTEX_RE.search(strip_comment(line)):
+                violate(
+                    path, lineno, "naked-mutex",
+                    "raw std synchronization primitive outside src/common/ "
+                    "— use common::Mutex / common::MutexLock / "
+                    "common::CondVar (common/mutex.h) so the thread-safety "
+                    "analysis can check it")
+
+
+# --------------------------------------------------------------------------
+# Rule: check-on-input
+# --------------------------------------------------------------------------
+
+CHECK_RE = re.compile(r"\bREOPT_CHECK(_MSG)?\s*\(")
+ALLOW_CHECK_RE = re.compile(r"//\s*lint:\s*allow-check\(\S")
+
+
+def waived(lines: list[str], idx: int) -> bool:
+    """Marker on the CHECK line itself or in the contiguous comment block
+    directly above it."""
+    if ALLOW_CHECK_RE.search(lines[idx]):
+        return True
+    j = idx - 1
+    while j >= 0 and lines[j].lstrip().startswith("//"):
+        if ALLOW_CHECK_RE.search(lines[j]):
+            return True
+        j -= 1
+    return False
+
+
+def check_no_check_on_input_paths() -> None:
+    for layer in ("sql", "service"):
+        for path in sorted((REPO / "src" / layer).rglob("*")):
+            if path.suffix not in (".h", ".cc"):
+                continue
+            lines = read_lines(path)
+            for lineno, line in enumerate(lines, 1):
+                if CHECK_RE.search(strip_comment(line)) and not \
+                        waived(lines, lineno - 1):
+                    violate(
+                        path, lineno, "check-on-input",
+                        "REOPT_CHECK on a user-input layer aborts the "
+                        "server on bad input — return a Status instead, or "
+                        "waive a genuine internal invariant with "
+                        "'// lint: allow-check(<why>)'")
+
+
+# --------------------------------------------------------------------------
+# Rule: kernel-reference
+# --------------------------------------------------------------------------
+
+# Free-function declarations at namespace scope in a header: a return type
+# line followed by Name(  — we only need the names, conservatively.
+KERNEL_FN_RE = re.compile(r"^[A-Za-z_][\w:<>,\s*&]*?\b([A-Z]\w+)\s*\(")
+
+
+def declared_functions(header: Path) -> set[str]:
+    names: set[str] = set()
+    depth_struct = 0
+    for line in read_lines(header):
+        code = strip_comment(line)
+        # Skip member declarations: track struct/class blocks crudely.
+        if re.search(r"\b(struct|class)\s+\w+[^;]*$", code):
+            depth_struct += code.count("{")
+        elif depth_struct > 0:
+            depth_struct += code.count("{") - code.count("}")
+            continue
+        m = KERNEL_FN_RE.match(code.strip())
+        if m and not code.strip().startswith(("#", "//", "using", "typedef")):
+            names.add(m.group(1))
+    return names
+
+
+def check_kernel_reference_twins() -> None:
+    kernel_h = REPO / "src" / "exec" / "kernel.h"
+    reference_h = REPO / "src" / "exec" / "kernel_reference.h"
+    diff_tests = [REPO / "tests" / name
+                  for name in ("kernel_differential_test.cc",
+                               "kernel_edge_test.cc",
+                               "kernel_fuzz_test.cc")]
+    for required in [kernel_h, reference_h] + diff_tests:
+        if not required.exists():
+            errors.append(f"kernel-reference: missing {required}")
+            return
+    optimized = declared_functions(kernel_h)
+    reference = declared_functions(reference_h)
+    diff_src = "\n".join(t.read_text() for t in diff_tests)
+    # Only kernel entry points need twins: the names the reference header
+    # itself mirrors define the differential surface. A *new* optimized
+    # kernel must grow all three places; this catches the forgotten two.
+    missing_ref = sorted(n for n in optimized
+                         if n in KERNEL_ENTRY_POINTS and n not in reference)
+    for name in missing_ref:
+        violate(kernel_h, 1, "kernel-reference",
+                f"optimized kernel '{name}' has no exec::reference twin in "
+                f"{reference_h.relative_to(REPO)}")
+    for name in sorted(KERNEL_ENTRY_POINTS & optimized & reference):
+        if name not in diff_src:
+            violate(
+                diff_tests[0], 1, "kernel-reference",
+                f"kernel '{name}' is not exercised by any differential "
+                "suite (kernel_differential/edge/fuzz_test.cc)")
+
+
+# The differential surface: optimized kernels with scalar reference twins.
+# Extend this set when adding a kernel entry point; the lint then enforces
+# twin + differential coverage for it.
+KERNEL_ENTRY_POINTS = {
+    "FilterScan",
+    "HashJoinIntermediates",
+    "ExactJoinCount",
+}
+
+
+# --------------------------------------------------------------------------
+
+def strip_comment(line: str) -> str:
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def read_lines(path: Path) -> list[str]:
+    try:
+        return path.read_text().splitlines()
+    except OSError as e:
+        errors.append(f"unreadable: {path}: {e}")
+        return []
+
+
+def main() -> int:
+    check_naked_mutex()
+    check_no_check_on_input_paths()
+    check_kernel_reference_twins()
+    if errors:
+        for e in errors:
+            print(f"lint error: {e}", file=sys.stderr)
+        return 2
+    if violations:
+        for v in violations:
+            print(v)
+        print(f"\ntools/lint.py: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("tools/lint.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

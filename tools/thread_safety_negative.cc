@@ -1,0 +1,48 @@
+// NEGATIVE test input for the Clang thread-safety gate — this file MUST
+// NOT compile under -Werror=thread-safety. tools/check_thread_safety.py
+// compiles it and asserts failure; if it ever compiles cleanly the
+// annotation layer has stopped guarding anything and the gate is dead.
+//
+// It is deliberately NOT part of any CMake target: GCC builds never see
+// it, and a Clang build only meets it through the checker script.
+//
+// Three canonical violations, each the exact bug class the annotations
+// exist to make unwritable:
+//   1. reading a GUARDED_BY member with no lock held,
+//   2. writing a GUARDED_BY member with no lock held,
+//   3. calling a REQUIRES(mu_) helper without holding mu_.
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Violation 3's callee: contract says mu_ must already be held.
+  int ReadLocked() const REQUIRES(mu_) { return value_; }
+
+  int RacyRead() const {
+    return value_;  // violation 1: unguarded read of value_
+  }
+
+  void RacyWrite(int v) {
+    value_ = v;  // violation 2: unguarded write of value_
+  }
+
+  int ForgotToLock() const {
+    return ReadLocked();  // violation 3: REQUIRES(mu_) callee, mu_ not held
+  }
+
+ private:
+  mutable reopt::common::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.RacyWrite(1);
+  return c.RacyRead() + c.ForgotToLock();
+}

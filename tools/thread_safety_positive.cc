@@ -1,0 +1,68 @@
+// POSITIVE test input for the Clang thread-safety gate
+// (tools/check_thread_safety.py): the same shapes as the negative file but
+// with correct lock discipline, so it must compile cleanly under
+// -Werror=thread-safety. Guards against the gate "passing" only because
+// the macros stopped expanding (e.g. a broken __has_attribute probe): if
+// annotations vanished, the negative file would wrongly compile too, and
+// this file proves the toolchain + flags combination is the one we think
+// it is. Covers MutexLock scopes, a REQUIRES helper called under the lock,
+// manual Lock/Unlock, and a CondVar predicate-loop wait.
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace {
+
+using reopt::common::CondVar;
+using reopt::common::Mutex;
+using reopt::common::MutexLock;
+
+class Counter {
+ public:
+  int ReadLocked() const REQUIRES(mu_) { return value_; }
+
+  int Read() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return ReadLocked();
+  }
+
+  void Write(int v) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    value_ = v;
+  }
+
+  void WriteManual(int v) EXCLUDES(mu_) {
+    mu_.Lock();
+    value_ = v;
+    mu_.Unlock();
+  }
+
+  void WaitNonZero() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (value_ == 0) cv_.Wait(&mu_);
+  }
+
+  void Signal() EXCLUDES(mu_) {
+    {
+      MutexLock lock(&mu_);
+      value_ = 1;
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  mutable Mutex mu_;
+  CondVar cv_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Write(1);
+  c.WriteManual(2);
+  c.Signal();
+  c.WaitNonZero();
+  return c.Read();
+}
