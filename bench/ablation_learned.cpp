@@ -1,0 +1,198 @@
+// Ablation: AQO-style learned cardinalities from re-optimization feedback
+// (ROADMAP item 1). The re-opt loop pays for true join cardinalities every
+// round; the CardinalityKnowledgeBase keeps them across queries and a kNN
+// predictor serves them back to the planner (ModelSpec::Learned). This
+// driver measures what that buys on the 113-query workload:
+//
+//   estimator      — the paper's baseline, re-optimization at threshold 32
+//   perfect-n      — oracle estimates (the floor for re-opt rounds)
+//   learned-cold   — empty base, learning on: queries only benefit from
+//                    feedback harvested by *earlier* queries in the pass
+//   learned-warm   — after two full warming passes, base frozen: the
+//                    steady state a long-running service converges to
+//   learned-warm (no re-opt) — the paper's central question inverted: how
+//                    far do learned estimates alone get without the
+//                    materialization safety net?
+//
+// The headline gate (exit code, CI): learned-warm must need fewer mean
+// re-optimization rounds per query than the plain estimator. Results go to
+// stdout and BENCH_learned.json (--out=PATH).
+//
+// Determinism: warming passes run serially (commit order is part of the
+// learned state); measured passes with a frozen base fan out over
+// --threads workers, which cannot change results (see workload/runner.h).
+#include <cinttypes>
+
+#include "bench/bench_util.h"
+#include "optimizer/knowledge_base.h"
+
+using namespace reopt;  // NOLINT: benchmark driver
+
+namespace {
+
+struct ConfigSummary {
+  const char* key;
+  const char* label;
+  double mean_rounds = 0.0;
+  int total_materializations = 0;
+  double plan_seconds = 0.0;
+  double exec_seconds = 0.0;
+};
+
+ConfigSummary Summarize(const char* key, const char* label,
+                        const workload::WorkloadRunResult& result) {
+  ConfigSummary s;
+  s.key = key;
+  s.label = label;
+  for (const workload::QueryRecord& r : result.records) {
+    s.total_materializations += r.materializations;
+  }
+  s.mean_rounds = result.records.empty()
+                      ? 0.0
+                      : static_cast<double>(s.total_materializations) /
+                            static_cast<double>(result.records.size());
+  s.plan_seconds = result.TotalPlanSeconds();
+  s.exec_seconds = result.TotalExecSeconds();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto env = bench::MakeBenchEnv(argc, argv);
+  const std::string out_path =
+      bench::BenchFlagString(argc, argv, "--out", "BENCH_learned.json");
+  const reoptimizer::ReoptOptions reopt = bench::ReoptOn(32.0);
+  const int perfect_n = 17;  // covers the largest workload query
+
+  // Baselines run with no knowledge base attached: nothing observed.
+  std::vector<workload::SweepConfig> baselines = {
+      {"estimator", reoptimizer::ModelSpec::Estimator(), reopt},
+      {"perfect-n", reoptimizer::ModelSpec::PerfectN(perfect_n), reopt},
+  };
+  auto baseline_results = env->runner->RunSweep(
+      *env->workload, baselines, env->threads, bench::SweepProgress());
+  if (!baseline_results.ok()) {
+    std::fprintf(stderr, "FAIL: baseline sweep: %s\n",
+                 baseline_results.status().ToString().c_str());
+    return 1;
+  }
+
+  optimizer::CardinalityKnowledgeBase kb;
+  env->runner->set_knowledge_base(&kb);
+
+  // Cold: empty base, learning on, measured. Serial — observation commit
+  // order is part of the learned state, so this pass must not depend on
+  // worker scheduling.
+  std::fprintf(stderr, "[bench] learned-cold pass (serial, learning)...\n");
+  auto cold = env->runner->RunAll(*env->workload,
+                                  reoptimizer::ModelSpec::Learned(), reopt,
+                                  /*num_threads=*/1);
+  if (!cold.ok()) {
+    std::fprintf(stderr, "FAIL: learned-cold: %s\n",
+                 cold.status().ToString().c_str());
+    return 1;
+  }
+
+  // One more warming pass (unmeasured): predictions now reshape plans, so
+  // a second pass observes the joins those plans actually contain.
+  std::fprintf(stderr, "[bench] warming pass (serial, learning)...\n");
+  auto warming = env->runner->RunAll(*env->workload,
+                                     reoptimizer::ModelSpec::Learned(), reopt,
+                                     /*num_threads=*/1);
+  if (!warming.ok()) {
+    std::fprintf(stderr, "FAIL: warming pass: %s\n",
+                 warming.status().ToString().c_str());
+    return 1;
+  }
+
+  // Warm: base frozen, measured — parallel-safe again.
+  kb.set_learning_enabled(false);
+  std::fprintf(stderr, "[bench] learned-warm passes (frozen base)...\n");
+  std::vector<workload::SweepConfig> warm_configs = {
+      {"learned-warm", reoptimizer::ModelSpec::Learned(), reopt},
+      {"learned-warm-noreopt", reoptimizer::ModelSpec::Learned(), {}},
+  };
+  auto warm_results = env->runner->RunSweep(
+      *env->workload, warm_configs, env->threads, bench::SweepProgress());
+  if (!warm_results.ok()) {
+    std::fprintf(stderr, "FAIL: warm sweep: %s\n",
+                 warm_results.status().ToString().c_str());
+    return 1;
+  }
+  env->runner->set_knowledge_base(nullptr);
+
+  ConfigSummary summaries[] = {
+      Summarize("estimator", "estimator + re-opt(32)",
+                baseline_results.value()[0]),
+      Summarize("learned_cold", "learned-cold + re-opt(32)", *cold),
+      Summarize("learned_warm", "learned-warm + re-opt(32)",
+                warm_results.value()[0]),
+      Summarize("learned_warm_noreopt", "learned-warm, no re-opt",
+                warm_results.value()[1]),
+      Summarize("perfect_n", "perfect-n(17) + re-opt(32)",
+                baseline_results.value()[1]),
+  };
+
+  bench::PrintCaption(
+      "Ablation: learned cardinalities from re-opt feedback (AQO-style)");
+  std::printf("%-28s %12s %8s %10s %10s\n", "configuration", "mean rounds",
+              "mats", "plan (s)", "exec (s)");
+  for (const ConfigSummary& s : summaries) {
+    std::printf("%-28s %12.3f %8d %10.2f %10.2f\n", s.label, s.mean_rounds,
+                s.total_materializations, s.plan_seconds, s.exec_seconds);
+  }
+
+  const optimizer::KnowledgeBaseStats kb_stats = kb.Stats();
+  std::printf(
+      "\nknowledge base: %" PRId64 " subspaces, %" PRId64
+      " observations (%" PRId64 " inserts, %" PRId64 " updates, %" PRId64
+      " evictions); %" PRId64 " predictions, %" PRId64 " hits (%" PRId64
+      " exact)\n",
+      kb_stats.spaces, kb_stats.observations, kb_stats.inserts,
+      kb_stats.updates, kb_stats.evictions, kb_stats.predictions,
+      kb_stats.hits, kb_stats.exact_hits);
+
+  const ConfigSummary& estimator = summaries[0];
+  const ConfigSummary& warm = summaries[2];
+  const bool reduces = warm.mean_rounds < estimator.mean_rounds;
+  std::printf(
+      "learned-warm mean rounds %.3f vs estimator %.3f: %s\n",
+      warm.mean_rounds, estimator.mean_rounds,
+      reduces ? "feedback learning reduces re-optimization"
+              : "NO REDUCTION — learned estimates are not helping");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARN: cannot write %s\n", out_path.c_str());
+  } else {
+    std::fprintf(f, "{\n  \"queries\": %zu,\n  \"qerror_threshold\": %.1f,\n",
+                 env->workload->queries.size(), reopt.qerror_threshold);
+    for (const ConfigSummary& s : summaries) {
+      std::fprintf(f,
+                   "  \"%s\": {\"mean_rounds\": %.4f, "
+                   "\"materializations\": %d, \"plan_seconds\": %.3f, "
+                   "\"exec_seconds\": %.3f},\n",
+                   s.key, s.mean_rounds, s.total_materializations,
+                   s.plan_seconds, s.exec_seconds);
+    }
+    std::fprintf(f,
+                 "  \"kb\": {\"spaces\": %" PRId64 ", \"observations\": %" PRId64
+                 ", \"predictions\": %" PRId64 ", \"hits\": %" PRId64
+                 ", \"exact_hits\": %" PRId64 "},\n",
+                 kb_stats.spaces, kb_stats.observations, kb_stats.predictions,
+                 kb_stats.hits, kb_stats.exact_hits);
+    std::fprintf(f, "  \"learned_warm_reduces_rounds\": %s\n}\n",
+                 reduces ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (!reduces) {
+    std::fprintf(stderr,
+                 "FAIL: learned-warm did not reduce mean re-optimization "
+                 "rounds vs the estimator\n");
+    return 1;
+  }
+  return 0;
+}

@@ -17,6 +17,7 @@
 #define REOPT_BENCH_BENCH_UTIL_H_
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,13 +44,98 @@ struct BenchEnv {
   int intra_threads = 1;
 };
 
+/// Strictly parses one floating-point knob: full-string numeric, finite,
+/// within [min_value, max_value]. Garbage (non-numeric, trailing junk,
+/// empty), NaN/inf and out-of-range values produce a clear stderr error and
+/// return `fallback` — a bench must never silently run with a misread
+/// value (the atof it replaces returned 0.0 for garbage).
+inline double ParseDoubleValue(const char* s, const char* what,
+                               double min_value, double max_value,
+                               double fallback) {
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE || !std::isfinite(v)) {
+    std::fprintf(stderr,
+                 "[bench] ERROR: %s expects a number in [%g, %g], got "
+                 "\"%s\"; using %g\n",
+                 what, min_value, max_value, s, fallback);
+    return fallback;
+  }
+  if (v < min_value || v > max_value) {
+    std::fprintf(stderr,
+                 "[bench] ERROR: %s = %g is outside [%g, %g]; using %g\n",
+                 what, v, min_value, max_value, fallback);
+    return fallback;
+  }
+  return v;
+}
+
+/// Strictly parses one integer knob, same contract as ParseDoubleValue.
+inline long ParseIntValue(const char* s, const char* what, long min_value,
+                          long max_value, long fallback) {
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr,
+                 "[bench] ERROR: %s expects an integer in [%ld, %ld], got "
+                 "\"%s\"; using %ld\n",
+                 what, min_value, max_value, s, fallback);
+    return fallback;
+  }
+  if (v < min_value || v > max_value) {
+    std::fprintf(stderr,
+                 "[bench] ERROR: %s = %ld is outside [%ld, %ld]; using %ld\n",
+                 what, v, min_value, max_value, fallback);
+    return fallback;
+  }
+  return v;
+}
+
+/// The value of `--flag=value` in argv, or nullptr when absent.
+inline const char* BenchFlagValue(int argc, char** argv, const char* flag) {
+  const size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      return argv[i] + flag_len + 1;
+    }
+  }
+  return nullptr;
+}
+
+/// --flag=<double> with validation; absent flag -> fallback, silently.
+inline double BenchFlagDouble(int argc, char** argv, const char* flag,
+                              double min_value, double max_value,
+                              double fallback) {
+  const char* value = BenchFlagValue(argc, argv, flag);
+  if (value == nullptr) return fallback;
+  return ParseDoubleValue(value, flag, min_value, max_value, fallback);
+}
+
+/// --flag=<integer> with validation; absent flag -> fallback, silently.
+inline long BenchFlagInt(int argc, char** argv, const char* flag,
+                         long min_value, long max_value, long fallback) {
+  const char* value = BenchFlagValue(argc, argv, flag);
+  if (value == nullptr) return fallback;
+  return ParseIntValue(value, flag, min_value, max_value, fallback);
+}
+
+/// --flag=<string>; absent flag -> fallback.
+inline std::string BenchFlagString(int argc, char** argv, const char* flag,
+                                   const std::string& fallback) {
+  const char* value = BenchFlagValue(argc, argv, flag);
+  return value == nullptr ? fallback : std::string(value);
+}
+
+/// Database scale from REOPT_BENCH_SCALE (default 0.4). Strictly validated:
+/// garbage, non-positive and implausibly large values error to stderr and
+/// fall back to the default instead of being silently coerced by atof.
 inline double BenchScale() {
   const char* env = std::getenv("REOPT_BENCH_SCALE");
-  if (env != nullptr) {
-    double scale = std::atof(env);
-    if (scale > 0.0) return scale;
-  }
-  return 0.4;
+  if (env == nullptr || env[0] == '\0') return 0.4;
+  return ParseDoubleValue(env, "REOPT_BENCH_SCALE", 1e-3, 100.0, 0.4);
 }
 
 /// Strictly parses one thread-count value: an integer >= 0, where 0 means

@@ -57,37 +57,6 @@ struct Expected {
   int num_materializations = 0;
 };
 
-double FlagDouble(int argc, char** argv, const char* flag, double fallback) {
-  const size_t len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
-      return std::atof(argv[i] + len + 1);
-    }
-  }
-  return fallback;
-}
-
-long FlagInt(int argc, char** argv, const char* flag, long fallback) {
-  const size_t len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
-      return std::atol(argv[i] + len + 1);
-    }
-  }
-  return fallback;
-}
-
-std::string FlagString(int argc, char** argv, const char* flag,
-                       const char* fallback) {
-  const size_t len = std::strlen(flag);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
-      return argv[i] + len + 1;
-    }
-  }
-  return fallback;
-}
-
 double Percentile(std::vector<double> sorted, double p) {
   if (sorted.empty()) return 0.0;
   std::sort(sorted.begin(), sorted.end());
@@ -125,18 +94,24 @@ bool ReplyMatches(const service::QueryReply& reply, const Expected& want,
 
 int main(int argc, char** argv) {
   auto env = bench::MakeBenchEnv(argc, argv);
-  const int sessions =
-      static_cast<int>(FlagInt(argc, argv, "--sessions", 128));
-  const int num_queries = std::max<long>(
-      1, FlagInt(argc, argv, "--queries",
-                 3 * static_cast<long>(env->workload->queries.size())));
-  const double zipf_theta = FlagDouble(argc, argv, "--zipf", 0.8);
-  const double arrival_us = FlagDouble(argc, argv, "--arrival-us", 0.0);
-  const int queue_capacity =
-      static_cast<int>(FlagInt(argc, argv, "--queue", 64));
-  const bool reopt_on = FlagInt(argc, argv, "--reopt", 1) != 0;
-  const std::string out_path =
-      FlagString(argc, argv, "--out", "BENCH_service_replay.json");
+  // All numeric flags are strictly validated (bench_util.h): garbage,
+  // negative or out-of-range values error to stderr and use the default —
+  // the atof/atol helpers this replaces silently read garbage as 0.
+  const int sessions = static_cast<int>(
+      bench::BenchFlagInt(argc, argv, "--sessions", 1, 100000, 128));
+  const int num_queries = static_cast<int>(bench::BenchFlagInt(
+      argc, argv, "--queries", 1, 100000000,
+      3 * static_cast<long>(env->workload->queries.size())));
+  const double zipf_theta =
+      bench::BenchFlagDouble(argc, argv, "--zipf", 0.0, 10.0, 0.8);
+  const double arrival_us =
+      bench::BenchFlagDouble(argc, argv, "--arrival-us", 0.0, 1e9, 0.0);
+  const int queue_capacity = static_cast<int>(
+      bench::BenchFlagInt(argc, argv, "--queue", 1, 1 << 20, 64));
+  const bool reopt_on =
+      bench::BenchFlagInt(argc, argv, "--reopt", 0, 1, 1) != 0;
+  const std::string out_path = bench::BenchFlagString(
+      argc, argv, "--out", "BENCH_service_replay.json");
 
   const size_t num_distinct = env->workload->queries.size();
   bench::PrintCaption("service load replay");

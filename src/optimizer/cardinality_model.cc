@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "optimizer/knowledge_base.h"
 #include "optimizer/selectivity.h"
 
 namespace reopt::optimizer {
@@ -205,6 +206,22 @@ double InjectedModel::Compute(plan::RelSet set) {
   auto it = overrides_.find(set.bits());
   if (it != overrides_.end()) return it->second;
   return EstimatorModel::Compute(set);
+}
+
+double LearnedModel::Compute(plan::RelSet set) {
+  if (kb_ != nullptr) {
+    SubsetFeatures features;
+    if (CardinalityKnowledgeBase::FeaturesOf(ctx(), set, &features)) {
+      if (std::optional<double> rows = kb_->PredictRows(features)) {
+        ++num_predicted_;
+        return *rows;
+      }
+    }
+  }
+  // Miss: exactly the EstimatorModel computation, so an empty base changes
+  // nothing (the model-sweep differential suite pins this bit-for-bit).
+  if (set.count() == 1) return BaseEstimate(set.Lowest());
+  return PeelEstimate(set);
 }
 
 plan::RelSet InjectedModel::AnchorSubset(plan::RelSet set) const {

@@ -5,7 +5,10 @@
 //   * PerfectNModel       — oracle for joins of <= n tables, estimator
 //                           extrapolation above (Sec. III perfect-(n)),
 //   * InjectedModel       — per-subset overrides on top of the estimator
-//                           (Sec. IV-E LEO-style iterative correction).
+//                           (Sec. IV-E LEO-style iterative correction),
+//   * LearnedModel        — AQO-style kNN predictions from a shared
+//                           CardinalityKnowledgeBase fed by re-opt
+//                           feedback, estimator fallback on a miss.
 // Estimates are memoized per subset; the per-size call counts reproduce
 // Table I.
 #ifndef REOPT_OPTIMIZER_CARDINALITY_MODEL_H_
@@ -20,6 +23,8 @@
 #include "plan/rel_set.h"
 
 namespace reopt::optimizer {
+
+class CardinalityKnowledgeBase;
 
 class CardinalityModel {
  public:
@@ -159,6 +164,29 @@ class InjectedModel : public EstimatorModel {
 
  private:
   std::map<uint64_t, double> overrides_;
+};
+
+/// Estimator backed by the learned knowledge base: each subset first asks
+/// the base's kNN predictor (keyed by the subset's feature-space hash);
+/// unknown subspaces fall back to the plain estimator computation, so a
+/// LearnedModel over an empty (or absent) base is bit-identical to
+/// EstimatorModel. Predictions participate in the peel recursion exactly
+/// like injected corrections, so a learned sub-join size also shifts every
+/// estimate above it. The base is shared and may be null (pure fallback).
+class LearnedModel : public CardinalityModel {
+ public:
+  LearnedModel(const QueryContext* ctx, CardinalityKnowledgeBase* kb)
+      : CardinalityModel(ctx), kb_(kb) {}
+
+  /// Subsets answered by the knowledge base (vs. estimator fallback).
+  int64_t num_predicted() const { return num_predicted_; }
+
+ protected:
+  double Compute(plan::RelSet set) override;
+
+ private:
+  CardinalityKnowledgeBase* kb_;
+  int64_t num_predicted_ = 0;
 };
 
 }  // namespace reopt::optimizer

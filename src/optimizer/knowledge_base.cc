@@ -1,0 +1,277 @@
+#include "optimizer/knowledge_base.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "common/string_util.h"
+#include "optimizer/selectivity.h"
+
+namespace reopt::optimizer {
+namespace {
+
+// FNV-1a: the repo's standing choice for structural hashes (MemoKey,
+// signature workload); deterministic across platforms.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixByte(uint64_t h, unsigned char b) {
+  h ^= b;
+  h *= kFnvPrime;
+  return h;
+}
+
+uint64_t MixU64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) h = MixByte(h, (v >> (i * 8)) & 0xff);
+  return h;
+}
+
+uint64_t MixStr(uint64_t h, const std::string& s) {
+  for (char c : s) h = MixByte(h, static_cast<unsigned char>(c));
+  return MixByte(h, 0xff);  // terminator: "ab"+"c" != "a"+"bc"
+}
+
+// Structural hash of one predicate clause: which table/column it touches
+// and its shape (kind + operator + IN-list arity), literal values excluded
+// so constants generalize through the kNN features instead of fragmenting
+// the subspace — AQO's clause hashing makes the same cut.
+uint64_t ClauseHash(const std::string& table_name,
+                    const plan::ScanPredicate& pred) {
+  uint64_t h = kFnvOffset;
+  h = MixStr(h, table_name);
+  h = MixU64(h, static_cast<uint64_t>(pred.column.col));
+  h = MixU64(h, static_cast<uint64_t>(pred.kind));
+  h = MixU64(h, static_cast<uint64_t>(pred.op));
+  h = MixU64(h, static_cast<uint64_t>(pred.in_list.size()));
+  return h;
+}
+
+// Structural hash of one join edge inside the subset: both endpoints as
+// (table name, column), order-normalized so a==b and b==a collide.
+uint64_t EdgeHash(const std::string& left_table, int left_col,
+                  const std::string& right_table, int right_col) {
+  uint64_t a = MixU64(MixStr(kFnvOffset, left_table),
+                      static_cast<uint64_t>(left_col));
+  uint64_t b = MixU64(MixStr(kFnvOffset, right_table),
+                      static_cast<uint64_t>(right_col));
+  if (a > b) std::swap(a, b);
+  return MixU64(MixU64(kFnvOffset, a), b);
+}
+
+// Temp tables from re-optimization rewrites (storage::Catalog::NextTempName
+// generates "reopt_temp_[<ns>_]<n>") are query-local and never recur.
+bool IsReoptTempTable(const std::string& name) {
+  return common::StartsWith(name, "reopt_temp_");
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+bool CardinalityKnowledgeBase::FeaturesOf(const QueryContext& ctx,
+                                          plan::RelSet set,
+                                          SubsetFeatures* out) {
+  const plan::QuerySpec& query = ctx.query();
+
+  // Tables: sorted name multiset + cartesian row product.
+  std::vector<const std::string*> tables;
+  double log_cartesian = 0.0;
+  for (int rel : set.Members()) {
+    const std::string& name =
+        query.relations[static_cast<size_t>(rel)].table_name;
+    if (IsReoptTempTable(name)) return false;
+    tables.push_back(&name);
+    const stats::TableStats* ts = ctx.table_stats(rel);
+    double rows = ts != nullptr
+                      ? ts->row_count
+                      : static_cast<double>(ctx.table(rel).num_rows());
+    log_cartesian += std::log(std::max(1.0, rows));
+  }
+  std::sort(tables.begin(), tables.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+
+  // Clauses: structure hash + marginal log-selectivity, canonically ordered
+  // by (hash, selectivity) so feature positions line up across queries.
+  std::vector<std::pair<uint64_t, double>> clauses;
+  for (int rel : set.Members()) {
+    const std::string& table_name =
+        query.relations[static_cast<size_t>(rel)].table_name;
+    for (const plan::ScanPredicate* pred : ctx.filters_for(rel)) {
+      double sel =
+          EstimateFilterSelectivity(*pred, ctx.column_stats(pred->column));
+      clauses.emplace_back(ClauseHash(table_name, *pred),
+                           std::log(std::max(kMinSel, sel)));
+    }
+  }
+  std::sort(clauses.begin(), clauses.end());
+
+  // Join edges with both endpoints inside the subset.
+  std::vector<uint64_t> edges;
+  const uint64_t bits = set.bits();
+  for (const QueryContext::BoundEdge& be : ctx.join_edges()) {
+    if ((be.left_bit & bits) == 0 || (be.right_bit & bits) == 0) continue;
+    const plan::JoinEdge& edge = *be.edge;
+    edges.push_back(EdgeHash(
+        query.relations[static_cast<size_t>(edge.left.rel)].table_name,
+        edge.left.col,
+        query.relations[static_cast<size_t>(edge.right.rel)].table_name,
+        edge.right.col));
+  }
+  std::sort(edges.begin(), edges.end());
+
+  uint64_t fss = kFnvOffset;
+  fss = MixU64(fss, tables.size());
+  for (const std::string* t : tables) fss = MixStr(fss, *t);
+  fss = MixU64(fss, clauses.size());
+  for (const auto& [hash, sel] : clauses) fss = MixU64(fss, hash);
+  fss = MixU64(fss, edges.size());
+  for (uint64_t e : edges) fss = MixU64(fss, e);
+
+  out->fss_hash = fss;
+  out->log_cartesian = log_cartesian;
+  out->log_selectivities.clear();
+  out->log_selectivities.reserve(clauses.size());
+  for (const auto& [hash, sel] : clauses) {
+    (void)hash;
+    out->log_selectivities.push_back(sel);
+  }
+  return true;
+}
+
+void CardinalityKnowledgeBase::Observe(const SubsetFeatures& features,
+                                       double true_rows) {
+  common::MutexLock lock(&mu_);
+  ObserveLocked(features, true_rows);
+}
+
+void CardinalityKnowledgeBase::ObserveBatch(
+    const std::vector<std::pair<SubsetFeatures, double>>& batch) {
+  common::MutexLock lock(&mu_);
+  for (const auto& [features, true_rows] : batch) {
+    ObserveLocked(features, true_rows);
+  }
+}
+
+void CardinalityKnowledgeBase::ObserveLocked(const SubsetFeatures& features,
+                                             double true_rows) {
+  if (!learning_enabled_) return;
+  double target =
+      std::log(std::max(1.0, true_rows)) - features.log_cartesian;
+  FeatureSpace& space = spaces_[features.fss_hash];
+
+  // Exact-duplicate features: refresh the target in place — latest truth
+  // wins (re-observing a subset after the data shifted must not leave the
+  // stale value voting in the kNN average).
+  for (Observation& obs : space.observations) {
+    if (obs.features.size() != features.log_selectivities.size()) continue;
+    if (SquaredDistance(obs.features, features.log_selectivities) <=
+        options_.exact_distance) {
+      obs.target = target;
+      ++updates_;
+      return;
+    }
+  }
+
+  Observation obs;
+  obs.features = features.log_selectivities;
+  obs.target = target;
+  if (static_cast<int>(space.observations.size()) <
+      options_.capacity_per_space) {
+    space.observations.push_back(std::move(obs));
+    ++inserts_;
+  } else {
+    space.observations[static_cast<size_t>(space.next_evict)] =
+        std::move(obs);
+    space.next_evict = (space.next_evict + 1) % options_.capacity_per_space;
+    ++evictions_;
+  }
+}
+
+std::optional<double> CardinalityKnowledgeBase::PredictRows(
+    const SubsetFeatures& features) const {
+  common::MutexLock lock(&mu_);
+  ++predictions_;
+  auto it = spaces_.find(features.fss_hash);
+  if (it == spaces_.end()) return std::nullopt;
+
+  // (distance, insertion index, target); index breaks distance ties
+  // deterministically.
+  std::vector<std::tuple<double, size_t, double>> candidates;
+  const std::vector<Observation>& observations = it->second.observations;
+  for (size_t i = 0; i < observations.size(); ++i) {
+    const Observation& obs = observations[i];
+    // A hash collision between structurally different subspaces could mix
+    // feature dimensionalities; skip rather than compare apples to oranges.
+    if (obs.features.size() != features.log_selectivities.size()) continue;
+    candidates.emplace_back(
+        SquaredDistance(obs.features, features.log_selectivities), i,
+        obs.target);
+  }
+  if (candidates.empty()) return std::nullopt;
+  std::sort(candidates.begin(), candidates.end());
+
+  ++hits_;
+  double predicted_target;
+  if (std::get<0>(candidates.front()) <= options_.exact_distance) {
+    ++exact_hits_;
+    predicted_target = std::get<2>(candidates.front());
+  } else {
+    size_t k = std::min(candidates.size(),
+                        static_cast<size_t>(std::max(1, options_.k)));
+    double weight_sum = 0.0;
+    double weighted_target = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      double w = 1.0 / (1e-6 + std::sqrt(std::get<0>(candidates[i])));
+      weight_sum += w;
+      weighted_target += w * std::get<2>(candidates[i]);
+    }
+    predicted_target = weighted_target / weight_sum;
+  }
+  double rows = std::exp(predicted_target + features.log_cartesian);
+  return std::clamp(rows, 1.0, 1e30);
+}
+
+void CardinalityKnowledgeBase::set_learning_enabled(bool enabled) {
+  common::MutexLock lock(&mu_);
+  learning_enabled_ = enabled;
+}
+
+bool CardinalityKnowledgeBase::learning_enabled() const {
+  common::MutexLock lock(&mu_);
+  return learning_enabled_;
+}
+
+void CardinalityKnowledgeBase::Clear() {
+  common::MutexLock lock(&mu_);
+  spaces_.clear();
+  inserts_ = updates_ = evictions_ = 0;
+  predictions_ = hits_ = exact_hits_ = 0;
+}
+
+KnowledgeBaseStats CardinalityKnowledgeBase::Stats() const {
+  common::MutexLock lock(&mu_);
+  KnowledgeBaseStats stats;
+  stats.spaces = static_cast<int64_t>(spaces_.size());
+  for (const auto& [hash, space] : spaces_) {
+    (void)hash;
+    stats.observations += static_cast<int64_t>(space.observations.size());
+  }
+  stats.inserts = inserts_;
+  stats.updates = updates_;
+  stats.evictions = evictions_;
+  stats.predictions = predictions_;
+  stats.hits = hits_;
+  stats.exact_hits = exact_hits_;
+  return stats;
+}
+
+}  // namespace reopt::optimizer

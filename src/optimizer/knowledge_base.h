@@ -1,0 +1,150 @@
+// Learned cardinality knowledge base (PostgreSQL AQO style): the
+// re-optimization loop observes true cardinalities for every join subset it
+// checks against the Q-error trigger; instead of discarding them at query
+// end, the runner feeds them here. Each observation lands in a *feature
+// subspace* keyed by a hash of the subset's structure — table names,
+// predicate clause shapes (column + operator, literal values excluded) and
+// the join edges inside the subset — and carries the clauses' marginal
+// log-selectivities as features with the observed log-selectivity of the
+// whole subset as the target. Prediction is distance-weighted kNN over the
+// matching subspace, so an estimate learned for `title.production_year >
+// 1990` generalizes to `> 2005`: same subspace, nearby feature vector.
+//
+// The base is shared across queries, sweep workers and service sessions;
+// all state sits behind one annotated mutex. It stays *frozen during a
+// single Run*: observations are buffered by the runner and committed only
+// after the run succeeds, which keeps incremental re-planning byte-identical
+// to from-scratch re-planning within every run.
+#ifndef REOPT_OPTIMIZER_KNOWLEDGE_BASE_H_
+#define REOPT_OPTIMIZER_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "optimizer/query_context.h"
+#include "plan/rel_set.h"
+
+namespace reopt::optimizer {
+
+/// The learned-feature view of one relation subset: a structural subspace
+/// hash (constants excluded, so it is stable across literal changes *and*
+/// across the relation renumbering done by re-opt rewrites) plus the
+/// numeric features kNN interpolates over.
+struct SubsetFeatures {
+  /// Hash of {sorted table names} x {sorted clause structures} x {sorted
+  /// internal join-edge structures}. Two subsets share a subspace iff they
+  /// join the same tables under the same predicate/edge shapes.
+  uint64_t fss_hash = 0;
+  /// Marginal log-selectivity of each predicate clause (estimator-derived),
+  /// in a canonical order tied to the clause-structure hashes.
+  std::vector<double> log_selectivities;
+  /// log of the subset's cartesian row product; targets are stored as
+  /// log-selectivities relative to it so they transfer across scales.
+  double log_cartesian = 0.0;
+};
+
+/// Tuning knobs; defaults follow AQO's spirit (small k, bounded per-space
+/// memory, FIFO staleness).
+struct KnowledgeBaseOptions {
+  /// Neighbors consulted per prediction.
+  int k = 3;
+  /// Max observations retained per feature subspace; beyond it the oldest
+  /// observation is overwritten (FIFO ring) so drifting data ages out.
+  int capacity_per_space = 32;
+  /// Squared feature distance at or below which an observation counts as an
+  /// exact hit: predictions return its target directly, and new
+  /// observations overwrite it (latest truth wins) instead of appending.
+  double exact_distance = 1e-12;
+};
+
+/// Aggregate counters for reporting (bench/ablation_learned).
+struct KnowledgeBaseStats {
+  int64_t spaces = 0;        // distinct feature subspaces
+  int64_t observations = 0;  // observations currently retained
+  int64_t inserts = 0;       // Observe() calls that appended
+  int64_t updates = 0;       // Observe() calls that refreshed an exact hit
+  int64_t evictions = 0;     // appends that displaced the oldest entry
+  int64_t predictions = 0;   // Predict() calls
+  int64_t hits = 0;          // predictions answered from the base
+  int64_t exact_hits = 0;    // hits within exact_distance
+};
+
+class CardinalityKnowledgeBase {
+ public:
+  CardinalityKnowledgeBase() = default;
+  explicit CardinalityKnowledgeBase(const KnowledgeBaseOptions& options)
+      : options_(options) {}
+
+  /// Extracts the feature view of `set` under `ctx`. Returns false — no
+  /// feature space, neither learn nor predict — when the subset touches a
+  /// re-optimization temp relation: temp tables are query-local artifacts
+  /// whose names and contents never recur, so learning from them would
+  /// poison the base (their *origin* subsets are observed pre-rewrite).
+  static bool FeaturesOf(const QueryContext& ctx, plan::RelSet set,
+                         SubsetFeatures* out);
+
+  /// Records one observed truth for a subset (row count before the >= 1
+  /// clamp is fine; it is clamped here). Within exact_distance of an
+  /// existing observation the target is overwritten; otherwise appended,
+  /// evicting the oldest entry once the subspace is full. No-op while
+  /// learning is disabled.
+  void Observe(const SubsetFeatures& features, double true_rows)
+      EXCLUDES(mu_);
+  /// Batch form: one lock acquisition for a whole run's buffered
+  /// observations, applied in order.
+  void ObserveBatch(
+      const std::vector<std::pair<SubsetFeatures, double>>& batch)
+      EXCLUDES(mu_);
+
+  /// Predicted row count for a subset, or nullopt when the subspace is
+  /// unknown/empty (caller falls back to the default estimator — AQO's
+  /// "refuse to predict" contract). Distance-weighted average of the k
+  /// nearest neighbors' log-selectivity targets, exponentiated back
+  /// through log_cartesian.
+  std::optional<double> PredictRows(const SubsetFeatures& features) const
+      EXCLUDES(mu_);
+
+  /// Freezes/unfreezes learning. Predictions keep working either way; a
+  /// frozen base makes parallel sweeps byte-identical to serial runs
+  /// (observation commit order no longer matters).
+  void set_learning_enabled(bool enabled) EXCLUDES(mu_);
+  bool learning_enabled() const EXCLUDES(mu_);
+
+  /// Drops every observation and resets the counters.
+  void Clear() EXCLUDES(mu_);
+
+  KnowledgeBaseStats Stats() const EXCLUDES(mu_);
+
+ private:
+  struct Observation {
+    std::vector<double> features;
+    double target = 0.0;  // log-selectivity of the observed truth
+  };
+  struct FeatureSpace {
+    std::vector<Observation> observations;
+    int next_evict = 0;  // FIFO ring cursor once at capacity
+  };
+
+  void ObserveLocked(const SubsetFeatures& features, double true_rows)
+      REQUIRES(mu_);
+
+  const KnowledgeBaseOptions options_;
+  mutable common::Mutex mu_;
+  std::unordered_map<uint64_t, FeatureSpace> spaces_ GUARDED_BY(mu_);
+  bool learning_enabled_ GUARDED_BY(mu_) = true;
+  int64_t inserts_ GUARDED_BY(mu_) = 0;
+  int64_t updates_ GUARDED_BY(mu_) = 0;
+  int64_t evictions_ GUARDED_BY(mu_) = 0;
+  mutable int64_t predictions_ GUARDED_BY(mu_) = 0;
+  mutable int64_t hits_ GUARDED_BY(mu_) = 0;
+  mutable int64_t exact_hits_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace reopt::optimizer
+
+#endif  // REOPT_OPTIMIZER_KNOWLEDGE_BASE_H_

@@ -22,18 +22,27 @@ double RangeSelectivity(const plan::ScanPredicate& pred,
   bool inclusive =
       pred.op == plan::CompareOp::kLe || pred.op == plan::CompareOp::kGe;
 
-  // MCV contribution: exact check per most-common value.
+  // MCV contribution: exact check per most-common value. Size-typed loop:
+  // the old `int i < mcv.size()` comparison relied on the accessor's return
+  // type; iterate the underlying vector directly.
   double mcv_part = 0.0;
-  for (int i = 0; i < stats->mcv.size(); ++i) {
-    int cmp = stats->mcv.values[static_cast<size_t>(i)].Compare(pred.value);
+  double mcv_total = 0.0;
+  for (size_t i = 0; i < stats->mcv.values.size(); ++i) {
+    mcv_total += stats->mcv.freqs[i];
+    int cmp = stats->mcv.values[i].Compare(pred.value);
     bool sat = want_below ? (inclusive ? cmp <= 0 : cmp < 0)
                           : (inclusive ? cmp >= 0 : cmp > 0);
-    if (sat) mcv_part += stats->mcv.freqs[static_cast<size_t>(i)];
+    if (sat) mcv_part += stats->mcv.freqs[i];
   }
-  // Histogram contribution for the non-MCV mass.
+  // Histogram contribution for the non-MCV mass. With MCVs but no
+  // histogram (every distinct value made the MCV list, or ANALYZE kept no
+  // histogram), the MCVs themselves are the best evidence for how the
+  // residual non-MCV mass splits around the bound — blending the blind
+  // kDefaultRangeSel with exact MCV mass systematically skewed such
+  // columns toward 1/3.
   double hist_frac;
   if (stats->histogram.empty()) {
-    hist_frac = kDefaultRangeSel;
+    hist_frac = mcv_total > 0.0 ? mcv_part / mcv_total : kDefaultRangeSel;
   } else {
     double below = stats->histogram.FractionBelow(pred.value, inclusive);
     hist_frac = want_below ? below : 1.0 - below;
@@ -80,10 +89,10 @@ double LikeSelectivity(const std::string& pattern,
       common::Value::Str(prefix), true, common::Value::Str(upper), false);
   range *= stats->non_mcv_frac;
   // MCVs matching the prefix.
-  for (int i = 0; i < stats->mcv.size(); ++i) {
-    const common::Value& v = stats->mcv.values[static_cast<size_t>(i)];
+  for (size_t i = 0; i < stats->mcv.values.size(); ++i) {
+    const common::Value& v = stats->mcv.values[i];
     if (v.is_string() && common::StartsWith(v.AsString(), prefix)) {
-      range += stats->mcv.freqs[static_cast<size_t>(i)];
+      range += stats->mcv.freqs[i];
     }
   }
   return range * std::pow(0.25, extra_segments);
@@ -139,10 +148,10 @@ double EstimateFilterSelectivity(const plan::ScanPredicate& pred,
         return Clamp(kDefaultRangeSel * kDefaultRangeSel);
       }
       double mcv_part = 0.0;
-      for (int i = 0; i < stats->mcv.size(); ++i) {
-        const common::Value& v = stats->mcv.values[static_cast<size_t>(i)];
+      for (size_t i = 0; i < stats->mcv.values.size(); ++i) {
+        const common::Value& v = stats->mcv.values[i];
         if (v >= pred.value && v <= pred.value2) {
-          mcv_part += stats->mcv.freqs[static_cast<size_t>(i)];
+          mcv_part += stats->mcv.freqs[i];
         }
       }
       double hist = stats->histogram.empty()

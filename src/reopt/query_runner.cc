@@ -6,6 +6,7 @@
 #include "common/scope_guard.h"
 #include "common/sim_time.h"
 #include "exec/executor.h"
+#include "optimizer/knowledge_base.h"
 #include "reopt/rewrite.h"
 
 namespace reopt::reoptimizer {
@@ -51,6 +52,7 @@ uint64_t QueryRunner::MemoKey(const ModelSpec& spec) const {
   key |= static_cast<uint64_t>(planner_options_.enable_nested_loop) << 3;
   key |= static_cast<uint64_t>(planner_options_.enable_index_nested_loop) << 4;
   key |= static_cast<uint64_t>(planner_options_.enable_index_scan) << 5;
+  key |= static_cast<uint64_t>(spec.kind == ModelSpec::Kind::kLearned) << 6;
   key |= static_cast<uint64_t>(static_cast<uint32_t>(spec.perfect_n)) << 8;
   // Cost parameters pick the plans, so two runners sharing a session but
   // costing differently must not collide: fold the parameter bits into the
@@ -90,6 +92,9 @@ std::unique_ptr<optimizer::CardinalityModel> QueryRunner::MakeModel(
     case ModelSpec::Kind::kPerfectN:
       model = std::make_unique<optimizer::PerfectNModel>(ctx, oracle,
                                                          spec.perfect_n);
+      break;
+    case ModelSpec::Kind::kLearned:
+      model = std::make_unique<optimizer::LearnedModel>(ctx, knowledge_base_);
       break;
   }
   REOPT_CHECK(model != nullptr);
@@ -144,10 +149,22 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
   // session-cached memo when this (model, options) key planned the query
   // before (threshold sweeps re-plan the same query many times); rounds
   // >= 1 carry the previous round's memo across the rewrite and re-cost
-  // only the subsets that touch the new temp relation.
+  // only the subsets that touch the new temp relation. Learned-model runs
+  // skip the session cache entirely: their estimates drift as the
+  // knowledge base warms, so a replayed memo would resurrect stale plans.
+  const bool learned = model_spec.kind == ModelSpec::Kind::kLearned;
   const uint64_t memo_key = MemoKey(model_spec);
   std::shared_ptr<const optimizer::PlanMemo> cached =
-      incremental_replanning_ ? session->FindPlanMemo(memo_key) : nullptr;
+      incremental_replanning_ && !learned ? session->FindPlanMemo(memo_key)
+                                          : nullptr;
+
+  // Learned-cardinality feedback: the trigger check below already pays for
+  // the true cardinality of every join in the plan, so harvest those
+  // (subset features, truth) pairs as a free by-product. They are buffered
+  // here and committed only on successful return — the base must stay
+  // frozen *during* a run so incremental re-planning, memo carries and the
+  // from-scratch oracle all see identical estimates.
+  std::vector<std::pair<optimizer::SubsetFeatures, double>> pending_feedback;
   optimizer::PlanMemo prev_memo;          // previous round's DP table
   optimizer::MemoTranslation translation; // old -> new ids, last rewrite
 
@@ -163,7 +180,8 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
       return planned.status();
     }
     prev_memo = planner.TakeMemo();
-    if (round == 0 && incremental_replanning_ && cached == nullptr) {
+    if (round == 0 && incremental_replanning_ && !learned &&
+        cached == nullptr) {
       session->StorePlanMemo(memo_key, prev_memo);
     }
     result.plan_cost_units += planned->planning_cost_units;
@@ -184,6 +202,13 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
         // inflate the ratio from the other side.
         double est = std::max(1.0, node->est_rows);
         double truth = std::max(1.0, oracle->True(node->rels));
+        if (knowledge_base_ != nullptr) {
+          optimizer::SubsetFeatures features;
+          if (optimizer::CardinalityKnowledgeBase::FeaturesOf(
+                  *ctx, node->rels, &features)) {
+            pending_feedback.emplace_back(std::move(features), truth);
+          }
+        }
         double q = std::max(truth / est, est / truth);
         if (q <= reopt.qerror_threshold) return;
         bool better;
@@ -273,6 +298,9 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
     model->Rebind(ctx, oracle);
   }
 
+  if (knowledge_base_ != nullptr && !pending_feedback.empty()) {
+    knowledge_base_->ObserveBatch(pending_feedback);
+  }
   return result;
 }
 

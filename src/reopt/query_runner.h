@@ -37,7 +37,7 @@ namespace reopt::reoptimizer {
 
 /// Which cardinality model the planner uses each round.
 struct ModelSpec {
-  enum class Kind { kEstimator, kPerfectN };
+  enum class Kind { kEstimator, kPerfectN, kLearned };
   Kind kind = Kind::kEstimator;
   /// For kPerfectN: the oracle horizon (perfect-(n)). perfect-(0) is the
   /// plain estimator by construction.
@@ -51,6 +51,9 @@ struct ModelSpec {
     return ModelSpec{Kind::kPerfectN, n};
   }
   static ModelSpec Cords() { return ModelSpec{Kind::kEstimator, 0, true}; }
+  /// AQO-style learned estimates from the runner's knowledge base
+  /// (QueryRunner::set_knowledge_base); estimator fallback without one.
+  static ModelSpec Learned() { return ModelSpec{Kind::kLearned}; }
 };
 
 struct ReoptOptions {
@@ -174,6 +177,23 @@ class QueryRunner {
   void set_incremental_replanning(bool on) { incremental_replanning_ = on; }
   bool incremental_replanning() const { return incremental_replanning_; }
 
+  /// Attaches the shared learned-cardinality knowledge base (may be null,
+  /// the default: learned mode off, nothing observed). With a base
+  /// attached, every run — under *any* model kind — buffers the true join
+  /// cardinalities the re-opt trigger already computes and commits them to
+  /// the base when the run succeeds, so the base warms even while the
+  /// plain estimator is driving plans. ModelSpec::Learned() additionally
+  /// consults the base for estimates; those runs bypass the session
+  /// plan-memo cache because their estimates legitimately drift as the
+  /// base warms. The base outlives the runner and may be shared across
+  /// sweep workers and service sessions (it is internally synchronized).
+  void set_knowledge_base(optimizer::CardinalityKnowledgeBase* kb) {
+    knowledge_base_ = kb;
+  }
+  optimizer::CardinalityKnowledgeBase* knowledge_base() const {
+    return knowledge_base_;
+  }
+
   /// Test/debug hook: observes each round's chosen plan (after planning,
   /// before execution) with the spec it refers to. Not called on error
   /// paths; keep it cheap and re-entrant — parallel sweeps may invoke it
@@ -205,6 +225,7 @@ class QueryRunner {
   optimizer::CostParams params_;
   optimizer::PlannerOptions planner_options_;
   std::string temp_namespace_;
+  optimizer::CardinalityKnowledgeBase* knowledge_base_ = nullptr;
   bool incremental_replanning_ = true;
   int intra_query_threads_ = 1;
   /// Created on the first Run with intra_query_threads_ > 1; sized to the

@@ -151,6 +151,7 @@ void SqlServer::WorkerLoop(int worker) {
   reoptimizer::QueryRunner runner(catalog_, stats_catalog_, options_.params);
   runner.set_temp_namespace("svc_w" + std::to_string(worker));
   runner.set_intra_query_threads(options_.intra_query_threads);
+  runner.set_knowledge_base(options_.knowledge_base);
   sql::Engine engine(catalog_, stats_catalog_, options_.params);
   engine.set_intra_query_threads(options_.intra_query_threads);
 

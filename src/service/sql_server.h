@@ -63,6 +63,14 @@ struct ServerOptions {
   /// Defaults: plain estimator, re-optimization off.
   reoptimizer::ModelSpec model;
   reoptimizer::ReoptOptions reopt;
+  /// Shared learned-cardinality knowledge base, attached to every session
+  /// worker's QueryRunner (nullptr, the default, disables learning). Must
+  /// outlive the server; internally synchronized, so one base may warm
+  /// across several servers and workload sweeps at once. Note the
+  /// determinism invariant below assumes a frozen or absent base — with
+  /// learning enabled, reply *contents* for re-optimized statements can
+  /// depend on how warm the base was when the statement ran.
+  optimizer::CardinalityKnowledgeBase* knowledge_base = nullptr;
 };
 
 /// Outcome of one submitted statement, delivered through its Ticket.

@@ -112,6 +112,7 @@ common::Result<std::vector<WorkloadRunResult>> WorkloadRunner::RunSweep(
     runners.back().set_incremental_replanning(
         runner_.incremental_replanning());
     runners.back().set_plan_observer(runner_.plan_observer());
+    runners.back().set_knowledge_base(runner_.knowledge_base());
     runners.back().set_temp_namespace("w" + std::to_string(w));
     // Each worker gets the full intra-query budget: the two levels
     // multiply, and the caller is responsible for splitting one hardware

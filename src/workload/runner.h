@@ -111,6 +111,18 @@ class WorkloadRunner {
   }
   int intra_query_threads() const { return intra_query_threads_; }
 
+  /// Attaches the shared learned-cardinality knowledge base to this
+  /// runner's queries — the serial runner and every worker runner a sweep
+  /// spawns (see QueryRunner::set_knowledge_base). The base is internally
+  /// synchronized and must outlive the runner. Caveat: with *learning
+  /// enabled*, a parallel sweep's observation commit order depends on
+  /// scheduling, so later queries may see a differently-warmed base than
+  /// under a serial run — freeze the base (set_learning_enabled(false))
+  /// when byte-identical parallel results matter.
+  void set_knowledge_base(optimizer::CardinalityKnowledgeBase* kb) {
+    runner_.set_knowledge_base(kb);
+  }
+
   const optimizer::CostParams& params() const { return params_; }
 
   /// Access for operator-ablation benches. Planner options set here also

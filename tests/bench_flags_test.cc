@@ -1,0 +1,138 @@
+// Regression tests for the strict benchmark flag/env parsing in
+// bench/bench_util.h. The old code funnelled --zipf/--arrival-us/--scale
+// through unchecked std::atof, which returns 0.0 for garbage — a replay
+// bench could silently run with zipf=0 (uniform!) because of a typo. Every
+// knob now rejects garbage, trailing junk, non-finite and out-of-range
+// values, reports to stderr, and falls back to a safe default.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace reopt::bench {
+namespace {
+
+// Builds a mutable fake argv from string literals (argv[0] = program name).
+class FakeArgv {
+ public:
+  explicit FakeArgv(std::vector<std::string> args) : strings_(std::move(args)) {
+    strings_.insert(strings_.begin(), "bench_test");
+    for (std::string& s : strings_) ptrs_.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(BenchFlagsTest, ParseDoubleValueAcceptsValidInput) {
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("0.8", "x", 0.0, 10.0, 1.0), 0.8);
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("2", "x", 0.0, 10.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("1e-2", "x", 0.0, 10.0, 1.0), 0.01);
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("0", "x", 0.0, 10.0, 1.0), 0.0);
+}
+
+TEST(BenchFlagsTest, ParseDoubleValueRejectsGarbage) {
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("banana", "x", 0.0, 10.0, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("", "x", 0.0, 10.0, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("0.8x", "x", 0.0, 10.0, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("1.2.3", "x", 0.0, 10.0, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("nan", "x", 0.0, 10.0, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("inf", "x", 0.0, 10.0, 1.5), 1.5);
+  // std::atof would have returned 0.0 here — the bug this replaces.
+  EXPECT_NE(ParseDoubleValue("oops", "x", 0.0, 10.0, 1.5), 0.0);
+}
+
+TEST(BenchFlagsTest, ParseDoubleValueRejectsOutOfRange) {
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("-0.1", "x", 0.0, 10.0, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("11", "x", 0.0, 10.0, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(ParseDoubleValue("1e400", "x", 0.0, 10.0, 1.5), 1.5);
+}
+
+TEST(BenchFlagsTest, ParseIntValueAcceptsValidInput) {
+  EXPECT_EQ(ParseIntValue("128", "x", 1, 100000, 7), 128);
+  EXPECT_EQ(ParseIntValue("1", "x", 1, 100000, 7), 1);
+}
+
+TEST(BenchFlagsTest, ParseIntValueRejectsGarbageAndRange) {
+  EXPECT_EQ(ParseIntValue("12x", "x", 1, 100000, 7), 7);
+  EXPECT_EQ(ParseIntValue("", "x", 1, 100000, 7), 7);
+  EXPECT_EQ(ParseIntValue("3.5", "x", 1, 100000, 7), 7);
+  EXPECT_EQ(ParseIntValue("-4", "x", 1, 100000, 7), 7);
+  EXPECT_EQ(ParseIntValue("0", "x", 1, 100000, 7), 7);
+  EXPECT_EQ(ParseIntValue("99999999999999999999", "x", 1, 100000, 7), 7);
+}
+
+TEST(BenchFlagsTest, BenchFlagValueFindsExactFlagOnly) {
+  FakeArgv fake({"--zipf=0.8", "--queue=64", "--zipfoid=9"});
+  ASSERT_NE(BenchFlagValue(fake.argc(), fake.argv(), "--zipf"), nullptr);
+  EXPECT_STREQ(BenchFlagValue(fake.argc(), fake.argv(), "--zipf"), "0.8");
+  EXPECT_STREQ(BenchFlagValue(fake.argc(), fake.argv(), "--queue"), "64");
+  EXPECT_EQ(BenchFlagValue(fake.argc(), fake.argv(), "--missing"), nullptr);
+}
+
+TEST(BenchFlagsTest, BenchFlagDoubleValidatesAndDefaults) {
+  FakeArgv fake({"--zipf=0.8", "--arrival-us=bogus"});
+  EXPECT_DOUBLE_EQ(
+      BenchFlagDouble(fake.argc(), fake.argv(), "--zipf", 0.0, 10.0, 0.5),
+      0.8);
+  // Garbage value -> fallback, not atof's silent 0.0.
+  EXPECT_DOUBLE_EQ(BenchFlagDouble(fake.argc(), fake.argv(), "--arrival-us",
+                                   0.0, 1e9, 25.0),
+                   25.0);
+  // Absent flag -> fallback silently.
+  EXPECT_DOUBLE_EQ(
+      BenchFlagDouble(fake.argc(), fake.argv(), "--scale", 0.0, 10.0, 0.4),
+      0.4);
+}
+
+TEST(BenchFlagsTest, BenchFlagIntValidatesAndDefaults) {
+  FakeArgv fake({"--sessions=32", "--queue=-5"});
+  EXPECT_EQ(BenchFlagInt(fake.argc(), fake.argv(), "--sessions", 1, 100000, 8),
+            32);
+  EXPECT_EQ(BenchFlagInt(fake.argc(), fake.argv(), "--queue", 1, 1 << 20, 64),
+            64);
+  EXPECT_EQ(BenchFlagInt(fake.argc(), fake.argv(), "--absent", 1, 10, 3), 3);
+}
+
+TEST(BenchFlagsTest, BenchFlagStringPassesThrough) {
+  FakeArgv fake({"--out=custom.json"});
+  EXPECT_EQ(BenchFlagString(fake.argc(), fake.argv(), "--out", "dflt.json"),
+            "custom.json");
+  EXPECT_EQ(BenchFlagString(fake.argc(), fake.argv(), "--other", "dflt.json"),
+            "dflt.json");
+}
+
+TEST(BenchFlagsTest, BenchScaleValidatesEnvironment) {
+  ASSERT_EQ(setenv("REOPT_BENCH_SCALE", "0.15", 1), 0);
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.15);
+  // Garbage: atof used to coerce this to 0.0, which BuildImdbDatabase then
+  // treated as scale zero; now it errors and keeps the default.
+  ASSERT_EQ(setenv("REOPT_BENCH_SCALE", "fast", 1), 0);
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.4);
+  ASSERT_EQ(setenv("REOPT_BENCH_SCALE", "-1", 1), 0);
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.4);
+  ASSERT_EQ(setenv("REOPT_BENCH_SCALE", "0.4x", 1), 0);
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.4);
+  ASSERT_EQ(setenv("REOPT_BENCH_SCALE", "", 1), 0);
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.4);
+  ASSERT_EQ(unsetenv("REOPT_BENCH_SCALE"), 0);
+  EXPECT_DOUBLE_EQ(BenchScale(), 0.4);
+}
+
+TEST(BenchFlagsTest, ParseThreadCountRegression) {
+  EXPECT_EQ(ParseThreadCount("4", "--threads"), 4);
+  EXPECT_EQ(ParseThreadCount("junk", "--threads"), 1);
+  EXPECT_EQ(ParseThreadCount("-2", "--threads"), 1);
+  EXPECT_EQ(ParseThreadCount("2x", "--threads"), 1);
+  EXPECT_GE(ParseThreadCount("0", "--threads"), 1);  // 0 = all hardware
+  EXPECT_EQ(ParseThreadCount("99999", "--threads"), 1024);
+}
+
+}  // namespace
+}  // namespace reopt::bench

@@ -1,0 +1,334 @@
+// CardinalityKnowledgeBase: feature extraction (subspace hashing, temp-table
+// exclusion, stability across re-opt relation renumbering), the kNN
+// predictor (exact-hit recall, interpolation, refusal on unknown
+// subspaces), the staleness/eviction policy, and concurrent warm-up
+// (tsan-labelled). End-to-end learned-vs-estimator differentials live in
+// tests/planner_differential_test.cc.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/knowledge_base.h"
+#include "reopt/query_runner.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+#include "workload/runner.h"
+
+namespace reopt::optimizer {
+namespace {
+
+using testing::SmallImdb;
+
+SubsetFeatures Synthetic(uint64_t fss, std::vector<double> selectivities,
+                         double cartesian_rows) {
+  SubsetFeatures f;
+  f.fss_hash = fss;
+  for (double s : selectivities) {
+    f.log_selectivities.push_back(std::log(s));
+  }
+  f.log_cartesian = std::log(cartesian_rows);
+  return f;
+}
+
+TEST(KnowledgeBaseTest, ExactHitRoundTripsObservedTruth) {
+  CardinalityKnowledgeBase kb;
+  SubsetFeatures f = Synthetic(42, {0.1, 0.5}, 1e6);
+  kb.Observe(f, 1234.0);
+  auto predicted = kb.PredictRows(f);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(*predicted, 1234.0, 1e-6);
+  KnowledgeBaseStats stats = kb.Stats();
+  EXPECT_EQ(stats.spaces, 1);
+  EXPECT_EQ(stats.observations, 1);
+  EXPECT_EQ(stats.exact_hits, 1);
+}
+
+TEST(KnowledgeBaseTest, RefusesUnknownSubspace) {
+  CardinalityKnowledgeBase kb;
+  kb.Observe(Synthetic(42, {0.1}, 1e6), 50.0);
+  EXPECT_FALSE(kb.PredictRows(Synthetic(43, {0.1}, 1e6)).has_value());
+  KnowledgeBaseStats stats = kb.Stats();
+  EXPECT_EQ(stats.predictions, 1);
+  EXPECT_EQ(stats.hits, 0);
+}
+
+TEST(KnowledgeBaseTest, KnnInterpolatesBetweenNeighbors) {
+  // Observations where true selectivity == the marginal feature, at
+  // selectivities 0.1 / 0.2 / 0.4; a query at 0.25 must interpolate into
+  // the neighbors' range instead of snapping to any single observation.
+  CardinalityKnowledgeBase kb;
+  for (double sel : {0.1, 0.2, 0.4}) {
+    kb.Observe(Synthetic(7, {sel}, 1e6), sel * 1e6);
+  }
+  auto predicted = kb.PredictRows(Synthetic(7, {0.25}, 1e6));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_GT(*predicted, 0.1 * 1e6);
+  EXPECT_LT(*predicted, 0.4 * 1e6);
+  KnowledgeBaseStats stats = kb.Stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.exact_hits, 0);
+}
+
+TEST(KnowledgeBaseTest, TargetsScaleWithCartesianProduct) {
+  // The same log-selectivity target transfers across table scales: learn
+  // at a 1e6-row cartesian space, predict at 2e6 -> twice the rows.
+  CardinalityKnowledgeBase kb;
+  kb.Observe(Synthetic(9, {0.5}, 1e6), 1000.0);
+  SubsetFeatures scaled = Synthetic(9, {0.5}, 2e6);
+  auto predicted = kb.PredictRows(scaled);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(*predicted, 2000.0, 1e-5);
+}
+
+TEST(KnowledgeBaseTest, LatestTruthWinsOnExactDuplicate) {
+  CardinalityKnowledgeBase kb;
+  SubsetFeatures f = Synthetic(42, {0.1}, 1e6);
+  kb.Observe(f, 100.0);
+  kb.Observe(f, 200.0);  // data shifted: the re-observation must replace
+  auto predicted = kb.PredictRows(f);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(*predicted, 200.0, 1e-6);
+  KnowledgeBaseStats stats = kb.Stats();
+  EXPECT_EQ(stats.observations, 1);
+  EXPECT_EQ(stats.inserts, 1);
+  EXPECT_EQ(stats.updates, 1);
+}
+
+TEST(KnowledgeBaseTest, EvictionKeepsSubspaceBounded) {
+  KnowledgeBaseOptions options;
+  options.capacity_per_space = 2;
+  CardinalityKnowledgeBase kb(options);
+  for (int i = 0; i < 5; ++i) {
+    kb.Observe(Synthetic(42, {0.1 + 0.1 * i}, 1e6), 100.0 * (i + 1));
+  }
+  KnowledgeBaseStats stats = kb.Stats();
+  EXPECT_EQ(stats.observations, 2);
+  EXPECT_EQ(stats.inserts, 2);
+  EXPECT_EQ(stats.evictions, 3);
+  // FIFO ring: the two *newest* observations survive.
+  auto predicted = kb.PredictRows(Synthetic(42, {0.5}, 1e6));
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(*predicted, 500.0, 1e-6);
+}
+
+TEST(KnowledgeBaseTest, FreezeStopsLearningButKeepsPredicting) {
+  CardinalityKnowledgeBase kb;
+  SubsetFeatures f = Synthetic(42, {0.1}, 1e6);
+  kb.Observe(f, 100.0);
+  kb.set_learning_enabled(false);
+  kb.Observe(f, 999.0);                       // dropped
+  kb.Observe(Synthetic(43, {0.1}, 1e6), 1.0);  // dropped
+  auto predicted = kb.PredictRows(f);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_NEAR(*predicted, 100.0, 1e-6);
+  EXPECT_EQ(kb.Stats().observations, 1);
+  kb.set_learning_enabled(true);
+  kb.Observe(f, 999.0);
+  EXPECT_NEAR(*kb.PredictRows(f), 999.0, 1e-5);
+}
+
+TEST(KnowledgeBaseTest, ClearResetsEverything) {
+  CardinalityKnowledgeBase kb;
+  SubsetFeatures f = Synthetic(42, {0.1}, 1e6);
+  kb.Observe(f, 100.0);
+  (void)kb.PredictRows(f);
+  kb.Clear();
+  KnowledgeBaseStats stats = kb.Stats();
+  EXPECT_EQ(stats.spaces, 0);
+  EXPECT_EQ(stats.observations, 0);
+  EXPECT_EQ(stats.predictions, 0);
+  EXPECT_FALSE(kb.PredictRows(f).has_value());
+}
+
+TEST(KnowledgeBaseTest, FeaturesSeparateLiteralsFromStructure) {
+  // Two predicates on the same column with different constants must share
+  // a subspace (same structure) but differ in features (different marginal
+  // selectivity) — that separation is what lets kNN generalize across
+  // literal values.
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto query = workload::MakeQuery6d(db->catalog);
+  auto bound = QueryContext::Bind(query.get(), &db->catalog, &db->stats);
+  ASSERT_TRUE(bound.ok());
+
+  SubsetFeatures whole;
+  ASSERT_TRUE(CardinalityKnowledgeBase::FeaturesOf(
+      *bound.value(), query->AllRelations(), &whole));
+  EXPECT_NE(whole.fss_hash, 0u);
+  EXPECT_GT(whole.log_cartesian, 0.0);
+
+  // Disjoint subsets of the same query live in different subspaces.
+  SubsetFeatures single;
+  ASSERT_TRUE(CardinalityKnowledgeBase::FeaturesOf(
+      *bound.value(), plan::RelSet::Single(0), &single));
+  EXPECT_NE(single.fss_hash, whole.fss_hash);
+}
+
+TEST(KnowledgeBaseTest, FeatureHashStableAcrossReoptRenumbering) {
+  // After a re-optimization rewrite the surviving relations are compacted
+  // to new ids (RewriteInfo::rel_remap) and the model is Rebind()-ed to
+  // the new context. A surviving subset must keep its exact feature view —
+  // same subspace hash, same features, same cartesian log — or knowledge
+  // learned before a rewrite would be unreachable after it. Subsets that
+  // *contain* the temp relation must have no feature space at all.
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto query = workload::MakeQuery6d(db->catalog);
+  auto old_bound = QueryContext::Bind(query.get(), &db->catalog, &db->stats);
+  ASSERT_TRUE(old_bound.ok());
+  const QueryContext& old_ctx = *old_bound.value();
+
+  int compared = 0;
+  int temp_subsets = 0;
+  reoptimizer::QueryRunner runner(&db->catalog, &db->stats, {});
+  runner.set_plan_observer([&](int round, const plan::PlanNode& root,
+                               const plan::QuerySpec& spec) {
+    (void)root;
+    if (round == 0) return;  // pre-rewrite numbering == old_ctx numbering
+    auto new_bound = QueryContext::Bind(&spec, &db->catalog, &db->stats);
+    ASSERT_TRUE(new_bound.ok());
+    const QueryContext& new_ctx = *new_bound.value();
+
+    // Recover new -> old ids by alias (aliases are unique and survive the
+    // rewrite); the temp relation's name maps to no original alias.
+    std::unordered_map<size_t, int> new_to_old;
+    plan::RelSet temp_rels;
+    for (size_t nr = 0; nr < spec.relations.size(); ++nr) {
+      bool found = false;
+      for (size_t orig = 0; orig < query->relations.size(); ++orig) {
+        if (spec.relations[nr].alias == query->relations[orig].alias) {
+          new_to_old[nr] = static_cast<int>(orig);
+          found = true;
+          break;
+        }
+      }
+      if (!found) temp_rels = temp_rels.With(static_cast<int>(nr));
+    }
+    // At least one temp after a rewrite; earlier temps may have been folded
+    // into a later materialization, so the count need not equal the round.
+    ASSERT_GE(temp_rels.count(), 1);
+
+    for (plan::RelSet new_set : new_ctx.graph().ConnectedSubsets()) {
+      SubsetFeatures new_features;
+      if (!new_set.Intersect(temp_rels).empty()) {
+        EXPECT_FALSE(CardinalityKnowledgeBase::FeaturesOf(
+            new_ctx, new_set, &new_features))
+            << "temp-touching subset must refuse a feature space";
+        ++temp_subsets;
+        continue;
+      }
+      plan::RelSet old_set;
+      for (int nr : new_set.Members()) {
+        old_set = old_set.With(new_to_old.at(static_cast<size_t>(nr)));
+      }
+      SubsetFeatures old_features;
+      ASSERT_TRUE(CardinalityKnowledgeBase::FeaturesOf(new_ctx, new_set,
+                                                       &new_features));
+      ASSERT_TRUE(CardinalityKnowledgeBase::FeaturesOf(old_ctx, old_set,
+                                                       &old_features));
+      EXPECT_EQ(new_features.fss_hash, old_features.fss_hash);
+      EXPECT_EQ(new_features.log_selectivities,
+                old_features.log_selectivities);
+      EXPECT_DOUBLE_EQ(new_features.log_cartesian,
+                       old_features.log_cartesian);
+      ++compared;
+    }
+  });
+
+  auto session =
+      reoptimizer::QuerySession::Create(query.get(), &db->catalog, &db->stats);
+  ASSERT_TRUE(session.ok());
+  reoptimizer::ReoptOptions reopt;
+  reopt.enabled = true;
+  reopt.qerror_threshold = 2.0;  // aggressive: force at least one rewrite
+  auto run = session.ok()
+                 ? runner.Run(session.value().get(),
+                              reoptimizer::ModelSpec::Estimator(), reopt)
+                 : common::Result<reoptimizer::RunResult>(
+                       session.status());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_GT(run->num_materializations, 0);
+  EXPECT_GT(compared, 0);
+  EXPECT_GT(temp_subsets, 0);
+}
+
+TEST(KnowledgeBaseTest, ConcurrentWarmupIsConsistent) {
+  // tsan target: 8 threads hammer Observe/Predict across 16 shared
+  // subspaces; afterwards the counters must account for every learning
+  // call and no subspace may exceed its capacity.
+  KnowledgeBaseOptions options;
+  options.capacity_per_space = 8;
+  CardinalityKnowledgeBase kb(options);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &kb] {
+      for (int i = 0; i < kOps; ++i) {
+        SubsetFeatures f;
+        f.fss_hash = static_cast<uint64_t>(i % 16);
+        f.log_selectivities = {-0.01 * ((t * kOps + i) % 97)};
+        f.log_cartesian = 10.0;
+        if (i % 3 == 0) {
+          (void)kb.PredictRows(f);
+        } else {
+          kb.Observe(f, 100.0 + i);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  int64_t observe_calls = 0;
+  for (int i = 0; i < kOps; ++i) {
+    if (i % 3 != 0) observe_calls += kThreads;
+  }
+  KnowledgeBaseStats stats = kb.Stats();
+  EXPECT_EQ(stats.inserts + stats.updates + stats.evictions, observe_calls);
+  EXPECT_LE(stats.observations, int64_t{16} * options.capacity_per_space);
+  EXPECT_EQ(stats.predictions, int64_t{kThreads} * kOps - observe_calls);
+}
+
+TEST(KnowledgeBaseTest, FrozenBaseParallelSweepMatchesSerial) {
+  // The workload-level determinism contract: with a *frozen* shared base,
+  // a 4-worker learned sweep must be byte-identical to a serial learned
+  // run (workload/runner.h). Warming runs serially first — commit order is
+  // part of the learned state.
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto workload = workload::BuildJobLikeWorkload(db->catalog);
+  CardinalityKnowledgeBase kb;
+
+  reoptimizer::ReoptOptions reopt;
+  reopt.enabled = true;
+  reopt.qerror_threshold = 32.0;
+
+  workload::WorkloadRunner runner(db);
+  runner.set_knowledge_base(&kb);
+  auto warm = runner.RunAll(*workload, reoptimizer::ModelSpec::Learned(),
+                            reopt, /*num_threads=*/1);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_GT(kb.Stats().observations, 0);
+  kb.set_learning_enabled(false);
+
+  auto serial = runner.RunAll(*workload, reoptimizer::ModelSpec::Learned(),
+                              reopt, /*num_threads=*/1);
+  ASSERT_TRUE(serial.ok());
+  auto parallel = runner.RunAll(*workload, reoptimizer::ModelSpec::Learned(),
+                                reopt, /*num_threads=*/4);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->records.size(), parallel->records.size());
+  for (size_t q = 0; q < serial->records.size(); ++q) {
+    const workload::QueryRecord& sr = serial->records[q];
+    const workload::QueryRecord& pr = parallel->records[q];
+    EXPECT_EQ(sr.name, pr.name);
+    EXPECT_EQ(sr.plan_seconds, pr.plan_seconds) << sr.name;
+    EXPECT_EQ(sr.exec_seconds, pr.exec_seconds) << sr.name;
+    EXPECT_EQ(sr.materializations, pr.materializations) << sr.name;
+    EXPECT_EQ(sr.raw_rows, pr.raw_rows) << sr.name;
+  }
+}
+
+}  // namespace
+}  // namespace reopt::optimizer

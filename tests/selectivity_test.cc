@@ -202,6 +202,64 @@ TEST(SelectivityTest, FkJoinEdgeSelectivityNearOneOverKeys) {
   EXPECT_NEAR(sel, 1.0 / titles, 0.5 / titles);
 }
 
+// ---- MCV-only columns (histogram empty) --------------------------------------------
+
+// A column whose every frequent value made the MCV list keeps no histogram.
+// The fix: the residual non-MCV mass splits by the *empirical* MCV fraction
+// (mcv_part / mcv_total) instead of being blended with the blind 1/3
+// default, which skewed every such range estimate toward 0.3333.
+stats::ColumnStats McvOnlyStats() {
+  stats::ColumnStats cs;
+  cs.null_frac = 0.0;
+  cs.num_distinct = 8.0;
+  cs.mcv.values = {Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)};
+  cs.mcv.freqs = {0.36, 0.27, 0.18, 0.09};  // total 0.9
+  cs.non_mcv_frac = 0.1;
+  cs.non_mcv_distinct = 4.0;
+  cs.min = Value::Int(1);
+  cs.max = Value::Int(8);
+  return cs;
+}
+
+TEST(SelectivityTest, McvOnlyRangeUsesEmpiricalMcvFraction) {
+  stats::ColumnStats cs = McvOnlyStats();
+  plan::ScanPredicate p = Pred("title", "production_year",
+                               plan::ScanPredicate::Kind::kCompare);
+  p.op = plan::CompareOp::kLe;
+  p.value = Value::Int(2);
+  // MCV mass <= 2 is 0.63 of 0.9 total; the 0.1 non-MCV residue follows the
+  // same 0.7 split: 0.63 + 0.1 * 0.7 = 0.70. The old blend with
+  // kDefaultRangeSel gave 0.63 + 0.1 / 3 = 0.6633.
+  EXPECT_NEAR(EstimateFilterSelectivity(p, &cs), 0.70, 1e-9);
+}
+
+TEST(SelectivityTest, McvOnlyRangeComplementsAreConsistent) {
+  stats::ColumnStats cs = McvOnlyStats();
+  plan::ScanPredicate le = Pred("title", "production_year",
+                                plan::ScanPredicate::Kind::kCompare);
+  le.op = plan::CompareOp::kLe;
+  le.value = Value::Int(2);
+  plan::ScanPredicate gt = le;
+  gt.op = plan::CompareOp::kGt;
+  double s_le = EstimateFilterSelectivity(le, &cs);
+  double s_gt = EstimateFilterSelectivity(gt, &cs);
+  // P(<=2) = 0.70 and P(>2) = 0.30 must partition the non-null mass; the
+  // old default-blend formula broke this (0.6633 + 0.3633 > 1).
+  EXPECT_NEAR(s_le + s_gt, 1.0, 1e-9);
+  EXPECT_NEAR(s_gt, 0.30, 1e-9);
+}
+
+TEST(SelectivityTest, McvOnlyRangeAtExtremesStaysBounded) {
+  stats::ColumnStats cs = McvOnlyStats();
+  plan::ScanPredicate p = Pred("title", "production_year",
+                               plan::ScanPredicate::Kind::kCompare);
+  p.op = plan::CompareOp::kLt;
+  p.value = Value::Int(1);  // nothing below the smallest MCV
+  EXPECT_NEAR(EstimateFilterSelectivity(p, &cs), kMinSel, 1e-12);
+  p.op = plan::CompareOp::kGe;
+  EXPECT_NEAR(EstimateFilterSelectivity(p, &cs), 1.0, 1e-9);
+}
+
 TEST(SelectivityTest, SelectivityAlwaysInUnitRange) {
   // Sweep every (predicate kind x column) pair we use and assert bounds.
   stats::ColumnStats cs = StatsOf("title", "production_year");

@@ -27,6 +27,13 @@ Checks (each one a named rule; violations print as file:line: [rule] msg):
                      / kernel_edge_test.cc / kernel_fuzz_test.cc), so no
                      fast path can exist without a differential oracle.
 
+  model-kinds        Every ModelSpec::Kind enumerator in
+                     src/reopt/query_runner.h appears in the model-sweep
+                     differential suite (tests/planner_differential_test.cc),
+                     so no cardinality-model kind (estimator / perfect-n /
+                     injected / learned / ...) can be added without a
+                     differential test pinning its planner behavior.
+
 Exit status: 0 = clean, 1 = violations, 2 = lint is misconfigured (e.g. a
 checked file is missing — fail loudly rather than silently skipping).
 """
@@ -180,6 +187,46 @@ KERNEL_ENTRY_POINTS = {
 
 
 # --------------------------------------------------------------------------
+# Rule: model-kinds
+# --------------------------------------------------------------------------
+
+MODEL_KIND_ENUM_RE = re.compile(
+    r"enum\s+class\s+Kind\s*\{([^}]*)\}", re.DOTALL)
+
+
+def check_model_kinds_differential() -> None:
+    runner_h = REPO / "src" / "reopt" / "query_runner.h"
+    diff_test = REPO / "tests" / "planner_differential_test.cc"
+    for required in (runner_h, diff_test):
+        if not required.exists():
+            errors.append(f"model-kinds: missing {required}")
+            return
+    m = MODEL_KIND_ENUM_RE.search(runner_h.read_text())
+    if m is None:
+        errors.append(f"model-kinds: no 'enum class Kind' found in "
+                      f"{runner_h.relative_to(REPO)}")
+        return
+    kinds = re.findall(r"\bk([A-Z]\w*)", m.group(1))
+    if not kinds:
+        errors.append("model-kinds: Kind enum parsed empty")
+        return
+    diff_src = diff_test.read_text()
+    for kind in kinds:
+        # Accept either the factory spelling (ModelSpec::Estimator() /
+        # PerfectN(n) / Learned()) or the raw enumerator.
+        if re.search(rf"ModelSpec::{kind}\s*\(", diff_src):
+            continue
+        if f"Kind::k{kind}" in diff_src:
+            continue
+        violate(
+            runner_h, 1, "model-kinds",
+            f"ModelSpec::Kind::k{kind} is not exercised by the model-sweep "
+            f"differential suite ({diff_test.relative_to(REPO)}) — every "
+            "cardinality-model kind needs a differential test pinning its "
+            "planner behavior")
+
+
+# --------------------------------------------------------------------------
 
 def strip_comment(line: str) -> str:
     idx = line.find("//")
@@ -198,6 +245,7 @@ def main() -> int:
     check_naked_mutex()
     check_no_check_on_input_paths()
     check_kernel_reference_twins()
+    check_model_kinds_differential()
     if errors:
         for e in errors:
             print(f"lint error: {e}", file=sys.stderr)
