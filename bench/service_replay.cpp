@@ -21,12 +21,21 @@
 //   --arrival-us=U   mean inter-arrival gap per client (default 0 = none)
 //   --queue=C        server submission-queue capacity (default 64)
 //   --reopt=0|1      re-optimization on the SELECTs   (default 1)
+//   --timeout-ms=T   per-statement deadline, 0 = none (default 0)
+//   --retries=R      transient-failure retries        (default 0)
+//   --fault=P:SPEC   arm fail point P with SPEC (common/fail_point.h), e.g.
+//                    --fault=service.worker_exec:prob:0.25:7 — armed only
+//                    for the replay, after the serial reference pass
 //   --out=PATH       JSON report path   (default BENCH_service_replay.json)
 //   --threads=N / --intra-threads=M: total thread budget and its intra
 //     split, exactly as every other bench (bench_util.h).
 //
 // Exit code: non-zero iff any reply diverges from the serial reference or
-// any statement fails. Latency (wall-clock p50/p99/mean), throughput and
+// fails unexpectedly. With a deadline or fault configured, lifecycle
+// statuses (DeadlineExceeded, Cancelled, Unavailable, ResourceExhausted)
+// are expected outcomes — counted and reported as timeout/shed/retry rates,
+// not gate failures; every OK reply must still be byte-identical to the
+// serial reference. Latency (wall-clock p50/p99/mean), throughput and
 // serving counters go to stdout and the JSON report; CI uploads the JSON
 // alongside BENCH_perf_smoke.json.
 #include <algorithm>
@@ -40,6 +49,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/fail_point.h"
 #include "common/rng.h"
 #include "service/sql_server.h"
 #include "sql/engine.h"
@@ -62,6 +72,15 @@ double Percentile(std::vector<double> sorted, double p) {
   std::sort(sorted.begin(), sorted.end());
   size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
   return sorted[idx];
+}
+
+// Statuses the query-lifecycle machinery produces on purpose under a
+// deadline or an injected fault; everything else is an unexpected failure.
+bool IsLifecycleFailure(common::StatusCode code) {
+  return code == common::StatusCode::kDeadlineExceeded ||
+         code == common::StatusCode::kCancelled ||
+         code == common::StatusCode::kUnavailable ||
+         code == common::StatusCode::kResourceExhausted;
 }
 
 bool ReplyMatches(const service::QueryReply& reply, const Expected& want,
@@ -110,8 +129,27 @@ int main(int argc, char** argv) {
       bench::BenchFlagInt(argc, argv, "--queue", 1, 1 << 20, 64));
   const bool reopt_on =
       bench::BenchFlagInt(argc, argv, "--reopt", 0, 1, 1) != 0;
+  const double timeout_ms =
+      bench::BenchFlagDouble(argc, argv, "--timeout-ms", 0.0, 1e9, 0.0);
+  const int max_retries = static_cast<int>(
+      bench::BenchFlagInt(argc, argv, "--retries", 0, 1000, 0));
+  const std::string fault = bench::BenchFlagString(argc, argv, "--fault", "");
   const std::string out_path = bench::BenchFlagString(
       argc, argv, "--out", "BENCH_service_replay.json");
+  // Validate the fault spec up front (armed only after the reference pass).
+  std::string fault_point, fault_spec;
+  if (!fault.empty()) {
+    const size_t colon = fault.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= fault.size()) {
+      std::fprintf(stderr,
+                   "FAIL: --fault expects <point>:<spec>, got \"%s\"\n",
+                   fault.c_str());
+      return 2;
+    }
+    fault_point = fault.substr(0, colon);
+    fault_spec = fault.substr(colon + 1);
+  }
+  const bool faults_expected = timeout_ms > 0.0 || !fault.empty();
 
   const size_t num_distinct = env->workload->queries.size();
   bench::PrintCaption("service load replay");
@@ -123,6 +161,10 @@ int main(int argc, char** argv) {
       env->threads == 1 ? "" : "s", env->intra_threads,
       env->intra_threads == 1 ? "" : "s", queue_capacity,
       reopt_on ? "on" : "off");
+  if (faults_expected) {
+    std::printf("lifecycle: timeout %.1f ms, retries %d, fault %s\n",
+                timeout_ms, max_retries, fault.empty() ? "-" : fault.c_str());
+  }
 
   // Render every workload query as the SQL text real clients would submit.
   std::vector<std::string> sql_texts;
@@ -193,12 +235,23 @@ int main(int argc, char** argv) {
   std::vector<uint64_t> client_seeds(static_cast<size_t>(sessions));
   for (auto& seed : client_seeds) seed = rng.Next();
 
+  // Arm the fault only now: the serial reference above must be fault-free.
+  if (!fault.empty()) {
+    common::Status armed = common::failpoint::Arm(fault_point, fault_spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "FAIL: --fault: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+  }
+
   service::ServerOptions options;
   options.session_workers = env->threads;
   options.intra_query_threads = env->intra_threads;
   options.queue_capacity = queue_capacity;
   options.model = model;
   options.reopt = reopt;
+  options.default_timeout_seconds = timeout_ms / 1e3;
+  options.max_retries = max_retries;
   service::SqlServer server(&env->db->catalog, &env->db->stats, options);
 
   struct ClientWork {
@@ -242,14 +295,24 @@ int main(int argc, char** argv) {
                                     replay_start)
           .count();
   server.Shutdown();
+  common::failpoint::DisarmAll();
 
-  // Differential check: every reply against the serial reference.
+  // Differential check: every reply against the serial reference. Under a
+  // configured deadline or fault, lifecycle statuses are expected outcomes
+  // (counted, not failed); every OK reply must still match byte-for-byte.
   bool ok = true;
   int64_t mismatches = 0;
+  int64_t lifecycle_failures = 0;
   for (const ClientWork& work : clients) {
     for (size_t i = 0; i < work.statements.size(); ++i) {
       const size_t qi = stream[work.statements[i]];
-      if (!ReplyMatches(work.tickets[i]->Wait(), expected[qi],
+      const service::QueryReply& reply = work.tickets[i]->Wait();
+      if (faults_expected && !reply.status.ok() &&
+          IsLifecycleFailure(reply.status.code())) {
+        ++lifecycle_failures;
+        continue;
+      }
+      if (!ReplyMatches(reply, expected[qi],
                         env->workload->queries[qi]->name)) {
         ok = false;
         if (++mismatches >= 10) {
@@ -274,12 +337,28 @@ int main(int argc, char** argv) {
           ? static_cast<double>(stats.completed) / replay_seconds
           : 0.0;
 
+  const double rate_denom =
+      num_queries > 0 ? static_cast<double>(num_queries) : 1.0;
+  const double timeout_rate =
+      static_cast<double>(stats.timed_out) / rate_denom;
+  const double shed_rate = static_cast<double>(stats.rejected) / rate_denom;
+  const double retry_rate = static_cast<double>(stats.retried) / rate_denom;
+
   std::printf(
       "completed %lld  failed %lld  rejected %lld  cache hits %lld\n",
       static_cast<long long>(stats.completed),
       static_cast<long long>(stats.failed),
       static_cast<long long>(stats.rejected),
       static_cast<long long>(stats.cache_hits));
+  if (faults_expected) {
+    std::printf(
+        "lifecycle: timed out %lld (%.1f%%)  cancelled %lld  shed %.1f%%  "
+        "retries %lld (%.2f/stmt)  degraded %lld\n",
+        static_cast<long long>(stats.timed_out), timeout_rate * 100.0,
+        static_cast<long long>(stats.cancelled), shed_rate * 100.0,
+        static_cast<long long>(stats.retried), retry_rate,
+        static_cast<long long>(stats.degraded));
+  }
   std::printf(
       "latency p50 %.2f ms  p99 %.2f ms  mean %.2f ms  "
       "throughput %.1f q/s  wall %.2f s\n",
@@ -302,10 +381,20 @@ int main(int argc, char** argv) {
         "  \"distinct_queries\": %zu,\n"
         "  \"zipf_theta\": %.3f,\n"
         "  \"reopt\": %s,\n"
+        "  \"timeout_ms\": %.3f,\n"
+        "  \"max_retries\": %d,\n"
+        "  \"fault\": \"%s\",\n"
         "  \"completed\": %lld,\n"
         "  \"failed\": %lld,\n"
         "  \"rejected\": %lld,\n"
         "  \"cache_hits\": %lld,\n"
+        "  \"timed_out\": %lld,\n"
+        "  \"cancelled\": %lld,\n"
+        "  \"retried\": %lld,\n"
+        "  \"degraded\": %lld,\n"
+        "  \"timeout_rate\": %.4f,\n"
+        "  \"shed_rate\": %.4f,\n"
+        "  \"retry_rate\": %.4f,\n"
         "  \"p50_ms\": %.3f,\n"
         "  \"p99_ms\": %.3f,\n"
         "  \"mean_ms\": %.3f,\n"
@@ -317,23 +406,37 @@ int main(int argc, char** argv) {
         "}\n",
         sessions, env->threads, env->intra_threads, queue_capacity,
         num_queries, num_distinct, zipf_theta, reopt_on ? "true" : "false",
+        timeout_ms, max_retries, fault.c_str(),
         static_cast<long long>(stats.completed),
         static_cast<long long>(stats.failed),
         static_cast<long long>(stats.rejected),
-        static_cast<long long>(stats.cache_hits), p50 * 1e3, p99 * 1e3,
+        static_cast<long long>(stats.cache_hits),
+        static_cast<long long>(stats.timed_out),
+        static_cast<long long>(stats.cancelled),
+        static_cast<long long>(stats.retried),
+        static_cast<long long>(stats.degraded), timeout_rate, shed_rate,
+        retry_rate, p50 * 1e3, p99 * 1e3,
         mean * 1e3, throughput, replay_seconds, stats.sim_plan_seconds,
         stats.sim_exec_seconds, ok ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", out_path.c_str());
   }
 
-  if (!ok || stats.failed > 0) {
+  // Gate: divergent or unexpectedly-failed replies fail the run. Lifecycle
+  // failures under a configured deadline/fault were skipped above and
+  // stats.failed only gates the fault-free configuration.
+  if (!ok || (!faults_expected && stats.failed > 0)) {
     std::fprintf(stderr,
                  "FAIL: replay diverged from the serial reference\n");
     return 1;
   }
   std::printf("service replay OK: %lld replies byte-identical to the serial "
-              "single-session run\n",
+              "single-session run",
               static_cast<long long>(stats.completed));
+  if (faults_expected) {
+    std::printf(" (%lld lifecycle failures tolerated)",
+                static_cast<long long>(lifecycle_failures));
+  }
+  std::printf("\n");
   return 0;
 }

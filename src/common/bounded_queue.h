@@ -13,6 +13,7 @@
 #ifndef REOPT_COMMON_BOUNDED_QUEUE_H_
 #define REOPT_COMMON_BOUNDED_QUEUE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <optional>
@@ -47,6 +48,27 @@ class BoundedQueue {
     return true;
   }
 
+  /// Push with a deadline: blocks at most `timeout` for space. Returns
+  /// false (dropping `item`) when the queue is closed or the timeout
+  /// expires while still full — bounded backpressure for callers that must
+  /// not block forever on an overloaded server.
+  [[nodiscard]] bool PushFor(T item,
+                             std::chrono::nanoseconds timeout) EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.size() >= capacity_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return false;
+        (void)not_full_.WaitFor(&mu_, deadline - now);
+      }
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.NotifyOne();
+    return true;
+  }
+
   /// Non-blocking admission: returns false when the queue is full or
   /// closed, leaving `item` unqueued.
   [[nodiscard]] bool TryPush(T item) EXCLUDES(mu_) {
@@ -67,6 +89,27 @@ class BoundedQueue {
     {
       MutexLock lock(&mu_);
       while (!closed_ && items_.empty()) not_empty_.Wait(&mu_);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.NotifyOne();
+    return item;
+  }
+
+  /// Pop with a deadline: blocks at most `timeout` for an item. Returns
+  /// nullopt on timeout or when the queue is closed and drained.
+  [[nodiscard]] std::optional<T> PopFor(
+      std::chrono::nanoseconds timeout) EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::optional<T> item;
+    {
+      MutexLock lock(&mu_);
+      while (!closed_ && items_.empty()) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return std::nullopt;
+        (void)not_empty_.WaitFor(&mu_, deadline - now);
+      }
       if (items_.empty()) return std::nullopt;
       item.emplace(std::move(items_.front()));
       items_.pop_front();

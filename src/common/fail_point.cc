@@ -1,0 +1,214 @@
+#include "common/fail_point.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace reopt::common::failpoint {
+
+namespace internal {
+std::atomic<int> g_armed_count{0};
+}  // namespace internal
+
+namespace {
+
+struct Point {
+  enum class Mode { kAlways, kOnce, kNth, kProb };
+  Mode mode = Mode::kAlways;
+  int64_t n = 0;       // kNth: the 1-based hit that fires.
+  double p = 0.0;      // kProb: per-hit trigger probability.
+  Rng rng{0};          // kProb: deterministic draw sequence.
+  int64_t hits = 0;
+  int64_t triggers = 0;
+  bool spent = false;  // kOnce/kNth: already fired.
+};
+
+struct Registry {
+  Mutex mu;
+  std::map<std::string, Point> points GUARDED_BY(mu);
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Status ParseSpec(const std::string& spec, Point* out) {
+  if (spec == "always") {
+    out->mode = Point::Mode::kAlways;
+    return Status::OK();
+  }
+  if (spec == "once") {
+    out->mode = Point::Mode::kOnce;
+    return Status::OK();
+  }
+  if (spec.rfind("nth:", 0) == 0) {
+    int64_t n = 0;
+    try {
+      n = std::stoll(spec.substr(4));
+    } catch (...) {
+      n = 0;
+    }
+    if (n < 1) {
+      return Status::InvalidArgument("fail point spec '" + spec +
+                                     "': nth:N needs an integer N >= 1");
+    }
+    out->mode = Point::Mode::kNth;
+    out->n = n;
+    return Status::OK();
+  }
+  if (spec.rfind("prob:", 0) == 0) {
+    const std::string rest = spec.substr(5);
+    const std::size_t colon = rest.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("fail point spec '" + spec +
+                                     "': prob needs 'prob:P:SEED'");
+    }
+    double p = -1.0;
+    uint64_t seed = 0;
+    try {
+      p = std::stod(rest.substr(0, colon));
+      seed = std::stoull(rest.substr(colon + 1));
+    } catch (...) {
+      p = -1.0;
+    }
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("fail point spec '" + spec +
+                                     "': probability must be in [0, 1]");
+    }
+    out->mode = Point::Mode::kProb;
+    out->p = p;
+    out->rng = Rng(seed);
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "unknown fail point spec '" + spec +
+      "' (expected off | always | once | nth:N | prob:P:SEED)");
+}
+
+// Parses REOPT_FAILPOINTS once at static-init time so env-armed points are
+// live before main() runs any engine code. A bad spec is reported and
+// skipped — fault injection must never take the process down by itself.
+const bool g_env_armed = [] {
+  const char* env = std::getenv("REOPT_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') {
+    const Status s = ArmFromSpecList(env);
+    if (!s.ok()) {
+      std::fprintf(stderr, "REOPT_FAILPOINTS: %s\n", s.ToString().c_str());
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+Status Arm(const std::string& name, const std::string& spec) {
+  if (name.empty()) {
+    return Status::InvalidArgument("fail point name must be non-empty");
+  }
+  if (spec == "off") {
+    Disarm(name);
+    return Status::OK();
+  }
+  Point point;
+  REOPT_RETURN_IF_ERROR(ParseSpec(spec, &point));
+  Registry& r = GetRegistry();
+  MutexLock lock(&r.mu);
+  const bool inserted = r.points.insert_or_assign(name, point).second;
+  if (inserted) {
+    internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status ArmFromSpecList(const std::string& list) {
+  for (const std::string& entry : Split(list, ',')) {
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fail point entry '" + entry +
+                                     "' is not of the form name=spec");
+    }
+    REOPT_RETURN_IF_ERROR(Arm(entry.substr(0, eq), entry.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+void Disarm(const std::string& name) {
+  Registry& r = GetRegistry();
+  MutexLock lock(&r.mu);
+  if (r.points.erase(name) > 0) {
+    internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& r = GetRegistry();
+  MutexLock lock(&r.mu);
+  internal::g_armed_count.fetch_sub(static_cast<int>(r.points.size()),
+                                    std::memory_order_relaxed);
+  r.points.clear();
+}
+
+int64_t Hits(const std::string& name) {
+  Registry& r = GetRegistry();
+  MutexLock lock(&r.mu);
+  const auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+int64_t Triggers(const std::string& name) {
+  Registry& r = GetRegistry();
+  MutexLock lock(&r.mu);
+  const auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.triggers;
+}
+
+std::vector<std::string> ArmedNames() {
+  Registry& r = GetRegistry();
+  MutexLock lock(&r.mu);
+  std::vector<std::string> names;
+  names.reserve(r.points.size());
+  for (const auto& [name, point] : r.points) names.push_back(name);
+  return names;
+}
+
+namespace internal {
+
+bool Evaluate(const char* name) {
+  Registry& r = GetRegistry();
+  MutexLock lock(&r.mu);
+  const auto it = r.points.find(name);
+  if (it == r.points.end()) return false;
+  Point& point = it->second;
+  ++point.hits;
+  bool fire = false;
+  switch (point.mode) {
+    case Point::Mode::kAlways:
+      fire = true;
+      break;
+    case Point::Mode::kOnce:
+      fire = !point.spent;
+      point.spent = true;
+      break;
+    case Point::Mode::kNth:
+      fire = !point.spent && point.hits == point.n;
+      if (fire) point.spent = true;
+      break;
+    case Point::Mode::kProb:
+      fire = point.rng.Bernoulli(point.p);
+      break;
+  }
+  if (fire) ++point.triggers;
+  return fire;
+}
+
+}  // namespace internal
+
+}  // namespace reopt::common::failpoint

@@ -1,0 +1,89 @@
+// Deterministic fault injection: a process-wide registry of named fail
+// points planted on the engine's state-changing paths (temp-table
+// materialization, ANALYZE, plan/re-plan, knowledge-base commit, queue
+// push, worker execution). A disarmed point costs one relaxed atomic load
+// — the registry mutex is only touched while at least one point is armed —
+// so production code keeps its points compiled in.
+//
+// Trigger specs (all deterministic given the spec):
+//   "off"           disarm (same as Disarm(name))
+//   "always"        trigger on every evaluation
+//   "once"          trigger on the first evaluation, then pass
+//   "nth:N"         trigger on the Nth evaluation only (N >= 1)
+//   "prob:P:SEED"   trigger each evaluation with probability P in [0,1],
+//                   drawn from a common::Rng seeded with SEED — the
+//                   trigger sequence is a pure function of the spec and
+//                   the evaluation order
+//
+// Arming: programmatically via Arm()/ArmFromSpecList(), or from the
+// environment — REOPT_FAILPOINTS="reopt.materialize=nth:2,kb.commit=once"
+// is parsed once at process start.
+//
+// Call sites use REOPT_INJECT_FAULT("name") in functions returning Status
+// or Result<T>, or failpoint::Triggered("name") where a bool fits better.
+// tools/lint.py (rule fail-points) requires every name planted under src/
+// to be exercised by at least one chaos test.
+#ifndef REOPT_COMMON_FAIL_POINT_H_
+#define REOPT_COMMON_FAIL_POINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace reopt::common::failpoint {
+
+/// Arms (or re-arms, resetting counters) the named point with a trigger
+/// spec. InvalidArgument on a malformed spec; the point's previous state
+/// is untouched on error.
+Status Arm(const std::string& name, const std::string& spec);
+
+/// Arms a comma-separated "name=spec,name=spec" list (the REOPT_FAILPOINTS
+/// environment format). Stops at the first malformed entry.
+Status ArmFromSpecList(const std::string& list);
+
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// Evaluation / trigger counters for the named point since it was last
+/// armed (0 when not armed).
+int64_t Hits(const std::string& name);
+int64_t Triggers(const std::string& name);
+
+/// Names currently armed, sorted.
+std::vector<std::string> ArmedNames();
+
+namespace internal {
+extern std::atomic<int> g_armed_count;
+/// Slow path: counts a hit against the named point and reports whether it
+/// fires. Unarmed names never fire.
+bool Evaluate(const char* name);
+}  // namespace internal
+
+/// Number of armed points. The disarmed fast path of every check.
+inline int ActiveCount() {
+  return internal::g_armed_count.load(std::memory_order_relaxed);
+}
+
+/// True when the named point is armed and its spec fires on this hit.
+inline bool Triggered(const char* name) {
+  return ActiveCount() > 0 && internal::Evaluate(name);
+}
+
+}  // namespace reopt::common::failpoint
+
+/// Plants a fail point: when armed and triggered, returns
+/// Status::Unavailable (a transient code — retries are expected to
+/// succeed) from the enclosing function. Usable in functions returning
+/// Status or Result<T>.
+#define REOPT_INJECT_FAULT(name)                               \
+  do {                                                         \
+    if (::reopt::common::failpoint::Triggered(name)) {         \
+      return ::reopt::common::Status::Unavailable(             \
+          std::string("injected fault at fail point ") + (name)); \
+    }                                                          \
+  } while (0)
+
+#endif  // REOPT_COMMON_FAIL_POINT_H_

@@ -26,6 +26,7 @@
 #ifndef REOPT_COMMON_MUTEX_H_
 #define REOPT_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -80,6 +81,18 @@ class CondVar {
     std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
+  }
+
+  /// Timed Wait: additionally returns once `timeout` has elapsed. Returns
+  /// false on timeout, true when notified (or spuriously woken) — either
+  /// way *mu is re-held, so callers keep looping on their predicate and
+  /// use the false return only to give up.
+  [[nodiscard]] bool WaitFor(Mutex* mu,
+                             std::chrono::nanoseconds timeout) REQUIRES(*mu) {
+    std::unique_lock<std::mutex> native(mu->mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(native, timeout);
+    native.release();
+    return st == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -19,10 +19,23 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kUnavailable,
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// Whether a failure with this code is transient: the operation did not
+/// corrupt any state and an identical retry may succeed (e.g. an injected
+/// fault or a momentarily unavailable resource). Deadline/cancellation
+/// failures are deliberate outcomes, not transient — retrying them would
+/// defeat the caller's intent — and every other code is deterministic.
+inline bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
 
 /// A success-or-error value. Cheap to copy in the success case.
 /// [[nodiscard]]: silently dropping a Status loses the only error signal a
@@ -52,6 +65,18 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

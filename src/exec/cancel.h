@@ -1,0 +1,75 @@
+// Cooperative cancellation and deadlines for query execution. A
+// CancelToken is shared between the submitting thread (which may call
+// Cancel()) and the executing thread, which polls it at natural pause
+// points: morsel/batch boundaries inside kernels, per-column loops in
+// temp-table writes, and re-optimization round boundaries in
+// reopt::QueryRunner. A stop always surfaces as a Status
+// (Cancelled / DeadlineExceeded), never a CHECK, and the executing side's
+// ScopeGuards drop any temp tables and statistics created so far.
+//
+// Thread model: Cancel() is the only cross-thread mutation (an atomic
+// store). The deadline must be set before the token is shared — tokens are
+// created per submission, so there is no reason to move a deadline later.
+#ifndef REOPT_EXEC_CANCEL_H_
+#define REOPT_EXEC_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace reopt::exec {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Safe from any thread, idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Absolute deadline after which execution stops with DeadlineExceeded.
+  /// Set before sharing the token with executing threads.
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+
+  /// Cheap boundary poll: true when execution should stop. Reads the
+  /// clock only when a deadline is set.
+  bool ShouldStop() const {
+    if (cancelled()) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// The boundary poll as a Status, for call sites that propagate errors.
+  common::Status Check() const {
+    if (cancelled()) return common::Status::Cancelled("query cancelled");
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return common::Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return common::Status::OK();
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+/// nullptr-tolerant poll for code paths where no token may be attached.
+inline bool ShouldStop(const CancelToken* token) {
+  return token != nullptr && token->ShouldStop();
+}
+
+}  // namespace reopt::exec
+
+#endif  // REOPT_EXEC_CANCEL_H_

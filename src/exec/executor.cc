@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fail_point.h"
+#include "common/scope_guard.h"
 #include "common/string_util.h"
 #include "exec/kernel_reference.h"
 #include "optimizer/cost_formulas.h"
@@ -21,10 +23,10 @@ std::vector<common::RowIdx> Executor::RunFilterScan(
     const storage::Table& table,
     const std::vector<const plan::ScanPredicate*>& filters) const {
   if (kernel_mode_ == KernelMode::kReference) {
-    return reference::FilterScan(table, filters);
+    return reference::FilterScan(table, filters, cancel_);
   }
   return intra_.enabled() ? FilterScanParallel(table, filters, intra_)
-                          : FilterScan(table, filters);
+                          : FilterScan(table, filters, cancel_);
 }
 
 Intermediate Executor::RunHashJoin(
@@ -32,15 +34,16 @@ Intermediate Executor::RunHashJoin(
     const std::vector<const plan::JoinEdge*>& edges,
     const BoundRelations& rels) const {
   if (kernel_mode_ == KernelMode::kReference) {
-    return reference::HashJoinIntermediates(left, right, edges, rels);
+    return reference::HashJoinIntermediates(left, right, edges, rels, cancel_);
   }
   return intra_.enabled()
              ? HashJoinIntermediatesParallel(left, right, edges, rels, intra_)
-             : HashJoinIntermediates(left, right, edges, rels);
+             : HashJoinIntermediates(left, right, edges, rels, cancel_);
 }
 
 common::Result<QueryResult> Executor::Execute(const plan::QuerySpec& query,
                                               plan::PlanNode* plan_root) {
+  if (cancel_ != nullptr) REOPT_RETURN_IF_ERROR(cancel_->Check());
   for (const plan::RelationRef& ref : query.relations) {
     if (catalog_->FindTable(ref.table_name) == nullptr) {
       return common::Status::NotFound("no such table: " + ref.table_name);
@@ -126,6 +129,9 @@ common::Result<QueryResult> Executor::Execute(const plan::QuerySpec& query,
     Intermediate input = ExecuteNode(query, rels, plan_root);
     result.raw_rows = input.size();
   }
+  // Kernels stop early (truncated intermediates) when the token trips;
+  // this re-check turns any such run into an error before results escape.
+  if (cancel_ != nullptr) REOPT_RETURN_IF_ERROR(cancel_->Check());
   result.cost_units = plan_root->SubtreeChargedCost();
   return result;
 }
@@ -339,6 +345,7 @@ common::Status Executor::ExecuteTempWrite(const plan::QuerySpec& query,
                                           const BoundRelations& rels,
                                           plan::PlanNode* node,
                                           const Intermediate& input) {
+  REOPT_INJECT_FAULT("exec.temp_write");
   // Materialize the requested columns into a new temp table.
   storage::Schema schema;
   for (const plan::ColumnRef& ref : node->temp_columns) {
@@ -355,6 +362,14 @@ common::Status Executor::ExecuteTempWrite(const plan::QuerySpec& query,
   // name — that must surface as a clean error, never a crash.
   if (!created.ok()) return created.status();
   storage::Table* temp = created.value();
+  // Any error or cancellation between CreateTable and the final commit
+  // below must not leak a half-written temp table (or its stats) into the
+  // catalogs: a leaked name would break the re-optimizer's retry and show
+  // up as phantom state in catalog listings.
+  auto abort_cleanup = common::MakeScopeGuard([this, node] {
+    if (stats_catalog_ != nullptr) stats_catalog_->Remove(node->temp_table_name);
+    (void)catalog_->DropTable(node->temp_table_name);  // name just created
+  });
   temp->Reserve(input.size());
   // Column-at-a-time materialization with fused ANALYZE: the source column
   // span and the intermediate's tuple column are resolved once per output
@@ -372,6 +387,7 @@ common::Status Executor::ExecuteTempWrite(const plan::QuerySpec& query,
     temp_stats.columns.reserve(node->temp_columns.size());
   }
   for (size_t c = 0; c < node->temp_columns.size(); ++c) {
+    if (cancel_ != nullptr) REOPT_RETURN_IF_ERROR(cancel_->Check());
     const plan::ColumnRef& ref = node->temp_columns[c];
     const storage::ColumnView src = rels.table(ref.rel).column(ref.col).View();
     int rel_idx = input.FindRel(ref.rel);
@@ -446,9 +462,11 @@ common::Status Executor::ExecuteTempWrite(const plan::QuerySpec& query,
   // The per-column appends above bypass Table::AppendRow's row counter.
   temp->SyncRowCountFromColumns();
 
+  REOPT_INJECT_FAULT("exec.analyze");
   if (analyze) {
     stats_catalog_->Set(node->temp_table_name, std::move(temp_stats));
   }
+  abort_cleanup.Dismiss();  // table + stats committed
   node->actual_rows = static_cast<double>(input.size());
   node->charged_cost =
       TempWriteCost(params_, static_cast<double>(input.size()),

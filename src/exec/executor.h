@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "exec/cancel.h"
 #include "exec/intermediate.h"
 #include "exec/kernel.h"
 #include "optimizer/cost_params.h"
@@ -60,6 +61,17 @@ class Executor {
   }
   int intra_query_threads() const { return intra_.threads; }
 
+  /// Attaches a cooperative cancellation/deadline token, polled at kernel
+  /// batch/morsel boundaries and surfaced from Execute as Cancelled /
+  /// DeadlineExceeded. The token must outlive every Execute call; nullptr
+  /// detaches. Kernels stop early with truncated intermediates when the
+  /// token trips, and Execute re-checks it before returning, so partial
+  /// results never escape as success.
+  void set_cancel_token(const CancelToken* cancel) {
+    cancel_ = cancel;
+    intra_.cancel = cancel;
+  }
+
   /// Executes `plan` for `query`. Fills actual_rows / charged_cost on every
   /// node of the plan.
   common::Result<QueryResult> Execute(const plan::QuerySpec& query,
@@ -100,6 +112,7 @@ class Executor {
   optimizer::CostParams params_;
   KernelMode kernel_mode_ = DefaultKernelMode();
   MorselContext intra_;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace reopt::exec

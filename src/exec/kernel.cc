@@ -505,13 +505,16 @@ int ApplyPredicate(const BoundPredicate& bp, RowIdx* rows, int n) {
 
 std::vector<common::RowIdx> FilterScan(
     const storage::Table& table,
-    const std::vector<const plan::ScanPredicate*>& filters) {
+    const std::vector<const plan::ScanPredicate*>& filters,
+    const CancelToken* cancel) {
   const int64_t n = table.num_rows();
   std::vector<common::RowIdx> out;
   if (filters.empty()) {
-    out.resize(static_cast<size_t>(n));
-    for (int64_t row = 0; row < n; ++row) {
-      out[static_cast<size_t>(row)] = row;
+    out.reserve(static_cast<size_t>(n));
+    for (int64_t lo = 0; lo < n; lo += kKernelBatchSize) {
+      if (ShouldStop(cancel)) break;  // truncated result; Executor re-checks
+      const int64_t hi = std::min(n, lo + kKernelBatchSize);
+      for (int64_t row = lo; row < hi; ++row) out.push_back(row);
     }
     return out;
   }
@@ -524,6 +527,7 @@ std::vector<common::RowIdx> FilterScan(
 
   RowIdx sel[kKernelBatchSize];
   for (int64_t lo = 0; lo < n; lo += kKernelBatchSize) {
+    if (ShouldStop(cancel)) break;  // truncated result; Executor re-checks
     int count = static_cast<int>(std::min<int64_t>(kKernelBatchSize, n - lo));
     for (int i = 0; i < count; ++i) sel[i] = lo + i;
     for (const BoundPredicate& bp : bound) {
@@ -557,7 +561,7 @@ std::vector<common::RowIdx> FilterScanParallel(
     const MorselContext& ctx) {
   const int64_t n = table.num_rows();
   if (!ctx.enabled() || n < kParallelMinRows || filters.empty()) {
-    return FilterScan(table, filters);
+    return FilterScan(table, filters, ctx.cancel);
   }
 
   // Bound once, read-only across workers (ApplyPredicate never mutates).
@@ -575,6 +579,7 @@ std::vector<common::RowIdx> FilterScanParallel(
   std::vector<std::vector<common::RowIdx>> parts(morsels.size());
   ctx.pool->ParallelRun(
       static_cast<int64_t>(morsels.size()), ctx.threads, [&](int64_t m, int) {
+        if (ShouldStop(ctx.cancel)) return;  // skip morsel; Executor re-checks
         const common::MorselRange range = morsels[static_cast<size_t>(m)];
         std::vector<common::RowIdx>& part = parts[static_cast<size_t>(m)];
         RowIdx sel[kKernelBatchSize];  // per-worker selection vector
@@ -742,8 +747,10 @@ void BuildAndProbe(const KeyOps& ops, int64_t build_n, int64_t probe_n,
                    const std::vector<uint8_t>& probe_has_key, uint64_t mask,
                    std::vector<int64_t>* slot_head, std::vector<int64_t>* next,
                    std::vector<int64_t>* match_build,
-                   std::vector<int64_t>* match_probe) {
+                   std::vector<int64_t>* match_probe,
+                   const CancelToken* cancel) {
   for (int64_t t = build_n - 1; t >= 0; --t) {
+    if ((t % kKernelBatchSize) == 0 && ShouldStop(cancel)) return;
     if (!build_has_key[static_cast<size_t>(t)]) continue;
     uint64_t s = ops.BuildHash(t) & mask;
     while (true) {
@@ -761,6 +768,7 @@ void BuildAndProbe(const KeyOps& ops, int64_t build_n, int64_t probe_n,
     }
   }
   for (int64_t t = 0; t < probe_n; ++t) {
+    if ((t % kKernelBatchSize) == 0 && ShouldStop(cancel)) return;
     if (!probe_has_key[static_cast<size_t>(t)]) continue;
     uint64_t s = ops.ProbeHash(t) & mask;
     while (true) {
@@ -783,7 +791,7 @@ void BuildAndProbe(const KeyOps& ops, int64_t build_n, int64_t probe_n,
 Intermediate HashJoinIntermediates(
     const Intermediate& left, const Intermediate& right,
     const std::vector<const plan::JoinEdge*>& edges,
-    const BoundRelations& rels) {
+    const BoundRelations& rels, const CancelToken* cancel) {
   REOPT_CHECK_MSG(!edges.empty(), "equi-join requires at least one edge");
   const Intermediate& build = left.size() <= right.size() ? left : right;
   const Intermediate& probe = left.size() <= right.size() ? right : left;
@@ -827,12 +835,13 @@ Intermediate HashJoinIntermediates(
     // keys, no composite-key indirection in the loops.
     BuildAndProbe(SingleKeyOps{build_keys.data(), probe_keys.data()},
                   build_n, probe_n, build_has_key, probe_has_key, mask,
-                  &slot_head, &next, &match_build, &match_probe);
+                  &slot_head, &next, &match_build, &match_probe, cancel);
   } else {
     BuildAndProbe(CompositeKeyOps{build_keys.data(), probe_keys.data(), ne},
                   build_n, probe_n, build_has_key, probe_has_key, mask,
-                  &slot_head, &next, &match_build, &match_probe);
+                  &slot_head, &next, &match_build, &match_probe, cancel);
   }
+  if (ShouldStop(cancel)) return out;  // skip gather; Executor re-checks
 
   // Phase 3: column-wise gather materialization.
   const size_t m = match_build.size();
@@ -1086,6 +1095,7 @@ Intermediate HashJoinParallelImpl(const Intermediate& build,
     BuildPartition(ops, build_side, p, num_partition_bits,
                    parts[static_cast<size_t>(p)], &slot_head, &next);
   });
+  if (ShouldStop(ctx.cancel)) return out;  // empty; Executor re-checks
 
   // Probe over morsels into chunk-local match buffers.
   const std::vector<common::MorselRange> probe_morsels =
@@ -1099,6 +1109,7 @@ Intermediate HashJoinParallelImpl(const Intermediate& build,
   ctx.pool->ParallelRun(
       static_cast<int64_t>(probe_morsels.size()), ctx.threads,
       [&](int64_t m, int) {
+        if (ShouldStop(ctx.cancel)) return;  // skip morsel
         const common::MorselRange r = probe_morsels[static_cast<size_t>(m)];
         MatchChunk& chunk = chunks[static_cast<size_t>(m)];
         // Same heuristic as the serial join's probe_n reservation: about
@@ -1155,7 +1166,7 @@ Intermediate HashJoinIntermediatesParallel(
   const Intermediate& probe = left.size() <= right.size() ? right : left;
   // The probe side dominates; below the threshold the serial join wins.
   if (!ctx.enabled() || probe.size() < kParallelMinRows) {
-    return HashJoinIntermediates(left, right, edges, rels);
+    return HashJoinIntermediates(left, right, edges, rels, ctx.cancel);
   }
 
   Intermediate out;
@@ -1171,6 +1182,7 @@ Intermediate HashJoinIntermediatesParallel(
   HashedSide probe_side =
       ComputeHashedSide(ResolveKeyColumns(edges, probe, rels), probe.size(),
                         /*with_hashes=*/false, ctx);
+  if (ShouldStop(ctx.cancel)) return out;  // empty; Executor re-checks
 
   if (ne == 1) {
     return HashJoinParallelImpl(

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "exec/cancel.h"
 #include "exec/intermediate.h"
 #include "plan/query_spec.h"
 #include "storage/catalog.h"
@@ -68,9 +69,16 @@ bool EvalPredicate(const plan::ScanPredicate& pred,
 /// Row ids of `rel` passing all of `filters` (full scan). Vectorized:
 /// processes the table in kKernelBatchSize batches, compacting a selection
 /// vector through one typed kernel per predicate.
+///
+/// Cancellation (here and in the join kernels): when `cancel` trips, the
+/// kernel stops at the next batch/morsel boundary and returns whatever it
+/// produced so far — the Executor re-checks the token at the top level and
+/// discards the truncated result behind a Cancelled/DeadlineExceeded
+/// Status, so partial output never escapes.
 std::vector<common::RowIdx> FilterScan(
     const storage::Table& table,
-    const std::vector<const plan::ScanPredicate*>& filters);
+    const std::vector<const plan::ScanPredicate*>& filters,
+    const CancelToken* cancel = nullptr);
 
 /// Intra-query morsel parallelism budget handed to the *Parallel kernel
 /// entry points: how many of `pool`'s workers one operator may fan its
@@ -81,6 +89,8 @@ std::vector<common::RowIdx> FilterScan(
 struct MorselContext {
   int threads = 1;
   common::ThreadPool* pool = nullptr;
+  /// Optional cooperative-cancellation token polled at morsel boundaries.
+  const CancelToken* cancel = nullptr;
 
   bool enabled() const { return threads > 1 && pool != nullptr; }
 };
@@ -104,7 +114,7 @@ std::vector<common::RowIdx> FilterScanParallel(
 Intermediate HashJoinIntermediates(
     const Intermediate& left, const Intermediate& right,
     const std::vector<const plan::JoinEdge*>& edges,
-    const BoundRelations& rels);
+    const BoundRelations& rels, const CancelToken* cancel = nullptr);
 
 /// HashJoinIntermediates with morsel parallelism on every phase: the key /
 /// hash pass fans over tuple morsels, the build is radix-partitioned by the

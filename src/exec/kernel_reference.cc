@@ -10,10 +10,12 @@ namespace reopt::exec::reference {
 
 std::vector<common::RowIdx> FilterScan(
     const storage::Table& table,
-    const std::vector<const plan::ScanPredicate*>& filters) {
+    const std::vector<const plan::ScanPredicate*>& filters,
+    const CancelToken* cancel) {
   std::vector<common::RowIdx> out;
   int64_t n = table.num_rows();
   for (common::RowIdx row = 0; row < n; ++row) {
+    if ((row % kKernelBatchSize) == 0 && ShouldStop(cancel)) break;
     bool pass = true;
     for (const plan::ScanPredicate* pred : filters) {
       if (!EvalPredicate(*pred, table, row)) {
@@ -102,7 +104,7 @@ bool MakeKey(const Intermediate& side, const SideKeys& keys,
 Intermediate HashJoinIntermediates(
     const Intermediate& left, const Intermediate& right,
     const std::vector<const plan::JoinEdge*>& edges,
-    const BoundRelations& rels) {
+    const BoundRelations& rels, const CancelToken* cancel) {
   REOPT_CHECK_MSG(!edges.empty(), "equi-join requires at least one edge");
   const Intermediate& build = left.size() <= right.size() ? left : right;
   const Intermediate& probe = left.size() <= right.size() ? right : left;
@@ -114,6 +116,7 @@ Intermediate HashJoinIntermediates(
   table.reserve(static_cast<size_t>(build.size()));
   JoinKey key;
   for (int64_t t = 0; t < build.size(); ++t) {
+    if ((t % kKernelBatchSize) == 0 && ShouldStop(cancel)) break;
     if (MakeKey(build, build_keys, rels, t, &key)) {
       table[key].push_back(t);
     }
@@ -125,6 +128,7 @@ Intermediate HashJoinIntermediates(
   out.columns.resize(out.rels.size());
 
   for (int64_t t = 0; t < probe.size(); ++t) {
+    if ((t % kKernelBatchSize) == 0 && ShouldStop(cancel)) break;
     if (!MakeKey(probe, probe_keys, rels, t, &key)) continue;
     auto it = table.find(key);
     if (it == table.end()) continue;

@@ -20,17 +20,20 @@
 namespace reopt::exec::reference {
 
 /// Row ids of `rel` passing all of `filters` (full scan, one
-/// EvalPredicate dispatch per (row, predicate)).
+/// EvalPredicate dispatch per (row, predicate)). `cancel` is polled every
+/// kKernelBatchSize rows — the same boundaries as the vectorized kernel —
+/// and stops with a truncated result the Executor discards.
 std::vector<common::RowIdx> FilterScan(
     const storage::Table& table,
-    const std::vector<const plan::ScanPredicate*>& filters);
+    const std::vector<const plan::ScanPredicate*>& filters,
+    const CancelToken* cancel = nullptr);
 
 /// Tuple-at-a-time hash join (build on the smaller input, std::unordered_map
 /// bucket chains, per-tuple FindRel/column lookups).
 Intermediate HashJoinIntermediates(
     const Intermediate& left, const Intermediate& right,
     const std::vector<const plan::JoinEdge*>& edges,
-    const BoundRelations& rels);
+    const BoundRelations& rels, const CancelToken* cancel = nullptr);
 
 /// As exec::ExactJoin / exec::ExactJoinCount but composed from the scalar
 /// kernels above (same greedy connectivity-preserving join order).

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/fail_point.h"
 #include "common/scope_guard.h"
 #include "common/sim_time.h"
+#include "exec/cancel.h"
 #include "exec/executor.h"
 #include "optimizer/knowledge_base.h"
 #include "reopt/rewrite.h"
@@ -104,9 +106,11 @@ std::unique_ptr<optimizer::CardinalityModel> QueryRunner::MakeModel(
 
 common::Result<RunResult> QueryRunner::Run(QuerySession* session,
                                            const ModelSpec& model_spec,
-                                           const ReoptOptions& reopt) {
+                                           const ReoptOptions& reopt,
+                                           const exec::CancelToken* cancel) {
   RunResult result;
   exec::Executor executor(catalog_, stats_catalog_, params_);
+  executor.set_cancel_token(cancel);
   if (intra_query_threads_ > 1 &&
       (intra_pool_ == nullptr ||
        intra_pool_->num_threads() < intra_query_threads_)) {
@@ -169,6 +173,15 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
   optimizer::MemoTranslation translation; // old -> new ids, last rewrite
 
   for (int round = 0;; ++round) {
+    // Round boundaries are the re-optimizer's natural abort checkpoints:
+    // between rounds no temp table is half-written, so stopping here costs
+    // only the drop_temps sweep.
+    if (cancel != nullptr) REOPT_RETURN_IF_ERROR(cancel->Check());
+    if (round == 0) {
+      REOPT_INJECT_FAULT("reopt.plan");
+    } else {
+      REOPT_INJECT_FAULT("reopt.replan");
+    }
     optimizer::Planner planner(ctx, model.get(), params_, planner_options_);
     auto planned =
         round == 0 ? (cached != nullptr ? planner.PlanFromMemo(*cached)
@@ -193,6 +206,19 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
     double offender_q = 0.0;
     bool consider = reopt.enabled && round < reopt.max_rounds &&
                     planned->root->est_cost >= reopt.min_plan_cost_units;
+    // Materialization budget: once the rows/bytes already written to temp
+    // tables reach a limit, stop *considering* re-optimization and let the
+    // query finish under its current plan. Degradation, not failure —
+    // results stay exact either way.
+    const bool budget_exhausted =
+        (reopt.max_materialized_rows > 0 &&
+         result.materialized_rows >= reopt.max_materialized_rows) ||
+        (reopt.max_materialized_bytes > 0 &&
+         result.materialized_bytes >= reopt.max_materialized_bytes);
+    if (consider && budget_exhausted) {
+      consider = false;
+      result.degraded = true;
+    }
     if (consider) {
       planned->root->PostOrder([&](plan::PlanNode* node) {
         if (!node->is_join()) return;
@@ -261,13 +287,20 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
     write->left = plan::ClonePlan(*offender);
     write->est_cost = write->left->est_cost;
 
+    REOPT_INJECT_FAULT("reopt.materialize");
+    // Registered for cleanup *before* execution: if the write fails midway
+    // the executor's own guard already dropped the half-written table, and
+    // dropping an absent name is a harmless NotFound.
+    temp_tables.push_back(temp_name);
     auto executed = executor.Execute(*spec, write.get());
     if (!executed.ok()) {
       return executed.status();
     }
     result.exec_cost_units += executed->cost_units;
     ++result.num_materializations;
-    temp_tables.push_back(temp_name);
+    result.materialized_rows += executed->raw_rows;
+    result.materialized_bytes +=
+        executed->raw_rows * static_cast<int64_t>(temp_cols.size()) * 8;
 
     RoundRecord record;
     record.materialized = true;
@@ -299,6 +332,7 @@ common::Result<RunResult> QueryRunner::Run(QuerySession* session,
   }
 
   if (knowledge_base_ != nullptr && !pending_feedback.empty()) {
+    REOPT_INJECT_FAULT("kb.commit");
     knowledge_base_->ObserveBatch(pending_feedback);
   }
   return result;

@@ -33,6 +33,10 @@
 #include "stats/stats_catalog.h"
 #include "storage/catalog.h"
 
+namespace reopt::exec {
+class CancelToken;
+}  // namespace reopt::exec
+
 namespace reopt::reoptimizer {
 
 /// Which cardinality model the planner uses each round.
@@ -71,6 +75,14 @@ struct ReoptOptions {
   /// lowest one; kMaxQError is an ablation (bench/ablation_reopt_policy).
   enum class Pick { kLowestJoin, kMaxQError };
   Pick pick = Pick::kLowestJoin;
+  /// Per-query materialization budgets (0 = unlimited). Once the rows /
+  /// approximate bytes (8 bytes per materialized value) written to temp
+  /// tables reach a budget, the query stops considering further
+  /// re-optimization and finishes under its current plan — graceful
+  /// degradation (RunResult::degraded), never an error: re-optimization is
+  /// an optimization, not a correctness requirement.
+  int64_t max_materialized_rows = 0;
+  int64_t max_materialized_bytes = 0;
 };
 
 /// One re-optimization round (or the final execution).
@@ -92,6 +104,13 @@ struct RunResult {
   double exec_cost_units = 0.0;
   /// Number of temp tables materialized (0 without re-optimization).
   int num_materializations = 0;
+  /// Rows / approximate bytes (8 per value) written to temp tables.
+  int64_t materialized_rows = 0;
+  int64_t materialized_bytes = 0;
+  /// True when a materialization budget (ReoptOptions) suppressed at least
+  /// one re-optimization round: results are still exact, but under a plan
+  /// the re-optimizer would otherwise have revisited.
+  bool degraded = false;
   std::vector<RoundRecord> rounds;
 
   double plan_seconds() const;
@@ -206,10 +225,15 @@ class QueryRunner {
   const PlanObserver& plan_observer() const { return plan_observer_; }
 
   /// Runs the session's query. Temp tables created by re-optimization are
-  /// dropped before returning.
+  /// dropped before returning — on success and on every error path.
+  /// `cancel` (optional; must outlive the call) is polled at re-opt round
+  /// boundaries and at kernel batch/morsel boundaries inside execution;
+  /// tripping it surfaces as Cancelled / DeadlineExceeded with the same
+  /// cleanup guarantees.
   common::Result<RunResult> Run(QuerySession* session,
                                 const ModelSpec& model_spec,
-                                const ReoptOptions& reopt);
+                                const ReoptOptions& reopt,
+                                const exec::CancelToken* cancel = nullptr);
 
  private:
   std::unique_ptr<optimizer::CardinalityModel> MakeModel(

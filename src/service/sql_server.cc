@@ -1,7 +1,12 @@
 #include "service/sql_server.h"
 
+#include <cmath>
+#include <functional>
+#include <thread>
 #include <utility>
 
+#include "common/fail_point.h"
+#include "common/rng.h"
 #include "common/sim_time.h"
 
 namespace reopt::service {
@@ -12,6 +17,26 @@ const QueryReply& Ticket::Wait() const {
   common::MutexLock lock(&mu_);
   while (!done_) cv_.Wait(&mu_);
   return reply_;
+}
+
+const QueryReply* Ticket::WaitFor(double timeout_seconds) const {
+  if (timeout_seconds < 0.0) timeout_seconds = 0.0;
+  const auto deadline =
+      SqlServer::Clock::now() +
+      std::chrono::duration_cast<SqlServer::Clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  common::MutexLock lock(&mu_);
+  while (!done_) {
+    const auto now = SqlServer::Clock::now();
+    if (now >= deadline) return nullptr;
+    (void)cv_.WaitFor(&mu_, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                deadline - now));
+  }
+  return &reply_;
+}
+
+void Ticket::Cancel() {
+  if (cancel_ != nullptr) cancel_->Cancel();
 }
 
 bool Ticket::done() const {
@@ -33,13 +58,61 @@ void Ticket::Fulfill(QueryReply reply) {
 
 // ---- SqlSession ------------------------------------------------------------
 
+namespace {
+
+/// The statement's cancellation token, with the deadline (if any) already
+/// set — the token is about to be shared with a worker, and
+/// CancelToken::set_deadline must happen before that.
+std::shared_ptr<exec::CancelToken> MakeToken(SqlServer::Clock::time_point now,
+                                             double timeout_seconds) {
+  auto token = std::make_shared<exec::CancelToken>();
+  if (timeout_seconds > 0.0) {
+    token->set_deadline(now +
+                        std::chrono::duration_cast<SqlServer::Clock::duration>(
+                            std::chrono::duration<double>(timeout_seconds)));
+  }
+  return token;
+}
+
+}  // namespace
+
 TicketPtr SqlSession::Submit(std::string sql) {
+  return Submit(std::move(sql), server_->options_.default_timeout_seconds);
+}
+
+TicketPtr SqlSession::Submit(std::string sql, double timeout_seconds) {
+  const SqlServer::Clock::time_point now = SqlServer::Clock::now();
   auto ticket = std::make_shared<Ticket>();
-  SqlServer::Pending pending{std::move(sql), ticket,
-                             SqlServer::Clock::now()};
-  if (!server_->queue_.Push(std::move(pending))) {
+  auto token = MakeToken(now, timeout_seconds);
+  ticket->cancel_ = token;
+  if (common::failpoint::Triggered("service.queue_push")) {
     QueryReply reply;
-    reply.status = common::Status::Internal("server is shut down");
+    reply.status = common::Status::Unavailable(
+        "injected fault at fail point service.queue_push");
+    ticket->Fulfill(std::move(reply));
+    server_->CountSubmission(/*admitted=*/false);
+    return ticket;
+  }
+  SqlServer::Pending pending{std::move(sql), ticket, now, std::move(token)};
+  bool pushed;
+  if (timeout_seconds > 0.0) {
+    // Bounded backpressure: waiting for queue space counts against the
+    // statement's own deadline, so an admission that cannot happen in time
+    // is shed instead of blocking the client past it.
+    pushed = server_->queue_.PushFor(
+        std::move(pending),
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(timeout_seconds)));
+  } else {
+    pushed = server_->queue_.Push(std::move(pending));
+  }
+  if (!pushed) {
+    QueryReply reply;
+    reply.status =
+        server_->queue_.closed()
+            ? common::Status::Internal("server is shut down")
+            : common::Status::ResourceExhausted(
+                  "submission queue still full at the statement deadline");
     ticket->Fulfill(std::move(reply));
     server_->CountSubmission(/*admitted=*/false);
     return ticket;
@@ -49,9 +122,11 @@ TicketPtr SqlSession::Submit(std::string sql) {
 }
 
 TicketPtr SqlSession::TrySubmit(std::string sql) {
+  const SqlServer::Clock::time_point now = SqlServer::Clock::now();
   auto ticket = std::make_shared<Ticket>();
-  SqlServer::Pending pending{std::move(sql), ticket,
-                             SqlServer::Clock::now()};
+  auto token = MakeToken(now, server_->options_.default_timeout_seconds);
+  ticket->cancel_ = token;
+  SqlServer::Pending pending{std::move(sql), ticket, now, std::move(token)};
   if (!server_->queue_.TryPush(std::move(pending))) {
     server_->CountSubmission(/*admitted=*/false);
     return nullptr;
@@ -159,21 +234,31 @@ void SqlServer::WorkerLoop(int worker) {
     std::optional<Pending> pending = queue_.Pop();
     if (!pending.has_value()) break;  // closed and drained
     const Clock::time_point dequeued_at = Clock::now();
+    const exec::CancelToken* token = pending->cancel.get();
     QueryReply reply;
-    // A failing statement fails *that* statement only: the worker and its
-    // sibling sessions keep serving. The engine/runner report errors as
-    // Status; the catch is a backstop so even an escaped exception cannot
-    // take the drain loop (and every later ticket) down with it.
-    try {
-      reply = RunStatement(worker, &runner, &engine, pending->sql);
-    } catch (const std::exception& e) {
-      reply = QueryReply{};
-      reply.status = common::Status::Internal(
-          std::string("statement execution threw: ") + e.what());
-    } catch (...) {
-      reply = QueryReply{};
-      reply.status =
-          common::Status::Internal("statement execution threw");
+    common::Status admit =
+        token != nullptr ? token->Check() : common::Status::OK();
+    if (!admit.ok()) {
+      // The deadline expired (or the client cancelled) while the statement
+      // sat in the queue: fail it at dequeue time without charging any
+      // planning or execution work, freeing the worker for the next one.
+      reply.status = std::move(admit);
+    } else {
+      // A failing statement fails *that* statement only: the worker and its
+      // sibling sessions keep serving. The engine/runner report errors as
+      // Status; the catch is a backstop so even an escaped exception cannot
+      // take the drain loop (and every later ticket) down with it.
+      try {
+        reply = RunWithRetries(worker, &runner, &engine, pending->sql, token);
+      } catch (const std::exception& e) {
+        reply = QueryReply{};
+        reply.status = common::Status::Internal(
+            std::string("statement execution threw: ") + e.what());
+      } catch (...) {
+        reply = QueryReply{};
+        reply.status =
+            common::Status::Internal("statement execution threw");
+      }
     }
     reply.worker = worker;
     reply.queue_seconds = SecondsBetween(pending->submitted_at, dequeued_at);
@@ -227,12 +312,65 @@ SqlServer::LookupStatement(const std::string& sql, bool* hit) {
   return entry;
 }
 
+QueryReply SqlServer::RunWithRetries(int worker,
+                                     reoptimizer::QueryRunner* runner,
+                                     sql::Engine* engine,
+                                     const std::string& sql,
+                                     const exec::CancelToken* cancel) {
+  const int max_retries = options_.max_retries < 0 ? 0 : options_.max_retries;
+  QueryReply reply;
+  for (int attempt = 0;; ++attempt) {
+    reply = RunStatement(worker, runner, engine, sql, cancel);
+    reply.retry_attempts = attempt;
+    if (reply.status.ok() || !common::IsTransient(reply.status.code()) ||
+        attempt >= max_retries) {
+      return reply;
+    }
+    // Exponential backoff with deterministic jitter: seeded from the
+    // statement text and the attempt number, so replays reproduce the same
+    // schedule and concurrent workers retrying distinct statements spread
+    // out, with no shared state between them.
+    common::Rng rng(static_cast<uint64_t>(std::hash<std::string>{}(sql)) ^
+                    (0x9e3779b97f4a7c15ull *
+                     static_cast<uint64_t>(attempt + 1)));
+    double sleep_seconds = options_.retry_backoff_seconds *
+                           std::ldexp(1.0, attempt) *
+                           (0.5 + rng.UniformDouble());
+    if (cancel != nullptr && cancel->has_deadline()) {
+      // Never sleep past the statement's deadline; the re-check below turns
+      // an expiry during backoff into DeadlineExceeded immediately.
+      const double remaining =
+          std::chrono::duration<double>(cancel->deadline() - Clock::now())
+              .count();
+      if (remaining < sleep_seconds) sleep_seconds = remaining;
+    }
+    if (sleep_seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+    }
+    if (cancel != nullptr) {
+      common::Status tripped = cancel->Check();
+      if (!tripped.ok()) {
+        reply = QueryReply{};
+        reply.status = std::move(tripped);
+        reply.retry_attempts = attempt;
+        return reply;
+      }
+    }
+  }
+}
+
 QueryReply SqlServer::RunStatement(int worker,
                                    reoptimizer::QueryRunner* runner,
                                    sql::Engine* engine,
-                                   const std::string& sql) {
+                                   const std::string& sql,
+                                   const exec::CancelToken* cancel) {
   (void)worker;
   QueryReply reply;
+  if (common::failpoint::Triggered("service.worker_exec")) {
+    reply.status = common::Status::Unavailable(
+        "injected fault at fail point service.worker_exec");
+    return reply;
+  }
   bool hit = false;
   auto looked_up = LookupStatement(sql, &hit);
   if (!looked_up.ok()) {
@@ -246,7 +384,7 @@ QueryReply SqlServer::RunStatement(int worker,
     // SELECT: through the re-optimizing runner, sharing the statement's
     // QuerySession (oracle cache + round-0 plan memos) across sessions.
     auto run = runner->Run(stmt->session.get(), options_.model,
-                           options_.reopt);
+                           options_.reopt, cancel);
     if (!run.ok()) {
       reply.status = run.status();
       return reply;
@@ -256,11 +394,14 @@ QueryReply SqlServer::RunStatement(int worker,
     reply.outcome.plan_cost_units = run->plan_cost_units;
     reply.outcome.exec_cost_units = run->exec_cost_units;
     reply.outcome.num_materializations = run->num_materializations;
+    reply.outcome.degraded = run->degraded;
     return reply;
   }
 
   // CREATE TEMP TABLE ... AS SELECT: through the plain engine pipeline.
+  engine->set_cancel_token(cancel);
   auto executed = engine->ExecuteParsed(stmt->parsed);
+  engine->set_cancel_token(nullptr);  // token dies with the Pending entry
   if (!executed.ok()) {
     reply.status = executed.status();
     return reply;
@@ -277,13 +418,20 @@ void SqlServer::RecordReply(const QueryReply& reply) {
   common::MutexLock lock(&stats_mu_);
   if (reply.status.ok()) {
     ++stats_.completed;
+    if (reply.outcome.degraded) ++stats_.degraded;
     stats_.sim_plan_seconds +=
         common::CostUnitsToSeconds(reply.outcome.plan_cost_units);
     stats_.sim_exec_seconds +=
         common::CostUnitsToSeconds(reply.outcome.exec_cost_units);
   } else {
     ++stats_.failed;
+    if (reply.status.code() == common::StatusCode::kDeadlineExceeded) {
+      ++stats_.timed_out;
+    } else if (reply.status.code() == common::StatusCode::kCancelled) {
+      ++stats_.cancelled;
+    }
   }
+  stats_.retried += reply.retry_attempts;
   if (reply.cache_hit) ++stats_.cache_hits;
   stats_.wall_latency_seconds.push_back(reply.wall_seconds);
 }

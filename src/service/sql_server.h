@@ -42,6 +42,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "exec/cancel.h"
 #include "optimizer/cost_params.h"
 #include "reopt/query_runner.h"
 #include "sql/engine.h"
@@ -58,6 +59,20 @@ struct ServerOptions {
   int intra_query_threads = 1;
   /// Bounded submission-queue capacity (admission control).
   int queue_capacity = 64;
+  /// Default per-statement deadline applied by Submit/TrySubmit when the
+  /// caller passes no explicit timeout (seconds; <= 0 = none). The deadline
+  /// covers queue wait + execution and is enforced cooperatively through an
+  /// exec::CancelToken: expiry surfaces as DeadlineExceeded, never a crash,
+  /// and any temp tables/statistics the statement materialized are dropped.
+  double default_timeout_seconds = 0.0;
+  /// Bounded retry for transient failures (common::IsTransient, e.g. an
+  /// injected Unavailable): up to this many re-runs of the statement on the
+  /// same worker, with exponential backoff and deterministic jitter seeded
+  /// from the statement text, capped by the remaining deadline. 0 = fail on
+  /// the first error. DeadlineExceeded/Cancelled are never retried.
+  int max_retries = 0;
+  /// Base backoff before the first retry (doubles each further attempt).
+  double retry_backoff_seconds = 0.0005;
   optimizer::CostParams params;
   /// Cardinality model and re-optimization setting applied to every SELECT.
   /// Defaults: plain estimator, re-optimization off.
@@ -84,6 +99,9 @@ struct QueryReply {
   double queue_seconds = 0.0;
   /// True when the statement hit the shared statement cache.
   bool cache_hit = false;
+  /// Transient-failure re-runs this statement consumed (0 = first run
+  /// settled it; counted into ServerStats::retried).
+  int retry_attempts = 0;
   /// Worker that executed the statement (-1 = rejected before dispatch).
   int worker = -1;
 };
@@ -95,6 +113,15 @@ class Ticket {
   /// Blocks until the statement finishes; the reply stays valid for the
   /// ticket's lifetime.
   const QueryReply& Wait() const EXCLUDES(mu_);
+  /// Blocks until the statement finishes or `timeout_seconds` elapses.
+  /// Returns nullptr on timeout — the statement keeps running and the
+  /// ticket stays waitable; pair with Cancel() to abandon it instead.
+  const QueryReply* WaitFor(double timeout_seconds) const EXCLUDES(mu_);
+  /// Requests cooperative cancellation of the statement this ticket tracks.
+  /// Safe from any thread, idempotent, best-effort by design: a statement
+  /// that completes first simply delivers its reply; one still queued or
+  /// executing finishes early with status Cancelled (temp state dropped).
+  void Cancel();
   bool done() const EXCLUDES(mu_);
 
  private:
@@ -108,6 +135,10 @@ class Ticket {
   /// Written exactly once (before done_ flips); Wait() binds the returned
   /// reference under the lock, after which the reply is immutable.
   QueryReply reply_ GUARDED_BY(mu_);
+  /// Set once by Submit/TrySubmit before the ticket is shared, never
+  /// reassigned, so Cancel() needs no lock; shared with the Pending entry
+  /// the workers poll.
+  std::shared_ptr<exec::CancelToken> cancel_;
 };
 using TicketPtr = std::shared_ptr<Ticket>;
 
@@ -125,8 +156,17 @@ class SqlSession {
 
   /// Blocking admission: waits for queue space (backpressure). The
   /// returned ticket is always non-null; if the server is shut down the
-  /// ticket is already fulfilled with an error status.
+  /// ticket is already fulfilled with an error status. Applies the server's
+  /// default_timeout_seconds as the statement deadline.
   TicketPtr Submit(std::string sql);
+
+  /// Submit with an explicit deadline (seconds; <= 0 = none), overriding
+  /// the server default. The deadline starts now — it covers waiting for
+  /// queue space, queue residency, and execution. When the queue stays full
+  /// past the deadline the statement is shed with ResourceExhausted; when
+  /// the deadline expires in the queue or mid-execution the reply carries
+  /// DeadlineExceeded. Always returns a non-null ticket.
+  TicketPtr Submit(std::string sql, double timeout_seconds);
 
   /// Non-blocking admission: returns nullptr when the queue is full or the
   /// server is shut down (counted in ServerStats::rejected).
@@ -152,6 +192,10 @@ struct ServerStats {
   int64_t failed = 0;      // finished with an error status
   int64_t rejected = 0;    // TrySubmit shed by admission control
   int64_t cache_hits = 0;  // statement-cache hits
+  int64_t timed_out = 0;   // failed with DeadlineExceeded (subset of failed)
+  int64_t cancelled = 0;   // failed with Cancelled (subset of failed)
+  int64_t retried = 0;     // transient-failure re-runs (sum of attempts)
+  int64_t degraded = 0;    // completed under a materialization budget
   /// Simulated plan/exec time summed over completed statements.
   double sim_plan_seconds = 0.0;
   double sim_exec_seconds = 0.0;
@@ -197,6 +241,9 @@ class SqlServer {
     std::string sql;
     TicketPtr ticket;
     Clock::time_point submitted_at;
+    /// The statement's cancellation/deadline token (never null); workers
+    /// poll it at dequeue time and thread it through execution.
+    std::shared_ptr<exec::CancelToken> cancel;
   };
 
   /// One cross-session statement-cache entry: the bound spec (stable
@@ -209,8 +256,16 @@ class SqlServer {
 
   TicketPtr MakeRejectedTicket(common::Status status);
   void WorkerLoop(int worker);
+  /// RunStatement wrapped in the bounded-retry loop: transient statuses
+  /// (common::IsTransient) re-run up to options_.max_retries times with
+  /// exponential backoff x deterministic jitter, capped by the remaining
+  /// deadline; the token is re-checked after every backoff sleep.
+  QueryReply RunWithRetries(int worker, reoptimizer::QueryRunner* runner,
+                            sql::Engine* engine, const std::string& sql,
+                            const exec::CancelToken* cancel);
   QueryReply RunStatement(int worker, reoptimizer::QueryRunner* runner,
-                          sql::Engine* engine, const std::string& sql);
+                          sql::Engine* engine, const std::string& sql,
+                          const exec::CancelToken* cancel);
   /// The cached entry for `sql`, creating (and publishing) it on first use;
   /// nullptr when the statement is not cacheable (CREATE TEMP TABLE, or it
   /// references a temp table whose lifetime the cache cannot track) or not

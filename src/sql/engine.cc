@@ -64,6 +64,7 @@ common::Result<StatementOutcome> Engine::ExecuteParsed(
     intra_pool_ = std::make_unique<common::ThreadPool>(intra_query_threads_);
   }
   exec::Executor executor(catalog_, stats_catalog_, params_);
+  executor.set_cancel_token(cancel_);
   executor.set_intra_query_parallelism(
       intra_query_threads_,
       intra_query_threads_ > 1 ? intra_pool_.get() : nullptr);

@@ -20,6 +20,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/value.h"
+#include "exec/cancel.h"
 #include "optimizer/cost_params.h"
 #include "sql/parser.h"
 #include "stats/stats_catalog.h"
@@ -39,6 +40,10 @@ struct StatementOutcome {
   /// engine pipeline; the service layer fills it when it runs statements
   /// through the re-optimizing QueryRunner).
   int num_materializations = 0;
+  /// True when a re-optimization materialization budget degraded the run
+  /// (see reoptimizer::RunResult::degraded; always false for the plain
+  /// engine pipeline). Results stay exact.
+  bool degraded = false;
   /// Non-empty when the statement created a temp table.
   std::string created_table;
 };
@@ -61,6 +66,12 @@ class Engine {
   }
   int intra_query_threads() const { return intra_query_threads_; }
 
+  /// Cooperative cancellation/deadline token applied to subsequent
+  /// Execute/ExecuteParsed calls (must outlive them; nullptr detaches).
+  /// A tripped token surfaces as Cancelled / DeadlineExceeded, and a
+  /// half-written CREATE TEMP TABLE is dropped, never left behind.
+  void set_cancel_token(const exec::CancelToken* cancel) { cancel_ = cancel; }
+
   /// Full pipeline for one statement.
   common::Result<StatementOutcome> Execute(const std::string& sql,
                                            const std::string& query_name =
@@ -76,6 +87,7 @@ class Engine {
   stats::StatsCatalog* stats_catalog_;
   optimizer::CostParams params_;
   int intra_query_threads_ = 1;
+  const exec::CancelToken* cancel_ = nullptr;
   std::unique_ptr<common::ThreadPool> intra_pool_;
 };
 

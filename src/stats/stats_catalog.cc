@@ -35,6 +35,14 @@ void StatsCatalog::Remove(const std::string& table_name) {
   stats_.erase(table_name);
 }
 
+std::vector<std::string> StatsCatalog::Names() const {
+  common::MutexLock lock(&mu_);
+  std::vector<std::string> names;
+  names.reserve(stats_.size());
+  for (const auto& [name, stats] : stats_) names.push_back(name);
+  return names;
+}
+
 void StatsCatalog::BuildColumnGroupsAll(const storage::Catalog& catalog,
                                         const ColumnGroupOptions& options) {
   common::MutexLock lock(&mu_);

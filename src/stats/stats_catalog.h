@@ -14,6 +14,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/annotations.h"
 #include "common/mutex.h"
@@ -42,6 +43,10 @@ class StatsCatalog {
 
   void Set(const std::string& table_name, TableStats stats);
   void Remove(const std::string& table_name);
+
+  /// Names of all tables with stored statistics, sorted. Lets the chaos /
+  /// lifecycle suites assert that an aborted query left no stats behind.
+  std::vector<std::string> Names() const;
 
   /// Builds CORDS-style column-group statistics for every analyzed table
   /// (paper Sec. IV-B; see bench/ablation_cords). Setup-phase only.

@@ -1,0 +1,423 @@
+// The fault-injection (chaos) suite: every fail point registered in src/
+// (common/fail_point.h) is armed against the 113-query JOB-like workload
+// and must produce a clean non-OK Status — never a crash or CHECK — with
+// nothing leaked: the temp-table catalog is empty and the statistics
+// catalog is byte-identical to its baseline after every aborted query, and
+// a fault-free retry of the same query session returns results
+// byte-identical to the fault-free reference.
+//
+// The service-level cases then prove the lifecycle governance end to end:
+// transient worker faults retry to byte-identical replies, submission
+// faults shed cleanly, an expired deadline frees its worker at dequeue
+// time while sibling replies stay byte-identical, and cancellation /
+// degradation are accounted in ServerStats.
+//
+// CI runs this suite under ASan/UBSan via the `chaos` ctest label; the
+// repo lint (tools/lint.py, fail-points rule) checks that every fail point
+// name registered in src/ appears here.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fail_point.h"
+#include "common/status.h"
+#include "optimizer/knowledge_base.h"
+#include "reopt/query_runner.h"
+#include "service/sql_server.h"
+#include "sql/engine.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+
+namespace reopt {
+namespace {
+
+using testing::SmallImdb;
+
+namespace fp = common::failpoint;
+
+reoptimizer::ReoptOptions ReoptOn() {
+  reoptimizer::ReoptOptions r;
+  r.enabled = true;
+  r.qerror_threshold = 32.0;
+  return r;
+}
+
+// One query's fault-free reference result.
+struct Expected {
+  std::vector<common::Value> aggregates;
+  int64_t raw_rows = 0;
+  double plan_cost_units = 0.0;
+  double exec_cost_units = 0.0;
+  int num_materializations = 0;
+};
+
+// The workload, its per-query QuerySessions (reused across fault and retry
+// runs, the intended session usage), the fault-free reference results, and
+// the baseline statistics-catalog contents — computed once per binary.
+struct ChaosBench {
+  std::unique_ptr<workload::JobLikeWorkload> workload;
+  std::vector<std::string> sql;
+  std::vector<std::unique_ptr<reoptimizer::QuerySession>> sessions;
+  std::vector<Expected> expected;
+  std::vector<std::string> baseline_stats;
+};
+
+const ChaosBench& SharedChaosBench() {
+  static ChaosBench* bench = [] {
+    auto* wb = new ChaosBench();
+    imdb::ImdbDatabase* db = SmallImdb();
+    wb->workload = workload::BuildJobLikeWorkload(db->catalog);
+    reoptimizer::QueryRunner runner(&db->catalog, &db->stats,
+                                    optimizer::CostParams{});
+    runner.set_temp_namespace("chaos_ref");
+    for (const auto& q : wb->workload->queries) {
+      wb->sql.push_back(sql::RenderSql(*q));
+      auto session = reoptimizer::QuerySession::Create(q.get(), &db->catalog,
+                                                       &db->stats);
+      EXPECT_TRUE(session.ok()) << session.status().ToString();
+      wb->sessions.push_back(std::move(session.value()));
+      auto run = runner.Run(wb->sessions.back().get(),
+                            reoptimizer::ModelSpec::Estimator(), ReoptOn());
+      EXPECT_TRUE(run.ok()) << q->name << ": " << run.status().ToString();
+      wb->expected.push_back(Expected{run->aggregates, run->raw_rows,
+                                      run->plan_cost_units,
+                                      run->exec_cost_units,
+                                      run->num_materializations});
+    }
+    wb->baseline_stats = db->stats.Names();
+    return wb;
+  }();
+  return *bench;
+}
+
+void ExpectRunMatches(const reoptimizer::RunResult& run, const Expected& want,
+                      const std::string& name) {
+  EXPECT_EQ(run.aggregates, want.aggregates) << name;
+  EXPECT_EQ(run.raw_rows, want.raw_rows) << name;
+  EXPECT_EQ(run.plan_cost_units, want.plan_cost_units) << name;
+  EXPECT_EQ(run.exec_cost_units, want.exec_cost_units) << name;
+  EXPECT_EQ(run.num_materializations, want.num_materializations) << name;
+}
+
+void ExpectReplyMatches(const service::QueryReply& reply,
+                        const Expected& want, const std::string& name) {
+  ASSERT_TRUE(reply.status.ok()) << name << ": " << reply.status.ToString();
+  EXPECT_EQ(reply.outcome.aggregates, want.aggregates) << name;
+  EXPECT_EQ(reply.outcome.raw_rows, want.raw_rows) << name;
+  EXPECT_EQ(reply.outcome.plan_cost_units, want.plan_cost_units) << name;
+  EXPECT_EQ(reply.outcome.exec_cost_units, want.exec_cost_units) << name;
+  EXPECT_EQ(reply.outcome.num_materializations, want.num_materializations)
+      << name;
+}
+
+// Arm/disarm hygiene: each test starts and ends with an empty registry so
+// a failing test cannot poison its siblings.
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::DisarmAll(); }
+  void TearDown() override { fp::DisarmAll(); }
+};
+
+// ---- Engine-level fail-point sweep ------------------------------------------
+
+// Every fail point planted below the service layer. Armed `nth:1`, each
+// must fail the query with a clean Status on every workload query that
+// reaches it, leave no temp tables or statistics behind, and a fault-free
+// rerun of the same session must be byte-identical to the reference.
+class EngineFaultSweep : public ChaosTest,
+                         public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(EngineFaultSweep, FaultFailsCleanlyAndRetryIsByteIdentical) {
+  const char* point = GetParam();
+  const ChaosBench& wb = SharedChaosBench();
+  imdb::ImdbDatabase* db = SmallImdb();
+
+  // The knowledge base makes the kb.commit point reachable; under the
+  // estimator model a warming base never changes plans, so the reference
+  // stays valid for every point.
+  optimizer::CardinalityKnowledgeBase kb;
+  reoptimizer::QueryRunner runner(&db->catalog, &db->stats,
+                                  optimizer::CostParams{});
+  runner.set_temp_namespace("chaos");
+  runner.set_knowledge_base(&kb);
+
+  int fired = 0;
+  for (size_t qi = 0; qi < wb.sessions.size(); ++qi) {
+    const std::string& name = wb.workload->queries[qi]->name;
+    ASSERT_TRUE(fp::Arm(point, "nth:1").ok());
+    auto faulted = runner.Run(wb.sessions[qi].get(),
+                              reoptimizer::ModelSpec::Estimator(), ReoptOn());
+    const bool triggered = fp::Triggers(point) > 0;
+    fp::Disarm(point);
+
+    if (triggered) {
+      ++fired;
+      // A clean error, never a crash — and nothing left behind.
+      EXPECT_FALSE(faulted.ok()) << point << " @ " << name;
+      EXPECT_TRUE(db->catalog.TableNames(/*temp_only=*/true).empty())
+          << point << " @ " << name << " leaked a temp table";
+      EXPECT_EQ(db->stats.Names(), wb.baseline_stats)
+          << point << " @ " << name << " leaked statistics";
+      // Fault-free retry of the same session: byte-identical.
+      auto retry = runner.Run(wb.sessions[qi].get(),
+                              reoptimizer::ModelSpec::Estimator(), ReoptOn());
+      ASSERT_TRUE(retry.ok()) << point << " @ " << name << ": "
+                              << retry.status().ToString();
+      ExpectRunMatches(*retry, wb.expected[qi], name);
+    } else {
+      // The query never reached this point (e.g. it needed no
+      // materialization); its untouched run must match the reference.
+      ASSERT_TRUE(faulted.ok()) << point << " @ " << name << ": "
+                                << faulted.status().ToString();
+      ExpectRunMatches(*faulted, wb.expected[qi], name);
+    }
+  }
+  // The sweep is not vacuous: each point fires for at least one query.
+  EXPECT_GT(fired, 0) << point << " never triggered across the workload";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnginePoints, EngineFaultSweep,
+                         ::testing::Values("reopt.plan", "reopt.replan",
+                                           "reopt.materialize", "kb.commit",
+                                           "exec.temp_write", "exec.analyze"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---- Service-level fault injection ------------------------------------------
+
+// A seeded probabilistic fault on worker execution: with one worker (fixed
+// evaluation order, so the seeded draw sequence is deterministic) and
+// bounded retry, every statement must still complete with a byte-identical
+// reply, and the retry counter must show the faults were absorbed.
+TEST_F(ChaosTest, WorkerExecFaultsRetryToByteIdenticalReplies) {
+  const ChaosBench& wb = SharedChaosBench();
+  imdb::ImdbDatabase* db = SmallImdb();
+
+  ASSERT_TRUE(fp::Arm("service.worker_exec", "prob:0.25:42").ok());
+  service::ServerOptions options;
+  options.session_workers = 1;
+  options.reopt = ReoptOn();
+  options.max_retries = 8;
+  options.retry_backoff_seconds = 1e-6;  // keep the test fast
+  service::SqlServer server(&db->catalog, &db->stats, options);
+  service::SqlSession* session = server.OpenSession();
+
+  std::vector<service::TicketPtr> tickets;
+  for (const std::string& sql : wb.sql) {
+    tickets.push_back(session->Submit(sql));
+  }
+  for (size_t qi = 0; qi < tickets.size(); ++qi) {
+    ExpectReplyMatches(tickets[qi]->Wait(), wb.expected[qi],
+                       wb.workload->queries[qi]->name);
+  }
+  server.Shutdown();
+  const int64_t injected = fp::Triggers("service.worker_exec");
+  fp::DisarmAll();
+
+  service::ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(wb.sql.size()));
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_GT(stats.retried, 0);
+  EXPECT_GT(injected, 0);
+  EXPECT_TRUE(db->catalog.TableNames(/*temp_only=*/true).empty());
+}
+
+// A fault on the submission path: the first submission is shed with a
+// clean Unavailable reply (counted as rejected, never executed) and the
+// resubmission succeeds byte-identically.
+TEST_F(ChaosTest, QueuePushFaultShedsFirstSubmissionCleanly) {
+  const ChaosBench& wb = SharedChaosBench();
+  imdb::ImdbDatabase* db = SmallImdb();
+
+  ASSERT_TRUE(fp::Arm("service.queue_push", "nth:1").ok());
+  service::ServerOptions options;
+  options.session_workers = 1;
+  options.reopt = ReoptOn();
+  service::SqlServer server(&db->catalog, &db->stats, options);
+  service::SqlSession* session = server.OpenSession();
+
+  // Keep each ticket alive past Wait(): the reply reference lives inside it.
+  const service::TicketPtr shed_ticket = session->Submit(wb.sql[0]);
+  const service::QueryReply& shed = shed_ticket->Wait();
+  EXPECT_EQ(shed.status.code(), common::StatusCode::kUnavailable)
+      << shed.status.ToString();
+  EXPECT_EQ(shed.worker, -1);  // never dispatched
+
+  const service::TicketPtr retry_ticket = session->Submit(wb.sql[0]);
+  const service::QueryReply& retry = retry_ticket->Wait();
+  ExpectReplyMatches(retry, wb.expected[0], wb.workload->queries[0]->name);
+  server.Shutdown();
+
+  service::ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.completed, 1);
+}
+
+// ---- Deadlines and cancellation through the service -------------------------
+
+// A statement with an already-expired per-Submit deadline fails at dequeue
+// time with DeadlineExceeded — freeing its worker without charging any
+// execution — while sibling statements' replies stay byte-identical.
+TEST_F(ChaosTest, ExpiredDeadlineFreesWorkerAndSparesSiblings) {
+  const ChaosBench& wb = SharedChaosBench();
+  imdb::ImdbDatabase* db = SmallImdb();
+
+  service::ServerOptions options;
+  options.session_workers = 2;
+  options.reopt = ReoptOn();
+  service::SqlServer server(&db->catalog, &db->stats, options);
+  service::SqlSession* session = server.OpenSession();
+
+  service::TicketPtr before = session->Submit(wb.sql[0]);
+  service::TicketPtr doomed = session->Submit(wb.sql[1], /*timeout=*/1e-9);
+  service::TicketPtr after = session->Submit(wb.sql[2]);
+
+  EXPECT_EQ(doomed->Wait().status.code(),
+            common::StatusCode::kDeadlineExceeded)
+      << doomed->Wait().status.ToString();
+  ExpectReplyMatches(before->Wait(), wb.expected[0],
+                     wb.workload->queries[0]->name);
+  ExpectReplyMatches(after->Wait(), wb.expected[2],
+                     wb.workload->queries[2]->name);
+  server.Shutdown();
+
+  service::ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.timed_out, 1);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_TRUE(db->catalog.TableNames(/*temp_only=*/true).empty());
+}
+
+// A server-wide default timeout applies to every Submit that does not
+// override it, and an explicit per-Submit timeout of 0 opts back out.
+TEST_F(ChaosTest, DefaultTimeoutAppliesUnlessOverridden) {
+  const ChaosBench& wb = SharedChaosBench();
+  imdb::ImdbDatabase* db = SmallImdb();
+
+  service::ServerOptions options;
+  options.session_workers = 2;
+  options.queue_capacity = 256;  // admission never sheds in this test
+  options.reopt = ReoptOn();
+  options.default_timeout_seconds = 1e-9;
+  service::SqlServer server(&db->catalog, &db->stats, options);
+  service::SqlSession* session = server.OpenSession();
+
+  std::vector<service::TicketPtr> tickets;
+  for (const std::string& sql : wb.sql) {
+    tickets.push_back(session->Submit(sql));
+  }
+  for (const service::TicketPtr& t : tickets) {
+    EXPECT_EQ(t->Wait().status.code(),
+              common::StatusCode::kDeadlineExceeded)
+        << t->Wait().status.ToString();
+  }
+  // Opting out per Submit still works on the same server. The ticket must
+  // outlive the reply reference Wait() hands back.
+  const service::TicketPtr ok_ticket =
+      session->Submit(wb.sql[0], /*timeout=*/0.0);
+  const service::QueryReply& ok = ok_ticket->Wait();
+  ExpectReplyMatches(ok, wb.expected[0], wb.workload->queries[0]->name);
+  server.Shutdown();
+
+  service::ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.timed_out, static_cast<int64_t>(wb.sql.size()));
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_TRUE(db->catalog.TableNames(/*temp_only=*/true).empty());
+}
+
+// Ticket::Cancel() on in-flight statements: every reply is either complete
+// and byte-identical or cleanly Cancelled, the ServerStats accounting
+// matches the observed replies exactly, and nothing leaks.
+TEST_F(ChaosTest, CancelledTicketsSettleCleanlyAndAreAccounted) {
+  const ChaosBench& wb = SharedChaosBench();
+  imdb::ImdbDatabase* db = SmallImdb();
+
+  service::ServerOptions options;
+  options.session_workers = 1;
+  options.queue_capacity = 256;  // all statements queue immediately
+  options.reopt = ReoptOn();
+  service::SqlServer server(&db->catalog, &db->stats, options);
+  service::SqlSession* session = server.OpenSession();
+
+  std::vector<service::TicketPtr> tickets;
+  for (const std::string& sql : wb.sql) {
+    tickets.push_back(session->Submit(sql));
+  }
+  for (const service::TicketPtr& t : tickets) t->Cancel();
+
+  int64_t completed = 0;
+  int64_t cancelled = 0;
+  for (size_t qi = 0; qi < tickets.size(); ++qi) {
+    const service::QueryReply& reply = tickets[qi]->Wait();
+    if (reply.status.ok()) {
+      ++completed;
+      ExpectReplyMatches(reply, wb.expected[qi],
+                         wb.workload->queries[qi]->name);
+    } else {
+      ++cancelled;
+      EXPECT_EQ(reply.status.code(), common::StatusCode::kCancelled)
+          << reply.status.ToString();
+    }
+  }
+  server.Shutdown();
+
+  // The single worker cannot outrun the submit+cancel loop across all 113
+  // statements, so some cancellations always land.
+  EXPECT_GT(cancelled, 0);
+  service::ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.completed, completed);
+  EXPECT_EQ(stats.cancelled, cancelled);
+  EXPECT_EQ(stats.failed, cancelled);
+  EXPECT_TRUE(db->catalog.TableNames(/*temp_only=*/true).empty());
+}
+
+// A materialization budget degrades gracefully through the service: the
+// reply is still OK with exact results, flagged degraded and counted.
+TEST_F(ChaosTest, MaterializationBudgetDegradesGracefullyThroughService) {
+  const ChaosBench& wb = SharedChaosBench();
+  imdb::ImdbDatabase* db = SmallImdb();
+
+  // A query the re-optimizer revisits at least twice: the budget below
+  // admits the first materialization and suppresses the rest.
+  size_t target = wb.expected.size();
+  for (size_t qi = 0; qi < wb.expected.size(); ++qi) {
+    if (wb.expected[qi].num_materializations >= 2) {
+      target = qi;
+      break;
+    }
+  }
+  if (target == wb.expected.size()) {
+    GTEST_SKIP() << "no workload query materializes twice at this scale";
+  }
+
+  service::ServerOptions options;
+  options.session_workers = 1;
+  options.reopt = ReoptOn();
+  options.reopt.max_materialized_rows = 1;
+  service::SqlServer server(&db->catalog, &db->stats, options);
+
+  const service::TicketPtr ticket =
+      server.OpenSession()->Submit(wb.sql[target]);
+  const service::QueryReply& reply = ticket->Wait();
+  ASSERT_TRUE(reply.status.ok()) << reply.status.ToString();
+  EXPECT_TRUE(reply.outcome.degraded);
+  // Degradation changes the plan, never the answer.
+  EXPECT_EQ(reply.outcome.aggregates, wb.expected[target].aggregates);
+  EXPECT_EQ(reply.outcome.raw_rows, wb.expected[target].raw_rows);
+  EXPECT_LT(reply.outcome.num_materializations,
+            wb.expected[target].num_materializations);
+  server.Shutdown();
+
+  service::ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.degraded, 1);
+}
+
+}  // namespace
+}  // namespace reopt

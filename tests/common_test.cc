@@ -4,7 +4,9 @@
 #include <set>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "common/fail_point.h"
 #include "common/rng.h"
 #include "common/scope_guard.h"
 #include "common/sim_time.h"
@@ -463,6 +465,115 @@ TEST(StatusMacroTest, TwoAssignsInOneScopeCompileAndCompose) {
   Result<int> failed = TwoAssignsInOneScope(true);
   ASSERT_FALSE(failed.ok());
   EXPECT_EQ(failed.status().code(), StatusCode::kOutOfRange);
+}
+
+// ---- Lifecycle status codes -------------------------------------------------
+
+TEST(StatusTest, LifecycleCodesNameAndClassify) {
+  EXPECT_EQ(Status::Cancelled("c").ToString(), "Cancelled: c");
+  EXPECT_EQ(Status::DeadlineExceeded("d").ToString(), "DeadlineExceeded: d");
+  EXPECT_EQ(Status::ResourceExhausted("r").ToString(),
+            "ResourceExhausted: r");
+  EXPECT_EQ(Status::Unavailable("u").ToString(), "Unavailable: u");
+  // Only Unavailable is transient: a deadline or a cancellation is a
+  // deliberate outcome that retrying would defeat.
+  EXPECT_TRUE(IsTransient(StatusCode::kUnavailable));
+  EXPECT_FALSE(IsTransient(StatusCode::kCancelled));
+  EXPECT_FALSE(IsTransient(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsTransient(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsTransient(StatusCode::kInternal));
+}
+
+// ---- Fail points (common/fail_point.h) --------------------------------------
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::DisarmAll(); }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(FailPointTest, DisarmedRegistryNeverTriggers) {
+  EXPECT_EQ(failpoint::ActiveCount(), 0);
+  EXPECT_FALSE(failpoint::Triggered("common_test.none"));
+  EXPECT_EQ(failpoint::Hits("common_test.none"), 0);
+  EXPECT_TRUE(failpoint::ArmedNames().empty());
+}
+
+TEST_F(FailPointTest, AlwaysOnceAndNthSemantics) {
+  ASSERT_TRUE(failpoint::Arm("common_test.p", "always").ok());
+  EXPECT_TRUE(failpoint::Triggered("common_test.p"));
+  EXPECT_TRUE(failpoint::Triggered("common_test.p"));
+  EXPECT_EQ(failpoint::Hits("common_test.p"), 2);
+  EXPECT_EQ(failpoint::Triggers("common_test.p"), 2);
+
+  ASSERT_TRUE(failpoint::Arm("common_test.p", "once").ok());  // re-arm resets
+  EXPECT_TRUE(failpoint::Triggered("common_test.p"));
+  EXPECT_FALSE(failpoint::Triggered("common_test.p"));
+  EXPECT_EQ(failpoint::Triggers("common_test.p"), 1);
+
+  ASSERT_TRUE(failpoint::Arm("common_test.p", "nth:3").ok());
+  EXPECT_FALSE(failpoint::Triggered("common_test.p"));
+  EXPECT_FALSE(failpoint::Triggered("common_test.p"));
+  EXPECT_TRUE(failpoint::Triggered("common_test.p"));   // exactly the 3rd hit
+  EXPECT_FALSE(failpoint::Triggered("common_test.p"));  // and never again
+}
+
+TEST_F(FailPointTest, ProbabilityIsSeededAndDeterministic) {
+  ASSERT_TRUE(failpoint::Arm("common_test.p", "prob:1.0:7").ok());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(failpoint::Triggered("common_test.p"));
+  }
+  ASSERT_TRUE(failpoint::Arm("common_test.p", "prob:0.0:7").ok());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(failpoint::Triggered("common_test.p"));
+  }
+  // A fractional probability replays identically under the same seed.
+  std::vector<bool> first, second;
+  ASSERT_TRUE(failpoint::Arm("common_test.p", "prob:0.5:11").ok());
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(failpoint::Triggered("common_test.p"));
+  }
+  ASSERT_TRUE(failpoint::Arm("common_test.p", "prob:0.5:11").ok());
+  for (int i = 0; i < 64; ++i) {
+    second.push_back(failpoint::Triggered("common_test.p"));
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(FailPointTest, ArmOffDisarmsAndDisarmAllClears) {
+  ASSERT_TRUE(failpoint::Arm("common_test.a", "always").ok());
+  ASSERT_TRUE(failpoint::Arm("common_test.b", "always").ok());
+  EXPECT_EQ(failpoint::ArmedNames().size(), 2u);
+  ASSERT_TRUE(failpoint::Arm("common_test.a", "off").ok());
+  EXPECT_FALSE(failpoint::Triggered("common_test.a"));
+  EXPECT_EQ(failpoint::ArmedNames().size(), 1u);
+  failpoint::DisarmAll();
+  EXPECT_EQ(failpoint::ActiveCount(), 0);
+  EXPECT_FALSE(failpoint::Triggered("common_test.b"));
+}
+
+TEST_F(FailPointTest, SpecListArmsManyAndBadSpecsAreRejected) {
+  ASSERT_TRUE(
+      failpoint::ArmFromSpecList("common_test.a=once,common_test.b=nth:2")
+          .ok());
+  EXPECT_EQ(failpoint::ArmedNames().size(), 2u);
+  EXPECT_EQ(failpoint::Arm("common_test.c", "nonsense").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(failpoint::Arm("common_test.c", "nth:0").ok());
+  EXPECT_FALSE(failpoint::Arm("common_test.c", "prob:1.5:3").ok());
+  EXPECT_FALSE(failpoint::Arm("common_test.c", "prob:abc:3").ok());
+  EXPECT_FALSE(failpoint::ArmFromSpecList("no-equals-sign").ok());
+}
+
+TEST_F(FailPointTest, InjectFaultMacroReturnsUnavailable) {
+  ASSERT_TRUE(failpoint::Arm("common_test.macro", "once").ok());
+  auto body = []() -> Status {
+    REOPT_INJECT_FAULT("common_test.macro");
+    return Status::OK();
+  };
+  Status first = body();
+  EXPECT_EQ(first.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(body().ok());  // `once` is spent
 }
 
 }  // namespace

@@ -1,0 +1,349 @@
+// Query-lifecycle governance unit and regression suite:
+//
+//  * exec::CancelToken semantics — cancellation, deadlines, precedence.
+//  * Kernel truncation contract: a tripped token makes the vectorized and
+//    reference kernels stop at a batch boundary and return truncated
+//    results, which the Executor then converts to a clean error before
+//    anything escapes.
+//  * Abort-path hygiene (the catalog-empty-after-failure regression
+//    suite): every early return out of sql::Engine and
+//    reoptimizer::QueryRunner — injected faults, pre-cancelled tokens,
+//    expired deadlines — must leave no temp table and no statistics
+//    behind, and an immediate fault-free retry of the same statement must
+//    succeed (proving the name was not leaked either).
+//  * Graceful degradation: row- and byte-based materialization budgets
+//    stop re-optimization without failing the query; answers stay exact.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fail_point.h"
+#include "common/status.h"
+#include "exec/cancel.h"
+#include "exec/kernel.h"
+#include "exec/kernel_reference.h"
+#include "reopt/query_runner.h"
+#include "sql/engine.h"
+#include "tests/test_util.h"
+#include "workload/job_like.h"
+
+namespace reopt {
+namespace {
+
+using testing::SmallImdb;
+
+namespace fp = common::failpoint;
+
+reoptimizer::ReoptOptions ReoptOn() {
+  reoptimizer::ReoptOptions r;
+  r.enabled = true;
+  r.qerror_threshold = 32.0;
+  return r;
+}
+
+// ---- CancelToken ------------------------------------------------------------
+
+TEST(CancelTokenTest, DefaultTokenNeverStops) {
+  exec::CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_FALSE(exec::ShouldStop(nullptr));  // nullptr-tolerant helper
+}
+
+TEST(CancelTokenTest, CancelTripsAndReportsCancelled) {
+  exec::CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_EQ(token.Check().code(), common::StatusCode::kCancelled);
+  EXPECT_TRUE(exec::ShouldStop(&token));
+}
+
+TEST(CancelTokenTest, FutureDeadlinePassesExpiredDeadlineTrips) {
+  exec::CancelToken future;
+  future.set_deadline(exec::CancelToken::Clock::now() +
+                      std::chrono::hours(1));
+  EXPECT_FALSE(future.ShouldStop());
+  EXPECT_TRUE(future.Check().ok());
+
+  exec::CancelToken expired;
+  expired.set_deadline(exec::CancelToken::Clock::now() -
+                       std::chrono::milliseconds(1));
+  EXPECT_TRUE(expired.ShouldStop());
+  EXPECT_EQ(expired.Check().code(), common::StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, CancellationTakesPrecedenceOverDeadline) {
+  exec::CancelToken token;
+  token.set_deadline(exec::CancelToken::Clock::now() -
+                     std::chrono::milliseconds(1));
+  token.Cancel();
+  EXPECT_EQ(token.Check().code(), common::StatusCode::kCancelled);
+}
+
+// ---- Kernel truncation contract ---------------------------------------------
+
+// A pre-tripped token makes both kernel implementations stop at the first
+// batch boundary: the truncated result is empty, and it is the Executor's
+// top-level re-check (tested below through the engine) that turns it into
+// an error before it can escape.
+TEST(KernelCancelTest, TrippedTokenTruncatesBothFilterScanKernels) {
+  const storage::Table* t = SmallImdb()->catalog.FindTable("keyword");
+  ASSERT_NE(t, nullptr);
+  ASSERT_GT(t->num_rows(), 0);
+
+  exec::CancelToken token;
+  token.Cancel();
+  EXPECT_TRUE(exec::FilterScan(*t, {}, &token).empty());
+  EXPECT_TRUE(exec::reference::FilterScan(*t, {}, &token).empty());
+  // Untripped, both still produce the full scan.
+  exec::CancelToken idle;
+  EXPECT_EQ(static_cast<int64_t>(exec::FilterScan(*t, {}, &idle).size()),
+            t->num_rows());
+  EXPECT_EQ(
+      static_cast<int64_t>(exec::reference::FilterScan(*t, {}, &idle).size()),
+      t->num_rows());
+}
+
+// ---- Engine abort paths -----------------------------------------------------
+
+constexpr char kSelectSql[] =
+    "SELECT MIN(k.id) FROM keyword AS k WHERE k.id > 100;";
+constexpr char kCreateSql[] =
+    "CREATE TEMP TABLE lc_probe AS SELECT k.id FROM keyword AS k "
+    "WHERE k.id > 100;";
+
+TEST(EngineLifecycleTest, PreCancelledTokenFailsSelectCleanly) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  sql::Engine engine(&db->catalog, &db->stats);
+  exec::CancelToken token;
+  token.Cancel();
+  engine.set_cancel_token(&token);
+  auto out = engine.Execute(kSelectSql);
+  EXPECT_EQ(out.status().code(), common::StatusCode::kCancelled);
+  // Detached, the same engine serves the same statement.
+  engine.set_cancel_token(nullptr);
+  EXPECT_TRUE(engine.Execute(kSelectSql).ok());
+}
+
+TEST(EngineLifecycleTest, ExpiredDeadlineFailsSelectCleanly) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  sql::Engine engine(&db->catalog, &db->stats);
+  exec::CancelToken token;
+  token.set_deadline(exec::CancelToken::Clock::now() -
+                     std::chrono::milliseconds(1));
+  engine.set_cancel_token(&token);
+  auto out = engine.Execute(kSelectSql);
+  EXPECT_EQ(out.status().code(), common::StatusCode::kDeadlineExceeded);
+}
+
+// The catalog-empty-after-failure regression: a CREATE TEMP TABLE aborted
+// by a fault *after* the table exists (exec.analyze fires between the
+// column writes and the stats commit) must drop the half-written table and
+// its statistics, and the retry must not see an AlreadyExists collision —
+// the proof that the name was not leaked.
+class EngineAbortSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override { fp::DisarmAll(); }
+  void TearDown() override { fp::DisarmAll(); }
+};
+
+TEST_P(EngineAbortSweep, AbortedCreateLeavesNoTraceAndRetrySucceeds) {
+  const char* point = GetParam();
+  imdb::ImdbDatabase* db = SmallImdb();
+  const std::vector<std::string> baseline_stats = db->stats.Names();
+  sql::Engine engine(&db->catalog, &db->stats);
+
+  ASSERT_TRUE(fp::Arm(point, "nth:1").ok());
+  auto faulted = engine.Execute(kCreateSql);
+  ASSERT_GT(fp::Triggers(point), 0) << point;
+  fp::Disarm(point);
+  EXPECT_FALSE(faulted.ok()) << point;
+  EXPECT_EQ(db->catalog.FindTable("lc_probe"), nullptr)
+      << point << " leaked the temp table";
+  EXPECT_TRUE(db->catalog.TableNames(/*temp_only=*/true).empty());
+  EXPECT_EQ(db->stats.Names(), baseline_stats)
+      << point << " leaked statistics";
+
+  // Fault-free retry: no AlreadyExists, the table and stats materialize.
+  auto retry = engine.Execute(kCreateSql);
+  ASSERT_TRUE(retry.ok()) << point << ": " << retry.status().ToString();
+  EXPECT_NE(db->catalog.FindTable("lc_probe"), nullptr);
+  EXPECT_NE(db->stats.Find("lc_probe"), nullptr);
+
+  // Leave the shared database as we found it.
+  EXPECT_TRUE(db->catalog.DropTable("lc_probe").ok());
+  db->stats.Remove("lc_probe");
+}
+
+INSTANTIATE_TEST_SUITE_P(CreateAbortPoints, EngineAbortSweep,
+                         ::testing::Values("exec.temp_write", "exec.analyze"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string n = i.param;
+                           for (char& c : n) {
+                             if (c == '.') c = '_';
+                           }
+                           return n;
+                         });
+
+// A cancelled CREATE TEMP TABLE (token trips during the column writes)
+// takes the same cleanup path.
+TEST(EngineLifecycleTest, CancelledCreateLeavesNoTrace) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  const std::vector<std::string> baseline_stats = db->stats.Names();
+  sql::Engine engine(&db->catalog, &db->stats);
+  exec::CancelToken token;
+  token.Cancel();
+  engine.set_cancel_token(&token);
+  auto out = engine.Execute(kCreateSql);
+  EXPECT_EQ(out.status().code(), common::StatusCode::kCancelled);
+  EXPECT_EQ(db->catalog.FindTable("lc_probe"), nullptr);
+  EXPECT_EQ(db->stats.Names(), baseline_stats);
+}
+
+// ---- QueryRunner abort paths ------------------------------------------------
+
+TEST(RunnerLifecycleTest, TrippedTokensFailAtRoundBoundaryWithNoLeaks) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto workload = workload::BuildJobLikeWorkload(db->catalog);
+  const std::vector<std::string> baseline_stats = db->stats.Names();
+  reoptimizer::QueryRunner runner(&db->catalog, &db->stats,
+                                  optimizer::CostParams{});
+  runner.set_temp_namespace("lc");
+  auto session = reoptimizer::QuerySession::Create(
+      workload->queries[0].get(), &db->catalog, &db->stats);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  exec::CancelToken cancelled;
+  cancelled.Cancel();
+  auto run = runner.Run(session->get(), reoptimizer::ModelSpec::Estimator(),
+                        ReoptOn(), &cancelled);
+  EXPECT_EQ(run.status().code(), common::StatusCode::kCancelled);
+
+  exec::CancelToken expired;
+  expired.set_deadline(exec::CancelToken::Clock::now() -
+                       std::chrono::milliseconds(1));
+  run = runner.Run(session->get(), reoptimizer::ModelSpec::Estimator(),
+                   ReoptOn(), &expired);
+  EXPECT_EQ(run.status().code(), common::StatusCode::kDeadlineExceeded);
+
+  EXPECT_TRUE(db->catalog.TableNames(/*temp_only=*/true).empty());
+  EXPECT_EQ(db->stats.Names(), baseline_stats);
+
+  // The same session runs fault-free afterwards.
+  EXPECT_TRUE(runner
+                  .Run(session->get(), reoptimizer::ModelSpec::Estimator(),
+                       ReoptOn())
+                  .ok());
+}
+
+// ---- Materialization budgets ------------------------------------------------
+
+// Finds a workload query the re-optimizer materializes at least twice with
+// a non-empty first materialization, runs it fault-free for reference,
+// then reruns it under a budget sized so the first materialization
+// exhausts it. The budgeted run must degrade gracefully: OK status, exact
+// answer, strictly fewer materializations, degraded flagged.
+class BudgetTest : public ::testing::Test {
+ protected:
+  struct Target {
+    std::unique_ptr<workload::JobLikeWorkload> workload;
+    std::unique_ptr<reoptimizer::QuerySession> session;
+    reoptimizer::RunResult reference;
+    int64_t first_mat_rows = 0;
+  };
+
+  static Target FindTarget() {
+    Target target;
+    imdb::ImdbDatabase* db = SmallImdb();
+    target.workload = workload::BuildJobLikeWorkload(db->catalog);
+    reoptimizer::QueryRunner runner(&db->catalog, &db->stats,
+                                    optimizer::CostParams{});
+    runner.set_temp_namespace("lc_budget");
+    for (const auto& q : target.workload->queries) {
+      auto session = reoptimizer::QuerySession::Create(q.get(), &db->catalog,
+                                                       &db->stats);
+      EXPECT_TRUE(session.ok()) << session.status().ToString();
+      auto run = runner.Run(session->get(),
+                            reoptimizer::ModelSpec::Estimator(), ReoptOn());
+      EXPECT_TRUE(run.ok()) << q->name << ": " << run.status().ToString();
+      if (run->num_materializations < 2) continue;
+      const int64_t first_rows =
+          static_cast<int64_t>(run->rounds.front().true_rows);
+      if (first_rows < 1) continue;
+      target.session = std::move(session.value());
+      target.reference = std::move(run.value());
+      target.first_mat_rows = first_rows;
+      return target;
+    }
+    return target;  // session == nullptr: no suitable query at this scale
+  }
+
+  static void ExpectDegraded(const reoptimizer::RunResult& run,
+                             const reoptimizer::RunResult& reference) {
+    EXPECT_TRUE(run.degraded);
+    EXPECT_EQ(run.aggregates, reference.aggregates);
+    EXPECT_EQ(run.raw_rows, reference.raw_rows);
+    EXPECT_LT(run.num_materializations, reference.num_materializations);
+    EXPECT_GT(run.materialized_rows, 0);
+  }
+};
+
+TEST_F(BudgetTest, RowBudgetDegradesGracefully) {
+  Target target = FindTarget();
+  if (target.session == nullptr) {
+    GTEST_SKIP() << "no workload query materializes twice at this scale";
+  }
+  imdb::ImdbDatabase* db = SmallImdb();
+  reoptimizer::QueryRunner runner(&db->catalog, &db->stats,
+                                  optimizer::CostParams{});
+  runner.set_temp_namespace("lc_budget");
+  reoptimizer::ReoptOptions budgeted = ReoptOn();
+  budgeted.max_materialized_rows = target.first_mat_rows;
+  auto run = runner.Run(target.session.get(),
+                        reoptimizer::ModelSpec::Estimator(), budgeted);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExpectDegraded(*run, target.reference);
+  EXPECT_GE(run->materialized_rows, budgeted.max_materialized_rows);
+}
+
+TEST_F(BudgetTest, ByteBudgetDegradesGracefully) {
+  Target target = FindTarget();
+  if (target.session == nullptr) {
+    GTEST_SKIP() << "no workload query materializes twice at this scale";
+  }
+  imdb::ImdbDatabase* db = SmallImdb();
+  reoptimizer::QueryRunner runner(&db->catalog, &db->stats,
+                                  optimizer::CostParams{});
+  runner.set_temp_namespace("lc_budget");
+  reoptimizer::ReoptOptions budgeted = ReoptOn();
+  budgeted.max_materialized_bytes = 1;  // any non-empty materialization
+  auto run = runner.Run(target.session.get(),
+                        reoptimizer::ModelSpec::Estimator(), budgeted);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ExpectDegraded(*run, target.reference);
+  EXPECT_GT(run->materialized_bytes, budgeted.max_materialized_bytes);
+}
+
+// An unlimited budget (the default 0) never degrades.
+TEST_F(BudgetTest, UnlimitedBudgetNeverDegrades) {
+  imdb::ImdbDatabase* db = SmallImdb();
+  auto workload = workload::BuildJobLikeWorkload(db->catalog);
+  reoptimizer::QueryRunner runner(&db->catalog, &db->stats,
+                                  optimizer::CostParams{});
+  runner.set_temp_namespace("lc_budget");
+  auto session = reoptimizer::QuerySession::Create(
+      workload->queries[0].get(), &db->catalog, &db->stats);
+  ASSERT_TRUE(session.ok());
+  auto run = runner.Run(session->get(), reoptimizer::ModelSpec::Estimator(),
+                        ReoptOn());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(run->degraded);
+}
+
+}  // namespace
+}  // namespace reopt

@@ -370,5 +370,75 @@ TEST(ServiceLifecycleTest, DependentStatementsAndShutdownCleanup) {
             nullptr);
 }
 
+// ---- Timed waits, cancellation, lifecycle counters --------------------------
+
+TEST(ServiceLifecycleTest, WaitForTimesOutOnUnfulfilledTicket) {
+  Ticket ticket;
+  EXPECT_EQ(ticket.WaitFor(0.0), nullptr);
+  EXPECT_EQ(ticket.WaitFor(0.01), nullptr);
+  EXPECT_FALSE(ticket.done());
+}
+
+TEST(ServiceLifecycleTest, WaitForDeliversTheSameReplyAsWait) {
+  const Workbench& wb = SharedWorkbench();
+  imdb::ImdbDatabase* db = SmallImdb();
+  ServerOptions options;
+  options.session_workers = 1;
+  options.reopt = ReoptOn();
+  SqlServer server(&db->catalog, &db->stats, options);
+  TicketPtr ticket = server.OpenSession()->Submit(wb.sql[0]);
+  const QueryReply& reply = ticket->Wait();
+  ExpectReplyMatches(reply, wb.expected[0], wb.names[0]);
+  // A completed ticket answers WaitFor instantly, even at zero timeout,
+  // with the same stable reply address.
+  EXPECT_EQ(ticket->WaitFor(0.0), &reply);
+  server.Shutdown();
+}
+
+TEST(ServiceLifecycleTest, CancelAfterCompletionIsANoOp) {
+  const Workbench& wb = SharedWorkbench();
+  imdb::ImdbDatabase* db = SmallImdb();
+  ServerOptions options;
+  options.session_workers = 1;
+  options.reopt = ReoptOn();
+  SqlServer server(&db->catalog, &db->stats, options);
+  TicketPtr ticket = server.OpenSession()->Submit(wb.sql[0]);
+  const QueryReply& reply = ticket->Wait();
+  ticket->Cancel();  // best-effort: the statement already completed
+  ExpectReplyMatches(reply, wb.expected[0], wb.names[0]);
+  server.Shutdown();
+  EXPECT_EQ(server.Snapshot().cancelled, 0);
+}
+
+TEST(ServiceLifecycleTest, LifecycleCountersAccountExactly) {
+  const Workbench& wb = SharedWorkbench();
+  imdb::ImdbDatabase* db = SmallImdb();
+  ServerOptions options;
+  options.session_workers = 1;
+  options.reopt = ReoptOn();
+  SqlServer server(&db->catalog, &db->stats, options);
+  SqlSession* session = server.OpenSession();
+
+  // An already-expired per-Submit deadline fails fast with
+  // DeadlineExceeded (never executed, worker freed)...
+  TicketPtr timed_out = session->Submit(wb.sql[0], /*timeout=*/1e-9);
+  EXPECT_EQ(timed_out->Wait().status.code(),
+            common::StatusCode::kDeadlineExceeded)
+      << timed_out->Wait().status.ToString();
+  // ...and the next statement on the same server still completes.
+  ExpectReplyMatches(session->Submit(wb.sql[0])->Wait(), wb.expected[0],
+                     wb.names[0]);
+  server.Shutdown();
+
+  ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.submitted, 2);
+  EXPECT_EQ(stats.completed, 1);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.timed_out, 1);
+  EXPECT_EQ(stats.cancelled, 0);
+  EXPECT_EQ(stats.retried, 0);
+  EXPECT_EQ(stats.degraded, 0);
+}
+
 }  // namespace
 }  // namespace reopt::service

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -482,6 +484,78 @@ TEST(BoundedQueueTest, ManyProducersManyConsumersDeliverEverythingOnce) {
   constexpr int kTotal = kProducers * kPerProducer;
   EXPECT_EQ(popped.load(), kTotal);
   EXPECT_EQ(sum.load(), int64_t{kTotal} * (kTotal - 1) / 2);
+}
+
+// ---- Timed waits (CondVar::WaitFor, PushFor/PopFor) ------------------------
+// The primitives under the service layer's deadlines: Ticket::WaitFor and
+// Submit's bounded admission are built on exactly these.
+
+TEST(CondVarTest, WaitForTimesOutWithoutANotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(&mu);
+  EXPECT_FALSE(cv.WaitFor(&mu, std::chrono::milliseconds(5)));
+}
+
+TEST(CondVarTest, WaitForWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // guarded by mu (by discipline, as above)
+  std::thread notifier([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      MutexLock lock(&mu);
+      ready = true;
+    }
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&mu);
+    // Spurious wakeups are allowed, so loop on the predicate; the generous
+    // timeout only bounds a lost-notify bug.
+    while (!ready) {
+      (void)cv.WaitFor(&mu, std::chrono::seconds(60));
+    }
+    EXPECT_TRUE(ready);
+  }
+  notifier.join();
+}
+
+TEST(BoundedQueueTest, PushForTimesOutWhenFullThenSucceedsAfterADrain) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_FALSE(q.PushFor(2, std::chrono::milliseconds(5)));  // full: timeout
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(*q.Pop(), 1);
+  });
+  EXPECT_TRUE(q.PushFor(2, std::chrono::seconds(60)));
+  consumer.join();
+  EXPECT_EQ(*q.Pop(), 2);
+}
+
+TEST(BoundedQueueTest, PopForTimesOutOnEmptyThenReturnsAPushedItem) {
+  BoundedQueue<int> q(4);
+  EXPECT_FALSE(q.PopFor(std::chrono::milliseconds(5)).has_value());
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(q.Push(7));
+  });
+  std::optional<int> item = q.PopFor(std::chrono::seconds(60));
+  producer.join();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 7);
+}
+
+TEST(BoundedQueueTest, TimedOperationsRespectClose) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.Push(1));
+  q.Close();
+  // Closed: PushFor fails immediately instead of waiting out the timeout,
+  // PopFor still drains the accepted item, then reports empty.
+  EXPECT_FALSE(q.PushFor(2, std::chrono::seconds(60)));
+  EXPECT_EQ(*q.PopFor(std::chrono::seconds(60)), 1);
+  EXPECT_FALSE(q.PopFor(std::chrono::milliseconds(5)).has_value());
 }
 
 TEST(MorselRangesTest, SmallAlignmentAndSingleChunk) {

@@ -27,6 +27,14 @@ Checks (each one a named rule; violations print as file:line: [rule] msg):
                      / kernel_edge_test.cc / kernel_fuzz_test.cc), so no
                      fast path can exist without a differential oracle.
 
+  fail-points        Every fail point planted under src/ (via
+                     REOPT_INJECT_FAULT("name") or
+                     failpoint::Triggered("name")) is exercised by at least
+                     one chaos test (tests/chaos_test.cc /
+                     tests/lifecycle_test.cc), so no fault-injection site
+                     can exist without a test proving the engine survives
+                     it cleanly.
+
   model-kinds        Every ModelSpec::Kind enumerator in
                      src/reopt/query_runner.h appears in the model-sweep
                      differential suite (tests/planner_differential_test.cc),
@@ -187,6 +195,45 @@ KERNEL_ENTRY_POINTS = {
 
 
 # --------------------------------------------------------------------------
+# Rule: fail-points
+# --------------------------------------------------------------------------
+
+FAIL_POINT_PLANT_RE = re.compile(
+    r'(?:REOPT_INJECT_FAULT|failpoint::Triggered)\s*\(\s*"([^"]+)"')
+
+
+def check_fail_points_have_chaos_tests() -> None:
+    chaos_tests = [REPO / "tests" / name
+                   for name in ("chaos_test.cc", "lifecycle_test.cc")]
+    for required in chaos_tests:
+        if not required.exists():
+            errors.append(f"fail-points: missing {required}")
+            return
+    chaos_src = "\n".join(t.read_text() for t in chaos_tests)
+    planted: dict[str, tuple[Path, int]] = {}
+    for path in sorted((REPO / "src").rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        if path.name.startswith("fail_point."):
+            continue  # the registry itself, not a planted point
+        for lineno, line in enumerate(read_lines(path), 1):
+            for name in FAIL_POINT_PLANT_RE.findall(strip_comment(line)):
+                planted.setdefault(name, (path, lineno))
+    if not planted:
+        errors.append("fail-points: no planted fail points found under src/ "
+                      "— the plant regex is stale")
+        return
+    for name in sorted(planted):
+        if f'"{name}"' not in chaos_src:
+            path, lineno = planted[name]
+            violate(
+                path, lineno, "fail-points",
+                f"fail point '{name}' is not exercised by any chaos test "
+                "(tests/chaos_test.cc / tests/lifecycle_test.cc) — arm it "
+                "in a test that proves the abort path is clean")
+
+
+# --------------------------------------------------------------------------
 # Rule: model-kinds
 # --------------------------------------------------------------------------
 
@@ -245,6 +292,7 @@ def main() -> int:
     check_naked_mutex()
     check_no_check_on_input_paths()
     check_kernel_reference_twins()
+    check_fail_points_have_chaos_tests()
     check_model_kinds_differential()
     if errors:
         for e in errors:
