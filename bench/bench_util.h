@@ -1,6 +1,8 @@
 // Shared benchmark environment: one synthetic IMDB database + the
 // 113-query workload + a session-caching runner. Scale is configurable via
-// REOPT_BENCH_SCALE (default 0.4) so the full suite stays laptop-friendly;
+// --scale=N (precedence) or REOPT_BENCH_SCALE (default 0.4) so the full
+// suite stays laptop-friendly; perf_smoke additionally accepts a
+// comma-separated --scale sweep (rows tagged name@s<scale>);
 // shapes, not absolute numbers, are the reproduction target (docs/ARCHITECTURE.md).
 //
 // Parallelism: every driver accepts --threads=N (or REOPT_BENCH_THREADS);
@@ -23,6 +25,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "imdb/imdb.h"
@@ -42,6 +45,8 @@ struct BenchEnv {
   /// Morsel workers per executing query (--intra-threads; default 1).
   /// Already applied to `runner` via set_intra_query_threads.
   int intra_threads = 1;
+  /// Database scale the env was generated at (--scale / REOPT_BENCH_SCALE).
+  double scale = 0.4;
 };
 
 /// Strictly parses one floating-point knob: full-string numeric, finite,
@@ -129,13 +134,50 @@ inline std::string BenchFlagString(int argc, char** argv, const char* flag,
   return value == nullptr ? fallback : std::string(value);
 }
 
-/// Database scale from REOPT_BENCH_SCALE (default 0.4). Strictly validated:
-/// garbage, non-positive and implausibly large values error to stderr and
-/// fall back to the default instead of being silently coerced by atof.
-inline double BenchScale() {
+/// Database scale from --scale=<v> (precedence) or REOPT_BENCH_SCALE
+/// (default 0.4). Strictly validated: garbage, non-positive and implausibly
+/// large values error to stderr and fall back to the default instead of
+/// being silently coerced by atof.
+inline double BenchScale(int argc = 0, char** argv = nullptr) {
+  const char* flag =
+      argv == nullptr ? nullptr : BenchFlagValue(argc, argv, "--scale");
+  if (flag != nullptr) {
+    return ParseDoubleValue(flag, "--scale", 1e-3, 100.0, 0.4);
+  }
   const char* env = std::getenv("REOPT_BENCH_SCALE");
   if (env == nullptr || env[0] == '\0') return 0.4;
   return ParseDoubleValue(env, "REOPT_BENCH_SCALE", 1e-3, 100.0, 0.4);
+}
+
+/// Parses a comma-separated scale sweep ("1", "0.1,1,10"). Each element is
+/// strictly validated like a single --scale; invalid elements are dropped
+/// with a stderr error rather than silently misread, so "1,junk,10" sweeps
+/// {1, 10}. An entirely invalid list comes back empty — callers fall back
+/// to their single-scale default.
+inline std::vector<double> ParseScaleList(const char* s) {
+  std::vector<double> scales;
+  const std::string str(s);
+  size_t start = 0;
+  while (start <= str.size()) {
+    size_t comma = str.find(',', start);
+    size_t len = comma == std::string::npos ? std::string::npos : comma - start;
+    std::string item = str.substr(start, len);
+    double v = ParseDoubleValue(item.c_str(), "--scale", 1e-3, 100.0, -1.0);
+    if (v > 0.0) scales.push_back(v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return scales;
+}
+
+/// The --scale sweep for drivers that support one (perf_smoke): the list
+/// from --scale=a,b,c, or empty when the flag is absent / entirely invalid
+/// (meaning "run the driver's single default scale, unsuffixed").
+inline std::vector<double> BenchScaleList(int argc, char** argv) {
+  const char* flag =
+      argv == nullptr ? nullptr : BenchFlagValue(argc, argv, "--scale");
+  if (flag == nullptr) return {};
+  return ParseScaleList(flag);
 }
 
 /// Strictly parses one thread-count value: an integer >= 0, where 0 means
@@ -223,7 +265,8 @@ inline std::unique_ptr<BenchEnv> MakeBenchEnv(int argc = 0,
   env->threads = budget / env->intra_threads;
   if (env->threads < 1) env->threads = 1;
   imdb::ImdbOptions options;
-  options.scale = BenchScale();
+  options.scale = BenchScale(argc, argv);
+  env->scale = options.scale;
   std::fprintf(stderr,
                "[bench] generating IMDB database at scale %.2f "
                "(%d worker%s x %d intra-query thread%s)...\n",

@@ -9,7 +9,14 @@
 //   * the incremental re-planner (round >= 1 memo carry) and the round-0
 //     session-memo replay vs from-scratch DP,
 //   * the typed single-pass ANALYZE vs the boxed reference on a 1M-row
-//     int column (and a string column, informational).
+//     int column (and a string column, informational),
+//   * the encoding-aware storage layer: dictionary-code string predicates
+//     and zone-map partition skipping vs a byte-identical forced-plain
+//     database (same vectorized kernel, two physical layouts).
+//
+// --scale=a[,b,...] sweeps the kernel comparisons across database scales
+// (JSON rows tagged name@s<scale>); the default run stays at scale 0.1
+// with unsuffixed names — the shape bench/history/ snapshots pin.
 //
 // Self-timed (std::chrono, best-of-N) so it builds without Google
 // Benchmark; CI runs it in Release. Exits non-zero only if an optimized
@@ -22,12 +29,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "exec/kernel.h"
@@ -106,13 +116,13 @@ struct Comparison {
   double vectorized_s;
 };
 
-void Report(const Comparison& c) {
+void Report(const Comparison& c, const std::string& suffix = "") {
   double scalar_rps = static_cast<double>(c.rows_processed) / c.scalar_s;
   double vec_rps = static_cast<double>(c.rows_processed) / c.vectorized_s;
   std::printf("%-28s scalar %10.2e rows/s   vectorized %10.2e rows/s   "
               "speedup %.2fx\n",
               c.name, scalar_rps, vec_rps, c.scalar_s / c.vectorized_s);
-  Record(c.name, c.scalar_s, c.vectorized_s,
+  Record(std::string(c.name) + suffix, c.scalar_s, c.vectorized_s,
          static_cast<double>(c.rows_processed));
 }
 
@@ -444,12 +454,16 @@ bool BenchAnalyze() {
   return ok;
 }
 
-}  // namespace
+// ---- Per-scale kernel benches ----------------------------------------------
 
-int main(int argc, char** argv) {
-  imdb::ImdbOptions options;
-  options.scale = 0.1;
-  auto db = imdb::BuildImdbDatabase(options);
+// The reference-vs-vectorized kernel comparisons plus the encoding-aware
+// comparisons (dictionary codes vs plain strings, zone-map partition
+// skipping vs plain), run once per requested scale. `db` is the kAuto
+// database (dictionary + partitioned encodings applied); `plain_db` is the
+// byte-identical kForcePlain twin, so the encoding rows time the *same*
+// vectorized kernel over two physical layouts of the same data.
+bool BenchKernels(imdb::ImdbDatabase* db, imdb::ImdbDatabase* plain_db,
+                  const std::string& suffix) {
   constexpr int kReps = 9;
   bool ok = true;
 
@@ -475,7 +489,7 @@ int main(int argc, char** argv) {
         kReps);
     c.vectorized_s = BestSeconds(
         [&] { vec_rows = exec::FilterScan(*title, filters); }, kReps);
-    Report(c);
+    Report(c, suffix);
     if (scalar_rows != vec_rows) {
       std::fprintf(stderr, "FAIL: filter-scan results differ\n");
       ok = false;
@@ -504,7 +518,7 @@ int main(int argc, char** argv) {
         kReps);
     c.vectorized_s = BestSeconds(
         [&] { vec_rows = exec::FilterScan(*ci, filters); }, kReps);
-    Report(c);
+    Report(c, suffix);
     if (scalar_rows != vec_rows) {
       std::fprintf(stderr, "FAIL: cast_info filter results differ\n");
       ok = false;
@@ -529,7 +543,7 @@ int main(int argc, char** argv) {
         kReps);
     c.vectorized_s = BestSeconds(
         [&] { vec_rows = exec::FilterScan(*ci, filters); }, kReps);
-    Report(c);
+    Report(c, suffix);
     if (scalar_rows != vec_rows) {
       std::fprintf(stderr, "FAIL: notes filter results differ\n");
       ok = false;
@@ -559,20 +573,144 @@ int main(int argc, char** argv) {
     c.vectorized_s = BestSeconds(
         [&] { vec_out = exec::HashJoinIntermediates(t, mk, edges, rels); },
         kReps);
-    Report(c);
+    Report(c, suffix);
     if (scalar_out.columns != vec_out.columns) {
       std::fprintf(stderr, "FAIL: hash-join results differ\n");
       ok = false;
     }
   }
 
+  // ---- Dictionary codes vs plain strings ----------------------------------
+  // Same vectorized FilterScan, two physical layouts of the same rows:
+  // cast_info.note is dictionary-encoded under kAuto (5 distinct values),
+  // plain in the twin. Equality compiles to one int32 code compare per row,
+  // LIKE to one bitmap probe (the pattern is matched once per dictionary
+  // entry at bind time) — the >= 2x acceptance target for string-predicate
+  // kernels on dictionary codes.
+  {
+    const storage::Table* ci = db->catalog.FindTable("cast_info");
+    const storage::Table* ci_plain = plain_db->catalog.FindTable("cast_info");
+    if (ci->column(ci->schema().FindColumn("note")).encoding() !=
+        storage::ColumnEncoding::kDictionary) {
+      std::fprintf(stderr,
+                   "FAIL: cast_info.note not dictionary-encoded under kAuto\n");
+      ok = false;
+    }
+    plan::ScanPredicate eq;
+    eq.column = plan::ColumnRef{0, ci->schema().FindColumn("note"), ""};
+    eq.kind = plan::ScanPredicate::Kind::kCompare;
+    eq.op = plan::CompareOp::kEq;
+    eq.value = common::Value::Str("(producer)");
+    std::vector<const plan::ScanPredicate*> eq_filters = {&eq};
+
+    std::vector<common::RowIdx> plain_rows, dict_rows;
+    Comparison c{"dict-eq note = (producer)", ci->num_rows(), 0, 0};
+    c.scalar_s = BestSeconds(
+        [&] { plain_rows = exec::FilterScan(*ci_plain, eq_filters); }, kReps);
+    c.vectorized_s = BestSeconds(
+        [&] { dict_rows = exec::FilterScan(*ci, eq_filters); }, kReps);
+    Report(c, suffix);
+    if (plain_rows != dict_rows) {
+      std::fprintf(stderr, "FAIL: dict eq results differ from plain\n");
+      ok = false;
+    }
+
+    plan::ScanPredicate like;
+    like.column = plan::ColumnRef{0, ci->schema().FindColumn("note"), ""};
+    like.kind = plan::ScanPredicate::Kind::kLike;
+    like.value = common::Value::Str("%producer%");
+    std::vector<const plan::ScanPredicate*> like_filters = {&like};
+
+    Comparison cl{"dict-like note %producer%", ci->num_rows(), 0, 0};
+    cl.scalar_s = BestSeconds(
+        [&] { plain_rows = exec::FilterScan(*ci_plain, like_filters); },
+        kReps);
+    cl.vectorized_s = BestSeconds(
+        [&] { dict_rows = exec::FilterScan(*ci, like_filters); }, kReps);
+    Report(cl, suffix);
+    if (plain_rows != dict_rows) {
+      std::fprintf(stderr, "FAIL: dict like results differ from plain\n");
+      ok = false;
+    }
+  }
+
+  // ---- Zone maps vs plain -------------------------------------------------
+  // cast_info.id is sequential, so per-partition min/max are tight and a
+  // top-2% range predicate skips ~98% of the partitions before the kernel
+  // ever touches them. The plain twin runs the identical compare kernel
+  // over every batch.
+  {
+    const storage::Table* ci = db->catalog.FindTable("cast_info");
+    const storage::Table* ci_plain = plain_db->catalog.FindTable("cast_info");
+    if (ci->column(ci->schema().FindColumn("id")).encoding() !=
+        storage::ColumnEncoding::kPartitioned) {
+      std::fprintf(stderr,
+                   "FAIL: cast_info.id not partitioned under kAuto\n");
+      ok = false;
+    }
+    plan::ScanPredicate hi;
+    hi.column = plan::ColumnRef{0, ci->schema().FindColumn("id"), ""};
+    hi.kind = plan::ScanPredicate::Kind::kCompare;
+    hi.op = plan::CompareOp::kGt;
+    hi.value = common::Value::Int(ci->num_rows() * 98 / 100);
+    std::vector<const plan::ScanPredicate*> filters = {&hi};
+
+    std::vector<common::RowIdx> plain_rows, zone_rows;
+    Comparison c{"zonemap id top-2% range", ci->num_rows(), 0, 0};
+    c.scalar_s = BestSeconds(
+        [&] { plain_rows = exec::FilterScan(*ci_plain, filters); }, kReps);
+    c.vectorized_s = BestSeconds(
+        [&] { zone_rows = exec::FilterScan(*ci, filters); }, kReps);
+    Report(c, suffix);
+    if (plain_rows != zone_rows) {
+      std::fprintf(stderr, "FAIL: zone-map results differ from plain\n");
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ok = true;
+
+  // --scale=a[,b,...] sweeps the kernel benches across database scales,
+  // tagging each JSON row name@s<scale>; without the flag a single run at
+  // the historical default scale 0.1 keeps row names unsuffixed (the shape
+  // bench/history/ snapshots are compared against).
+  std::vector<double> sweep = bench::BenchScaleList(argc, argv);
+  const bool swept = !sweep.empty();
+  if (!swept) sweep.push_back(0.1);
+
+  std::unique_ptr<imdb::ImdbDatabase> first_db;
+  for (double scale : sweep) {
+    const std::string suffix =
+        swept ? common::StrPrintf("@s%g", scale) : std::string();
+    imdb::ImdbOptions options;
+    options.scale = scale;
+    std::fprintf(stderr, "[bench] perf_smoke at scale %g (kAuto + plain twin)\n",
+                 scale);
+    auto db = imdb::BuildImdbDatabase(options);
+    imdb::ImdbOptions plain_options = options;
+    plain_options.encoding_policy = storage::EncodingPolicy::kForcePlain;
+    auto plain_db = imdb::BuildImdbDatabase(plain_options);
+    ok = BenchKernels(db.get(), plain_db.get(), suffix) && ok;
+    if (first_db == nullptr) first_db = std::move(db);
+  }
+
   // ---- Intra-query morsel parallelism -------------------------------------
+  // Fixed own scale (0.5, the figure sweeps' scale) — run once, not per
+  // sweep element.
   ok = BenchIntraQuery() && ok;
 
   // ---- Planner paths and ANALYZE ------------------------------------------
   // 18a (7-way) plus the workload's largest query: re-planning cost is
   // dominated by the big queries, exactly where the memo carry pays off.
+  // Scale-insensitive (planning cost depends on query shape), so run once
+  // on the first sweep database.
   {
+    imdb::ImdbDatabase* db = first_db.get();
     auto workload = workload::BuildJobLikeWorkload(db->catalog);
     const plan::QuerySpec* largest = nullptr;
     for (const auto& q : workload->queries) {
@@ -581,13 +719,21 @@ int main(int argc, char** argv) {
       }
     }
     auto q18a = workload::MakeQuery18a(db->catalog);
-    ok = BenchReplanPathFor(db.get(), q18a.get(), "18a") && ok;
-    ok = BenchReplanPathFor(db.get(), largest,
-                            largest->name.c_str()) && ok;
+    ok = BenchReplanPathFor(db, q18a.get(), "18a") && ok;
+    ok = BenchReplanPathFor(db, largest, largest->name.c_str()) && ok;
   }
   ok = BenchAnalyze() && ok;
 
-  WriteJson(argc > 1 ? argv[1] : "BENCH_perf_smoke.json");
+  // Output path: first positional (non --flag) argument, for compatibility
+  // with the CI invocation `perf_smoke <path>`.
+  const char* out_path = "BENCH_perf_smoke.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      out_path = argv[i];
+      break;
+    }
+  }
+  WriteJson(out_path);
 
   if (!ok) return 1;
   std::printf("perf smoke OK (speedups are informational, not gated)\n");

@@ -27,6 +27,8 @@
 //                    --fault=service.worker_exec:prob:0.25:7 — armed only
 //                    for the replay, after the serial reference pass
 //   --out=PATH       JSON report path   (default BENCH_service_replay.json)
+//   --scale=S        database scale (precedence over REOPT_BENCH_SCALE;
+//                    default 0.4), recorded in the JSON report
 //   --threads=N / --intra-threads=M: total thread budget and its intra
 //     split, exactly as every other bench (bench_util.h).
 //
@@ -377,6 +379,7 @@ int main(int argc, char** argv) {
         "  \"session_workers\": %d,\n"
         "  \"intra_query_threads\": %d,\n"
         "  \"queue_capacity\": %d,\n"
+        "  \"scale\": %.3f,\n"
         "  \"queries\": %d,\n"
         "  \"distinct_queries\": %zu,\n"
         "  \"zipf_theta\": %.3f,\n"
@@ -405,7 +408,8 @@ int main(int argc, char** argv) {
         "  \"deterministic\": %s\n"
         "}\n",
         sessions, env->threads, env->intra_threads, queue_capacity,
-        num_queries, num_distinct, zipf_theta, reopt_on ? "true" : "false",
+        env->scale, num_queries, num_distinct, zipf_theta,
+        reopt_on ? "true" : "false",
         timeout_ms, max_retries, fault.c_str(),
         static_cast<long long>(stats.completed),
         static_cast<long long>(stats.failed),

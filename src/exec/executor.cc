@@ -102,6 +102,21 @@ common::Result<QueryResult> Executor::Execute(const plan::QuerySpec& query,
           break;
         }
         case common::DataType::kString: {
+          if (col.encoding == storage::ColumnEncoding::kDictionary) {
+            // Sorted dictionary: the minimum code decodes to the minimum
+            // string, so the tuple loop stays integer-only.
+            int32_t min_code = -1;
+            for (int64_t t = 0; t < num_tuples; ++t) {
+              common::RowIdx row = tuple_rows[t];
+              if (col.IsNull(row)) continue;
+              int32_t c = col.codes[static_cast<size_t>(row)];
+              if (min_code < 0 || c < min_code) min_code = c;
+            }
+            if (min_code >= 0) {
+              best = common::Value::Str(col.dict[static_cast<size_t>(min_code)]);
+            }
+            break;
+          }
           const std::string* min_v = nullptr;
           for (int64_t t = 0; t < num_tuples; ++t) {
             common::RowIdx row = tuple_rows[t];
@@ -396,19 +411,31 @@ common::Status Executor::ExecuteTempWrite(const plan::QuerySpec& query,
         input.columns[static_cast<size_t>(rel_idx)].data();
     storage::Column& dst = temp->mutable_column(static_cast<common::ColumnIdx>(c));
     int64_t null_rows = 0;
+    // All-valid sources gather into a buffer and land in one bulk append
+    // (one bookkeeping step per column instead of per row); nullable
+    // sources keep the per-row appends that grow the validity bitmap. The
+    // buffered non-null values then feed the fused ANALYZE unchanged.
     switch (src.type) {
       case common::DataType::kInt64: {
         std::vector<int64_t> values;
-        if (analyze) values.reserve(static_cast<size_t>(num_tuples));
-        for (int64_t t = 0; t < num_tuples; ++t) {
-          common::RowIdx row = tuple_rows[t];
-          if (src.IsNull(row)) {
-            dst.AppendNull();
-            ++null_rows;
-          } else {
-            int64_t v = src.ints[static_cast<size_t>(row)];
-            dst.AppendInt(v);
-            if (analyze) values.push_back(v);
+        values.reserve(static_cast<size_t>(num_tuples));
+        if (src.AllValid()) {
+          for (int64_t t = 0; t < num_tuples; ++t) {
+            values.push_back(
+                src.ints[static_cast<size_t>(tuple_rows[t])]);
+          }
+          dst.AppendInts(values.data(), num_tuples);
+        } else {
+          for (int64_t t = 0; t < num_tuples; ++t) {
+            common::RowIdx row = tuple_rows[t];
+            if (src.IsNull(row)) {
+              dst.AppendNull();
+              ++null_rows;
+            } else {
+              int64_t v = src.ints[static_cast<size_t>(row)];
+              dst.AppendInt(v);
+              values.push_back(v);
+            }
           }
         }
         if (analyze) {
@@ -419,16 +446,24 @@ common::Status Executor::ExecuteTempWrite(const plan::QuerySpec& query,
       }
       case common::DataType::kDouble: {
         std::vector<double> values;
-        if (analyze) values.reserve(static_cast<size_t>(num_tuples));
-        for (int64_t t = 0; t < num_tuples; ++t) {
-          common::RowIdx row = tuple_rows[t];
-          if (src.IsNull(row)) {
-            dst.AppendNull();
-            ++null_rows;
-          } else {
-            double v = src.doubles[static_cast<size_t>(row)];
-            dst.AppendDouble(v);
-            if (analyze) values.push_back(v);
+        values.reserve(static_cast<size_t>(num_tuples));
+        if (src.AllValid()) {
+          for (int64_t t = 0; t < num_tuples; ++t) {
+            values.push_back(
+                src.doubles[static_cast<size_t>(tuple_rows[t])]);
+          }
+          dst.AppendDoubles(values.data(), num_tuples);
+        } else {
+          for (int64_t t = 0; t < num_tuples; ++t) {
+            common::RowIdx row = tuple_rows[t];
+            if (src.IsNull(row)) {
+              dst.AppendNull();
+              ++null_rows;
+            } else {
+              double v = src.doubles[static_cast<size_t>(row)];
+              dst.AppendDouble(v);
+              values.push_back(v);
+            }
           }
         }
         if (analyze) {
@@ -439,16 +474,27 @@ common::Status Executor::ExecuteTempWrite(const plan::QuerySpec& query,
       }
       case common::DataType::kString: {
         std::vector<std::string> values;
-        if (analyze) values.reserve(static_cast<size_t>(num_tuples));
-        for (int64_t t = 0; t < num_tuples; ++t) {
-          common::RowIdx row = tuple_rows[t];
-          if (src.IsNull(row)) {
-            dst.AppendNull();
-            ++null_rows;
+        values.reserve(static_cast<size_t>(num_tuples));
+        if (src.AllValid()) {
+          for (int64_t t = 0; t < num_tuples; ++t) {
+            values.push_back(src.StringAt(tuple_rows[t]));
+          }
+          if (analyze) {
+            dst.AppendStrings(values.data(), num_tuples);
           } else {
-            const std::string& v = src.strings[static_cast<size_t>(row)];
-            dst.AppendString(v);
-            if (analyze) values.push_back(v);
+            dst.AppendStrings(std::move(values));
+          }
+        } else {
+          for (int64_t t = 0; t < num_tuples; ++t) {
+            common::RowIdx row = tuple_rows[t];
+            if (src.IsNull(row)) {
+              dst.AppendNull();
+              ++null_rows;
+            } else {
+              const std::string& v = src.StringAt(row);
+              dst.AppendString(v);
+              values.push_back(v);
+            }
           }
         }
         if (analyze) {
@@ -461,6 +507,10 @@ common::Status Executor::ExecuteTempWrite(const plan::QuerySpec& query,
   }
   // The per-column appends above bypass Table::AppendRow's row counter.
   temp->SyncRowCountFromColumns();
+  // Re-optimization runs over encoded intermediates too: pick physical
+  // encodings for the materialized columns before the table starts
+  // serving reads. Deterministic per input, so differential runs agree.
+  temp->ApplyEncoding(storage::EncodingPolicy::kAuto);
 
   REOPT_INJECT_FAULT("exec.analyze");
   if (analyze) {

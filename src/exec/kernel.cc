@@ -10,6 +10,11 @@
 
 namespace reopt::exec {
 
+// A skipped zone-map partition must be exactly one selection-vector batch,
+// or partition skipping would change which rows a batch sees.
+static_assert(storage::kPartitionRows == kKernelBatchSize,
+              "zone-map partitions must align with kernel batches");
+
 namespace {
 
 std::atomic<KernelMode> g_default_kernel_mode{KernelMode::kVectorized};
@@ -178,7 +183,13 @@ struct BoundPredicate {
     kNotLike,
     kIsNull,
     kIsNotNull,
-    kGeneric,  // scalar EvalPredicate per row
+    // Dictionary-encoded string columns: every string predicate is
+    // translated once at bind time into integer work over the sorted
+    // codes, so the per-row loop never touches a string.
+    kDictCodeRange,  // pass iff code_lo <= code < code_hi (Eq/range/Between)
+    kDictNotEq,      // pass iff code != code_ne
+    kDictMatch,      // pass iff dict_match[code] (LIKE / NOT LIKE / IN)
+    kGeneric,        // scalar EvalPredicate per row
   };
 
   /// LIKE patterns are classified once per scan; anchored shapes run as
@@ -208,6 +219,10 @@ struct BoundPredicate {
   std::vector<const std::string*> str_list;     // kStringIn
   LikeShape like_shape = LikeShape::kGeneralPattern;
   std::string_view like_needle;  // into *str_c (the pattern literal)
+  int32_t code_lo = 0;           // kDictCodeRange: half-open [code_lo,
+  int32_t code_hi = 0;           //                           code_hi)
+  int32_t code_ne = -1;          // kDictNotEq
+  std::vector<uint8_t> dict_match;  // kDictMatch: one flag per dict entry
 };
 
 /// Classifies a LIKE pattern into an anchored shape when that shape's
@@ -265,8 +280,8 @@ inline bool LikeShapeMatch(const BoundPredicate& bp, const std::string& v) {
   REOPT_UNREACHABLE("bad like shape");
 }
 
-BoundPredicate BindPredicate(const plan::ScanPredicate& pred,
-                             const storage::Table& table) {
+BoundPredicate BindPredicateTyped(const plan::ScanPredicate& pred,
+                                  const storage::Table& table) {
   using Kind = plan::ScanPredicate::Kind;
   using Path = BoundPredicate::Path;
   BoundPredicate bp;
@@ -357,6 +372,100 @@ BoundPredicate BindPredicate(const plan::ScanPredicate& pred,
       }
       return bp;
   }
+  return bp;
+}
+
+/// Rewrites a string-path predicate over a dictionary-encoded column into
+/// integer work over the sorted codes. Because the dictionary is sorted,
+/// every comparison/range becomes a half-open code range, and LIKE / IN are
+/// evaluated once per *dictionary entry* into a match bitmap instead of
+/// once per row. Predicates the typed binder left generic stay generic
+/// (the scalar fallback decodes through the boxed accessors).
+void BindDictionaryPaths(BoundPredicate* bp) {
+  using Path = BoundPredicate::Path;
+  if (bp->view.encoding != storage::ColumnEncoding::kDictionary) return;
+  const std::string* dict = bp->view.dict;
+  const int32_t nd = bp->view.dict_size;
+  const auto lower = [&](const std::string& s) {
+    return static_cast<int32_t>(std::lower_bound(dict, dict + nd, s) - dict);
+  };
+  const auto upper = [&](const std::string& s) {
+    return static_cast<int32_t>(std::upper_bound(dict, dict + nd, s) - dict);
+  };
+  switch (bp->path) {
+    case Path::kStringCompare: {
+      const std::string& c = *bp->str_c;
+      const int32_t lb = lower(c);
+      const bool present = lb < nd && dict[static_cast<size_t>(lb)] == c;
+      switch (bp->op) {
+        case plan::CompareOp::kEq:
+          bp->code_lo = lb;
+          bp->code_hi = present ? lb + 1 : lb;  // absent: empty range
+          bp->path = Path::kDictCodeRange;
+          return;
+        case plan::CompareOp::kNe:
+          // Absent constant: every non-NULL code differs (-1 is the NULL
+          // code, which CompactNotNull already filters out).
+          bp->code_ne = present ? lb : -1;
+          bp->path = Path::kDictNotEq;
+          return;
+        case plan::CompareOp::kLt:
+          bp->code_lo = 0;
+          bp->code_hi = lb;
+          break;
+        case plan::CompareOp::kLe:
+          bp->code_lo = 0;
+          bp->code_hi = upper(c);
+          break;
+        case plan::CompareOp::kGt:
+          bp->code_lo = upper(c);
+          bp->code_hi = nd;
+          break;
+        case plan::CompareOp::kGe:
+          bp->code_lo = lb;
+          bp->code_hi = nd;
+          break;
+      }
+      bp->path = Path::kDictCodeRange;
+      return;
+    }
+    case Path::kStringBetween:
+      // v >= lo && v <= hi  ⇔  lower(lo) <= code < upper(hi).
+      bp->code_lo = lower(*bp->str_c);
+      bp->code_hi = upper(*bp->str_c2);
+      bp->path = Path::kDictCodeRange;
+      return;
+    case Path::kStringIn: {
+      bp->dict_match.assign(static_cast<size_t>(nd), 0);
+      for (const std::string* cand : bp->str_list) {
+        const int32_t lb = lower(*cand);
+        if (lb < nd && dict[static_cast<size_t>(lb)] == *cand) {
+          bp->dict_match[static_cast<size_t>(lb)] = 1;
+        }
+      }
+      bp->path = Path::kDictMatch;
+      return;
+    }
+    case Path::kLike:
+    case Path::kNotLike: {
+      const bool negate = bp->path == Path::kNotLike;
+      bp->dict_match.assign(static_cast<size_t>(nd), 0);
+      for (int32_t i = 0; i < nd; ++i) {
+        const bool m = LikeShapeMatch(*bp, dict[static_cast<size_t>(i)]);
+        bp->dict_match[static_cast<size_t>(i)] = (m != negate) ? 1 : 0;
+      }
+      bp->path = Path::kDictMatch;
+      return;
+    }
+    default:
+      return;  // numeric / null-test / generic paths are encoding-agnostic
+  }
+}
+
+BoundPredicate BindPredicate(const plan::ScanPredicate& pred,
+                             const storage::Table& table) {
+  BoundPredicate bp = BindPredicateTyped(pred, table);
+  BindDictionaryPaths(&bp);
   return bp;
 }
 
@@ -480,6 +589,30 @@ int ApplyPredicate(const BoundPredicate& bp, RowIdx* rows, int n) {
         return !LikeShapeMatch(bp, data[static_cast<size_t>(r)]);
       });
     }
+    case Path::kDictCodeRange: {
+      const int32_t* codes = bp.view.codes;
+      const int32_t lo = bp.code_lo, hi = bp.code_hi;
+      return CompactNotNull(valid, rows, n, [=](RowIdx r) {
+        const int32_t c = codes[static_cast<size_t>(r)];
+        return c >= lo && c < hi;
+      });
+    }
+    case Path::kDictNotEq: {
+      const int32_t* codes = bp.view.codes;
+      const int32_t ne = bp.code_ne;
+      return CompactNotNull(valid, rows, n, [=](RowIdx r) {
+        return codes[static_cast<size_t>(r)] != ne;
+      });
+    }
+    case Path::kDictMatch: {
+      // Non-NULL rows always carry a code in [0, dict_size); NULL rows
+      // (code -1) never reach the lambda thanks to CompactNotNull.
+      const int32_t* codes = bp.view.codes;
+      const uint8_t* match = bp.dict_match.data();
+      return CompactNotNull(valid, rows, n, [=](RowIdx r) {
+        return match[static_cast<size_t>(codes[static_cast<size_t>(r)])] != 0;
+      });
+    }
     case Path::kIsNull:
       if (valid == nullptr) return 0;  // all valid: nothing is NULL
       return CompactPlain(rows, n, [=](RowIdx r) {
@@ -499,6 +632,156 @@ int ApplyPredicate(const BoundPredicate& bp, RowIdx* rows, int n) {
     }
   }
   REOPT_UNREACHABLE("bad predicate path");
+}
+
+/// First-predicate fast path: the caller guarantees the batch's selection
+/// is the identity [base, base + n), so the gather through `rows` can be
+/// skipped entirely. For dictionary-code paths the predicate becomes a
+/// straight-line pass over the contiguous int32 codes into a byte mask
+/// (fixed-width data the compiler can auto-vectorize — the payoff
+/// variable-width strings structurally cannot offer), followed by one
+/// branchless compaction. Every other path materializes the identity and
+/// delegates to ApplyPredicate, bit-for-bit as before.
+int ApplyPredicateDense(const BoundPredicate& bp, RowIdx* rows, int64_t base,
+                        int n) {
+  using Path = BoundPredicate::Path;
+  // NULL rows never need the valid bitmap here: a dictionary column stores
+  // NULL as code -1, while every bindable constant maps to codes >= 0, so
+  // nullness is decided by the same int32 compares as the predicate. That
+  // keeps the mask pass same-width int32 end to end — the shape GCC/Clang
+  // auto-vectorize even under -O2's conservative cost model.
+  int32_t mask[kKernelBatchSize];
+  switch (bp.path) {
+    case Path::kDictCodeRange: {
+      const int32_t* codes = bp.view.codes + base;
+      // code_lo is always >= 0, so clamping is a no-op that lets the
+      // compiler drop the NULL sentinel (-1) without a valid[] load.
+      const int32_t lo = bp.code_lo > 0 ? bp.code_lo : 0;
+      const int32_t hi = bp.code_hi;
+      for (int i = 0; i < n; ++i) {
+        mask[i] = static_cast<int32_t>(codes[i] >= lo) &
+                  static_cast<int32_t>(codes[i] < hi);
+      }
+      break;
+    }
+    case Path::kDictNotEq: {
+      const int32_t* codes = bp.view.codes + base;
+      const int32_t ne = bp.code_ne;
+      // `c >= 0` fails NULLs (SQL: NULL != x is not true), `c != ne` is
+      // the predicate itself.
+      for (int i = 0; i < n; ++i) {
+        mask[i] = static_cast<int32_t>(codes[i] != ne) &
+                  static_cast<int32_t>(codes[i] >= 0);
+      }
+      break;
+    }
+    case Path::kDictMatch: {
+      // An empty dictionary means every row is NULL (code -1): all fail.
+      if (bp.dict_match.empty()) return 0;
+      const int32_t* codes = bp.view.codes + base;
+      const uint8_t* match = bp.dict_match.data();
+      for (int i = 0; i < n; ++i) {
+        // NULL rows carry code -1; the select keeps the lookup in range.
+        const int32_t c = codes[i];
+        mask[i] = c >= 0 ? static_cast<int32_t>(match[static_cast<size_t>(c)])
+                         : 0;
+      }
+      break;
+    }
+    default: {
+      for (int i = 0; i < n; ++i) rows[i] = static_cast<RowIdx>(base + i);
+      return ApplyPredicate(bp, rows, n);
+    }
+  }
+  int out = 0;
+  for (int i = 0; i < n; ++i) {
+    rows[out] = static_cast<RowIdx>(base + i);
+    out += mask[i];
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map partition skipping (kPartitioned columns)
+// ---------------------------------------------------------------------------
+
+/// True when no value in [mn, mx] can pass `op` against `c`, phrased via
+/// </> alone so NaN constants behave exactly like the row kernels (where
+/// Value::Compare semantics make NaN compare equal to everything).
+template <typename K>
+bool RangeRejects(plan::CompareOp op, K mn, K mx, K c) {
+  switch (op) {
+    case plan::CompareOp::kEq:
+      return c < mn || c > mx;
+    case plan::CompareOp::kNe:
+      // Rejectable only when every row compares equal to c: min==max==c.
+      return !(mn < mx) && !(mn > mx) && !(mn < c) && !(mn > c);
+    case plan::CompareOp::kLt:
+      return !(mn < c);
+    case plan::CompareOp::kLe:
+      return mn > c;
+    case plan::CompareOp::kGt:
+      return !(mx > c);
+    case plan::CompareOp::kGe:
+      return mx < c;
+  }
+  REOPT_UNREACHABLE("bad compare op");
+}
+
+/// True when `bp` provably fails every row of partition `part`, so the
+/// whole batch can be skipped. Only the typed numeric compare/between
+/// paths consult zone maps — those all fail NULL rows, which makes
+/// all-NULL partitions unconditionally skippable for them.
+bool ZoneMapRejects(const BoundPredicate& bp, int64_t part) {
+  using Path = BoundPredicate::Path;
+  if (bp.view.encoding != storage::ColumnEncoding::kPartitioned) return false;
+  switch (bp.path) {
+    case Path::kIntCompare:
+    case Path::kDoubleCompare:
+    case Path::kIntBetween:
+    case Path::kDoubleBetween:
+      break;
+    default:
+      return false;
+  }
+  if (part >= bp.view.num_zones) return false;
+  const storage::ZoneMap& z = bp.view.zones[static_cast<size_t>(part)];
+  if (!z.skippable) return false;   // e.g. NaN present in the partition
+  if (!z.has_values) return true;   // all NULL: every comparison fails
+  switch (bp.path) {
+    case Path::kIntCompare:
+      return RangeRejects(bp.op, z.min_int, z.max_int, bp.int_c);
+    case Path::kDoubleCompare:
+      // For INT64 columns min/max_double hold the monotone-cast bounds,
+      // matching the per-row static_cast the kernel performs.
+      return RangeRejects(bp.op, z.min_double, z.max_double, bp.dbl_c);
+    case Path::kIntBetween:
+      return z.max_int < bp.int_c || z.min_int > bp.int_c2;
+    case Path::kDoubleBetween:
+      return z.max_double < bp.dbl_c || z.min_double > bp.dbl_c2;
+    default:
+      return false;
+  }
+}
+
+/// Conjunctive filters: one rejecting predicate rejects the whole batch.
+bool ZoneMapSkipsBatch(const std::vector<BoundPredicate>& bound,
+                       int64_t part) {
+  for (const BoundPredicate& bp : bound) {
+    if (ZoneMapRejects(bp, part)) return true;
+  }
+  return false;
+}
+
+/// Whether any bound predicate can consult zone maps at all (hoists the
+/// per-batch check off scans of unpartitioned tables).
+bool AnyZoneMaps(const std::vector<BoundPredicate>& bound) {
+  for (const BoundPredicate& bp : bound) {
+    if (bp.view.encoding == storage::ColumnEncoding::kPartitioned) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -525,14 +808,19 @@ std::vector<common::RowIdx> FilterScan(
     bound.push_back(BindPredicate(*pred, table));
   }
 
+  const bool consult_zones = AnyZoneMaps(bound);
   RowIdx sel[kKernelBatchSize];
   for (int64_t lo = 0; lo < n; lo += kKernelBatchSize) {
     if (ShouldStop(cancel)) break;  // truncated result; Executor re-checks
+    if (consult_zones && ZoneMapSkipsBatch(bound, lo / kKernelBatchSize)) {
+      continue;  // partition provably empty under the conjunction
+    }
     int count = static_cast<int>(std::min<int64_t>(kKernelBatchSize, n - lo));
-    for (int i = 0; i < count; ++i) sel[i] = lo + i;
-    for (const BoundPredicate& bp : bound) {
-      count = ApplyPredicate(bp, sel, count);
-      if (count == 0) break;
+    // The first predicate sees the identity selection [lo, lo + count) and
+    // takes the dense path (no gather; dict codes auto-vectorize).
+    count = ApplyPredicateDense(bound[0], sel, lo, count);
+    for (size_t p = 1; p < bound.size() && count > 0; ++p) {
+      count = ApplyPredicate(bound[p], sel, count);
     }
     out.insert(out.end(), sel, sel + count);
   }
@@ -576,6 +864,7 @@ std::vector<common::RowIdx> FilterScanParallel(
   // serial kernel would.
   const std::vector<common::MorselRange> morsels = common::MorselRanges(
       n, kKernelBatchSize, ctx.threads * kMorselsPerWorker);
+  const bool consult_zones = AnyZoneMaps(bound);
   std::vector<std::vector<common::RowIdx>> parts(morsels.size());
   ctx.pool->ParallelRun(
       static_cast<int64_t>(morsels.size()), ctx.threads, [&](int64_t m, int) {
@@ -585,12 +874,20 @@ std::vector<common::RowIdx> FilterScanParallel(
         RowIdx sel[kKernelBatchSize];  // per-worker selection vector
         for (int64_t lo = range.begin; lo < range.end;
              lo += kKernelBatchSize) {
+          // Morsels are 1024-aligned, so lo / batch == the zone-map
+          // partition index — skipping here is batch-for-batch identical
+          // to the serial scan's skips.
+          if (consult_zones &&
+              ZoneMapSkipsBatch(bound, lo / kKernelBatchSize)) {
+            continue;
+          }
           int count = static_cast<int>(
               std::min<int64_t>(kKernelBatchSize, range.end - lo));
-          for (int i = 0; i < count; ++i) sel[i] = lo + i;
-          for (const BoundPredicate& bp : bound) {
-            count = ApplyPredicate(bp, sel, count);
-            if (count == 0) break;
+          // Identity selection: same dense first-predicate path as the
+          // serial scan, so batches stay evaluated bit-for-bit alike.
+          count = ApplyPredicateDense(bound[0], sel, lo, count);
+          for (size_t p = 1; p < bound.size() && count > 0; ++p) {
+            count = ApplyPredicate(bound[p], sel, count);
           }
           part.insert(part.end(), sel, sel + count);
         }

@@ -166,13 +166,22 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
                                     static_cast<int>(HotKeywords().size()));
   {
     Table* t = MakeTable(cat, "keyword", {{"id", kInt}, {"keyword", kStr}});
-    t->Reserve(num_keywords);
+    // Bulk load: buffer whole columns, then one append per column (values
+    // are produced in exactly the same order as the old per-row loop, so
+    // the generated data — and every downstream golden — is unchanged).
+    std::vector<int64_t> ids;
+    std::vector<std::string> kws;
+    ids.reserve(static_cast<size_t>(num_keywords));
+    kws.reserve(static_cast<size_t>(num_keywords));
     for (int64_t i = 1; i <= num_keywords; ++i) {
-      std::string kw = i <= num_hot
-                           ? HotKeywords()[static_cast<size_t>(i - 1)]
-                           : StrPrintf("kw_%06d", static_cast<int>(i));
-      t->AppendRow({Value::Int(i), Value::Str(kw)});
+      ids.push_back(i);
+      kws.push_back(i <= num_hot
+                        ? HotKeywords()[static_cast<size_t>(i - 1)]
+                        : StrPrintf("kw_%06d", static_cast<int>(i)));
     }
+    t->mutable_column(0).AppendInts(ids.data(), num_keywords);
+    t->mutable_column(1).AppendStrings(std::move(kws));
+    t->SyncRowCountFromColumns();
     IndexIdColumns(t);
   }
 
@@ -186,6 +195,12 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
     const std::vector<std::pair<const char*, double>> codes = {
         {"[us]", 0.35}, {"[gb]", 0.12}, {"[de]", 0.08}, {"[fr]", 0.07},
         {"[jp]", 0.05}, {"[it]", 0.04}, {"[ca]", 0.04}, {"[in]", 0.04}};
+    std::vector<int64_t> ids;
+    std::vector<std::string> names;
+    std::vector<std::string> ccodes;
+    ids.reserve(static_cast<size_t>(num_companies));
+    names.reserve(static_cast<size_t>(num_companies));
+    ccodes.reserve(static_cast<size_t>(num_companies));
     for (int64_t i = 1; i <= num_companies; ++i) {
       double u = rng.UniformDouble();
       std::string code;
@@ -199,11 +214,14 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
       if (code.empty()) {
         code = StrPrintf("[x%02d]", static_cast<int>(rng.UniformInt(0, 29)));
       }
-      t->AppendRow({Value::Int(i),
-                    Value::Str(StrPrintf("Company %05d Pictures",
-                                         static_cast<int>(i))),
-                    Value::Str(code)});
+      ids.push_back(i);
+      names.push_back(StrPrintf("Company %05d Pictures", static_cast<int>(i)));
+      ccodes.push_back(std::move(code));
     }
+    t->mutable_column(0).AppendInts(ids.data(), num_companies);
+    t->mutable_column(1).AppendStrings(std::move(names));
+    t->mutable_column(2).AppendStrings(std::move(ccodes));
+    t->SyncRowCountFromColumns();
     IndexIdColumns(t);
   }
 
@@ -211,12 +229,17 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
   const int64_t num_chars = Scaled(scale, 30000);
   {
     Table* t = MakeTable(cat, "char_name", {{"id", kInt}, {"name", kStr}});
-    t->Reserve(num_chars);
+    std::vector<int64_t> ids;
+    std::vector<std::string> names;
+    ids.reserve(static_cast<size_t>(num_chars));
+    names.reserve(static_cast<size_t>(num_chars));
     for (int64_t i = 1; i <= num_chars; ++i) {
-      t->AppendRow({Value::Int(i),
-                    Value::Str(StrPrintf("Character %05d",
-                                         static_cast<int>(i)))});
+      ids.push_back(i);
+      names.push_back(StrPrintf("Character %05d", static_cast<int>(i)));
     }
+    t->mutable_column(0).AppendInts(ids.data(), num_chars);
+    t->mutable_column(1).AppendStrings(std::move(names));
+    t->SyncRowCountFromColumns();
     IndexIdColumns(t);
   }
 
@@ -234,6 +257,13 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
     Table* t = MakeTable(
         cat, "name", {{"id", kInt}, {"name", kStr}, {"gender", kStr}});
     t->Reserve(num_persons);
+    // id/name bulk-buffered; gender stays per-row (nullable column, the
+    // bulk path is all-valid by contract).
+    std::vector<int64_t> ids;
+    std::vector<std::string> names;
+    ids.reserve(static_cast<size_t>(num_persons));
+    names.reserve(static_cast<size_t>(num_persons));
+    storage::Column& gender_col = t->mutable_column(2);
     for (int64_t i = 1; i <= num_persons; ++i) {
       bool star = i <= num_stars;
       std::string first;
@@ -247,21 +277,22 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
       }
       const std::string& last = LastNames()[static_cast<size_t>(rng.UniformInt(
           0, static_cast<int64_t>(LastNames().size()) - 1))];
-      std::string name =
-          StrPrintf("%s, %s %05d", last.c_str(), first.c_str(),
-                    static_cast<int>(i));
-      Value gender;
+      ids.push_back(i);
+      names.push_back(StrPrintf("%s, %s %05d", last.c_str(), first.c_str(),
+                                static_cast<int>(i)));
       double g = rng.UniformDouble();
       double male_p = star ? 0.75 : 0.5;
       if (g < 0.02) {
-        gender = Value::Null_();
+        gender_col.AppendNull();
       } else if (g < 0.02 + male_p) {
-        gender = Value::Str("m");
+        gender_col.AppendString("m");
       } else {
-        gender = Value::Str("f");
+        gender_col.AppendString("f");
       }
-      t->AppendRow({Value::Int(i), Value::Str(name), gender});
     }
+    t->mutable_column(0).AppendInts(ids.data(), num_persons);
+    t->mutable_column(1).AppendStrings(std::move(names));
+    t->SyncRowCountFromColumns();
     IndexIdColumns(t);
   }
 
@@ -276,6 +307,17 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
                           {"production_year", kInt}});
     t->Reserve(num_titles);
     ZipfSampler kind_zipf(7, 1.2);
+    // Bulk-buffered; every Rng call stays at the exact point of the old
+    // per-row loop (the braced AppendRow list evaluated left-to-right, so
+    // kind_zipf sampled after the year/title draws).
+    std::vector<int64_t> ids;
+    std::vector<std::string> titles;
+    std::vector<int64_t> kinds;
+    std::vector<int64_t> years;
+    ids.reserve(static_cast<size_t>(num_titles));
+    titles.reserve(static_cast<size_t>(num_titles));
+    kinds.reserve(static_cast<size_t>(num_titles));
+    years.reserve(static_cast<size_t>(num_titles));
     for (int64_t i = 1; i <= num_titles; ++i) {
       double u = rng.UniformDouble();
       int klass = u < 0.05 ? 2 : (u < 0.15 ? 1 : 0);
@@ -299,9 +341,16 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
         year = 1930 + std::max(a, b);
         title = StrPrintf("Movie %06d", static_cast<int>(i));
       }
-      t->AppendRow({Value::Int(i), Value::Str(title),
-                    Value::Int(kind_zipf.Sample(&rng)), Value::Int(year)});
+      ids.push_back(i);
+      titles.push_back(std::move(title));
+      kinds.push_back(kind_zipf.Sample(&rng));
+      years.push_back(year);
     }
+    t->mutable_column(0).AppendInts(ids.data(), num_titles);
+    t->mutable_column(1).AppendStrings(std::move(titles));
+    t->mutable_column(2).AppendInts(kinds.data(), num_titles);
+    t->mutable_column(3).AppendInts(years.data(), num_titles);
+    t->SyncRowCountFromColumns();
     IndexIdColumns(t);
   }
 
@@ -320,6 +369,15 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
                           {"note", kStr}});
     ZipfSampler star_zipf(num_stars, 1.0);
     ZipfSampler role_zipf(12, 1.1);
+    // Bulk-buffered except person_role_id, which is nullable and stays on
+    // the per-row append path. Rng call order matches the old loop exactly
+    // (role_zipf sampled fifth, per the braced list's evaluation order).
+    std::vector<int64_t> ids;
+    std::vector<int64_t> persons;
+    std::vector<int64_t> movies;
+    std::vector<int64_t> roles;
+    std::vector<std::string> notes;
+    storage::Column& role_char_col = t->mutable_column(3);
     int64_t next_id = 1;
     for (int64_t m = 1; m <= num_titles; ++m) {
       int klass = class_of(m);
@@ -333,9 +391,11 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
         int64_t person = rng.Bernoulli(star_p)
                              ? star_zipf.Sample(&rng)
                              : rng.UniformInt(1, num_persons);
-        Value role_char = rng.Bernoulli(0.4)
-                              ? Value::Int(rng.UniformInt(1, num_chars))
-                              : Value::Null_();
+        if (rng.Bernoulli(0.4)) {
+          role_char_col.AppendInt(rng.UniformInt(1, num_chars));
+        } else {
+          role_char_col.AppendNull();
+        }
         std::string note;
         double u = rng.UniformDouble();
         if (u < producer_p) {
@@ -347,11 +407,20 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
         } else if (u < producer_p * 1.5 + 0.08) {
           note = "(voice)";
         }
-        t->AppendRow({Value::Int(next_id++), Value::Int(person),
-                      Value::Int(m), role_char,
-                      Value::Int(role_zipf.Sample(&rng)), Value::Str(note)});
+        ids.push_back(next_id++);
+        persons.push_back(person);
+        movies.push_back(m);
+        roles.push_back(role_zipf.Sample(&rng));
+        notes.push_back(std::move(note));
       }
     }
+    const int64_t n = static_cast<int64_t>(ids.size());
+    t->mutable_column(0).AppendInts(ids.data(), n);
+    t->mutable_column(1).AppendInts(persons.data(), n);
+    t->mutable_column(2).AppendInts(movies.data(), n);
+    t->mutable_column(4).AppendInts(roles.data(), n);
+    t->mutable_column(5).AppendStrings(std::move(notes));
+    t->SyncRowCountFromColumns();
     IndexIdColumns(t);
   }
 
@@ -361,6 +430,9 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
         cat, "movie_keyword",
         {{"id", kInt}, {"movie_id", kInt}, {"keyword_id", kInt}});
     ZipfSampler hot_zipf(num_hot, 0.9);
+    std::vector<int64_t> ids;
+    std::vector<int64_t> movies;
+    std::vector<int64_t> kws;
     int64_t next_id = 1;
     for (int64_t m = 1; m <= num_titles; ++m) {
       int klass = class_of(m);
@@ -372,9 +444,16 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
         int64_t kw = rng.Bernoulli(hot_p)
                          ? hot_zipf.Sample(&rng)
                          : rng.UniformInt(num_hot + 1, num_keywords);
-        t->AppendRow({Value::Int(next_id++), Value::Int(m), Value::Int(kw)});
+        ids.push_back(next_id++);
+        movies.push_back(m);
+        kws.push_back(kw);
       }
     }
+    const int64_t n = static_cast<int64_t>(ids.size());
+    t->mutable_column(0).AppendInts(ids.data(), n);
+    t->mutable_column(1).AppendInts(movies.data(), n);
+    t->mutable_column(2).AppendInts(kws.data(), n);
+    t->SyncRowCountFromColumns();
     IndexIdColumns(t);
   }
 
@@ -387,6 +466,13 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
                           {"company_type_id", kInt},
                           {"note", kStr}});
     ZipfSampler company_zipf(num_companies, 0.9);
+    // Bulk-buffered; company_zipf sampled third, after the ctype/note
+    // draws, exactly as the old braced list evaluated.
+    std::vector<int64_t> ids;
+    std::vector<int64_t> movies;
+    std::vector<int64_t> companies;
+    std::vector<int64_t> ctypes;
+    std::vector<std::string> notes;
     int64_t next_id = 1;
     for (int64_t m = 1; m <= num_titles; ++m) {
       int64_t count = 1 + rng.UniformInt(0, 3);
@@ -397,11 +483,20 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
                 ? StrPrintf("(co-production) (%d)",
                             static_cast<int>(rng.UniformInt(1980, 2019)))
                 : "";
-        t->AppendRow({Value::Int(next_id++), Value::Int(m),
-                      Value::Int(company_zipf.Sample(&rng)),
-                      Value::Int(ctype), Value::Str(note)});
+        ids.push_back(next_id++);
+        movies.push_back(m);
+        companies.push_back(company_zipf.Sample(&rng));
+        ctypes.push_back(ctype);
+        notes.push_back(std::move(note));
       }
     }
+    const int64_t n = static_cast<int64_t>(ids.size());
+    t->mutable_column(0).AppendInts(ids.data(), n);
+    t->mutable_column(1).AppendInts(movies.data(), n);
+    t->mutable_column(2).AppendInts(companies.data(), n);
+    t->mutable_column(3).AppendInts(ctypes.data(), n);
+    t->mutable_column(4).AppendStrings(std::move(notes));
+    t->SyncRowCountFromColumns();
     IndexIdColumns(t);
   }
 
@@ -413,6 +508,19 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
                           {"movie_id", kInt},
                           {"info_type_id", kInt},
                           {"info", kStr}});
+    // Bulk-buffered; every Rng call sits at the same point as the old
+    // interleaved AppendRow loop (braced lists evaluated left-to-right).
+    std::vector<int64_t> ids;
+    std::vector<int64_t> movies;
+    std::vector<int64_t> itypes;
+    std::vector<std::string> infos;
+    auto push = [&](int64_t id, int64_t movie, int64_t itype,
+                    std::string info) {
+      ids.push_back(id);
+      movies.push_back(movie);
+      itypes.push_back(itype);
+      infos.push_back(std::move(info));
+    };
     int64_t next_id = 1;
     for (int64_t m = 1; m <= num_titles; ++m) {
       int klass = class_of(m);
@@ -424,25 +532,30 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
         genre = Genres()[static_cast<size_t>(rng.UniformInt(
             0, static_cast<int64_t>(Genres().size()) - 1))];
       }
-      t->AppendRow({Value::Int(next_id++), Value::Int(m), Value::Int(4),
-                    Value::Str(genre)});
+      push(next_id++, m, 4, genre);
       std::string country = rng.Bernoulli(klass == 2 ? 0.8 : 0.4)
                                 ? "USA"
                                 : StrPrintf("Country%02d",
                                             static_cast<int>(rng.UniformInt(1, 40)));
-      t->AppendRow({Value::Int(next_id++), Value::Int(m), Value::Int(5),
-                    Value::Str(country)});
-      t->AppendRow({Value::Int(next_id++), Value::Int(m), Value::Int(6),
-                    Value::Str(rng.Bernoulli(0.6) ? "English"
-                                                  : StrPrintf("Lang%02d",
-                                                              static_cast<int>(rng.UniformInt(1, 30))))});
+      push(next_id++, m, 5, country);
+      push(next_id++, m, 6,
+           rng.Bernoulli(0.6) ? "English"
+                              : StrPrintf("Lang%02d",
+                                          static_cast<int>(rng.UniformInt(1, 30))));
       int64_t extra = rng.UniformInt(0, 3);
       for (int64_t e = 0; e < extra; ++e) {
-        t->AppendRow({Value::Int(next_id++), Value::Int(m),
-                      Value::Int(rng.UniformInt(7, 113)),
-                      Value::Str(StrPrintf("v%04d", static_cast<int>(rng.UniformInt(0, 9999))))});
+        int64_t id = next_id++;
+        int64_t itype = rng.UniformInt(7, 113);
+        push(id, m, itype,
+             StrPrintf("v%04d", static_cast<int>(rng.UniformInt(0, 9999))));
       }
     }
+    const int64_t n = static_cast<int64_t>(ids.size());
+    t->mutable_column(0).AppendInts(ids.data(), n);
+    t->mutable_column(1).AppendInts(movies.data(), n);
+    t->mutable_column(2).AppendInts(itypes.data(), n);
+    t->mutable_column(3).AppendStrings(std::move(infos));
+    t->SyncRowCountFromColumns();
     IndexIdColumns(t);
   }
 
@@ -576,6 +689,14 @@ std::unique_ptr<ImdbDatabase> BuildImdbDatabase(const ImdbOptions& options) {
       }
     }
     IndexIdColumns(t);
+  }
+
+  // ---- Physical encodings ----------------------------------------------------
+  // Load/serve boundary: pick per-column encodings now that every table is
+  // fully loaded. Statistics are bit-identical across encodings (pinned by
+  // the per-encoding differential suites), so this may run before ANALYZE.
+  for (const std::string& name : cat->TableNames()) {
+    cat->FindTable(name)->ApplyEncoding(options.encoding_policy);
   }
 
   // ---- ANALYZE everything ----------------------------------------------------

@@ -35,6 +35,13 @@ struct ImdbOptions {
   /// Number of "star" persons / "hot" keywords driving skew.
   int num_stars = 400;
   int num_hot_keywords = 24;
+  /// Physical column encodings applied after generation (before ANALYZE —
+  /// though stats are bit-identical either way, the per-encoding
+  /// differential suites pin that). kAuto dictionary-encodes
+  /// low-cardinality strings (cast_info.note, country codes, genres) and
+  /// zone-maps large numeric columns; the forced modes exist for the
+  /// differential tests.
+  storage::EncodingPolicy encoding_policy = storage::EncodingPolicy::kAuto;
 };
 
 /// A generated database: storage plus statistics (ANALYZE already run).

@@ -17,9 +17,17 @@ common::Value Box(const std::string& v) { return common::Value::Str(v); }
 // threshold and tie-breaking sort, the same histogram boundary positions —
 // so the emitted ColumnStats are bit-identical; only the representation
 // (typed tight loops vs. per-row common::Value) differs.
-template <typename T>
-ColumnStats TypedStats(std::vector<T> values, int64_t sample_rows,
-                       int64_t null_rows, const AnalyzeOptions& options) {
+//
+// `box` converts a gathered value to the boxed statistic representation at
+// the output boundary only. For plain columns it is the identity Box()
+// overload; for dictionary-encoded strings the gathered values are int32
+// codes and `box` decodes through the (sorted) dictionary — sorting codes
+// is the same permutation as sorting the strings, so every downstream step
+// sees identical groups and the emitted stats stay bit-identical.
+template <typename T, typename BoxFn>
+ColumnStats TypedStatsImpl(std::vector<T> values, int64_t sample_rows,
+                           int64_t null_rows, const AnalyzeOptions& options,
+                           BoxFn box) {
   ColumnStats stats;
   if (sample_rows == 0) return stats;
   stats.null_frac = static_cast<double>(null_rows) /
@@ -27,8 +35,8 @@ ColumnStats TypedStats(std::vector<T> values, int64_t sample_rows,
   if (values.empty()) return stats;
 
   std::sort(values.begin(), values.end());
-  stats.min = Box(values.front());
-  stats.max = Box(values.back());
+  stats.min = box(values.front());
+  stats.max = box(values.back());
 
   // Group equal runs of the sorted sample: (start offset, count).
   struct Group {
@@ -67,7 +75,7 @@ ColumnStats TypedStats(std::vector<T> values, int64_t sample_rows,
   }
   std::vector<uint8_t> is_mcv(groups.size(), 0);
   for (size_t g : candidates) {
-    stats.mcv.values.push_back(Box(values[groups[g].first]));
+    stats.mcv.values.push_back(box(values[groups[g].first]));
     stats.mcv.freqs.push_back(static_cast<double>(groups[g].count) / total);
     is_mcv[g] = 1;
   }
@@ -94,7 +102,7 @@ ColumnStats TypedStats(std::vector<T> values, int64_t sample_rows,
     bounds.reserve(positions.size() + 1);
     size_t g = 0;
     while (is_mcv[g]) ++g;
-    bounds.push_back(Box(values[groups[g].first]));  // front of the rest
+    bounds.push_back(box(values[groups[g].first]));  // front of the rest
     int64_t covered = 0;  // rest values in groups before `g`
     for (size_t pos : positions) {
       // Advance to the non-MCV group containing rest-position `pos`; the
@@ -104,7 +112,7 @@ ColumnStats TypedStats(std::vector<T> values, int64_t sample_rows,
         if (!is_mcv[g]) covered += groups[g].count;
         ++g;
       }
-      bounds.push_back(Box(values[groups[g].first]));
+      bounds.push_back(box(values[groups[g].first]));
     }
     stats.histogram = EquiDepthHistogram::FromBounds(std::move(bounds));
   }
@@ -156,6 +164,14 @@ void GatherSample(const storage::ColumnView& view,
   }
 }
 
+// Identity boxing for plain typed values.
+template <typename T>
+ColumnStats TypedStats(std::vector<T> values, int64_t sample_rows,
+                       int64_t null_rows, const AnalyzeOptions& options) {
+  return TypedStatsImpl(std::move(values), sample_rows, null_rows, options,
+                        [](const T& v) { return Box(v); });
+}
+
 }  // namespace
 
 ColumnStats ComputeColumnStats(std::vector<int64_t> values,
@@ -201,6 +217,26 @@ ColumnStats AnalyzeColumn(const storage::Column& column,
       return TypedStats(std::move(values), sample_rows, null_rows, options);
     }
     case common::DataType::kString: {
+      if (view.encoding == storage::ColumnEncoding::kDictionary) {
+        // Gather int32 codes instead of strings: sorting/grouping codes is
+        // order-isomorphic to sorting/grouping the strings (the dictionary
+        // is sorted), so running the core over codes and decoding only at
+        // the boxing boundary yields bit-identical stats at a fraction of
+        // the comparison cost.
+        std::vector<int32_t> codes;
+        GatherSample(
+            view, options,
+            [&](common::RowIdx row) {
+              return view.codes[static_cast<size_t>(row)];
+            },
+            &codes, &sample_rows, &null_rows);
+        const std::string* dict = view.dict;
+        return TypedStatsImpl(
+            std::move(codes), sample_rows, null_rows, options,
+            [dict](int32_t c) {
+              return common::Value::Str(dict[static_cast<size_t>(c)]);
+            });
+      }
       std::vector<std::string> values;
       GatherSample(
           view, options,

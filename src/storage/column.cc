@@ -1,6 +1,30 @@
 #include "storage/column.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
 namespace reopt::storage {
+
+const char* ColumnEncodingName(ColumnEncoding e) {
+  switch (e) {
+    case ColumnEncoding::kPlain:
+      return "plain";
+    case ColumnEncoding::kDictionary:
+      return "dictionary";
+    case ColumnEncoding::kPartitioned:
+      return "partitioned";
+  }
+  REOPT_UNREACHABLE("bad column encoding");
+}
+
+const std::string& Column::EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
 
 void Column::AppendNull() {
   switch (type_) {
@@ -36,6 +60,36 @@ void Column::AppendValue(const common::Value& v) {
   REOPT_UNREACHABLE("bad column type");
 }
 
+void Column::AppendInts(const int64_t* data, int64_t n) {
+  REOPT_CHECK(type_ == common::DataType::kInt64);
+  ints_.insert(ints_.end(), data, data + n);
+  NoteBulkAppend(n);
+}
+
+void Column::AppendDoubles(const double* data, int64_t n) {
+  REOPT_CHECK(type_ == common::DataType::kDouble);
+  doubles_.insert(doubles_.end(), data, data + n);
+  NoteBulkAppend(n);
+}
+
+void Column::AppendStrings(const std::string* data, int64_t n) {
+  REOPT_CHECK(type_ == common::DataType::kString);
+  strings_.insert(strings_.end(), data, data + n);
+  NoteBulkAppend(n);
+}
+
+void Column::AppendStrings(std::vector<std::string>&& data) {
+  REOPT_CHECK(type_ == common::DataType::kString);
+  const int64_t n = static_cast<int64_t>(data.size());
+  if (strings_.empty()) {
+    strings_ = std::move(data);
+  } else {
+    strings_.insert(strings_.end(), std::make_move_iterator(data.begin()),
+                    std::make_move_iterator(data.end()));
+  }
+  NoteBulkAppend(n);
+}
+
 void Column::Reserve(int64_t n) {
   switch (type_) {
     case common::DataType::kInt64:
@@ -48,6 +102,111 @@ void Column::Reserve(int64_t n) {
       strings_.reserve(static_cast<size_t>(n));
       break;
   }
+}
+
+void Column::EncodeDictionary() {
+  REOPT_CHECK_MSG(type_ == common::DataType::kString,
+                  "dictionary encoding is for string columns");
+  REOPT_CHECK_MSG(encoding_ == ColumnEncoding::kPlain,
+                  "column is already encoded");
+  // Sorted unique dictionary over the non-NULL rows, so that code order ==
+  // lexicographic string order (range predicates become code ranges).
+  dict_.clear();
+  dict_.reserve(strings_.size());
+  for (size_t r = 0; r < strings_.size(); ++r) {
+    if (valid_.empty() || valid_[r] != 0) dict_.push_back(strings_[r]);
+  }
+  std::sort(dict_.begin(), dict_.end());
+  dict_.erase(std::unique(dict_.begin(), dict_.end()), dict_.end());
+  dict_.shrink_to_fit();
+  REOPT_CHECK_MSG(
+      dict_.size() <= static_cast<size_t>(std::numeric_limits<int32_t>::max()),
+      "dictionary too large for int32 codes");
+  codes_.resize(strings_.size());
+  for (size_t r = 0; r < strings_.size(); ++r) {
+    if (!valid_.empty() && valid_[r] == 0) {
+      codes_[r] = -1;
+      continue;
+    }
+    auto it = std::lower_bound(dict_.begin(), dict_.end(), strings_[r]);
+    codes_[r] = static_cast<int32_t>(it - dict_.begin());
+  }
+  strings_.clear();
+  strings_.shrink_to_fit();
+  encoding_ = ColumnEncoding::kDictionary;
+  NoteMutation();
+}
+
+void Column::EncodePartitioned() {
+  REOPT_CHECK_MSG(type_ == common::DataType::kInt64 ||
+                      type_ == common::DataType::kDouble,
+                  "zone maps are for int64/double columns");
+  REOPT_CHECK_MSG(encoding_ == ColumnEncoding::kPlain,
+                  "column is already encoded");
+  const int64_t n = size_;
+  const int64_t num_parts = (n + kPartitionRows - 1) / kPartitionRows;
+  zones_.assign(static_cast<size_t>(num_parts), ZoneMap{});
+  for (int64_t p = 0; p < num_parts; ++p) {
+    ZoneMap& z = zones_[static_cast<size_t>(p)];
+    const int64_t lo = p * kPartitionRows;
+    const int64_t hi = std::min(n, lo + kPartitionRows);
+    z.row_count = hi - lo;
+    for (int64_t r = lo; r < hi; ++r) {
+      if (!valid_.empty() && valid_[static_cast<size_t>(r)] == 0) {
+        ++z.null_count;
+        continue;
+      }
+      if (type_ == common::DataType::kInt64) {
+        const int64_t v = ints_[static_cast<size_t>(r)];
+        if (!z.has_values) {
+          z.min_int = z.max_int = v;
+        } else {
+          z.min_int = std::min(z.min_int, v);
+          z.max_int = std::max(z.max_int, v);
+        }
+      } else {
+        const double v = doubles_[static_cast<size_t>(r)];
+        if (std::isnan(v)) {
+          // The kernels give NaN bespoke ordering; never skip a partition
+          // that contains one.
+          z.skippable = false;
+        } else if (!z.has_values) {
+          z.min_double = z.max_double = v;
+        } else {
+          z.min_double = std::min(z.min_double, v);
+          z.max_double = std::max(z.max_double, v);
+        }
+      }
+      z.has_values = true;
+    }
+    if (type_ == common::DataType::kInt64 && z.has_values) {
+      // static_cast<double> is monotone, so these bound the per-row casts
+      // the double-coerced predicate path performs.
+      z.min_double = static_cast<double>(z.min_int);
+      z.max_double = static_cast<double>(z.max_int);
+    }
+  }
+  encoding_ = ColumnEncoding::kPartitioned;
+  NoteMutation();
+}
+
+bool Column::DictionaryWorthwhile() const {
+  if (type_ != common::DataType::kString ||
+      encoding_ != ColumnEncoding::kPlain) {
+    return false;
+  }
+  if (size_ < kPartitionRows) return false;
+  // Worth it when distinct values are rare relative to rows (codes pay for
+  // the dictionary indirection many times over). Early-exits as soon as the
+  // column looks near-unique.
+  const size_t max_interesting = static_cast<size_t>(size_ / 8) + 1;
+  std::unordered_set<std::string_view> distinct;
+  for (size_t r = 0; r < strings_.size(); ++r) {
+    if (!valid_.empty() && valid_[r] == 0) continue;
+    distinct.insert(std::string_view(strings_[r]));
+    if (distinct.size() > max_interesting) return false;
+  }
+  return true;
 }
 
 common::Value Column::GetValue(common::RowIdx row) const {
@@ -64,7 +223,10 @@ common::Value Column::GetValue(common::RowIdx row) const {
 }
 
 void Column::NoteAppend(bool valid) {
+  REOPT_CHECK_MSG(encoding_ == ColumnEncoding::kPlain,
+                  "append to an encoded (frozen) column");
   ++size_;
+  NoteMutation();
   if (!valid && valid_.empty()) {
     // First null: materialize the bitmap with all prior rows valid.
     valid_.assign(static_cast<size_t>(size_), 1);
@@ -73,6 +235,16 @@ void Column::NoteAppend(bool valid) {
   }
   if (!valid_.empty()) {
     valid_.push_back(valid ? 1 : 0);
+  }
+}
+
+void Column::NoteBulkAppend(int64_t n) {
+  REOPT_CHECK_MSG(encoding_ == ColumnEncoding::kPlain,
+                  "append to an encoded (frozen) column");
+  size_ += n;
+  NoteMutation();
+  if (!valid_.empty()) {
+    valid_.insert(valid_.end(), static_cast<size_t>(n), 1);
   }
 }
 

@@ -1,5 +1,26 @@
 // In-memory typed column storage. A Column stores one attribute of a table
-// as a contiguous typed vector plus an optional validity bitmap.
+// as a contiguous typed vector plus an optional validity bitmap, under one
+// of three physical encodings:
+//
+//   kPlain        — the reference encoding: one contiguous typed vector.
+//                   Every other encoding must be observationally identical
+//                   to it through the boxed accessors (GetValue/GetString/
+//                   IsNull), which is what the per-encoding differential
+//                   suites prove.
+//   kDictionary   — strings only: a sorted, de-duplicated dictionary plus
+//                   one int32 code per row. Because the dictionary is
+//                   sorted, code order == lexicographic string order, so
+//                   equality binds to a single code compare and range
+//                   predicates become code-range compares. NULL rows carry
+//                   code -1 and decode to the empty string (matching the
+//                   default-constructed slot a plain column stores).
+//   kPartitioned  — int64/double only: data stays in the plain contiguous
+//                   vector, but per-partition (kPartitionRows rows) min/max
+//                   zone maps are built so FilterScan can skip whole
+//                   partitions that provably cannot satisfy a predicate.
+//
+// Encoded columns are frozen: any append after EncodeDictionary() /
+// EncodePartitioned() CHECK-fails. Encode before serving reads.
 #ifndef REOPT_STORAGE_COLUMN_H_
 #define REOPT_STORAGE_COLUMN_H_
 
@@ -13,24 +34,89 @@
 
 namespace reopt::storage {
 
+class Column;
+
+/// Physical layout of a Column. kPlain is the reference encoding.
+enum class ColumnEncoding { kPlain, kDictionary, kPartitioned };
+
+const char* ColumnEncodingName(ColumnEncoding e);
+
+/// Fixed partition width for kPartitioned zone maps. Must match the
+/// kernel batch size (exec::kKernelBatchSize) so a skipped partition is
+/// exactly one selection-vector batch; kernel.cc static_asserts this.
+inline constexpr int64_t kPartitionRows = 1024;
+
+/// Per-partition summary for kPartitioned columns. min/max cover the
+/// non-NULL rows of the partition in the column's native type (for int64
+/// columns the double fields hold the monotone-cast values so predicates
+/// coerced to double can be tested without per-row casts).
+struct ZoneMap {
+  int64_t min_int = 0;
+  int64_t max_int = 0;
+  double min_double = 0.0;
+  double max_double = 0.0;
+  int64_t row_count = 0;
+  int64_t null_count = 0;
+  /// False when every row in the partition is NULL (min/max meaningless).
+  bool has_values = false;
+  /// False disables skipping for this partition entirely (set when a double
+  /// partition contains NaN, whose ordering the kernels define specially).
+  bool skippable = true;
+
+  bool AllNull() const { return null_count == row_count; }
+};
+
 /// A borrowed, raw-span view of one column: the typed data pointers plus
 /// the validity bitmap, resolved once so batch kernels can run tight loops
-/// without per-row accessor calls. Only the pointer matching `type` spans
-/// `size` elements; the others point at empty storage and must not be
-/// indexed. Invalidated by appends to the underlying column.
+/// without per-row accessor calls. Only the pointers matching `type` and
+/// `encoding` span `size` elements; the others point at empty storage and
+/// must not be indexed. Invalidated by appends to (or encoding of) the
+/// underlying column; debug builds catch stale use via a version check in
+/// IsNull() and the checked span accessors.
 struct ColumnView {
   common::DataType type = common::DataType::kInt64;
+  ColumnEncoding encoding = ColumnEncoding::kPlain;
   int64_t size = 0;
   const int64_t* ints = nullptr;
   const double* doubles = nullptr;
+  /// Plain string rows; nullptr under kDictionary (use codes/dict).
   const std::string* strings = nullptr;
   /// nullptr means every row is valid; otherwise 0 marks a NULL row.
   const uint8_t* valid = nullptr;
+  /// kDictionary only: per-row code into `dict` (-1 for NULL rows).
+  const int32_t* codes = nullptr;
+  /// kDictionary only: sorted unique dictionary, `dict_size` entries.
+  const std::string* dict = nullptr;
+  int32_t dict_size = 0;
+  /// kPartitioned only: one ZoneMap per kPartitionRows rows.
+  const ZoneMap* zones = nullptr;
+  int64_t num_zones = 0;
+#ifndef NDEBUG
+  const Column* owner = nullptr;
+  uint64_t version = 0;
+#endif
+
+  /// Debug builds abort if the owning column was appended to or re-encoded
+  /// after this view was taken. No-op in release builds.
+  void CheckFresh() const;
 
   bool IsNull(common::RowIdx row) const {
+    CheckFresh();
     return valid != nullptr && valid[static_cast<size_t>(row)] == 0;
   }
   bool AllValid() const { return valid == nullptr; }
+
+  /// Checked span accessors: same pointers as the raw members, with a
+  /// staleness check in debug builds. Hoist these out of hot loops.
+  const int64_t* Ints() const { CheckFresh(); return ints; }
+  const double* Doubles() const { CheckFresh(); return doubles; }
+  const std::string* Strings() const { CheckFresh(); return strings; }
+  const uint8_t* Valid() const { CheckFresh(); return valid; }
+  const int32_t* Codes() const { CheckFresh(); return codes; }
+
+  /// Decoded string for `row`, regardless of encoding. NULL rows decode to
+  /// the empty string (the same value a plain column's slot holds).
+  const std::string& StringAt(common::RowIdx row) const;
 };
 
 /// A single typed column. Rows are addressed by RowIdx (0-based). Values may
@@ -42,8 +128,9 @@ class Column {
 
   common::DataType type() const { return type_; }
   int64_t size() const { return size_; }
+  ColumnEncoding encoding() const { return encoding_; }
 
-  // ---- Appends -------------------------------------------------------
+  // ---- Appends (kPlain only; encoded columns are frozen) -------------
   void AppendInt(int64_t v) {
     REOPT_CHECK(type_ == common::DataType::kInt64);
     ints_.push_back(v);
@@ -64,7 +151,30 @@ class Column {
   /// Appends any Value (must match the column type or be null).
   void AppendValue(const common::Value& v);
 
+  /// Bulk appends: one type/bitmap bookkeeping step for `n` rows instead of
+  /// n accessor round-trips. All appended rows are valid (non-NULL).
+  void AppendInts(const int64_t* data, int64_t n);
+  void AppendDoubles(const double* data, int64_t n);
+  void AppendStrings(const std::string* data, int64_t n);
+  /// Move-appends the buffer's strings (buffer is left valid but drained).
+  void AppendStrings(std::vector<std::string>&& data);
+
   void Reserve(int64_t n);
+
+  // ---- Encoding ------------------------------------------------------
+  /// Rewrites a kPlain string column as sorted-dictionary + int32 codes.
+  /// The plain string vector is released; the column is frozen afterwards.
+  void EncodeDictionary();
+  /// Builds per-partition zone maps over a kPlain int64/double column.
+  /// Data stays in place (plain spans remain valid); frozen afterwards.
+  void EncodePartitioned();
+  /// Heuristic: true when dictionary-encoding this string column would
+  /// clearly pay (enough rows, few distinct values relative to row count).
+  bool DictionaryWorthwhile() const;
+
+  const std::vector<std::string>& dictionary() const { return dict_; }
+  const std::vector<int32_t>& dict_codes() const { return codes_; }
+  const std::vector<ZoneMap>& zones() const { return zones_; }
 
   // ---- Reads ---------------------------------------------------------
   bool IsNull(common::RowIdx row) const {
@@ -76,43 +186,108 @@ class Column {
   double GetDouble(common::RowIdx row) const {
     return doubles_[static_cast<size_t>(row)];
   }
+  /// Decodes through the dictionary when encoded; identical to the plain
+  /// slot value either way (NULL rows read as the empty string).
   const std::string& GetString(common::RowIdx row) const {
+    if (encoding_ == ColumnEncoding::kDictionary) {
+      int32_t c = codes_[static_cast<size_t>(row)];
+      return c < 0 ? EmptyString() : dict_[static_cast<size_t>(c)];
+    }
     return strings_[static_cast<size_t>(row)];
   }
-  /// Boxed access (used off the hot path).
+  /// Boxed access (used off the hot path). Decodes transparently for any
+  /// encoding — this is the invariant the differential suites pin.
   common::Value GetValue(common::RowIdx row) const;
 
-  /// Direct typed access for scans.
+  /// Direct typed access for scans. strings() is only meaningful for
+  /// kPlain (a dictionary column has released its plain string vector).
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
-  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<std::string>& strings() const {
+    REOPT_CHECK_MSG(encoding_ != ColumnEncoding::kDictionary,
+                    "plain string span requested from a dictionary column");
+    return strings_;
+  }
 
   /// Raw-span view for batch kernels (see ColumnView).
   ColumnView View() const {
     ColumnView view;
     view.type = type_;
+    view.encoding = encoding_;
     view.size = size_;
     view.ints = ints_.data();
     view.doubles = doubles_.data();
-    view.strings = strings_.data();
+    view.strings =
+        encoding_ == ColumnEncoding::kDictionary ? nullptr : strings_.data();
     view.valid = valid_.empty() ? nullptr : valid_.data();
+    view.codes = codes_.data();
+    view.dict = dict_.data();
+    view.dict_size = static_cast<int32_t>(dict_.size());
+    view.zones = zones_.data();
+    view.num_zones = static_cast<int64_t>(zones_.size());
+#ifndef NDEBUG
+    view.owner = this;
+    view.version = version_;
+#endif
     return view;
   }
 
   /// True if no row is null.
   bool AllValid() const { return valid_.empty(); }
 
+#ifndef NDEBUG
+  uint64_t version() const { return version_; }
+#endif
+
+  static const std::string& EmptyString();
+
  private:
   void NoteAppend(bool valid);
+  void NoteBulkAppend(int64_t n);
+  void NoteMutation() {
+#ifndef NDEBUG
+    ++version_;
+#endif
+  }
 
   common::DataType type_;
+  ColumnEncoding encoding_ = ColumnEncoding::kPlain;
   int64_t size_ = 0;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::string> strings_;
   // Empty means "all valid". Lazily materialized on the first null.
   std::vector<uint8_t> valid_;
+  // kDictionary: sorted unique values + one code per row (-1 = NULL).
+  std::vector<std::string> dict_;
+  std::vector<int32_t> codes_;
+  // kPartitioned: one zone map per kPartitionRows rows.
+  std::vector<ZoneMap> zones_;
+#ifndef NDEBUG
+  // Bumped by every append/encode; outstanding ColumnViews compare against
+  // it so stale raw-span use aborts in debug builds instead of reading
+  // freed memory.
+  uint64_t version_ = 0;
+#endif
 };
+
+#ifndef NDEBUG
+inline void ColumnView::CheckFresh() const {
+  REOPT_CHECK_MSG(owner == nullptr || version == owner->version(),
+                  "stale ColumnView: the column was appended to or "
+                  "re-encoded after View() was taken");
+}
+#else
+inline void ColumnView::CheckFresh() const {}
+#endif
+
+inline const std::string& ColumnView::StringAt(common::RowIdx row) const {
+  if (encoding == ColumnEncoding::kDictionary) {
+    int32_t c = codes[static_cast<size_t>(row)];
+    return c < 0 ? Column::EmptyString() : dict[static_cast<size_t>(c)];
+  }
+  return strings[static_cast<size_t>(row)];
+}
 
 }  // namespace reopt::storage
 

@@ -37,6 +37,30 @@ void Table::SyncRowCountFromColumns() {
   num_rows_ = n;
 }
 
+void Table::ApplyEncoding(EncodingPolicy policy) {
+  if (policy == EncodingPolicy::kForcePlain) return;
+  for (auto& col : columns_) {
+    if (col->encoding() != ColumnEncoding::kPlain) continue;
+    switch (policy) {
+      case EncodingPolicy::kForceDictionary:
+        if (col->type() == common::DataType::kString) col->EncodeDictionary();
+        break;
+      case EncodingPolicy::kForcePartitioned:
+        if (col->type() != common::DataType::kString) col->EncodePartitioned();
+        break;
+      case EncodingPolicy::kAuto:
+        if (col->type() == common::DataType::kString) {
+          if (col->DictionaryWorthwhile()) col->EncodeDictionary();
+        } else if (col->size() >= 4 * kPartitionRows) {
+          col->EncodePartitioned();
+        }
+        break;
+      case EncodingPolicy::kForcePlain:
+        break;
+    }
+  }
+}
+
 common::Status Table::CreateIndex(common::ColumnIdx column) {
   if (column < 0 || column >= schema_.num_columns()) {
     return common::Status::InvalidArgument(common::StrPrintf(

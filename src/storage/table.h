@@ -16,6 +16,17 @@
 
 namespace reopt::storage {
 
+/// How a table picks physical column encodings when loading finishes.
+/// kAuto applies per-column heuristics (dictionary for low-cardinality
+/// strings, zone maps for large numeric columns); the forced modes exist
+/// for differential tests that pin every encoding's behavior.
+enum class EncodingPolicy {
+  kAuto,
+  kForcePlain,
+  kForceDictionary,
+  kForcePartitioned,
+};
+
 /// A named table. Append-only; rows are addressed by 0-based RowIdx.
 class Table {
  public:
@@ -46,6 +57,12 @@ class Table {
   /// appends (bulk loaders, temp-table materialization). CHECK-fails if
   /// columns disagree in length.
   void SyncRowCountFromColumns();
+
+  /// Applies physical encodings per `policy` to every still-plain column
+  /// (see EncodingPolicy). Call once after loading; encoded columns are
+  /// frozen, so this is the load/serve boundary. Idempotent on columns
+  /// that are already encoded.
+  void ApplyEncoding(EncodingPolicy policy);
 
   /// Builds a hash index on an INT64 column (no-op if one already exists).
   /// Returns InvalidArgument for non-integer columns.

@@ -125,6 +125,45 @@ TEST(BenchFlagsTest, BenchScaleValidatesEnvironment) {
   EXPECT_DOUBLE_EQ(BenchScale(), 0.4);
 }
 
+TEST(BenchFlagsTest, BenchScaleFlagTakesPrecedenceOverEnv) {
+  ASSERT_EQ(setenv("REOPT_BENCH_SCALE", "0.15", 1), 0);
+  FakeArgv fake({"--scale=2"});
+  EXPECT_DOUBLE_EQ(BenchScale(fake.argc(), fake.argv()), 2.0);
+  // Garbage flag value: the flag was given, so it falls back to the safe
+  // default (like every other flag) rather than silently shadowing the
+  // environment or coercing to 0.0.
+  FakeArgv bad({"--scale=huge"});
+  EXPECT_DOUBLE_EQ(BenchScale(bad.argc(), bad.argv()), 0.4);
+  // No flag: environment applies as before.
+  FakeArgv none({"--out=x.json"});
+  EXPECT_DOUBLE_EQ(BenchScale(none.argc(), none.argv()), 0.15);
+  ASSERT_EQ(unsetenv("REOPT_BENCH_SCALE"), 0);
+  EXPECT_DOUBLE_EQ(BenchScale(none.argc(), none.argv()), 0.4);
+}
+
+TEST(BenchFlagsTest, ParseScaleListSplitsAndValidates) {
+  EXPECT_EQ(ParseScaleList("1"), (std::vector<double>{1.0}));
+  EXPECT_EQ(ParseScaleList("0.1,1,10"), (std::vector<double>{0.1, 1.0, 10.0}));
+  // Invalid elements are dropped (reported to stderr), valid ones kept.
+  EXPECT_EQ(ParseScaleList("0.5,junk,2"), (std::vector<double>{0.5, 2.0}));
+  EXPECT_EQ(ParseScaleList("-1,0,1e9"), (std::vector<double>{}));
+  EXPECT_TRUE(ParseScaleList("").empty());
+  EXPECT_TRUE(ParseScaleList(",,").empty());
+}
+
+TEST(BenchFlagsTest, BenchScaleListReadsSweepFlag) {
+  FakeArgv fake({"--scale=0.1,1"});
+  EXPECT_EQ(BenchScaleList(fake.argc(), fake.argv()),
+            (std::vector<double>{0.1, 1.0}));
+  // Single value still comes back as a one-element sweep.
+  FakeArgv one({"--scale=0.25"});
+  EXPECT_EQ(BenchScaleList(one.argc(), one.argv()),
+            (std::vector<double>{0.25}));
+  // Absent flag: empty, callers fall back to the default single scale.
+  FakeArgv none({"--out=x.json"});
+  EXPECT_TRUE(BenchScaleList(none.argc(), none.argv()).empty());
+}
+
 TEST(BenchFlagsTest, ParseThreadCountRegression) {
   EXPECT_EQ(ParseThreadCount("4", "--threads"), 4);
   EXPECT_EQ(ParseThreadCount("junk", "--threads"), 1);

@@ -23,6 +23,8 @@
 #include "optimizer/query_context.h"
 #include "plan/join_graph.h"
 #include "plan/physical_plan.h"
+#include "storage/column.h"
+#include "storage/table.h"
 #include "tests/test_util.h"
 #include "workload/job_like.h"
 #include "workload/runner.h"
@@ -145,6 +147,136 @@ TEST(KernelDifferentialTest, All113QueriesIntraQueryThreadsMatchSerial) {
       }
       EXPECT_EQ(NodeActuals(*intra_plan), NodeActuals(*serial_plan));
     }
+  }
+}
+
+/// The encoding dimension: the same seed/scale database is generated once
+/// per physical column encoding (plain is the reference encoding;
+/// dictionary and partitioned are the optimized layouts; kAuto mixes them
+/// per DictionaryWorthwhile / column size), and the full 113-query
+/// workload must come back byte-identical — raw rows, charged cost units
+/// and every aggregate — under both kernel modes on every database.
+/// Charged cost is part of the contract on purpose: SeqScanCost is a
+/// function of num_rows and output rows, so zone-map partition skipping
+/// must change wall-clock only, never a result or a cost unit.
+TEST(KernelDifferentialTest, All113QueriesByteIdenticalAcrossEncodings) {
+  struct Outcome {
+    int64_t raw_rows;
+    double cost_units;
+    std::vector<common::Value> aggregates;
+  };
+  auto run_workload = [](imdb::ImdbDatabase* db, exec::KernelMode mode) {
+    std::vector<Outcome> out;
+    auto workload = workload::BuildJobLikeWorkload(db->catalog);
+    EXPECT_EQ(workload->queries.size(), 113u);
+    optimizer::CostParams params;
+    exec::Executor ex(&db->catalog, &db->stats, params);
+    ex.set_kernel_mode(mode);
+    for (const auto& query : workload->queries) {
+      SCOPED_TRACE(query->name);
+      auto ctx_result = optimizer::QueryContext::Bind(query.get(),
+                                                      &db->catalog,
+                                                      &db->stats);
+      EXPECT_TRUE(ctx_result.ok());
+      auto ctx = std::move(ctx_result.value());
+      optimizer::EstimatorModel model(ctx.get());
+      optimizer::Planner planner(ctx.get(), &model, params);
+      auto planned = planner.Plan();
+      EXPECT_TRUE(planned.ok());
+      auto result = ex.Execute(*query, planned.value().root.get());
+      EXPECT_TRUE(result.ok());
+      out.push_back(Outcome{result.value().raw_rows,
+                            result.value().cost_units,
+                            result.value().aggregates});
+    }
+    return out;
+  };
+  auto build = [](storage::EncodingPolicy policy) {
+    imdb::ImdbOptions options;
+    options.scale = 0.05;
+    options.encoding_policy = policy;
+    return imdb::BuildImdbDatabase(options);
+  };
+  auto column_encoding = [](const imdb::ImdbDatabase& db, const char* table,
+                            const char* column) {
+    const storage::Table* t = db.catalog.FindTable(table);
+    return t->column(t->schema().FindColumn(column)).encoding();
+  };
+  auto expect_same = [](const std::vector<Outcome>& want,
+                        const std::vector<Outcome>& got) {
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      SCOPED_TRACE(i);
+      EXPECT_EQ(want[i].raw_rows, got[i].raw_rows);
+      EXPECT_EQ(want[i].cost_units, got[i].cost_units);
+      ASSERT_EQ(want[i].aggregates.size(), got[i].aggregates.size());
+      for (size_t a = 0; a < want[i].aggregates.size(); ++a) {
+        EXPECT_EQ(want[i].aggregates[a].is_null(),
+                  got[i].aggregates[a].is_null());
+        if (!want[i].aggregates[a].is_null() &&
+            !got[i].aggregates[a].is_null()) {
+          EXPECT_EQ(want[i].aggregates[a], got[i].aggregates[a])
+              << "aggregate " << a;
+        }
+      }
+    }
+  };
+
+  // Baseline: the forced-plain database under the scalar reference kernel
+  // — no encoding, no vectorization; the slowest, most obviously correct
+  // configuration anchors every other one.
+  auto plain_db = build(storage::EncodingPolicy::kForcePlain);
+  ASSERT_EQ(column_encoding(*plain_db, "cast_info", "note"),
+            storage::ColumnEncoding::kPlain);
+  ASSERT_EQ(column_encoding(*plain_db, "cast_info", "id"),
+            storage::ColumnEncoding::kPlain);
+  std::vector<Outcome> baseline =
+      run_workload(plain_db.get(), exec::KernelMode::kReference);
+  {
+    SCOPED_TRACE("plain / vectorized");
+    expect_same(baseline,
+                run_workload(plain_db.get(), exec::KernelMode::kVectorized));
+  }
+
+  // Dictionary: every string column holds sorted-dict codes; equality and
+  // LIKE compile to code compares / bitmap probes in the vectorized path.
+  {
+    auto db = build(storage::EncodingPolicy::kForceDictionary);
+    ASSERT_EQ(column_encoding(*db, "cast_info", "note"),
+              storage::ColumnEncoding::kDictionary);
+    ASSERT_EQ(column_encoding(*db, "title", "title"),
+              storage::ColumnEncoding::kDictionary);
+    SCOPED_TRACE("dictionary");
+    expect_same(baseline,
+                run_workload(db.get(), exec::KernelMode::kVectorized));
+    expect_same(baseline,
+                run_workload(db.get(), exec::KernelMode::kReference));
+  }
+
+  // Partitioned: every numeric column carries per-1024-row zone maps that
+  // FilterScan consults for batch skipping.
+  {
+    auto db = build(storage::EncodingPolicy::kForcePartitioned);
+    ASSERT_EQ(column_encoding(*db, "cast_info", "id"),
+              storage::ColumnEncoding::kPartitioned);
+    ASSERT_EQ(column_encoding(*db, "title", "production_year"),
+              storage::ColumnEncoding::kPartitioned);
+    SCOPED_TRACE("partitioned");
+    expect_same(baseline,
+                run_workload(db.get(), exec::KernelMode::kVectorized));
+    expect_same(baseline,
+                run_workload(db.get(), exec::KernelMode::kReference));
+  }
+
+  // kAuto: the production mix (what SmallImdb and every bench database
+  // actually run with).
+  {
+    auto db = build(storage::EncodingPolicy::kAuto);
+    SCOPED_TRACE("auto");
+    expect_same(baseline,
+                run_workload(db.get(), exec::KernelMode::kVectorized));
+    expect_same(baseline,
+                run_workload(db.get(), exec::KernelMode::kReference));
   }
 }
 

@@ -7,6 +7,9 @@
 // reference kernel, element for element.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +18,7 @@
 #include "exec/kernel.h"
 #include "exec/kernel_reference.h"
 #include "storage/catalog.h"
+#include "storage/column.h"
 #include "tests/test_util.h"
 
 namespace reopt::exec {
@@ -437,6 +441,292 @@ TEST_F(KernelEdgeTest, StringBetweenMatchesReferenceExactly) {
   // reference is the invariant that matters.
   std::vector<common::RowIdx> rows = BothScans(t, {&between_s});
   EXPECT_FALSE(rows.empty());
+}
+
+// ---- Encoding edge cases ---------------------------------------------------
+// Dictionary- and partition-encoded columns must be observationally
+// identical to plain twins holding the same rows, under both kernels:
+// FilterScan(encoded, vectorized) == FilterScan(encoded, reference) ==
+// FilterScan(plain, either). Covers the degenerate dictionaries (empty
+// table, all-NULL column, single distinct value), partition boundaries at
+// kKernelBatchSize +/- 1, an entirely-NULL partition, NaN-poisoned zone
+// maps, and the morsel-parallel scan path over partitioned columns.
+
+TEST_F(KernelEdgeTest, DictionaryEncodingDegenerateShapes) {
+  const int64_t kB = kKernelBatchSize;
+  struct Shape {
+    const char* name;
+    int64_t rows;
+    std::function<Value(int64_t)> value;  // string or NULL per row
+    size_t dict_size;
+  };
+  const std::vector<Shape> shapes = {
+      // Zero rows: EncodeDictionary of nothing -> empty dictionary.
+      {"dict_empty", 0, [](int64_t) { return Value::Null_(); }, 0u},
+      // Every row NULL: empty dictionary, every code -1.
+      {"dict_all_null", 2 * kB + 5, [](int64_t) { return Value::Null_(); },
+       0u},
+      // One distinct value (plus NULLs): single-entry dictionary, so every
+      // compiled code range is either empty or [0, 1).
+      {"dict_single", kB + 3,
+       [](int64_t i) {
+         return i % 7 == 0 ? Value::Null_() : Value::Str("only");
+       },
+       1u},
+      // Five distinct values across two-and-a-bit batches.
+      {"dict_mixed", 2 * kB + 17,
+       [](int64_t i) {
+         return i % 11 == 3 ? Value::Null_()
+                            : Value::Str("v" + std::to_string(i % 5));
+       },
+       5u},
+  };
+  for (const Shape& shape : shapes) {
+    SCOPED_TRACE(shape.name);
+    storage::Table* dict = nullptr;
+    storage::Table* plain = nullptr;
+    for (bool encode : {true, false}) {
+      auto created = catalog_->CreateTable(
+          std::string(shape.name) + (encode ? "" : "_plain"),
+          storage::Schema({{"id", common::DataType::kInt64},
+                           {"s", common::DataType::kString}}));
+      ASSERT_TRUE(created.ok());
+      storage::Table* t = created.value();
+      for (int64_t i = 0; i < shape.rows; ++i) {
+        t->AppendRow({Value::Int(i), shape.value(i)});
+      }
+      if (encode) {
+        t->mutable_column(1).EncodeDictionary();
+        dict = t;
+      } else {
+        plain = t;
+      }
+    }
+    ASSERT_EQ(dict->column(1).encoding(),
+              storage::ColumnEncoding::kDictionary);
+    EXPECT_EQ(dict->column(1).dictionary().size(), shape.dict_size);
+    EXPECT_TRUE(std::is_sorted(dict->column(1).dictionary().begin(),
+                               dict->column(1).dictionary().end()));
+
+    // Probe constants bracketing the dictionary: below every entry (""),
+    // each present value, absent values falling between / above entries.
+    std::vector<plan::ScanPredicate> preds;
+    for (const char* probe :
+         {"", "only", "onlz", "v0", "v2", "v2a", "v4", "zz"}) {
+      for (plan::CompareOp op :
+           {plan::CompareOp::kEq, plan::CompareOp::kNe, plan::CompareOp::kLt,
+            plan::CompareOp::kLe, plan::CompareOp::kGt,
+            plan::CompareOp::kGe}) {
+        preds.push_back(Pred(1, plan::ScanPredicate::Kind::kCompare, op,
+                             Value::Str(probe)));
+      }
+    }
+    // LIKE shapes over the dictionary (evaluated once per entry on the
+    // dict path, once per row on plain): exact, any, prefix, suffix,
+    // contains, underscore, and patterns matching nothing.
+    for (const char* pattern :
+         {"%", "", "v2", "only", "v%", "%2", "%2%", "o_ly", "%nl%", "w%"}) {
+      preds.push_back(Pred(1, plan::ScanPredicate::Kind::kLike,
+                           plan::CompareOp::kEq, Value::Str(pattern)));
+      preds.push_back(Pred(1, plan::ScanPredicate::Kind::kNotLike,
+                           plan::CompareOp::kEq, Value::Str(pattern)));
+    }
+    preds.push_back(Pred(1, plan::ScanPredicate::Kind::kBetween,
+                         plan::CompareOp::kEq, Value::Str("v1"),
+                         Value::Str("v3")));
+    preds.push_back(Pred(1, plan::ScanPredicate::Kind::kBetween,
+                         plan::CompareOp::kEq, Value::Str("a"),
+                         Value::Str("b")));
+    preds.push_back(Pred(1, plan::ScanPredicate::Kind::kIsNull,
+                         plan::CompareOp::kEq, Value::Null_()));
+    preds.push_back(Pred(1, plan::ScanPredicate::Kind::kIsNotNull,
+                         plan::CompareOp::kEq, Value::Null_()));
+    auto in_pred = [](std::vector<Value> list) {
+      plan::ScanPredicate p;
+      p.column = plan::ColumnRef{0, 1, ""};
+      p.kind = plan::ScanPredicate::Kind::kIn;
+      p.in_list = std::move(list);
+      return p;
+    };
+    preds.push_back(in_pred({Value::Str("v1"), Value::Str("zz"),
+                             Value::Null_()}));
+    preds.push_back(in_pred({Value::Str("only")}));
+    preds.push_back(in_pred({}));
+
+    for (size_t i = 0; i < preds.size(); ++i) {
+      SCOPED_TRACE("predicate #" + std::to_string(i));
+      EXPECT_EQ(BothScans(*dict, {&preds[i]}), BothScans(*plain, {&preds[i]}));
+    }
+  }
+}
+
+TEST_F(KernelEdgeTest, PartitionBoundariesAndZoneMapSkipping) {
+  const int64_t kB = kKernelBatchSize;
+  // 5 * kB + 1 clears the morsel-parallel row threshold; the others pin
+  // the final-partial-partition arithmetic at the batch boundary.
+  for (int64_t n : {kB - 1, kB, kB + 1, 5 * kB + 1}) {
+    SCOPED_TRACE(n);
+    storage::Table* enc = nullptr;
+    storage::Table* plain = nullptr;
+    for (bool encode : {true, false}) {
+      auto created = catalog_->CreateTable(
+          "part" + std::to_string(n) + (encode ? "" : "_plain"),
+          storage::Schema({{"id", common::DataType::kInt64},
+                           {"val", common::DataType::kDouble},
+                           {"nullable", common::DataType::kInt64}}));
+      ASSERT_TRUE(created.ok());
+      storage::Table* t = created.value();
+      for (int64_t i = 0; i < n; ++i) {
+        // The entire second partition of `nullable` is NULL (when the
+        // table has one), so its zone map has no values at all and is
+        // unconditionally skippable.
+        bool null_row = i % 7 == 0 || i / kB == 1;
+        t->AppendRow({Value::Int(i),
+                      Value::Real(static_cast<double>(i) / 2.0),
+                      null_row ? Value::Null_() : Value::Int(i)});
+      }
+      if (encode) {
+        for (common::ColumnIdx c = 0; c < 3; ++c) {
+          t->mutable_column(c).EncodePartitioned();
+        }
+        enc = t;
+      } else {
+        plain = t;
+      }
+    }
+    ASSERT_EQ(enc->column(0).encoding(),
+              storage::ColumnEncoding::kPartitioned);
+    EXPECT_EQ(static_cast<int64_t>(enc->column(0).zones().size()),
+              (n + kB - 1) / kB);
+
+    // Constants chosen to make individual partitions skippable: the id
+    // column is ascending, so point/range predicates reject every
+    // partition whose [min, max] misses the constant.
+    std::vector<plan::ScanPredicate> preds;
+    for (int64_t c : {static_cast<int64_t>(0), static_cast<int64_t>(5),
+                      kB - 1, kB, kB + 1, n - 1, n, static_cast<int64_t>(-1)}) {
+      for (plan::CompareOp op :
+           {plan::CompareOp::kEq, plan::CompareOp::kNe, plan::CompareOp::kLt,
+            plan::CompareOp::kLe, plan::CompareOp::kGt,
+            plan::CompareOp::kGe}) {
+        preds.push_back(Pred(0, plan::ScanPredicate::Kind::kCompare, op,
+                             Value::Int(c)));
+      }
+    }
+    // BETWEEN straddling a partition boundary, fully inside one
+    // partition, and empty.
+    preds.push_back(Pred(0, plan::ScanPredicate::Kind::kBetween,
+                         plan::CompareOp::kEq, Value::Int(kB - 1),
+                         Value::Int(kB + 1)));
+    preds.push_back(Pred(0, plan::ScanPredicate::Kind::kBetween,
+                         plan::CompareOp::kEq, Value::Int(3),
+                         Value::Int(7)));
+    preds.push_back(Pred(0, plan::ScanPredicate::Kind::kBetween,
+                         plan::CompareOp::kEq, Value::Int(n),
+                         Value::Int(2 * n)));
+    // Doubles: typed double path with zone maps.
+    preds.push_back(Pred(1, plan::ScanPredicate::Kind::kCompare,
+                         plan::CompareOp::kLt, Value::Real(10.5)));
+    preds.push_back(Pred(1, plan::ScanPredicate::Kind::kBetween,
+                         plan::CompareOp::kEq, Value::Real(1.0),
+                         Value::Real(2.0)));
+    preds.push_back(Pred(1, plan::ScanPredicate::Kind::kCompare,
+                         plan::CompareOp::kGt,
+                         Value::Real(static_cast<double>(n - 3) / 2.0)));
+    // The all-NULL partition: any comparison must skip it, IS NULL must
+    // still see it.
+    preds.push_back(Pred(2, plan::ScanPredicate::Kind::kCompare,
+                         plan::CompareOp::kEq, Value::Int(kB + 2)));
+    preds.push_back(Pred(2, plan::ScanPredicate::Kind::kCompare,
+                         plan::CompareOp::kGe, Value::Int(0)));
+    preds.push_back(Pred(2, plan::ScanPredicate::Kind::kIsNull,
+                         plan::CompareOp::kEq, Value::Null_()));
+    preds.push_back(Pred(2, plan::ScanPredicate::Kind::kIsNotNull,
+                         plan::CompareOp::kEq, Value::Null_()));
+
+    for (size_t i = 0; i < preds.size(); ++i) {
+      SCOPED_TRACE("predicate #" + std::to_string(i));
+      EXPECT_EQ(BothScans(*enc, {&preds[i]}), BothScans(*plain, {&preds[i]}));
+    }
+
+    // Morsel-parallel scans consult the same zone maps (morsels are
+    // partition-aligned): identical output at every thread count.
+    common::ThreadPool pool(3);
+    plan::ScanPredicate point = Pred(0, plan::ScanPredicate::Kind::kCompare,
+                                     plan::CompareOp::kEq, Value::Int(n - 1));
+    plan::ScanPredicate range = Pred(0, plan::ScanPredicate::Kind::kBetween,
+                                     plan::CompareOp::kEq, Value::Int(kB - 1),
+                                     Value::Int(kB + 1));
+    for (int threads : {2, 3}) {
+      MorselContext ctx{threads, &pool};
+      EXPECT_EQ(FilterScanParallel(*enc, {&point}, ctx),
+                FilterScan(*enc, {&point}));
+      EXPECT_EQ(FilterScanParallel(*enc, {&range}, ctx),
+                FilterScan(*enc, {&range}));
+    }
+  }
+}
+
+TEST_F(KernelEdgeTest, NaNRowsPoisonZoneMapsButNeverSkipWrongly) {
+  const int64_t kB = kKernelBatchSize;
+  const int64_t n = 3 * kB + 5;
+  // Partition 1 of `d` contains NaN rows, so its zone map cannot offer
+  // usable bounds and must never be skipped; partitions 0 and 2 are clean
+  // and remain skippable.
+  storage::Table* enc = nullptr;
+  storage::Table* plain = nullptr;
+  for (bool encode : {true, false}) {
+    auto created = catalog_->CreateTable(
+        std::string("nanp") + (encode ? "" : "_plain"),
+        storage::Schema({{"id", common::DataType::kInt64},
+                         {"d", common::DataType::kDouble}}));
+    ASSERT_TRUE(created.ok());
+    storage::Table* t = created.value();
+    for (int64_t i = 0; i < n; ++i) {
+      Value d;
+      if (i % 13 == 5) {
+        d = Value::Null_();
+      } else if (i / kB == 1 && i % 3 == 0) {
+        d = Value::Real(std::numeric_limits<double>::quiet_NaN());
+      } else {
+        d = Value::Real(static_cast<double>(i) / 2.0);
+      }
+      t->AppendRow({Value::Int(i), std::move(d)});
+    }
+    if (encode) {
+      t->mutable_column(1).EncodePartitioned();
+      enc = t;
+    } else {
+      plain = t;
+    }
+  }
+  ASSERT_EQ(enc->column(1).encoding(), storage::ColumnEncoding::kPartitioned);
+
+  std::vector<plan::ScanPredicate> preds;
+  // Constants inside partition 0's range, inside the NaN partition's
+  // nominal range, inside partition 2's range, and outside all of them.
+  for (double c : {100.0, static_cast<double>(kB) / 2.0 + 60.0,
+                   static_cast<double>(kB), 2.5 * kB, -1.0,
+                   static_cast<double>(n)}) {
+    for (plan::CompareOp op :
+         {plan::CompareOp::kEq, plan::CompareOp::kNe, plan::CompareOp::kLt,
+          plan::CompareOp::kLe, plan::CompareOp::kGt, plan::CompareOp::kGe}) {
+      preds.push_back(Pred(1, plan::ScanPredicate::Kind::kCompare, op,
+                           Value::Real(c)));
+    }
+  }
+  preds.push_back(Pred(1, plan::ScanPredicate::Kind::kBetween,
+                       plan::CompareOp::kEq,
+                       Value::Real(static_cast<double>(kB) / 2.0),
+                       Value::Real(static_cast<double>(kB))));
+  preds.push_back(Pred(1, plan::ScanPredicate::Kind::kIsNull,
+                       plan::CompareOp::kEq, Value::Null_()));
+  preds.push_back(Pred(1, plan::ScanPredicate::Kind::kIsNotNull,
+                       plan::CompareOp::kEq, Value::Null_()));
+  for (size_t i = 0; i < preds.size(); ++i) {
+    SCOPED_TRACE("predicate #" + std::to_string(i));
+    EXPECT_EQ(BothScans(*enc, {&preds[i]}), BothScans(*plain, {&preds[i]}));
+  }
 }
 
 // ---- HashJoinIntermediates -------------------------------------------------

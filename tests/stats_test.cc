@@ -272,6 +272,52 @@ TEST(AnalyzeDifferentialTest, FusedComputeMatchesAnalyzeColumn) {
   ExpectStatsEqual(fused, AnalyzeColumn(col), "fused int column");
 }
 
+TEST(AnalyzeDifferentialTest, EncodingInvariantStats) {
+  // ANALYZE must emit bit-identical stats before and after a column is
+  // encoded: the dictionary path gathers int32 codes (order-isomorphic to
+  // the strings), the partitioned path reads the unchanged plain spans.
+  storage::Column plain_s(common::DataType::kString);
+  storage::Column dict_s(common::DataType::kString);
+  for (int64_t i = 0; i < 3000; ++i) {
+    if (i % 11 == 3) {
+      plain_s.AppendNull();
+      dict_s.AppendNull();
+    } else {
+      std::string v = "tag" + std::to_string((i * 7) % 13);
+      plain_s.AppendString(v);
+      dict_s.AppendString(v);
+    }
+  }
+  dict_s.EncodeDictionary();
+  ASSERT_EQ(dict_s.encoding(), storage::ColumnEncoding::kDictionary);
+  for (int64_t sample : {int64_t{0}, int64_t{512}}) {
+    AnalyzeOptions options;
+    options.sample_size = sample;
+    ExpectStatsEqual(AnalyzeColumn(dict_s, options),
+                     AnalyzeColumn(plain_s, options),
+                     "dict vs plain sample=" + std::to_string(sample));
+    ExpectStatsEqual(AnalyzeColumn(dict_s, options),
+                     reference::AnalyzeColumn(dict_s, options),
+                     "dict vs boxed sample=" + std::to_string(sample));
+  }
+
+  storage::Column plain_i(common::DataType::kInt64);
+  storage::Column part_i(common::DataType::kInt64);
+  for (int64_t i = 0; i < 3000; ++i) {
+    if (i % 7 == 0) {
+      plain_i.AppendNull();
+      part_i.AppendNull();
+    } else {
+      plain_i.AppendInt(i % 97);
+      part_i.AppendInt(i % 97);
+    }
+  }
+  part_i.EncodePartitioned();
+  ASSERT_EQ(part_i.encoding(), storage::ColumnEncoding::kPartitioned);
+  ExpectStatsEqual(AnalyzeColumn(part_i), AnalyzeColumn(plain_i),
+                   "partitioned vs plain");
+}
+
 // ---- Sampling semantics (pinned) ------------------------------------------
 
 TEST(AnalyzeSamplingTest, ColumnSmallerThanSampleSizeIsExact) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -65,6 +68,197 @@ TEST(ColumnTest, AppendValueDispatchesOnType) {
   EXPECT_TRUE(col.IsNull(1));
 }
 
+TEST(ColumnTest, BulkAppendsMatchScalarAppends) {
+  // Bulk spans after a NULL: the validity bitmap must extend with 1s.
+  const int64_t ints[] = {4, 5, 6};
+  Column a(DataType::kInt64);
+  a.AppendInt(3);
+  a.AppendNull();
+  a.AppendInts(ints, 3);
+  Column b(DataType::kInt64);
+  b.AppendInt(3);
+  b.AppendNull();
+  for (int64_t v : ints) b.AppendInt(v);
+  ASSERT_EQ(a.size(), b.size());
+  for (common::RowIdx r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a.GetValue(r), b.GetValue(r));
+  }
+
+  // All-valid bulk append keeps the bitmap unmaterialized.
+  const double doubles[] = {0.5, -1.5};
+  Column c(DataType::kDouble);
+  c.AppendDoubles(doubles, 2);
+  EXPECT_TRUE(c.AllValid());
+  EXPECT_EQ(c.GetDouble(1), -1.5);
+
+  // Copying and move-draining string bulk appends agree.
+  const std::string strs[] = {"x", "", "y"};
+  Column d(DataType::kString);
+  d.AppendStrings(strs, 3);
+  std::vector<std::string> buf = {"x", "", "y"};
+  Column e(DataType::kString);
+  e.AppendStrings(std::move(buf));
+  ASSERT_EQ(d.size(), 3);
+  ASSERT_EQ(e.size(), 3);
+  for (common::RowIdx r = 0; r < 3; ++r) {
+    EXPECT_EQ(d.GetString(r), e.GetString(r));
+  }
+}
+
+// ---- Column encodings -------------------------------------------------------
+
+TEST(ColumnTest, DictionaryEncodingRoundTrips) {
+  Column col(DataType::kString);
+  const char* rows[] = {"pear", "apple", "pear", "", "banana", "apple"};
+  std::vector<Value> expected;
+  for (const char* s : rows) {
+    col.AppendString(s);
+    expected.push_back(Value::Str(s));
+  }
+  col.AppendNull();
+  expected.push_back(Value::Null_());
+
+  col.EncodeDictionary();
+  EXPECT_EQ(col.encoding(), ColumnEncoding::kDictionary);
+  // Sorted unique dictionary: code order == lexicographic order.
+  EXPECT_EQ(col.dictionary(),
+            (std::vector<std::string>{"", "apple", "banana", "pear"}));
+  EXPECT_EQ(col.dict_codes(),
+            (std::vector<int32_t>{3, 1, 3, 0, 2, 1, -1}));
+  // Boxed reads are unchanged; NULL decodes to the empty string.
+  for (common::RowIdx r = 0; r < col.size(); ++r) {
+    EXPECT_EQ(col.GetValue(r), expected[static_cast<size_t>(r)]);
+  }
+  EXPECT_TRUE(col.IsNull(6));
+  EXPECT_EQ(col.GetString(6), "");
+  // The view decodes through the dictionary; the plain span is gone.
+  ColumnView view = col.View();
+  EXPECT_EQ(view.strings, nullptr);
+  ASSERT_EQ(view.dict_size, 4);
+  EXPECT_EQ(view.StringAt(0), "pear");
+  EXPECT_EQ(view.StringAt(6), "");
+}
+
+TEST(ColumnTest, DictionaryEncodingDegenerateShapes) {
+  // Empty column -> empty dictionary.
+  Column empty(DataType::kString);
+  empty.EncodeDictionary();
+  EXPECT_EQ(empty.encoding(), ColumnEncoding::kDictionary);
+  EXPECT_TRUE(empty.dictionary().empty());
+  // All-NULL column -> empty dictionary, every code -1.
+  Column nulls(DataType::kString);
+  nulls.AppendNull();
+  nulls.AppendNull();
+  nulls.EncodeDictionary();
+  EXPECT_TRUE(nulls.dictionary().empty());
+  EXPECT_EQ(nulls.dict_codes(), (std::vector<int32_t>{-1, -1}));
+  EXPECT_EQ(nulls.GetString(0), "");
+  EXPECT_TRUE(nulls.IsNull(1));
+}
+
+TEST(ColumnTest, PartitionedEncodingBuildsZoneMaps) {
+  // 2 full partitions + a 5-row tail; partition 1 is entirely NULL.
+  Column col(DataType::kInt64);
+  const int64_t n = 2 * kPartitionRows + 5;
+  for (int64_t i = 0; i < n; ++i) {
+    if (i / kPartitionRows == 1) {
+      col.AppendNull();
+    } else {
+      col.AppendInt(i);
+    }
+  }
+  col.EncodePartitioned();
+  EXPECT_EQ(col.encoding(), ColumnEncoding::kPartitioned);
+  ASSERT_EQ(col.zones().size(), 3u);
+  const ZoneMap& z0 = col.zones()[0];
+  EXPECT_TRUE(z0.has_values);
+  EXPECT_TRUE(z0.skippable);
+  EXPECT_EQ(z0.min_int, 0);
+  EXPECT_EQ(z0.max_int, kPartitionRows - 1);
+  EXPECT_EQ(z0.min_double, 0.0);
+  EXPECT_EQ(z0.max_double, static_cast<double>(kPartitionRows - 1));
+  EXPECT_EQ(z0.row_count, kPartitionRows);
+  EXPECT_EQ(z0.null_count, 0);
+  const ZoneMap& z1 = col.zones()[1];
+  EXPECT_FALSE(z1.has_values);
+  EXPECT_TRUE(z1.AllNull());
+  EXPECT_EQ(z1.null_count, kPartitionRows);
+  const ZoneMap& z2 = col.zones()[2];
+  EXPECT_EQ(z2.row_count, 5);
+  EXPECT_EQ(z2.min_int, 2 * kPartitionRows);
+  EXPECT_EQ(z2.max_int, n - 1);
+  // Plain spans remain valid: partitioning is zone maps only.
+  EXPECT_EQ(col.GetInt(0), 0);
+  EXPECT_EQ(static_cast<int64_t>(col.ints().size()), n);
+}
+
+TEST(ColumnTest, NaNDisablesZoneMapSkipping) {
+  Column col(DataType::kDouble);
+  for (int64_t i = 0; i < kPartitionRows; ++i) {
+    col.AppendDouble(i == 17 ? std::numeric_limits<double>::quiet_NaN()
+                             : static_cast<double>(i));
+  }
+  col.AppendDouble(1.0);  // second partition, clean
+  col.EncodePartitioned();
+  ASSERT_EQ(col.zones().size(), 2u);
+  EXPECT_FALSE(col.zones()[0].skippable);
+  EXPECT_TRUE(col.zones()[1].skippable);
+}
+
+TEST(ColumnTest, DictionaryWorthwhileHeuristic) {
+  // Too small: never worthwhile.
+  Column small(DataType::kString);
+  small.AppendString("a");
+  EXPECT_FALSE(small.DictionaryWorthwhile());
+  // Large with few distinct values: worthwhile.
+  Column low_ndv(DataType::kString);
+  for (int64_t i = 0; i < kPartitionRows; ++i) {
+    low_ndv.AppendString(i % 2 == 0 ? "x" : "y");
+  }
+  EXPECT_TRUE(low_ndv.DictionaryWorthwhile());
+  // Large but nearly all-distinct: not worthwhile.
+  Column high_ndv(DataType::kString);
+  for (int64_t i = 0; i < kPartitionRows; ++i) {
+    high_ndv.AppendString("s" + std::to_string(i));
+  }
+  EXPECT_FALSE(high_ndv.DictionaryWorthwhile());
+}
+
+TEST(ColumnDeathTest, EncodedColumnsAreFrozen) {
+  Column dict(DataType::kString);
+  dict.AppendString("a");
+  dict.EncodeDictionary();
+  EXPECT_DEATH(dict.AppendString("b"), "");
+  EXPECT_DEATH(dict.strings(), "plain string span");
+  Column part(DataType::kInt64);
+  part.AppendInt(1);
+  part.EncodePartitioned();
+  EXPECT_DEATH(part.AppendInt(2), "");
+}
+
+#ifndef NDEBUG
+TEST(ColumnDeathTest, StaleViewAbortsInDebugBuilds) {
+  // An append after View() invalidates the raw spans; the debug version
+  // check turns any later use of the view into an abort instead of a read
+  // of possibly-freed memory. (Release builds compile the check away, so
+  // this test is debug-only — executing the stale read there would be
+  // genuine UB.)
+  Column col(DataType::kInt64);
+  col.AppendInt(1);
+  ColumnView view = col.View();
+  EXPECT_FALSE(view.IsNull(0));  // fresh: fine
+  col.AppendInt(2);
+  EXPECT_DEATH(view.IsNull(0), "stale ColumnView");
+  EXPECT_DEATH(view.Ints(), "stale ColumnView");
+  // Re-encoding is a mutation too.
+  Column scol(DataType::kString);
+  scol.AppendString("a");
+  ColumnView sview = scol.View();
+  scol.EncodeDictionary();
+  EXPECT_DEATH(sview.Strings(), "stale ColumnView");
+}
+#endif
+
 // ---- Schema -----------------------------------------------------------------
 
 TEST(SchemaTest, FindColumn) {
@@ -105,6 +299,44 @@ TEST(TableTest, SyncRowCountFromColumns) {
   EXPECT_EQ(t.num_rows(), 0);  // direct appends bypass the row counter
   t.SyncRowCountFromColumns();
   EXPECT_EQ(t.num_rows(), 1);
+}
+
+TEST(TableTest, ApplyEncodingFollowsPolicy) {
+  auto build = [] {
+    auto t = std::make_unique<Table>(
+        "t", Schema({{"id", DataType::kInt64},
+                     {"tag", DataType::kString},
+                     {"score", DataType::kDouble}}));
+    // Enough rows for kAuto to partition numerics (>= 4 partitions) and a
+    // low-cardinality tag column that is clearly dictionary-worthwhile.
+    for (int64_t i = 0; i < 4 * kPartitionRows; ++i) {
+      t->AppendRow({Value::Int(i), Value::Str(i % 2 == 0 ? "even" : "odd"),
+                    Value::Real(static_cast<double>(i))});
+    }
+    return t;
+  };
+  auto plain = build();
+  plain->ApplyEncoding(EncodingPolicy::kForcePlain);
+  for (common::ColumnIdx c = 0; c < 3; ++c) {
+    EXPECT_EQ(plain->column(c).encoding(), ColumnEncoding::kPlain);
+  }
+  auto dict = build();
+  dict->ApplyEncoding(EncodingPolicy::kForceDictionary);
+  EXPECT_EQ(dict->column(0).encoding(), ColumnEncoding::kPlain);
+  EXPECT_EQ(dict->column(1).encoding(), ColumnEncoding::kDictionary);
+  auto part = build();
+  part->ApplyEncoding(EncodingPolicy::kForcePartitioned);
+  EXPECT_EQ(part->column(0).encoding(), ColumnEncoding::kPartitioned);
+  EXPECT_EQ(part->column(1).encoding(), ColumnEncoding::kPlain);
+  EXPECT_EQ(part->column(2).encoding(), ColumnEncoding::kPartitioned);
+  auto autop = build();
+  autop->ApplyEncoding(EncodingPolicy::kAuto);
+  EXPECT_EQ(autop->column(0).encoding(), ColumnEncoding::kPartitioned);
+  EXPECT_EQ(autop->column(1).encoding(), ColumnEncoding::kDictionary);
+  EXPECT_EQ(autop->column(2).encoding(), ColumnEncoding::kPartitioned);
+  // Idempotent: already-encoded columns are left alone.
+  autop->ApplyEncoding(EncodingPolicy::kAuto);
+  EXPECT_EQ(autop->column(1).encoding(), ColumnEncoding::kDictionary);
 }
 
 TEST(TableTest, CreateIndexOnlyOnInt64) {

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Benchmark-trajectory gate over bench/history/ snapshots.
+
+Compares the current run's BENCH_perf_smoke.json against the committed
+snapshot in bench/history/ and fails on a speedup regression of more than
+--tolerance (default 10%). The compared metric is the *speedup* (reference
+time / optimized time), not absolute ns/op: both sides of every comparison
+run on the same machine in the same process, so the ratio transfers across
+hardware while raw nanoseconds do not.
+
+Skipped rows:
+  * names starting with "intra_" — morsel-parallel speedups scale with the
+    machine's core count, so they are reported but never gated;
+  * names containing "@s" — --scale sweep rows; the gated trajectory is the
+    default-scale run only.
+
+Rows present in history but missing from the current run fail the gate (a
+renamed or deleted benchmark must update the snapshot deliberately, via
+--update).
+
+Exit codes: 0 pass, 1 regression/missing row, 2 usage or malformed input,
+77 skipped (no current run to compare — e.g. perf_smoke has not run in
+this build tree). CMake registers 77 as SKIP_RETURN_CODE.
+
+Usage:
+  check_bench.py [--current PATH] [--history PATH] [--tolerance F] [--update]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_HISTORY = os.path.join(REPO_ROOT, "bench", "history",
+                               "BENCH_perf_smoke.json")
+
+
+def load_rows(path):
+    """name -> row dict from a BENCH_perf_smoke.json file."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    rows = {}
+    for row in data.get("benchmarks", []):
+        name = row.get("name")
+        if not isinstance(name, str) or "speedup" not in row:
+            raise ValueError(f"malformed benchmark row: {row!r}")
+        rows[name] = row
+    return rows
+
+
+def gated(name):
+    return not name.startswith("intra_") and "@s" not in name
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", default="BENCH_perf_smoke.json",
+                        help="this run's perf_smoke JSON report")
+    parser.add_argument("--history", default=DEFAULT_HISTORY,
+                        help="committed snapshot to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed relative speedup drop (default 0.10)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy --current over --history instead of "
+                             "comparing")
+    args = parser.parse_args()
+
+    if not (0.0 <= args.tolerance < 1.0):
+        print(f"check_bench: --tolerance {args.tolerance} outside [0, 1)",
+              file=sys.stderr)
+        return 2
+
+    if not os.path.exists(args.current):
+        print(f"check_bench: SKIP - no current run at {args.current} "
+              "(run perf_smoke first)")
+        return 77
+
+    try:
+        current = load_rows(args.current)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {args.current}: {e}",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        os.makedirs(os.path.dirname(args.history), exist_ok=True)
+        shutil.copyfile(args.current, args.history)
+        print(f"check_bench: updated {args.history} "
+              f"({len(current)} benchmarks)")
+        return 0
+
+    if not os.path.exists(args.history):
+        print(f"check_bench: SKIP - no history snapshot at {args.history} "
+              "(seed one with --update)")
+        return 77
+
+    try:
+        history = load_rows(args.history)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot read {args.history}: {e}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    for name, old in sorted(history.items()):
+        if not gated(name):
+            continue
+        new = current.get(name)
+        if new is None:
+            failures.append(f"{name}: present in history, missing from the "
+                            "current run (update the snapshot deliberately "
+                            "with --update)")
+            continue
+        compared += 1
+        old_speedup = float(old["speedup"])
+        new_speedup = float(new["speedup"])
+        floor = old_speedup * (1.0 - args.tolerance)
+        status = "ok"
+        if new_speedup < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: speedup {new_speedup:.3f}x < "
+                f"{floor:.3f}x ({old_speedup:.3f}x - {args.tolerance:.0%})")
+        print(f"  {name:<44} history {old_speedup:7.3f}x   "
+              f"current {new_speedup:7.3f}x   {status}")
+
+    for name in sorted(current):
+        if gated(name) and name not in history:
+            print(f"  {name:<44} (new - not in history; add it with "
+                  "--update)")
+
+    if failures:
+        print(f"\ncheck_bench: FAIL - {len(failures)} regression(s) over "
+              f"{compared} gated benchmarks:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"check_bench: OK - {compared} gated benchmarks within "
+          f"{args.tolerance:.0%} of the committed snapshot")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

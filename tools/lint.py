@@ -42,6 +42,14 @@ Checks (each one a named rule; violations print as file:line: [rule] msg):
                      injected / learned / ...) can be added without a
                      differential test pinning its planner behavior.
 
+  encodings          Every storage::ColumnEncoding enumerator in
+                     src/storage/column.h appears in the kernel differential
+                     suite (tests/kernel_differential_test.cc), so no
+                     physical column encoding (plain / dictionary /
+                     partitioned / ...) can be added without the 113-query
+                     workload being replayed over it against the scalar
+                     reference kernel.
+
 Exit status: 0 = clean, 1 = violations, 2 = lint is misconfigured (e.g. a
 checked file is missing — fail loudly rather than silently skipping).
 """
@@ -274,6 +282,42 @@ def check_model_kinds_differential() -> None:
 
 
 # --------------------------------------------------------------------------
+# Rule: encodings
+# --------------------------------------------------------------------------
+
+ENCODING_ENUM_RE = re.compile(
+    r"enum\s+class\s+ColumnEncoding\s*\{([^}]*)\}", re.DOTALL)
+
+
+def check_encodings_differential() -> None:
+    column_h = REPO / "src" / "storage" / "column.h"
+    diff_test = REPO / "tests" / "kernel_differential_test.cc"
+    for required in (column_h, diff_test):
+        if not required.exists():
+            errors.append(f"encodings: missing {required}")
+            return
+    m = ENCODING_ENUM_RE.search(column_h.read_text())
+    if m is None:
+        errors.append(f"encodings: no 'enum class ColumnEncoding' found in "
+                      f"{column_h.relative_to(REPO)}")
+        return
+    encodings = re.findall(r"\bk([A-Z]\w*)", m.group(1))
+    if not encodings:
+        errors.append("encodings: ColumnEncoding enum parsed empty")
+        return
+    diff_src = diff_test.read_text()
+    for enc in encodings:
+        if f"k{enc}" in diff_src:
+            continue
+        violate(
+            column_h, 1, "encodings",
+            f"ColumnEncoding::k{enc} is not exercised by the kernel "
+            f"differential suite ({diff_test.relative_to(REPO)}) — every "
+            "physical encoding must replay the full workload against the "
+            "scalar reference kernel")
+
+
+# --------------------------------------------------------------------------
 
 def strip_comment(line: str) -> str:
     idx = line.find("//")
@@ -294,6 +338,7 @@ def main() -> int:
     check_kernel_reference_twins()
     check_fail_points_have_chaos_tests()
     check_model_kinds_differential()
+    check_encodings_differential()
     if errors:
         for e in errors:
             print(f"lint error: {e}", file=sys.stderr)
